@@ -1,0 +1,394 @@
+//! Deterministic HotCRP data generator.
+//!
+//! The paper's §6 experiment uses "a HotCRP database with 430 users (30 PC
+//! members), 450 papers, and 1400 reviews"; [`HotCrpConfig::paper`] matches
+//! those numbers exactly, and [`HotCrpConfig::scaled`] sweeps them for the
+//! linear-scaling experiment. Generation is seeded and fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use edna_relational::{Database, Result, Value};
+
+use crate::names::{affiliation, first_name, last_name, sentence, word};
+
+/// Sizing and seeding for a generated HotCRP instance.
+#[derive(Debug, Clone, Copy)]
+pub struct HotCrpConfig {
+    /// Total users (including PC members).
+    pub users: usize,
+    /// PC members (they write the reviews).
+    pub pc_members: usize,
+    /// Submitted papers.
+    pub papers: usize,
+    /// Total reviews.
+    pub reviews: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HotCrpConfig {
+    /// The paper's §6 experiment size: 430 users, 30 PC, 450 papers,
+    /// 1400 reviews.
+    pub fn paper() -> HotCrpConfig {
+        HotCrpConfig {
+            users: 430,
+            pc_members: 30,
+            papers: 450,
+            reviews: 1400,
+            seed: 7,
+        }
+    }
+
+    /// A small instance for fast tests.
+    pub fn small() -> HotCrpConfig {
+        HotCrpConfig {
+            users: 40,
+            pc_members: 8,
+            papers: 25,
+            reviews: 60,
+            seed: 7,
+        }
+    }
+
+    /// The paper configuration with papers and reviews scaled by `factor`
+    /// at a fixed population — the §6 scaling sweep: the number of objects
+    /// one user's disguise touches grows with `factor`.
+    pub fn scaled_workload(factor: f64) -> HotCrpConfig {
+        let base = HotCrpConfig::paper();
+        let s = |n: usize, min: usize| (((n as f64) * factor) as usize).max(min);
+        HotCrpConfig {
+            users: base.users,
+            pc_members: base.pc_members,
+            papers: s(base.papers, 4),
+            reviews: s(base.reviews, 8),
+            seed: base.seed,
+        }
+    }
+
+    /// The paper configuration scaled by `factor` (for the §6 scaling
+    /// sweep). Minimums keep tiny factors well-formed.
+    pub fn scaled(factor: f64) -> HotCrpConfig {
+        let base = HotCrpConfig::paper();
+        let s = |n: usize, min: usize| (((n as f64) * factor) as usize).max(min);
+        HotCrpConfig {
+            users: s(base.users, 8),
+            pc_members: s(base.pc_members, 4),
+            papers: s(base.papers, 4),
+            reviews: s(base.reviews, 8),
+            seed: base.seed,
+        }
+    }
+}
+
+/// Summary of what was generated (row counts by table).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotCrpInstance {
+    /// Contact ids of PC members (review authors).
+    pub pc_contact_ids: Vec<i64>,
+    /// Contact ids of non-PC users.
+    pub author_contact_ids: Vec<i64>,
+    /// Paper ids.
+    pub paper_ids: Vec<i64>,
+    /// Review ids.
+    pub review_ids: Vec<i64>,
+}
+
+/// Populates `db` (which must have the HotCRP schema) per `config`.
+pub fn generate(db: &Database, config: &HotCrpConfig) -> Result<HotCrpInstance> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut instance = HotCrpInstance::default();
+
+    // Contacts: PC members first, then authors.
+    for i in 0..config.users {
+        let is_pc = i < config.pc_members;
+        let fname = first_name(&mut rng);
+        let lname = last_name(&mut rng);
+        let id = db
+            .insert_row(
+                "ContactInfo",
+                &[
+                    ("firstName", Value::Text(fname.clone())),
+                    ("lastName", Value::Text(lname.clone())),
+                    (
+                        "email",
+                        Value::Text(format!("{}.{}{}@example.edu", fname, lname, i)),
+                    ),
+                    ("affiliation", Value::Text(affiliation(&mut rng))),
+                    ("password", Value::Text(format!("pw-{i}"))),
+                    ("roles", Value::Int(if is_pc { 1 } else { 0 })),
+                    ("lastLogin", Value::Int(rng.gen_range(0..1_000_000))),
+                ],
+            )?
+            .expect("auto id");
+        if is_pc {
+            instance.pc_contact_ids.push(id);
+        } else {
+            instance.author_contact_ids.push(id);
+        }
+    }
+
+    // Topics and PC interests.
+    let n_topics = 20.min(config.papers.max(4));
+    let mut topic_ids = Vec::new();
+    for _ in 0..n_topics {
+        let id = db
+            .insert_row("TopicArea", &[("topicName", Value::Text(word(&mut rng)))])?
+            .expect("auto id");
+        topic_ids.push(id);
+    }
+    for &pc in &instance.pc_contact_ids {
+        for _ in 0..rng.gen_range(2..6) {
+            let topic = topic_ids[rng.gen_range(0..topic_ids.len())];
+            db.insert_row(
+                "TopicInterest",
+                &[
+                    ("contactId", Value::Int(pc)),
+                    ("topicId", Value::Int(topic)),
+                    ("interest", Value::Int(rng.gen_range(-2..=2))),
+                ],
+            )?;
+        }
+    }
+
+    // Papers with authors (PaperConflict conflictType 2) and topics.
+    let author_pool = if instance.author_contact_ids.is_empty() {
+        &instance.pc_contact_ids
+    } else {
+        &instance.author_contact_ids
+    };
+    for p in 0..config.papers {
+        let lead = instance.pc_contact_ids[rng.gen_range(0..instance.pc_contact_ids.len())];
+        let paper_id = db
+            .insert_row(
+                "Paper",
+                &[
+                    ("title", Value::Text(sentence(&mut rng, 5))),
+                    ("abstract", Value::Text(sentence(&mut rng, 30))),
+                    ("authorInformation", Value::Text(sentence(&mut rng, 6))),
+                    ("leadContactId", Value::Int(lead)),
+                    ("timeSubmitted", Value::Int(rng.gen_range(1..1_000_000))),
+                ],
+            )?
+            .expect("auto id");
+        instance.paper_ids.push(paper_id);
+        for _ in 0..rng.gen_range(1..=3) {
+            let author = author_pool[rng.gen_range(0..author_pool.len())];
+            db.insert_row(
+                "PaperConflict",
+                &[
+                    ("paperId", Value::Int(paper_id)),
+                    ("contactId", Value::Int(author)),
+                    ("conflictType", Value::Int(2)),
+                ],
+            )?;
+        }
+        let topic = topic_ids[rng.gen_range(0..topic_ids.len())];
+        db.insert_row(
+            "PaperTopic",
+            &[
+                ("paperId", Value::Int(paper_id)),
+                ("topicId", Value::Int(topic)),
+            ],
+        )?;
+        let doc = db
+            .insert_row(
+                "PaperStorage",
+                &[
+                    ("paperId", Value::Int(paper_id)),
+                    ("size", Value::Int(rng.gen_range(10_000..2_000_000))),
+                    ("timestamp", Value::Int(p as i64)),
+                ],
+            )?
+            .expect("auto id");
+        db.insert_row(
+            "DocumentLink",
+            &[
+                ("paperId", Value::Int(paper_id)),
+                ("documentId", Value::Int(doc)),
+            ],
+        )?;
+    }
+
+    // Reviews: PC members, spread over papers round-robin with jitter.
+    for r in 0..config.reviews {
+        let reviewer = instance.pc_contact_ids[r % instance.pc_contact_ids.len()];
+        let paper = instance.paper_ids[rng.gen_range(0..instance.paper_ids.len())];
+        let requested_by = instance.pc_contact_ids[rng.gen_range(0..instance.pc_contact_ids.len())];
+        let id = db
+            .insert_row(
+                "Review",
+                &[
+                    ("paperId", Value::Int(paper)),
+                    ("contactId", Value::Int(reviewer)),
+                    ("requestedBy", Value::Int(requested_by)),
+                    ("overAllMerit", Value::Int(rng.gen_range(1..=5))),
+                    ("reviewerQualification", Value::Int(rng.gen_range(1..=4))),
+                    ("paperSummary", Value::Text(sentence(&mut rng, 20))),
+                    ("commentsToAuthor", Value::Text(sentence(&mut rng, 40))),
+                    ("reviewSubmitted", Value::Int(1)),
+                ],
+            )?
+            .expect("auto id");
+        instance.review_ids.push(id);
+    }
+
+    // Review preferences: each PC member bids on ~5% of papers (min 3).
+    let prefs_per_pc = (config.papers / 20).max(3);
+    for &pc in &instance.pc_contact_ids {
+        for _ in 0..prefs_per_pc {
+            let paper = instance.paper_ids[rng.gen_range(0..instance.paper_ids.len())];
+            db.insert_row(
+                "ReviewPreference",
+                &[
+                    ("paperId", Value::Int(paper)),
+                    ("contactId", Value::Int(pc)),
+                    ("preference", Value::Int(rng.gen_range(-20..=20))),
+                ],
+            )?;
+        }
+    }
+
+    // Comments on ~half the papers; ratings on ~a third of reviews.
+    for (i, &paper) in instance.paper_ids.iter().enumerate() {
+        if i % 2 == 0 {
+            let commenter =
+                instance.pc_contact_ids[rng.gen_range(0..instance.pc_contact_ids.len())];
+            db.insert_row(
+                "PaperComment",
+                &[
+                    ("paperId", Value::Int(paper)),
+                    ("contactId", Value::Int(commenter)),
+                    ("comment", Value::Text(sentence(&mut rng, 15))),
+                ],
+            )?;
+        }
+    }
+    for (i, &review) in instance.review_ids.iter().enumerate() {
+        if i % 3 == 0 {
+            let rater = instance.pc_contact_ids[rng.gen_range(0..instance.pc_contact_ids.len())];
+            db.insert_row(
+                "ReviewRating",
+                &[
+                    ("reviewId", Value::Int(review)),
+                    ("contactId", Value::Int(rater)),
+                    ("rating", Value::Int(rng.gen_range(0..=1))),
+                ],
+            )?;
+        }
+    }
+
+    // Watches, capabilities, sessions, action log.
+    for &pc in &instance.pc_contact_ids {
+        let paper = instance.paper_ids[rng.gen_range(0..instance.paper_ids.len())];
+        db.insert_row(
+            "PaperWatch",
+            &[
+                ("paperId", Value::Int(paper)),
+                ("contactId", Value::Int(pc)),
+                ("watch", Value::Int(1)),
+            ],
+        )?;
+        db.insert_row(
+            "ContactSession",
+            &[
+                ("contactId", Value::Int(pc)),
+                ("sessionData", Value::Text(format!("session-{pc}"))),
+            ],
+        )?;
+    }
+    for i in 0..(config.users / 4).max(2) {
+        let who = if i % 2 == 0 && !instance.author_contact_ids.is_empty() {
+            instance.author_contact_ids[rng.gen_range(0..instance.author_contact_ids.len())]
+        } else {
+            instance.pc_contact_ids[rng.gen_range(0..instance.pc_contact_ids.len())]
+        };
+        db.insert_row(
+            "Capability",
+            &[
+                ("contactId", Value::Int(who)),
+                ("salt", Value::Text(format!("salt-{i}"))),
+                ("timeExpires", Value::Int(rng.gen_range(1..1_000_000))),
+            ],
+        )?;
+        db.insert_row(
+            "ActionLog",
+            &[
+                ("contactId", Value::Int(who)),
+                ("action", Value::Text("login".to_string())),
+                (
+                    "ipaddr",
+                    Value::Text(format!("10.0.{}.{}", i % 256, (i * 7) % 256)),
+                ),
+                ("timestamp", Value::Int(i as i64)),
+            ],
+        )?;
+    }
+
+    // A few settings rows so the table isn't empty.
+    for (name, value) in [("sub_open", 1i64), ("rev_open", 1), ("seedec", 1)] {
+        db.insert_row(
+            "Settings",
+            &[
+                ("name", Value::Text(name.to_string())),
+                ("value", Value::Int(value)),
+            ],
+        )?;
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotcrp::create_db;
+
+    #[test]
+    fn small_instance_has_expected_shape() {
+        let db = create_db().unwrap();
+        let config = HotCrpConfig::small();
+        let inst = generate(&db, &config).unwrap();
+        assert_eq!(inst.pc_contact_ids.len(), config.pc_members);
+        assert_eq!(
+            inst.pc_contact_ids.len() + inst.author_contact_ids.len(),
+            config.users
+        );
+        assert_eq!(db.row_count("Paper").unwrap(), config.papers);
+        assert_eq!(db.row_count("Review").unwrap(), config.reviews);
+        assert!(db.row_count("PaperConflict").unwrap() >= config.papers);
+        assert!(db.row_count("ReviewPreference").unwrap() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = {
+            let db = create_db().unwrap();
+            generate(&db, &HotCrpConfig::small()).unwrap();
+            db.dump()
+        };
+        let b = {
+            let db = create_db().unwrap();
+            generate(&db, &HotCrpConfig::small()).unwrap();
+            db.dump()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_config_matches_section_6() {
+        let c = HotCrpConfig::paper();
+        assert_eq!(
+            (c.users, c.pc_members, c.papers, c.reviews),
+            (430, 30, 450, 1400)
+        );
+    }
+
+    #[test]
+    fn scaled_config_scales() {
+        let half = HotCrpConfig::scaled(0.5);
+        assert_eq!(half.users, 215);
+        assert_eq!(half.reviews, 700);
+        let tiny = HotCrpConfig::scaled(0.001);
+        assert!(tiny.pc_members >= 4);
+    }
+}

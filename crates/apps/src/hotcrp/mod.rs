@@ -1,0 +1,64 @@
+//! The HotCRP application substrate: schema, data generator, workload
+//! queries, and the paper's three HotCRP disguises.
+
+pub mod generate;
+pub mod workload;
+
+use edna_core::Disguiser;
+use edna_relational::Database;
+
+/// The HotCRP-like schema (25 object types).
+pub const SCHEMA_SQL: &str = include_str!("../../sql/hotcrp.sql");
+
+/// `HotCRP-GDPR`: the application's current transitive-delete policy.
+pub const GDPR_DSL: &str = include_str!("../../disguises/hotcrp_gdpr.edna");
+
+/// `HotCRP-GDPR+`: the paper's §3 user-scrubbing policy.
+pub const GDPR_PLUS_DSL: &str = include_str!("../../disguises/hotcrp_gdpr_plus.edna");
+
+/// `HotCRP-ConfAnon`: conference anonymization (paper §4.2).
+pub const CONFANON_DSL: &str = include_str!("../../disguises/hotcrp_confanon.edna");
+
+/// Creates an empty database with the HotCRP schema installed.
+pub fn create_db() -> edna_relational::Result<Database> {
+    let db = Database::new();
+    db.execute_script(SCHEMA_SQL)?;
+    Ok(db)
+}
+
+/// Registers the three HotCRP disguises with a disguiser.
+pub fn register_disguises(edna: &mut Disguiser) -> edna_core::Result<()> {
+    edna.register_dsl(GDPR_DSL)?;
+    edna.register_dsl(GDPR_PLUS_DSL)?;
+    edna.register_dsl(CONFANON_DSL)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::{object_types, sql_loc};
+
+    #[test]
+    fn schema_installs() {
+        let db = create_db().unwrap();
+        assert_eq!(object_types(SCHEMA_SQL), 25, "Figure 4: 25 object types");
+        assert_eq!(db.table_names().len(), 25);
+        assert!(
+            sql_loc(SCHEMA_SQL) > 200,
+            "schema should be a few hundred LoC"
+        );
+    }
+
+    #[test]
+    fn disguises_validate_against_schema() {
+        let db = create_db().unwrap();
+        let mut edna = Disguiser::new(db);
+        register_disguises(&mut edna).unwrap();
+        assert!(edna.spec("HotCRP-GDPR").is_ok());
+        assert!(edna.spec("HotCRP-GDPR+").is_ok());
+        assert!(edna.spec("HotCRP-ConfAnon").is_ok());
+        assert!(edna.spec("HotCRP-GDPR").unwrap().user_scoped);
+        assert!(!edna.spec("HotCRP-ConfAnon").unwrap().user_scoped);
+    }
+}

@@ -1,0 +1,106 @@
+//! Application workload queries for HotCRP.
+//!
+//! These mirror what the web application actually asks of the database and
+//! are used to check that disguises preserve application utility (paper
+//! §1: a disguise transforms data "while preserving application invariants
+//! and utility").
+
+use edna_relational::{Database, QueryResult, Result, Value};
+
+/// The paper list: submitted papers with review counts (the homepage).
+pub fn paper_list(db: &Database) -> Result<QueryResult> {
+    db.execute(
+        "SELECT p.paperId, p.title, COUNT(r.reviewId) AS reviews \
+         FROM Paper p LEFT JOIN Review r ON r.paperId = p.paperId \
+         WHERE p.timeSubmitted > 0 \
+         GROUP BY p.paperId ORDER BY p.paperId",
+    )
+}
+
+/// All submitted reviews of one paper, with reviewer names (the review
+/// page; after scrubbing, names are placeholder names, never blank).
+pub fn reviews_for_paper(db: &Database, paper_id: i64) -> Result<QueryResult> {
+    db.execute(&format!(
+        "SELECT r.reviewId, c.firstName, c.lastName, r.overAllMerit, r.commentsToAuthor \
+         FROM Review r INNER JOIN ContactInfo c ON c.contactId = r.contactId \
+         WHERE r.paperId = {paper_id} AND r.reviewSubmitted = 1 ORDER BY r.reviewId"
+    ))
+}
+
+/// One user's profile and activity counts (the account page).
+pub fn user_profile(db: &Database, contact_id: i64) -> Result<QueryResult> {
+    db.execute(&format!(
+        "SELECT c.firstName, c.lastName, c.email, c.affiliation, c.disabled \
+         FROM ContactInfo c WHERE c.contactId = {contact_id}"
+    ))
+}
+
+/// Number of reviews attributed to a user (0 after scrubbing).
+pub fn review_count_for_user(db: &Database, contact_id: i64) -> Result<i64> {
+    let r = db.execute(&format!(
+        "SELECT COUNT(*) FROM Review WHERE contactId = {contact_id}"
+    ))?;
+    r.scalar()?.as_int()
+}
+
+/// Whether a contact can log in: exists, not disabled, has a password.
+pub fn can_log_in(db: &Database, contact_id: i64) -> Result<bool> {
+    let r = db.execute(&format!(
+        "SELECT disabled, password FROM ContactInfo WHERE contactId = {contact_id}"
+    ))?;
+    Ok(match r.rows.first() {
+        Some(row) => row[0] == Value::Bool(false) && !row[1].is_null(),
+        None => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotcrp::generate::{generate, HotCrpConfig};
+    use crate::hotcrp::{create_db, register_disguises};
+    use edna_core::Disguiser;
+
+    #[test]
+    fn workload_runs_on_fresh_instance() {
+        let db = create_db().unwrap();
+        let inst = generate(&db, &HotCrpConfig::small()).unwrap();
+        let papers = paper_list(&db).unwrap();
+        assert_eq!(papers.rows.len(), HotCrpConfig::small().papers);
+        let with_reviews = inst.review_ids.len();
+        assert!(with_reviews > 0);
+        let first_paper = inst.paper_ids[0];
+        let _ = reviews_for_paper(&db, first_paper).unwrap();
+        assert!(can_log_in(&db, inst.pc_contact_ids[0]).unwrap());
+    }
+
+    #[test]
+    fn utility_preserved_after_scrubbing() {
+        // §3's key property: after GDPR+, review texts are still in the
+        // system and the application keeps working — but the user's
+        // identity is gone and placeholders cannot log in.
+        let db = create_db().unwrap();
+        let inst = generate(&db, &HotCrpConfig::small()).unwrap();
+        let mut edna = Disguiser::new(db.clone());
+        register_disguises(&mut edna).unwrap();
+
+        let bea = inst.pc_contact_ids[0];
+        let reviews_before = db.row_count("Review").unwrap();
+        let beas_reviews = review_count_for_user(&db, bea).unwrap();
+        assert!(beas_reviews > 0);
+
+        edna.apply("HotCRP-GDPR+", Some(&Value::Int(bea))).unwrap();
+
+        // Review texts retained; attribution gone; app queries still run.
+        assert_eq!(db.row_count("Review").unwrap(), reviews_before);
+        assert_eq!(review_count_for_user(&db, bea).unwrap(), 0);
+        assert!(!can_log_in(&db, bea).unwrap());
+        let papers = paper_list(&db).unwrap();
+        assert!(!papers.rows.is_empty());
+        // Reviewer names on every paper resolve to some (placeholder) name.
+        let r = reviews_for_paper(&db, inst.paper_ids[0]).unwrap();
+        for row in &r.rows {
+            assert!(!row[1].is_null(), "reviewer first name must resolve");
+        }
+    }
+}

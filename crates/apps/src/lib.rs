@@ -1,0 +1,21 @@
+//! `edna-apps`: application substrates for the paper's case studies (§6).
+//!
+//! Two applications, modeled on the real open-source systems the paper
+//! evaluates:
+//!
+//! - [`hotcrp`] — a 25-object-type conference review system with a
+//!   deterministic generator matching §6's experiment size (430 users,
+//!   30 PC members, 450 papers, 1400 reviews), workload queries, and the
+//!   three HotCRP disguises (`HotCRP-GDPR`, `HotCRP-GDPR+`,
+//!   `HotCRP-ConfAnon`);
+//! - [`lobsters`] — a 19-object-type news aggregator with `Lobsters-GDPR`.
+//!
+//! The disguises live as text DSL files under `disguises/`; the schemas as
+//! SQL under `sql/`. Both are measured by [`loc`] for Figure 4.
+
+#![warn(missing_docs)]
+
+pub mod hotcrp;
+pub mod lobsters;
+pub mod loc;
+pub mod names;

@@ -1,0 +1,263 @@
+//! Deterministic Lobsters data generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use edna_relational::{Database, Result, Value};
+
+use crate::names::{sentence, username, word};
+
+/// Sizing and seeding for a generated Lobsters instance.
+#[derive(Debug, Clone, Copy)]
+pub struct LobstersConfig {
+    /// Registered users.
+    pub users: usize,
+    /// Submitted stories.
+    pub stories: usize,
+    /// Comments (threaded under stories).
+    pub comments: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LobstersConfig {
+    /// A mid-size instance for benches.
+    pub fn medium() -> LobstersConfig {
+        LobstersConfig {
+            users: 200,
+            stories: 400,
+            comments: 1200,
+            seed: 11,
+        }
+    }
+
+    /// A small instance for fast tests.
+    pub fn small() -> LobstersConfig {
+        LobstersConfig {
+            users: 20,
+            stories: 30,
+            comments: 80,
+            seed: 11,
+        }
+    }
+}
+
+/// Ids of the generated principals.
+#[derive(Debug, Clone, Default)]
+pub struct LobstersInstance {
+    /// User ids.
+    pub user_ids: Vec<i64>,
+    /// Story ids.
+    pub story_ids: Vec<i64>,
+    /// Comment ids.
+    pub comment_ids: Vec<i64>,
+}
+
+/// Populates `db` (which must have the Lobsters schema) per `config`.
+pub fn generate(db: &Database, config: &LobstersConfig) -> Result<LobstersInstance> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut inst = LobstersInstance::default();
+
+    // Tags.
+    let mut tag_ids = Vec::new();
+    for i in 0..15 {
+        let id = db
+            .insert_row(
+                "tags",
+                &[("tag", Value::Text(format!("{}{i}", word(&mut rng))))],
+            )?
+            .expect("auto id");
+        tag_ids.push(id);
+    }
+
+    // Users; later users are invited by earlier ones.
+    for i in 0..config.users {
+        let inviter = if i > 0 && rng.gen_bool(0.7) {
+            Value::Int(inst.user_ids[rng.gen_range(0..inst.user_ids.len())])
+        } else {
+            Value::Null
+        };
+        let id = db
+            .insert_row(
+                "users",
+                &[
+                    ("username", Value::Text(username(&mut rng, i))),
+                    ("email", Value::Text(format!("user{i}@example.org"))),
+                    ("password_digest", Value::Text(format!("digest-{i}"))),
+                    ("about", Value::Text(sentence(&mut rng, 6))),
+                    ("karma", Value::Int(rng.gen_range(0..500))),
+                    ("last_login", Value::Int(rng.gen_range(0..1_000_000))),
+                    ("invited_by_user_id", inviter),
+                ],
+            )?
+            .expect("auto id");
+        inst.user_ids.push(id);
+    }
+
+    // Stories with taggings and votes.
+    for s in 0..config.stories {
+        let author = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+        let id = db
+            .insert_row(
+                "stories",
+                &[
+                    ("user_id", Value::Int(author)),
+                    ("title", Value::Text(sentence(&mut rng, 6))),
+                    ("url", Value::Text(format!("https://example.org/{s}"))),
+                    ("description", Value::Text(sentence(&mut rng, 12))),
+                    ("score", Value::Int(rng.gen_range(1..100))),
+                    ("created_at", Value::Int(s as i64 * 100)),
+                ],
+            )?
+            .expect("auto id");
+        inst.story_ids.push(id);
+        let tag = tag_ids[rng.gen_range(0..tag_ids.len())];
+        db.insert_row(
+            "taggings",
+            &[("story_id", Value::Int(id)), ("tag_id", Value::Int(tag))],
+        )?;
+        for _ in 0..rng.gen_range(0..4) {
+            let voter = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+            db.insert_row(
+                "votes",
+                &[
+                    ("user_id", Value::Int(voter)),
+                    ("story_id", Value::Int(id)),
+                    ("vote", Value::Int(1)),
+                ],
+            )?;
+        }
+    }
+
+    // Threaded comments with votes.
+    for c in 0..config.comments {
+        let author = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+        let story = inst.story_ids[rng.gen_range(0..inst.story_ids.len())];
+        let parent = if !inst.comment_ids.is_empty() && rng.gen_bool(0.3) {
+            Value::Int(inst.comment_ids[rng.gen_range(0..inst.comment_ids.len())])
+        } else {
+            Value::Null
+        };
+        let id = db
+            .insert_row(
+                "comments",
+                &[
+                    ("user_id", Value::Int(author)),
+                    ("story_id", Value::Int(story)),
+                    ("parent_comment_id", parent),
+                    ("comment", Value::Text(sentence(&mut rng, 18))),
+                    ("score", Value::Int(rng.gen_range(0..50))),
+                    ("created_at", Value::Int(c as i64 * 10)),
+                ],
+            )?
+            .expect("auto id");
+        inst.comment_ids.push(id);
+        if rng.gen_bool(0.5) {
+            let voter = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+            db.insert_row(
+                "votes",
+                &[
+                    ("user_id", Value::Int(voter)),
+                    ("comment_id", Value::Int(id)),
+                    ("vote", Value::Int(1)),
+                ],
+            )?;
+        }
+    }
+
+    // Messages, saved/hidden stories, ribbons, hats, invitations.
+    for i in 0..config.users {
+        let a = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+        let b = inst.user_ids[rng.gen_range(0..inst.user_ids.len())];
+        if a != b {
+            db.insert_row(
+                "messages",
+                &[
+                    ("author_user_id", Value::Int(a)),
+                    ("recipient_user_id", Value::Int(b)),
+                    ("subject", Value::Text(word(&mut rng))),
+                    ("body", Value::Text(sentence(&mut rng, 10))),
+                ],
+            )?;
+        }
+        let story = inst.story_ids[rng.gen_range(0..inst.story_ids.len())];
+        match i % 3 {
+            0 => {
+                db.insert_row(
+                    "saved_stories",
+                    &[("user_id", Value::Int(a)), ("story_id", Value::Int(story))],
+                )?;
+            }
+            1 => {
+                db.insert_row(
+                    "hidden_stories",
+                    &[("user_id", Value::Int(a)), ("story_id", Value::Int(story))],
+                )?;
+            }
+            _ => {
+                db.insert_row(
+                    "read_ribbons",
+                    &[("user_id", Value::Int(a)), ("story_id", Value::Int(story))],
+                )?;
+            }
+        }
+        if i % 10 == 0 {
+            db.insert_row(
+                "hats",
+                &[
+                    ("user_id", Value::Int(a)),
+                    ("hat", Value::Text(word(&mut rng))),
+                ],
+            )?;
+            db.insert_row(
+                "invitations",
+                &[
+                    ("user_id", Value::Int(a)),
+                    ("email", Value::Text(format!("invitee{i}@example.org"))),
+                    ("code", Value::Text(format!("code-{i}"))),
+                ],
+            )?;
+        }
+    }
+    db.insert_row(
+        "keystores",
+        &[
+            ("keyname", Value::Text("traffic:date".to_string())),
+            ("keyvalue", Value::Int(1)),
+        ],
+    )?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lobsters::create_db;
+
+    #[test]
+    fn small_instance_has_expected_shape() {
+        let db = create_db().unwrap();
+        let c = LobstersConfig::small();
+        let inst = generate(&db, &c).unwrap();
+        assert_eq!(inst.user_ids.len(), c.users);
+        assert_eq!(db.row_count("stories").unwrap(), c.stories);
+        assert_eq!(db.row_count("comments").unwrap(), c.comments);
+        assert!(db.row_count("votes").unwrap() > 0);
+        assert!(db.row_count("messages").unwrap() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = {
+            let db = create_db().unwrap();
+            generate(&db, &LobstersConfig::small()).unwrap();
+            db.dump()
+        };
+        let b = {
+            let db = create_db().unwrap();
+            generate(&db, &LobstersConfig::small()).unwrap();
+            db.dump()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! The Lobsters application substrate: schema, data generator, and the
+//! `Lobsters-GDPR` disguise.
+
+pub mod generate;
+
+use edna_core::Disguiser;
+use edna_relational::Database;
+
+/// The Lobsters-like schema (19 object types).
+pub const SCHEMA_SQL: &str = include_str!("../../sql/lobsters.sql");
+
+/// `Lobsters-GDPR`: the site's current account deletion policy.
+pub const GDPR_DSL: &str = include_str!("../../disguises/lobsters_gdpr.edna");
+
+/// Creates an empty database with the Lobsters schema installed.
+pub fn create_db() -> edna_relational::Result<Database> {
+    let db = Database::new();
+    db.execute_script(SCHEMA_SQL)?;
+    Ok(db)
+}
+
+/// Registers the Lobsters disguise with a disguiser.
+pub fn register_disguises(edna: &mut Disguiser) -> edna_core::Result<()> {
+    edna.register_dsl(GDPR_DSL)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::object_types;
+
+    #[test]
+    fn schema_installs() {
+        let db = create_db().unwrap();
+        assert_eq!(object_types(SCHEMA_SQL), 19, "Figure 4: 19 object types");
+        assert_eq!(db.table_names().len(), 19);
+    }
+
+    #[test]
+    fn disguise_validates() {
+        let db = create_db().unwrap();
+        let mut edna = Disguiser::new(db);
+        register_disguises(&mut edna).unwrap();
+        assert!(edna.spec("Lobsters-GDPR").unwrap().user_scoped);
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic fake-data vocabulary shared by the generators.
+
+use rand::Rng;
+
+const FIRST: &[&str] = &[
+    "Bea",
+    "Ada",
+    "Grace",
+    "Alan",
+    "Edsger",
+    "Barbara",
+    "Leslie",
+    "Tony",
+    "Donald",
+    "Radia",
+    "Vint",
+    "Tim",
+    "Margaret",
+    "Katherine",
+    "Annie",
+    "John",
+    "Frances",
+    "Jean",
+    "Kay",
+    "Mary",
+];
+const LAST: &[&str] = &[
+    "Lovelace",
+    "Hopper",
+    "Turing",
+    "Dijkstra",
+    "Liskov",
+    "Lamport",
+    "Hoare",
+    "Knuth",
+    "Perlman",
+    "Cerf",
+    "Berners",
+    "Hamilton",
+    "Johnson",
+    "Easley",
+    "Backus",
+    "Allen",
+    "Bartik",
+    "Antonelli",
+    "McNulty",
+    "Keller",
+];
+const AFFILIATIONS: &[&str] = &[
+    "MIT",
+    "Brown University",
+    "Harvard University",
+    "ETH Zurich",
+    "Stanford",
+    "UW",
+    "Cambridge",
+    "EPFL",
+    "CMU",
+    "Berkeley",
+];
+const WORDS: &[&str] = &[
+    "privacy",
+    "disguise",
+    "vault",
+    "anonymize",
+    "decorrelate",
+    "database",
+    "system",
+    "reveal",
+    "placeholder",
+    "transformation",
+    "integrity",
+    "policy",
+    "schema",
+    "predicate",
+    "review",
+    "paper",
+    "conference",
+    "shard",
+    "index",
+    "transaction",
+    "latency",
+    "storage",
+    "consensus",
+    "cache",
+    "kernel",
+    "network",
+    "protocol",
+    "queue",
+    "scheduler",
+    "replica",
+];
+
+/// A random first name.
+pub fn first_name(rng: &mut impl Rng) -> String {
+    FIRST[rng.gen_range(0..FIRST.len())].to_string()
+}
+
+/// A random last name.
+pub fn last_name(rng: &mut impl Rng) -> String {
+    LAST[rng.gen_range(0..LAST.len())].to_string()
+}
+
+/// A random affiliation.
+pub fn affiliation(rng: &mut impl Rng) -> String {
+    AFFILIATIONS[rng.gen_range(0..AFFILIATIONS.len())].to_string()
+}
+
+/// A random vocabulary word.
+pub fn word(rng: &mut impl Rng) -> String {
+    WORDS[rng.gen_range(0..WORDS.len())].to_string()
+}
+
+/// A random `n`-word sentence.
+pub fn sentence(rng: &mut impl Rng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A random lowercase username.
+pub fn username(rng: &mut impl Rng, tag: usize) -> String {
+    format!(
+        "{}{}{}",
+        FIRST[rng.gen_range(0..FIRST.len())].to_lowercase(),
+        WORDS[rng.gen_range(0..WORDS.len())],
+        tag
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(sentence(&mut a, 5), sentence(&mut b, 5));
+        assert_eq!(username(&mut a, 3), username(&mut b, 3));
+    }
+
+    #[test]
+    fn sentence_has_requested_words() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sentence(&mut rng, 7).split(' ').count(), 7);
+    }
+}

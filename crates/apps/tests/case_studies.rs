@@ -1,0 +1,333 @@
+//! End-to-end case studies (paper §6): the four disguises against
+//! generated HotCRP and Lobsters instances, including the composition
+//! experiment's sequence (GDPR+ after ConfAnon) and reversals.
+
+use edna_apps::hotcrp::{self, generate::HotCrpConfig};
+use edna_apps::lobsters::{self, generate::LobstersConfig};
+use edna_core::{ApplyOptions, Disguiser};
+use edna_relational::Value;
+
+fn hotcrp_setup() -> (
+    edna_relational::Database,
+    Disguiser,
+    hotcrp::generate::HotCrpInstance,
+) {
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+    (db, edna, inst)
+}
+
+#[test]
+fn hotcrp_gdpr_removes_reviews_entirely() {
+    let (db, edna, inst) = hotcrp_setup();
+    let bea = inst.pc_contact_ids[0];
+    let total_reviews = db.row_count("Review").unwrap();
+    let beas = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap() as usize;
+    assert!(beas > 0);
+
+    let report = edna.apply("HotCRP-GDPR", Some(&Value::Int(bea))).unwrap();
+    assert!(report.rows_removed > beas, "reviews + private data removed");
+    assert_eq!(db.row_count("Review").unwrap(), total_reviews - beas);
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM ContactInfo WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(0)
+    );
+
+    // GDPR is reversible here: the user can come back.
+    edna.reveal(report.disguise_id).unwrap();
+    assert_eq!(db.row_count("Review").unwrap(), total_reviews);
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap() as usize,
+        beas
+    );
+}
+
+#[test]
+fn hotcrp_gdpr_plus_preserves_review_texts() {
+    let (db, edna, inst) = hotcrp_setup();
+    let bea = inst.pc_contact_ids[1];
+    let total_reviews = db.row_count("Review").unwrap();
+    let beas_reviews = db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap() as usize;
+    assert!(beas_reviews > 0);
+
+    let report = edna.apply("HotCRP-GDPR+", Some(&Value::Int(bea))).unwrap();
+    assert!(report.rows_decorrelated > 0);
+    assert_eq!(
+        db.row_count("Review").unwrap(),
+        total_reviews,
+        "texts retained"
+    );
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(0),
+        "no review attributable to the user"
+    );
+    // Each of Bea's former reviews points at a distinct disabled placeholder.
+    let placeholder_owners = db
+        .execute(
+            "SELECT c.contactId, c.disabled FROM Review r \
+             INNER JOIN ContactInfo c ON c.contactId = r.contactId \
+             WHERE c.disabled = TRUE",
+        )
+        .unwrap();
+    assert_eq!(placeholder_owners.rows.len(), beas_reviews);
+    assert!(report.rows_decorrelated >= beas_reviews);
+    let mut ids: Vec<String> = placeholder_owners
+        .rows
+        .iter()
+        .map(|r| r[0].to_string())
+        .collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        placeholder_owners.rows.len(),
+        "placeholders are not shared between reviews (Fig. 2)"
+    );
+}
+
+#[test]
+fn confanon_then_gdpr_plus_composes() {
+    // The §6 composition sequence: ConfAnon (global) then GDPR+ for a PC
+    // member, naive and optimized.
+    for optimize in [false, true] {
+        let (db, edna, inst) = hotcrp_setup();
+        let bea = inst.pc_contact_ids[2];
+
+        let anon = edna.apply("HotCRP-ConfAnon", None).unwrap();
+        assert!(anon.rows_decorrelated > 0);
+        assert_eq!(
+            db.execute(&format!(
+                "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+            ))
+            .unwrap()
+            .scalar()
+            .unwrap(),
+            &Value::Int(0),
+            "ConfAnon hid everyone's reviews"
+        );
+
+        let opts = ApplyOptions {
+            compose: true,
+            optimize,
+            use_transaction: true,
+        };
+        let report = edna
+            .apply_with_options("HotCRP-GDPR+", Some(&Value::Int(bea)), opts)
+            .unwrap();
+        if optimize {
+            assert!(report.skipped_redundant > 0, "optimization engaged");
+        } else {
+            assert!(report.rows_recorrelated > 0, "naive path recorrelates");
+        }
+        // Privacy goal reached either way: account gone, nothing attributed.
+        assert_eq!(
+            db.execute(&format!(
+                "SELECT COUNT(*) FROM ContactInfo WHERE contactId = {bea}"
+            ))
+            .unwrap()
+            .scalar()
+            .unwrap(),
+            &Value::Int(0)
+        );
+    }
+}
+
+#[test]
+fn two_independent_gdpr_plus_applications() {
+    // §6's independent case: two GDPR+ for different users compose
+    // trivially (no shared rows).
+    let (db, edna, inst) = hotcrp_setup();
+    let a = inst.pc_contact_ids[0];
+    let b = inst.pc_contact_ids[1];
+    let ra = edna.apply("HotCRP-GDPR+", Some(&Value::Int(a))).unwrap();
+    let rb = edna.apply("HotCRP-GDPR+", Some(&Value::Int(b))).unwrap();
+    assert_eq!(ra.rows_recorrelated, 0);
+    assert_eq!(
+        rb.rows_recorrelated, 0,
+        "independent disguises never recorrelate"
+    );
+    for u in [a, b] {
+        assert_eq!(
+            db.execute(&format!(
+                "SELECT COUNT(*) FROM Review WHERE contactId = {u}"
+            ))
+            .unwrap()
+            .scalar()
+            .unwrap(),
+            &Value::Int(0)
+        );
+    }
+}
+
+#[test]
+fn gdpr_reveal_after_confanon_respects_confanon() {
+    // §4.2: "reversal of GDPR must avoid reintroducing identifiable
+    // reviews if ConfAnon has occurred since GDPR was applied."
+    let (db, edna, inst) = hotcrp_setup();
+    let bea = inst.pc_contact_ids[3];
+    let gdpr = edna.apply("HotCRP-GDPR+", Some(&Value::Int(bea))).unwrap();
+    edna.apply("HotCRP-ConfAnon", None).unwrap();
+
+    let reveal = edna.reveal(gdpr.disguise_id).unwrap();
+    assert!(
+        reveal.reapplied.iter().any(|(_, n)| n == "HotCRP-ConfAnon"),
+        "ConfAnon must be re-applied to revealed rows, got {:?}",
+        reveal.reapplied
+    );
+    // Bea's account is back...
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM ContactInfo WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(1)
+    );
+    // ...but her reviews remain anonymized (ConfAnon still active).
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM Review WHERE contactId = {bea}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(0),
+        "revealed reviews must stay decorrelated while ConfAnon is active"
+    );
+}
+
+#[test]
+fn lobsters_gdpr_and_reveal() {
+    let db = lobsters::create_db().unwrap();
+    let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&mut edna).unwrap();
+
+    let user = inst.user_ids[0];
+    let stories_before = db.row_count("stories").unwrap();
+    let comments_before = db.row_count("comments").unwrap();
+    let report = edna
+        .apply("Lobsters-GDPR", Some(&Value::Int(user)))
+        .unwrap();
+
+    // Public contributions retained, private data removed, account gone.
+    assert_eq!(db.row_count("stories").unwrap(), stories_before);
+    assert_eq!(db.row_count("comments").unwrap(), comments_before);
+    assert_eq!(
+        db.execute(&format!(
+            "SELECT COUNT(*) FROM votes WHERE user_id = {user}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(0)
+    );
+    assert_eq!(
+        db.execute(&format!("SELECT COUNT(*) FROM users WHERE id = {user}"))
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(0)
+    );
+    // The user's comments read "[deleted]".
+    let deleted = db
+        .execute("SELECT COUNT(*) FROM comments WHERE comment = '[deleted]'")
+        .unwrap();
+    let expected = report.rows_modified; // includes is_deleted flips too
+    assert!(deleted.scalar().unwrap().as_int().unwrap() > 0);
+    assert!(expected > 0);
+
+    // The user changes their mind and returns.
+    edna.reveal(report.disguise_id).unwrap();
+    assert_eq!(
+        db.execute(&format!("SELECT COUNT(*) FROM users WHERE id = {user}"))
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(1)
+    );
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM comments WHERE comment = '[deleted]'")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(0),
+        "comment bodies restored"
+    );
+}
+
+#[test]
+fn figure_4_loc_shape() {
+    // Figure 4's claim: disguise specs are comparable in size to schemas
+    // (disguise LoC < schema LoC, same order of magnitude).
+    use edna_apps::loc::{disguise_loc, sql_loc};
+    let rows = [
+        (
+            "Lobsters-GDPR",
+            sql_loc(lobsters::SCHEMA_SQL),
+            disguise_loc(lobsters::GDPR_DSL),
+        ),
+        (
+            "HotCRP-GDPR",
+            sql_loc(hotcrp::SCHEMA_SQL),
+            disguise_loc(hotcrp::GDPR_DSL),
+        ),
+        (
+            "HotCRP-GDPR+",
+            sql_loc(hotcrp::SCHEMA_SQL),
+            disguise_loc(hotcrp::GDPR_PLUS_DSL),
+        ),
+        (
+            "HotCRP-ConfAnon",
+            sql_loc(hotcrp::SCHEMA_SQL),
+            disguise_loc(hotcrp::CONFANON_DSL),
+        ),
+    ];
+    for (name, schema, disguise) in rows {
+        assert!(
+            disguise > 20,
+            "{name}: disguise spec is non-trivial ({disguise})"
+        );
+        assert!(
+            disguise < schema,
+            "{name}: disguise LoC ({disguise}) should not exceed schema LoC ({schema})"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Nuanced policy scenarios from the paper's §2 and §4.2 beyond the core
+//! case studies: global anonymization reversal, shared-message semantics,
+//! approval-gated third-party vaults, and application utility under
+//! anonymization.
+
+use std::time::Duration;
+
+use edna_apps::hotcrp::{self, generate::HotCrpConfig, workload};
+use edna_apps::lobsters::{self, generate::LobstersConfig};
+use edna_core::Disguiser;
+use edna_relational::Value;
+use edna_vault::{MemoryStore, ThirdPartyStore, TieredVault, Vault};
+
+#[test]
+fn confanon_is_fully_reversible_from_the_global_vault() {
+    // §4.2 notes complete reversal of ConfAnon is infeasible when reveal
+    // functions sit in per-user vaults — but our ConfAnon routes to the
+    // global tier (tier 1 of the multi-tier design), where it IS feasible.
+    let db = hotcrp::create_db().unwrap();
+    hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+
+    let before = db.dump();
+    let report = edna.apply("HotCRP-ConfAnon", None).unwrap();
+    assert!(report.rows_decorrelated > 0);
+    assert_ne!(db.dump(), before);
+
+    let reveal = edna.reveal(report.disguise_id).unwrap();
+    assert!(reveal.rows_restored > 0);
+    assert!(reveal.placeholders_removed > 0);
+    let mut after = db.dump();
+    let mut expected = before;
+    after.remove(edna_core::HISTORY_TABLE);
+    expected.remove(edna_core::HISTORY_TABLE);
+    assert_eq!(after, expected, "global reveal restores the exact state");
+}
+
+#[test]
+fn application_utility_survives_confanon() {
+    // The anonymized conference still works: papers list, reviews render
+    // with (placeholder) reviewer names, nobody's identity appears.
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+    edna.apply("HotCRP-ConfAnon", None).unwrap();
+
+    let papers = workload::paper_list(&db).unwrap();
+    assert_eq!(papers.rows.len(), HotCrpConfig::small().papers);
+    let reviews = workload::reviews_for_paper(&db, inst.paper_ids[0]).unwrap();
+    for row in &reviews.rows {
+        assert!(!row[1].is_null(), "reviews still render a reviewer name");
+    }
+    // No real PC member can be linked to a review anymore.
+    for &pc in &inst.pc_contact_ids {
+        assert_eq!(workload::review_count_for_user(&db, pc).unwrap(), 0);
+    }
+    // But the PC can still log in (accounts survive ConfAnon).
+    assert!(workload::can_log_in(&db, inst.pc_contact_ids[0]).unwrap());
+}
+
+#[test]
+fn lobsters_messages_stay_visible_to_recipients() {
+    // §2: some applications "keep private messages unanonymized and
+    // visible to their recipients, reflecting the shared nature of such
+    // messages". Our Lobsters-GDPR keeps the rows, marks the departed
+    // side deleted, and decorrelates only the departed party.
+    let db = lobsters::create_db().unwrap();
+    let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&mut edna).unwrap();
+
+    // Find a user who authored at least one message.
+    let authored = db
+        .execute("SELECT author_user_id FROM messages ORDER BY id LIMIT 1")
+        .unwrap();
+    let user = authored.rows[0][0].as_int().unwrap();
+    let messages_before = db.row_count("messages").unwrap();
+    let bodies_before = db
+        .execute(&format!(
+            "SELECT id, body FROM messages WHERE author_user_id = {user} ORDER BY id"
+        ))
+        .unwrap();
+    assert!(!bodies_before.rows.is_empty());
+
+    edna.apply("Lobsters-GDPR", Some(&Value::Int(user)))
+        .unwrap();
+
+    // All messages survive with bodies intact (recipients can still read
+    // them), but the departed author no longer appears as sender.
+    assert_eq!(db.row_count("messages").unwrap(), messages_before);
+    for row in &bodies_before.rows {
+        let id = row[0].as_int().unwrap();
+        let r = db
+            .execute(&format!(
+                "SELECT body, author_user_id, deleted_by_author FROM messages WHERE id = {id}"
+            ))
+            .unwrap();
+        assert_eq!(r.rows[0][0], row[1], "body unchanged for the recipient");
+        assert_ne!(r.rows[0][1], Value::Int(user), "author decorrelated");
+        assert_eq!(
+            r.rows[0][2],
+            Value::Bool(true),
+            "author's side marked deleted"
+        );
+    }
+    assert!(inst.user_ids.contains(&user));
+}
+
+#[test]
+fn third_party_vault_requires_user_approval_for_reveal() {
+    // §4.2: "access might require explicit approval by the user". With the
+    // per-user tier on an approval-gated third-party store, applying a
+    // reversible disguise fails until the user approves vault writes, and
+    // reveal fails when approval is revoked.
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+
+    let store = ThirdPartyStore::new(MemoryStore::new(), Duration::ZERO);
+    store.require_approval();
+    store.set_approved(true);
+    let vaults = TieredVault::new(Vault::plain(MemoryStore::new()), Vault::plain(store));
+    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&mut edna).unwrap();
+
+    let user = inst.pc_contact_ids[0];
+    let report = edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap();
+
+    // The user revokes access: the disguise is effectively frozen.
+    // (Reach the store back through a fresh handle: recreate gating by
+    // revoking on a second disguiser is not possible, so test revocation
+    // by applying first and revoking before reveal via a shared store.)
+    // Here we rebuild the scenario with a handle we keep.
+    let db2 = hotcrp::create_db().unwrap();
+    let inst2 = hotcrp::generate::generate(&db2, &HotCrpConfig::small()).unwrap();
+    let store2 = std::sync::Arc::new(ThirdPartyStore::new(MemoryStore::new(), Duration::ZERO));
+    store2.require_approval();
+    store2.set_approved(true);
+
+    // Arc wrapper store that delegates (VaultStore for Arc<T> is not
+    // provided; use a thin newtype).
+    struct Shared(std::sync::Arc<ThirdPartyStore<MemoryStore>>);
+    impl edna_vault::VaultStore for Shared {
+        fn put(&self, user: &str, entry: edna_vault::StoredEntry) -> edna_vault::Result<()> {
+            self.0.put(user, entry)
+        }
+        fn list(&self, user: &str) -> edna_vault::Result<Vec<edna_vault::StoredEntry>> {
+            self.0.list(user)
+        }
+        fn users(&self) -> edna_vault::Result<Vec<String>> {
+            self.0.users()
+        }
+        fn remove(&self, user: &str, disguise_id: u64) -> edna_vault::Result<usize> {
+            self.0.remove(user, disguise_id)
+        }
+        fn purge_expired(&self, now: i64) -> edna_vault::Result<usize> {
+            self.0.purge_expired(now)
+        }
+        fn entry_count(&self) -> edna_vault::Result<usize> {
+            self.0.entry_count()
+        }
+    }
+    let vaults2 = TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::plain(Shared(store2.clone())),
+    );
+    let mut edna2 = Disguiser::with_vaults(db2, vaults2);
+    hotcrp::register_disguises(&mut edna2).unwrap();
+    let user2 = inst2.pc_contact_ids[0];
+    let report2 = edna2
+        .apply("HotCRP-GDPR+", Some(&Value::Int(user2)))
+        .unwrap();
+
+    store2.set_approved(false);
+    assert!(
+        edna2.reveal(report2.disguise_id).is_err(),
+        "reveal must fail without user approval"
+    );
+    store2.set_approved(true);
+    edna2.reveal(report2.disguise_id).unwrap();
+
+    // First scenario's reveal still works (approval was never revoked).
+    edna.reveal(report.disguise_id).unwrap();
+}
+
+#[test]
+fn orphaned_submissions_policy_via_subquery_predicate() {
+    // §3: "a different policy might go even further and automatically
+    // delete a submission whose last author is scrubbed." Expressible as
+    // a disguise whose predicate uses an IN (SELECT ...) subquery: papers
+    // with no remaining author conflicts are removed.
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+    edna.register_dsl(
+        r#"
+disguise_name: "DropOrphanedPapers"
+reversible: true
+vault_tier: global
+tables: {
+  PaperTopic: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperTag: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  DocumentLink: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperStorage: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperOption: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperWatch: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  ReviewPreference: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  ReviewRequest: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperReviewRefused: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  PaperComment: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  Review: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  ActionLog: {
+    transformations: [
+      Remove(pred: "paperId IS NOT NULL AND paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  Paper: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+}
+assertions: [
+  ("no orphaned papers remain", Paper, "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+]
+"#,
+    )
+    .unwrap();
+
+    // Scrub the sole author of a single-author paper (HotCRP-GDPR+
+    // removes their PaperConflict rows), orphaning that paper for sure.
+    let single = db
+        .execute(
+            "SELECT paperId, MIN(contactId) AS author, COUNT(*) AS n FROM PaperConflict \
+             WHERE conflictType = 2 GROUP BY paperId HAVING n = 1 \
+             ORDER BY paperId LIMIT 1",
+        )
+        .unwrap();
+    assert!(
+        !single.rows.is_empty(),
+        "generator should produce a single-author paper"
+    );
+    let author = single.rows[0][1].as_int().unwrap();
+    assert!(inst.author_contact_ids.contains(&author) || inst.pc_contact_ids.contains(&author));
+    edna.apply("HotCRP-GDPR+", Some(&Value::Int(author)))
+        .unwrap();
+    let orphaned_before = db
+        .execute(
+            "SELECT COUNT(*) FROM Paper WHERE paperId NOT IN \
+             (SELECT paperId FROM PaperConflict WHERE conflictType = 2)",
+        )
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap();
+
+    let report = edna.apply("DropOrphanedPapers", None).unwrap();
+    assert!(report.rows_removed as i64 >= orphaned_before);
+    // The assertion in the spec already proved the end state; double-check.
+    assert_eq!(
+        db.execute(
+            "SELECT COUNT(*) FROM Paper WHERE paperId NOT IN \
+             (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"
+        )
+        .unwrap()
+        .scalar()
+        .unwrap(),
+        &Value::Int(0)
+    );
+    // And it reverses: the orphaned papers (and their dependents) return.
+    let papers_now = db.row_count("Paper").unwrap();
+    edna.reveal(report.disguise_id).unwrap();
+    assert_eq!(
+        db.row_count("Paper").unwrap() as i64,
+        papers_now as i64 + orphaned_before
+    );
+}

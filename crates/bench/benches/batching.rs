@@ -1,0 +1,43 @@
+//! Ablation ABL-BATCH: the performance levers paper §6 names — "batching,
+//! parallelization, and asynchronous application could improve
+//! performance". Compares disguising several users sequentially (one big
+//! transaction each) against parallel auto-commit application, under a
+//! MySQL-like injected latency where overlap pays off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use edna_apps::hotcrp::generate::HotCrpConfig;
+use edna_bench::{apply_many, hotcrp_env};
+use edna_relational::LatencyModel;
+
+const USERS: usize = 4;
+
+fn latency() -> LatencyModel {
+    LatencyModel {
+        per_statement: Duration::from_micros(200),
+        per_row_written: Duration::ZERO,
+    }
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    for (label, parallel) in [("sequential_txn", false), ("parallel_autocommit", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || hotcrp_env(&HotCrpConfig::scaled(0.05), Some(latency())),
+                |env| {
+                    let users: Vec<i64> = env.instance.pc_contact_ids[..USERS].to_vec();
+                    apply_many(&env, &users, parallel)
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

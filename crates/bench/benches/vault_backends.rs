@@ -1,0 +1,85 @@
+//! Ablation ABL-VAULT: the cost of `HotCRP-GDPR+` under the vault
+//! deployment models of paper §4.2 — application-adjacent plaintext,
+//! encrypted per-user, offline (file-backed), and remote third-party.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use edna_apps::hotcrp::{self, generate::HotCrpConfig};
+use edna_core::Disguiser;
+use edna_relational::Value;
+use edna_vault::{FileStore, MemoryStore, ThirdPartyStore, TieredVault, Vault};
+
+fn build_env(vaults: TieredVault) -> (Disguiser, i64) {
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::scaled(0.1)).unwrap();
+    let mut edna = Disguiser::with_vaults(db, vaults);
+    hotcrp::register_disguises(&mut edna).unwrap();
+    (edna, inst.pc_contact_ids[0])
+}
+
+fn plain_memory() -> TieredVault {
+    TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::plain(MemoryStore::new()),
+    )
+}
+
+fn encrypted_memory() -> TieredVault {
+    TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::encrypted(MemoryStore::new(), 1),
+    )
+}
+
+fn file_backed() -> TieredVault {
+    let dir = std::env::temp_dir().join(format!(
+        "edna_bench_vault_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0)
+    ));
+    TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::plain(FileStore::open(dir).unwrap()),
+    )
+}
+
+fn third_party() -> TieredVault {
+    TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::encrypted(
+            ThirdPartyStore::new(MemoryStore::new(), Duration::from_millis(5)),
+            2,
+        ),
+    )
+}
+
+type VaultFactory = fn() -> TieredVault;
+
+fn bench_vaults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vault_backends");
+    group.sample_size(10);
+    let cases: Vec<(&str, VaultFactory)> = vec![
+        ("plain_memory", plain_memory),
+        ("encrypted_memory", encrypted_memory),
+        ("file_backed", file_backed),
+        ("third_party_5ms", third_party),
+    ];
+    for (label, make) in cases {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || build_env(make()),
+                |(edna, user)| edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap(),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vaults);
+criterion_main!(benches);

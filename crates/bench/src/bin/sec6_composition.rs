@@ -1,0 +1,68 @@
+//! Regenerates the paper's **§6 performance experiment**: the cost of
+//! disguise composition on a HotCRP database with 430 users (30 PC),
+//! 450 papers, and 1400 reviews.
+//!
+//! Usage: `sec6_composition [--no-latency] [--scale F]`
+//!
+//! By default a 1 ms/statement synthetic latency approximates the
+//! prototype's MySQL backend (no server is available here), putting the
+//! absolute numbers in the paper's regime; `--no-latency` reports raw
+//! in-process times (ratios still hold).
+
+use edna_apps::hotcrp::generate::HotCrpConfig;
+use edna_bench::{format_table, paper_latency, sec6_composition};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let latency = if args.iter().any(|a| a == "--no-latency") {
+        None
+    } else {
+        Some(paper_latency())
+    };
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let config = if (scale - 1.0).abs() < 1e-9 {
+        HotCrpConfig::paper()
+    } else {
+        HotCrpConfig::scaled(scale)
+    };
+
+    println!(
+        "Section 6 composition experiment (HotCRP: {} users, {} PC, {} papers, {} reviews; \
+         latency model: {})",
+        config.users,
+        config.pc_members,
+        config.papers,
+        config.reviews,
+        if latency.is_some() {
+            "1 ms/statement (MySQL-like)"
+        } else {
+            "none (in-process)"
+        }
+    );
+    println!();
+    let rows = sec6_composition(&config, latency);
+    print!("{}", format_table(&rows));
+    println!();
+    let independent = rows[0].measured_ms;
+    let naive = rows[1].measured_ms;
+    let confanon = rows[2].measured_ms;
+    let optimized = rows[3].measured_ms;
+    println!("Shape checks (paper: 452/135 = 3.3x, 7000/135 = 52x, 118 ~= 135):");
+    println!(
+        "  naive composed / independent     = {:.2}x",
+        naive / independent
+    );
+    println!(
+        "  ConfAnon / independent           = {:.2}x",
+        confanon / independent
+    );
+    println!(
+        "  optimized composed / independent = {:.2}x",
+        optimized / independent
+    );
+}

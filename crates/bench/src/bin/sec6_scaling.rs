@@ -1,0 +1,42 @@
+//! Regenerates the paper's **§6 scaling observation**: "the number of
+//! queries performed by Edna to fetch and update the relevant
+//! to-be-disguised objects grows linearly with the number of objects."
+//!
+//! Usage: `sec6_scaling [--latency] [factors...]` (defaults 0.25 0.5 1 2 4)
+
+use edna_bench::{paper_latency, sec6_scaling};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let latency = if args.iter().any(|a| a == "--latency") {
+        Some(paper_latency())
+    } else {
+        None
+    };
+    let mut factors: Vec<f64> = args.iter().filter_map(|a| a.parse::<f64>().ok()).collect();
+    if factors.is_empty() {
+        factors = vec![0.25, 0.5, 1.0, 2.0, 4.0];
+    }
+
+    println!("Section 6 scaling: HotCRP-GDPR+ for one PC member vs. database scale");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>14}",
+        "scale", "objects", "statements", "stmts/object", "measured(ms)"
+    );
+    let points = sec6_scaling(&factors, latency);
+    for p in &points {
+        println!(
+            "{:>8.2} {:>10} {:>12} {:>14.2} {:>14.2}",
+            p.factor,
+            p.objects,
+            p.statements,
+            p.statements as f64 / p.objects.max(1) as f64,
+            p.measured_ms
+        );
+    }
+    println!();
+    println!(
+        "Claim check: statements/object stays near-constant, i.e. query count is \
+         linear in the number of disguised objects."
+    );
+}

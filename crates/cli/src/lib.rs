@@ -1,0 +1,333 @@
+//! `edna-cli`: the command-line disguising tool.
+//!
+//! State layout for a workspace at path `STATE`:
+//!
+//! - `STATE` — database snapshot (see `edna_relational::snapshot`);
+//! - `STATE.vault/global/`, `STATE.vault/user/` — file-backed vault tiers;
+//! - registered disguise DSL texts live *in* the database, in the reserved
+//!   `_edna_spec_registry` table, so every command sees the same specs.
+//!
+//! The per-user vault tier is encrypted when a passphrase is given
+//! (per-user keys derived from it), matching the paper's §4.2 external
+//! encrypted per-user vaults; without one it is plaintext, like the
+//! prototype (§5).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use edna_core::{Disguiser, HISTORY_TABLE};
+use edna_relational::{Database, QueryResult, Value};
+use edna_vault::{FileStore, TieredVault, Vault};
+
+/// Reserved table persisting registered disguise DSL texts.
+pub const SPEC_REGISTRY_TABLE: &str = "_edna_spec_registry";
+
+/// A CLI error: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<edna_relational::Error> for CliError {
+    fn from(e: edna_relational::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<edna_core::Error> for CliError {
+    fn from(e: edna_core::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<edna_vault::Error> for CliError {
+    fn from(e: edna_vault::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Result alias for CLI operations.
+pub type CliResult<T> = Result<T, CliError>;
+
+/// An open CLI workspace: database + disguiser wired to on-disk vaults.
+pub struct Workspace {
+    /// Path of the snapshot file.
+    pub path: PathBuf,
+    /// The database (loaded from the snapshot).
+    pub db: Database,
+    /// The disguising tool (vaults under `<path>.vault/`).
+    pub edna: Disguiser,
+}
+
+fn vault_dir(state: &Path, tier: &str) -> PathBuf {
+    let mut os = state.as_os_str().to_os_string();
+    os.push(".vault");
+    PathBuf::from(os).join(tier)
+}
+
+impl Workspace {
+    /// Creates a fresh workspace at `path` (fails if it exists).
+    pub fn init(path: impl AsRef<Path>, passphrase: Option<&str>) -> CliResult<Workspace> {
+        let path = path.as_ref();
+        if path.exists() {
+            return Err(CliError(format!("{} already exists", path.display())));
+        }
+        let db = Database::new();
+        ensure_registry(&db)?;
+        db.save(path)?;
+        Self::open(path, passphrase)
+    }
+
+    /// Opens an existing workspace.
+    pub fn open(path: impl AsRef<Path>, passphrase: Option<&str>) -> CliResult<Workspace> {
+        let path = path.as_ref().to_path_buf();
+        let db = Database::load(&path)?;
+        ensure_registry(&db)?;
+        let global = Vault::plain(FileStore::open(vault_dir(&path, "global"))?);
+        let user_store = FileStore::open(vault_dir(&path, "user"))?;
+        let per_user = match passphrase {
+            Some(p) => Vault::encrypted_derived(user_store, p, 0xC11),
+            None => Vault::plain(user_store),
+        };
+        let mut edna = Disguiser::with_vaults(db.clone(), TieredVault::new(global, per_user));
+        // Re-register persisted specs.
+        let specs = db.execute(&format!(
+            "SELECT dsl FROM {SPEC_REGISTRY_TABLE} ORDER BY id"
+        ))?;
+        for row in specs.rows {
+            let dsl = row[0].as_text()?;
+            edna.register_dsl(dsl)?;
+        }
+        Ok(Workspace { path, db, edna })
+    }
+
+    /// Persists the database snapshot.
+    pub fn save(&self) -> CliResult<()> {
+        self.db.save(&self.path)?;
+        Ok(())
+    }
+
+    /// Registers a disguise from DSL text and persists it in the registry.
+    pub fn register_spec(&mut self, dsl: &str) -> CliResult<String> {
+        let name = self.edna.register_dsl(dsl)?;
+        let quoted = name.replace('\'', "''");
+        self.db.execute(&format!(
+            "DELETE FROM {SPEC_REGISTRY_TABLE} WHERE name = '{quoted}'"
+        ))?;
+        self.db.insert_row(
+            SPEC_REGISTRY_TABLE,
+            &[
+                ("name", Value::Text(name.clone())),
+                ("dsl", Value::Text(dsl.to_string())),
+            ],
+        )?;
+        self.save()?;
+        Ok(name)
+    }
+
+    /// Names of registered disguises, sorted.
+    pub fn spec_names(&self) -> CliResult<Vec<String>> {
+        let r = self.db.execute(&format!(
+            "SELECT name FROM {SPEC_REGISTRY_TABLE} ORDER BY name"
+        ))?;
+        r.rows
+            .into_iter()
+            .map(|row| Ok(row[0].as_text().map_err(CliError::from)?.to_string()))
+            .collect()
+    }
+}
+
+fn ensure_registry(db: &Database) -> CliResult<()> {
+    if !db.has_table(SPEC_REGISTRY_TABLE) {
+        db.execute(&format!(
+            "CREATE TABLE {SPEC_REGISTRY_TABLE} (id INT PRIMARY KEY AUTO_INCREMENT, \
+             name TEXT NOT NULL UNIQUE, dsl TEXT NOT NULL)"
+        ))?;
+    }
+    Ok(())
+}
+
+/// Parses a user id argument: integer if it parses, text otherwise.
+pub fn parse_user(arg: &str) -> Value {
+    match arg.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Text(arg.to_string()),
+    }
+}
+
+/// Renders a query result as an aligned text table.
+pub fn format_result(r: &QueryResult) -> String {
+    let mut out = String::new();
+    if r.columns.is_empty() {
+        let _ = writeln!(out, "ok ({} row(s) affected)", r.affected);
+        if let Some(id) = r.last_insert_id {
+            let _ = writeln!(out, "last insert id: {id}");
+        }
+        return out;
+    }
+    let mut widths: Vec<usize> = r.columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    for (i, c) in r.columns.iter().enumerate() {
+        let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in r.columns.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "({} row(s))", r.rows.len());
+    out
+}
+
+/// Renders the disguise history as a table.
+pub fn format_history(edna: &Disguiser) -> CliResult<String> {
+    let r = edna.database().execute(&format!(
+        "SELECT id, name, userId, appliedAt, reversible, reverted FROM {HISTORY_TABLE} \
+         ORDER BY id"
+    ))?;
+    Ok(format_result(&r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_state(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("edna_cli_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let mut v = p.as_os_str().to_os_string();
+        v.push(".vault");
+        let _ = std::fs::remove_dir_all(PathBuf::from(v));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let mut v = p.as_os_str().to_os_string();
+        v.push(".vault");
+        let _ = std::fs::remove_dir_all(PathBuf::from(v));
+    }
+
+    const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+    #[test]
+    fn full_cli_lifecycle_across_reopens() {
+        let state = temp_state("lifecycle");
+        // init + schema + data.
+        {
+            let ws = Workspace::init(&state, Some("pw")).unwrap();
+            ws.db
+                .execute("CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)")
+                .unwrap();
+            ws.db
+                .execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+                .unwrap();
+            ws.save().unwrap();
+        }
+        // register the disguise in a second "process".
+        {
+            let mut ws = Workspace::open(&state, Some("pw")).unwrap();
+            let name = ws.register_spec(SPEC).unwrap();
+            assert_eq!(name, "Gdpr");
+            assert_eq!(ws.spec_names().unwrap(), vec!["Gdpr".to_string()]);
+        }
+        // apply in a third.
+        let disguise_id = {
+            let ws = Workspace::open(&state, Some("pw")).unwrap();
+            let report = ws.edna.apply("Gdpr", Some(&Value::Int(1))).unwrap();
+            ws.save().unwrap();
+            report.disguise_id
+        };
+        // reveal in a fourth — the vault survived on disk, encrypted.
+        {
+            let ws = Workspace::open(&state, Some("pw")).unwrap();
+            assert_eq!(ws.db.row_count("users").unwrap(), 1);
+            ws.edna.reveal(disguise_id).unwrap();
+            ws.save().unwrap();
+        }
+        let ws = Workspace::open(&state, Some("pw")).unwrap();
+        assert_eq!(ws.db.row_count("users").unwrap(), 2);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn wrong_passphrase_cannot_reveal() {
+        let state = temp_state("wrongpw");
+        let disguise_id = {
+            let mut ws = Workspace::init(&state, Some("pw")).unwrap();
+            ws.db
+                .execute("CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)")
+                .unwrap();
+            ws.db
+                .execute("INSERT INTO users (name) VALUES ('bea')")
+                .unwrap();
+            ws.register_spec(SPEC).unwrap();
+            let r = ws.edna.apply("Gdpr", Some(&Value::Int(1))).unwrap();
+            ws.save().unwrap();
+            r.disguise_id
+        };
+        let ws = Workspace::open(&state, Some("not-the-passphrase")).unwrap();
+        assert!(ws.edna.reveal(disguise_id).is_err());
+        cleanup(&state);
+    }
+
+    #[test]
+    fn init_refuses_to_clobber() {
+        let state = temp_state("clobber");
+        Workspace::init(&state, None).unwrap();
+        assert!(Workspace::init(&state, None).is_err());
+        cleanup(&state);
+    }
+
+    #[test]
+    fn parse_user_handles_ints_and_text() {
+        assert_eq!(parse_user("42"), Value::Int(42));
+        assert_eq!(parse_user("-3"), Value::Int(-3));
+        assert_eq!(parse_user("bea"), Value::Text("bea".into()));
+    }
+
+    #[test]
+    fn format_result_aligns() {
+        let r = QueryResult {
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Text("bea".into())],
+                vec![Value::Int(2000), Value::Text("m".into())],
+            ],
+            affected: 0,
+            last_insert_id: None,
+        };
+        let s = format_result(&r);
+        assert!(s.contains("id    name"));
+        assert!(s.contains("(2 row(s))"));
+    }
+}

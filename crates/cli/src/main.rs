@@ -1,0 +1,220 @@
+//! The `edna` command-line tool.
+//!
+//! ```text
+//! edna init <state> [--schema <file.sql>] [--passphrase <p>]
+//! edna sql <state> "<statement>" [--passphrase <p>]
+//! edna explain <state> "<statement>"
+//! edna load-sql <state> <file.sql> [--passphrase <p>]
+//! edna register <state> <spec.edna> [--passphrase <p>]
+//! edna specs <state>
+//! edna apply <state> <disguise> [--user <id>] [--no-compose] [--no-optimize]
+//! edna reveal <state> (--id <n> | --latest <disguise> [--user <id>])
+//! edna history <state>
+//! edna disguised <state>
+//! edna demo <state> (hotcrp | lobsters) [--scale <f>]
+//! ```
+
+use std::process::ExitCode;
+
+use edna_cli::{format_history, format_result, parse_user, CliError, CliResult, Workspace};
+use edna_core::ApplyOptions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn usage() -> CliError {
+    CliError(
+        "usage: edna <init|sql|explain|load-sql|register|specs|apply|reveal|history|disguised|demo> \
+         <state> [args...] (see crate docs)"
+            .to_string(),
+    )
+}
+
+fn run(args: &[String]) -> CliResult<()> {
+    let command = args.first().ok_or_else(usage)?.as_str();
+    let state = args.get(1).ok_or_else(usage)?.clone();
+    let passphrase = flag_value(args, "--passphrase");
+
+    match command {
+        "init" => {
+            let ws = Workspace::init(&state, passphrase)?;
+            if let Some(schema) = flag_value(args, "--schema") {
+                let sql = std::fs::read_to_string(schema)
+                    .map_err(|e| CliError(format!("cannot read {schema}: {e}")))?;
+                ws.db.execute_script(&sql)?;
+                ws.save()?;
+            }
+            println!("initialized {state}");
+        }
+        "sql" => {
+            let stmt = args.get(2).ok_or_else(usage)?;
+            let ws = Workspace::open(&state, passphrase)?;
+            let r = ws.db.execute(stmt)?;
+            print!("{}", format_result(&r));
+            ws.save()?;
+        }
+        "explain" => {
+            let stmt = args.get(2).ok_or_else(usage)?;
+            let ws = Workspace::open(&state, passphrase)?;
+            print!("{}", ws.db.explain(stmt)?);
+        }
+        "load-sql" => {
+            let file = args.get(2).ok_or_else(usage)?;
+            let sql = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let ws = Workspace::open(&state, passphrase)?;
+            let results = ws.db.execute_script(&sql)?;
+            println!("executed {} statement(s)", results.len());
+            ws.save()?;
+        }
+        "register" => {
+            let file = args.get(2).ok_or_else(usage)?;
+            let dsl = std::fs::read_to_string(file)
+                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+            let mut ws = Workspace::open(&state, passphrase)?;
+            let name = ws.register_spec(&dsl)?;
+            println!("registered disguise {name}");
+        }
+        "specs" => {
+            let ws = Workspace::open(&state, passphrase)?;
+            for name in ws.spec_names()? {
+                let spec = ws.edna.spec(&name)?;
+                println!(
+                    "{name}  (user_scoped: {}, reversible: {}, {} table section(s))",
+                    spec.user_scoped,
+                    spec.reversible,
+                    spec.tables.len()
+                );
+            }
+        }
+        "apply" => {
+            let disguise = args.get(2).ok_or_else(usage)?;
+            let user = flag_value(args, "--user").map(parse_user);
+            let ws = Workspace::open(&state, passphrase)?;
+            let opts = ApplyOptions {
+                compose: !has_flag(args, "--no-compose"),
+                optimize: !has_flag(args, "--no-optimize"),
+                use_transaction: true,
+            };
+            let report = ws.edna.apply_with_options(disguise, user.as_ref(), opts)?;
+            println!(
+                "applied {} (id {}): removed {}, decorrelated {}, modified {}, \
+                 placeholders {}, recorrelated {}, statements {}",
+                report.name,
+                report.disguise_id,
+                report.rows_removed,
+                report.rows_decorrelated,
+                report.rows_modified,
+                report.placeholders_created,
+                report.rows_recorrelated,
+                report.stats.statements
+            );
+            ws.save()?;
+        }
+        "reveal" => {
+            let ws = Workspace::open(&state, passphrase)?;
+            let report = if let Some(id) = flag_value(args, "--id") {
+                let id: u64 = id.parse().map_err(|_| CliError(format!("bad id {id}")))?;
+                ws.edna.reveal(id)?
+            } else if let Some(name) = flag_value(args, "--latest") {
+                let user = flag_value(args, "--user").map(parse_user);
+                ws.edna.reveal_latest(name, user.as_ref())?
+            } else {
+                return Err(CliError(
+                    "reveal needs --id <n> or --latest <disguise> [--user <id>]".to_string(),
+                ));
+            };
+            println!(
+                "revealed {} (id {}): reinserted {}, restored {}, placeholders removed {}, \
+                 re-applied {:?}",
+                report.name,
+                report.disguise_id,
+                report.rows_reinserted,
+                report.rows_restored,
+                report.placeholders_removed,
+                report.reapplied
+            );
+            ws.save()?;
+        }
+        "history" => {
+            let ws = Workspace::open(&state, passphrase)?;
+            print!("{}", format_history(&ws.edna)?);
+        }
+        "disguised" => {
+            let ws = Workspace::open(&state, passphrase)?;
+            let rows = ws.edna.disguised_rows()?;
+            let mut tables: Vec<_> = rows.iter().collect();
+            tables.sort_by_key(|(t, _)| t.as_str());
+            for (table, pks) in tables {
+                let mut pks: Vec<_> = pks.iter().cloned().collect();
+                pks.sort();
+                println!("{table}: {}", pks.join(", "));
+            }
+        }
+        "demo" => {
+            let which = args.get(2).ok_or_else(usage)?.as_str();
+            let scale: f64 = flag_value(args, "--scale")
+                .map(|s| s.parse().map_err(|_| CliError(format!("bad scale {s}"))))
+                .transpose()?
+                .unwrap_or(0.1);
+            let mut ws = Workspace::init(&state, passphrase)?;
+            match which {
+                "hotcrp" => {
+                    ws.db.execute_script(edna_apps::hotcrp::SCHEMA_SQL)?;
+                    let config = edna_apps::hotcrp::generate::HotCrpConfig::scaled(scale);
+                    edna_apps::hotcrp::generate::generate(&ws.db, &config)?;
+                    for dsl in [
+                        edna_apps::hotcrp::GDPR_DSL,
+                        edna_apps::hotcrp::GDPR_PLUS_DSL,
+                        edna_apps::hotcrp::CONFANON_DSL,
+                    ] {
+                        ws.register_spec(dsl)?;
+                    }
+                    println!(
+                        "created HotCRP demo at {state} ({} users, {} papers, {} reviews)",
+                        config.users, config.papers, config.reviews
+                    );
+                }
+                "lobsters" => {
+                    ws.db.execute_script(edna_apps::lobsters::SCHEMA_SQL)?;
+                    let config = edna_apps::lobsters::generate::LobstersConfig::medium();
+                    edna_apps::lobsters::generate::generate(&ws.db, &config)?;
+                    ws.register_spec(edna_apps::lobsters::GDPR_DSL)?;
+                    println!(
+                        "created Lobsters demo at {state} ({} users, {} stories)",
+                        config.users, config.stories
+                    );
+                }
+                other => {
+                    return Err(CliError(format!(
+                        "unknown demo {other} (expected hotcrp or lobsters)"
+                    )))
+                }
+            }
+            ws.save()?;
+            println!("try: edna specs {state}");
+        }
+        // A user id as first flag is easy to mistype; give a hint.
+        other => return Err(CliError(format!("unknown command {other}; {}", usage()))),
+    }
+    Ok(())
+}

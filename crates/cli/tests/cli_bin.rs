@@ -1,0 +1,126 @@
+//! Process-level tests: drive the compiled `edna` binary end to end, the
+//! way a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn edna(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_edna"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+fn temp_state(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("edna_bin_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let mut v = p.as_os_str().to_os_string();
+    v.push(".vault");
+    let _ = std::fs::remove_dir_all(PathBuf::from(v));
+    p
+}
+
+fn cleanup(p: &PathBuf) {
+    let _ = std::fs::remove_file(p);
+    let mut v = p.as_os_str().to_os_string();
+    v.push(".vault");
+    let _ = std::fs::remove_dir_all(PathBuf::from(v));
+}
+
+#[test]
+fn demo_apply_reveal_lifecycle_through_the_binary() {
+    let state = temp_state("lifecycle");
+    let s = state.to_str().unwrap();
+
+    let (ok, stdout, stderr) =
+        edna(&["demo", s, "hotcrp", "--scale", "0.05", "--passphrase", "pw"]);
+    assert!(ok, "demo failed: {stderr}");
+    assert!(stdout.contains("created HotCRP demo"), "{stdout}");
+
+    let (ok, stdout, _) = edna(&["specs", s, "--passphrase", "pw"]);
+    assert!(ok);
+    assert!(stdout.contains("HotCRP-GDPR+"), "{stdout}");
+
+    let (ok, stdout, stderr) = edna(&[
+        "apply",
+        s,
+        "HotCRP-GDPR+",
+        "--user",
+        "1",
+        "--passphrase",
+        "pw",
+    ]);
+    assert!(ok, "apply failed: {stderr}");
+    assert!(stdout.contains("applied HotCRP-GDPR+"), "{stdout}");
+
+    let (ok, stdout, _) = edna(&[
+        "sql",
+        s,
+        "SELECT COUNT(*) FROM Review WHERE contactId = 1",
+        "--passphrase",
+        "pw",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains('0'),
+        "no reviews attributed after scrub: {stdout}"
+    );
+
+    let (ok, stdout, _) = edna(&["history", s, "--passphrase", "pw"]);
+    assert!(ok);
+    assert!(stdout.contains("HotCRP-GDPR+"), "{stdout}");
+
+    let (ok, stdout, _) = edna(&["disguised", s, "--passphrase", "pw"]);
+    assert!(ok);
+    assert!(stdout.contains("review"), "disguised rows listed: {stdout}");
+
+    let (ok, stdout, stderr) = edna(&[
+        "reveal",
+        s,
+        "--latest",
+        "HotCRP-GDPR+",
+        "--user",
+        "1",
+        "--passphrase",
+        "pw",
+    ]);
+    assert!(ok, "reveal failed: {stderr}");
+    assert!(stdout.contains("revealed HotCRP-GDPR+"), "{stdout}");
+
+    let (ok, stdout, _) = edna(&["explain", s, "SELECT * FROM Review WHERE contactId = 1"]);
+    assert!(ok);
+    assert!(stdout.contains("index probe"), "{stdout}");
+
+    cleanup(&state);
+}
+
+#[test]
+fn binary_reports_errors_cleanly() {
+    let state = temp_state("errors");
+    let s = state.to_str().unwrap();
+
+    let (ok, _, stderr) = edna(&["bogus-command", s]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = edna(&["sql", s, "SELECT 1 FROM nope"]);
+    assert!(!ok, "opening a missing workspace fails");
+    assert!(stderr.contains("error"), "{stderr}");
+
+    let (ok, _, _) = edna(&["init", s]);
+    assert!(ok);
+    let (ok, _, stderr) = edna(&["init", s]);
+    assert!(!ok, "re-init refuses to clobber");
+    assert!(stderr.contains("already exists"), "{stderr}");
+
+    let (ok, _, stderr) = edna(&["apply", s, "NoSuchDisguise"]);
+    assert!(!ok);
+    assert!(stderr.contains("no such disguise"), "{stderr}");
+
+    cleanup(&state);
+}

@@ -1,0 +1,203 @@
+//! Static analysis of disguise interactions.
+//!
+//! Paper §6 describes "a (manual) optimization that avoids unnecessarily
+//! redoing decorrelation actions that have already been taken by
+//! HotCRP-ConfAnon" and adds: "We imagine that we will be able to use
+//! static analysis of the disguise and schema to automate this optimization
+//! in the future." This module is that automation: given the current
+//! disguise and the prior active disguises, it computes which of the
+//! current disguise's decorrelations are *redundant* — already performed,
+//! on a superset of rows, by a prior disguise — so application can skip the
+//! recorrelate-then-redo round trip for them.
+
+use std::collections::HashSet;
+
+use crate::spec::{DisguiseSpec, Transformation};
+
+/// The result of analyzing a disguise against its active predecessors.
+#[derive(Debug, Default, Clone)]
+pub struct CompositionPlan {
+    /// `(lowercase table, lowercase fk column)` pairs whose decorrelation
+    /// in the current spec is already covered by a prior disguise.
+    pub redundant_decorrelations: HashSet<(String, String)>,
+    /// `(lowercase table, lowercase column)` pairs whose deterministic
+    /// modification is already covered by a prior disguise with the same
+    /// effect.
+    pub redundant_modifies: HashSet<(String, String)>,
+}
+
+impl CompositionPlan {
+    /// Whether decorrelating `table.fk_column` again would be redundant.
+    pub fn is_redundant(&self, table: &str, fk_column: &str) -> bool {
+        self.redundant_decorrelations
+            .contains(&(table.to_lowercase(), fk_column.to_lowercase()))
+    }
+
+    /// Whether re-modifying `table.column` would be redundant.
+    pub fn is_redundant_modify(&self, table: &str, column: &str) -> bool {
+        self.redundant_modifies
+            .contains(&(table.to_lowercase(), column.to_lowercase()))
+    }
+}
+
+/// Computes the composition plan for `current` given the specs of prior
+/// active (reversible, non-reverted) disguises.
+///
+/// A decorrelation `current: Decorrelate(T.c -> P)` is redundant when some
+/// prior spec decorrelates the same `T.c` over a *superset* of rows. We
+/// establish the superset conservatively: the prior transform must be
+/// unpredicated, or predicated without `$UID` while the current one is
+/// `$UID`-scoped (a global sweep covers any single user's rows when the
+/// predicates otherwise agree on the same column set).
+pub fn plan_composition(current: &DisguiseSpec, priors: &[&DisguiseSpec]) -> CompositionPlan {
+    let mut plan = CompositionPlan::default();
+    for section in &current.tables {
+        for pt in &section.transformations {
+            match &pt.transform {
+                Transformation::Decorrelate { fk_column, .. } => {
+                    for prior in priors {
+                        if covers(prior, &section.table, fk_column) {
+                            plan.redundant_decorrelations
+                                .insert((section.table.to_lowercase(), fk_column.to_lowercase()));
+                        }
+                    }
+                }
+                Transformation::Modify { column, modifier } => {
+                    for prior in priors {
+                        if covers_modify(prior, &section.table, column, modifier) {
+                            plan.redundant_modifies
+                                .insert((section.table.to_lowercase(), column.to_lowercase()));
+                        }
+                    }
+                }
+                Transformation::Remove => {}
+            }
+        }
+    }
+    plan
+}
+
+/// Whether `prior` already applies a modifier with the same deterministic
+/// effect to `table.column`, over (conservatively) all rows a later
+/// user-scoped disguise could target.
+fn covers_modify(
+    prior: &DisguiseSpec,
+    table: &str,
+    column: &str,
+    modifier: &crate::spec::Modifier,
+) -> bool {
+    let Some(section) = prior.table(table) else {
+        return false;
+    };
+    section.transformations.iter().any(|pt| {
+        let Transformation::Modify {
+            column: prior_col,
+            modifier: prior_mod,
+        } = &pt.transform
+        else {
+            return false;
+        };
+        if !prior_col.eq_ignore_ascii_case(column) || !prior_mod.same_effect(modifier) {
+            return false;
+        }
+        match &pt.pred {
+            None => true,
+            Some(pred) => pred.referenced_params().is_empty(),
+        }
+    })
+}
+
+/// Whether `prior` decorrelates `table.fk_column` over (conservatively) all
+/// rows a later user-scoped disguise could target.
+fn covers(prior: &DisguiseSpec, table: &str, fk_column: &str) -> bool {
+    let Some(section) = prior.table(table) else {
+        return false;
+    };
+    section.transformations.iter().any(|pt| {
+        let Transformation::Decorrelate {
+            fk_column: prior_fk,
+            ..
+        } = &pt.transform
+        else {
+            return false;
+        };
+        if !prior_fk.eq_ignore_ascii_case(fk_column) {
+            return false;
+        }
+        match &pt.pred {
+            // Unpredicated: covers everything.
+            None => true,
+            // Predicated without $UID (a global sweep such as ConfAnon's
+            // "all reviews"): treat as covering. Predicates with $UID are
+            // another user's scope — not a superset.
+            Some(pred) => pred.referenced_params().is_empty(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DisguiseSpecBuilder;
+
+    fn gdpr_plus() -> DisguiseSpec {
+        DisguiseSpecBuilder::new("HotCRP-GDPR+")
+            .user_scoped()
+            .remove("ReviewPreference", Some("contactId = $UID"))
+            .decorrelate(
+                "Review",
+                Some("contactId = $UID"),
+                "contactId",
+                "ContactInfo",
+            )
+            .remove("ContactInfo", Some("contactId = $UID"))
+            .build()
+            .unwrap()
+    }
+
+    fn conf_anon() -> DisguiseSpec {
+        DisguiseSpecBuilder::new("HotCRP-ConfAnon")
+            .decorrelate("Review", None, "contactId", "ContactInfo")
+            .decorrelate("PaperComment", None, "contactId", "ContactInfo")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn confanon_makes_gdpr_decorrelation_redundant() {
+        let current = gdpr_plus();
+        let prior = conf_anon();
+        let plan = plan_composition(&current, &[&prior]);
+        assert!(plan.is_redundant("Review", "contactId"));
+        assert!(plan.is_redundant("review", "CONTACTID"), "case-insensitive");
+        // GDPR+ has no decorrelation on PaperComment, so nothing to mark.
+        assert!(!plan.is_redundant("PaperComment", "contactId"));
+    }
+
+    #[test]
+    fn user_scoped_prior_does_not_cover() {
+        let current = gdpr_plus();
+        // A previous GDPR+ for a different user shares the decorrelation
+        // but only over that user's rows: not a superset.
+        let prior = gdpr_plus();
+        let plan = plan_composition(&current, &[&prior]);
+        assert!(!plan.is_redundant("Review", "contactId"));
+    }
+
+    #[test]
+    fn different_column_does_not_cover() {
+        let current = gdpr_plus();
+        let prior = DisguiseSpecBuilder::new("other")
+            .decorrelate("Review", None, "requestedBy", "ContactInfo")
+            .build()
+            .unwrap();
+        let plan = plan_composition(&current, &[&prior]);
+        assert!(!plan.is_redundant("Review", "contactId"));
+    }
+
+    #[test]
+    fn no_priors_no_redundancy() {
+        let plan = plan_composition(&gdpr_plus(), &[]);
+        assert!(plan.redundant_decorrelations.is_empty());
+    }
+}

@@ -1,0 +1,759 @@
+//! The disguising tool: applying disguises.
+//!
+//! [`Disguiser`] is the external tool of paper Figure 1: applications
+//! invoke its API with a disguise name (and user id for user-scoped
+//! disguises); it interprets the registered specification and applies the
+//! necessary physical changes to the database in one transaction,
+//! recording reveal functions in vaults for reversible disguises and
+//! logging the application in the disguise history.
+//!
+//! Apply-time composition (paper §4.2, §6): when a prior reversible
+//! disguise has transformed rows this disguise's predicates need to see,
+//! the tool reads reveal functions from vaults, *temporarily recorrelates*
+//! the affected rows, applies the disguise, and re-disguises whatever
+//! survives untouched. With [`ApplyOptions::optimize`] set, the static
+//! analysis of [`crate::analysis`] skips recorrelation for decorrelations
+//! a prior disguise already performed.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use edna_relational::{
+    eval_predicate, Database, EvalContext, Expr, StatsSnapshot, TableSchema, Value,
+};
+use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry};
+
+use crate::analysis::{plan_composition, CompositionPlan};
+use crate::error::{Error, Result};
+use crate::history::HistoryLog;
+use crate::placeholder::create_placeholder;
+use crate::spec::{validate_spec, DisguiseSpec, PredicatedTransform, Transformation};
+
+/// Knobs controlling disguise application.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyOptions {
+    /// Consult vaults of prior disguises and recorrelate conflicting rows
+    /// (paper §4.2). Off = pretend prior disguises don't exist; assertions
+    /// will catch missed rows.
+    pub compose: bool,
+    /// Use static analysis to skip decorrelations a prior disguise already
+    /// performed (the paper's §6 optimization).
+    pub optimize: bool,
+    /// Wrap the whole application in one transaction ("Edna currently
+    /// applies these changes in one large SQL transaction", §6).
+    pub use_transaction: bool,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        ApplyOptions {
+            compose: true,
+            optimize: true,
+            use_transaction: true,
+        }
+    }
+}
+
+/// What one disguise application did.
+#[derive(Debug, Clone)]
+pub struct DisguiseReport {
+    /// History id of this application (0 if the disguise recorded nothing).
+    pub disguise_id: u64,
+    /// Disguise name.
+    pub name: String,
+    /// Disguised user (NULL for global).
+    pub user_id: Value,
+    /// Rows deleted (including cascades).
+    pub rows_removed: usize,
+    /// Rows whose foreign key was re-pointed at a placeholder.
+    pub rows_decorrelated: usize,
+    /// Rows with a modified column.
+    pub rows_modified: usize,
+    /// Placeholder rows created.
+    pub placeholders_created: usize,
+    /// Rows temporarily recorrelated from vaults (composition).
+    pub rows_recorrelated: usize,
+    /// Recorrelated rows re-disguised afterwards.
+    pub rows_redone: usize,
+    /// Vault ops skipped by the static-analysis optimization.
+    pub skipped_redundant: usize,
+    /// Wall-clock duration of the application.
+    pub duration: Duration,
+    /// Engine statement/row counters consumed by this application.
+    pub stats: StatsSnapshot,
+}
+
+impl Default for DisguiseReport {
+    fn default() -> Self {
+        DisguiseReport {
+            disguise_id: 0,
+            name: String::new(),
+            user_id: Value::Null,
+            rows_removed: 0,
+            rows_decorrelated: 0,
+            rows_modified: 0,
+            placeholders_created: 0,
+            rows_recorrelated: 0,
+            rows_redone: 0,
+            skipped_redundant: 0,
+            duration: Duration::ZERO,
+            stats: StatsSnapshot::default(),
+        }
+    }
+}
+
+/// A row temporarily recorrelated from a vault during composition.
+pub(crate) struct Recorrelated {
+    pub table: String,
+    pub pk_column: String,
+    pub pk: Value,
+    /// `(column, original value, disguised value)` triples.
+    pub cols: Vec<(String, Value, Value)>,
+}
+
+/// The data disguising tool.
+///
+/// # Examples
+///
+/// ```
+/// use edna_core::{Disguiser, spec::DisguiseSpecBuilder};
+/// use edna_relational::{Database, Value};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE users (id INT PRIMARY KEY, email TEXT)").unwrap();
+/// db.execute("INSERT INTO users VALUES (19, 'bea@uni.edu')").unwrap();
+///
+/// let mut edna = Disguiser::new(db.clone());
+/// edna.register(
+///     DisguiseSpecBuilder::new("GDPR")
+///         .user_scoped()
+///         .remove("users", Some("id = $UID"))
+///         .build()
+///         .unwrap(),
+/// ).unwrap();
+/// let report = edna.apply("GDPR", Some(&Value::Int(19))).unwrap();
+/// assert_eq!(report.rows_removed, 1);
+/// assert_eq!(db.row_count("users").unwrap(), 0);
+///
+/// // The user returns: reverse the disguise.
+/// edna.reveal(report.disguise_id).unwrap();
+/// assert_eq!(db.row_count("users").unwrap(), 1);
+/// ```
+pub struct Disguiser {
+    pub(crate) db: Database,
+    pub(crate) vaults: TieredVault,
+    pub(crate) history: HistoryLog,
+    pub(crate) specs: HashMap<String, DisguiseSpec>,
+    pub(crate) rng: Mutex<StdRng>,
+    /// Options used by [`Disguiser::apply`].
+    pub options: ApplyOptions,
+}
+
+impl Disguiser {
+    /// Creates a disguiser over `db` with default in-memory vaults
+    /// (plain global tier, encrypted per-user tier) and a fixed RNG seed.
+    pub fn new(db: Database) -> Disguiser {
+        let vaults = TieredVault::new(
+            Vault::plain(MemoryStore::new()),
+            Vault::encrypted(MemoryStore::new(), 0xED4A),
+        );
+        Self::with_vaults(db, vaults)
+    }
+
+    /// Creates a disguiser with explicit vault tiers.
+    pub fn with_vaults(db: Database, vaults: TieredVault) -> Disguiser {
+        let history = HistoryLog::open(db.clone()).expect("history table creation");
+        Disguiser {
+            db,
+            vaults,
+            history,
+            specs: HashMap::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(0xED4A)),
+            options: ApplyOptions::default(),
+        }
+    }
+
+    /// Reseeds the RNG (placeholder values become reproducible).
+    pub fn set_seed(&self, seed: u64) {
+        *self.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The vault tiers.
+    pub fn vaults(&self) -> &TieredVault {
+        &self.vaults
+    }
+
+    /// The history log.
+    pub fn history(&self) -> &HistoryLog {
+        &self.history
+    }
+
+    /// Registers (and validates) a disguise specification.
+    pub fn register(&mut self, spec: DisguiseSpec) -> Result<()> {
+        validate_spec(&spec, &self.db)?;
+        self.specs.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Parses, validates, and registers a DSL spec; returns its name.
+    pub fn register_dsl(&mut self, dsl: &str) -> Result<String> {
+        let spec = crate::spec::parse_spec(dsl)?;
+        let name = spec.name.clone();
+        self.register(spec)?;
+        Ok(name)
+    }
+
+    /// Re-validates every registered disguise against the (possibly
+    /// evolved) schema, returning the names of specs that no longer
+    /// validate and the reason (paper §7: schema updates in a system that
+    /// has already applied disguises).
+    pub fn revalidate(&self) -> Vec<(String, Error)> {
+        let mut failures = Vec::new();
+        let mut names: Vec<&String> = self.specs.keys().collect();
+        names.sort();
+        for name in names {
+            if let Err(e) = validate_spec(&self.specs[name], &self.db) {
+                failures.push((name.clone(), e));
+            }
+        }
+        failures
+    }
+
+    /// The registered spec with the given name.
+    pub fn spec(&self, name: &str) -> Result<&DisguiseSpec> {
+        self.specs
+            .get(name)
+            .ok_or_else(|| Error::NoSuchDisguise(name.to_string()))
+    }
+
+    /// Purges expired vault entries at logical time `now`, making their
+    /// disguises irreversible; returns how many entries were dropped.
+    pub fn purge_expired(&self, now: i64) -> Result<usize> {
+        Ok(self.vaults.purge_expired(now)?)
+    }
+
+    /// Applies a registered disguise with [`Disguiser::options`].
+    ///
+    /// If an end-state assertion fails with composition disabled, the
+    /// application is rolled back and retried once with composition
+    /// enabled (the paper's §7 "revert ... and try again with a different
+    /// mechanism").
+    pub fn apply(&self, name: &str, user: Option<&Value>) -> Result<DisguiseReport> {
+        let opts = self.options;
+        match self.apply_with_options(name, user, opts) {
+            Err(Error::AssertionFailed { .. }) if !opts.compose => {
+                let retry = ApplyOptions {
+                    compose: true,
+                    ..opts
+                };
+                self.apply_with_options(name, user, retry)
+            }
+            other => other,
+        }
+    }
+
+    /// Applies a registered disguise with explicit options.
+    pub fn apply_with_options(
+        &self,
+        name: &str,
+        user: Option<&Value>,
+        opts: ApplyOptions,
+    ) -> Result<DisguiseReport> {
+        let spec = self.spec(name)?.clone();
+        let user_value = match (spec.user_scoped, user) {
+            (true, Some(u)) if !u.is_null() => u.clone(),
+            (true, _) => return Err(Error::MissingUser(name.to_string())),
+            (false, _) => Value::Null,
+        };
+        let mut params = HashMap::new();
+        if !user_value.is_null() {
+            params.insert("UID".to_string(), user_value.clone());
+        }
+
+        let started = Instant::now();
+        let stats_before = self.db.stats();
+        if opts.use_transaction {
+            self.db.begin()?;
+        }
+        let result = self.apply_inner(&spec, &user_value, &params, opts);
+        match result {
+            Ok(mut report) => {
+                if opts.use_transaction {
+                    self.db.commit()?;
+                }
+                report.duration = started.elapsed();
+                report.stats = self.db.stats().since(&stats_before);
+                Ok(report)
+            }
+            Err(e) => {
+                if opts.use_transaction {
+                    let _ = self.db.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(
+        &self,
+        spec: &DisguiseSpec,
+        user_value: &Value,
+        params: &HashMap<String, Value>,
+        opts: ApplyOptions,
+    ) -> Result<DisguiseReport> {
+        let mut report = DisguiseReport {
+            name: spec.name.clone(),
+            user_id: user_value.clone(),
+            ..DisguiseReport::default()
+        };
+        let now = self.db.now();
+
+        // Composition pre-pass: temporarily recorrelate rows that prior
+        // disguises transformed and this disguise needs to see (§4.2).
+        let recorrelated = if opts.compose {
+            self.recorrelate_for(spec, user_value, params, opts.optimize, &mut report)?
+        } else {
+            Vec::new()
+        };
+
+        // Main pass: the spec's predicated transformations, in order.
+        let mut ops: Vec<RevealOp> = Vec::new();
+        for section in &spec.tables {
+            for pt in &section.transformations {
+                self.apply_transform(
+                    spec,
+                    &section.table,
+                    pt,
+                    None,
+                    params,
+                    &mut ops,
+                    &mut report,
+                )?;
+            }
+        }
+
+        // Redo pass: re-disguise recorrelated rows the main pass left
+        // untouched, restoring the prior disguise's protection.
+        for r in &recorrelated {
+            let schema = self.db.schema(&r.table)?;
+            let pred = pk_pred(&r.pk_column, &r.pk);
+            let rows = self
+                .db
+                .select_rows(&r.table, Some(&pred), &HashMap::new())?;
+            let Some(row) = rows.first() else { continue };
+            let mut to_redo: Vec<(usize, Value)> = Vec::new();
+            for (col, original, disguised) in &r.cols {
+                let idx = schema.require_column(col)?;
+                if row[idx] == *original {
+                    to_redo.push((idx, disguised.clone()));
+                }
+            }
+            if to_redo.is_empty() {
+                continue;
+            }
+            self.db
+                .update_with(&r.table, Some(&pred), &HashMap::new(), |_, row| {
+                    for (idx, v) in &to_redo {
+                        row[*idx] = v.clone();
+                    }
+                    Ok(())
+                })?;
+            report.rows_redone += 1;
+        }
+
+        // End-state assertions (§7): zero rows may match.
+        for assertion in &spec.assertions {
+            let matching = self
+                .db
+                .select_rows(&assertion.table, Some(&assertion.pred), params)?;
+            if !matching.is_empty() {
+                return Err(Error::AssertionFailed {
+                    disguise: spec.name.clone(),
+                    assertion: assertion.description.clone(),
+                    matching_rows: matching.len(),
+                });
+            }
+        }
+
+        // Record history and reveal functions.
+        let id = self
+            .history
+            .record(&spec.name, user_value, now, spec.reversible)?;
+        report.disguise_id = id;
+        if spec.reversible && !ops.is_empty() {
+            let entry = VaultEntry {
+                disguise_id: id,
+                disguise_name: spec.name.clone(),
+                user_id: user_value.clone(),
+                ops,
+                created_at: now,
+                expires_at: spec.expires_after.map(|d| now + d),
+            };
+            self.vaults.put(spec.vault_tier, &entry)?;
+        }
+        Ok(report)
+    }
+
+    /// Applies one predicated transformation, optionally restricted by an
+    /// extra predicate (used by reveal re-application). Appends reveal ops.
+    #[allow(clippy::too_many_arguments)] // Internal plumbing shared with reveal.
+    pub(crate) fn apply_transform(
+        &self,
+        spec: &DisguiseSpec,
+        table: &str,
+        pt: &PredicatedTransform,
+        extra_pred: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        ops: &mut Vec<RevealOp>,
+        report: &mut DisguiseReport,
+    ) -> Result<()> {
+        let pred = combine_preds(pt.pred.as_ref(), extra_pred);
+        match &pt.transform {
+            Transformation::Remove => {
+                let removed = self.db.delete_where_returning(table, &pred, params)?;
+                report.rows_removed += removed.len();
+                // Column names are recorded so reveal can adapt rows if
+                // the schema evolves in between (paper §7).
+                let mut name_cache: HashMap<String, Vec<String>> = HashMap::new();
+                for (t, row) in removed {
+                    let columns = match name_cache.get(&t) {
+                        Some(c) => c.clone(),
+                        None => {
+                            let schema = self.db.schema(&t)?;
+                            let names: Vec<String> =
+                                schema.columns.iter().map(|c| c.name.clone()).collect();
+                            name_cache.insert(t.clone(), names.clone());
+                            names
+                        }
+                    };
+                    ops.push(RevealOp::ReinsertRow {
+                        table: t,
+                        columns,
+                        row,
+                    });
+                }
+            }
+            Transformation::Decorrelate {
+                fk_column,
+                parent_table,
+            } => {
+                let schema = self.db.schema(table)?;
+                let (pk_idx, pk_col) = pk_of(&schema, "decorrelation")?;
+                let fk_idx = schema.require_column(fk_column)?;
+                let parent_schema = self.db.schema(parent_table)?;
+                let (_, parent_pk_col) = pk_of(&parent_schema, "placeholder creation")?;
+                let rows = self.db.select_rows(table, Some(&pred), params)?;
+                for row in rows {
+                    let original = row[fk_idx].clone();
+                    if original.is_null() {
+                        continue;
+                    }
+                    let placeholder_pk = {
+                        let mut rng = self.rng.lock();
+                        create_placeholder(&self.db, spec, parent_table, &original, &mut *rng)?
+                    };
+                    report.placeholders_created += 1;
+                    let row_pred = pk_pred(&pk_col, &row[pk_idx]);
+                    let new_fk = placeholder_pk.clone();
+                    self.db
+                        .update_with(table, Some(&row_pred), &HashMap::new(), |_, r| {
+                            r[fk_idx] = new_fk.clone();
+                            Ok(())
+                        })?;
+                    report.rows_decorrelated += 1;
+                    ops.push(RevealOp::RestoreColumns {
+                        table: table.to_string(),
+                        pk_column: pk_col.clone(),
+                        pk: row[pk_idx].clone(),
+                        columns: vec![(fk_column.clone(), original)],
+                    });
+                    ops.push(RevealOp::RemovePlaceholder {
+                        table: parent_table.clone(),
+                        pk_column: parent_pk_col.clone(),
+                        pk: placeholder_pk,
+                    });
+                }
+            }
+            Transformation::Modify { column, modifier } => {
+                let schema = self.db.schema(table)?;
+                let (pk_idx, pk_col) = pk_of(&schema, "modification")?;
+                let col_idx = schema.require_column(column)?;
+                let rows = self.db.select_rows(table, Some(&pred), params)?;
+                for row in rows {
+                    let original = row[col_idx].clone();
+                    let new_value = {
+                        let mut rng = self.rng.lock();
+                        modifier.apply(&original, &mut *rng)
+                    };
+                    if new_value == original {
+                        continue;
+                    }
+                    let row_pred = pk_pred(&pk_col, &row[pk_idx]);
+                    let nv = new_value.clone();
+                    self.db
+                        .update_with(table, Some(&row_pred), &HashMap::new(), |_, r| {
+                            r[col_idx] = nv.clone();
+                            Ok(())
+                        })?;
+                    report.rows_modified += 1;
+                    ops.push(RevealOp::RestoreColumns {
+                        table: table.to_string(),
+                        pk_column: pk_col.clone(),
+                        pk: row[pk_idx].clone(),
+                        columns: vec![(column.clone(), original)],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The composition pre-pass: reads reveal functions of prior active
+    /// disguises and temporarily restores original values for rows this
+    /// disguise's predicates need to see.
+    fn recorrelate_for(
+        &self,
+        spec: &DisguiseSpec,
+        user_value: &Value,
+        params: &HashMap<String, Value>,
+        optimize: bool,
+        report: &mut DisguiseReport,
+    ) -> Result<Vec<Recorrelated>> {
+        let events = self.history.events()?;
+        let priors: Vec<_> = events
+            .into_iter()
+            .filter(|e| !e.reverted && e.reversible)
+            .filter(|e| e.user_id.is_null() || e.user_id == *user_value)
+            .collect();
+        if priors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let prior_specs: Vec<&DisguiseSpec> = priors
+            .iter()
+            .filter_map(|e| self.specs.get(&e.name))
+            .collect();
+        let plan = if optimize {
+            plan_composition(spec, &prior_specs)
+        } else {
+            CompositionPlan::default()
+        };
+
+        let mut out: Vec<Recorrelated> = Vec::new();
+        for event in &priors {
+            let entries = self.vaults.entries_for_disguise(&event.user_id, event.id)?;
+            for entry in entries {
+                for op in &entry.ops {
+                    let RevealOp::RestoreColumns {
+                        table,
+                        pk_column,
+                        pk,
+                        columns,
+                    } = op
+                    else {
+                        // Rows a prior disguise removed need no
+                        // decorrelation (§4.2: disguises compose naturally
+                        // there); placeholders carry no user data.
+                        continue;
+                    };
+                    let affected = self.affected_transforms(spec, table, columns, &plan);
+                    if affected.skipped > 0 {
+                        report.skipped_redundant += affected.skipped;
+                    }
+                    if affected.transforms.is_empty() {
+                        continue;
+                    }
+                    let schema = self.db.schema(table)?;
+                    let pred = pk_pred(pk_column, pk);
+                    // Membership check: would the row match one of the
+                    // affected predicates with its original values back?
+                    // When every predicate column is covered by the vault
+                    // op (plus the pk), membership is decidable from the
+                    // reveal function alone — the "selective
+                    // reintroduction" of §6 — without touching the DB.
+                    let op_decides = affected.transforms.iter().all(|pt| {
+                        pt.pred.as_ref().is_some_and(|p| {
+                            p.referenced_columns().iter().all(|c| {
+                                c.eq_ignore_ascii_case(pk_column)
+                                    || columns.iter().any(|(oc, _)| oc.eq_ignore_ascii_case(c))
+                            })
+                        })
+                    });
+                    let current: Option<Vec<Value>>;
+                    let overlay_cols: Vec<String>;
+                    let overlay: Vec<Value>;
+                    if op_decides {
+                        current = None;
+                        overlay_cols = std::iter::once(pk_column.clone())
+                            .chain(columns.iter().map(|(c, _)| c.clone()))
+                            .collect();
+                        overlay = std::iter::once(pk.clone())
+                            .chain(columns.iter().map(|(_, v)| v.clone()))
+                            .collect();
+                    } else {
+                        let rows = self.db.select_rows(table, Some(&pred), &HashMap::new())?;
+                        let Some(row) = rows.into_iter().next() else {
+                            continue;
+                        };
+                        let mut o = row.clone();
+                        for (col, original) in columns {
+                            let idx = schema.require_column(col)?;
+                            o[idx] = original.clone();
+                        }
+                        current = Some(row);
+                        overlay_cols = schema.columns.iter().map(|c| c.name.clone()).collect();
+                        overlay = o;
+                    }
+                    let ctx = EvalContext {
+                        columns: &overlay_cols,
+                        row: &overlay,
+                        params,
+                        now: self.db.now(),
+                    };
+                    let matched = affected
+                        .transforms
+                        .iter()
+                        .filter_map(|pt| pt.pred.as_ref())
+                        .map(|p| eval_predicate(p, &ctx))
+                        .collect::<edna_relational::Result<Vec<bool>>>()
+                        .map_err(Error::Relational)?
+                        .into_iter()
+                        .any(|m| m)
+                        || affected.transforms.iter().any(|pt| pt.pred.is_none());
+                    if !matched {
+                        continue;
+                    }
+                    // Fetch the row (if the fast path skipped it) to record
+                    // the disguised values for the redo pass.
+                    let current = match current {
+                        Some(row) => row,
+                        None => {
+                            let rows = self.db.select_rows(table, Some(&pred), &HashMap::new())?;
+                            match rows.into_iter().next() {
+                                Some(row) => row,
+                                None => continue, // Row removed meanwhile.
+                            }
+                        }
+                    };
+                    let mut cols: Vec<(String, Value, Value)> = Vec::new();
+                    for (col, original) in columns {
+                        let idx = schema.require_column(col)?;
+                        cols.push((col.clone(), original.clone(), current[idx].clone()));
+                    }
+                    // Recorrelate: write the original values back.
+                    let restores: Vec<(usize, Value)> = cols
+                        .iter()
+                        .map(|(col, original, _)| {
+                            Ok((schema.require_column(col)?, original.clone()))
+                        })
+                        .collect::<Result<_>>()?;
+                    self.db
+                        .update_with(table, Some(&pred), &HashMap::new(), |_, r| {
+                            for (idx, v) in &restores {
+                                r[*idx] = v.clone();
+                            }
+                            Ok(())
+                        })?;
+                    report.rows_recorrelated += 1;
+                    out.push(Recorrelated {
+                        table: table.clone(),
+                        pk_column: pk_column.clone(),
+                        pk: pk.clone(),
+                        cols,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The current spec's transforms on `table` whose predicates reference
+    /// any of the vault op's columns (and would therefore mis-evaluate on
+    /// disguised data), minus those the plan marks redundant.
+    fn affected_transforms<'s>(
+        &self,
+        spec: &'s DisguiseSpec,
+        table: &str,
+        op_columns: &[(String, Value)],
+        plan: &CompositionPlan,
+    ) -> AffectedTransforms<'s> {
+        let mut result = AffectedTransforms {
+            transforms: Vec::new(),
+            skipped: 0,
+        };
+        let Some(section) = spec.table(table) else {
+            return result;
+        };
+        for pt in &section.transformations {
+            let references_op_column = match &pt.pred {
+                None => true,
+                Some(pred) => {
+                    let cols = pred.referenced_columns();
+                    op_columns
+                        .iter()
+                        .any(|(c, _)| cols.iter().any(|pc| pc.eq_ignore_ascii_case(c)))
+                }
+            };
+            if !references_op_column {
+                continue;
+            }
+            match &pt.transform {
+                Transformation::Decorrelate { fk_column, .. }
+                    if plan.is_redundant(table, fk_column) =>
+                {
+                    result.skipped += 1;
+                    continue;
+                }
+                Transformation::Modify { column, .. }
+                    if plan.is_redundant_modify(table, column) =>
+                {
+                    result.skipped += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            result.transforms.push(pt);
+        }
+        result
+    }
+}
+
+struct AffectedTransforms<'s> {
+    transforms: Vec<&'s PredicatedTransform>,
+    skipped: usize,
+}
+
+/// `pk_column = pk` as an expression.
+pub(crate) fn pk_pred(pk_column: &str, pk: &Value) -> Expr {
+    Expr::eq(Expr::col(pk_column), Expr::lit(pk.clone()))
+}
+
+/// The primary-key index and column name of `schema`.
+pub(crate) fn pk_of(schema: &TableSchema, context: &str) -> Result<(usize, String)> {
+    match schema.primary_key {
+        Some(i) => Ok((i, schema.columns[i].name.clone())),
+        None => Err(Error::NeedsPrimaryKey {
+            table: schema.name.clone(),
+            context: context.to_string(),
+        }),
+    }
+}
+
+/// Conjoins an optional transform predicate with an optional restriction;
+/// `TRUE` if both are absent.
+pub(crate) fn combine_preds(pred: Option<&Expr>, extra: Option<&Expr>) -> Expr {
+    match (pred, extra) {
+        (Some(p), Some(e)) => Expr::and(p.clone(), e.clone()),
+        (Some(p), None) => p.clone(),
+        (None, Some(e)) => e.clone(),
+        (None, None) => Expr::lit(true),
+    }
+}

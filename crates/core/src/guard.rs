@@ -1,0 +1,193 @@
+//! Guarding application writes to disguised data.
+//!
+//! Paper §7: "our framework does not answer how disguises compose with
+//! normal application changes to disguised data. ... One possible solution
+//! is to make such updates themselves disguises ... Another solution would
+//! prohibit updates to disguised data (which limits the application)."
+//!
+//! This module implements the *prohibit* variant: [`Disguiser::is_disguised`]
+//! reports whether a row is currently covered by an active reveal function,
+//! and [`Disguiser::guarded_update`] refuses to modify such rows. The check
+//! consults the vaults of all active disguises, so it sees exactly the rows
+//! whose pre-disguise state is recorded — updating them would make the
+//! recorded reveal functions stale.
+
+use std::collections::{HashMap, HashSet};
+
+use edna_relational::{Expr, Row, TableSchema, Value};
+use edna_vault::RevealOp;
+
+use crate::apply::{pk_of, Disguiser};
+use crate::error::{Error, Result};
+
+/// The set of currently disguised rows: lowercase table name → primary-key
+/// literals.
+pub type DisguisedRows = HashMap<String, HashSet<String>>;
+
+impl Disguiser {
+    /// Collects the rows currently covered by active (non-reverted) reveal
+    /// functions, across both vault tiers.
+    ///
+    /// Removed rows are not listed (they don't exist to be updated);
+    /// placeholder rows *are* listed — editing a placeholder would corrupt
+    /// the reveal.
+    pub fn disguised_rows(&self) -> Result<DisguisedRows> {
+        let mut out: DisguisedRows = HashMap::new();
+        for event in self.history.events()? {
+            if event.reverted || !event.reversible {
+                continue;
+            }
+            for entry in self.vaults.entries_for_disguise(&event.user_id, event.id)? {
+                for op in &entry.ops {
+                    match op {
+                        RevealOp::RestoreColumns { table, pk, .. }
+                        | RevealOp::RemovePlaceholder { table, pk, .. } => {
+                            out.entry(table.to_lowercase())
+                                .or_default()
+                                .insert(pk.to_sql_literal());
+                        }
+                        RevealOp::ReinsertRow { .. } => {}
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether the row `table[pk]` is currently disguised.
+    pub fn is_disguised(&self, table: &str, pk: &Value) -> Result<bool> {
+        let rows = self.disguised_rows()?;
+        Ok(rows
+            .get(&table.to_lowercase())
+            .is_some_and(|set| set.contains(&pk.to_sql_literal())))
+    }
+
+    /// An update API for the application that refuses to touch disguised
+    /// rows (paper §7's "prohibit updates to disguised data").
+    ///
+    /// Checks every row matching `where_` against the disguised set before
+    /// applying `f`; if any is disguised the whole update is rejected with
+    /// [`Error::DisguisedData`] and nothing changes.
+    pub fn guarded_update(
+        &self,
+        table: &str,
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        f: impl FnMut(&TableSchema, &mut Row) -> std::result::Result<(), edna_relational::Error>,
+    ) -> Result<usize> {
+        let schema = self.db.schema(table)?;
+        let (pk_idx, _) = pk_of(&schema, "guarded update")?;
+        let disguised = self.disguised_rows()?;
+        let guarded_set = disguised.get(&table.to_lowercase());
+        let candidates = self.db.select_rows(table, where_, params)?;
+        for row in &candidates {
+            let pk_literal = row[pk_idx].to_sql_literal();
+            if guarded_set.is_some_and(|set| set.contains(&pk_literal)) {
+                return Err(Error::DisguisedData {
+                    table: schema.name.clone(),
+                    pk: pk_literal,
+                });
+            }
+        }
+        Ok(self.db.update_with(table, where_, params, f)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Generator, Modifier};
+    use edna_relational::Database;
+
+    fn setup() -> (Database, Disguiser) {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+             disabled BOOL NOT NULL DEFAULT FALSE);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+        )
+        .unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        let mut edna = Disguiser::new(db.clone());
+        edna.register(
+            DisguiseSpecBuilder::new("Scrub")
+                .user_scoped()
+                .modify("posts", Some("user_id = $UID"), "body", Modifier::Redact)
+                .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+                .placeholder("users", "name", Generator::Random)
+                .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        (db, edna)
+    }
+
+    #[test]
+    fn disguised_rows_tracks_active_disguises() {
+        let (_db, edna) = setup();
+        assert!(edna.disguised_rows().unwrap().is_empty());
+        let report = edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
+        assert!(edna.is_disguised("posts", &Value::Int(1)).unwrap());
+        assert!(!edna.is_disguised("posts", &Value::Int(2)).unwrap());
+        // After reveal, nothing is disguised anymore.
+        edna.reveal(report.disguise_id).unwrap();
+        assert!(!edna.is_disguised("posts", &Value::Int(1)).unwrap());
+    }
+
+    #[test]
+    fn guarded_update_rejects_disguised_rows_atomically() {
+        let (db, edna) = setup();
+        edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
+        let before = db.dump();
+        // A sweeping application update that would touch the disguised
+        // post is rejected entirely.
+        let err = edna
+            .guarded_update("posts", None, &HashMap::new(), |schema, row| {
+                let i = schema.require_column("body")?;
+                row[i] = Value::Text("edited".into());
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::DisguisedData { .. }), "got {err}");
+        assert_eq!(db.dump(), before, "rejected update must change nothing");
+    }
+
+    #[test]
+    fn guarded_update_allows_undisguised_rows() {
+        let (db, edna) = setup();
+        edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
+        let pred = edna_relational::parse_expr("user_id = 2").unwrap();
+        let n = edna
+            .guarded_update("posts", Some(&pred), &HashMap::new(), |schema, row| {
+                let i = schema.require_column("body")?;
+                row[i] = Value::Text("edited".into());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            db.execute("SELECT body FROM posts WHERE user_id = 2")
+                .unwrap()
+                .rows[0][0],
+            Value::Text("edited".into())
+        );
+    }
+
+    #[test]
+    fn placeholders_are_guarded_too() {
+        let (db, edna) = setup();
+        edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
+        // Find the placeholder user created by the decorrelation.
+        let placeholder = db
+            .execute("SELECT id FROM users WHERE disabled = TRUE")
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        assert!(edna.is_disguised("users", &placeholder).unwrap());
+    }
+}

@@ -1,0 +1,213 @@
+//! Placeholder synthesis for decorrelation.
+//!
+//! Paper §3: "Placeholder users have suitable default values; for example,
+//! placeholder users should be disabled, ensuring they have no permissions
+//! and cannot log in." Each decorrelated row gets its *own* placeholder
+//! (Figure 2), so placeholders cannot be correlated with one another.
+
+use rand::Rng;
+
+use edna_relational::{Database, TableSchema, Value};
+
+use crate::error::{Error, Result};
+use crate::spec::{DisguiseSpec, Generator};
+
+/// Creates one placeholder row in `parent_table`, returning its primary-key
+/// value. Column values come from the spec's `generate_placeholder` section
+/// for that table, falling back to column defaults; the original value of
+/// the decorrelated reference is available to `Derive` generators.
+pub fn create_placeholder(
+    db: &Database,
+    spec: &DisguiseSpec,
+    parent_table: &str,
+    original_value: &Value,
+    rng: &mut impl Rng,
+) -> Result<Value> {
+    let schema = db.schema(parent_table)?;
+    let pk_index = schema.primary_key.ok_or_else(|| Error::NeedsPrimaryKey {
+        table: parent_table.to_string(),
+        context: "placeholder creation".to_string(),
+    })?;
+    let generators = spec
+        .table(parent_table)
+        .map(|t| t.generate_placeholder.as_slice())
+        .unwrap_or(&[]);
+
+    let mut values: Vec<(&str, Value)> = Vec::new();
+    for (i, col) in schema.columns.iter().enumerate() {
+        if i == pk_index {
+            continue; // Assigned below.
+        }
+        let generator = generators
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(&col.name));
+        let v = match generator {
+            Some((_, Generator::Random)) => random_value(&schema, i, rng),
+            Some((_, Generator::Default(v))) => v.clone(),
+            Some((_, Generator::Derive { f, .. })) => f(original_value),
+            None => col.default.clone().unwrap_or(Value::Null),
+        };
+        values.push((col.name.as_str(), v));
+    }
+
+    let pk_col = &schema.columns[pk_index];
+    if pk_col.auto_increment {
+        let assigned = db
+            .insert_row(parent_table, &values)?
+            .ok_or_else(|| Error::Placeholder {
+                table: parent_table.to_string(),
+                message: "AUTO_INCREMENT assigned no id".to_string(),
+            })?;
+        return Ok(Value::Int(assigned));
+    }
+
+    // Non-auto primary key: pick random ids until one is free (bounded).
+    for _ in 0..64 {
+        let candidate = Value::Int(rng.gen_range(1_000_000_000..i64::MAX / 2));
+        let mut with_pk = values.clone();
+        with_pk.push((pk_col.name.as_str(), candidate.clone()));
+        match db.insert_row(parent_table, &with_pk) {
+            Ok(_) => return Ok(candidate),
+            Err(edna_relational::Error::UniqueViolation { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(Error::Placeholder {
+        table: parent_table.to_string(),
+        message: "could not find a free primary key after 64 attempts".to_string(),
+    })
+}
+
+/// A type-appropriate random value for `schema.columns[i]`. Text columns
+/// get pronounceable pseudo-names (like the paper's "Axolotl"/"Fossa"
+/// placeholders); numeric columns get random non-negative values.
+pub fn random_value(schema: &TableSchema, i: usize, rng: &mut impl Rng) -> Value {
+    use edna_relational::DataType;
+    let col = &schema.columns[i];
+    match col.ty {
+        DataType::Int => Value::Int(rng.gen_range(0..1_000_000)),
+        DataType::Float => Value::Float(rng.gen_range(0.0..1.0)),
+        DataType::Bool => Value::Bool(false),
+        DataType::Bytes => Value::Bytes((0..8).map(|_| rng.gen()).collect()),
+        DataType::Text => {
+            const CONSONANTS: &[u8] = b"bcdfgklmnprstvz";
+            const VOWELS: &[u8] = b"aeiou";
+            let syllables = rng.gen_range(2..=4);
+            let mut name = String::new();
+            for s in 0..syllables {
+                let c = CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char;
+                let v = VOWELS[rng.gen_range(0..VOWELS.len())] as char;
+                if s == 0 {
+                    name.push(c.to_ascii_uppercase());
+                } else {
+                    name.push(c);
+                }
+                name.push(v);
+            }
+            Value::Text(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DisguiseSpecBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY AUTO_INCREMENT, \
+             name TEXT NOT NULL, email TEXT, disabled BOOL NOT NULL DEFAULT FALSE)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn spec() -> DisguiseSpec {
+        DisguiseSpecBuilder::new("t")
+            .placeholder("ContactInfo", "name", Generator::Random)
+            .placeholder("ContactInfo", "email", Generator::Default(Value::Null))
+            .placeholder(
+                "ContactInfo",
+                "disabled",
+                Generator::Default(Value::Bool(true)),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn creates_disabled_placeholder_with_random_name() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pk =
+            create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
+        let rows = db
+            .execute(&format!(
+                "SELECT name, email, disabled FROM ContactInfo WHERE contactId = {pk}"
+            ))
+            .unwrap()
+            .rows;
+        assert_eq!(rows.len(), 1);
+        let Value::Text(name) = &rows[0][0] else {
+            panic!("expected name")
+        };
+        assert!(!name.is_empty());
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(
+            rows[0][2],
+            Value::Bool(true),
+            "placeholders must be disabled"
+        );
+    }
+
+    #[test]
+    fn each_placeholder_is_distinct() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
+        let b = create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(db.row_count("ContactInfo").unwrap(), 2);
+    }
+
+    #[test]
+    fn derive_generator_sees_original_value() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = DisguiseSpecBuilder::new("t")
+            .placeholder(
+                "ContactInfo",
+                "name",
+                Generator::Derive {
+                    name: "tagged".into(),
+                    f: std::sync::Arc::new(|orig| Value::Text(format!("anon-of-{orig}"))),
+                },
+            )
+            .build()
+            .unwrap();
+        let pk = create_placeholder(&db, &spec, "ContactInfo", &Value::Int(19), &mut rng).unwrap();
+        let rows = db
+            .execute(&format!(
+                "SELECT name FROM ContactInfo WHERE contactId = {pk}"
+            ))
+            .unwrap()
+            .rows;
+        assert_eq!(rows[0][0], Value::Text("anon-of-19".into()));
+    }
+
+    #[test]
+    fn non_auto_pk_tables_get_random_ids() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+            .unwrap();
+        let spec = DisguiseSpecBuilder::new("t").build().unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let pk = create_placeholder(&db, &spec, "t", &Value::Null, &mut rng).unwrap();
+        assert!(matches!(pk, Value::Int(_)));
+        assert_eq!(db.row_count("t").unwrap(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Automatic privacy policies: expiration and data decay (paper §2).
+//!
+//! - **Expiration**: "Data expiration policies could proactively anonymize
+//!   or sanitize user contributions for long-inactive users." An
+//!   [`ExpirationPolicy`] finds inactive users with a developer-provided
+//!   query and applies a (reversible, so returning users can undo it)
+//!   user-scoped disguise to each.
+//! - **Data decay**: "Gradual data decay policies could apply increasingly
+//!   strict privacy transformations over time, aging out sensitive but
+//!   outdated user data." A [`DecayPolicy`] is a ladder of global disguises
+//!   whose predicates reference `NOW()`; re-running them advances the decay
+//!   frontier as the (logical) clock moves.
+//!
+//! The [`Scheduler`] drives policies from the database's logical clock, so
+//! tests and benchmarks can fast-forward time deterministically.
+
+use std::collections::HashMap;
+
+use edna_relational::Value;
+
+use crate::apply::{DisguiseReport, Disguiser};
+use crate::error::Result;
+
+/// Applies a user-scoped disguise to users inactive for too long.
+#[derive(Debug, Clone)]
+pub struct ExpirationPolicy {
+    /// Policy name (for scheduling and reports).
+    pub name: String,
+    /// The user-scoped disguise to apply (must be registered).
+    pub disguise: String,
+    /// Inactivity threshold in logical seconds.
+    pub inactive_after: i64,
+    /// Query returning the ids of users inactive since `$CUTOFF`, e.g.
+    /// `SELECT id FROM users WHERE last_login < $CUTOFF`.
+    pub user_query: String,
+    /// How often (logical seconds) the policy runs.
+    pub cadence: i64,
+}
+
+impl ExpirationPolicy {
+    /// Runs the policy at logical time `now`: disguises every inactive user
+    /// without an active application of the disguise. Returns one report
+    /// per newly disguised user.
+    pub fn run(&self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
+        let mut params = HashMap::new();
+        params.insert("CUTOFF".to_string(), Value::Int(now - self.inactive_after));
+        let result = edna
+            .database()
+            .execute_with_params(&self.user_query, &params)
+            .map_err(crate::error::Error::Relational)?;
+        let mut reports = Vec::new();
+        for row in result.rows {
+            let user = row.first().cloned().unwrap_or(Value::Null);
+            if user.is_null() {
+                continue;
+            }
+            // Idempotence: skip users already under this disguise.
+            if edna.history().latest(&self.disguise, &user)?.is_some() {
+                continue;
+            }
+            reports.push(edna.apply(&self.disguise, Some(&user))?);
+        }
+        Ok(reports)
+    }
+}
+
+/// One rung of a decay ladder.
+#[derive(Debug, Clone)]
+pub struct DecayStage {
+    /// The global disguise to apply (its predicates should reference
+    /// `NOW()` so the affected window advances with the clock).
+    pub disguise: String,
+}
+
+/// Applies increasingly strict global disguises as data ages.
+#[derive(Debug, Clone)]
+pub struct DecayPolicy {
+    /// Policy name.
+    pub name: String,
+    /// Stages, applied in order on every run.
+    pub stages: Vec<DecayStage>,
+    /// How often (logical seconds) the policy runs.
+    pub cadence: i64,
+}
+
+impl DecayPolicy {
+    /// Runs every stage at logical time `now` (the database clock is set to
+    /// `now` first so `NOW()` predicates see it).
+    pub fn run(&self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
+        edna.database().set_now(now);
+        let mut reports = Vec::new();
+        for stage in &self.stages {
+            reports.push(edna.apply(&stage.disguise, None)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// A scheduled privacy policy.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Expiration of inactive users.
+    Expiration(ExpirationPolicy),
+    /// Data decay ladder.
+    Decay(DecayPolicy),
+}
+
+impl Policy {
+    /// The policy's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Policy::Expiration(p) => &p.name,
+            Policy::Decay(p) => &p.name,
+        }
+    }
+
+    /// The policy's cadence in logical seconds.
+    pub fn cadence(&self) -> i64 {
+        match self {
+            Policy::Expiration(p) => p.cadence,
+            Policy::Decay(p) => p.cadence,
+        }
+    }
+}
+
+/// Drives policies from the logical clock.
+pub struct Scheduler {
+    policies: Vec<Policy>,
+    last_run: HashMap<String, i64>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler {
+            policies: Vec::new(),
+            last_run: HashMap::new(),
+        }
+    }
+
+    /// Adds a policy.
+    pub fn add(&mut self, policy: Policy) {
+        self.policies.push(policy);
+    }
+
+    /// Advances the clock to `now` and runs every policy whose cadence has
+    /// elapsed. Also purges expired vault entries at `now`. Returns the
+    /// reports of all disguises applied.
+    pub fn tick(&mut self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
+        edna.database().set_now(now);
+        let mut reports = Vec::new();
+        for policy in &self.policies {
+            let due = match self.last_run.get(policy.name()) {
+                Some(last) => now - last >= policy.cadence(),
+                None => true,
+            };
+            if !due {
+                continue;
+            }
+            let mut out = match policy {
+                Policy::Expiration(p) => p.run(edna, now)?,
+                Policy::Decay(p) => p.run(edna, now)?,
+            };
+            reports.append(&mut out);
+            self.last_run.insert(policy.name().to_string(), now);
+        }
+        edna.purge_expired(now)?;
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Modifier};
+    use edna_relational::Database;
+
+    fn setup() -> (Database, Disguiser) {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT, \
+             created_at INT NOT NULL DEFAULT 0)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO notes (body, created_at) VALUES ('old', 0), ('new', 900)")
+            .unwrap();
+        let mut edna = Disguiser::new(db.clone());
+        edna.register(
+            DisguiseSpecBuilder::new("TruncOld")
+                .irreversible()
+                .modify(
+                    "notes",
+                    Some("created_at < NOW() - 500"),
+                    "body",
+                    Modifier::Truncate(1),
+                )
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        (db, edna)
+    }
+
+    #[test]
+    fn scheduler_respects_cadence() {
+        let (_db, edna) = setup();
+        let mut sched = Scheduler::new();
+        sched.add(Policy::Decay(DecayPolicy {
+            name: "d".to_string(),
+            stages: vec![DecayStage {
+                disguise: "TruncOld".to_string(),
+            }],
+            cadence: 100,
+        }));
+        // First tick always fires.
+        assert_eq!(sched.tick(&edna, 1000).unwrap().len(), 1);
+        // Within the cadence window: nothing.
+        assert!(sched.tick(&edna, 1050).unwrap().is_empty());
+        // Past it: fires again.
+        assert_eq!(sched.tick(&edna, 1101).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn decay_window_advances_with_the_clock() {
+        let (db, edna) = setup();
+        let policy = DecayPolicy {
+            name: "d".to_string(),
+            stages: vec![DecayStage {
+                disguise: "TruncOld".to_string(),
+            }],
+            cadence: 1,
+        };
+        // At t=600 only the t=0 note is older than 500.
+        policy.run(&edna, 600).unwrap();
+        let rows = db
+            .execute("SELECT body FROM notes ORDER BY id")
+            .unwrap()
+            .rows;
+        assert_eq!(rows[0][0].to_string(), "o");
+        assert_eq!(rows[1][0].to_string(), "new");
+        // At t=1500 the second note ages into the window.
+        policy.run(&edna, 1500).unwrap();
+        let rows = db
+            .execute("SELECT body FROM notes ORDER BY id")
+            .unwrap()
+            .rows;
+        assert_eq!(rows[1][0].to_string(), "n");
+    }
+
+    #[test]
+    fn expiration_skips_already_disguised_users() {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, \
+             last_login INT NOT NULL DEFAULT 0)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO users (name, last_login) VALUES ('a', 0), ('b', 950)")
+            .unwrap();
+        let mut edna = Disguiser::new(db.clone());
+        edna.register(
+            DisguiseSpecBuilder::new("Expire")
+                .user_scoped()
+                .modify("users", Some("id = $UID"), "name", Modifier::Redact)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let policy = ExpirationPolicy {
+            name: "e".to_string(),
+            disguise: "Expire".to_string(),
+            inactive_after: 500,
+            user_query: "SELECT id FROM users WHERE last_login < $CUTOFF".to_string(),
+            cadence: 1,
+        };
+        let first = policy.run(&edna, 1000).unwrap();
+        assert_eq!(first.len(), 1, "only user 1 is inactive");
+        // Running again must not re-disguise user 1.
+        let second = policy.run(&edna, 1001).unwrap();
+        assert!(second.is_empty());
+        // Once user 1 is revealed (returns), they become eligible again.
+        edna.reveal(first[0].disguise_id).unwrap();
+        let third = policy.run(&edna, 1002).unwrap();
+        assert_eq!(third.len(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Disguise specifications: model, text DSL, and validation.
+
+pub mod model;
+pub mod parser;
+pub mod render;
+pub mod validate;
+
+pub use model::{
+    Assertion, DisguiseSpec, DisguiseSpecBuilder, Generator, Modifier, PredicatedTransform,
+    TableDisguise, Transformation, ValueFn,
+};
+pub use parser::{parse_spec, spec_loc};
+pub use render::render_spec;
+pub use validate::validate_spec;

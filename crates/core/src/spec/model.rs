@@ -1,0 +1,567 @@
+//! The disguise specification model.
+//!
+//! A disguise (paper §4.1) "associates each table in the application schema
+//! with a set of predicate-transformation pairs. Predicates are arbitrary
+//! SQL WHERE clauses ...; a transformation is either a removal, a
+//! decorrelation of a particular foreign key, or a modification of a
+//! particular column" (§5). Specs can be built programmatically with
+//! [`DisguiseSpecBuilder`] or parsed from the text DSL
+//! ([`crate::spec::parse_spec`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use edna_relational::{parse_expr, Expr, Value};
+use edna_vault::VaultTier;
+
+use crate::error::{Error, Result};
+
+/// A value-to-value closure used by custom modifiers and derived
+/// placeholder generators (paper §5: "a modification takes a closure over
+/// the original column value that returns the updated value").
+pub type ValueFn = Arc<dyn Fn(&Value) -> Value + Send + Sync>;
+
+/// How a [`Transformation::Modify`] rewrites a column value.
+#[derive(Clone)]
+pub enum Modifier {
+    /// Replace with NULL.
+    SetNull,
+    /// Replace with a fixed value.
+    Fixed(Value),
+    /// Replace text with the placeholder marker `"[deleted]"` (the
+    /// Reddit/Lobsters convention the paper cites in §2).
+    Redact,
+    /// Replace with a short hex digest of the original (pseudonymization).
+    HashText,
+    /// Keep only the first `n` characters (data decay of free text).
+    Truncate(usize),
+    /// Replace with a uniform random integer in `[lo, hi]`.
+    RandomInt {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Replace with random lowercase text of the given length.
+    RandomText(usize),
+    /// Round an integer down to a multiple of `width` (coarsening
+    /// timestamps or counts for data decay).
+    Bucket(i64),
+    /// A named custom closure over the original value (code-registered;
+    /// not expressible in the text DSL).
+    Custom {
+        /// Display name for logs and reports.
+        name: String,
+        /// The rewrite function.
+        f: ValueFn,
+    },
+}
+
+impl Modifier {
+    /// Applies this modifier to `original`, producing the disguised value.
+    pub fn apply(&self, original: &Value, rng: &mut impl Rng) -> Value {
+        match self {
+            Modifier::SetNull => Value::Null,
+            Modifier::Fixed(v) => v.clone(),
+            Modifier::Redact => Value::Text("[deleted]".to_string()),
+            Modifier::HashText => {
+                let digest = edna_vault::crypto::sha256::sha256(original.to_string().as_bytes());
+                let hex: String = digest[..8].iter().map(|b| format!("{b:02x}")).collect();
+                Value::Text(hex)
+            }
+            Modifier::Truncate(n) => match original {
+                Value::Text(s) => Value::Text(s.chars().take(*n).collect()),
+                other => other.clone(),
+            },
+            Modifier::RandomInt { lo, hi } => Value::Int(rng.gen_range(*lo..=*hi)),
+            Modifier::RandomText(len) => {
+                let s: String = (0..*len)
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                    .collect();
+                Value::Text(s)
+            }
+            Modifier::Bucket(width) => match original {
+                Value::Int(i) if *width > 0 => Value::Int((i / width) * width),
+                other => other.clone(),
+            },
+            Modifier::Custom { f, .. } => f(original),
+        }
+    }
+
+    /// Whether this modifier deterministically produces the same value as
+    /// `other` for every input (used by the composition optimizer: a
+    /// deterministic modify a prior disguise already performed is
+    /// redundant). Random and custom modifiers never report sameness.
+    pub fn same_effect(&self, other: &Modifier) -> bool {
+        match (self, other) {
+            (Modifier::SetNull, Modifier::SetNull) => true,
+            (Modifier::Fixed(a), Modifier::Fixed(b)) => a == b,
+            (Modifier::Redact, Modifier::Redact) => true,
+            (Modifier::HashText, Modifier::HashText) => true,
+            (Modifier::Truncate(a), Modifier::Truncate(b)) => a == b,
+            (Modifier::Bucket(a), Modifier::Bucket(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// A short display name (used in reports and spec rendering).
+    pub fn name(&self) -> String {
+        match self {
+            Modifier::SetNull => "SetNull".to_string(),
+            Modifier::Fixed(v) => format!("Fixed({})", v.to_sql_literal()),
+            Modifier::Redact => "Redact".to_string(),
+            Modifier::HashText => "HashText".to_string(),
+            Modifier::Truncate(n) => format!("Truncate({n})"),
+            Modifier::RandomInt { lo, hi } => format!("RandomInt({lo}, {hi})"),
+            Modifier::RandomText(n) => format!("RandomText({n})"),
+            Modifier::Bucket(w) => format!("Bucket({w})"),
+            Modifier::Custom { name, .. } => format!("Custom({name})"),
+        }
+    }
+}
+
+impl fmt::Debug for Modifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// How one placeholder column value is produced.
+#[derive(Clone)]
+pub enum Generator {
+    /// A random type-appropriate value (random name-like text for TEXT,
+    /// random int for INT).
+    Random,
+    /// A fixed default.
+    Default(Value),
+    /// A named closure over the original column value (paper §5:
+    /// "per-column closures over the original column value that return the
+    /// placeholder column value").
+    Derive {
+        /// Display name.
+        name: String,
+        /// The derivation function.
+        f: ValueFn,
+    },
+}
+
+impl Generator {
+    /// A short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Generator::Random => "Random".to_string(),
+            Generator::Default(v) => format!("Default({})", v.to_sql_literal()),
+            Generator::Derive { name, .. } => format!("Derive({name})"),
+        }
+    }
+}
+
+impl fmt::Debug for Generator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// One of the three fundamental transformation operations (paper §4.1).
+#[derive(Debug, Clone)]
+pub enum Transformation {
+    /// Delete matching rows (recording them for reversal).
+    Remove,
+    /// Re-point a foreign key at a fresh placeholder row, decorrelating the
+    /// row from its current parent (paper Figure 2).
+    Decorrelate {
+        /// The foreign-key column in this table.
+        fk_column: String,
+        /// The referenced (parent) table in which placeholders are created.
+        parent_table: String,
+    },
+    /// Rewrite one column of matching rows through a [`Modifier`].
+    Modify {
+        /// The column to rewrite.
+        column: String,
+        /// The rewrite.
+        modifier: Modifier,
+    },
+}
+
+impl Transformation {
+    /// A short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Transformation::Remove => "Remove".to_string(),
+            Transformation::Decorrelate {
+                fk_column,
+                parent_table,
+            } => {
+                format!("Decorrelate({fk_column} -> {parent_table})")
+            }
+            Transformation::Modify { column, modifier } => {
+                format!("Modify({column}, {})", modifier.name())
+            }
+        }
+    }
+}
+
+/// A transformation guarded by an optional SQL predicate.
+#[derive(Debug, Clone)]
+pub struct PredicatedTransform {
+    /// Which rows to transform (`None` = all rows).
+    pub pred: Option<Expr>,
+    /// What to do to them.
+    pub transform: Transformation,
+}
+
+/// The per-table part of a disguise specification.
+#[derive(Debug, Clone)]
+pub struct TableDisguise {
+    /// The table this section applies to.
+    pub table: String,
+    /// Placeholder column generators, used when *this* table is the parent
+    /// of a decorrelation (paper Figure 3: `generate_placeholder`).
+    pub generate_placeholder: Vec<(String, Generator)>,
+    /// Predicated transformations, applied in order.
+    pub transformations: Vec<PredicatedTransform>,
+}
+
+impl TableDisguise {
+    /// An empty section for `table`.
+    pub fn new(table: impl Into<String>) -> TableDisguise {
+        TableDisguise {
+            table: table.into(),
+            generate_placeholder: Vec::new(),
+            transformations: Vec::new(),
+        }
+    }
+}
+
+/// An end-state assertion (paper §7): after applying the disguise, no row
+/// of `table` may match `pred` (e.g. "user no longer has any reviews").
+#[derive(Debug, Clone)]
+pub struct Assertion {
+    /// Human-readable description for error messages.
+    pub description: String,
+    /// Table checked.
+    pub table: String,
+    /// Predicate that must match zero rows after application.
+    pub pred: Expr,
+}
+
+/// A complete disguise specification.
+#[derive(Debug, Clone)]
+pub struct DisguiseSpec {
+    /// Disguise name (e.g. `HotCRP-GDPR+`).
+    pub name: String,
+    /// Whether the disguise is parameterized by `$UID` (user-invoked) or
+    /// global (applies across users, like `ConfAnon`).
+    pub user_scoped: bool,
+    /// Whether reveal functions are recorded in vaults.
+    pub reversible: bool,
+    /// Which vault tier reveal functions go to (paper §4.2 multi-tier
+    /// design). Defaults to per-user for user-scoped disguises.
+    pub vault_tier: VaultTier,
+    /// If set, vault entries expire this many logical seconds after
+    /// application, making the disguise irreversible afterwards.
+    pub expires_after: Option<i64>,
+    /// Per-table sections, applied in order (order matters for foreign-key
+    /// integrity: remove children before parents).
+    pub tables: Vec<TableDisguise>,
+    /// End-state assertions checked after application.
+    pub assertions: Vec<Assertion>,
+    /// Non-blank source lines if this spec came from DSL text (Figure 4's
+    /// "Disguise LoC" metric).
+    pub source_loc: Option<usize>,
+}
+
+impl DisguiseSpec {
+    /// The table section for `table`, if present.
+    pub fn table(&self, table: &str) -> Option<&TableDisguise> {
+        self.tables
+            .iter()
+            .find(|t| t.table.eq_ignore_ascii_case(table))
+    }
+
+    /// All `(table, fk_column, parent_table)` decorrelations in this spec.
+    pub fn decorrelations(&self) -> Vec<(&str, &str, &str)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for pt in &t.transformations {
+                if let Transformation::Decorrelate {
+                    fk_column,
+                    parent_table,
+                } = &pt.transform
+                {
+                    out.push((t.table.as_str(), fk_column.as_str(), parent_table.as_str()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fluent builder for programmatic specs.
+///
+/// # Examples
+///
+/// ```
+/// use edna_core::spec::DisguiseSpecBuilder;
+///
+/// let spec = DisguiseSpecBuilder::new("UserScrub")
+///     .user_scoped()
+///     .remove("ReviewPreference", Some("contactId = $UID"))
+///     .decorrelate("Review", Some("contactId = $UID"), "contactId", "ContactInfo")
+///     .placeholder("ContactInfo", "email", edna_core::spec::Generator::Default(
+///         edna_relational::Value::Null))
+///     .build()
+///     .unwrap();
+/// assert_eq!(spec.name, "UserScrub");
+/// ```
+pub struct DisguiseSpecBuilder {
+    spec: DisguiseSpec,
+    error: Option<Error>,
+}
+
+impl DisguiseSpecBuilder {
+    /// Starts a builder for a disguise called `name` (global, reversible,
+    /// global-tier by default).
+    pub fn new(name: impl Into<String>) -> DisguiseSpecBuilder {
+        DisguiseSpecBuilder {
+            spec: DisguiseSpec {
+                name: name.into(),
+                user_scoped: false,
+                reversible: true,
+                vault_tier: VaultTier::Global,
+                expires_after: None,
+                tables: Vec::new(),
+                assertions: Vec::new(),
+                source_loc: None,
+            },
+            error: None,
+        }
+    }
+
+    /// Marks the disguise user-scoped (`$UID` parameterized); reveal
+    /// functions default to the per-user vault tier.
+    pub fn user_scoped(mut self) -> Self {
+        self.spec.user_scoped = true;
+        self.spec.vault_tier = VaultTier::PerUser;
+        self
+    }
+
+    /// Makes the disguise irreversible (no vault entries recorded).
+    pub fn irreversible(mut self) -> Self {
+        self.spec.reversible = false;
+        self
+    }
+
+    /// Overrides the vault tier.
+    pub fn vault_tier(mut self, tier: VaultTier) -> Self {
+        self.spec.vault_tier = tier;
+        self
+    }
+
+    /// Sets vault-entry expiry (logical seconds after application).
+    pub fn expires_after(mut self, seconds: i64) -> Self {
+        self.spec.expires_after = Some(seconds);
+        self
+    }
+
+    fn table_mut(&mut self, table: &str) -> &mut TableDisguise {
+        if let Some(i) = self
+            .spec
+            .tables
+            .iter()
+            .position(|t| t.table.eq_ignore_ascii_case(table))
+        {
+            &mut self.spec.tables[i]
+        } else {
+            self.spec.tables.push(TableDisguise::new(table));
+            self.spec.tables.last_mut().expect("just pushed")
+        }
+    }
+
+    fn parse_pred(&mut self, pred: Option<&str>) -> Option<Expr> {
+        match pred {
+            None => None,
+            Some(src) => match parse_expr(src) {
+                Ok(e) => Some(e),
+                Err(e) => {
+                    if self.error.is_none() {
+                        self.error = Some(Error::SpecInvalid {
+                            disguise: self.spec.name.clone(),
+                            message: format!("bad predicate {src:?}: {e}"),
+                        });
+                    }
+                    None
+                }
+            },
+        }
+    }
+
+    /// Adds a `Remove` transformation on `table` guarded by `pred`.
+    pub fn remove(mut self, table: &str, pred: Option<&str>) -> Self {
+        let pred = self.parse_pred(pred);
+        self.table_mut(table)
+            .transformations
+            .push(PredicatedTransform {
+                pred,
+                transform: Transformation::Remove,
+            });
+        self
+    }
+
+    /// Adds a `Decorrelate` of `table.fk_column` (referencing
+    /// `parent_table`) guarded by `pred`.
+    pub fn decorrelate(
+        mut self,
+        table: &str,
+        pred: Option<&str>,
+        fk_column: &str,
+        parent_table: &str,
+    ) -> Self {
+        let pred = self.parse_pred(pred);
+        self.table_mut(table)
+            .transformations
+            .push(PredicatedTransform {
+                pred,
+                transform: Transformation::Decorrelate {
+                    fk_column: fk_column.to_string(),
+                    parent_table: parent_table.to_string(),
+                },
+            });
+        self
+    }
+
+    /// Adds a `Modify` of `table.column` through `modifier`, guarded by
+    /// `pred`.
+    pub fn modify(
+        mut self,
+        table: &str,
+        pred: Option<&str>,
+        column: &str,
+        modifier: Modifier,
+    ) -> Self {
+        let pred = self.parse_pred(pred);
+        self.table_mut(table)
+            .transformations
+            .push(PredicatedTransform {
+                pred,
+                transform: Transformation::Modify {
+                    column: column.to_string(),
+                    modifier,
+                },
+            });
+        self
+    }
+
+    /// Declares a placeholder generator for `table.column` (used when
+    /// `table` is a decorrelation parent).
+    pub fn placeholder(mut self, table: &str, column: &str, generator: Generator) -> Self {
+        self.table_mut(table)
+            .generate_placeholder
+            .push((column.to_string(), generator));
+        self
+    }
+
+    /// Adds an end-state assertion: after application, zero rows of
+    /// `table` may match `pred`.
+    pub fn assert_empty(mut self, table: &str, pred: &str, description: &str) -> Self {
+        if let Some(p) = self.parse_pred(Some(pred)) {
+            self.spec.assertions.push(Assertion {
+                description: description.to_string(),
+                table: table.to_string(),
+                pred: p,
+            });
+        }
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Result<DisguiseSpec> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modifiers_apply() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let orig = Value::Text("Hello World".into());
+        assert_eq!(Modifier::SetNull.apply(&orig, &mut rng), Value::Null);
+        assert_eq!(
+            Modifier::Fixed(Value::Int(3)).apply(&orig, &mut rng),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Modifier::Redact.apply(&orig, &mut rng),
+            Value::Text("[deleted]".into())
+        );
+        assert_eq!(
+            Modifier::Truncate(5).apply(&orig, &mut rng),
+            Value::Text("Hello".into())
+        );
+        assert_eq!(
+            Modifier::Bucket(3600).apply(&Value::Int(3725), &mut rng),
+            Value::Int(3600)
+        );
+        let h1 = Modifier::HashText.apply(&orig, &mut rng);
+        let h2 = Modifier::HashText.apply(&orig, &mut rng);
+        assert_eq!(h1, h2, "hash modifier is deterministic");
+        assert_ne!(h1, orig);
+        if let Value::Int(i) = (Modifier::RandomInt { lo: 5, hi: 9 }).apply(&orig, &mut rng) {
+            assert!((5..=9).contains(&i));
+        } else {
+            panic!("expected int");
+        }
+        if let Value::Text(s) = Modifier::RandomText(8).apply(&orig, &mut rng) {
+            assert_eq!(s.len(), 8);
+        } else {
+            panic!("expected text");
+        }
+        let custom = Modifier::Custom {
+            name: "bump".into(),
+            f: Arc::new(|v| match v {
+                Value::Int(i) => Value::Int(i + 1),
+                other => other.clone(),
+            }),
+        };
+        assert_eq!(custom.apply(&Value::Int(9), &mut rng), Value::Int(10));
+    }
+
+    #[test]
+    fn builder_builds_spec() {
+        let spec = DisguiseSpecBuilder::new("T")
+            .user_scoped()
+            .remove("a", Some("uid = $UID"))
+            .decorrelate("b", Some("uid = $UID"), "uid", "users")
+            .modify("b", None, "text", Modifier::Redact)
+            .placeholder("users", "name", Generator::Random)
+            .assert_empty("a", "uid = $UID", "no rows left")
+            .expires_after(100)
+            .build()
+            .unwrap();
+        assert!(spec.user_scoped);
+        assert_eq!(spec.vault_tier, VaultTier::PerUser);
+        assert_eq!(spec.tables.len(), 3);
+        assert_eq!(spec.decorrelations(), vec![("b", "uid", "users")]);
+        assert_eq!(spec.assertions.len(), 1);
+        assert_eq!(spec.expires_after, Some(100));
+    }
+
+    #[test]
+    fn builder_reports_bad_predicates() {
+        let err = DisguiseSpecBuilder::new("T")
+            .remove("a", Some("this is ( not sql"))
+            .build();
+        assert!(matches!(err, Err(Error::SpecInvalid { .. })));
+    }
+}

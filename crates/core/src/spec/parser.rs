@@ -1,0 +1,666 @@
+//! Text DSL for disguise specifications, mirroring the paper's Figure 3.
+//!
+//! Example (the paper's `UserScrub` spec):
+//!
+//! ```text
+//! disguise_name: "UserScrub"
+//! user_to_disguise: $UID
+//! tables: {
+//!   ContactInfo: {
+//!     generate_placeholder: [
+//!       (name, Random),
+//!       (email, Default(NULL)),
+//!       (disabled, Default(TRUE)),
+//!     ],
+//!     transformations: [ Remove(pred: "contactId = $UID") ],
+//!   },
+//!   ReviewPreference: {
+//!     transformations: [ Remove(pred: "contactId = $UID") ],
+//!   },
+//!   Review: {
+//!     transformations: [
+//!       Decorrelate(pred: "contactId = $UID", foreign_key: (contactId, ContactInfo)),
+//!     ],
+//!   },
+//! }
+//! ```
+//!
+//! Deviations from Figure 3 (documented in DESIGN.md): table sections are
+//! brace-delimited rather than indentation-sensitive, and predicates are
+//! quoted SQL `WHERE` strings. `#` starts a line comment. Optional
+//! top-level keys: `reversible: true|false`, `vault_tier: global|per_user`,
+//! `expires_after: <seconds>`, and
+//! `assertions: [ ("description", Table, "pred"), ... ]` (paper §7).
+
+use edna_relational::{parse_expr, Expr, Value};
+use edna_vault::VaultTier;
+
+use crate::error::{Error, Result};
+
+use super::model::{
+    Assertion, DisguiseSpec, Generator, Modifier, PredicatedTransform, TableDisguise,
+    Transformation,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Param(String),
+    Sym(char),
+}
+
+struct Lexed {
+    tokens: Vec<(Tok, usize)>, // token + 1-based line
+}
+
+fn lex(src: &str) -> Result<Lexed> {
+    let mut tokens = Vec::new();
+    for (line_idx, raw_line) in src.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = match raw_line.find('#') {
+            // Only treat '#' as a comment when not inside a quote; handle
+            // cheaply by scanning.
+            Some(_) => strip_comment(raw_line),
+            None => raw_line.to_string(),
+        };
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' => i += 1,
+                '"' | '\'' => {
+                    let quote = c;
+                    let mut out = String::new();
+                    let mut j = i + 1;
+                    let mut closed = false;
+                    while j < bytes.len() {
+                        let cj = bytes[j] as char;
+                        if cj == quote {
+                            closed = true;
+                            break;
+                        }
+                        out.push(cj);
+                        j += 1;
+                    }
+                    if !closed {
+                        return Err(Error::SpecParse {
+                            line: line_no,
+                            message: "unterminated string".to_string(),
+                        });
+                    }
+                    tokens.push((Tok::Str(out), line_no));
+                    i = j + 1;
+                }
+                '$' => {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j == i + 1 {
+                        return Err(Error::SpecParse {
+                            line: line_no,
+                            message: "empty parameter after '$'".to_string(),
+                        });
+                    }
+                    tokens.push((Tok::Param(line[i + 1..j].to_string()), line_no));
+                    i = j;
+                }
+                '0'..='9' | '-' => {
+                    let mut j = i + 1;
+                    let mut is_float = false;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'0'..=b'9' => j += 1,
+                            b'.' if !is_float => {
+                                is_float = true;
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let text = &line[i..j];
+                    let tok = if is_float {
+                        Tok::Float(text.parse().map_err(|_| Error::SpecParse {
+                            line: line_no,
+                            message: format!("bad number {text}"),
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| Error::SpecParse {
+                            line: line_no,
+                            message: format!("bad number {text}"),
+                        })?)
+                    };
+                    tokens.push((tok, line_no));
+                    i = j;
+                }
+                'a'..='z' | 'A'..='Z' | '_' => {
+                    let mut j = i;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    tokens.push((Tok::Ident(line[i..j].to_string()), line_no));
+                    i = j;
+                }
+                ':' | ',' | '(' | ')' | '[' | ']' | '{' | '}' => {
+                    tokens.push((Tok::Sym(c), line_no));
+                    i += 1;
+                }
+                other => {
+                    return Err(Error::SpecParse {
+                        line: line_no,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(Lexed { tokens })
+}
+
+/// Removes a `#` comment that is outside any quotes.
+fn strip_comment(line: &str) -> String {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            None if c == '"' || c == '\'' => in_quote = Some(c),
+            None if c == '#' => return line[..i].to_string(),
+            _ => {}
+        }
+    }
+    line.to_string()
+}
+
+/// Counts non-blank, non-comment lines: the "Disguise LoC" metric of the
+/// paper's Figure 4.
+pub fn spec_loc(src: &str) -> usize {
+    src.lines()
+        .filter(|l| !strip_comment(l).trim().is_empty())
+        .count()
+}
+
+/// Parses a disguise specification from DSL text.
+pub fn parse_spec(src: &str) -> Result<DisguiseSpec> {
+    let lexed = lex(src)?;
+    let mut p = P {
+        toks: lexed.tokens,
+        pos: 0,
+    };
+    let mut name: Option<String> = None;
+    let mut user_scoped = false;
+    let mut reversible = true;
+    let mut vault_tier: Option<VaultTier> = None;
+    let mut expires_after: Option<i64> = None;
+    let mut tables: Vec<TableDisguise> = Vec::new();
+    let mut assertions: Vec<Assertion> = Vec::new();
+
+    while !p.at_eof() {
+        let key = p.ident("top-level key")?;
+        p.sym(':')?;
+        match key.as_str() {
+            "disguise_name" => name = Some(p.string("disguise name")?),
+            "user_to_disguise" => {
+                let param = p.param("user parameter")?;
+                if param != "UID" {
+                    return Err(p.error(format!("user_to_disguise must be $UID, found ${param}")));
+                }
+                user_scoped = true;
+            }
+            "reversible" => reversible = p.boolean()?,
+            "vault_tier" => {
+                let v = p.ident("vault tier")?;
+                vault_tier = Some(match v.as_str() {
+                    "global" => VaultTier::Global,
+                    "per_user" => VaultTier::PerUser,
+                    other => {
+                        return Err(p.error(format!(
+                            "vault_tier must be global or per_user, found {other}"
+                        )))
+                    }
+                });
+            }
+            "expires_after" => {
+                expires_after = Some(match p.next("expiry seconds")? {
+                    Tok::Int(i) => i,
+                    other => return Err(p.error(format!("expected integer, found {other:?}"))),
+                });
+            }
+            "tables" => {
+                p.sym('{')?;
+                while !p.peek_sym('}') {
+                    let table = p.ident("table name")?;
+                    p.sym(':')?;
+                    tables.push(p.table_section(table)?);
+                    p.opt_sym(',');
+                }
+                p.sym('}')?;
+            }
+            "assertions" => {
+                p.sym('[')?;
+                while !p.peek_sym(']') {
+                    p.sym('(')?;
+                    let description = p.string("assertion description")?;
+                    p.sym(',')?;
+                    let table = p.ident("assertion table")?;
+                    p.sym(',')?;
+                    let pred = p.predicate()?;
+                    p.sym(')')?;
+                    assertions.push(Assertion {
+                        description,
+                        table,
+                        pred,
+                    });
+                    p.opt_sym(',');
+                }
+                p.sym(']')?;
+            }
+            other => return Err(p.error(format!("unknown top-level key {other}"))),
+        }
+        p.opt_sym(',');
+    }
+
+    let name = name.ok_or_else(|| Error::SpecParse {
+        line: 1,
+        message: "missing disguise_name".to_string(),
+    })?;
+    let vault_tier = vault_tier.unwrap_or(if user_scoped {
+        VaultTier::PerUser
+    } else {
+        VaultTier::Global
+    });
+    Ok(DisguiseSpec {
+        name,
+        user_scoped,
+        reversible,
+        vault_tier,
+        expires_after,
+        tables,
+        assertions,
+        source_loc: Some(spec_loc(src)),
+    })
+}
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl P {
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: String) -> Error {
+        Error::SpecParse {
+            line: self.line(),
+            message,
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.error(format!("unexpected end of spec, expected {what}")))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next(what)? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        match self.next(what)? {
+            Tok::Str(s) => Ok(s),
+            other => Err(self.error(format!("expected quoted {what}, found {other:?}"))),
+        }
+    }
+
+    fn param(&mut self, what: &str) -> Result<String> {
+        match self.next(what)? {
+            Tok::Param(s) => Ok(s),
+            other => Err(self.error(format!("expected ${what}, found {other:?}"))),
+        }
+    }
+
+    fn boolean(&mut self) -> Result<bool> {
+        let id = self.ident("boolean")?;
+        match id.to_ascii_lowercase().as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(self.error(format!("expected true/false, found {other}"))),
+        }
+    }
+
+    fn sym(&mut self, c: char) -> Result<()> {
+        match self.next(&format!("{c:?}"))? {
+            Tok::Sym(s) if s == c => Ok(()),
+            other => Err(self.error(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn peek_sym(&self, c: char) -> bool {
+        matches!(self.toks.get(self.pos), Some((Tok::Sym(s), _)) if *s == c)
+    }
+
+    fn opt_sym(&mut self, c: char) -> bool {
+        if self.peek_sym(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        let src = self.string("predicate")?;
+        parse_expr(&src).map_err(|e| self.error(format!("bad predicate {src:?}: {e}")))
+    }
+
+    /// Parses a literal value: NULL, TRUE, FALSE, int, float, or string.
+    fn literal(&mut self) -> Result<Value> {
+        match self.next("literal")? {
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Float(x) => Ok(Value::Float(x)),
+            Tok::Str(s) => Ok(Value::Text(s)),
+            Tok::Ident(id) => match id.to_ascii_uppercase().as_str() {
+                "NULL" => Ok(Value::Null),
+                "TRUE" => Ok(Value::Bool(true)),
+                "FALSE" => Ok(Value::Bool(false)),
+                other => Err(self.error(format!("expected literal, found {other}"))),
+            },
+            other => Err(self.error(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn table_section(&mut self, table: String) -> Result<TableDisguise> {
+        let mut section = TableDisguise::new(table);
+        self.sym('{')?;
+        while !self.peek_sym('}') {
+            let key = self.ident("table section key")?;
+            self.sym(':')?;
+            match key.as_str() {
+                "generate_placeholder" => {
+                    self.sym('[')?;
+                    while !self.peek_sym(']') {
+                        self.sym('(')?;
+                        let column = self.ident("placeholder column")?;
+                        self.sym(',')?;
+                        let gen = self.generator()?;
+                        self.sym(')')?;
+                        section.generate_placeholder.push((column, gen));
+                        self.opt_sym(',');
+                    }
+                    self.sym(']')?;
+                }
+                "transformations" => {
+                    self.sym('[')?;
+                    while !self.peek_sym(']') {
+                        section.transformations.push(self.transformation()?);
+                        self.opt_sym(',');
+                    }
+                    self.sym(']')?;
+                }
+                other => return Err(self.error(format!("unknown table section key {other}"))),
+            }
+            self.opt_sym(',');
+        }
+        self.sym('}')?;
+        Ok(section)
+    }
+
+    fn generator(&mut self) -> Result<Generator> {
+        let kind = self.ident("generator")?;
+        match kind.as_str() {
+            "Random" => Ok(Generator::Random),
+            "Default" => {
+                self.sym('(')?;
+                let v = self.literal()?;
+                self.sym(')')?;
+                Ok(Generator::Default(v))
+            }
+            other => Err(self.error(format!(
+                "unknown generator {other} (expected Random or Default)"
+            ))),
+        }
+    }
+
+    fn transformation(&mut self) -> Result<PredicatedTransform> {
+        let kind = self.ident("transformation")?;
+        self.sym('(')?;
+        let mut pred: Option<Expr> = None;
+        let mut column: Option<String> = None;
+        let mut modifier: Option<Modifier> = None;
+        let mut foreign_key: Option<(String, String)> = None;
+        while !self.peek_sym(')') {
+            let key = self.ident("transformation key")?;
+            self.sym(':')?;
+            match key.as_str() {
+                "pred" => pred = Some(self.predicate()?),
+                "column" => column = Some(self.ident("column name")?),
+                "modifier" => modifier = Some(self.modifier()?),
+                "foreign_key" => {
+                    self.sym('(')?;
+                    let fk_col = self.ident("foreign key column")?;
+                    self.sym(',')?;
+                    let parent = self.ident("parent table")?;
+                    self.sym(')')?;
+                    foreign_key = Some((fk_col, parent));
+                }
+                other => return Err(self.error(format!("unknown transformation key {other}"))),
+            }
+            self.opt_sym(',');
+        }
+        self.sym(')')?;
+        let transform = match kind.as_str() {
+            "Remove" => Transformation::Remove,
+            "Decorrelate" => {
+                let (fk_column, parent_table) = foreign_key.ok_or_else(|| {
+                    self.error("Decorrelate requires foreign_key: (col, Parent)".to_string())
+                })?;
+                Transformation::Decorrelate {
+                    fk_column,
+                    parent_table,
+                }
+            }
+            "Modify" => {
+                let column =
+                    column.ok_or_else(|| self.error("Modify requires column".to_string()))?;
+                let modifier =
+                    modifier.ok_or_else(|| self.error("Modify requires modifier".to_string()))?;
+                Transformation::Modify { column, modifier }
+            }
+            other => return Err(self.error(format!("unknown transformation {other}"))),
+        };
+        Ok(PredicatedTransform { pred, transform })
+    }
+
+    fn modifier(&mut self) -> Result<Modifier> {
+        let kind = self.ident("modifier")?;
+        let mut args: Vec<Value> = Vec::new();
+        if self.opt_sym('(') {
+            while !self.peek_sym(')') {
+                args.push(self.literal()?);
+                self.opt_sym(',');
+            }
+            self.sym(')')?;
+        }
+        let arity_err = |p: &P, want: &str| p.error(format!("modifier {kind} expects {want}"));
+        match kind.as_str() {
+            "SetNull" => Ok(Modifier::SetNull),
+            "Redact" => Ok(Modifier::Redact),
+            "HashText" => Ok(Modifier::HashText),
+            "Fixed" => match args.as_slice() {
+                [v] => Ok(Modifier::Fixed(v.clone())),
+                _ => Err(arity_err(self, "one literal argument")),
+            },
+            "Truncate" => match args.as_slice() {
+                [Value::Int(n)] if *n >= 0 => Ok(Modifier::Truncate(*n as usize)),
+                _ => Err(arity_err(self, "one non-negative integer")),
+            },
+            "RandomInt" => match args.as_slice() {
+                [Value::Int(lo), Value::Int(hi)] if lo <= hi => {
+                    Ok(Modifier::RandomInt { lo: *lo, hi: *hi })
+                }
+                _ => Err(arity_err(self, "two integers lo <= hi")),
+            },
+            "RandomText" => match args.as_slice() {
+                [Value::Int(n)] if *n >= 0 => Ok(Modifier::RandomText(*n as usize)),
+                _ => Err(arity_err(self, "one non-negative integer")),
+            },
+            "Bucket" => match args.as_slice() {
+                [Value::Int(w)] if *w > 0 => Ok(Modifier::Bucket(*w)),
+                _ => Err(arity_err(self, "one positive integer")),
+            },
+            other => Err(self.error(format!("unknown modifier {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = r#"
+# Figure 3 of the paper: part of HotCRP's user scrubbing disguise.
+disguise_name: "UserScrub"
+user_to_disguise: $UID
+tables: {
+  ContactInfo: {
+    generate_placeholder: [
+      (name, Random),
+      (email, Default(NULL)),
+      (disabled, Default(TRUE)),
+    ],
+    transformations: [ Remove(pred: "contactId = $UID") ],
+  },
+  ReviewPreference: {
+    transformations: [ Remove(pred: "contactId = $UID") ],
+  },
+  Review: {
+    transformations: [
+      Decorrelate(pred: "contactId = $UID", foreign_key: (contactId, ContactInfo)),
+    ],
+  },
+}
+"#;
+
+    #[test]
+    fn parses_figure_3() {
+        let spec = parse_spec(FIG3).unwrap();
+        assert_eq!(spec.name, "UserScrub");
+        assert!(spec.user_scoped);
+        assert!(spec.reversible);
+        assert_eq!(spec.vault_tier, VaultTier::PerUser);
+        assert_eq!(spec.tables.len(), 3);
+        let ci = spec.table("ContactInfo").unwrap();
+        assert_eq!(ci.generate_placeholder.len(), 3);
+        assert!(matches!(ci.generate_placeholder[0].1, Generator::Random));
+        assert!(matches!(
+            ci.transformations[0].transform,
+            Transformation::Remove
+        ));
+        assert_eq!(
+            spec.decorrelations(),
+            vec![("Review", "contactId", "ContactInfo")]
+        );
+        assert_eq!(spec.source_loc, Some(20));
+    }
+
+    #[test]
+    fn parses_modifiers_and_assertions() {
+        let src = r#"
+disguise_name: "Decay"
+reversible: false
+vault_tier: global
+expires_after: 86400
+tables: {
+  comments: {
+    transformations: [
+      Modify(pred: "created_at < 100", column: body, modifier: Truncate(80)),
+      Modify(column: score, modifier: Bucket(10)),
+      Modify(column: ip, modifier: SetNull),
+      Modify(column: title, modifier: Fixed('gone')),
+      Modify(column: email, modifier: HashText),
+      Modify(column: karma, modifier: RandomInt(0, 5)),
+      Modify(column: name, modifier: RandomText(6)),
+      Modify(column: note, modifier: Redact),
+    ],
+  },
+}
+assertions: [
+  ("no raw ips", comments, "ip IS NOT NULL"),
+]
+"#;
+        let spec = parse_spec(src).unwrap();
+        assert!(!spec.reversible);
+        assert_eq!(spec.expires_after, Some(86400));
+        assert_eq!(spec.tables[0].transformations.len(), 8);
+        assert_eq!(spec.assertions.len(), 1);
+        assert_eq!(spec.assertions[0].table, "comments");
+        // Unpredicated transform has no predicate.
+        assert!(spec.tables[0].transformations[1].pred.is_none());
+    }
+
+    #[test]
+    fn loc_counts_skip_comments_and_blanks() {
+        assert_eq!(spec_loc("a\n\n# comment\nb # trailing\n  \n"), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spec("disguise_name: \"x\"\nbogus_key: 3\n").unwrap_err();
+        match err {
+            Error::SpecParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_predicate_rejected() {
+        let src = r#"
+disguise_name: "x"
+tables: { t: { transformations: [ Remove(pred: "not ( valid") ] } }
+"#;
+        assert!(parse_spec(src).is_err());
+    }
+
+    #[test]
+    fn missing_name_rejected() {
+        assert!(parse_spec("reversible: true").is_err());
+    }
+
+    #[test]
+    fn decorrelate_requires_foreign_key() {
+        let src = r#"
+disguise_name: "x"
+tables: { t: { transformations: [ Decorrelate(pred: "a = 1") ] } }
+"#;
+        assert!(parse_spec(src).is_err());
+    }
+
+    #[test]
+    fn hash_comment_inside_string_is_kept() {
+        let src = "disguise_name: \"has#hash\"\n";
+        let spec = parse_spec(src).unwrap();
+        assert_eq!(spec.name, "has#hash");
+    }
+}

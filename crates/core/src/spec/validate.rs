@@ -1,0 +1,267 @@
+//! Spec validation against a database schema.
+//!
+//! Validation runs at registration time ([`crate::Disguiser::register`]) so
+//! that malformed disguises fail fast rather than mid-transaction. Checks:
+//!
+//! - every referenced table and column exists;
+//! - decorrelation targets have primary keys and (if NOT NULL columns lack
+//!   defaults) placeholder generators covering them;
+//! - tables with `Decorrelate`/`Modify` transformations have primary keys
+//!   (row identity is needed for reveal functions);
+//! - predicate and assertion columns resolve;
+//! - user-scoped specs reference `$UID` somewhere, global ones never do.
+
+use edna_relational::{Database, Expr, TableSchema};
+
+use crate::error::{Error, Result};
+
+use super::model::{DisguiseSpec, Transformation};
+
+/// Validates `spec` against the schema in `db`.
+pub fn validate_spec(spec: &DisguiseSpec, db: &Database) -> Result<()> {
+    let fail = |message: String| Error::SpecInvalid {
+        disguise: spec.name.clone(),
+        message,
+    };
+    let mut saw_uid = false;
+    for section in &spec.tables {
+        let schema = db
+            .schema(&section.table)
+            .map_err(|_| fail(format!("no such table {}", section.table)))?;
+        for (col, _) in &section.generate_placeholder {
+            if schema.column_index(col).is_none() {
+                return Err(fail(format!(
+                    "placeholder column {}.{col} does not exist",
+                    section.table
+                )));
+            }
+        }
+        for pt in &section.transformations {
+            if let Some(pred) = &pt.pred {
+                check_pred_columns(pred, &schema).map_err(&fail)?;
+                if !pred.referenced_params().is_empty() {
+                    saw_uid = true;
+                }
+            }
+            match &pt.transform {
+                Transformation::Remove => {}
+                Transformation::Decorrelate {
+                    fk_column,
+                    parent_table,
+                } => {
+                    if schema.column_index(fk_column).is_none() {
+                        return Err(fail(format!(
+                            "decorrelate column {}.{fk_column} does not exist",
+                            section.table
+                        )));
+                    }
+                    let parent = db.schema(parent_table).map_err(|_| {
+                        fail(format!(
+                            "decorrelation parent table {parent_table} does not exist"
+                        ))
+                    })?;
+                    if parent.primary_key.is_none() {
+                        return Err(Error::NeedsPrimaryKey {
+                            table: parent_table.clone(),
+                            context: "placeholder creation".to_string(),
+                        });
+                    }
+                    if schema.primary_key.is_none() {
+                        return Err(Error::NeedsPrimaryKey {
+                            table: section.table.clone(),
+                            context: "decorrelation reveal functions".to_string(),
+                        });
+                    }
+                    check_placeholder_coverage(spec, &parent).map_err(&fail)?;
+                }
+                Transformation::Modify { column, .. } => {
+                    if schema.column_index(column).is_none() {
+                        return Err(fail(format!(
+                            "modified column {}.{column} does not exist",
+                            section.table
+                        )));
+                    }
+                    if schema.primary_key.is_none() {
+                        return Err(Error::NeedsPrimaryKey {
+                            table: section.table.clone(),
+                            context: "modification reveal functions".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for assertion in &spec.assertions {
+        let schema = db.schema(&assertion.table).map_err(|_| {
+            fail(format!(
+                "assertion table {} does not exist",
+                assertion.table
+            ))
+        })?;
+        check_pred_columns(&assertion.pred, &schema).map_err(&fail)?;
+        if !assertion.pred.referenced_params().is_empty() {
+            saw_uid = true;
+        }
+    }
+    if spec.user_scoped && !saw_uid {
+        return Err(fail(
+            "user-scoped disguise never references $UID in any predicate".to_string(),
+        ));
+    }
+    if !spec.user_scoped && saw_uid {
+        return Err(fail(
+            "global disguise references $UID; mark it user_to_disguise: $UID".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn check_pred_columns(pred: &Expr, schema: &TableSchema) -> std::result::Result<(), String> {
+    for col in pred.referenced_columns() {
+        if schema.column_index(&col).is_none() {
+            return Err(format!(
+                "predicate references unknown column {}.{col}",
+                schema.name
+            ));
+        }
+    }
+    for param in pred.referenced_params() {
+        if param != "UID" {
+            return Err(format!("only $UID parameters are allowed, found ${param}"));
+        }
+    }
+    Ok(())
+}
+
+/// Every NOT NULL, non-defaulted, non-auto-increment column of a
+/// decorrelation parent must be covered by a placeholder generator.
+fn check_placeholder_coverage(
+    spec: &DisguiseSpec,
+    parent: &TableSchema,
+) -> std::result::Result<(), String> {
+    let generators = spec
+        .table(&parent.name)
+        .map(|t| t.generate_placeholder.as_slice())
+        .unwrap_or(&[]);
+    for (i, col) in parent.columns.iter().enumerate() {
+        if Some(i) == parent.primary_key || col.auto_increment {
+            continue;
+        }
+        if col.not_null && col.default.is_none() {
+            let covered = generators
+                .iter()
+                .any(|(name, _)| name.eq_ignore_ascii_case(&col.name));
+            if !covered {
+                return Err(format!(
+                    "placeholder for {} leaves NOT NULL column {} without a generator",
+                    parent.name, col.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Generator};
+    use edna_relational::Value;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, \
+             name TEXT NOT NULL, email TEXT);
+             CREATE TABLE reviews (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        let spec = DisguiseSpecBuilder::new("ok")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .placeholder("users", "name", Generator::Random)
+            .remove("users", Some("id = $UID"))
+            .assert_empty("reviews", "user_id = $UID", "no reviews")
+            .build()
+            .unwrap();
+        validate_spec(&spec, &db()).unwrap();
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let spec = DisguiseSpecBuilder::new("bad")
+            .remove("nope", None)
+            .build()
+            .unwrap();
+        assert!(validate_spec(&spec, &db()).is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_column_fails() {
+        let spec = DisguiseSpecBuilder::new("bad")
+            .remove("users", Some("ghost = 1"))
+            .build()
+            .unwrap();
+        assert!(validate_spec(&spec, &db()).is_err());
+    }
+
+    #[test]
+    fn missing_placeholder_generator_for_not_null_fails() {
+        // users.name is NOT NULL with no default; a decorrelate into users
+        // without a generator for it must fail.
+        let spec = DisguiseSpecBuilder::new("bad")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .build()
+            .unwrap();
+        let err = validate_spec(&spec, &db()).unwrap_err();
+        assert!(err.to_string().contains("name"), "got: {err}");
+    }
+
+    #[test]
+    fn user_scope_mismatch_fails() {
+        let no_uid = DisguiseSpecBuilder::new("bad")
+            .user_scoped()
+            .remove("users", Some("id = 3"))
+            .build()
+            .unwrap();
+        assert!(validate_spec(&no_uid, &db()).is_err());
+
+        let uid_in_global = DisguiseSpecBuilder::new("bad2")
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        assert!(validate_spec(&uid_in_global, &db()).is_err());
+    }
+
+    #[test]
+    fn foreign_params_rejected() {
+        let spec = DisguiseSpecBuilder::new("bad")
+            .user_scoped()
+            .remove("users", Some("id = $OTHER"))
+            .build()
+            .unwrap();
+        assert!(validate_spec(&spec, &db()).is_err());
+    }
+
+    #[test]
+    fn fixed_generators_cover_not_null() {
+        let spec = DisguiseSpecBuilder::new("ok")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .placeholder(
+                "users",
+                "name",
+                Generator::Default(Value::Text("anon".into())),
+            )
+            .build()
+            .unwrap();
+        validate_spec(&spec, &db()).unwrap();
+    }
+}

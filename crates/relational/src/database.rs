@@ -1,0 +1,1009 @@
+//! The public database handle.
+//!
+//! [`Database`] is cheaply cloneable (`Arc` inside) and thread-safe: all
+//! state sits behind a [`parking_lot::Mutex`], statistics are atomic, and
+//! transactions serialize writers (single-writer semantics, as the paper's
+//! prototype applies each disguise in one large SQL transaction).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{Error, Result};
+use crate::exec::{Inner, QueryResult};
+use crate::expr::Expr;
+use crate::parser::{parse_script, parse_statement, Statement};
+use crate::schema::TableSchema;
+use crate::stats::{LatencyModel, Stats, StatsSnapshot};
+use crate::txn::Txn;
+use crate::value::{Row, Value};
+
+/// An in-process relational database.
+///
+/// # Examples
+///
+/// ```
+/// use edna_relational::Database;
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)").unwrap();
+/// db.execute("INSERT INTO t (name) VALUES ('bea'), ('axolotl')").unwrap();
+/// let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+/// assert_eq!(r.scalar().unwrap().as_int().unwrap(), 2);
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Mutex<Inner>>,
+    stats: Arc<Stats>,
+    latency: Arc<RwLock<LatencyModel>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database {
+            inner: Arc::new(Mutex::new(Inner::new())),
+            stats: Arc::new(Stats::default()),
+            latency: Arc::new(RwLock::new(LatencyModel::NONE)),
+        }
+    }
+
+    // ---- SQL execution ----------------------------------------------------
+
+    /// Parses and executes one SQL statement without parameters.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_params(sql, &HashMap::new())
+    }
+
+    /// Parses and executes one SQL statement with bound `$param`s.
+    pub fn execute_with_params(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_stmt(&stmt, params)
+    }
+
+    /// Executes a pre-parsed statement.
+    pub fn execute_stmt(
+        &self,
+        stmt: &Statement,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                self.begin()?;
+                return Ok(QueryResult::default());
+            }
+            Statement::Commit => {
+                self.commit()?;
+                return Ok(QueryResult::default());
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                return Ok(QueryResult::default());
+            }
+            _ => {}
+        }
+        self.run_in_txn(|inner| inner.execute_stmt(stmt, params, &self.stats))
+    }
+
+    /// Executes a `;`-separated script, stopping at the first error (any
+    /// open explicit transaction is left open, mirroring SQL CLIs).
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = parse_script(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_stmt(stmt, &HashMap::new())?);
+        }
+        Ok(out)
+    }
+
+    /// Runs `f` inside the open transaction, or an implicit per-statement
+    /// transaction if none is open (rolled back on error). The engine lock
+    /// is released before any synthetic latency is charged, so concurrent
+    /// callers overlap their simulated I/O.
+    fn run_in_txn<T>(&self, f: impl FnOnce(&mut Inner) -> Result<T>) -> Result<T> {
+        let written_before = self.stats.snapshot().rows_written;
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let result = if inner.txn.is_some() {
+            let mark = inner.txn.as_ref().expect("checked").mark();
+            match f(inner) {
+                Ok(v) => Ok(v),
+                Err(e) => {
+                    // Statement-level rollback within the explicit txn.
+                    let txn = inner.txn.take().expect("still open");
+                    let txn = inner.rollback_to(txn, mark);
+                    inner.txn = Some(txn);
+                    Err(e)
+                }
+            }
+        } else {
+            inner.txn = Some(Txn::implicit());
+            match f(inner) {
+                Ok(v) => {
+                    inner.txn = None;
+                    Ok(v)
+                }
+                Err(e) => {
+                    let txn = inner.txn.take().expect("installed above");
+                    inner.rollback(txn);
+                    Err(e)
+                }
+            }
+        };
+        drop(guard);
+        let latency = *self.latency.read();
+        if !latency.is_none() {
+            let written_after = self.stats.snapshot().rows_written;
+            latency.charge(written_after.saturating_sub(written_before));
+        }
+        result
+    }
+
+    // ---- transactions ------------------------------------------------------
+
+    /// Opens an explicit transaction; errors if one is already open.
+    pub fn begin(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.txn.is_some() {
+            return Err(Error::Txn("transaction already open".to_string()));
+        }
+        inner.txn = Some(Txn::explicit());
+        Ok(())
+    }
+
+    /// Commits the open transaction; errors if none is open.
+    pub fn commit(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        match inner.txn.take() {
+            Some(_) => Ok(()),
+            None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
+        }
+    }
+
+    /// Rolls back the open transaction; errors if none is open.
+    pub fn rollback(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        match inner.txn.take() {
+            Some(txn) => {
+                inner.rollback(txn);
+                Ok(())
+            }
+            None => Err(Error::Txn("ROLLBACK without BEGIN".to_string())),
+        }
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.inner.lock().txn.as_ref().is_some_and(|t| !t.implicit)
+    }
+
+    /// Runs `f` inside a fresh explicit transaction, committing on `Ok` and
+    /// rolling back on `Err`.
+    pub fn transaction<T>(&self, f: impl FnOnce(&Database) -> Result<T>) -> Result<T> {
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Rollback can only fail if the txn vanished; prefer the
+                // original error either way.
+                let _ = self.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    // ---- schema and typed access -------------------------------------------
+
+    /// The schema of `table`.
+    pub fn schema(&self, table: &str) -> Result<TableSchema> {
+        Ok(self.inner.lock().table(table)?.schema.clone())
+    }
+
+    /// All table names, in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner
+            .table_order
+            .iter()
+            .map(|k| inner.tables[k].schema.name.clone())
+            .collect()
+    }
+
+    /// Whether `table` exists.
+    pub fn has_table(&self, table: &str) -> bool {
+        self.inner.lock().table(table).is_ok()
+    }
+
+    /// Number of live rows in `table`.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.inner.lock().table(table)?.len())
+    }
+
+    /// Rows of `table` matching `where_` (all rows if `None`), as full rows
+    /// in schema column order.
+    pub fn select_rows(
+        &self,
+        table: &str,
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+    ) -> Result<Vec<Row>> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.selects, 1);
+        let rows = {
+            let inner = self.inner.lock();
+            let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
+            let t = inner.table(table)?;
+            ids.iter()
+                .map(|&id| t.get(id).expect("live").clone())
+                .collect()
+        };
+        let latency = *self.latency.read();
+        latency.charge(0);
+        Ok(rows)
+    }
+
+    /// Inserts one row given `(column, value)` pairs; omitted columns take
+    /// their default (or auto-increment). Returns the auto-assigned id, if
+    /// any.
+    pub fn insert_row(&self, table: &str, values: &[(&str, Value)]) -> Result<Option<i64>> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.inserts, 1);
+        self.run_in_txn(|inner| {
+            let schema = inner.table(table)?.schema.clone();
+            let mut row: Row = schema
+                .columns
+                .iter()
+                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .collect();
+            for (col, v) in values {
+                let pos = schema.require_column(col)?;
+                row[pos] = v.clone();
+            }
+            inner.insert_row_checked(table, row, &self.stats)
+        })
+    }
+
+    /// Deletes rows matching `where_`, applying referential actions;
+    /// returns the number of rows removed (including cascades).
+    pub fn delete_where(
+        &self,
+        table: &str,
+        where_: &Expr,
+        params: &HashMap<String, Value>,
+    ) -> Result<usize> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.deletes, 1);
+        self.run_in_txn(|inner| {
+            let ids = inner.matching_row_ids(table, Some(where_), params, &self.stats)?;
+            let mut removed = 0;
+            for id in ids {
+                if inner.table(table)?.get(id).is_some() {
+                    removed += inner.delete_row_checked(table, id, &self.stats)?;
+                }
+            }
+            Ok(removed)
+        })
+    }
+
+    /// Like [`Database::delete_where`], but returns every removed row
+    /// (including cascaded child rows) as `(table, row)` pairs in deletion
+    /// order — children precede the parent whose deletion cascaded to them.
+    pub fn delete_where_returning(
+        &self,
+        table: &str,
+        where_: &Expr,
+        params: &HashMap<String, Value>,
+    ) -> Result<Vec<(String, Row)>> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.deletes, 1);
+        self.run_in_txn(|inner| {
+            let ids = inner.matching_row_ids(table, Some(where_), params, &self.stats)?;
+            let mut collected = Vec::new();
+            for id in ids {
+                if inner.table(table)?.get(id).is_some() {
+                    inner.delete_row_collect(table, id, &self.stats, &mut collected)?;
+                }
+            }
+            Ok(collected)
+        })
+    }
+
+    /// Inserts one fully materialized row (all columns, in schema order,
+    /// including any explicit primary key). Used to restore rows verbatim.
+    pub fn insert_full_row(&self, table: &str, row: Row) -> Result<()> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.inserts, 1);
+        self.run_in_txn(|inner| {
+            inner.insert_row_checked(table, row, &self.stats)?;
+            Ok(())
+        })
+    }
+
+    /// Updates every row matching `where_` through `f`, which may mutate
+    /// the row in place. Constraints are enforced per row.
+    pub fn update_with(
+        &self,
+        table: &str,
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        mut f: impl FnMut(&TableSchema, &mut Row) -> Result<()>,
+    ) -> Result<usize> {
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.updates, 1);
+        self.run_in_txn(|inner| {
+            let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
+            let schema = inner.table(table)?.schema.clone();
+            let mut n = 0;
+            for id in ids {
+                let mut row = inner.table(table)?.get(id).expect("live").clone();
+                f(&schema, &mut row)?;
+                inner.update_row_checked(table, id, row, &self.stats)?;
+                n += 1;
+            }
+            Ok(n)
+        })
+    }
+
+    // ---- clock, stats, latency ----------------------------------------------
+
+    /// The logical clock value returned by `NOW()`.
+    pub fn now(&self) -> i64 {
+        self.inner.lock().now
+    }
+
+    /// Sets the logical clock (used by expiration/decay policies).
+    pub fn set_now(&self, now: i64) {
+        self.inner.lock().now = now;
+    }
+
+    /// A snapshot of the execution counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the execution counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Sets the synthetic latency model.
+    pub fn set_latency(&self, model: LatencyModel) {
+        *self.latency.write() = model;
+    }
+
+    /// The current synthetic latency model.
+    pub fn latency(&self) -> LatencyModel {
+        *self.latency.read()
+    }
+
+    /// Names of the indexed columns of `table` (implicit PK/UNIQUE indexes
+    /// and explicit `CREATE INDEX`es), in index-creation order — the order
+    /// the executor tries them for predicate probes.
+    pub fn index_columns(&self, table: &str) -> Result<Vec<String>> {
+        let inner = self.inner.lock();
+        let t = inner.table(table)?;
+        Ok(t.indexes
+            .iter()
+            .map(|ix| t.schema.columns[ix.column].name.clone())
+            .collect())
+    }
+
+    /// Extracts serializable images of every table, in creation order
+    /// (used by [`crate::snapshot`]).
+    pub fn snapshot_tables(&self) -> Result<Vec<crate::snapshot::TableSnapshot>> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.table_order.len());
+        for key in &inner.table_order {
+            let t = &inner.tables[key];
+            let indexes = t
+                .indexes
+                .iter()
+                .filter(|ix| !ix.name.starts_with("_auto_"))
+                .map(|ix| {
+                    (
+                        ix.name.clone(),
+                        t.schema.columns[ix.column].name.clone(),
+                        ix.unique,
+                    )
+                })
+                .collect();
+            out.push(crate::snapshot::TableSnapshot {
+                schema: t.schema.clone(),
+                next_auto: t.next_auto,
+                indexes,
+                rows: t.iter().map(|(_, r)| r.clone()).collect(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a database from table images (used by [`crate::snapshot`]).
+    /// Rows are assumed internally consistent; constraints are *not*
+    /// re-checked row by row, but indexes are rebuilt.
+    pub fn from_snapshots(snapshots: Vec<crate::snapshot::TableSnapshot>) -> Result<Database> {
+        let db = Database::new();
+        {
+            let mut inner = db.inner.lock();
+            for snap in snapshots {
+                snap.schema.validate()?;
+                let key = snap.schema.name.to_lowercase();
+                if inner.tables.contains_key(&key) {
+                    return Err(Error::AlreadyExists(snap.schema.name.clone()));
+                }
+                let mut table = crate::storage::Table::new(snap.schema);
+                for (name, column, unique) in snap.indexes {
+                    let pos = table.schema.require_column(&column)?;
+                    table.add_index(name, pos, unique)?;
+                }
+                for row in snap.rows {
+                    if row.len() != table.schema.arity() {
+                        return Err(Error::Eval(format!(
+                            "snapshot row arity mismatch in {}",
+                            table.schema.name
+                        )));
+                    }
+                    table.insert_unchecked(row);
+                }
+                table.next_auto = snap.next_auto;
+                inner.tables.insert(key.clone(), table);
+                inner.table_order.push(key);
+            }
+        }
+        Ok(db)
+    }
+
+    /// Saves the database to a snapshot file (see [`crate::snapshot`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        crate::snapshot::save(self, path)
+    }
+
+    /// Loads a database from a snapshot file (see [`crate::snapshot`]).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Database> {
+        crate::snapshot::load(path)
+    }
+
+    /// A deep snapshot of all table contents, for test assertions: table
+    /// name → sorted rows rendered as SQL literals.
+    pub fn dump(&self) -> std::collections::BTreeMap<String, Vec<String>> {
+        let inner = self.inner.lock();
+        let mut out = std::collections::BTreeMap::new();
+        for key in &inner.table_order {
+            let t = &inner.tables[key];
+            let mut rows: Vec<String> = t
+                .iter()
+                .map(|(_, r)| {
+                    r.iter()
+                        .map(|v| v.to_sql_literal())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect();
+            rows.sort();
+            out.insert(t.schema.name.clone(), rows);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+             karma INT DEFAULT 0);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             title TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let db = setup();
+        let r = db
+            .execute("INSERT INTO users (name) VALUES ('bea')")
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(1));
+        let r = db
+            .execute("SELECT id, name, karma FROM users WHERE id = 1")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::Int(1),
+                Value::Text("bea".into()),
+                Value::Int(0)
+            ]]
+        );
+    }
+
+    #[test]
+    fn fk_insert_enforced() {
+        let db = setup();
+        let err = db.execute("INSERT INTO posts (user_id, title) VALUES (99, 'x')");
+        assert!(matches!(err, Err(Error::ForeignKeyViolation { .. })));
+    }
+
+    #[test]
+    fn fk_delete_restrict() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('bea')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, title) VALUES (1, 'x')")
+            .unwrap();
+        assert!(db.execute("DELETE FROM users WHERE id = 1").is_err());
+        // Remove the child first, then the parent delete succeeds.
+        db.execute("DELETE FROM posts WHERE user_id = 1").unwrap();
+        assert_eq!(
+            db.execute("DELETE FROM users WHERE id = 1")
+                .unwrap()
+                .affected,
+            1
+        );
+    }
+
+    #[test]
+    fn fk_delete_cascade() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (id INT PRIMARY KEY);
+             CREATE TABLE b (id INT PRIMARY KEY, a_id INT, \
+             FOREIGN KEY (a_id) REFERENCES a(id) ON DELETE CASCADE);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO a VALUES (1)").unwrap();
+        db.execute("INSERT INTO b VALUES (10, 1), (11, 1)").unwrap();
+        let r = db.execute("DELETE FROM a WHERE id = 1").unwrap();
+        assert_eq!(r.affected, 3);
+        assert_eq!(db.row_count("b").unwrap(), 0);
+    }
+
+    #[test]
+    fn fk_delete_set_null() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE a (id INT PRIMARY KEY);
+             CREATE TABLE b (id INT PRIMARY KEY, a_id INT, \
+             FOREIGN KEY (a_id) REFERENCES a(id) ON DELETE SET NULL);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO a VALUES (1)").unwrap();
+        db.execute("INSERT INTO b VALUES (10, 1)").unwrap();
+        db.execute("DELETE FROM a WHERE id = 1").unwrap();
+        let r = db.execute("SELECT a_id FROM b WHERE id = 10").unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn unique_violation() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, email TEXT UNIQUE)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a@x')").unwrap();
+        assert!(db.execute("INSERT INTO t VALUES (2, 'a@x')").is_err());
+        // NULLs do not collide.
+        db.execute("INSERT INTO t VALUES (3, NULL)").unwrap();
+        db.execute("INSERT INTO t VALUES (4, NULL)").unwrap();
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        // Second row violates NOT NULL; the whole statement must roll back.
+        assert!(db
+            .execute("INSERT INTO users (name) VALUES ('b'), (NULL)")
+            .is_err());
+        assert_eq!(db.row_count("users").unwrap(), 1);
+    }
+
+    #[test]
+    fn explicit_transaction_rollback() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('keep')")
+            .unwrap();
+        let before = db.dump();
+        db.begin().unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('gone')")
+            .unwrap();
+        db.execute("UPDATE users SET karma = 99 WHERE name = 'keep'")
+            .unwrap();
+        db.rollback().unwrap();
+        assert_eq!(db.dump(), before);
+    }
+
+    #[test]
+    fn statement_failure_inside_txn_keeps_earlier_work() {
+        let db = setup();
+        db.begin().unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        assert!(db
+            .execute("INSERT INTO users (name) VALUES (NULL)")
+            .is_err());
+        db.commit().unwrap();
+        assert_eq!(db.row_count("users").unwrap(), 1);
+    }
+
+    #[test]
+    fn update_and_aggregates() {
+        let db = setup();
+        for name in ["a", "b", "c"] {
+            db.execute(&format!("INSERT INTO users (name) VALUES ('{name}')"))
+                .unwrap();
+        }
+        db.execute("UPDATE users SET karma = 10 WHERE name != 'a'")
+            .unwrap();
+        let r = db
+            .execute("SELECT SUM(karma), AVG(karma), MAX(karma) FROM users")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(20));
+        assert_eq!(r.rows[0][1], Value::Float(20.0 / 3.0));
+        assert_eq!(r.rows[0][2], Value::Int(10));
+    }
+
+    #[test]
+    fn group_by_and_order() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('u1'), ('u2')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, title) VALUES (1, 'a'), (1, 'b'), (2, 'c')")
+            .unwrap();
+        let r = db
+            .execute("SELECT user_id, COUNT(*) AS n FROM posts GROUP BY user_id ORDER BY n DESC")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn joins_inner_and_left() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('u1'), ('u2')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, title) VALUES (1, 'a')")
+            .unwrap();
+        let inner = db
+            .execute("SELECT u.name, p.title FROM users u INNER JOIN posts p ON p.user_id = u.id")
+            .unwrap();
+        assert_eq!(inner.rows.len(), 1);
+        let left = db
+            .execute(
+                "SELECT u.name, p.title FROM users u LEFT JOIN posts p ON p.user_id = u.id \
+                 ORDER BY u.id",
+            )
+            .unwrap();
+        assert_eq!(left.rows.len(), 2);
+        assert_eq!(left.rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn params_bind() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('bea')")
+            .unwrap();
+        let mut params = HashMap::new();
+        params.insert("UID".to_string(), Value::Int(1));
+        let r = db
+            .execute_with_params("SELECT name FROM users WHERE id = $UID", &params)
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("bea".into()));
+        assert!(db
+            .execute("SELECT name FROM users WHERE id = $UID")
+            .is_err());
+    }
+
+    #[test]
+    fn typed_api() {
+        let db = setup();
+        let id = db
+            .insert_row("users", &[("name", Value::Text("bea".into()))])
+            .unwrap();
+        assert_eq!(id, Some(1));
+        let pred = crate::parser::parse_expr("name = 'bea'").unwrap();
+        let rows = db
+            .select_rows("users", Some(&pred), &HashMap::new())
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let n = db
+            .update_with("users", Some(&pred), &HashMap::new(), |schema, row| {
+                let k = schema.require_column("karma")?;
+                row[k] = Value::Int(7);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            db.execute("SELECT karma FROM users WHERE id = 1")
+                .unwrap()
+                .rows[0][0],
+            Value::Int(7)
+        );
+        let removed = db.delete_where("users", &pred, &HashMap::new()).unwrap();
+        assert_eq!(removed, 1);
+    }
+
+    #[test]
+    fn stats_count_queries() {
+        let db = setup();
+        db.reset_stats();
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        db.execute("SELECT * FROM users").unwrap();
+        let s = db.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.selects, 1);
+        assert_eq!(s.statements, 2);
+        assert!(s.rows_written >= 1);
+    }
+
+    #[test]
+    fn drop_table_and_rollback_restores_it() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        db.begin().unwrap();
+        // Child table first (users is referenced by posts).
+        db.execute("DROP TABLE posts").unwrap();
+        db.execute("DROP TABLE users").unwrap();
+        assert!(!db.has_table("users"));
+        db.rollback().unwrap();
+        assert!(db.has_table("users"));
+        assert_eq!(db.row_count("users").unwrap(), 1);
+    }
+
+    #[test]
+    fn now_follows_logical_clock() {
+        let db = setup();
+        db.set_now(12345);
+        let r = db.execute("SELECT NOW() FROM users").unwrap();
+        // No rows in users yet, so no output rows; insert one and retry.
+        assert!(r.rows.is_empty());
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        let r = db.execute("SELECT NOW() FROM users").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(12345));
+    }
+
+    #[test]
+    fn auto_increment_respects_explicit_values() {
+        let db = setup();
+        db.execute("INSERT INTO users (id, name) VALUES (10, 'x')")
+            .unwrap();
+        let r = db.execute("INSERT INTO users (name) VALUES ('y')").unwrap();
+        assert_eq!(r.last_insert_id, Some(11));
+    }
+
+    #[test]
+    fn parent_key_update_with_children_is_rejected() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap();
+        db.execute("INSERT INTO posts (user_id, title) VALUES (1, 't')")
+            .unwrap();
+        assert!(db.execute("UPDATE users SET id = 5 WHERE id = 1").is_err());
+        // Without children the key update is allowed.
+        db.execute("DELETE FROM posts WHERE id = 1").unwrap();
+        db.execute("UPDATE users SET id = 5 WHERE id = 1").unwrap();
+    }
+}
+
+#[cfg(test)]
+mod select_feature_tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE votes (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT, score INT)",
+        )
+        .unwrap();
+        for (u, s) in [(1, 5), (1, 5), (1, 3), (2, 4), (2, 4), (3, 1)] {
+            db.execute(&format!(
+                "INSERT INTO votes (user_id, score) VALUES ({u}, {s})"
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn offset_pages_through_results() {
+        let db = db();
+        let page1 = db
+            .execute("SELECT id FROM votes ORDER BY id LIMIT 2")
+            .unwrap();
+        let page2 = db
+            .execute("SELECT id FROM votes ORDER BY id LIMIT 2 OFFSET 2")
+            .unwrap();
+        assert_eq!(page1.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(page2.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+        // Offset past the end yields nothing.
+        let empty = db
+            .execute("SELECT id FROM votes LIMIT 5 OFFSET 100")
+            .unwrap();
+        assert!(empty.rows.is_empty());
+    }
+
+    #[test]
+    fn having_filters_groups_by_alias() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT user_id, COUNT(*) AS n FROM votes GROUP BY user_id \
+                 HAVING n > 1 ORDER BY user_id",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = db();
+        let r = db
+            .execute("SELECT COUNT(DISTINCT score), COUNT(score) FROM votes")
+            .unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(4), Value::Int(6)]);
+        // DISTINCT with other aggregates.
+        let r = db.execute("SELECT SUM(DISTINCT score) FROM votes").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(5 + 3 + 4 + 1));
+        // COUNT(DISTINCT *) is rejected.
+        assert!(db.execute("SELECT COUNT(DISTINCT *) FROM votes").is_err());
+    }
+
+    #[test]
+    fn having_without_group_by_checks_global_aggregate() {
+        let db = db();
+        let some = db
+            .execute("SELECT COUNT(*) AS n FROM votes HAVING n > 5")
+            .unwrap();
+        assert_eq!(some.rows.len(), 1);
+        let none = db
+            .execute("SELECT COUNT(*) AS n FROM votes HAVING n > 100")
+            .unwrap();
+        assert!(none.rows.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod subquery_tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE authors (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, banned BOOL \
+             NOT NULL DEFAULT FALSE);
+             CREATE TABLE books (id INT PRIMARY KEY AUTO_INCREMENT, author_id INT NOT NULL, \
+             title TEXT, FOREIGN KEY (author_id) REFERENCES authors(id));",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO authors (name, banned) VALUES ('a', FALSE), ('b', TRUE), \
+             ('c', TRUE)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO books (author_id, title) VALUES (1, 't1'), (2, 't2'), (3, 't3'), \
+             (2, 't4')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn in_select_filters_rows() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT title FROM books WHERE author_id IN \
+                 (SELECT id FROM authors WHERE banned = TRUE) ORDER BY id",
+            )
+            .unwrap();
+        let titles: Vec<String> = r.rows.iter().map(|x| x[0].to_string()).collect();
+        assert_eq!(titles, vec!["t2", "t3", "t4"]);
+    }
+
+    #[test]
+    fn not_in_select() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT title FROM books WHERE author_id NOT IN \
+                 (SELECT id FROM authors WHERE banned = TRUE)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("t1".into()));
+    }
+
+    #[test]
+    fn subquery_in_update_and_delete_predicates() {
+        let db = db();
+        let n = db
+            .execute(
+                "UPDATE books SET title = '[banned]' WHERE author_id IN \
+                 (SELECT id FROM authors WHERE banned = TRUE)",
+            )
+            .unwrap();
+        assert_eq!(n.affected, 3);
+        let d = db
+            .execute(
+                "DELETE FROM books WHERE author_id IN \
+                 (SELECT id FROM authors WHERE banned = TRUE)",
+            )
+            .unwrap();
+        assert_eq!(d.affected, 3);
+        assert_eq!(db.row_count("books").unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_subqueries() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT COUNT(*) FROM authors WHERE id IN \
+                 (SELECT author_id FROM books WHERE author_id IN \
+                  (SELECT id FROM authors WHERE banned = TRUE))",
+            )
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn multi_column_subquery_rejected() {
+        let db = db();
+        assert!(db
+            .execute("SELECT * FROM books WHERE author_id IN (SELECT id, name FROM authors)")
+            .is_err());
+    }
+
+    #[test]
+    fn empty_subquery_matches_nothing() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT COUNT(*) FROM books WHERE author_id IN \
+                 (SELECT id FROM authors WHERE name = 'nobody')",
+            )
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn subquery_counts_as_statement() {
+        let db = db();
+        db.reset_stats();
+        db.execute("SELECT title FROM books WHERE author_id IN (SELECT id FROM authors)")
+            .unwrap();
+        let s = db.stats();
+        assert_eq!(s.selects, 2, "outer + subquery");
+    }
+}

@@ -1,0 +1,1535 @@
+//! Statement execution over the engine's internal state.
+//!
+//! `Inner` owns the tables and the open transaction; [`crate::Database`]
+//! wraps it in a lock and exposes the public API. All mutations funnel
+//! through the helpers here so that undo logging, index maintenance, and
+//! constraint checks cannot be bypassed.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::expr::{eval, eval_predicate, BinOp, EvalContext, Expr};
+use crate::parser::{AggFunc, AlterAction, Join, JoinKind, Projection, SelectStmt, Statement};
+use crate::schema::{ForeignKey, ReferentialAction, TableSchema};
+use crate::stats::Stats;
+use crate::storage::{RowId, Table};
+use crate::txn::{Txn, UndoOp};
+use crate::value::{Row, Value};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Row>,
+    /// Rows affected (INSERT/UPDATE/DELETE).
+    pub affected: usize,
+    /// The AUTO_INCREMENT id assigned by the last INSERT, if any.
+    pub last_insert_id: Option<i64>,
+}
+
+impl QueryResult {
+    /// Position of a result column by case-insensitive name (qualified
+    /// names match on their suffix too).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| {
+            c.eq_ignore_ascii_case(name)
+                || c.rsplit('.')
+                    .next()
+                    .is_some_and(|s| s.eq_ignore_ascii_case(name))
+        })
+    }
+
+    /// The single value of a one-row, one-column result (e.g. `COUNT(*)`).
+    pub fn scalar(&self) -> Result<&Value> {
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .ok_or_else(|| Error::Eval("expected a scalar result".to_string()))
+    }
+}
+
+/// The engine's internal, lock-protected state.
+pub(crate) struct Inner {
+    /// Tables keyed by lowercase name.
+    pub tables: HashMap<String, Table>,
+    /// Table names in creation order (for deterministic iteration).
+    pub table_order: Vec<String>,
+    /// The open transaction, if any.
+    pub txn: Option<Txn>,
+    /// Logical clock returned by `NOW()`.
+    pub now: i64,
+}
+
+impl Inner {
+    pub fn new() -> Inner {
+        Inner {
+            tables: HashMap::new(),
+            table_order: Vec::new(),
+            txn: None,
+            now: 0,
+        }
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| Error::NoSuchTable(name.to_string()))
+    }
+
+    fn record(&mut self, op: UndoOp) {
+        if let Some(txn) = self.txn.as_mut() {
+            txn.record(op);
+        }
+    }
+
+    /// Executes one parsed statement. The caller manages the implicit
+    /// transaction wrapper.
+    pub fn execute_stmt(
+        &mut self,
+        stmt: &Statement,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<QueryResult> {
+        stats.bump(&stats.statements, 1);
+        match stmt {
+            Statement::CreateTable(schema) => self.create_table(schema.clone()),
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => self.create_index(name, table, column, *unique),
+            Statement::DropTable { name, if_exists } => self.drop_table(name, *if_exists),
+            Statement::AlterTable { table, action } => self.alter_table(table, action),
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                stats.bump(&stats.inserts, 1);
+                self.insert(table, columns.as_deref(), rows, params, stats)
+            }
+            Statement::Select(sel) => {
+                stats.bump(&stats.selects, 1);
+                self.select(sel, params, stats)
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_,
+            } => {
+                stats.bump(&stats.updates, 1);
+                self.update(table, sets, where_.as_ref(), params, stats)
+            }
+            Statement::Delete { table, where_ } => {
+                stats.bump(&stats.deletes, 1);
+                self.delete(table, where_.as_ref(), params, stats)
+            }
+            // BEGIN/COMMIT/ROLLBACK are intercepted by Database::execute.
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(Error::Txn(
+                "transaction statements must go through Database".to_string(),
+            )),
+        }
+    }
+
+    // ---- DDL ---------------------------------------------------------------
+
+    fn create_table(&mut self, schema: TableSchema) -> Result<QueryResult> {
+        schema.validate()?;
+        let key = schema.name.to_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(Error::AlreadyExists(schema.name));
+        }
+        // Validate FK targets exist (self-reference allowed).
+        for fk in &schema.foreign_keys {
+            if !fk.parent_table.eq_ignore_ascii_case(&schema.name) {
+                let parent = self.table(&fk.parent_table)?;
+                parent.schema.require_column(&fk.parent_column)?;
+            } else {
+                schema.require_column(&fk.parent_column)?;
+            }
+        }
+        let name = schema.name.clone();
+        self.tables.insert(key.clone(), Table::new(schema));
+        self.table_order.push(key);
+        self.record(UndoOp::CreatedTable { name });
+        Ok(QueryResult::default())
+    }
+
+    fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        unique: bool,
+    ) -> Result<QueryResult> {
+        let t = self.table_mut(table)?;
+        let col = t.schema.require_column(column)?;
+        if t.indexes
+            .iter()
+            .any(|ix| ix.name.eq_ignore_ascii_case(name))
+        {
+            return Err(Error::AlreadyExists(name.to_string()));
+        }
+        t.add_index(name.to_string(), col, unique)?;
+        let table_name = t.schema.name.clone();
+        self.record(UndoOp::CreatedIndex {
+            table: table_name,
+            index: name.to_string(),
+        });
+        Ok(QueryResult::default())
+    }
+
+    fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<QueryResult> {
+        let key = name.to_lowercase();
+        match self.tables.remove(&key) {
+            Some(t) => {
+                self.table_order.retain(|n| n != &key);
+                self.record(UndoOp::DroppedTable {
+                    name: t.schema.name.clone(),
+                    table: Box::new(t),
+                });
+                Ok(QueryResult::default())
+            }
+            None if if_exists => Ok(QueryResult::default()),
+            None => Err(Error::NoSuchTable(name.to_string())),
+        }
+    }
+
+    fn alter_table(&mut self, table: &str, action: &AlterAction) -> Result<QueryResult> {
+        // Snapshot for undo before any mutation.
+        let snapshot = self.table(table)?.clone();
+        let table_name = snapshot.schema.name.clone();
+        match action {
+            AlterAction::AddColumn(col) => {
+                if col.auto_increment {
+                    return Err(Error::Unsupported(
+                        "ALTER TABLE ADD COLUMN ... AUTO_INCREMENT".to_string(),
+                    ));
+                }
+                if col.not_null && col.default.is_none() {
+                    return Err(Error::NotNullViolation {
+                        table: table_name,
+                        column: col.name.clone(),
+                    });
+                }
+                let t = self.table_mut(table)?;
+                if t.schema.column_index(&col.name).is_some() {
+                    return Err(Error::AlreadyExists(format!("{table_name}.{}", col.name)));
+                }
+                let fill = col.default.clone().unwrap_or(Value::Null);
+                t.schema.columns.push(col.clone());
+                t.fill_new_column(fill);
+                if col.unique {
+                    let pos = t.schema.columns.len() - 1;
+                    t.add_index(format!("_auto_{table_name}_{}", col.name), pos, true)?;
+                }
+            }
+            AlterAction::DropColumn(name) => {
+                let t = self.table(table)?;
+                let pos = t.schema.require_column(name)?;
+                if t.schema.primary_key == Some(pos) {
+                    return Err(Error::Unsupported(format!(
+                        "cannot drop primary key column {table_name}.{name}"
+                    )));
+                }
+                if t.schema.foreign_key_on(name).is_some() {
+                    return Err(Error::Unsupported(format!(
+                        "cannot drop foreign-key column {table_name}.{name}"
+                    )));
+                }
+                // Referenced by any child table's FK?
+                for (child, fk) in self.children_of(&table_name) {
+                    if fk.parent_column.eq_ignore_ascii_case(name) {
+                        return Err(Error::Unsupported(format!(
+                            "cannot drop {table_name}.{name}: referenced by {child}.{}",
+                            fk.column
+                        )));
+                    }
+                }
+                let t = self.table_mut(table)?;
+                t.drop_column(pos);
+            }
+            AlterAction::RenameColumn { from, to } => {
+                let t = self.table(table)?;
+                let pos = t.schema.require_column(from)?;
+                if t.schema.column_index(to).is_some() {
+                    return Err(Error::AlreadyExists(format!("{table_name}.{to}")));
+                }
+                // Child tables referencing the renamed parent column need
+                // their FK metadata updated (and undo snapshots).
+                let children: Vec<(String, String)> = self
+                    .children_of(&table_name)
+                    .into_iter()
+                    .filter(|(_, fk)| fk.parent_column.eq_ignore_ascii_case(from))
+                    .map(|(child, fk)| (child, fk.column))
+                    .collect();
+                for (child, _) in &children {
+                    let child_snapshot = self.table(child)?.clone();
+                    let child_name = child_snapshot.schema.name.clone();
+                    self.record(UndoOp::AlteredTable {
+                        name: child_name,
+                        table: Box::new(child_snapshot),
+                    });
+                }
+                for (child, fk_col) in &children {
+                    let ct = self.table_mut(child)?;
+                    for fk in &mut ct.schema.foreign_keys {
+                        if fk.parent_table.eq_ignore_ascii_case(&table_name)
+                            && fk.column.eq_ignore_ascii_case(fk_col)
+                        {
+                            fk.parent_column = to.clone();
+                        }
+                    }
+                }
+                let t = self.table_mut(table)?;
+                t.schema.columns[pos].name = to.clone();
+                for fk in &mut t.schema.foreign_keys {
+                    if fk.column.eq_ignore_ascii_case(from) {
+                        fk.column = to.clone();
+                    }
+                }
+            }
+        }
+        self.record(UndoOp::AlteredTable {
+            name: table_name,
+            table: Box::new(snapshot),
+        });
+        Ok(QueryResult::default())
+    }
+
+    // ---- INSERT ------------------------------------------------------------
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<QueryResult> {
+        // Resolve target column positions.
+        let (schema, positions): (TableSchema, Vec<usize>) = {
+            let t = self.table(table)?;
+            let positions = match columns {
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| t.schema.require_column(c))
+                    .collect::<Result<Vec<_>>>()?,
+                None => (0..t.schema.arity()).collect(),
+            };
+            (t.schema.clone(), positions)
+        };
+        let empty_cols: Vec<String> = Vec::new();
+        let empty_row: Vec<Value> = Vec::new();
+        let mut last_insert_id = None;
+        let mut affected = 0usize;
+        for exprs in rows {
+            if exprs.len() != positions.len() {
+                return Err(Error::Eval(format!(
+                    "INSERT into {table}: {} values for {} columns",
+                    exprs.len(),
+                    positions.len()
+                )));
+            }
+            // Evaluate value expressions in a row-free context.
+            let ctx = EvalContext {
+                columns: &empty_cols,
+                row: &empty_row,
+                params,
+                now: self.now,
+            };
+            let mut row: Row = schema
+                .columns
+                .iter()
+                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .collect();
+            for (expr, &pos) in exprs.iter().zip(&positions) {
+                row[pos] = eval(expr, &ctx)?;
+            }
+            let id = self.insert_row_checked(table, row, stats)?;
+            if let Some(v) = id {
+                last_insert_id = Some(v);
+            }
+            affected += 1;
+        }
+        Ok(QueryResult {
+            affected,
+            last_insert_id,
+            ..QueryResult::default()
+        })
+    }
+
+    /// Inserts one materialized row with all checks; returns the
+    /// auto-increment value if one was assigned.
+    pub fn insert_row_checked(
+        &mut self,
+        table: &str,
+        mut row: Row,
+        stats: &Stats,
+    ) -> Result<Option<i64>> {
+        let schema = self.table(table)?.schema.clone();
+        if row.len() != schema.arity() {
+            return Err(Error::Eval(format!(
+                "row arity {} != table arity {} for {table}",
+                row.len(),
+                schema.arity()
+            )));
+        }
+        // Coerce to declared types.
+        for (i, col) in schema.columns.iter().enumerate() {
+            row[i] = row[i].coerce_to(col.ty)?;
+        }
+        // AUTO_INCREMENT assignment.
+        let mut assigned: Option<i64> = None;
+        for (i, col) in schema.columns.iter().enumerate() {
+            if col.auto_increment && row[i].is_null() {
+                let t = self.table_mut(table)?;
+                let v = t.next_auto;
+                t.next_auto += 1;
+                let old_value = v;
+                row[i] = Value::Int(v);
+                assigned = Some(v);
+                self.record(UndoOp::AutoIncrement {
+                    table: schema.name.clone(),
+                    old_value,
+                });
+            } else if col.auto_increment {
+                // Keep the counter ahead of explicit values.
+                if let Value::Int(v) = row[i] {
+                    let t = self.table_mut(table)?;
+                    if v >= t.next_auto {
+                        let old_value = t.next_auto;
+                        t.next_auto = v + 1;
+                        self.record(UndoOp::AutoIncrement {
+                            table: schema.name.clone(),
+                            old_value,
+                        });
+                    }
+                }
+            }
+        }
+        // NOT NULL.
+        for (i, col) in schema.columns.iter().enumerate() {
+            if col.not_null && row[i].is_null() {
+                return Err(Error::NotNullViolation {
+                    table: schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+        }
+        // UNIQUE.
+        self.table(table)?.check_unique(&row, None)?;
+        // FOREIGN KEY parents.
+        for fk in &schema.foreign_keys {
+            let col = schema.require_column(&fk.column)?;
+            self.check_fk_parent(fk, &row[col], stats)?;
+        }
+        let t = self.table_mut(table)?;
+        let row_id = t.insert_unchecked(row);
+        stats.bump(&stats.rows_written, 1);
+        self.record(UndoOp::Inserted {
+            table: schema.name.clone(),
+            row_id,
+        });
+        Ok(assigned)
+    }
+
+    fn check_fk_parent(&self, fk: &ForeignKey, value: &Value, stats: &Stats) -> Result<()> {
+        if value.is_null() {
+            return Ok(());
+        }
+        let parent = self.table(&fk.parent_table)?;
+        let pcol = parent.schema.require_column(&fk.parent_column)?;
+        let found = match parent.index_on(pcol) {
+            Some(ix) => {
+                stats.bump(&stats.index_probes, 1);
+                !ix.lookup(value).is_empty()
+            }
+            None => {
+                stats.bump(&stats.table_scans, 1);
+                parent
+                    .iter()
+                    .any(|(_, r)| r[pcol].sql_eq(value) == Some(true))
+            }
+        };
+        if found {
+            Ok(())
+        } else {
+            Err(Error::ForeignKeyViolation {
+                table: fk.parent_table.clone(),
+                column: fk.column.clone(),
+                detail: format!("no parent row with {} = {value}", fk.parent_column),
+            })
+        }
+    }
+
+    // ---- row selection -------------------------------------------------------
+
+    /// Replaces every uncorrelated `IN (SELECT ...)` in `expr` with an
+    /// `IN (v1, v2, ...)` list by running the subquery once. Subqueries
+    /// must produce exactly one column; their rows become the list.
+    pub fn resolve_subqueries(
+        &self,
+        expr: &Expr,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<Expr> {
+        Ok(match expr {
+            Expr::InSelect {
+                expr: inner,
+                select,
+                negated,
+            } => {
+                stats.bump(&stats.statements, 1);
+                stats.bump(&stats.selects, 1);
+                let result = self.select(select, params, stats)?;
+                if result.columns.len() != 1 {
+                    return Err(Error::Eval(format!(
+                        "IN subquery must return one column, got {}",
+                        result.columns.len()
+                    )));
+                }
+                let list = result
+                    .rows
+                    .into_iter()
+                    .map(|mut r| Expr::Literal(r.remove(0)))
+                    .collect();
+                Expr::InList {
+                    expr: Box::new(self.resolve_subqueries(inner, params, stats)?),
+                    list,
+                    negated: *negated,
+                }
+            }
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(self.resolve_subqueries(expr, params, stats)?),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.resolve_subqueries(lhs, params, stats)?),
+                rhs: Box::new(self.resolve_subqueries(rhs, params, stats)?),
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.resolve_subqueries(expr, params, stats)?),
+                list: list
+                    .iter()
+                    .map(|e| self.resolve_subqueries(e, params, stats))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.resolve_subqueries(expr, params, stats)?),
+                negated: *negated,
+            },
+            other => other.clone(),
+        })
+    }
+
+    /// Row ids in `table` matching the optional predicate, using an index
+    /// when the predicate pins an indexed column to a constant.
+    pub fn matching_row_ids(
+        &self,
+        table: &str,
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<Vec<RowId>> {
+        let bound = match where_ {
+            Some(e) => {
+                let resolved = self.resolve_subqueries(e, params, stats)?;
+                Some(resolved.bind_params(params)?)
+            }
+            None => None,
+        };
+        let t = self.table(table)?;
+        let col_names: Vec<String> = t.schema.columns.iter().map(|c| c.name.clone()).collect();
+        // Index selection: find `col = const` over an indexed column.
+        let candidates: Vec<RowId> = match &bound {
+            Some(pred) => {
+                let mut via_index = None;
+                for ix in &t.indexes {
+                    let col_name = &t.schema.columns[ix.column].name;
+                    if let Some(v) = pred.equality_constant(col_name) {
+                        via_index = Some(ix.lookup(&v).to_vec());
+                        break;
+                    }
+                }
+                match via_index {
+                    Some(ids) => {
+                        stats.bump(&stats.index_probes, 1);
+                        ids
+                    }
+                    None => {
+                        stats.bump(&stats.table_scans, 1);
+                        t.row_ids()
+                    }
+                }
+            }
+            None => {
+                stats.bump(&stats.table_scans, 1);
+                t.row_ids()
+            }
+        };
+        let mut out = Vec::new();
+        for id in candidates {
+            let row = t.get(id).expect("candidate ids are live");
+            let keep = match &bound {
+                Some(pred) => {
+                    let ctx = EvalContext {
+                        columns: &col_names,
+                        row,
+                        params,
+                        now: self.now,
+                    };
+                    eval_predicate(pred, &ctx)?
+                }
+                None => true,
+            };
+            if keep {
+                out.push(id);
+            }
+        }
+        stats.bump(&stats.rows_read, out.len() as u64);
+        Ok(out)
+    }
+
+    // ---- UPDATE ------------------------------------------------------------
+
+    fn update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<QueryResult> {
+        let ids = self.matching_row_ids(table, where_, params, stats)?;
+        let schema = self.table(table)?.schema.clone();
+        let set_positions: Vec<(usize, &Expr)> = sets
+            .iter()
+            .map(|(c, e)| Ok((schema.require_column(c)?, e)))
+            .collect::<Result<Vec<_>>>()?;
+        let col_names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let mut affected = 0usize;
+        for id in ids {
+            let old_row = self.table(table)?.get(id).expect("live row").clone();
+            let mut new_row = old_row.clone();
+            for (pos, expr) in &set_positions {
+                let ctx = EvalContext {
+                    columns: &col_names,
+                    row: &old_row,
+                    params,
+                    now: self.now,
+                };
+                new_row[*pos] = eval(expr, &ctx)?;
+            }
+            self.update_row_checked(table, id, new_row, stats)?;
+            affected += 1;
+        }
+        Ok(QueryResult {
+            affected,
+            ..QueryResult::default()
+        })
+    }
+
+    /// Replaces row `id` with `new_row`, enforcing all constraints.
+    pub fn update_row_checked(
+        &mut self,
+        table: &str,
+        id: RowId,
+        mut new_row: Row,
+        stats: &Stats,
+    ) -> Result<()> {
+        let schema = self.table(table)?.schema.clone();
+        let old_row = self
+            .table(table)?
+            .get(id)
+            .ok_or_else(|| Error::Eval("row vanished".into()))?
+            .clone();
+        for (i, col) in schema.columns.iter().enumerate() {
+            new_row[i] = new_row[i].coerce_to(col.ty)?;
+            if col.not_null && new_row[i].is_null() {
+                return Err(Error::NotNullViolation {
+                    table: schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+        }
+        self.table(table)?.check_unique(&new_row, Some(id))?;
+        // FK: child side — changed FK columns must reference existing parents.
+        for fk in &schema.foreign_keys {
+            let col = schema.require_column(&fk.column)?;
+            if old_row[col] != new_row[col] {
+                self.check_fk_parent(fk, &new_row[col], stats)?;
+            }
+        }
+        // FK: parent side — a changed referenced key must not strand children.
+        for (child_name, fk) in self.children_of(&schema.name) {
+            let pcol = schema.require_column(&fk.parent_column)?;
+            if old_row[pcol] != new_row[pcol] {
+                let referencing =
+                    self.child_rows_referencing(&child_name, &fk, &old_row[pcol], stats)?;
+                if !referencing.is_empty() {
+                    return Err(Error::ForeignKeyViolation {
+                        table: schema.name.clone(),
+                        column: fk.parent_column.clone(),
+                        detail: format!(
+                            "cannot change referenced key: {} row(s) in {child_name} reference it",
+                            referencing.len()
+                        ),
+                    });
+                }
+            }
+        }
+        let t = self.table_mut(table)?;
+        t.replace(id, new_row);
+        stats.bump(&stats.rows_written, 1);
+        self.record(UndoOp::Updated {
+            table: schema.name.clone(),
+            row_id: id,
+            old_row,
+        });
+        Ok(())
+    }
+
+    // ---- DELETE ------------------------------------------------------------
+
+    fn delete(
+        &mut self,
+        table: &str,
+        where_: Option<&Expr>,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<QueryResult> {
+        let ids = self.matching_row_ids(table, where_, params, stats)?;
+        let mut affected = 0usize;
+        for id in ids {
+            // Cascades may have removed this row already.
+            if self.table(table)?.get(id).is_some() {
+                affected += self.delete_row_checked(table, id, stats)?;
+            }
+        }
+        Ok(QueryResult {
+            affected,
+            ..QueryResult::default()
+        })
+    }
+
+    /// Deletes row `id`, applying referential actions; returns the total
+    /// number of rows removed (including cascades).
+    pub fn delete_row_checked(&mut self, table: &str, id: RowId, stats: &Stats) -> Result<usize> {
+        let mut scratch = Vec::new();
+        self.delete_row_collect(table, id, stats, &mut scratch)
+    }
+
+    /// Like [`Inner::delete_row_checked`], but records every removed row
+    /// (including cascades) into `collected` in deletion order
+    /// (children before their parents).
+    pub fn delete_row_collect(
+        &mut self,
+        table: &str,
+        id: RowId,
+        stats: &Stats,
+        collected: &mut Vec<(String, Row)>,
+    ) -> Result<usize> {
+        let schema = self.table(table)?.schema.clone();
+        let row = self
+            .table(table)?
+            .get(id)
+            .ok_or_else(|| Error::Eval("row vanished".into()))?
+            .clone();
+        let mut removed = 0usize;
+        for (child_name, fk) in self.children_of(&schema.name) {
+            let pcol = schema.require_column(&fk.parent_column)?;
+            let key = &row[pcol];
+            if key.is_null() {
+                continue;
+            }
+            let child_ids = self.child_rows_referencing(&child_name, &fk, key, stats)?;
+            if child_ids.is_empty() {
+                continue;
+            }
+            match fk.on_delete {
+                ReferentialAction::Restrict => {
+                    return Err(Error::ForeignKeyViolation {
+                        table: schema.name.clone(),
+                        column: fk.parent_column.clone(),
+                        detail: format!(
+                            "{} row(s) in {child_name} reference the deleted row",
+                            child_ids.len()
+                        ),
+                    });
+                }
+                ReferentialAction::Cascade => {
+                    for cid in child_ids {
+                        if self.table(&child_name)?.get(cid).is_some() {
+                            removed +=
+                                self.delete_row_collect(&child_name, cid, stats, collected)?;
+                        }
+                    }
+                }
+                ReferentialAction::SetNull => {
+                    let child_schema = self.table(&child_name)?.schema.clone();
+                    let ccol = child_schema.require_column(&fk.column)?;
+                    for cid in child_ids {
+                        let mut new_row = self.table(&child_name)?.get(cid).expect("live").clone();
+                        new_row[ccol] = Value::Null;
+                        self.update_row_checked(&child_name, cid, new_row, stats)?;
+                    }
+                }
+            }
+        }
+        let t = self.table_mut(table)?;
+        if let Some(old) = t.remove(id) {
+            stats.bump(&stats.rows_written, 1);
+            collected.push((schema.name.clone(), old.clone()));
+            self.record(UndoOp::Deleted {
+                table: schema.name.clone(),
+                row_id: id,
+                row: old,
+            });
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// All `(child_table, fk)` relationships referencing `parent`.
+    pub fn children_of(&self, parent: &str) -> Vec<(String, ForeignKey)> {
+        let mut out = Vec::new();
+        for key in &self.table_order {
+            let t = &self.tables[key];
+            for fk in &t.schema.foreign_keys {
+                if fk.parent_table.eq_ignore_ascii_case(parent) {
+                    out.push((t.schema.name.clone(), fk.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    fn child_rows_referencing(
+        &self,
+        child: &str,
+        fk: &ForeignKey,
+        key: &Value,
+        stats: &Stats,
+    ) -> Result<Vec<RowId>> {
+        let t = self.table(child)?;
+        let ccol = t.schema.require_column(&fk.column)?;
+        match t.index_on(ccol) {
+            Some(ix) => {
+                stats.bump(&stats.index_probes, 1);
+                Ok(ix.lookup(key).to_vec())
+            }
+            None => {
+                stats.bump(&stats.table_scans, 1);
+                Ok(t.iter()
+                    .filter(|(_, r)| r[ccol].sql_eq(key) == Some(true))
+                    .map(|(id, _)| id)
+                    .collect())
+            }
+        }
+    }
+
+    // ---- SELECT ------------------------------------------------------------
+
+    fn select(
+        &self,
+        sel: &SelectStmt,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<QueryResult> {
+        // Build the joined relation: qualified column names + rows.
+        let (mut col_names, mut rows) = self.base_relation(&sel.from, sel.from_alias.as_deref())?;
+        stats.bump(&stats.table_scans, 1);
+        for join in &sel.joins {
+            let (jc, jr) = self.base_relation(&join.table, join.alias.as_deref())?;
+            (col_names, rows) =
+                self.join_relations(col_names, rows, jc, jr, join, params, stats)?;
+        }
+        // Filter.
+        let mut filtered = Vec::new();
+        let resolved_where = match &sel.where_ {
+            Some(p) => Some(self.resolve_subqueries(p, params, stats)?),
+            None => None,
+        };
+        if let Some(pred) = &resolved_where {
+            for row in rows {
+                let ctx = EvalContext {
+                    columns: &col_names,
+                    row: &row,
+                    params,
+                    now: self.now,
+                };
+                if eval_predicate(pred, &ctx)? {
+                    filtered.push(row);
+                }
+            }
+        } else {
+            filtered = rows;
+        }
+        stats.bump(&stats.rows_read, filtered.len() as u64);
+
+        let has_aggregates = sel
+            .projections
+            .iter()
+            .any(|p| matches!(p, Projection::Aggregate { .. }));
+        let mut result = if has_aggregates || !sel.group_by.is_empty() {
+            self.project_aggregate(sel, &col_names, filtered, params)?
+        } else {
+            self.project_plain(sel, &col_names, filtered, params)?
+        };
+        if sel.distinct {
+            let mut seen = std::collections::HashSet::new();
+            result.rows.retain(|r| {
+                let key: String = r
+                    .iter()
+                    .map(|v| v.to_sql_literal())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
+                seen.insert(key)
+            });
+        }
+        if let Some(offset) = sel.offset {
+            if offset >= result.rows.len() {
+                result.rows.clear();
+            } else {
+                result.rows.drain(..offset);
+            }
+        }
+        if let Some(limit) = sel.limit {
+            result.rows.truncate(limit);
+        }
+        Ok(result)
+    }
+
+    fn base_relation(&self, table: &str, alias: Option<&str>) -> Result<(Vec<String>, Vec<Row>)> {
+        let t = self.table(table)?;
+        let prefix = alias.unwrap_or(&t.schema.name);
+        let cols: Vec<String> = t
+            .schema
+            .columns
+            .iter()
+            .map(|c| format!("{prefix}.{}", c.name))
+            .collect();
+        let rows: Vec<Row> = t.iter().map(|(_, r)| r.clone()).collect();
+        Ok((cols, rows))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_relations(
+        &self,
+        left_cols: Vec<String>,
+        left_rows: Vec<Row>,
+        right_cols: Vec<String>,
+        right_rows: Vec<Row>,
+        join: &Join,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+    ) -> Result<(Vec<String>, Vec<Row>)> {
+        let mut cols = left_cols.clone();
+        cols.extend(right_cols.iter().cloned());
+        // Detect equi-join `l = r` to build a hash join.
+        let equi = detect_equi_join(&join.on, &left_cols, &right_cols);
+        let mut out = Vec::new();
+        match equi {
+            Some((lpos, rpos)) => {
+                stats.bump(&stats.index_probes, 1);
+                let mut hash: HashMap<String, Vec<usize>> = HashMap::new();
+                for (i, r) in right_rows.iter().enumerate() {
+                    if !r[rpos].is_null() {
+                        hash.entry(r[rpos].to_sql_literal()).or_default().push(i);
+                    }
+                }
+                for l in &left_rows {
+                    let mut matched = false;
+                    if !l[lpos].is_null() {
+                        if let Some(idxs) = hash.get(&l[lpos].to_sql_literal()) {
+                            for &i in idxs {
+                                let mut row = l.clone();
+                                row.extend(right_rows[i].iter().cloned());
+                                // Re-check the full ON expr in case it has extra conjuncts.
+                                let ctx = EvalContext {
+                                    columns: &cols,
+                                    row: &row,
+                                    params,
+                                    now: self.now,
+                                };
+                                if eval_predicate(&join.on, &ctx)? {
+                                    out.push(row);
+                                    matched = true;
+                                }
+                            }
+                        }
+                    }
+                    if !matched && join.kind == JoinKind::Left {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_cols.len()));
+                        out.push(row);
+                    }
+                }
+            }
+            None => {
+                stats.bump(&stats.table_scans, 1);
+                for l in &left_rows {
+                    let mut matched = false;
+                    for r in &right_rows {
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        let ctx = EvalContext {
+                            columns: &cols,
+                            row: &row,
+                            params,
+                            now: self.now,
+                        };
+                        if eval_predicate(&join.on, &ctx)? {
+                            out.push(row);
+                            matched = true;
+                        }
+                    }
+                    if !matched && join.kind == JoinKind::Left {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_cols.len()));
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        Ok((cols, out))
+    }
+
+    fn project_plain(
+        &self,
+        sel: &SelectStmt,
+        col_names: &[String],
+        mut rows: Vec<Row>,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        // ORDER BY evaluates against the pre-projection relation.
+        if !sel.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = EvalContext {
+                    columns: col_names,
+                    row: &row,
+                    params,
+                    now: self.now,
+                };
+                let keys = sel
+                    .order_by
+                    .iter()
+                    .map(|k| eval(&k.expr, &ctx))
+                    .collect::<Result<Vec<_>>>()?;
+                keyed.push((keys, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, key) in sel.order_by.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if key.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        // Projection.
+        let mut out_cols: Vec<String> = Vec::new();
+        for p in &sel.projections {
+            match p {
+                Projection::Wildcard => out_cols.extend(col_names.iter().cloned()),
+                Projection::Expr { expr, alias } => {
+                    out_cols.push(alias.clone().unwrap_or_else(|| expr.to_string()))
+                }
+                Projection::Aggregate { .. } => unreachable!("aggregate handled elsewhere"),
+            }
+        }
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = EvalContext {
+                columns: col_names,
+                row: &row,
+                params,
+                now: self.now,
+            };
+            let mut out = Vec::with_capacity(out_cols.len());
+            for p in &sel.projections {
+                match p {
+                    Projection::Wildcard => out.extend(row.iter().cloned()),
+                    Projection::Expr { expr, .. } => out.push(eval(expr, &ctx)?),
+                    Projection::Aggregate { .. } => unreachable!(),
+                }
+            }
+            out_rows.push(out);
+        }
+        Ok(QueryResult {
+            columns: out_cols,
+            rows: out_rows,
+            ..QueryResult::default()
+        })
+    }
+
+    fn project_aggregate(
+        &self,
+        sel: &SelectStmt,
+        col_names: &[String],
+        rows: Vec<Row>,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        // Group rows by the GROUP BY key (empty key = one global group).
+        let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+        let mut group_index: HashMap<String, usize> = HashMap::new();
+        for row in rows {
+            let ctx = EvalContext {
+                columns: col_names,
+                row: &row,
+                params,
+                now: self.now,
+            };
+            let key: Vec<Value> = sel
+                .group_by
+                .iter()
+                .map(|e| eval(e, &ctx))
+                .collect::<Result<Vec<_>>>()?;
+            let key_str: String = key
+                .iter()
+                .map(|v| v.to_sql_literal())
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            match group_index.get(&key_str) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    group_index.insert(key_str, groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        if groups.is_empty() && sel.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+        // Output columns.
+        let mut out_cols = Vec::new();
+        for p in &sel.projections {
+            match p {
+                Projection::Wildcard => {
+                    return Err(Error::Unsupported("SELECT * with aggregates".to_string()))
+                }
+                Projection::Expr { expr, alias } => {
+                    out_cols.push(alias.clone().unwrap_or_else(|| expr.to_string()))
+                }
+                Projection::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                    alias,
+                } => out_cols.push(alias.clone().unwrap_or_else(|| {
+                    let f = match func {
+                        AggFunc::Count => "COUNT",
+                        AggFunc::Sum => "SUM",
+                        AggFunc::Min => "MIN",
+                        AggFunc::Max => "MAX",
+                        AggFunc::Avg => "AVG",
+                    };
+                    let d = if *distinct { "DISTINCT " } else { "" };
+                    match arg {
+                        Some(a) => format!("{f}({d}{a})"),
+                        None => format!("{f}(*)"),
+                    }
+                })),
+            }
+        }
+        let mut out_rows = Vec::with_capacity(groups.len());
+        for (_, grows) in &groups {
+            let mut out = Vec::with_capacity(out_cols.len());
+            for p in &sel.projections {
+                match p {
+                    Projection::Wildcard => unreachable!(),
+                    Projection::Expr { expr, .. } => {
+                        // Per-group scalar: evaluated on the first row.
+                        match grows.first() {
+                            Some(first) => {
+                                let ctx = EvalContext {
+                                    columns: col_names,
+                                    row: first,
+                                    params,
+                                    now: self.now,
+                                };
+                                out.push(eval(expr, &ctx)?);
+                            }
+                            None => out.push(Value::Null),
+                        }
+                    }
+                    Projection::Aggregate {
+                        func,
+                        arg,
+                        distinct,
+                        ..
+                    } => out.push(self.aggregate(
+                        *func,
+                        arg.as_ref(),
+                        *distinct,
+                        col_names,
+                        grows,
+                        params,
+                    )?),
+                }
+            }
+            out_rows.push(out);
+        }
+        // HAVING filters the projected rows (aggregate aliases visible).
+        if let Some(having) = &sel.having {
+            let mut kept = Vec::with_capacity(out_rows.len());
+            for row in out_rows {
+                let ctx = EvalContext {
+                    columns: &out_cols,
+                    row: &row,
+                    params,
+                    now: self.now,
+                };
+                if eval_predicate(having, &ctx)? {
+                    kept.push(row);
+                }
+            }
+            out_rows = kept;
+        }
+        // ORDER BY over the projected rows (aliases visible).
+        if !sel.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(out_rows.len());
+            for row in out_rows {
+                let ctx = EvalContext {
+                    columns: &out_cols,
+                    row: &row,
+                    params,
+                    now: self.now,
+                };
+                let keys = sel
+                    .order_by
+                    .iter()
+                    .map(|k| eval(&k.expr, &ctx))
+                    .collect::<Result<Vec<_>>>()?;
+                keyed.push((keys, row));
+            }
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, key) in sel.order_by.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if key.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        Ok(QueryResult {
+            columns: out_cols,
+            rows: out_rows,
+            ..QueryResult::default()
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate(
+        &self,
+        func: AggFunc,
+        arg: Option<&Expr>,
+        distinct: bool,
+        col_names: &[String],
+        rows: &[Row],
+        params: &HashMap<String, Value>,
+    ) -> Result<Value> {
+        let mut values = Vec::new();
+        if let Some(expr) = arg {
+            let mut seen = std::collections::HashSet::new();
+            for row in rows {
+                let ctx = EvalContext {
+                    columns: col_names,
+                    row,
+                    params,
+                    now: self.now,
+                };
+                let v = eval(expr, &ctx)?;
+                if v.is_null() {
+                    continue;
+                }
+                if distinct && !seen.insert(v.to_sql_literal()) {
+                    continue;
+                }
+                values.push(v);
+            }
+        }
+        Ok(match func {
+            AggFunc::Count => match arg {
+                Some(_) => Value::Int(values.len() as i64),
+                None => Value::Int(rows.len() as i64),
+            },
+            AggFunc::Sum => {
+                if values.is_empty() {
+                    Value::Null
+                } else if values.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Value::Int(values.iter().map(|v| v.as_int().unwrap_or(0)).sum())
+                } else {
+                    let mut s = 0.0;
+                    for v in &values {
+                        s += match v {
+                            Value::Int(i) => *i as f64,
+                            Value::Float(f) => *f,
+                            other => {
+                                return Err(Error::Eval(format!("SUM of {other}")));
+                            }
+                        };
+                    }
+                    Value::Float(s)
+                }
+            }
+            AggFunc::Min => values
+                .into_iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+            AggFunc::Max => values
+                .into_iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    Value::Null
+                } else {
+                    let mut s = 0.0;
+                    let n = values.len() as f64;
+                    for v in &values {
+                        s += match v {
+                            Value::Int(i) => *i as f64,
+                            Value::Float(f) => *f,
+                            other => {
+                                return Err(Error::Eval(format!("AVG of {other}")));
+                            }
+                        };
+                    }
+                    Value::Float(s / n)
+                }
+            }
+        })
+    }
+
+    // ---- rollback ----------------------------------------------------------
+
+    /// Applies the undo log of `txn` in reverse order.
+    pub fn rollback(&mut self, txn: Txn) {
+        self.rollback_to(txn, 0);
+    }
+
+    /// Rolls back to a previous [`Txn::mark`], leaving earlier ops intact;
+    /// ops beyond `mark` are undone and dropped. The truncated txn is NOT
+    /// reinstalled — callers do that if needed.
+    pub fn rollback_to(&mut self, mut txn: Txn, mark: usize) -> Txn {
+        while txn.undo.len() > mark {
+            let op = txn.undo.pop().expect("len checked");
+            match op {
+                UndoOp::Inserted { table, row_id } => {
+                    if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
+                        t.remove(row_id);
+                    }
+                }
+                UndoOp::Deleted { table, row_id, row } => {
+                    if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
+                        t.restore_at(row_id, row);
+                    }
+                }
+                UndoOp::Updated {
+                    table,
+                    row_id,
+                    old_row,
+                } => {
+                    if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
+                        t.replace(row_id, old_row);
+                    }
+                }
+                UndoOp::CreatedTable { name } => {
+                    let key = name.to_lowercase();
+                    self.tables.remove(&key);
+                    self.table_order.retain(|n| n != &key);
+                }
+                UndoOp::DroppedTable { name, table } => {
+                    let key = name.to_lowercase();
+                    self.tables.insert(key.clone(), *table);
+                    self.table_order.push(key);
+                }
+                UndoOp::CreatedIndex { table, index } => {
+                    if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
+                        let _ = t.drop_index(&index);
+                    }
+                }
+                UndoOp::AutoIncrement { table, old_value } => {
+                    if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
+                        t.next_auto = old_value;
+                    }
+                }
+                UndoOp::AlteredTable { name, table } => {
+                    self.tables.insert(name.to_lowercase(), *table);
+                }
+            }
+        }
+        txn
+    }
+}
+
+/// If `on` is (or conjoins) `left_col = right_col` with one side from each
+/// relation, returns the two column positions.
+pub(crate) fn detect_equi_join(
+    on: &Expr,
+    left_cols: &[String],
+    right_cols: &[String],
+) -> Option<(usize, usize)> {
+    fn find(cols: &[String], table: Option<&str>, name: &str) -> Option<usize> {
+        cols.iter().position(|c| match table {
+            Some(t) => c.eq_ignore_ascii_case(&format!("{t}.{name}")),
+            None => c
+                .rsplit('.')
+                .next()
+                .is_some_and(|s| s.eq_ignore_ascii_case(name)),
+        })
+    }
+    match on {
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => {
+            let (lt, ln) = match lhs.as_ref() {
+                Expr::Column { table, name } => (table.as_deref(), name.as_str()),
+                _ => return None,
+            };
+            let (rt, rn) = match rhs.as_ref() {
+                Expr::Column { table, name } => (table.as_deref(), name.as_str()),
+                _ => return None,
+            };
+            if let (Some(l), Some(r)) = (find(left_cols, lt, ln), find(right_cols, rt, rn)) {
+                return Some((l, r));
+            }
+            if let (Some(l), Some(r)) = (find(left_cols, rt, rn), find(right_cols, lt, ln)) {
+                return Some((l, r));
+            }
+            None
+        }
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => detect_equi_join(lhs, left_cols, right_cols)
+            .or_else(|| detect_equi_join(rhs, left_cols, right_cols)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod select_edge_tests {
+    use crate::{Database, Value};
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE u (id INT PRIMARY KEY, name TEXT);
+             CREATE TABLE p (id INT PRIMARY KEY, uid INT, tag TEXT, score INT);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO u VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        db.execute("INSERT INTO p VALUES (10, 1, 'x', 5), (11, 1, 'y', 5), (12, 2, 'x', 7)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn left_join_with_extra_on_conjunct() {
+        let db = db();
+        // The extra conjunct rejects some hash-join matches; LEFT JOIN must
+        // still emit the unmatched left rows with NULLs.
+        let r = db
+            .execute(
+                "SELECT u.name, p.id FROM u LEFT JOIN p ON p.uid = u.id AND p.score > 6 \
+                 ORDER BY u.id, p.id",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("a".into()), Value::Null],
+                vec![Value::Text("b".into()), Value::Int(12)],
+            ]
+        );
+    }
+
+    #[test]
+    fn select_distinct_dedupes() {
+        let db = db();
+        let r = db
+            .execute("SELECT DISTINCT tag FROM p ORDER BY tag")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r2 = db.execute("SELECT DISTINCT tag, score FROM p").unwrap();
+        assert_eq!(r2.rows.len(), 3, "distinct applies to the whole projection");
+    }
+
+    #[test]
+    fn qualified_star_and_aliases() {
+        let db = db();
+        let r = db
+            .execute("SELECT * FROM u AS alias INNER JOIN p ON p.uid = alias.id")
+            .unwrap();
+        assert_eq!(r.columns.len(), 2 + 4);
+        assert!(r.columns[0].starts_with("alias."));
+    }
+
+    #[test]
+    fn error_paths_do_not_panic() {
+        let db = db();
+        assert!(db.execute("SELECT ghost FROM u").is_err());
+        assert!(db.execute("SELECT * FROM ghost").is_err());
+        assert!(db
+            .execute("SELECT name FROM u INNER JOIN ghost ON 1 = 1")
+            .is_err());
+        assert!(db
+            .execute("SELECT * FROM u WHERE LENGTH(id, name) = 1")
+            .is_err());
+        // Aggregates mixed with SELECT * are unsupported, not UB.
+        assert!(db.execute("SELECT *, COUNT(*) FROM u").is_err());
+    }
+
+    #[test]
+    fn order_by_multiple_keys_and_nulls() {
+        let db = db();
+        db.execute("INSERT INTO p VALUES (13, 2, NULL, 7)").unwrap();
+        let r = db
+            .execute("SELECT id, tag FROM p ORDER BY score DESC, tag ASC")
+            .unwrap();
+        // score 7 first (ids 12,13) with NULL tag sorting before 'x'.
+        assert_eq!(r.rows[0][0], Value::Int(13));
+        assert_eq!(r.rows[1][0], Value::Int(12));
+    }
+
+    #[test]
+    fn group_by_expression_key() {
+        let db = db();
+        let r = db
+            .execute(
+                "SELECT score % 2 AS parity, COUNT(*) AS n FROM p GROUP BY score % 2 \
+                 ORDER BY parity",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1), Value::Int(3)]]);
+    }
+}

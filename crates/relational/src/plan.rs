@@ -1,0 +1,255 @@
+//! Query-plan introspection (`EXPLAIN`-style, without executing).
+//!
+//! [`Database::explain`] describes how the engine would execute a
+//! statement: which access path serves the WHERE clause (index probe vs.
+//! full scan), which join strategy each JOIN uses (hash equi-join vs.
+//! nested loop), and how aggregation/ordering/limits apply. Useful when
+//! writing disguise predicates: a disguise over an unindexed column turns
+//! every per-row operation into a scan.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::exec::detect_equi_join;
+use crate::expr::Expr;
+use crate::parser::{parse_statement, Projection, SelectStmt, Statement};
+
+impl Database {
+    /// Describes the execution plan for `sql` without running it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let mut out = String::new();
+        match &stmt {
+            Statement::Select(sel) => self.explain_select(sel, &mut out)?,
+            Statement::Update { table, where_, .. } => {
+                out.push_str("UPDATE\n");
+                self.explain_access(table, where_.as_ref(), &mut out)?;
+            }
+            Statement::Delete { table, where_ } => {
+                out.push_str("DELETE\n");
+                self.explain_access(table, where_.as_ref(), &mut out)?;
+            }
+            Statement::Insert { table, rows, .. } => {
+                out.push_str(&format!("INSERT into {table}: {} row(s)\n", rows.len()));
+                let schema = self.schema(table)?;
+                for fk in &schema.foreign_keys {
+                    let parent = self.schema(&fk.parent_table)?;
+                    let indexed = parent
+                        .column_index(&fk.parent_column)
+                        .map(|_| {
+                            // Parent-key lookups probe an index when the
+                            // parent column is PK/UNIQUE (implicit index).
+                            parent
+                                .primary_key_column()
+                                .map(|c| c.name.eq_ignore_ascii_case(&fk.parent_column))
+                                .unwrap_or(false)
+                                || parent.columns.iter().any(|c| {
+                                    c.unique && c.name.eq_ignore_ascii_case(&fk.parent_column)
+                                })
+                        })
+                        .unwrap_or(false);
+                    out.push_str(&format!(
+                        "  fk check {table}.{} -> {}.{}: {}\n",
+                        fk.column,
+                        fk.parent_table,
+                        fk.parent_column,
+                        if indexed { "index probe" } else { "table scan" }
+                    ));
+                }
+            }
+            other => out.push_str(&format!("{other:?}\n")),
+        }
+        Ok(out)
+    }
+
+    fn explain_select(&self, sel: &SelectStmt, out: &mut String) -> Result<()> {
+        out.push_str("SELECT\n");
+        self.explain_access(&sel.from, sel.where_.as_ref(), out)?;
+        // Joins: report strategy per join, tracking accumulated columns the
+        // way execution does.
+        let mut left_cols = qualified_columns(self, &sel.from, sel.from_alias.as_deref())?;
+        for join in &sel.joins {
+            let right_cols = qualified_columns(self, &join.table, join.alias.as_deref())?;
+            let strategy = if detect_equi_join(&join.on, &left_cols, &right_cols).is_some() {
+                "hash equi-join"
+            } else {
+                "nested-loop join"
+            };
+            out.push_str(&format!(
+                "  {:?} join {}: {strategy} on {}\n",
+                join.kind, join.table, join.on
+            ));
+            left_cols.extend(right_cols);
+        }
+        let has_aggregates = sel
+            .projections
+            .iter()
+            .any(|p| matches!(p, Projection::Aggregate { .. }));
+        if has_aggregates || !sel.group_by.is_empty() {
+            out.push_str(&format!(
+                "  aggregate: {} group key(s), {} projection(s)\n",
+                sel.group_by.len(),
+                sel.projections.len()
+            ));
+        }
+        if sel.having.is_some() {
+            out.push_str("  having: filter over projected rows\n");
+        }
+        if !sel.order_by.is_empty() {
+            out.push_str(&format!("  sort: {} key(s)\n", sel.order_by.len()));
+        }
+        if sel.distinct {
+            out.push_str("  distinct: dedupe projected rows\n");
+        }
+        match (sel.limit, sel.offset) {
+            (Some(l), Some(o)) => out.push_str(&format!("  limit {l} offset {o}\n")),
+            (Some(l), None) => out.push_str(&format!("  limit {l}\n")),
+            (None, Some(o)) => out.push_str(&format!("  offset {o}\n")),
+            (None, None) => {}
+        }
+        Ok(())
+    }
+
+    /// Describes the access path for one table + optional predicate.
+    fn explain_access(&self, table: &str, where_: Option<&Expr>, out: &mut String) -> Result<()> {
+        let schema = self.schema(table)?;
+        let rows = self.row_count(table)?;
+        match where_ {
+            None => {
+                out.push_str(&format!("  {table}: full scan ({rows} rows)\n"));
+            }
+            Some(pred) => {
+                // Mirror the executor's index selection: the first index
+                // whose column the predicate pins to a constant.
+                let chosen = self.index_columns(table)?.into_iter().find(|col| {
+                    // Parameters ($UID) count as constants once bound; probe
+                    // with a bound copy when params are referenced.
+                    pred.equality_constant(col).is_some() || references_param_equality(pred, col)
+                });
+                match chosen {
+                    Some(col) => out.push_str(&format!(
+                        "  {table}: index probe on {}.{col}, then filter: {pred}\n",
+                        schema.name
+                    )),
+                    None => out.push_str(&format!(
+                        "  {table}: full scan ({rows} rows), filter: {pred}\n"
+                    )),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether the predicate conjoins `col = $param` (an index probe once the
+/// parameter is bound).
+fn references_param_equality(pred: &Expr, col: &str) -> bool {
+    use crate::expr::BinOp;
+    match pred {
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => {
+            let is_col =
+                |e: &Expr| matches!(e, Expr::Column { name, .. } if name.eq_ignore_ascii_case(col));
+            let is_param = |e: &Expr| matches!(e, Expr::Param(_));
+            (is_col(lhs) && is_param(rhs)) || (is_col(rhs) && is_param(lhs))
+        }
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => references_param_equality(lhs, col) || references_param_equality(rhs, col),
+        _ => false,
+    }
+}
+
+fn qualified_columns(db: &Database, table: &str, alias: Option<&str>) -> Result<Vec<String>> {
+    let schema = db.schema(table)?;
+    let prefix = alias.unwrap_or(&schema.name).to_string();
+    Ok(schema
+        .columns
+        .iter()
+        .map(|c| format!("{prefix}.{}", c.name))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, email TEXT);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));
+             CREATE INDEX posts_by_user ON posts (user_id);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('a'), ('b')")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_plans_name_access_paths() {
+        let db = db();
+        let plan = db.explain("SELECT * FROM users WHERE id = 3").unwrap();
+        assert!(plan.contains("index probe on users.id"), "{plan}");
+        let scan = db.explain("SELECT * FROM users WHERE name = 'a'").unwrap();
+        assert!(scan.contains("full scan"), "{scan}");
+    }
+
+    #[test]
+    fn param_equality_counts_as_probe() {
+        let db = db();
+        let plan = db
+            .explain("SELECT * FROM posts WHERE user_id = $UID")
+            .unwrap();
+        assert!(plan.contains("index probe on posts.user_id"), "{plan}");
+    }
+
+    #[test]
+    fn join_strategy_detection() {
+        let db = db();
+        let hash = db
+            .explain("SELECT * FROM users u INNER JOIN posts p ON p.user_id = u.id")
+            .unwrap();
+        assert!(hash.contains("hash equi-join"), "{hash}");
+        let nested = db
+            .explain("SELECT * FROM users u INNER JOIN posts p ON p.user_id > u.id")
+            .unwrap();
+        assert!(nested.contains("nested-loop join"), "{nested}");
+    }
+
+    #[test]
+    fn aggregate_sort_limit_annotations() {
+        let db = db();
+        let plan = db
+            .explain(
+                "SELECT user_id, COUNT(*) AS n FROM posts GROUP BY user_id \
+                 HAVING n > 1 ORDER BY n DESC LIMIT 5 OFFSET 2",
+            )
+            .unwrap();
+        assert!(plan.contains("aggregate: 1 group key(s)"), "{plan}");
+        assert!(plan.contains("having"), "{plan}");
+        assert!(plan.contains("sort: 1 key(s)"), "{plan}");
+        assert!(plan.contains("limit 5 offset 2"), "{plan}");
+    }
+
+    #[test]
+    fn dml_and_insert_plans() {
+        let db = db();
+        let del = db.explain("DELETE FROM posts WHERE id = 1").unwrap();
+        assert!(del.starts_with("DELETE"), "{del}");
+        assert!(del.contains("index probe"), "{del}");
+        let ins = db
+            .explain("INSERT INTO posts (user_id, body) VALUES (1, 'x')")
+            .unwrap();
+        assert!(
+            ins.contains("fk check posts.user_id -> users.id: index probe"),
+            "{ins}"
+        );
+    }
+}

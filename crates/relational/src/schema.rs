@@ -1,0 +1,267 @@
+//! Table schemas: columns, constraints, and foreign keys.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// What happens to child rows when a referenced parent row is deleted or its
+/// key updated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferentialAction {
+    /// Reject the parent mutation if children exist (the default).
+    Restrict,
+    /// Delete (or update) the child rows along with the parent.
+    Cascade,
+    /// Set the child foreign-key column to NULL.
+    SetNull,
+}
+
+impl fmt::Display for ReferentialAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReferentialAction::Restrict => "RESTRICT",
+            ReferentialAction::Cascade => "CASCADE",
+            ReferentialAction::SetNull => "SET NULL",
+        })
+    }
+}
+
+/// A foreign-key constraint from one column to a parent table's column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// The referencing column in this table.
+    pub column: String,
+    /// The referenced (parent) table.
+    pub parent_table: String,
+    /// The referenced column in the parent table.
+    pub parent_column: String,
+    /// Action on parent delete.
+    pub on_delete: ReferentialAction,
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (case-preserving, compared case-insensitively).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULL is rejected.
+    pub not_null: bool,
+    /// Whether values must be unique (also implied by primary key).
+    pub unique: bool,
+    /// Default value used when INSERT omits the column.
+    pub default: Option<Value>,
+    /// Whether this is an AUTO_INCREMENT integer column.
+    pub auto_increment: bool,
+}
+
+impl ColumnDef {
+    /// Creates a plain nullable column of the given type.
+    pub fn new(name: impl Into<String>, ty: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            not_null: false,
+            unique: false,
+            default: None,
+            auto_increment: false,
+        }
+    }
+
+    /// Builder: marks the column NOT NULL.
+    pub fn not_null(mut self) -> ColumnDef {
+        self.not_null = true;
+        self
+    }
+
+    /// Builder: marks the column UNIQUE.
+    pub fn unique(mut self) -> ColumnDef {
+        self.unique = true;
+        self
+    }
+
+    /// Builder: sets a DEFAULT value.
+    pub fn default_value(mut self, v: impl Into<Value>) -> ColumnDef {
+        self.default = Some(v.into());
+        self
+    }
+}
+
+/// The complete definition of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the primary key, if any.
+    pub primary_key: Option<usize>,
+    /// Foreign-key constraints.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Creates an empty schema with the given table name.
+    pub fn new(name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Finds a column index by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Finds a column index, erroring with [`Error::NoSuchColumn`].
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name).ok_or_else(|| Error::NoSuchColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// The primary-key column definition, if declared.
+    pub fn primary_key_column(&self) -> Option<&ColumnDef> {
+        self.primary_key.map(|i| &self.columns[i])
+    }
+
+    /// The foreign key declared on `column`, if any.
+    pub fn foreign_key_on(&self, column: &str) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.column.eq_ignore_ascii_case(column))
+    }
+
+    /// Validates internal consistency: unique column names, PK/FK columns
+    /// exist, auto-increment only on INT columns.
+    pub fn validate(&self) -> Result<()> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i]
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(Error::AlreadyExists(format!("{}.{}", self.name, c.name)));
+            }
+            if c.auto_increment && c.ty != DataType::Int {
+                return Err(Error::Unsupported(format!(
+                    "AUTO_INCREMENT on non-INT column {}.{}",
+                    self.name, c.name
+                )));
+            }
+        }
+        if let Some(pk) = self.primary_key {
+            if pk >= self.columns.len() {
+                return Err(Error::NoSuchColumn {
+                    table: self.name.clone(),
+                    column: format!("<pk #{pk}>"),
+                });
+            }
+        }
+        for fk in &self.foreign_keys {
+            self.require_column(&fk.column)?;
+        }
+        Ok(())
+    }
+
+    /// Renders this schema as a `CREATE TABLE` statement.
+    pub fn to_create_sql(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let mut s = format!("{} {}", c.name, c.ty.sql_name());
+            if self.primary_key == Some(i) {
+                s.push_str(" PRIMARY KEY");
+            }
+            if c.auto_increment {
+                s.push_str(" AUTO_INCREMENT");
+            }
+            if c.not_null && self.primary_key != Some(i) {
+                s.push_str(" NOT NULL");
+            }
+            if c.unique && self.primary_key != Some(i) {
+                s.push_str(" UNIQUE");
+            }
+            if let Some(d) = &c.default {
+                s.push_str(&format!(" DEFAULT {}", d.to_sql_literal()));
+            }
+            parts.push(s);
+        }
+        for fk in &self.foreign_keys {
+            let mut s = format!(
+                "FOREIGN KEY ({}) REFERENCES {}({})",
+                fk.column, fk.parent_table, fk.parent_column
+            );
+            if fk.on_delete != ReferentialAction::Restrict {
+                s.push_str(&format!(" ON DELETE {}", fk.on_delete));
+            }
+            parts.push(s);
+        }
+        format!("CREATE TABLE {} ({})", self.name, parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        let mut t = TableSchema::new("Review");
+        t.columns
+            .push(ColumnDef::new("reviewId", DataType::Int).not_null());
+        t.columns
+            .push(ColumnDef::new("contactId", DataType::Int).not_null());
+        t.columns.push(ColumnDef::new("text", DataType::Text));
+        t.primary_key = Some(0);
+        t.foreign_keys.push(ForeignKey {
+            column: "contactId".into(),
+            parent_table: "ContactInfo".into(),
+            parent_column: "contactId".into(),
+            on_delete: ReferentialAction::Restrict,
+        });
+        t
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = sample();
+        assert_eq!(t.column_index("CONTACTID"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+        assert!(t.require_column("missing").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_columns() {
+        let mut t = sample();
+        t.columns.push(ColumnDef::new("TEXT", DataType::Text));
+        assert!(matches!(t.validate(), Err(Error::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn validate_rejects_auto_increment_on_text() {
+        let mut t = sample();
+        let mut c = ColumnDef::new("x", DataType::Text);
+        c.auto_increment = true;
+        t.columns.push(c);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn create_sql_round_trips_structure() {
+        let t = sample();
+        let sql = t.to_create_sql();
+        assert!(sql.contains("reviewId INT PRIMARY KEY"));
+        assert!(sql.contains("FOREIGN KEY (contactId) REFERENCES ContactInfo(contactId)"));
+    }
+}

@@ -1,0 +1,406 @@
+//! Database snapshots: saving and loading the full database to/from disk.
+//!
+//! The engine is in-process; snapshots give it durability across runs
+//! (used by the `edna` CLI). The format is a self-contained binary
+//! encoding: magic + version, then per table the schema, AUTO_INCREMENT
+//! counter, explicitly created indexes, and all live rows. Implicit
+//! PK/UNIQUE indexes are rebuilt on load.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::schema::{ColumnDef, ForeignKey, ReferentialAction, TableSchema};
+use crate::value::{DataType, Row, Value};
+
+const MAGIC: &[u8; 8] = b"EDNADB\x01\x00";
+
+// ---- little byte helpers (self-contained; no external serializer) ---------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Int(i) => {
+                self.u8(1);
+                self.i64(*i);
+            }
+            Value::Float(x) => {
+                self.u8(2);
+                self.f64(*x);
+            }
+            Value::Text(s) => {
+                self.u8(3);
+                self.string(s);
+            }
+            Value::Bool(false) => self.u8(4),
+            Value::Bool(true) => self.u8(5),
+            Value::Bytes(b) => {
+                self.u8(6);
+                self.bytes(b);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error::Eval(format!("corrupt snapshot at byte {}: {what}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(self.err("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| self.err("invalid UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.i64()?),
+            2 => Value::Float(self.f64()?),
+            3 => Value::Text(self.string()?),
+            4 => Value::Bool(false),
+            5 => Value::Bool(true),
+            6 => Value::Bytes(self.bytes()?),
+            t => return Err(self.err(&format!("unknown value tag {t}"))),
+        })
+    }
+}
+
+// ---- snapshot format --------------------------------------------------------
+
+/// The serializable image of one table.
+pub struct TableSnapshot {
+    /// Table schema.
+    pub schema: TableSchema,
+    /// Next AUTO_INCREMENT value.
+    pub next_auto: i64,
+    /// Explicitly created indexes: `(name, column name, unique)`.
+    pub indexes: Vec<(String, String, bool)>,
+    /// All live rows.
+    pub rows: Vec<Row>,
+}
+
+/// Serializes the whole database to bytes.
+pub fn encode(db: &Database) -> Result<Vec<u8>> {
+    let snapshots = db.snapshot_tables()?;
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.i64(db.now());
+    w.u32(snapshots.len() as u32);
+    for t in &snapshots {
+        w.string(&t.schema.name);
+        // Columns.
+        w.u32(t.schema.columns.len() as u32);
+        for c in &t.schema.columns {
+            w.string(&c.name);
+            w.string(c.ty.sql_name());
+            w.u8(u8::from(c.not_null));
+            w.u8(u8::from(c.unique));
+            w.u8(u8::from(c.auto_increment));
+            match &c.default {
+                Some(v) => {
+                    w.u8(1);
+                    w.value(v);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.u32(t.schema.primary_key.map(|i| i as u32).unwrap_or(u32::MAX));
+        // Foreign keys.
+        w.u32(t.schema.foreign_keys.len() as u32);
+        for fk in &t.schema.foreign_keys {
+            w.string(&fk.column);
+            w.string(&fk.parent_table);
+            w.string(&fk.parent_column);
+            w.u8(match fk.on_delete {
+                ReferentialAction::Restrict => 0,
+                ReferentialAction::Cascade => 1,
+                ReferentialAction::SetNull => 2,
+            });
+        }
+        w.i64(t.next_auto);
+        // Explicit indexes.
+        w.u32(t.indexes.len() as u32);
+        for (name, column, unique) in &t.indexes {
+            w.string(name);
+            w.string(column);
+            w.u8(u8::from(*unique));
+        }
+        // Rows.
+        w.u32(t.rows.len() as u32);
+        for row in &t.rows {
+            for v in row {
+                w.value(v);
+            }
+        }
+    }
+    Ok(w.buf)
+}
+
+/// Reconstructs a database from bytes produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Database> {
+    let mut r = Reader::new(data);
+    if r.take(8)? != MAGIC {
+        return Err(Error::Eval("not an edna database snapshot".to_string()));
+    }
+    let now = r.i64()?;
+    let n_tables = r.u32()? as usize;
+    let mut snapshots = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = r.string()?;
+        let mut schema = TableSchema::new(name);
+        let n_cols = r.u32()? as usize;
+        for _ in 0..n_cols {
+            let col_name = r.string()?;
+            let ty_name = r.string()?;
+            let ty = DataType::from_sql_name(&ty_name)
+                .ok_or_else(|| r.err(&format!("unknown type {ty_name}")))?;
+            let mut col = ColumnDef::new(col_name, ty);
+            col.not_null = r.u8()? != 0;
+            col.unique = r.u8()? != 0;
+            col.auto_increment = r.u8()? != 0;
+            if r.u8()? != 0 {
+                col.default = Some(r.value()?);
+            }
+            schema.columns.push(col);
+        }
+        let pk = r.u32()?;
+        schema.primary_key = if pk == u32::MAX {
+            None
+        } else {
+            Some(pk as usize)
+        };
+        let n_fks = r.u32()? as usize;
+        for _ in 0..n_fks {
+            let column = r.string()?;
+            let parent_table = r.string()?;
+            let parent_column = r.string()?;
+            let on_delete = match r.u8()? {
+                0 => ReferentialAction::Restrict,
+                1 => ReferentialAction::Cascade,
+                2 => ReferentialAction::SetNull,
+                t => return Err(r.err(&format!("unknown referential action {t}"))),
+            };
+            schema.foreign_keys.push(ForeignKey {
+                column,
+                parent_table,
+                parent_column,
+                on_delete,
+            });
+        }
+        let next_auto = r.i64()?;
+        let n_indexes = r.u32()? as usize;
+        let mut indexes = Vec::with_capacity(n_indexes);
+        for _ in 0..n_indexes {
+            let idx_name = r.string()?;
+            let column = r.string()?;
+            let unique = r.u8()? != 0;
+            indexes.push((idx_name, column, unique));
+        }
+        let n_rows = r.u32()? as usize;
+        let arity = schema.arity();
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(r.value()?);
+            }
+            rows.push(row);
+        }
+        snapshots.push(TableSnapshot {
+            schema,
+            next_auto,
+            indexes,
+            rows,
+        });
+    }
+    if r.pos != data.len() {
+        return Err(r.err("trailing bytes"));
+    }
+    let db = Database::from_snapshots(snapshots)?;
+    db.set_now(now);
+    Ok(db)
+}
+
+/// Saves the database to `path` (write-then-rename for atomicity).
+pub fn save(db: &Database, path: impl AsRef<Path>) -> Result<()> {
+    let data = encode(db)?;
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| Error::Eval(format!("snapshot I/O: {e}"));
+    let mut f = std::fs::File::create(&tmp).map_err(io)?;
+    f.write_all(&data).map_err(io)?;
+    f.sync_all().map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)?;
+    Ok(())
+}
+
+/// Loads a database from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Database> {
+    let data =
+        std::fs::read(path.as_ref()).map_err(|e| Error::Eval(format!("snapshot I/O: {e}")))?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+             karma INT DEFAULT 0);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id) ON DELETE CASCADE);
+             CREATE INDEX posts_by_user ON posts (user_id);",
+        )
+        .unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'x''y'), (2, NULL)")
+            .unwrap();
+        db.set_now(777);
+        db
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let db = sample();
+        let data = encode(&db).unwrap();
+        let back = decode(&data).unwrap();
+        assert_eq!(back.dump(), db.dump());
+        assert_eq!(back.now(), 777);
+        // Schema survived: constraints still enforced.
+        assert!(back
+            .execute("INSERT INTO users (id, name) VALUES (1, 'dup')")
+            .is_err());
+        assert!(back
+            .execute("INSERT INTO posts (user_id, body) VALUES (99, 'z')")
+            .is_err());
+        // AUTO_INCREMENT continues where it left off.
+        let r = back
+            .execute("INSERT INTO users (name) VALUES ('zoe')")
+            .unwrap();
+        assert_eq!(r.last_insert_id, Some(3));
+        // Cascade action survived.
+        back.execute("DELETE FROM users WHERE id = 1").unwrap();
+        assert_eq!(
+            back.execute("SELECT COUNT(*) FROM posts")
+                .unwrap()
+                .scalar()
+                .unwrap(),
+            &crate::Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn explicit_indexes_survive() {
+        let db = sample();
+        let back = decode(&encode(&db).unwrap()).unwrap();
+        // The explicit index exists: creating it again collides.
+        assert!(back
+            .execute("CREATE INDEX posts_by_user ON posts (user_id)")
+            .is_err());
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let db = sample();
+        let path =
+            std::env::temp_dir().join(format!("edna_snapshot_test_{}.edna", std::process::id()));
+        save(&db, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.dump(), db.dump());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let db = sample();
+        let data = encode(&db).unwrap();
+        assert!(decode(&data[..data.len() - 1]).is_err(), "truncated");
+        let mut wrong_magic = data.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode(&wrong_magic).is_err(), "bad magic");
+        let mut trailing = data;
+        trailing.push(0);
+        assert!(decode(&trailing).is_err(), "trailing bytes");
+    }
+}

@@ -1,0 +1,209 @@
+//! Execution statistics and latency injection.
+//!
+//! The paper's evaluation reports the *number of queries* a disguise
+//! performs ("grows linearly with the number of objects") — these counters
+//! make that measurable. The optional [`LatencyModel`] injects a fixed cost
+//! per statement and per row, approximating a networked DBMS (the
+//! prototype's MySQL backend) without one being available.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative counters for one [`crate::Database`].
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Total statements executed (including those inside scripts).
+    pub statements: AtomicU64,
+    /// SELECT statements.
+    pub selects: AtomicU64,
+    /// INSERT statements.
+    pub inserts: AtomicU64,
+    /// UPDATE statements.
+    pub updates: AtomicU64,
+    /// DELETE statements.
+    pub deletes: AtomicU64,
+    /// Rows materialized by reads (scan or index probe results).
+    pub rows_read: AtomicU64,
+    /// Rows inserted, updated, or deleted.
+    pub rows_written: AtomicU64,
+    /// Predicate evaluations served by an index probe.
+    pub index_probes: AtomicU64,
+    /// Predicate evaluations served by a full table scan.
+    pub table_scans: AtomicU64,
+}
+
+impl Stats {
+    /// Takes an immutable snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            statements: self.statements.load(Ordering::Relaxed),
+            selects: self.selects.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            rows_written: self.rows_written.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            table_scans: self.table_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.statements.store(0, Ordering::Relaxed);
+        self.selects.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.updates.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.rows_read.store(0, Ordering::Relaxed);
+        self.rows_written.store(0, Ordering::Relaxed);
+        self.index_probes.store(0, Ordering::Relaxed);
+        self.table_scans.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(&self, counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total statements executed.
+    pub statements: u64,
+    /// SELECT statements.
+    pub selects: u64,
+    /// INSERT statements.
+    pub inserts: u64,
+    /// UPDATE statements.
+    pub updates: u64,
+    /// DELETE statements.
+    pub deletes: u64,
+    /// Rows materialized by reads.
+    pub rows_read: u64,
+    /// Rows inserted, updated, or deleted.
+    pub rows_written: u64,
+    /// Index probe count.
+    pub index_probes: u64,
+    /// Full scan count.
+    pub table_scans: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            statements: self.statements.saturating_sub(earlier.statements),
+            selects: self.selects.saturating_sub(earlier.selects),
+            inserts: self.inserts.saturating_sub(earlier.inserts),
+            updates: self.updates.saturating_sub(earlier.updates),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            rows_read: self.rows_read.saturating_sub(earlier.rows_read),
+            rows_written: self.rows_written.saturating_sub(earlier.rows_written),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            table_scans: self.table_scans.saturating_sub(earlier.table_scans),
+        }
+    }
+
+    /// Total write-statement count (INSERT + UPDATE + DELETE).
+    pub fn write_statements(&self) -> u64 {
+        self.inserts + self.updates + self.deletes
+    }
+}
+
+/// Synthetic per-operation latency, approximating a networked DBMS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Added once per statement (models a client-server round trip).
+    pub per_statement: Duration,
+    /// Added once per row written.
+    pub per_row_written: Duration,
+}
+
+impl LatencyModel {
+    /// No injected latency (the default).
+    pub const NONE: LatencyModel = LatencyModel {
+        per_statement: Duration::ZERO,
+        per_row_written: Duration::ZERO,
+    };
+
+    /// A model loosely matching a local MySQL server (~100 µs round trip,
+    /// ~20 µs per written row).
+    pub fn local_mysql() -> LatencyModel {
+        LatencyModel {
+            per_statement: Duration::from_micros(100),
+            per_row_written: Duration::from_micros(20),
+        }
+    }
+
+    /// Whether any latency is configured.
+    pub fn is_none(&self) -> bool {
+        self.per_statement.is_zero() && self.per_row_written.is_zero()
+    }
+
+    /// Blocks for the cost of one statement writing `rows_written` rows.
+    pub fn charge(&self, rows_written: u64) {
+        if self.is_none() {
+            return;
+        }
+        let total = self.per_statement + self.per_row_written * (rows_written as u32);
+        if !total.is_zero() {
+            busy_wait(total);
+        }
+    }
+}
+
+/// Blocks for `d`. Durations of 100 us and above use `thread::sleep`, so
+/// concurrent callers genuinely overlap their simulated I/O (even on a
+/// single core); shorter waits spin for accuracy.
+fn busy_wait(d: Duration) {
+    let start = std::time::Instant::now();
+    if d >= Duration::from_micros(100) {
+        std::thread::sleep(d);
+        return;
+    }
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = Stats::default();
+        s.bump(&s.statements, 5);
+        s.bump(&s.rows_read, 100);
+        let a = s.snapshot();
+        s.bump(&s.statements, 2);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.statements, 2);
+        assert_eq!(d.rows_read, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::default();
+        s.bump(&s.inserts, 3);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn latency_charge_blocks_roughly() {
+        let m = LatencyModel {
+            per_statement: Duration::from_micros(200),
+            per_row_written: Duration::ZERO,
+        };
+        let t0 = std::time::Instant::now();
+        m.charge(0);
+        assert!(t0.elapsed() >= Duration::from_micros(200));
+        // NONE must not block measurably.
+        let t1 = std::time::Instant::now();
+        LatencyModel::NONE.charge(1000);
+        assert!(t1.elapsed() < Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,267 @@
+//! File-backed vault store: the offline-storage deployment model.
+//!
+//! Paper §4.2: "the records required to reverse account deletion might be
+//! in offline storage". Each user's vault is one append-friendly file of
+//! length-prefixed `(meta, payload)` records under a root directory. User
+//! keys are hex-encoded into file names so arbitrary id renderings are
+//! safe.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::entry::{EntryMeta, StoredEntry};
+use crate::error::Result;
+use crate::serialize::{read_bytes, write_bytes};
+
+use super::VaultStore;
+
+/// A vault store persisting each user's entries to one file.
+pub struct FileStore {
+    root: PathBuf,
+    // Serializes rewrites (remove/purge) against appends.
+    lock: Mutex<()>,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<FileStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FileStore {
+            root,
+            lock: Mutex::new(()),
+        })
+    }
+
+    fn user_path(&self, user: &str) -> PathBuf {
+        let hex: String = user.bytes().map(|b| format!("{b:02x}")).collect();
+        self.root.join(format!("vault_{hex}.bin"))
+    }
+
+    fn user_from_path(path: &Path) -> Option<String> {
+        let stem = path.file_stem()?.to_str()?;
+        let hex = stem.strip_prefix("vault_")?;
+        if hex.len() % 2 != 0 {
+            return None;
+        }
+        let bytes: Option<Vec<u8>> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).ok())
+            .collect();
+        String::from_utf8(bytes?).ok()
+    }
+
+    fn read_all(&self, path: &Path) -> Result<Vec<StoredEntry>> {
+        let data = match fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = Bytes::from(data);
+        let mut out = Vec::new();
+        while buf.has_remaining() {
+            let meta_bytes = read_bytes(&mut buf)?;
+            let payload = read_bytes(&mut buf)?;
+            let mut mb = Bytes::from(meta_bytes);
+            let meta = EntryMeta::decode(&mut mb)?;
+            out.push(StoredEntry { meta, payload });
+        }
+        Ok(out)
+    }
+
+    fn write_all(&self, path: &Path, entries: &[StoredEntry]) -> Result<()> {
+        if entries.is_empty() {
+            match fs::remove_file(path) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut buf = BytesMut::new();
+        for e in entries {
+            write_bytes(&mut buf, &e.meta.encode());
+            write_bytes(&mut buf, &e.payload);
+        }
+        // Write-then-rename for crash atomicity.
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &buf)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    fn record_bytes(entry: &StoredEntry) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        write_bytes(&mut buf, &entry.meta.encode());
+        write_bytes(&mut buf, &entry.payload);
+        buf.to_vec()
+    }
+}
+
+impl VaultStore for FileStore {
+    fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
+        let _g = self.lock.lock();
+        let path = self.user_path(user);
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(&Self::record_bytes(&entry))?;
+        Ok(())
+    }
+
+    fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
+        let _g = self.lock.lock();
+        self.read_all(&self.user_path(user))
+    }
+
+    fn users(&self) -> Result<Vec<String>> {
+        let _g = self.lock.lock();
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "bin") {
+                if let Some(user) = Self::user_from_path(&path) {
+                    out.push(user);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
+        let _g = self.lock.lock();
+        let path = self.user_path(user);
+        let mut entries = self.read_all(&path)?;
+        let before = entries.len();
+        entries.retain(|e| e.meta.disguise_id != disguise_id);
+        let removed = before - entries.len();
+        if removed > 0 {
+            self.write_all(&path, &entries)?;
+        }
+        Ok(removed)
+    }
+
+    fn purge_expired(&self, now: i64) -> Result<usize> {
+        let users = self.users()?;
+        let _g = self.lock.lock();
+        let mut purged = 0;
+        for user in users {
+            let path = self.user_path(&user);
+            let mut entries = self.read_all(&path)?;
+            let before = entries.len();
+            entries.retain(|e| !e.meta.is_expired(now));
+            if entries.len() != before {
+                purged += before - entries.len();
+                self.write_all(&path, &entries)?;
+            }
+        }
+        Ok(purged)
+    }
+
+    fn entry_count(&self) -> Result<usize> {
+        let users = self.users()?;
+        let mut n = 0;
+        for user in users {
+            n += self.list(&user)?.len();
+        }
+        Ok(n)
+    }
+}
+
+/// Maps malformed vault files to codec errors rather than panicking.
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("root", &self.root)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryMeta;
+
+    fn entry(id: u64, expires_at: Option<i64>) -> StoredEntry {
+        StoredEntry {
+            meta: EntryMeta {
+                disguise_id: id,
+                disguise_name: format!("d{id}"),
+                created_at: 7,
+                expires_at,
+            },
+            payload: vec![1, 2, 3, id as u8],
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("edna_vault_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_and_reload() {
+        let dir = tempdir("persist");
+        {
+            let s = FileStore::open(&dir).unwrap();
+            s.put("19", entry(1, None)).unwrap();
+            s.put("19", entry(2, None)).unwrap();
+            s.put("user'weird\"id", entry(3, None)).unwrap();
+        }
+        let s = FileStore::open(&dir).unwrap();
+        assert_eq!(s.list("19").unwrap().len(), 2);
+        assert_eq!(s.list("19").unwrap()[0], entry(1, None));
+        assert_eq!(s.list("user'weird\"id").unwrap().len(), 1);
+        assert_eq!(
+            s.users().unwrap().len(),
+            2,
+            "both user files should be discovered"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_rewrites_file() {
+        let dir = tempdir("remove");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, None)).unwrap();
+        s.put("u", entry(2, None)).unwrap();
+        assert_eq!(s.remove("u", 1).unwrap(), 1);
+        assert_eq!(s.list("u").unwrap(), vec![entry(2, None)]);
+        // Removing the last entry deletes the file (user disappears).
+        assert_eq!(s.remove("u", 2).unwrap(), 1);
+        assert!(s.users().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn purge_expired_on_disk() {
+        let dir = tempdir("purge");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, Some(10))).unwrap();
+        s.put("u", entry(2, None)).unwrap();
+        assert_eq!(s.purge_expired(10).unwrap(), 1);
+        assert_eq!(s.entry_count().unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = tempdir("corrupt");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, None)).unwrap();
+        let path = s.user_path("u");
+        let mut data = fs::read(&path).unwrap();
+        data.truncate(data.len() - 1);
+        fs::write(&path, data).unwrap();
+        assert!(s.list("u").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! In-memory vault store: the application-adjacent deployment model.
+//!
+//! This mirrors the paper's prototype, which "represents vaults as
+//! (currently unencrypted) per-user database tables" (§5): entries live
+//! next to the application, giving the disguising tool cheap access but the
+//! weakest isolation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::entry::StoredEntry;
+use crate::error::Result;
+
+use super::VaultStore;
+
+/// A thread-safe in-memory store.
+#[derive(Default)]
+pub struct MemoryStore {
+    entries: Mutex<HashMap<String, Vec<StoredEntry>>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+}
+
+impl VaultStore for MemoryStore {
+    fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
+        self.entries
+            .lock()
+            .entry(user.to_string())
+            .or_default()
+            .push(entry);
+        Ok(())
+    }
+
+    fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
+        Ok(self.entries.lock().get(user).cloned().unwrap_or_default())
+    }
+
+    fn users(&self) -> Result<Vec<String>> {
+        let map = self.entries.lock();
+        let mut users: Vec<String> = map
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        users.sort();
+        Ok(users)
+    }
+
+    fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
+        let mut map = self.entries.lock();
+        let Some(list) = map.get_mut(user) else {
+            return Ok(0);
+        };
+        let before = list.len();
+        list.retain(|e| e.meta.disguise_id != disguise_id);
+        Ok(before - list.len())
+    }
+
+    fn purge_expired(&self, now: i64) -> Result<usize> {
+        let mut map = self.entries.lock();
+        let mut purged = 0;
+        for list in map.values_mut() {
+            let before = list.len();
+            list.retain(|e| !e.meta.is_expired(now));
+            purged += before - list.len();
+        }
+        Ok(purged)
+    }
+
+    fn entry_count(&self) -> Result<usize> {
+        Ok(self.entries.lock().values().map(Vec::len).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryMeta;
+
+    fn entry(id: u64, expires_at: Option<i64>) -> StoredEntry {
+        StoredEntry {
+            meta: EntryMeta {
+                disguise_id: id,
+                disguise_name: format!("d{id}"),
+                created_at: 0,
+                expires_at,
+            },
+            payload: vec![id as u8],
+        }
+    }
+
+    #[test]
+    fn put_list_remove() {
+        let s = MemoryStore::new();
+        s.put("19", entry(1, None)).unwrap();
+        s.put("19", entry(2, None)).unwrap();
+        s.put("20", entry(3, None)).unwrap();
+        assert_eq!(s.list("19").unwrap().len(), 2);
+        assert_eq!(s.users().unwrap(), vec!["19".to_string(), "20".to_string()]);
+        assert_eq!(s.remove("19", 1).unwrap(), 1);
+        assert_eq!(s.list("19").unwrap().len(), 1);
+        assert_eq!(s.remove("19", 99).unwrap(), 0);
+        assert_eq!(s.entry_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn purge_expired_only_drops_expired() {
+        let s = MemoryStore::new();
+        s.put("u", entry(1, Some(100))).unwrap();
+        s.put("u", entry(2, Some(200))).unwrap();
+        s.put("u", entry(3, None)).unwrap();
+        assert_eq!(s.purge_expired(150).unwrap(), 1);
+        assert_eq!(s.list("u").unwrap().len(), 2);
+    }
+}

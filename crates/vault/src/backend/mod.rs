@@ -1,0 +1,64 @@
+//! Vault storage backends.
+//!
+//! The paper (§4.2) sketches several vault deployment models: application-
+//! adjacent storage, offline storage, and third-party/user-held storage.
+//! Each maps to a [`VaultStore`] implementation here:
+//!
+//! - [`MemoryStore`] — application-adjacent tables (what the prototype uses);
+//! - [`FileStore`] — offline storage on a filesystem path;
+//! - [`ThirdPartyStore`] — a latency-injecting wrapper simulating a remote
+//!   third-party vault service.
+//!
+//! Encryption is orthogonal: it is applied by [`crate::Vault`] before the
+//! payload reaches a store, so every deployment model can be encrypted.
+
+pub mod file;
+pub mod memory;
+pub mod thirdparty;
+
+pub use file::FileStore;
+pub use memory::MemoryStore;
+pub use thirdparty::ThirdPartyStore;
+
+use crate::entry::StoredEntry;
+use crate::error::Result;
+
+/// Storage interface for opaque vault entries, keyed by user.
+///
+/// The `user` key is the SQL-literal rendering of the user id, or
+/// [`GLOBAL_USER`] for global (cross-user) vault entries.
+pub trait VaultStore: Send + Sync {
+    /// Appends an entry to `user`'s vault.
+    fn put(&self, user: &str, entry: StoredEntry) -> Result<()>;
+
+    /// All entries in `user`'s vault, oldest first.
+    fn list(&self, user: &str) -> Result<Vec<StoredEntry>>;
+
+    /// All user keys with at least one entry.
+    fn users(&self) -> Result<Vec<String>>;
+
+    /// Removes all entries for `(user, disguise_id)`; returns how many.
+    fn remove(&self, user: &str, disguise_id: u64) -> Result<usize>;
+
+    /// Drops every entry whose expiry has passed; returns how many. Expired
+    /// entries make their disguises irreversible (paper §4.2).
+    fn purge_expired(&self, now: i64) -> Result<usize>;
+
+    /// Total number of stored entries (for tests and benches).
+    fn entry_count(&self) -> Result<usize>;
+
+    /// Total bytes at rest across all entries (metadata + payload). The
+    /// default sums over [`VaultStore::users`] and [`VaultStore::list`].
+    fn storage_bytes(&self) -> Result<usize> {
+        let mut total = 0;
+        for user in self.users()? {
+            for e in self.list(&user)? {
+                total += e.meta.encode().len() + e.payload.len();
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// The reserved user key for the global vault scope.
+pub const GLOBAL_USER: &str = "__global__";

@@ -1,0 +1,147 @@
+//! Simulated third-party vault service.
+//!
+//! Paper §4.2: vaults may be "stored entirely by some third party or
+//! locally by the user, with an API for disguise tool access". No such
+//! service exists in this environment, so this wrapper injects a
+//! configurable per-request latency (plus optional user-approval gating)
+//! in front of any inner store, letting benchmarks explore the cost of
+//! remote vault access.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::entry::StoredEntry;
+use crate::error::{Error, Result};
+
+use super::VaultStore;
+
+/// A latency-injecting, approval-gated wrapper around another store.
+pub struct ThirdPartyStore<S> {
+    inner: S,
+    per_request: Duration,
+    requests: AtomicU64,
+    /// When true, every access requires prior user approval (paper §4.2:
+    /// "access might require explicit approval by the user").
+    require_approval: AtomicBool,
+    approved: AtomicBool,
+}
+
+impl<S: VaultStore> ThirdPartyStore<S> {
+    /// Wraps `inner`, charging `per_request` for every store operation.
+    pub fn new(inner: S, per_request: Duration) -> ThirdPartyStore<S> {
+        ThirdPartyStore {
+            inner,
+            per_request,
+            requests: AtomicU64::new(0),
+            require_approval: AtomicBool::new(false),
+            approved: AtomicBool::new(false),
+        }
+    }
+
+    /// Enables the user-approval requirement.
+    pub fn require_approval(&self) {
+        self.require_approval.store(true, Ordering::SeqCst);
+    }
+
+    /// Records the user's approval (or revocation).
+    pub fn set_approved(&self, approved: bool) {
+        self.approved.store(approved, Ordering::SeqCst);
+    }
+
+    /// Number of requests served.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self) -> Result<()> {
+        if self.require_approval.load(Ordering::SeqCst) && !self.approved.load(Ordering::SeqCst) {
+            return Err(Error::Crypto(
+                "third-party vault access requires user approval".to_string(),
+            ));
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !self.per_request.is_zero() {
+            // Sleep (rather than spin) so concurrent requests overlap.
+            std::thread::sleep(self.per_request);
+        }
+        Ok(())
+    }
+}
+
+impl<S: VaultStore> VaultStore for ThirdPartyStore<S> {
+    fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
+        self.charge()?;
+        self.inner.put(user, entry)
+    }
+
+    fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
+        self.charge()?;
+        self.inner.list(user)
+    }
+
+    fn users(&self) -> Result<Vec<String>> {
+        self.charge()?;
+        self.inner.users()
+    }
+
+    fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
+        self.charge()?;
+        self.inner.remove(user, disguise_id)
+    }
+
+    fn purge_expired(&self, now: i64) -> Result<usize> {
+        self.charge()?;
+        self.inner.purge_expired(now)
+    }
+
+    fn entry_count(&self) -> Result<usize> {
+        self.charge()?;
+        self.inner.entry_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryStore;
+    use crate::entry::EntryMeta;
+
+    fn entry(id: u64) -> StoredEntry {
+        StoredEntry {
+            meta: EntryMeta {
+                disguise_id: id,
+                disguise_name: "d".to_string(),
+                created_at: 0,
+                expires_at: None,
+            },
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn delegates_and_counts() {
+        let s = ThirdPartyStore::new(MemoryStore::new(), Duration::ZERO);
+        s.put("u", entry(1)).unwrap();
+        assert_eq!(s.list("u").unwrap().len(), 1);
+        assert_eq!(s.request_count(), 2);
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let s = ThirdPartyStore::new(MemoryStore::new(), Duration::from_millis(3));
+        let t0 = std::time::Instant::now();
+        s.put("u", entry(1)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn approval_gating() {
+        let s = ThirdPartyStore::new(MemoryStore::new(), Duration::ZERO);
+        s.require_approval();
+        assert!(s.list("u").is_err());
+        s.set_approved(true);
+        assert!(s.list("u").is_ok());
+        s.set_approved(false);
+        assert!(s.list("u").is_err());
+    }
+}

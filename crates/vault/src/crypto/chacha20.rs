@@ -1,0 +1,140 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! Provides confidentiality for encrypted vaults (paper §4.2: "The vault
+//! contents might be encrypted"). Authentication is layered on with
+//! HMAC-SHA-256 (encrypt-then-MAC) in [`crate::crypto::seal`]. Research
+//! code; not hardened.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Applies the ChaCha20 keystream to `data` in place, starting at block
+/// `counter` (encryption and decryption are the same operation).
+pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    let mut block_counter = counter;
+    for chunk in data.chunks_mut(64) {
+        let keystream = block(key, nonce, block_counter);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        block_counter = block_counter.wrapping_add(1);
+    }
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8439 §2.3.2 block test vector.
+    #[test]
+    fn rfc8439_block() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let ks = block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext;
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(hex(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+        // Decrypting restores the plaintext exactly.
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(data, plaintext);
+    }
+
+    #[test]
+    fn xor_round_trips() {
+        let key = [7u8; KEY_LEN];
+        let nonce = [9u8; NONCE_LEN];
+        let original = b"some vault entry bytes".to_vec();
+        let mut data = original.clone();
+        chacha20_xor(&key, &nonce, 0, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, &nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; KEY_LEN];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, &[0u8; NONCE_LEN], 0, &mut a);
+        chacha20_xor(&key, &[1u8; NONCE_LEN], 0, &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cryptographic substrate for encrypted vaults.
+//!
+//! Everything here is implemented from scratch for the reproduction (the
+//! paper's footnote 1 sketches threshold-encrypted vaults; §4.2 sketches
+//! encrypted per-user vaults). The construction for sealed entries is
+//! ChaCha20 encrypt-then-HMAC-SHA-256. **Research code — not audited.**
+
+pub mod chacha20;
+pub mod hmac;
+pub mod sha256;
+
+use rand::RngCore;
+
+use crate::error::{Error, Result};
+use chacha20::{chacha20_xor, KEY_LEN, NONCE_LEN};
+use hmac::{hmac_sha256, verify_hmac};
+use sha256::sha256;
+
+/// A symmetric vault key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VaultKey(pub [u8; KEY_LEN]);
+
+impl std::fmt::Debug for VaultKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("VaultKey(..)")
+    }
+}
+
+impl VaultKey {
+    /// Generates a fresh random key.
+    pub fn generate(rng: &mut impl RngCore) -> VaultKey {
+        let mut k = [0u8; KEY_LEN];
+        rng.fill_bytes(&mut k);
+        VaultKey(k)
+    }
+
+    /// Derives a key deterministically from a passphrase and salt
+    /// (iterated SHA-256; a stand-in for a real KDF).
+    pub fn derive(passphrase: &str, salt: &[u8]) -> VaultKey {
+        let mut state = Vec::with_capacity(passphrase.len() + salt.len());
+        state.extend_from_slice(passphrase.as_bytes());
+        state.extend_from_slice(salt);
+        let mut d = sha256(&state);
+        for _ in 0..1024 {
+            let mut buf = Vec::with_capacity(d.len() + salt.len());
+            buf.extend_from_slice(&d);
+            buf.extend_from_slice(salt);
+            d = sha256(&buf);
+        }
+        VaultKey(d)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+
+    /// Reconstructs a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> VaultKey {
+        VaultKey(bytes)
+    }
+
+    fn mac_key(&self) -> [u8; KEY_LEN] {
+        // Domain-separate the MAC key from the cipher key.
+        let mut buf = Vec::with_capacity(KEY_LEN + 4);
+        buf.extend_from_slice(&self.0);
+        buf.extend_from_slice(b"mac\0");
+        sha256(&buf)
+    }
+}
+
+/// Wire format of a sealed message: `nonce (12) || ciphertext || tag (32)`.
+const TAG_LEN: usize = 32;
+/// Minimum length of a valid sealed message.
+pub const SEAL_OVERHEAD: usize = NONCE_LEN + TAG_LEN;
+
+/// Encrypts and authenticates `plaintext` under `key` with a random nonce.
+pub fn seal(key: &VaultKey, plaintext: &[u8], rng: &mut impl RngCore) -> Vec<u8> {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut out = Vec::with_capacity(plaintext.len() + SEAL_OVERHEAD);
+    out.extend_from_slice(&nonce);
+    let mut ct = plaintext.to_vec();
+    chacha20_xor(&key.0, &nonce, 1, &mut ct);
+    out.extend_from_slice(&ct);
+    let tag = hmac_sha256(&key.mac_key(), &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verifies and decrypts a message produced by [`seal`].
+pub fn open(key: &VaultKey, sealed: &[u8]) -> Result<Vec<u8>> {
+    if sealed.len() < SEAL_OVERHEAD {
+        return Err(Error::Crypto("sealed message too short".to_string()));
+    }
+    let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    if !verify_hmac(&key.mac_key(), body, tag) {
+        return Err(Error::Crypto("authentication failed".to_string()));
+    }
+    let (nonce_bytes, ct) = body.split_at(NONCE_LEN);
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(nonce_bytes);
+    let mut pt = ct.to_vec();
+    chacha20_xor(&key.0, &nonce, 1, &mut pt);
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = VaultKey::generate(&mut rng);
+        let msg = b"reveal function payload";
+        let sealed = seal(&key, msg, &mut rng);
+        assert_eq!(open(&key, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = VaultKey::generate(&mut rng);
+        let mut sealed = seal(&key, b"payload", &mut rng);
+        // Flip one ciphertext bit.
+        sealed[NONCE_LEN] ^= 1;
+        assert!(open(&key, &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let key = VaultKey::generate(&mut rng);
+        let other = VaultKey::generate(&mut rng);
+        let sealed = seal(&key, b"payload", &mut rng);
+        assert!(open(&other, &sealed).is_err());
+    }
+
+    #[test]
+    fn short_message_rejected() {
+        let key = VaultKey::from_bytes([0; KEY_LEN]);
+        assert!(open(&key, &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_salted() {
+        let a = VaultKey::derive("hunter2", b"salt1");
+        let b = VaultKey::derive("hunter2", b"salt1");
+        let c = VaultKey::derive("hunter2", b"salt2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let key = VaultKey::from_bytes([0xAB; KEY_LEN]);
+        let s = format!("{key:?}");
+        assert!(!s.contains("171")); // 0xAB
+        assert!(!s.to_lowercase().contains("ab, ab"));
+    }
+
+    #[test]
+    fn nonces_differ_between_seals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = VaultKey::generate(&mut rng);
+        let s1 = seal(&key, b"same", &mut rng);
+        let s2 = seal(&key, b"same", &mut rng);
+        assert_ne!(s1, s2);
+    }
+}

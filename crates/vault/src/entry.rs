@@ -1,0 +1,389 @@
+//! Vault entries and reveal operations.
+//!
+//! A reveal function (paper §4.2) is stored as a list of [`RevealOp`]s
+//! computed from "the original and updated states of objects touched by a
+//! reversible disguise" (paper §5). Applying the ops in order restores the
+//! pre-disguise state; the disguising tool is responsible for re-applying
+//! any disguises that happened in between (handled in `edna-core`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use edna_relational::Value;
+
+use crate::error::{Error, Result};
+use crate::serialize::{
+    read_opt_i64, read_row, read_string, read_value, write_opt_i64, write_row, write_string,
+    write_value,
+};
+
+/// Format version byte leading every serialized payload.
+const PAYLOAD_VERSION: u8 = 1;
+
+/// One inverse operation recorded when a disguise transformed a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RevealOp {
+    /// The disguise removed a row; reveal re-inserts it. Column names are
+    /// recorded alongside the values so the row can be adapted if the
+    /// schema evolved in between (paper §7).
+    ReinsertRow {
+        /// Table the row belonged to.
+        table: String,
+        /// Column names at recording time, aligned with `row`.
+        columns: Vec<String>,
+        /// The original row values.
+        row: Vec<Value>,
+    },
+    /// The disguise modified or decorrelated columns of a surviving row;
+    /// reveal restores the listed columns, locating the row by primary key.
+    RestoreColumns {
+        /// Table of the affected row.
+        table: String,
+        /// Primary-key column used to relocate the row.
+        pk_column: String,
+        /// Primary-key value of the affected row.
+        pk: Value,
+        /// `(column, original value)` pairs to restore.
+        columns: Vec<(String, Value)>,
+    },
+    /// The disguise created a placeholder row; reveal deletes it once no
+    /// remaining rows reference it.
+    RemovePlaceholder {
+        /// Table the placeholder lives in.
+        table: String,
+        /// Primary-key column of that table.
+        pk_column: String,
+        /// Primary-key value of the placeholder row.
+        pk: Value,
+    },
+}
+
+impl RevealOp {
+    /// The table this op touches.
+    pub fn table(&self) -> &str {
+        match self {
+            RevealOp::ReinsertRow { table, .. }
+            | RevealOp::RestoreColumns { table, .. }
+            | RevealOp::RemovePlaceholder { table, .. } => table,
+        }
+    }
+}
+
+/// A fully decoded vault entry: the reveal function for one application of
+/// one disguise to one user (or to the global scope).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VaultEntry {
+    /// Id of the disguise application (from the disguise history log).
+    pub disguise_id: u64,
+    /// Human-readable disguise name (e.g. `HotCRP-GDPR+`).
+    pub disguise_name: String,
+    /// The disguised user's id, or NULL for global (cross-user) disguises.
+    pub user_id: Value,
+    /// Inverse operations, in the order they should be applied.
+    pub ops: Vec<RevealOp>,
+    /// Logical timestamp of disguise application.
+    pub created_at: i64,
+    /// Optional expiry; past it the entry may be purged, making the
+    /// disguise irreversible (paper §4.2).
+    pub expires_at: Option<i64>,
+}
+
+/// Plaintext metadata stored alongside the (possibly encrypted) payload:
+/// what a store needs to find, expire, and delete entries without
+/// decrypting them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryMeta {
+    /// Id of the disguise application.
+    pub disguise_id: u64,
+    /// Disguise name.
+    pub disguise_name: String,
+    /// Creation timestamp.
+    pub created_at: i64,
+    /// Optional expiry timestamp.
+    pub expires_at: Option<i64>,
+}
+
+/// A stored entry: plaintext metadata plus opaque payload bytes (the
+/// serialized ops, sealed if the vault is encrypted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEntry {
+    /// Plaintext metadata.
+    pub meta: EntryMeta,
+    /// Opaque payload (serialized, possibly encrypted, ops + user id).
+    pub payload: Vec<u8>,
+}
+
+impl VaultEntry {
+    /// Splits this entry into plaintext metadata and a serialized payload.
+    pub fn encode(&self) -> (EntryMeta, Vec<u8>) {
+        let meta = EntryMeta {
+            disguise_id: self.disguise_id,
+            disguise_name: self.disguise_name.clone(),
+            created_at: self.created_at,
+            expires_at: self.expires_at,
+        };
+        let mut buf = BytesMut::new();
+        buf.put_u8(PAYLOAD_VERSION);
+        write_value(&mut buf, &self.user_id);
+        buf.put_u32_le(self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                RevealOp::ReinsertRow {
+                    table,
+                    columns,
+                    row,
+                } => {
+                    buf.put_u8(0);
+                    write_string(&mut buf, table);
+                    buf.put_u32_le(columns.len() as u32);
+                    for c in columns {
+                        write_string(&mut buf, c);
+                    }
+                    write_row(&mut buf, row);
+                }
+                RevealOp::RestoreColumns {
+                    table,
+                    pk_column,
+                    pk,
+                    columns,
+                } => {
+                    buf.put_u8(1);
+                    write_string(&mut buf, table);
+                    write_string(&mut buf, pk_column);
+                    write_value(&mut buf, pk);
+                    buf.put_u32_le(columns.len() as u32);
+                    for (c, v) in columns {
+                        write_string(&mut buf, c);
+                        write_value(&mut buf, v);
+                    }
+                }
+                RevealOp::RemovePlaceholder {
+                    table,
+                    pk_column,
+                    pk,
+                } => {
+                    buf.put_u8(2);
+                    write_string(&mut buf, table);
+                    write_string(&mut buf, pk_column);
+                    write_value(&mut buf, pk);
+                }
+            }
+        }
+        (meta, buf.to_vec())
+    }
+
+    /// Reassembles an entry from metadata and a decrypted payload.
+    pub fn decode(meta: &EntryMeta, payload: &[u8]) -> Result<VaultEntry> {
+        let mut buf = Bytes::copy_from_slice(payload);
+        if buf.remaining() < 1 {
+            return Err(Error::Codec("empty payload".to_string()));
+        }
+        let version = buf.get_u8();
+        if version != PAYLOAD_VERSION {
+            return Err(Error::Codec(format!(
+                "unsupported payload version {version}"
+            )));
+        }
+        let user_id = read_value(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(Error::Codec("truncated op count".to_string()));
+        }
+        let n = buf.get_u32_le() as usize;
+        if n > buf.remaining() {
+            return Err(Error::Codec("op count exceeds payload".to_string()));
+        }
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 1 {
+                return Err(Error::Codec("truncated op tag".to_string()));
+            }
+            let op = match buf.get_u8() {
+                0 => {
+                    let table = read_string(&mut buf)?;
+                    if buf.remaining() < 4 {
+                        return Err(Error::Codec("truncated column count".to_string()));
+                    }
+                    let n = buf.get_u32_le() as usize;
+                    if n > buf.remaining() {
+                        return Err(Error::Codec("column count exceeds payload".to_string()));
+                    }
+                    let mut columns = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        columns.push(read_string(&mut buf)?);
+                    }
+                    RevealOp::ReinsertRow {
+                        table,
+                        columns,
+                        row: read_row(&mut buf)?,
+                    }
+                }
+                1 => {
+                    let table = read_string(&mut buf)?;
+                    let pk_column = read_string(&mut buf)?;
+                    let pk = read_value(&mut buf)?;
+                    if buf.remaining() < 4 {
+                        return Err(Error::Codec("truncated column count".to_string()));
+                    }
+                    let k = buf.get_u32_le() as usize;
+                    if k > buf.remaining() {
+                        return Err(Error::Codec("column count exceeds payload".to_string()));
+                    }
+                    let mut columns = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        let c = read_string(&mut buf)?;
+                        let v = read_value(&mut buf)?;
+                        columns.push((c, v));
+                    }
+                    RevealOp::RestoreColumns {
+                        table,
+                        pk_column,
+                        pk,
+                        columns,
+                    }
+                }
+                2 => RevealOp::RemovePlaceholder {
+                    table: read_string(&mut buf)?,
+                    pk_column: read_string(&mut buf)?,
+                    pk: read_value(&mut buf)?,
+                },
+                t => return Err(Error::Codec(format!("unknown op tag {t}"))),
+            };
+            ops.push(op);
+        }
+        Ok(VaultEntry {
+            disguise_id: meta.disguise_id,
+            disguise_name: meta.disguise_name.clone(),
+            user_id,
+            ops,
+            created_at: meta.created_at,
+            expires_at: meta.expires_at,
+        })
+    }
+}
+
+impl EntryMeta {
+    /// Serializes the metadata (used by the file-backed store).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(self.disguise_id);
+        write_string(&mut buf, &self.disguise_name);
+        buf.put_i64_le(self.created_at);
+        write_opt_i64(&mut buf, self.expires_at);
+        buf.to_vec()
+    }
+
+    /// Deserializes metadata written by [`EntryMeta::encode`].
+    pub fn decode(bytes: &mut Bytes) -> Result<EntryMeta> {
+        if bytes.remaining() < 8 {
+            return Err(Error::Codec("truncated meta".to_string()));
+        }
+        let disguise_id = bytes.get_u64_le();
+        let disguise_name = read_string(bytes)?;
+        if bytes.remaining() < 8 {
+            return Err(Error::Codec("truncated meta timestamp".to_string()));
+        }
+        let created_at = bytes.get_i64_le();
+        let expires_at = read_opt_i64(bytes)?;
+        Ok(EntryMeta {
+            disguise_id,
+            disguise_name,
+            created_at,
+            expires_at,
+        })
+    }
+
+    /// Whether the entry is expired at logical time `now`.
+    pub fn is_expired(&self, now: i64) -> bool {
+        self.expires_at.is_some_and(|e| e <= now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> VaultEntry {
+        VaultEntry {
+            disguise_id: 42,
+            disguise_name: "HotCRP-GDPR+".to_string(),
+            user_id: Value::Int(19),
+            ops: vec![
+                RevealOp::ReinsertRow {
+                    table: "ContactInfo".to_string(),
+                    columns: vec![
+                        "contactId".to_string(),
+                        "name".to_string(),
+                        "email".to_string(),
+                    ],
+                    row: vec![Value::Int(19), Value::Text("Bea".into()), Value::Null],
+                },
+                RevealOp::RestoreColumns {
+                    table: "Review".to_string(),
+                    pk_column: "reviewId".to_string(),
+                    pk: Value::Int(8),
+                    columns: vec![("contactId".to_string(), Value::Int(19))],
+                },
+                RevealOp::RemovePlaceholder {
+                    table: "ContactInfo".to_string(),
+                    pk_column: "contactId".to_string(),
+                    pk: Value::Int(295),
+                },
+            ],
+            created_at: 1000,
+            expires_at: Some(2000),
+        }
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let e = sample_entry();
+        let (meta, payload) = e.encode();
+        let back = VaultEntry::decode(&meta, &payload).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let e = sample_entry();
+        let (meta, _) = e.encode();
+        let bytes = meta.encode();
+        let mut buf = Bytes::from(bytes);
+        assert_eq!(EntryMeta::decode(&mut buf).unwrap(), meta);
+    }
+
+    #[test]
+    fn payload_truncation_rejected() {
+        let (meta, payload) = sample_entry().encode();
+        for cut in 0..payload.len() {
+            assert!(
+                VaultEntry::decode(&meta, &payload[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (meta, mut payload) = sample_entry().encode();
+        payload[0] = 99;
+        assert!(VaultEntry::decode(&meta, &payload).is_err());
+    }
+
+    #[test]
+    fn expiry_check() {
+        let meta = EntryMeta {
+            disguise_id: 1,
+            disguise_name: "d".to_string(),
+            created_at: 0,
+            expires_at: Some(100),
+        };
+        assert!(!meta.is_expired(99));
+        assert!(meta.is_expired(100));
+        let forever = EntryMeta {
+            disguise_id: 1,
+            disguise_name: "d".into(),
+            created_at: 0,
+            expires_at: None,
+        };
+        assert!(!forever.is_expired(i64::MAX));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the vault subsystem.
+
+use std::fmt;
+
+/// Any error produced by vault storage or crypto.
+#[derive(Debug)]
+#[allow(missing_docs)] // Field names are self-describing.
+pub enum Error {
+    /// Encryption, decryption, or secret-sharing failure.
+    Crypto(String),
+    /// Serialization or deserialization failure.
+    Codec(String),
+    /// Filesystem-backed vault I/O failure.
+    Io(std::io::Error),
+    /// No key material available for the given user.
+    NoKey(String),
+    /// The requested entry does not exist (e.g. expired and purged).
+    NoSuchEntry { user: String, disguise_id: u64 },
+    /// An error bubbled up from the relational engine.
+    Relational(edna_relational::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Crypto(m) => write!(f, "crypto error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Io(e) => write!(f, "vault I/O error: {e}"),
+            Error::NoKey(u) => write!(f, "no vault key for user {u}"),
+            Error::NoSuchEntry { user, disguise_id } => {
+                write!(f, "no vault entry for user {user}, disguise {disguise_id}")
+            }
+            Error::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Relational(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<edna_relational::Error> for Error {
+    fn from(e: edna_relational::Error) -> Self {
+        Error::Relational(e)
+    }
+}
+
+/// Convenience alias used throughout the vault crate.
+pub type Result<T> = std::result::Result<T, Error>;

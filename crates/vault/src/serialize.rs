@@ -1,0 +1,217 @@
+//! Compact binary serialization for vault payloads.
+//!
+//! A small, self-contained wire format (no external serializer): values are
+//! tagged, integers are little-endian fixed width, and strings/blobs are
+//! length-prefixed with `u32`. The format is versioned by a leading magic
+//! byte per payload so future evolution stays detectable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use edna_relational::Value;
+
+use crate::error::{Error, Result};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+const TAG_BYTES: u8 = 6;
+
+/// Serializes one [`Value`].
+pub fn write_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*x);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            write_bytes(buf, s.as_bytes());
+        }
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            write_bytes(buf, b);
+        }
+    }
+}
+
+/// Deserializes one [`Value`].
+pub fn read_value(buf: &mut Bytes) -> Result<Value> {
+    if buf.remaining() < 1 {
+        return Err(Error::Codec("truncated value".to_string()));
+    }
+    match buf.get_u8() {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => {
+            ensure(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            ensure(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_TEXT => {
+            let b = read_bytes(buf)?;
+            String::from_utf8(b)
+                .map(Value::Text)
+                .map_err(|_| Error::Codec("invalid UTF-8 in text value".to_string()))
+        }
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_BYTES => Ok(Value::Bytes(read_bytes(buf)?)),
+        t => Err(Error::Codec(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Serializes a length-prefixed byte run.
+pub fn write_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+/// Deserializes a length-prefixed byte run.
+pub fn read_bytes(buf: &mut Bytes) -> Result<Vec<u8>> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    ensure(buf, len)?;
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Serializes a length-prefixed string.
+pub fn write_string(buf: &mut BytesMut, s: &str) {
+    write_bytes(buf, s.as_bytes());
+}
+
+/// Deserializes a length-prefixed string.
+pub fn read_string(buf: &mut Bytes) -> Result<String> {
+    String::from_utf8(read_bytes(buf)?)
+        .map_err(|_| Error::Codec("invalid UTF-8 in string".to_string()))
+}
+
+/// Serializes a row (value list).
+pub fn write_row(buf: &mut BytesMut, row: &[Value]) {
+    buf.put_u32_le(row.len() as u32);
+    for v in row {
+        write_value(buf, v);
+    }
+}
+
+/// Deserializes a row (value list).
+pub fn read_row(buf: &mut Bytes) -> Result<Vec<Value>> {
+    ensure(buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    if n > buf.remaining() {
+        // Each value takes at least one byte; cheap sanity bound.
+        return Err(Error::Codec("row length exceeds payload".to_string()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_value(buf)?);
+    }
+    Ok(out)
+}
+
+/// Serializes an optional i64 (presence byte + value).
+pub fn write_opt_i64(buf: &mut BytesMut, v: Option<i64>) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_i64_le(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Deserializes an optional i64.
+pub fn read_opt_i64(buf: &mut Bytes) -> Result<Option<i64>> {
+    ensure(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            ensure(buf, 8)?;
+            Ok(Some(buf.get_i64_le()))
+        }
+        t => Err(Error::Codec(format!("bad option tag {t}"))),
+    }
+}
+
+fn ensure(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(Error::Codec(format!("truncated payload: need {n} bytes")))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let mut buf = BytesMut::new();
+        write_value(&mut buf, &v);
+        let mut bytes = buf.freeze();
+        assert_eq!(read_value(&mut bytes).unwrap(), v);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn value_round_trips() {
+        round_trip(Value::Null);
+        round_trip(Value::Int(i64::MIN));
+        round_trip(Value::Int(0));
+        round_trip(Value::Float(-1.5e300));
+        round_trip(Value::Text("héllo 'quoted'".into()));
+        round_trip(Value::Text(String::new()));
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Bytes(vec![0, 255, 3]));
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let row = vec![Value::Int(1), Value::Null, Value::Text("x".into())];
+        let mut buf = BytesMut::new();
+        write_row(&mut buf, &row);
+        let mut bytes = buf.freeze();
+        assert_eq!(read_row(&mut bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = BytesMut::new();
+        write_value(&mut buf, &Value::Text("hello world".into()));
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut part = full.slice(..cut);
+            assert!(read_value(&mut part).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bogus_tags_rejected() {
+        let mut bytes = Bytes::from_static(&[99]);
+        assert!(read_value(&mut bytes).is_err());
+        let mut opt = Bytes::from_static(&[7]);
+        assert!(read_opt_i64(&mut opt).is_err());
+    }
+
+    #[test]
+    fn oversized_row_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let mut bytes = buf.freeze();
+        assert!(read_row(&mut bytes).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Shamir secret sharing over GF(2⁸).
+//!
+//! Implements the paper's footnote 1: "the vault could be threshold
+//! encrypted with a private key secret-shared between the user, the web
+//! application, and a trusted third party (e.g., the EFF), so that the user
+//! can authorize the application and the third party to decrypt."
+//!
+//! Each secret byte is shared independently with a random polynomial of
+//! degree `threshold - 1`; share `i` evaluates the polynomial at `x = i`.
+//! Recovery uses Lagrange interpolation at `x = 0`.
+
+use rand::RngCore;
+
+use crate::error::{Error, Result};
+
+/// One share: the evaluation point (`x != 0`) plus one byte per secret byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// The evaluation point (1-based share index).
+    pub x: u8,
+    /// Share payload, one byte per secret byte.
+    pub data: Vec<u8>,
+}
+
+// GF(2^8) arithmetic with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn gf_pow(mut a: u8, mut n: u8) -> u8 {
+    let mut out = 1u8;
+    while n > 0 {
+        if n & 1 != 0 {
+            out = gf_mul(out, a);
+        }
+        a = gf_mul(a, a);
+        n >>= 1;
+    }
+    out
+}
+
+fn gf_inv(a: u8) -> u8 {
+    // a^254 = a^-1 in GF(2^8) for a != 0.
+    debug_assert_ne!(a, 0, "inverse of zero");
+    gf_pow(a, 254)
+}
+
+/// Splits `secret` into `shares` shares, any `threshold` of which recover it.
+///
+/// # Errors
+///
+/// Fails if `threshold` is 0, exceeds `shares`, or `shares > 255`.
+pub fn split(
+    secret: &[u8],
+    shares: u8,
+    threshold: u8,
+    rng: &mut impl RngCore,
+) -> Result<Vec<Share>> {
+    if threshold == 0 || threshold > shares {
+        return Err(Error::Crypto(format!(
+            "invalid threshold {threshold} for {shares} shares"
+        )));
+    }
+    let mut out: Vec<Share> = (1..=shares)
+        .map(|x| Share {
+            x,
+            data: Vec::with_capacity(secret.len()),
+        })
+        .collect();
+    let mut coeffs = vec![0u8; threshold as usize];
+    for &byte in secret {
+        coeffs[0] = byte;
+        for c in coeffs.iter_mut().skip(1) {
+            let mut b = [0u8; 1];
+            rng.fill_bytes(&mut b);
+            *c = b[0];
+        }
+        for share in out.iter_mut() {
+            // Horner evaluation at x = share.x.
+            let mut y = 0u8;
+            for &c in coeffs.iter().rev() {
+                y = gf_mul(y, share.x) ^ c;
+            }
+            share.data.push(y);
+        }
+    }
+    Ok(out)
+}
+
+/// Recovers the secret from at least `threshold` distinct shares.
+///
+/// With fewer than the original threshold the result is garbage (but no
+/// error — Shamir cannot detect it); with inconsistent share lengths or
+/// duplicate `x` values an error is returned.
+pub fn recover(shares: &[Share]) -> Result<Vec<u8>> {
+    let Some(first) = shares.first() else {
+        return Err(Error::Crypto("no shares provided".to_string()));
+    };
+    let len = first.data.len();
+    for s in shares {
+        if s.data.len() != len {
+            return Err(Error::Crypto("share length mismatch".to_string()));
+        }
+        if s.x == 0 {
+            return Err(Error::Crypto("share with x = 0 is invalid".to_string()));
+        }
+    }
+    for (i, a) in shares.iter().enumerate() {
+        if shares[..i].iter().any(|b| b.x == a.x) {
+            return Err(Error::Crypto(format!("duplicate share index {}", a.x)));
+        }
+    }
+    let mut secret = Vec::with_capacity(len);
+    for byte_idx in 0..len {
+        let mut acc = 0u8;
+        for (j, sj) in shares.iter().enumerate() {
+            // Lagrange basis at x = 0.
+            let mut num = 1u8;
+            let mut den = 1u8;
+            for (m, sm) in shares.iter().enumerate() {
+                if m == j {
+                    continue;
+                }
+                num = gf_mul(num, sm.x);
+                den = gf_mul(den, sm.x ^ sj.x);
+            }
+            let basis = gf_mul(num, gf_inv(den));
+            acc ^= gf_mul(sj.data[byte_idx], basis);
+        }
+        secret.push(acc);
+    }
+    Ok(secret)
+}
+
+/// The three-party deployment of footnote 1: user, application, and a
+/// trusted third party each hold one share; any two can recover.
+#[derive(Debug, Clone)]
+pub struct ThresholdKey {
+    /// Share held by the user.
+    pub user_share: Share,
+    /// Share held by the web application.
+    pub app_share: Share,
+    /// Share held by the trusted third party (e.g. the EFF).
+    pub third_party_share: Share,
+}
+
+impl ThresholdKey {
+    /// Splits `key_bytes` 2-of-3 among user, application, and third party.
+    pub fn split_key(key_bytes: &[u8], rng: &mut impl RngCore) -> Result<ThresholdKey> {
+        let mut shares = split(key_bytes, 3, 2, rng)?;
+        let third_party_share = shares.pop().expect("3 shares");
+        let app_share = shares.pop().expect("2 shares");
+        let user_share = shares.pop().expect("1 share");
+        Ok(ThresholdKey {
+            user_share,
+            app_share,
+            third_party_share,
+        })
+    }
+
+    /// Recovers the key from any two of the three shares.
+    pub fn recover_key(a: &Share, b: &Share) -> Result<Vec<u8>> {
+        recover(&[a.clone(), b.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gf_field_axioms_spotcheck() {
+        // Known AES field product: 0x57 * 0x83 = 0xc1.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        for a in 1u8..=255 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse failed for {a}");
+        }
+    }
+
+    #[test]
+    fn split_recover_exact_threshold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let secret = b"vault master key material!".to_vec();
+        let shares = split(&secret, 5, 3, &mut rng).unwrap();
+        let rec = recover(&shares[1..4]).unwrap();
+        assert_eq!(rec, secret);
+    }
+
+    #[test]
+    fn recover_with_all_shares() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let secret = vec![0u8, 255, 17, 42];
+        let shares = split(&secret, 4, 2, &mut rng).unwrap();
+        assert_eq!(recover(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_does_not_recover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let secret = b"super secret".to_vec();
+        let shares = split(&secret, 5, 3, &mut rng).unwrap();
+        let rec = recover(&shares[..2]).unwrap();
+        assert_ne!(rec, secret);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(split(b"s", 3, 0, &mut rng).is_err());
+        assert!(split(b"s", 2, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn malformed_shares_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let shares = split(b"secret", 3, 2, &mut rng).unwrap();
+        assert!(recover(&[]).is_err());
+        let mut dup = vec![shares[0].clone(), shares[0].clone()];
+        assert!(recover(&dup).is_err());
+        dup[1] = Share {
+            x: 2,
+            data: vec![1],
+        };
+        assert!(recover(&dup).is_err());
+        assert!(recover(&[Share {
+            x: 0,
+            data: vec![1, 2]
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn threshold_key_two_of_three() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let key = vec![9u8; 32];
+        let tk = ThresholdKey::split_key(&key, &mut rng).unwrap();
+        // Any pair recovers.
+        assert_eq!(
+            ThresholdKey::recover_key(&tk.user_share, &tk.app_share).unwrap(),
+            key
+        );
+        assert_eq!(
+            ThresholdKey::recover_key(&tk.user_share, &tk.third_party_share).unwrap(),
+            key
+        );
+        assert_eq!(
+            ThresholdKey::recover_key(&tk.app_share, &tk.third_party_share).unwrap(),
+            key
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Living with disguises: schema evolution and guarded application writes
+//! (the paper's §7 open problems, implemented).
+//!
+//! A forum applies a reversible scrub, then keeps evolving: the schema
+//! gains a column, the application tries to edit disguised rows (and is
+//! stopped), specs are revalidated after a rename, and the old disguise
+//! still reveals cleanly against the evolved schema.
+//!
+//! Run with `cargo run --example app_evolution`.
+
+use std::collections::HashMap;
+
+use edna::core::spec::{DisguiseSpecBuilder, Generator, Modifier};
+use edna::core::{Disguiser, Error};
+use edna::relational::{Database, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+         disabled BOOL NOT NULL DEFAULT FALSE);
+         CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+         body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+    )?;
+    db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")?;
+    db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'original thoughts'), (2, 'hi')")?;
+
+    let mut edna = Disguiser::new(db.clone());
+    edna.register(
+        DisguiseSpecBuilder::new("Scrub")
+            .user_scoped()
+            .modify("posts", Some("user_id = $UID"), "body", Modifier::Redact)
+            .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+            .remove("users", Some("id = $UID"))
+            .placeholder("users", "name", Generator::Random)
+            .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+            .build()?,
+    )?;
+
+    // 1. Bea scrubs herself.
+    let report = edna.apply("Scrub", Some(&Value::Int(1)))?;
+    println!("scrubbed bea (application id {})", report.disguise_id);
+
+    // 2. The application tries to bulk-edit posts; the disguised row is
+    //    protected (§7: prohibit updates to disguised data).
+    let err = edna
+        .guarded_update("posts", None, &HashMap::new(), |schema, row| {
+            let i = schema.require_column("body")?;
+            row[i] = Value::Text("MODERATED".into());
+            Ok(())
+        })
+        .unwrap_err();
+    println!("bulk edit rejected: {err}");
+    assert!(matches!(err, Error::DisguisedData { .. }));
+
+    // Editing only mel's (undisguised) post is fine.
+    let pred = edna::relational::parse_expr("user_id = 2")?;
+    let n = edna.guarded_update("posts", Some(&pred), &HashMap::new(), |schema, row| {
+        let i = schema.require_column("body")?;
+        row[i] = Value::Text("hi (edited)".into());
+        Ok(())
+    })?;
+    println!("guarded edit of undisguised rows succeeded ({n} row)");
+
+    // 3. The schema evolves while the disguise is active.
+    db.execute("ALTER TABLE users ADD COLUMN karma INT NOT NULL DEFAULT 10")?;
+    db.execute("ALTER TABLE posts RENAME COLUMN body TO content")?;
+    println!("schema evolved: users.karma added, posts.body renamed to posts.content");
+
+    // 4. Revalidation flags the stale spec; the developer ships a new one.
+    let failures = edna.revalidate();
+    for (name, why) in &failures {
+        println!("spec {name} is stale after evolution: {why}");
+    }
+    assert_eq!(failures.len(), 1);
+    edna.register(
+        DisguiseSpecBuilder::new("Scrub")
+            .user_scoped()
+            .modify("posts", Some("user_id = $UID"), "content", Modifier::Redact)
+            .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+            .remove("users", Some("id = $UID"))
+            .placeholder("users", "name", Generator::Random)
+            .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+            .build()?,
+    )?;
+    println!(
+        "updated Scrub registered; revalidation: {:?} failures",
+        edna.revalidate().len()
+    );
+
+    // 5. Bea returns. Her reveal was recorded against the OLD schema; the
+    //    tool adapts: the reinserted user row gets karma's default, and the
+    //    recorded restore of the renamed body column is dropped (the
+    //    current content column keeps its present value).
+    let reveal = edna.reveal(report.disguise_id)?;
+    println!(
+        "revealed with schema adaptation: {} row(s) adapted, {} restored, {} skipped",
+        reveal.rows_schema_adapted, reveal.rows_restored, reveal.skipped_missing
+    );
+    let bea = db.execute("SELECT name, karma FROM users WHERE id = 1")?;
+    println!(
+        "bea is back: name = {}, karma = {}",
+        bea.rows[0][0], bea.rows[0][1]
+    );
+    assert_eq!(bea.rows[0][1], Value::Int(10));
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM posts WHERE user_id = 1")?
+            .scalar()?,
+        &Value::Int(1)
+    );
+    println!("her post is re-attributed to her under the evolved schema");
+    Ok(())
+}

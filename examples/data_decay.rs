@@ -1,0 +1,139 @@
+//! Expiration and data decay (paper §2) driven by the policy scheduler.
+//!
+//! A forum ages: inactive users are automatically scrubbed (reversibly, so
+//! they can return), and old comments gradually lose fidelity — first
+//! coarsened timestamps, then truncated bodies — as the logical clock
+//! advances.
+//!
+//! Run with `cargo run --example data_decay`.
+
+use edna::core::policy::{DecayPolicy, DecayStage, ExpirationPolicy, Policy, Scheduler};
+use edna::core::spec::{DisguiseSpecBuilder, Generator, Modifier};
+use edna::core::Disguiser;
+use edna::relational::{Database, Value};
+
+const DAY: i64 = 86_400;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+         email TEXT, last_login INT NOT NULL DEFAULT 0, disabled BOOL NOT NULL DEFAULT FALSE);
+         CREATE TABLE comments (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+         body TEXT, created_at INT NOT NULL DEFAULT 0, \
+         FOREIGN KEY (user_id) REFERENCES users(id));",
+    )?;
+    // Two users: one active, one who last logged in on day 1.
+    db.execute("INSERT INTO users (name, email, last_login) VALUES ('bea', 'b@x', 86400)")?;
+    db.execute("INSERT INTO users (name, email, last_login) VALUES ('mel', 'm@x', 8640000)")?;
+    for day in [1i64, 30, 90] {
+        db.execute(&format!(
+            "INSERT INTO comments (user_id, body, created_at) VALUES \
+             (1, 'a long and detailed comment from day {day}', {})",
+            day * DAY
+        ))?;
+        db.execute(&format!(
+            "INSERT INTO comments (user_id, body, created_at) VALUES \
+             (2, 'another long and detailed comment from day {day}', {})",
+            day * DAY
+        ))?;
+    }
+
+    let mut edna = Disguiser::new(db.clone());
+    // Expiration: scrub long-inactive users (reversible — they can return).
+    edna.register(
+        DisguiseSpecBuilder::new("ExpireInactive")
+            .user_scoped()
+            .decorrelate("comments", Some("user_id = $UID"), "user_id", "users")
+            .placeholder("users", "name", Generator::Random)
+            .placeholder("users", "email", Generator::Default(Value::Null))
+            .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+            .remove("users", Some("id = $UID"))
+            .build()?,
+    )?;
+    // Decay ladder: bucket timestamps after 30 days, truncate bodies after
+    // 60 (predicates reference NOW(), so the window advances with time).
+    edna.register(
+        DisguiseSpecBuilder::new("CoarsenTimestamps")
+            .irreversible()
+            .modify(
+                "comments",
+                Some(&format!("created_at < NOW() - {}", 30 * DAY)),
+                "created_at",
+                Modifier::Bucket(7 * DAY),
+            )
+            .build()?,
+    )?;
+    edna.register(
+        DisguiseSpecBuilder::new("TruncateOldBodies")
+            .irreversible()
+            .modify(
+                "comments",
+                Some(&format!("created_at < NOW() - {}", 60 * DAY)),
+                "body",
+                Modifier::Truncate(10),
+            )
+            .build()?,
+    )?;
+
+    let mut scheduler = Scheduler::new();
+    scheduler.add(Policy::Expiration(ExpirationPolicy {
+        name: "expire-inactive-users".to_string(),
+        disguise: "ExpireInactive".to_string(),
+        inactive_after: 180 * DAY,
+        user_query: "SELECT id FROM users WHERE last_login < $CUTOFF AND disabled = FALSE"
+            .to_string(),
+        cadence: DAY,
+    }));
+    scheduler.add(Policy::Decay(DecayPolicy {
+        name: "decay-old-comments".to_string(),
+        stages: vec![
+            DecayStage {
+                disguise: "CoarsenTimestamps".to_string(),
+            },
+            DecayStage {
+                disguise: "TruncateOldBodies".to_string(),
+            },
+        ],
+        cadence: DAY,
+    }));
+
+    // Fast-forward the logical clock; the scheduler fires as time passes.
+    for day in [100i64, 200, 400] {
+        let now = day * DAY;
+        let reports = scheduler.tick(&edna, now)?;
+        println!("day {day}: {} disguise application(s)", reports.len());
+        for r in &reports {
+            println!(
+                "  {} (user {:?}): removed {}, decorrelated {}, modified {}",
+                r.name, r.user_id, r.rows_removed, r.rows_decorrelated, r.rows_modified
+            );
+        }
+    }
+
+    println!("\nfinal comments:");
+    let rows = db.execute("SELECT id, user_id, body, created_at FROM comments ORDER BY id")?;
+    for row in &rows.rows {
+        println!(
+            "  #{:<3} user {:<6} created_at {:<12} body: {}",
+            row[0], row[1], row[3], row[2]
+        );
+    }
+    // The inactive user (bea) was expired: nothing attributed to user 1.
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM comments WHERE user_id = 1")?
+            .scalar()?,
+        &Value::Int(0)
+    );
+    // Old bodies decayed to at most 10 characters.
+    let old = db.execute(&format!(
+        "SELECT body FROM comments WHERE created_at < {}",
+        340 * DAY
+    ))?;
+    for row in &old.rows {
+        let len = row[0].to_string().chars().count();
+        assert!(len <= 10, "decayed body should be short, got {len}");
+    }
+    println!("\nexpiration and decay policies held.");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Lobsters account deletion with encrypted, escrowed per-user vaults.
+//!
+//! Demonstrates the §4.2 vault machinery: the user-invoked GDPR disguise
+//! writes its reveal functions to an encrypted per-user vault whose key is
+//! 2-of-3 secret-shared among user, application, and a trusted third party
+//! (footnote 1) — then the user returns and the disguise is reversed.
+//!
+//! Run with `cargo run --example lobsters_gdpr`.
+
+use edna::apps::lobsters::{self, generate::LobstersConfig};
+use edna::core::Disguiser;
+use edna::relational::Value;
+use edna::vault::{MemoryStore, TieredVault, Vault, VaultTier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = lobsters::create_db()?;
+    let inst = lobsters::generate::generate(&db, &LobstersConfig::small())?;
+
+    // Tier 1: global vault next to the app. Tier 2: encrypted per-user
+    // vaults with threshold key escrow.
+    let vaults = TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::encrypted(MemoryStore::new(), 42),
+    );
+    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
+    lobsters::register_disguises(&mut edna)?;
+
+    let user = inst.user_ids[0];
+    let username = db
+        .execute(&format!("SELECT username FROM users WHERE id = {user}"))?
+        .rows[0][0]
+        .to_string();
+    println!("user {user} ({username}) invokes Lobsters-GDPR");
+    let report = edna.apply("Lobsters-GDPR", Some(&Value::Int(user)))?;
+    println!(
+        "  removed: {}, decorrelated: {}, modified: {}, placeholders: {}",
+        report.rows_removed,
+        report.rows_decorrelated,
+        report.rows_modified,
+        report.placeholders_created
+    );
+
+    // The reveal functions sit encrypted in the per-user tier.
+    let tier = edna.vaults().tier(VaultTier::PerUser);
+    println!(
+        "  per-user vault: {} entr{} (encrypted: {})",
+        tier.entry_count()?,
+        if tier.entry_count()? == 1 { "y" } else { "ies" },
+        tier.is_encrypted()
+    );
+
+    // The user takes their escrow share with them when they leave.
+    let share = tier.user_escrow_share(&Value::Int(user))?;
+    println!(
+        "  user holds escrow share x={} ({} bytes); app + third party hold the others",
+        share.x,
+        share.data.len()
+    );
+    // If the user loses their share, app + third party can jointly
+    // reconstruct the vault key (with the user's authorization).
+    let _recovered = tier.recover_key_via_escrow(&Value::Int(user))?;
+    println!("  2-of-3 escrow recovery works (app + third-party shares)");
+
+    // Site keeps working: stories and comments survive, attributed to
+    // placeholders; the user's comments read \"[deleted]\".
+    let deleted = db
+        .execute("SELECT COUNT(*) FROM comments WHERE comment = '[deleted]'")?
+        .scalar()?
+        .as_int()?;
+    println!("  comments now reading \"[deleted]\": {deleted}");
+
+    // The user returns.
+    let reveal = edna.reveal(report.disguise_id)?;
+    println!(
+        "user returns: {} rows re-inserted, {} restored, {} placeholders removed",
+        reveal.rows_reinserted, reveal.rows_restored, reveal.placeholders_removed
+    );
+    let back = db
+        .execute(&format!("SELECT username FROM users WHERE id = {user}"))?
+        .rows[0][0]
+        .to_string();
+    println!("welcome back, {back}");
+    assert_eq!(back, username);
+    Ok(())
+}

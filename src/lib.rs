@@ -1,0 +1,45 @@
+//! Edna: data disguising for relational web applications.
+//!
+//! This is the workspace facade crate: it re-exports the component crates
+//! under short names and hosts the cross-crate integration tests and the
+//! runnable examples. See `README.md` for a tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! evaluation record.
+//!
+//! - [`core`] — the disguising tool (specs, apply, reveal, composition,
+//!   assertions, policies, guards);
+//! - [`relational`] — the in-process SQL engine substrate;
+//! - [`vault`] — reveal-function storage, encryption, and key escrow;
+//! - [`apps`] — the HotCRP and Lobsters case-study substrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use edna::core::Disguiser;
+//! use edna::relational::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE users (id INT PRIMARY KEY, email TEXT)").unwrap();
+//! db.execute("INSERT INTO users VALUES (19, 'bea@uni.edu')").unwrap();
+//!
+//! let mut edna = Disguiser::new(db.clone());
+//! edna.register_dsl(r#"
+//! disguise_name: "GDPR"
+//! user_to_disguise: $UID
+//! tables: {
+//!   users: { transformations: [ Remove(pred: "id = $UID") ] },
+//! }
+//! "#).unwrap();
+//!
+//! let report = edna.apply("GDPR", Some(&Value::Int(19))).unwrap();
+//! assert_eq!(db.row_count("users").unwrap(), 0);
+//! edna.reveal(report.disguise_id).unwrap();
+//! assert_eq!(db.row_count("users").unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use edna_apps as apps;
+pub use edna_core as core;
+pub use edna_relational as relational;
+pub use edna_vault as vault;

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the full pipeline from DSL text through
+//! the relational engine, vault persistence on disk, and reversal.
+
+use std::collections::HashMap;
+
+use edna::apps::hotcrp::{self, generate::HotCrpConfig};
+use edna::apps::lobsters::{self, generate::LobstersConfig};
+use edna::core::{ApplyOptions, Disguiser};
+use edna::relational::{parse_expr, Value};
+use edna::vault::{FileStore, MemoryStore, TieredVault, Vault};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("edna_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn file_backed_vault_survives_reopen() {
+    // Disguise with an offline (file-backed) vault, then rebuild the
+    // disguiser over the same directory and reveal: the reveal functions
+    // must have survived on disk.
+    let dir = tempdir("reopen");
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let bea = inst.pc_contact_ids[0];
+    let before = db.dump();
+
+    let disguise_id = {
+        let vaults = TieredVault::new(
+            Vault::plain(MemoryStore::new()),
+            Vault::plain(FileStore::open(&dir).unwrap()),
+        );
+        let mut edna = Disguiser::with_vaults(db.clone(), vaults);
+        hotcrp::register_disguises(&mut edna).unwrap();
+        edna.apply("HotCRP-GDPR+", Some(&Value::Int(bea)))
+            .unwrap()
+            .disguise_id
+    };
+
+    // A new tool instance over the same DB and vault directory.
+    let vaults = TieredVault::new(
+        Vault::plain(MemoryStore::new()),
+        Vault::plain(FileStore::open(&dir).unwrap()),
+    );
+    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&mut edna).unwrap();
+    let reveal = edna.reveal(disguise_id).unwrap();
+    assert!(reveal.rows_reinserted > 0);
+
+    let mut after = db.dump();
+    let mut expected = before;
+    after.remove(edna::core::HISTORY_TABLE);
+    expected.remove(edna::core::HISTORY_TABLE);
+    assert_eq!(
+        after, expected,
+        "disk-backed reveal restores the exact state"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn referential_integrity_holds_through_disguise_sequences() {
+    // Apply a sequence of disguises and reveals; at every step, every
+    // foreign key in every table must reference an existing parent row.
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+
+    let check_integrity = |label: &str| {
+        for table in db.table_names() {
+            let schema = db.schema(&table).unwrap();
+            for fk in schema.foreign_keys.clone() {
+                let rows = db.select_rows(&table, None, &HashMap::new()).unwrap();
+                let col = schema.column_index(&fk.column).unwrap();
+                let parent_schema = db.schema(&fk.parent_table).unwrap();
+                let pcol = parent_schema.column_index(&fk.parent_column).unwrap();
+                for row in rows {
+                    if row[col].is_null() {
+                        continue;
+                    }
+                    let pred = parse_expr(&format!(
+                        "{} = {}",
+                        fk.parent_column,
+                        row[col].to_sql_literal()
+                    ))
+                    .unwrap();
+                    let parents = db
+                        .select_rows(&fk.parent_table, Some(&pred), &HashMap::new())
+                        .unwrap();
+                    assert!(
+                        parents.iter().any(|p| p[pcol] == row[col]),
+                        "{label}: dangling {table}.{} -> {}.{}",
+                        fk.column,
+                        fk.parent_table,
+                        fk.parent_column
+                    );
+                }
+            }
+        }
+    };
+
+    check_integrity("fresh");
+    let a = edna
+        .apply("HotCRP-GDPR+", Some(&Value::Int(inst.pc_contact_ids[0])))
+        .unwrap();
+    check_integrity("after GDPR+ #1");
+    edna.apply("HotCRP-ConfAnon", None).unwrap();
+    check_integrity("after ConfAnon");
+    edna.apply("HotCRP-GDPR+", Some(&Value::Int(inst.pc_contact_ids[1])))
+        .unwrap();
+    check_integrity("after composed GDPR+ #2");
+    edna.reveal(a.disguise_id).unwrap();
+    check_integrity("after reveal of GDPR+ #1");
+}
+
+#[test]
+fn naive_and_optimized_composition_reach_equivalent_privacy_states() {
+    // Apply ConfAnon then GDPR+ with both strategies on identical
+    // databases; the privacy-relevant end state (rows attributed to the
+    // user, account existence, retained row counts) must agree.
+    let build = || {
+        let db = hotcrp::create_db().unwrap();
+        let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+        let mut edna = Disguiser::new(db.clone());
+        hotcrp::register_disguises(&mut edna).unwrap();
+        edna.apply("HotCRP-ConfAnon", None).unwrap();
+        (db, edna, inst.pc_contact_ids[1])
+    };
+    let mut states = Vec::new();
+    for optimize in [false, true] {
+        let (db, edna, user) = build();
+        let opts = ApplyOptions {
+            compose: true,
+            optimize,
+            use_transaction: true,
+        };
+        edna.apply_with_options("HotCRP-GDPR+", Some(&Value::Int(user)), opts)
+            .unwrap();
+        let attributed = |table: &str, col: &str| -> i64 {
+            db.execute(&format!(
+                "SELECT COUNT(*) FROM {table} WHERE {col} = {user}"
+            ))
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap()
+        };
+        states.push((
+            attributed("Review", "contactId"),
+            attributed("PaperComment", "contactId"),
+            attributed("ContactInfo", "contactId"),
+            db.row_count("Review").unwrap(),
+            db.row_count("ReviewPreference").unwrap(),
+        ));
+    }
+    assert_eq!(
+        states[0], states[1],
+        "naive vs optimized end states diverge"
+    );
+    assert_eq!(states[0].0, 0);
+    assert_eq!(states[0].2, 0);
+}
+
+#[test]
+fn lobsters_two_users_interleaved_with_reveals() {
+    let db = lobsters::create_db().unwrap();
+    let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&mut edna).unwrap();
+
+    let u1 = inst.user_ids[0];
+    let u2 = inst.user_ids[1];
+    let r1 = edna.apply("Lobsters-GDPR", Some(&Value::Int(u1))).unwrap();
+    let r2 = edna.apply("Lobsters-GDPR", Some(&Value::Int(u2))).unwrap();
+    // Reveal in reverse order; both users come back whole.
+    edna.reveal(r2.disguise_id).unwrap();
+    edna.reveal(r1.disguise_id).unwrap();
+    for u in [u1, u2] {
+        assert_eq!(
+            db.execute(&format!("SELECT COUNT(*) FROM users WHERE id = {u}"))
+                .unwrap()
+                .scalar()
+                .unwrap(),
+            &Value::Int(1)
+        );
+    }
+    // All placeholders were garbage-collected.
+    assert_eq!(db.row_count("users").unwrap(), inst.user_ids.len());
+}
+
+#[test]
+fn history_log_is_queryable_sql() {
+    // The disguise history is an ordinary table in the application DB
+    // (paper §5) — the application can audit it with plain SQL.
+    let db = hotcrp::create_db().unwrap();
+    let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
+    let mut edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&mut edna).unwrap();
+    edna.apply("HotCRP-GDPR+", Some(&Value::Int(inst.pc_contact_ids[0])))
+        .unwrap();
+    edna.apply("HotCRP-ConfAnon", None).unwrap();
+
+    let r = db
+        .execute(&format!(
+            "SELECT name, COUNT(*) AS n FROM {} GROUP BY name ORDER BY name",
+            edna::core::HISTORY_TABLE
+        ))
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0], Value::Text("HotCRP-ConfAnon".into()));
+    assert_eq!(r.rows[1][0], Value::Text("HotCRP-GDPR+".into()));
+}

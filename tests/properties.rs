@@ -1,0 +1,408 @@
+//! Property-based tests (proptest) for the core invariants listed in
+//! DESIGN.md §7: codec round-trips, crypto round-trips, parser
+//! round-trips, transactional atomicity, and disguise/reveal round-trips.
+
+use proptest::prelude::*;
+
+use edna::core::spec::{DisguiseSpecBuilder, Generator, Modifier};
+use edna::core::Disguiser;
+use edna::relational::{parse_expr, Database, Expr, Value};
+use edna::vault::{recover, split, VaultKey};
+
+// ---- strategies -----------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks Eq-based comparisons by design.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 '%_]{0,24}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ]
+}
+
+fn arb_literal_expr() -> impl Strategy<Value = Expr> {
+    arb_value().prop_map(Expr::Literal)
+}
+
+/// Small expression trees over two column names and literals.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal_expr(),
+        Just(Expr::col("a")),
+        Just(Expr::col("b")),
+        Just(Expr::Param("UID".to_string())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::eq(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+        ]
+    })
+}
+
+// ---- codec and crypto properties -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_codec_round_trips(v in arb_value()) {
+        use bytes::BytesMut;
+        let mut buf = BytesMut::new();
+        edna::vault::serialize::write_value(&mut buf, &v);
+        let mut bytes = buf.freeze();
+        let back = edna::vault::serialize::read_value(&mut bytes).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(bytes.len(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn sql_literal_round_trips(v in arb_value()) {
+        // Rendering a value as a SQL literal and re-parsing yields the
+        // same value (floats compare exactly; ints stay ints).
+        let lit = v.to_sql_literal();
+        let expr = parse_expr(&lit).unwrap();
+        let parsed = match expr {
+            Expr::Literal(x) => x,
+            Expr::Unary { op: edna::relational::UnOp::Neg, expr } => match *expr {
+                Expr::Literal(Value::Int(i)) => Value::Int(-i),
+                Expr::Literal(Value::Float(f)) => Value::Float(-f),
+                other => panic!("unexpected negated literal {other:?}"),
+            },
+            other => panic!("expected literal for {lit}, got {other:?}"),
+        };
+        match (&v, &parsed) {
+            (Value::Float(a), Value::Float(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12),
+            // Whole floats render as "x.0" and may re-parse as Float: ok.
+            _ => prop_assert_eq!(&parsed, &v),
+        }
+    }
+
+    #[test]
+    fn expr_display_parse_round_trips(e in arb_expr()) {
+        let rendered = e.to_string();
+        let reparsed = parse_expr(&rendered);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {rendered}");
+        // Displaying again is a fixpoint.
+        prop_assert_eq!(reparsed.unwrap().to_string(), rendered);
+    }
+
+    #[test]
+    fn shamir_round_trips(
+        secret in proptest::collection::vec(any::<u8>(), 1..64),
+        threshold in 1u8..5,
+        extra in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let shares_n = threshold + extra;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shares = split(&secret, shares_n, threshold, &mut rng).unwrap();
+        // Any `threshold`-sized prefix recovers.
+        let rec = recover(&shares[..threshold as usize]).unwrap();
+        prop_assert_eq!(rec, secret.clone());
+        // All shares recover too.
+        prop_assert_eq!(recover(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn seal_open_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+        flip in any::<u16>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let key = VaultKey::generate(&mut rng);
+        let sealed = edna::vault::crypto::seal(&key, &payload, &mut rng);
+        prop_assert_eq!(edna::vault::crypto::open(&key, &sealed).unwrap(), payload);
+        // Any single-bit corruption is detected.
+        let mut tampered = sealed.clone();
+        let pos = (flip as usize) % tampered.len();
+        tampered[pos] ^= 1 << (flip % 8) as u8;
+        prop_assert!(edna::vault::crypto::open(&key, &tampered).is_err());
+    }
+}
+
+// ---- engine properties ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transaction_rollback_restores_state(
+        names in proptest::collection::vec("[a-z]{1,8}", 1..12),
+        karmas in proptest::collection::vec(-100i64..100, 1..12),
+    ) {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, karma INT)",
+        ).unwrap();
+        db.execute("INSERT INTO t (name, karma) VALUES ('base', 0)").unwrap();
+        let before = db.dump();
+        db.begin().unwrap();
+        for (name, karma) in names.iter().zip(&karmas) {
+            db.execute(&format!(
+                "INSERT INTO t (name, karma) VALUES ('{name}', {karma})"
+            )).unwrap();
+        }
+        db.execute("UPDATE t SET karma = karma + 1").unwrap();
+        db.execute("DELETE FROM t WHERE karma > 50").unwrap();
+        db.rollback().unwrap();
+        prop_assert_eq!(db.dump(), before);
+    }
+
+    #[test]
+    fn disguise_reveal_round_trips(
+        n_users in 2usize..6,
+        n_posts in 1usize..15,
+        target in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+             disabled BOOL NOT NULL DEFAULT FALSE);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+        ).unwrap();
+        for i in 0..n_users {
+            db.execute(&format!("INSERT INTO users (name) VALUES ('u{i}')")).unwrap();
+        }
+        for i in 0..n_posts {
+            let owner = rng.gen_range(1..=n_users);
+            db.execute(&format!(
+                "INSERT INTO posts (user_id, body) VALUES ({owner}, 'p{i}')"
+            )).unwrap();
+        }
+        let mut edna = Disguiser::new(db.clone());
+        edna.register(
+            DisguiseSpecBuilder::new("Scrub")
+                .user_scoped()
+                .modify("posts", Some("user_id = $UID"), "body", Modifier::Redact)
+                .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+                .remove("users", Some("id = $UID"))
+                .placeholder("users", "name", Generator::Random)
+                .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+                .build()
+                .unwrap(),
+        ).unwrap();
+
+        let before = db.dump();
+        let user = (target % n_users + 1) as i64;
+        let report = edna.apply("Scrub", Some(&Value::Int(user))).unwrap();
+        // Privacy goal: nothing attributed to the user, account gone.
+        let attributed = db.execute(&format!(
+            "SELECT COUNT(*) FROM posts WHERE user_id = {user}"
+        )).unwrap().scalar().unwrap().as_int().unwrap();
+        prop_assert_eq!(attributed, 0);
+
+        // Round trip: reveal restores the exact logical state.
+        edna.reveal(report.disguise_id).unwrap();
+        let mut after = db.dump();
+        let mut expected = before;
+        after.remove(edna::core::HISTORY_TABLE);
+        expected.remove(edna::core::HISTORY_TABLE);
+        prop_assert_eq!(after, expected);
+    }
+
+    #[test]
+    fn modifiers_never_panic(v in arb_value(), n in 0usize..64, w in 1i64..10_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for m in [
+            Modifier::SetNull,
+            Modifier::Redact,
+            Modifier::HashText,
+            Modifier::Truncate(n),
+            Modifier::Bucket(w),
+            Modifier::RandomInt { lo: -5, hi: 5 },
+            Modifier::RandomText(n),
+            Modifier::Fixed(v.clone()),
+        ] {
+            let _ = m.apply(&v, &mut rng);
+        }
+    }
+}
+
+// ---- like-match property -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn like_percent_always_matches_suffix(s in "[a-z]{0,16}", p in "[a-z]{0,4}") {
+        // `p%` matches any string starting with p.
+        let text = format!("{p}{s}");
+        let r = edna::relational::expr::like_match(&text, &format!("{p}%"));
+        prop_assert!(r);
+    }
+
+    #[test]
+    fn like_underscore_counts_characters(s in "[a-z]{1,16}") {
+        let pattern: String = "_".repeat(s.chars().count());
+        prop_assert!(edna::relational::expr::like_match(&s, &pattern));
+        let longer = format!("{pattern}_");
+        prop_assert!(!edna::relational::expr::like_match(&s, &longer));
+    }
+}
+
+// ---- random disguise interleavings -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Apply scrubs and reveals in a random interleaving, then reveal
+    /// whatever is left: the database must return to its exact original
+    /// logical state, and referential integrity must hold at every step.
+    #[test]
+    fn random_interleavings_restore_exact_state(
+        steps in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        include_global in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_users = 4usize;
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL, \
+             disabled BOOL NOT NULL DEFAULT FALSE);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id));",
+        ).unwrap();
+        for i in 0..n_users {
+            db.execute(&format!("INSERT INTO users (name) VALUES ('u{i}')")).unwrap();
+        }
+        for i in 0..12 {
+            let owner = rng.gen_range(1..=n_users);
+            db.execute(&format!(
+                "INSERT INTO posts (user_id, body) VALUES ({owner}, 'post {i}')"
+            )).unwrap();
+        }
+        let mut edna = Disguiser::new(db.clone());
+        edna.register(
+            DisguiseSpecBuilder::new("Scrub")
+                .user_scoped()
+                .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+                .remove("users", Some("id = $UID"))
+                .placeholder("users", "name", Generator::Random)
+                .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
+                .build()
+                .unwrap(),
+        ).unwrap();
+        edna.register(
+            DisguiseSpecBuilder::new("RedactAll")
+                .modify("posts", None, "body", Modifier::Redact)
+                .build()
+                .unwrap(),
+        ).unwrap();
+
+        let original = db.dump();
+        let check_fk_integrity = || {
+            // Every post's user_id must reference an existing user.
+            let orphans = db.execute(
+                "SELECT COUNT(*) FROM posts p LEFT JOIN users u ON u.id = p.user_id \
+                 WHERE u.id IS NULL",
+            ).unwrap();
+            orphans.scalar().unwrap().as_int().unwrap()
+        };
+
+        // scrubbed user -> active application id; plus optional global id.
+        let mut active: Vec<(i64, u64)> = Vec::new();
+        let mut global_active: Option<u64> = None;
+        let mut global_used = false;
+        for (a, b) in steps {
+            let do_apply = a % 2 == 0;
+            if do_apply {
+                if include_global && !global_used && a % 4 == 0 {
+                    let r = edna.apply("RedactAll", None).unwrap();
+                    global_active = Some(r.disguise_id);
+                    global_used = true;
+                } else {
+                    let candidates: Vec<i64> = (1..=n_users as i64)
+                        .filter(|u| !active.iter().any(|(au, _)| au == u))
+                        .collect();
+                    if let Some(&user) = candidates.get(b as usize % candidates.len().max(1)) {
+                        let r = edna.apply("Scrub", Some(&Value::Int(user))).unwrap();
+                        active.push((user, r.disguise_id));
+                    }
+                }
+            } else if !active.is_empty() {
+                let idx = b as usize % active.len();
+                let (_, id) = active.remove(idx);
+                edna.reveal(id).unwrap();
+            }
+            prop_assert_eq!(check_fk_integrity(), 0, "dangling FK mid-sequence");
+        }
+        // Reveal everything still active, in random-ish order.
+        while let Some((_, id)) = active.pop() {
+            edna.reveal(id).unwrap();
+        }
+        if let Some(id) = global_active {
+            edna.reveal(id).unwrap();
+        }
+
+        let mut final_state = db.dump();
+        let mut expected = original;
+        final_state.remove(edna::core::HISTORY_TABLE);
+        expected.remove(edna::core::HISTORY_TABLE);
+        prop_assert_eq!(final_state, expected);
+    }
+}
+
+// ---- snapshot round-trip ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Databases with random content survive encode → decode exactly
+    /// (schema, rows, AUTO_INCREMENT counters, and the logical clock).
+    #[test]
+    fn snapshot_round_trips_random_databases(
+        rows in proptest::collection::vec((arb_value(), any::<i32>()), 0..20),
+        now in any::<i64>(),
+    ) {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, payload TEXT, n INT, \
+             b BLOB, flag BOOL)",
+        ).unwrap();
+        for (v, n) in &rows {
+            // Store the arbitrary value's SQL literal as payload text and
+            // exercise every column type.
+            db.execute(&format!(
+                "INSERT INTO t (payload, n, b, flag) VALUES ({}, {n}, X'AB', TRUE)",
+                Value::Text(v.to_sql_literal()).to_sql_literal()
+            )).unwrap();
+        }
+        db.set_now(now);
+        let encoded = edna::relational::snapshot::encode(&db).unwrap();
+        let back = edna::relational::snapshot::decode(&encoded).unwrap();
+        prop_assert_eq!(back.dump(), db.dump());
+        prop_assert_eq!(back.now(), now);
+        // AUTO_INCREMENT continues correctly.
+        let a = db.execute("INSERT INTO t (n) VALUES (0)").unwrap().last_insert_id;
+        let b = back.execute("INSERT INTO t (n) VALUES (0)").unwrap().last_insert_id;
+        prop_assert_eq!(a, b);
+    }
+}
