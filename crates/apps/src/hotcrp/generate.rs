@@ -5,8 +5,8 @@
 //! those numbers exactly, and [`HotCrpConfig::scaled`] sweeps them for the
 //! linear-scaling experiment. Generation is seeded and fully deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use edna_util::rng::Prng;
+use edna_util::rng::Rng;
 
 use edna_relational::{Database, Result, Value};
 
@@ -96,7 +96,7 @@ pub struct HotCrpInstance {
 
 /// Populates `db` (which must have the HotCRP schema) per `config`.
 pub fn generate(db: &Database, config: &HotCrpConfig) -> Result<HotCrpInstance> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let mut instance = HotCrpInstance::default();
 
     // Contacts: PC members first, then authors.

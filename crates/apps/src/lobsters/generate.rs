@@ -1,7 +1,7 @@
 //! Deterministic Lobsters data generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use edna_util::rng::Prng;
+use edna_util::rng::Rng;
 
 use edna_relational::{Database, Result, Value};
 
@@ -55,7 +55,7 @@ pub struct LobstersInstance {
 
 /// Populates `db` (which must have the Lobsters schema) per `config`.
 pub fn generate(db: &Database, config: &LobstersConfig) -> Result<LobstersInstance> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let mut inst = LobstersInstance::default();
 
     // Tags.

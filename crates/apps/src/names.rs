@@ -1,6 +1,6 @@
 //! Deterministic fake-data vocabulary shared by the generators.
 
-use rand::Rng;
+use edna_util::rng::Rng;
 
 const FIRST: &[&str] = &[
     "Bea",
@@ -136,20 +136,19 @@ pub fn username(rng: &mut impl Rng, tag: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use edna_util::rng::Prng;
 
     #[test]
     fn deterministic_with_seed() {
-        let mut a = StdRng::seed_from_u64(1);
-        let mut b = StdRng::seed_from_u64(1);
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(1);
         assert_eq!(sentence(&mut a, 5), sentence(&mut b, 5));
         assert_eq!(username(&mut a, 3), username(&mut b, 3));
     }
 
     #[test]
     fn sentence_has_requested_words() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(2);
         assert_eq!(sentence(&mut rng, 7).split(' ').count(), 7);
     }
 }

@@ -146,6 +146,7 @@ fn confanon_then_gdpr_plus_composes() {
             compose: true,
             optimize,
             use_transaction: true,
+            ..ApplyOptions::default()
         };
         let report = edna
             .apply_with_options("HotCRP-GDPR+", Some(&Value::Int(bea)), opts)

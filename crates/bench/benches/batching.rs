@@ -6,9 +6,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use edna_apps::hotcrp::generate::HotCrpConfig;
+use edna_bench::harness::BenchGroup;
 use edna_bench::{apply_many, hotcrp_env};
 use edna_relational::LatencyModel;
 
@@ -21,23 +20,17 @@ fn latency() -> LatencyModel {
     }
 }
 
-fn bench_batching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batching");
+fn main() {
+    let mut group = BenchGroup::new("batching");
     group.sample_size(10);
     for (label, parallel) in [("sequential_txn", false), ("parallel_autocommit", true)] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || hotcrp_env(&HotCrpConfig::scaled(0.05), Some(latency())),
-                |env| {
-                    let users: Vec<i64> = env.instance.pc_contact_ids[..USERS].to_vec();
-                    apply_many(&env, &users, parallel)
-                },
-                BatchSize::PerIteration,
-            );
-        });
+        group.bench(
+            label,
+            || hotcrp_env(&HotCrpConfig::scaled(0.05), Some(latency())),
+            |env| {
+                let users: Vec<i64> = env.instance.pc_contact_ids[..USERS].to_vec();
+                apply_many(&env, &users, parallel)
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_batching);
-criterion_main!(benches);

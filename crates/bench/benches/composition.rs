@@ -1,12 +1,11 @@
-//! Criterion bench for the §6 composition experiment (SEC6-COMPOSE).
+//! Bench for the §6 composition experiment (SEC6-COMPOSE).
 //!
-//! Measures the four paths statistically at a reduced scale (criterion
-//! runs each many times; the full-scale single-shot numbers come from the
-//! `sec6_composition` binary). No latency injection: in-process ratios.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Measures the four paths statistically at a reduced scale (the harness
+//! runs each several times; the full-scale single-shot numbers come from
+//! the `sec6_composition` binary). No latency injection: in-process ratios.
 
 use edna_apps::hotcrp::generate::HotCrpConfig;
+use edna_bench::harness::BenchGroup;
 use edna_bench::hotcrp_env;
 use edna_core::ApplyOptions;
 use edna_relational::Value;
@@ -15,66 +14,57 @@ fn config() -> HotCrpConfig {
     HotCrpConfig::scaled(0.1)
 }
 
-fn bench_composition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sec6_composition");
+fn main() {
+    let mut group = BenchGroup::new("sec6_composition");
     group.sample_size(10);
 
-    group.bench_function("gdpr_plus_independent", |b| {
-        b.iter_batched(
-            || {
-                let env = hotcrp_env(&config(), None);
-                let a = env.instance.pc_contact_ids[0];
-                env.edna
-                    .apply("HotCRP-GDPR+", Some(&Value::Int(a)))
-                    .unwrap();
-                env
-            },
-            |env| {
-                let user = env.instance.pc_contact_ids[1];
-                env.edna
-                    .apply("HotCRP-GDPR+", Some(&Value::Int(user)))
-                    .unwrap()
-            },
-            BatchSize::PerIteration,
-        );
-    });
+    group.bench(
+        "gdpr_plus_independent",
+        || {
+            let env = hotcrp_env(&config(), None);
+            let a = env.instance.pc_contact_ids[0];
+            env.edna
+                .apply("HotCRP-GDPR+", Some(&Value::Int(a)))
+                .unwrap();
+            env
+        },
+        |env| {
+            let user = env.instance.pc_contact_ids[1];
+            env.edna
+                .apply("HotCRP-GDPR+", Some(&Value::Int(user)))
+                .unwrap()
+        },
+    );
 
-    group.bench_function("confanon", |b| {
-        b.iter_batched(
-            || hotcrp_env(&config(), None),
-            |env| env.edna.apply("HotCRP-ConfAnon", None).unwrap(),
-            BatchSize::PerIteration,
-        );
-    });
+    group.bench(
+        "confanon",
+        || hotcrp_env(&config(), None),
+        |env| env.edna.apply("HotCRP-ConfAnon", None).unwrap(),
+    );
 
     for (label, optimize) in [
         ("gdpr_plus_after_confanon_naive", false),
         ("gdpr_plus_after_confanon_optimized", true),
     ] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let env = hotcrp_env(&config(), None);
-                    env.edna.apply("HotCRP-ConfAnon", None).unwrap();
-                    env
-                },
-                |env| {
-                    let user = env.instance.pc_contact_ids[1];
-                    let opts = ApplyOptions {
-                        compose: true,
-                        optimize,
-                        use_transaction: true,
-                    };
-                    env.edna
-                        .apply_with_options("HotCRP-GDPR+", Some(&Value::Int(user)), opts)
-                        .unwrap()
-                },
-                BatchSize::PerIteration,
-            );
-        });
+        group.bench(
+            label,
+            || {
+                let env = hotcrp_env(&config(), None);
+                env.edna.apply("HotCRP-ConfAnon", None).unwrap();
+                env
+            },
+            |env| {
+                let user = env.instance.pc_contact_ids[1];
+                let opts = ApplyOptions {
+                    compose: true,
+                    optimize,
+                    use_transaction: true,
+                    ..ApplyOptions::default()
+                };
+                env.edna
+                    .apply_with_options("HotCRP-GDPR+", Some(&Value::Int(user)), opts)
+                    .unwrap()
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_composition);
-criterion_main!(benches);

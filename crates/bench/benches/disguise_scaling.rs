@@ -1,37 +1,26 @@
-//! Criterion bench for the §6 linear-scaling claim (SEC6-LINEAR).
+//! Bench for the §6 linear-scaling claim (SEC6-LINEAR).
 //!
 //! Applies `HotCRP-GDPR+` at increasing database scales; time should scale
 //! linearly with the number of disguised objects.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-
 use edna_apps::hotcrp::generate::HotCrpConfig;
+use edna_bench::harness::BenchGroup;
 use edna_bench::hotcrp_env;
 use edna_relational::Value;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sec6_scaling");
+fn main() {
+    let mut group = BenchGroup::new("sec6_scaling");
     group.sample_size(10);
     for factor in [0.05_f64, 0.1, 0.2, 0.4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{factor:.2}x")),
-            &factor,
-            |b, &factor| {
-                b.iter_batched(
-                    || hotcrp_env(&HotCrpConfig::scaled(factor), None),
-                    |env| {
-                        let user = env.instance.pc_contact_ids[0];
-                        env.edna
-                            .apply("HotCRP-GDPR+", Some(&Value::Int(user)))
-                            .unwrap()
-                    },
-                    BatchSize::PerIteration,
-                );
+        group.bench(
+            &format!("{factor:.2}x"),
+            || hotcrp_env(&HotCrpConfig::scaled(factor), None),
+            |env| {
+                let user = env.instance.pc_contact_ids[0];
+                env.edna
+                    .apply("HotCRP-GDPR+", Some(&Value::Int(user)))
+                    .unwrap()
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -4,9 +4,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use edna_apps::hotcrp::{self, generate::HotCrpConfig};
+use edna_bench::harness::BenchGroup;
 use edna_core::Disguiser;
 use edna_relational::Value;
 use edna_vault::{FileStore, MemoryStore, ThirdPartyStore, TieredVault, Vault};
@@ -60,8 +59,8 @@ fn third_party() -> TieredVault {
 
 type VaultFactory = fn() -> TieredVault;
 
-fn bench_vaults(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vault_backends");
+fn main() {
+    let mut group = BenchGroup::new("vault_backends");
     group.sample_size(10);
     let cases: Vec<(&str, VaultFactory)> = vec![
         ("plain_memory", plain_memory),
@@ -70,16 +69,10 @@ fn bench_vaults(c: &mut Criterion) {
         ("third_party_5ms", third_party),
     ];
     for (label, make) in cases {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || build_env(make()),
-                |(edna, user)| edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap(),
-                BatchSize::PerIteration,
-            );
-        });
+        group.bench(
+            label,
+            || build_env(make()),
+            |(edna, user)| edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_vaults);
-criterion_main!(benches);

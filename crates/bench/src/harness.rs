@@ -1,0 +1,88 @@
+//! A minimal benchmark harness (criterion replacement, offline-friendly).
+//!
+//! Each case runs `setup` once per sample (untimed) and times `routine`
+//! over the sample count, reporting min / median / mean wall-clock. The
+//! statistics are intentionally simple: the binaries under `src/bin/`
+//! remain the source of the paper-table numbers; these benches exist to
+//! catch gross regressions and to exercise the same code paths.
+
+use std::time::{Duration, Instant};
+
+/// Default samples per case (small: whole-disguise benches are heavy).
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// A named group of benchmark cases with a shared sample count.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group; prints a header.
+    pub fn new(name: &str) -> BenchGroup {
+        println!("group {name}");
+        BenchGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Overrides the per-case sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one case: `setup` produces fresh state per sample (untimed),
+    /// `routine` consumes it (timed). Prints a stats line.
+    pub fn bench<S, T>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let state = setup();
+            let t0 = Instant::now();
+            let out = routine(state);
+            times.push(t0.elapsed());
+            drop(out);
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "  {}/{label:<38} min {:>9.3} ms  median {:>9.3} ms  mean {:>9.3} ms  (n={})",
+            self.name,
+            min.as_secs_f64() * 1e3,
+            median.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            times.len(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_setup_per_sample_and_times_routine() {
+        let mut setups = 0;
+        let mut runs = 0;
+        let mut g = BenchGroup::new("t");
+        g.sample_size(3).bench(
+            "case",
+            || {
+                setups += 1;
+            },
+            |()| {
+                runs += 1;
+            },
+        );
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+}

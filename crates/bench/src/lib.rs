@@ -1,12 +1,14 @@
 //! `edna-bench`: the benchmark harness regenerating every table and figure
 //! of the paper's evaluation (see `DESIGN.md` §3 for the experiment index).
 //!
-//! Binaries print the paper's tables; the criterion benches under
-//! `benches/` measure the same operations statistically. Shared setup and
-//! measurement live here so binaries, benches, and tests agree on
-//! methodology.
+//! Binaries print the paper's tables; the benches under `benches/`
+//! (plain `harness = false` binaries on the in-repo [`harness`]) measure
+//! the same operations statistically. Shared setup and measurement live
+//! here so binaries, benches, and tests agree on methodology.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::time::Duration;
 
@@ -113,6 +115,7 @@ pub fn sec6_composition(config: &HotCrpConfig, latency: Option<LatencyModel>) ->
             compose: true,
             optimize: false,
             use_transaction: true,
+            ..ApplyOptions::default()
         };
         let report = env
             .edna
@@ -139,6 +142,7 @@ pub fn sec6_composition(config: &HotCrpConfig, latency: Option<LatencyModel>) ->
             compose: true,
             optimize: true,
             use_transaction: true,
+            ..ApplyOptions::default()
         };
         let report = env
             .edna
@@ -192,8 +196,8 @@ pub fn sec6_scaling(factors: &[f64], latency: Option<LatencyModel>) -> Vec<Scali
 }
 
 /// Applies `HotCRP-GDPR+` to `users.len()` distinct users, sequentially or
-/// in parallel (crossbeam scoped threads, auto-commit mode), returning the
-/// total wall-clock time. The paper (§6) names "batching, parallelization,
+/// in parallel (scoped threads, auto-commit mode), returning the total
+/// wall-clock time. The paper (§6) names "batching, parallelization,
 /// and asynchronous application" as the levers for reducing disguise cost.
 pub fn apply_many(env: &HotCrpEnv, users: &[i64], parallel: bool) -> Duration {
     let opts = ApplyOptions {
@@ -201,19 +205,19 @@ pub fn apply_many(env: &HotCrpEnv, users: &[i64], parallel: bool) -> Duration {
         optimize: true,
         // Parallel workers cannot share one explicit transaction.
         use_transaction: !parallel,
+        ..ApplyOptions::default()
     };
     let start = std::time::Instant::now();
     if parallel {
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for &user in users {
                 let edna = &env.edna;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     edna.apply_with_options("HotCRP-GDPR+", Some(&Value::Int(user)), opts)
                         .expect("parallel GDPR+");
                 });
             }
-        })
-        .expect("scoped threads join");
+        });
     } else {
         for &user in users {
             env.edna

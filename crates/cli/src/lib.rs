@@ -86,9 +86,18 @@ impl Workspace {
         Self::open(path, passphrase)
     }
 
-    /// Opens an existing workspace.
+    /// Opens an existing workspace, recovering from an interrupted save:
+    /// a crash between snapshot write and atomic rename leaves a stale
+    /// `.tmp` beside the authoritative snapshot, which is swept here. The
+    /// file-backed vault tiers likewise sweep their temp files and
+    /// truncate torn record tails when opened.
     pub fn open(path: impl AsRef<Path>, passphrase: Option<&str>) -> CliResult<Workspace> {
         let path = path.as_ref().to_path_buf();
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)
+                .map_err(|e| CliError(format!("cannot sweep stale {}: {e}", tmp.display())))?;
+        }
         let db = Database::load(&path)?;
         ensure_registry(&db)?;
         let global = Vault::plain(FileStore::open(vault_dir(&path, "global"))?);
@@ -297,6 +306,36 @@ tables: {
         };
         let ws = Workspace::open(&state, Some("not-the-passphrase")).unwrap();
         assert!(ws.edna.reveal(disguise_id).is_err());
+        cleanup(&state);
+    }
+
+    #[test]
+    fn crashed_save_is_recovered_on_open() {
+        let state = temp_state("crashsave");
+        {
+            let ws = Workspace::init(&state, None).unwrap();
+            ws.db
+                .execute("CREATE TABLE users (id INT PRIMARY KEY, name TEXT)")
+                .unwrap();
+            ws.db
+                .execute("INSERT INTO users VALUES (1, 'bea')")
+                .unwrap();
+            ws.save().unwrap();
+        }
+        // Simulate a crash mid-save: a half-written temp file next to the
+        // authoritative snapshot.
+        std::fs::write(state.with_extension("tmp"), b"half a snapshot").unwrap();
+        let ws = Workspace::open(&state, None).unwrap();
+        assert!(!state.with_extension("tmp").exists(), "stale tmp swept");
+        assert_eq!(ws.db.row_count("users").unwrap(), 1);
+
+        // A corrupted snapshot itself is a clear error, not a bad load.
+        let mut bytes = std::fs::read(&state).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&state, &bytes).unwrap();
+        let err = Workspace::open(&state, None).err().unwrap().to_string();
+        assert!(err.contains("corrupt snapshot"), "got: {err}");
         cleanup(&state);
     }
 

@@ -114,6 +114,7 @@ fn run(args: &[String]) -> CliResult<()> {
                 compose: !has_flag(args, "--no-compose"),
                 optimize: !has_flag(args, "--no-optimize"),
                 use_transaction: true,
+                ..ApplyOptions::default()
             };
             let report = ws.edna.apply_with_options(disguise, user.as_ref(), opts)?;
             println!(

@@ -18,20 +18,42 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use edna_util::rng::Prng;
+use std::sync::Mutex;
 
 use edna_relational::{
     eval_predicate, Database, EvalContext, Expr, StatsSnapshot, TableSchema, Value,
 };
-use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry};
+use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJournal};
 
 use crate::analysis::{plan_composition, CompositionPlan};
 use crate::error::{Error, Result};
 use crate::history::HistoryLog;
 use crate::placeholder::create_placeholder;
 use crate::spec::{validate_spec, DisguiseSpec, PredicatedTransform, Transformation};
+
+/// What to do when the vault write at the end of an application fails
+/// (after retries, if the backend has a [`edna_vault::RetryPolicy`]).
+///
+/// The disguise's physical changes and its history row are already staged
+/// in the transaction at that point; the policy decides whether losing the
+/// reveal functions aborts the disguise or degrades it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VaultFailurePolicy {
+    /// Abort: roll the whole application back and surface the vault
+    /// error. Nothing is disguised, nothing is lost.
+    #[default]
+    Require,
+    /// Proceed irreversibly: commit the disguise, mark the history row
+    /// not reversible, and record the vault error as its note. Privacy
+    /// wins over reversibility.
+    Degrade,
+    /// Proceed reversibly: commit the disguise and spool the vault entry
+    /// to the configured [`VaultJournal`], to be pushed into the vault by
+    /// [`Disguiser::flush_pending_vault_writes`] once the backend is
+    /// healthy. Requires [`Disguiser::set_vault_journal`].
+    Buffer,
+}
 
 /// Knobs controlling disguise application.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +68,8 @@ pub struct ApplyOptions {
     /// Wrap the whole application in one transaction ("Edna currently
     /// applies these changes in one large SQL transaction", §6).
     pub use_transaction: bool,
+    /// What to do when the vault write fails after retries.
+    pub vault_failure_policy: VaultFailurePolicy,
 }
 
 impl Default for ApplyOptions {
@@ -54,6 +78,7 @@ impl Default for ApplyOptions {
             compose: true,
             optimize: true,
             use_transaction: true,
+            vault_failure_policy: VaultFailurePolicy::Require,
         }
     }
 }
@@ -85,6 +110,14 @@ pub struct DisguiseReport {
     pub duration: Duration,
     /// Engine statement/row counters consumed by this application.
     pub stats: StatsSnapshot,
+    /// Vault-store retries absorbed during this application.
+    pub vault_retries: u64,
+    /// Why this application degraded to irreversible
+    /// ([`VaultFailurePolicy::Degrade`]), if it did.
+    pub vault_degraded: Option<String>,
+    /// Whether the vault entry was spooled to the journal
+    /// ([`VaultFailurePolicy::Buffer`]) instead of reaching the vault.
+    pub vault_buffered: bool,
 }
 
 impl Default for DisguiseReport {
@@ -102,6 +135,9 @@ impl Default for DisguiseReport {
             skipped_redundant: 0,
             duration: Duration::ZERO,
             stats: StatsSnapshot::default(),
+            vault_retries: 0,
+            vault_degraded: None,
+            vault_buffered: false,
         }
     }
 }
@@ -148,7 +184,8 @@ pub struct Disguiser {
     pub(crate) vaults: TieredVault,
     pub(crate) history: HistoryLog,
     pub(crate) specs: HashMap<String, DisguiseSpec>,
-    pub(crate) rng: Mutex<StdRng>,
+    pub(crate) rng: Mutex<Prng>,
+    pub(crate) journal: Mutex<Option<VaultJournal>>,
     /// Options used by [`Disguiser::apply`].
     pub options: ApplyOptions,
 }
@@ -172,14 +209,15 @@ impl Disguiser {
             vaults,
             history,
             specs: HashMap::new(),
-            rng: Mutex::new(StdRng::seed_from_u64(0xED4A)),
+            rng: Mutex::new(Prng::seed_from_u64(0xED4A)),
+            journal: Mutex::new(None),
             options: ApplyOptions::default(),
         }
     }
 
     /// Reseeds the RNG (placeholder values become reproducible).
     pub fn set_seed(&self, seed: u64) {
-        *self.rng.lock() = StdRng::seed_from_u64(seed);
+        *self.rng.lock().unwrap() = Prng::seed_from_u64(seed);
     }
 
     /// The underlying database handle.
@@ -195,6 +233,44 @@ impl Disguiser {
     /// The history log.
     pub fn history(&self) -> &HistoryLog {
         &self.history
+    }
+
+    /// Configures the journal that [`VaultFailurePolicy::Buffer`] spools
+    /// vault writes to when the backend is down.
+    pub fn set_vault_journal(&self, journal: VaultJournal) {
+        *self.journal.lock().unwrap() = Some(journal);
+    }
+
+    /// Vault entries spooled by [`VaultFailurePolicy::Buffer`] and not yet
+    /// flushed (0 if no journal is configured).
+    pub fn pending_vault_writes(&self) -> Result<usize> {
+        match self.journal.lock().unwrap().as_ref() {
+            Some(j) => Ok(j.len()?),
+            None => Ok(0),
+        }
+    }
+
+    /// Pushes journalled vault entries into the vaults, oldest first;
+    /// returns how many were flushed. On a vault failure mid-flush the
+    /// unflushed suffix (including the entry that failed) stays in the
+    /// journal and the error surfaces — calling again once the backend
+    /// recovers resumes where it stopped.
+    pub fn flush_pending_vault_writes(&self) -> Result<usize> {
+        let guard = self.journal.lock().unwrap();
+        let Some(journal) = guard.as_ref() else {
+            return Ok(0);
+        };
+        let pending = journal.pending()?;
+        let mut flushed = 0;
+        for (i, (tier, entry)) in pending.iter().enumerate() {
+            if let Err(e) = self.vaults.put(*tier, entry) {
+                journal.rewrite(&pending[i..])?;
+                return Err(Error::Vault(e));
+            }
+            flushed += 1;
+        }
+        journal.rewrite(&[])?;
+        Ok(flushed)
     }
 
     /// Registers (and validates) a disguise specification.
@@ -281,6 +357,7 @@ impl Disguiser {
 
         let started = Instant::now();
         let stats_before = self.db.stats();
+        let vault_stats_before = self.vaults.store_stats();
         if opts.use_transaction {
             self.db.begin()?;
         }
@@ -292,11 +369,23 @@ impl Disguiser {
                 }
                 report.duration = started.elapsed();
                 report.stats = self.db.stats().since(&stats_before);
+                report.vault_retries = self
+                    .vaults
+                    .store_stats()
+                    .retries
+                    .saturating_sub(vault_stats_before.retries);
                 Ok(report)
             }
             Err(e) => {
                 if opts.use_transaction {
-                    let _ = self.db.rollback();
+                    // A failed rollback is a double fault: the database may
+                    // hold a partial application. Surface both causes.
+                    if let Err(rollback) = self.db.rollback() {
+                        return Err(Error::RollbackFailed {
+                            apply: Box::new(e),
+                            rollback,
+                        });
+                    }
                 }
                 Err(e)
             }
@@ -398,7 +487,29 @@ impl Disguiser {
                 created_at: now,
                 expires_at: spec.expires_after.map(|d| now + d),
             };
-            self.vaults.put(spec.vault_tier, &entry)?;
+            if let Err(vault_err) = self.vaults.put(spec.vault_tier, &entry) {
+                match opts.vault_failure_policy {
+                    // Abort: the caller rolls the transaction back; the
+                    // history row above vanishes with it.
+                    VaultFailurePolicy::Require => return Err(Error::Vault(vault_err)),
+                    // Proceed irreversibly: the reveal functions are lost,
+                    // so the history row must never offer a reveal.
+                    VaultFailurePolicy::Degrade => {
+                        let reason = format!("vault write failed: {vault_err}");
+                        self.history.mark_degraded(id, &reason)?;
+                        report.vault_degraded = Some(reason);
+                    }
+                    // Proceed reversibly: spool the entry durably; if even
+                    // the journal fails, abort as under Require.
+                    VaultFailurePolicy::Buffer => {
+                        match self.journal.lock().unwrap().as_ref() {
+                            Some(journal) => journal.append(spec.vault_tier, &entry)?,
+                            None => return Err(Error::NoJournal),
+                        }
+                        report.vault_buffered = true;
+                    }
+                }
+            }
         }
         Ok(report)
     }
@@ -458,7 +569,7 @@ impl Disguiser {
                         continue;
                     }
                     let placeholder_pk = {
-                        let mut rng = self.rng.lock();
+                        let mut rng = self.rng.lock().unwrap();
                         create_placeholder(&self.db, spec, parent_table, &original, &mut *rng)?
                     };
                     report.placeholders_created += 1;
@@ -491,7 +602,7 @@ impl Disguiser {
                 for row in rows {
                     let original = row[col_idx].clone();
                     let new_value = {
-                        let mut rng = self.rng.lock();
+                        let mut rng = self.rng.lock().unwrap();
                         modifier.apply(&original, &mut *rng)
                     };
                     if new_value == original {

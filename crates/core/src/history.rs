@@ -28,6 +28,9 @@ pub struct DisguiseEvent {
     pub reversible: bool,
     /// Whether the application has been reverted.
     pub reverted: bool,
+    /// Why the application degraded to irreversible, if it did (the
+    /// *degrade* vault failure policy records the vault error here).
+    pub note: Option<String>,
 }
 
 /// Handle to the history table in an application database.
@@ -47,7 +50,8 @@ impl HistoryLog {
                     userId TEXT,
                     appliedAt INT NOT NULL,
                     reversible BOOL NOT NULL,
-                    reverted BOOL NOT NULL DEFAULT FALSE
+                    reverted BOOL NOT NULL DEFAULT FALSE,
+                    note TEXT
                  )"
             ))?;
         }
@@ -91,6 +95,21 @@ impl HistoryLog {
     pub fn mark_reverted(&self, id: u64) -> Result<()> {
         let n = self.db.execute(&format!(
             "UPDATE {HISTORY_TABLE} SET reverted = TRUE WHERE id = {id}"
+        ))?;
+        if n.affected == 0 {
+            return Err(Error::NoSuchApplication(id));
+        }
+        Ok(())
+    }
+
+    /// Marks application `id` irreversible, recording `reason` — the
+    /// *degrade* vault failure policy: the disguise proceeded, but its
+    /// reveal functions could not be persisted, so it must never be
+    /// offered for reveal.
+    pub fn mark_degraded(&self, id: u64, reason: &str) -> Result<()> {
+        let quoted = reason.replace('\'', "''");
+        let n = self.db.execute(&format!(
+            "UPDATE {HISTORY_TABLE} SET reversible = FALSE, note = '{quoted}' WHERE id = {id}"
         ))?;
         if n.affected == 0 {
             return Err(Error::NoSuchApplication(id));
@@ -144,7 +163,7 @@ impl HistoryLog {
 
     fn events_where(&self, cond: &str) -> Result<Vec<DisguiseEvent>> {
         let r = self.db.execute(&format!(
-            "SELECT id, name, userId, appliedAt, reversible, reverted \
+            "SELECT id, name, userId, appliedAt, reversible, reverted, note \
              FROM {HISTORY_TABLE} WHERE {cond} ORDER BY id"
         ))?;
         r.rows
@@ -157,6 +176,10 @@ impl HistoryLog {
                     applied_at: row[3].as_int()?,
                     reversible: row[4].as_bool()?,
                     reverted: row[5].as_bool()?,
+                    note: match &row[6] {
+                        Value::Null => None,
+                        v => Some(v.as_text()?.to_string()),
+                    },
                 })
             })
             .collect()
@@ -241,6 +264,23 @@ mod tests {
         assert!(log.active_before(99).unwrap().is_empty());
         assert!(matches!(
             log.mark_reverted(42),
+            Err(Error::NoSuchApplication(42))
+        ));
+    }
+
+    #[test]
+    fn degrade_marking() {
+        let log = log();
+        let a = log.record("A", &Value::Int(1), 1, true).unwrap();
+        assert_eq!(log.get(a).unwrap().note, None);
+        log.mark_degraded(a, "vault error: it's down").unwrap();
+        let e = log.get(a).unwrap();
+        assert!(!e.reversible, "degraded applications are irreversible");
+        assert_eq!(e.note.as_deref(), Some("vault error: it's down"));
+        // Degraded events are no longer composition candidates.
+        assert!(log.active_before(99).unwrap().is_empty());
+        assert!(matches!(
+            log.mark_degraded(42, "x"),
             Err(Error::NoSuchApplication(42))
         ));
     }

@@ -37,7 +37,7 @@ pub mod reveal;
 pub mod spec;
 
 pub use analysis::{plan_composition, CompositionPlan};
-pub use apply::{ApplyOptions, DisguiseReport, Disguiser};
+pub use apply::{ApplyOptions, DisguiseReport, Disguiser, VaultFailurePolicy};
 pub use error::{Error, Result};
 pub use guard::DisguisedRows;
 pub use history::{DisguiseEvent, HistoryLog, HISTORY_TABLE};

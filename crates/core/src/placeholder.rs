@@ -5,7 +5,7 @@
 //! and cannot log in." Each decorrelated row gets its *own* placeholder
 //! (Figure 2), so placeholders cannot be correlated with one another.
 
-use rand::Rng;
+use edna_util::rng::Rng;
 
 use edna_relational::{Database, TableSchema, Value};
 
@@ -113,8 +113,7 @@ pub fn random_value(schema: &TableSchema, i: usize, rng: &mut impl Rng) -> Value
 mod tests {
     use super::*;
     use crate::spec::DisguiseSpecBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use edna_util::rng::Prng;
 
     fn db() -> Database {
         let db = Database::new();
@@ -142,7 +141,7 @@ mod tests {
     #[test]
     fn creates_disabled_placeholder_with_random_name() {
         let db = db();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Prng::seed_from_u64(5);
         let pk =
             create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
         let rows = db
@@ -167,7 +166,7 @@ mod tests {
     #[test]
     fn each_placeholder_is_distinct() {
         let db = db();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Prng::seed_from_u64(6);
         let a = create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
         let b = create_placeholder(&db, &spec(), "ContactInfo", &Value::Int(19), &mut rng).unwrap();
         assert_ne!(a, b);
@@ -177,7 +176,7 @@ mod tests {
     #[test]
     fn derive_generator_sees_original_value() {
         let db = db();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         let spec = DisguiseSpecBuilder::new("t")
             .placeholder(
                 "ContactInfo",
@@ -205,7 +204,7 @@ mod tests {
         db.execute("CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
             .unwrap();
         let spec = DisguiseSpecBuilder::new("t").build().unwrap();
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Prng::seed_from_u64(8);
         let pk = create_placeholder(&db, &spec, "t", &Value::Null, &mut rng).unwrap();
         assert!(matches!(pk, Value::Int(_)));
         assert_eq!(db.row_count("t").unwrap(), 1);

@@ -93,7 +93,15 @@ impl Disguiser {
             }
             Err(e) => {
                 if use_txn {
-                    let _ = self.db.rollback();
+                    // Surface a failed rollback as a double fault rather
+                    // than silently dropping it (the reveal may be half
+                    // applied).
+                    if let Err(rollback) = self.db.rollback() {
+                        return Err(Error::RollbackFailed {
+                            apply: Box::new(e),
+                            rollback,
+                        });
+                    }
                 }
                 Err(e)
             }

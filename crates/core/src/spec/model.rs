@@ -11,7 +11,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rand::Rng;
+use edna_util::rng::Rng;
 
 use edna_relational::{parse_expr, Expr, Value};
 use edna_vault::VaultTier;
@@ -489,12 +489,11 @@ impl DisguiseSpecBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use edna_util::rng::Prng;
 
     #[test]
     fn modifiers_apply() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let orig = Value::Text("Hello World".into());
         assert_eq!(Modifier::SetNull.apply(&orig, &mut rng), Value::Null);
         assert_eq!(

@@ -272,6 +272,7 @@ fn composition_finds_rows_a_prior_disguise_hid() {
         compose: true,
         optimize: false,
         use_transaction: true,
+        ..ApplyOptions::default()
     };
     let report = edna
         .apply_with_options("Scrub", Some(&Value::Int(1)), opts)
@@ -312,11 +313,13 @@ fn optimized_composition_skips_redundant_decorrelation() {
         compose: true,
         optimize: false,
         use_transaction: true,
+        ..ApplyOptions::default()
     };
     let optimized = ApplyOptions {
         compose: true,
         optimize: true,
         use_transaction: true,
+        ..ApplyOptions::default()
     };
 
     // Run the optimized variant (on a separate identical setup, run naive

@@ -1,14 +1,15 @@
 //! The public database handle.
 //!
 //! [`Database`] is cheaply cloneable (`Arc` inside) and thread-safe: all
-//! state sits behind a [`parking_lot::Mutex`], statistics are atomic, and
+//! state sits behind a [`std::sync::Mutex`], statistics are atomic, and
 //! transactions serialize writers (single-writer semantics, as the paper's
 //! prototype applies each disguise in one large SQL transaction).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 
 use crate::error::{Error, Result};
 use crate::exec::{Inner, QueryResult};
@@ -37,6 +38,24 @@ pub struct Database {
     inner: Arc<Mutex<Inner>>,
     stats: Arc<Stats>,
     latency: Arc<RwLock<LatencyModel>>,
+    fault: Arc<FaultState>,
+}
+
+/// A statement-level fault hook: called with the 0-based index of each
+/// statement executed since the hook was installed; returning `true`
+/// kills that statement with [`Error::FaultInjected`] *before* it runs.
+///
+/// This is the engine-side half of the fault-injection harness: tests
+/// sweep the hook across every statement index of a workload to prove
+/// that a fault at any point leaves the database unchanged (the disguiser
+/// rolls its transaction back).
+pub type FaultHook = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
+/// Shared fault-injection state (statement counter + optional hook).
+#[derive(Default)]
+struct FaultState {
+    hook: RwLock<Option<FaultHook>>,
+    seq: AtomicU64,
 }
 
 impl Default for Database {
@@ -52,7 +71,44 @@ impl Database {
             inner: Arc::new(Mutex::new(Inner::new())),
             stats: Arc::new(Stats::default()),
             latency: Arc::new(RwLock::new(LatencyModel::NONE)),
+            fault: Arc::new(FaultState::default()),
         }
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Installs (or with `None` removes) a statement-level fault hook,
+    /// resetting the statement index to 0. The hook is consulted once per
+    /// statement — SQL and typed API alike — *before* execution; explicit
+    /// [`Database::begin`]/[`Database::commit`]/[`Database::rollback`]
+    /// calls are exempt so recovery paths cannot themselves be killed.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.fault.hook.write().unwrap() = hook;
+        self.fault.seq.store(0, Ordering::SeqCst);
+    }
+
+    /// Convenience: fail exactly the `n`th statement from now (0-based).
+    pub fn fail_statement(&self, n: u64) {
+        self.set_fault_hook(Some(Arc::new(move |i| i == n)));
+    }
+
+    /// Statements the installed hook has seen. With a never-firing hook
+    /// (`|_| false`) this counts a workload's statements, giving the
+    /// sweep bound for exhaustive fault injection.
+    pub fn fault_statement_count(&self) -> u64 {
+        self.fault.seq.load(Ordering::SeqCst)
+    }
+
+    /// Consults the fault hook, if any; charges one statement index.
+    fn failpoint(&self) -> Result<()> {
+        let hook = self.fault.hook.read().unwrap();
+        if let Some(h) = hook.as_ref() {
+            let index = self.fault.seq.fetch_add(1, Ordering::SeqCst);
+            if h(index) {
+                return Err(Error::FaultInjected(index));
+            }
+        }
+        Ok(())
     }
 
     // ---- SQL execution ----------------------------------------------------
@@ -78,6 +134,7 @@ impl Database {
         stmt: &Statement,
         params: &HashMap<String, Value>,
     ) -> Result<QueryResult> {
+        self.failpoint()?;
         match stmt {
             Statement::Begin => {
                 self.begin()?;
@@ -113,7 +170,7 @@ impl Database {
     /// callers overlap their simulated I/O.
     fn run_in_txn<T>(&self, f: impl FnOnce(&mut Inner) -> Result<T>) -> Result<T> {
         let written_before = self.stats.snapshot().rows_written;
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().unwrap();
         let inner = &mut *guard;
         let result = if inner.txn.is_some() {
             let mark = inner.txn.as_ref().expect("checked").mark();
@@ -142,7 +199,7 @@ impl Database {
             }
         };
         drop(guard);
-        let latency = *self.latency.read();
+        let latency = *self.latency.read().unwrap();
         if !latency.is_none() {
             let written_after = self.stats.snapshot().rows_written;
             latency.charge(written_after.saturating_sub(written_before));
@@ -154,7 +211,7 @@ impl Database {
 
     /// Opens an explicit transaction; errors if one is already open.
     pub fn begin(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if inner.txn.is_some() {
             return Err(Error::Txn("transaction already open".to_string()));
         }
@@ -164,7 +221,7 @@ impl Database {
 
     /// Commits the open transaction; errors if none is open.
     pub fn commit(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         match inner.txn.take() {
             Some(_) => Ok(()),
             None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
@@ -173,7 +230,7 @@ impl Database {
 
     /// Rolls back the open transaction; errors if none is open.
     pub fn rollback(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         match inner.txn.take() {
             Some(txn) => {
                 inner.rollback(txn);
@@ -185,7 +242,12 @@ impl Database {
 
     /// Whether an explicit transaction is open.
     pub fn in_transaction(&self) -> bool {
-        self.inner.lock().txn.as_ref().is_some_and(|t| !t.implicit)
+        self.inner
+            .lock()
+            .unwrap()
+            .txn
+            .as_ref()
+            .is_some_and(|t| !t.implicit)
     }
 
     /// Runs `f` inside a fresh explicit transaction, committing on `Ok` and
@@ -210,12 +272,12 @@ impl Database {
 
     /// The schema of `table`.
     pub fn schema(&self, table: &str) -> Result<TableSchema> {
-        Ok(self.inner.lock().table(table)?.schema.clone())
+        Ok(self.inner.lock().unwrap().table(table)?.schema.clone())
     }
 
     /// All table names, in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner
             .table_order
             .iter()
@@ -225,12 +287,12 @@ impl Database {
 
     /// Whether `table` exists.
     pub fn has_table(&self, table: &str) -> bool {
-        self.inner.lock().table(table).is_ok()
+        self.inner.lock().unwrap().table(table).is_ok()
     }
 
     /// Number of live rows in `table`.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.inner.lock().table(table)?.len())
+        Ok(self.inner.lock().unwrap().table(table)?.len())
     }
 
     /// Rows of `table` matching `where_` (all rows if `None`), as full rows
@@ -241,17 +303,18 @@ impl Database {
         where_: Option<&Expr>,
         params: &HashMap<String, Value>,
     ) -> Result<Vec<Row>> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.selects, 1);
         let rows = {
-            let inner = self.inner.lock();
+            let inner = self.inner.lock().unwrap();
             let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
             let t = inner.table(table)?;
             ids.iter()
                 .map(|&id| t.get(id).expect("live").clone())
                 .collect()
         };
-        let latency = *self.latency.read();
+        let latency = *self.latency.read().unwrap();
         latency.charge(0);
         Ok(rows)
     }
@@ -260,6 +323,7 @@ impl Database {
     /// their default (or auto-increment). Returns the auto-assigned id, if
     /// any.
     pub fn insert_row(&self, table: &str, values: &[(&str, Value)]) -> Result<Option<i64>> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.inserts, 1);
         self.run_in_txn(|inner| {
@@ -285,6 +349,7 @@ impl Database {
         where_: &Expr,
         params: &HashMap<String, Value>,
     ) -> Result<usize> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.deletes, 1);
         self.run_in_txn(|inner| {
@@ -308,6 +373,7 @@ impl Database {
         where_: &Expr,
         params: &HashMap<String, Value>,
     ) -> Result<Vec<(String, Row)>> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.deletes, 1);
         self.run_in_txn(|inner| {
@@ -325,6 +391,7 @@ impl Database {
     /// Inserts one fully materialized row (all columns, in schema order,
     /// including any explicit primary key). Used to restore rows verbatim.
     pub fn insert_full_row(&self, table: &str, row: Row) -> Result<()> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.inserts, 1);
         self.run_in_txn(|inner| {
@@ -342,6 +409,7 @@ impl Database {
         params: &HashMap<String, Value>,
         mut f: impl FnMut(&TableSchema, &mut Row) -> Result<()>,
     ) -> Result<usize> {
+        self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.updates, 1);
         self.run_in_txn(|inner| {
@@ -362,12 +430,12 @@ impl Database {
 
     /// The logical clock value returned by `NOW()`.
     pub fn now(&self) -> i64 {
-        self.inner.lock().now
+        self.inner.lock().unwrap().now
     }
 
     /// Sets the logical clock (used by expiration/decay policies).
     pub fn set_now(&self, now: i64) {
-        self.inner.lock().now = now;
+        self.inner.lock().unwrap().now = now;
     }
 
     /// A snapshot of the execution counters.
@@ -382,19 +450,19 @@ impl Database {
 
     /// Sets the synthetic latency model.
     pub fn set_latency(&self, model: LatencyModel) {
-        *self.latency.write() = model;
+        *self.latency.write().unwrap() = model;
     }
 
     /// The current synthetic latency model.
     pub fn latency(&self) -> LatencyModel {
-        *self.latency.read()
+        *self.latency.read().unwrap()
     }
 
     /// Names of the indexed columns of `table` (implicit PK/UNIQUE indexes
     /// and explicit `CREATE INDEX`es), in index-creation order — the order
     /// the executor tries them for predicate probes.
     pub fn index_columns(&self, table: &str) -> Result<Vec<String>> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let t = inner.table(table)?;
         Ok(t.indexes
             .iter()
@@ -405,7 +473,7 @@ impl Database {
     /// Extracts serializable images of every table, in creation order
     /// (used by [`crate::snapshot`]).
     pub fn snapshot_tables(&self) -> Result<Vec<crate::snapshot::TableSnapshot>> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut out = Vec::with_capacity(inner.table_order.len());
         for key in &inner.table_order {
             let t = &inner.tables[key];
@@ -437,7 +505,7 @@ impl Database {
     pub fn from_snapshots(snapshots: Vec<crate::snapshot::TableSnapshot>) -> Result<Database> {
         let db = Database::new();
         {
-            let mut inner = db.inner.lock();
+            let mut inner = db.inner.lock().unwrap();
             for snap in snapshots {
                 snap.schema.validate()?;
                 let key = snap.schema.name.to_lowercase();
@@ -479,7 +547,7 @@ impl Database {
     /// A deep snapshot of all table contents, for test assertions: table
     /// name → sorted rows rendered as SQL literals.
     pub fn dump(&self) -> std::collections::BTreeMap<String, Vec<String>> {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         let mut out = std::collections::BTreeMap::new();
         for key in &inner.table_order {
             let t = &inner.tables[key];
@@ -792,6 +860,60 @@ mod tests {
             .unwrap();
         let r = db.execute("INSERT INTO users (name) VALUES ('y')").unwrap();
         assert_eq!(r.last_insert_id, Some(11));
+    }
+
+    #[test]
+    fn fault_hook_kills_the_chosen_statement_only() {
+        let db = setup();
+        db.fail_statement(1);
+        db.execute("INSERT INTO users (name) VALUES ('a')").unwrap(); // stmt 0
+        let err = db.execute("INSERT INTO users (name) VALUES ('b')"); // stmt 1
+        assert_eq!(err.unwrap_err(), Error::FaultInjected(1));
+        db.execute("INSERT INTO users (name) VALUES ('c')").unwrap(); // stmt 2
+        assert_eq!(db.row_count("users").unwrap(), 2);
+        assert_eq!(db.fault_statement_count(), 3);
+        db.set_fault_hook(None);
+        assert_eq!(db.fault_statement_count(), 0, "removal resets the index");
+    }
+
+    #[test]
+    fn fault_hook_counts_typed_statements_and_spares_txn_control() {
+        let db = setup();
+        db.set_fault_hook(Some(Arc::new(|_| false)));
+        db.begin().unwrap(); // exempt: not counted
+        db.insert_row("users", &[("name", Value::Text("a".into()))])
+            .unwrap();
+        db.select_rows("users", None, &HashMap::new()).unwrap();
+        db.update_with("users", None, &HashMap::new(), |_, _| Ok(()))
+            .unwrap();
+        db.commit().unwrap(); // exempt
+        assert_eq!(db.fault_statement_count(), 3);
+        // A hook that fails everything still lets rollback through.
+        db.set_fault_hook(Some(Arc::new(|_| true)));
+        db.begin().unwrap();
+        assert!(db
+            .insert_row("users", &[("name", Value::Text("b".into()))])
+            .is_err());
+        db.rollback().unwrap();
+        db.set_fault_hook(None);
+        assert_eq!(db.row_count("users").unwrap(), 1);
+    }
+
+    #[test]
+    fn fault_mid_transaction_rolls_back_cleanly() {
+        let db = setup();
+        db.execute("INSERT INTO users (name) VALUES ('keep')")
+            .unwrap();
+        let before = db.dump();
+        db.fail_statement(1);
+        let result = db.transaction(|db| {
+            db.insert_row("users", &[("name", Value::Text("gone".into()))])?; // stmt 0
+            db.insert_row("users", &[("name", Value::Text("never".into()))])?; // stmt 1: killed
+            Ok(())
+        });
+        assert_eq!(result.unwrap_err(), Error::FaultInjected(1));
+        db.set_fault_hook(None);
+        assert_eq!(db.dump(), before);
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub enum Error {
     Txn(String),
     /// The statement is valid SQL but unsupported by this engine.
     Unsupported(String),
+    /// A statement-level fault hook (see `Database::set_fault_hook`)
+    /// killed this statement; `0` names the statement's 0-based index
+    /// since the hook was installed. Only produced by fault-injection
+    /// tests, never by normal execution.
+    FaultInjected(u64),
 }
 
 impl fmt::Display for Error {
@@ -86,6 +91,9 @@ impl fmt::Display for Error {
             Error::UnboundParam(p) => write!(f, "unbound parameter: ${p}"),
             Error::Txn(m) => write!(f, "transaction error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::FaultInjected(i) => {
+                write!(f, "injected fault at statement index {i}")
+            }
         }
     }
 }

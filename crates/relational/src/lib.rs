@@ -43,7 +43,7 @@ pub mod storage;
 pub mod txn;
 pub mod value;
 
-pub use database::Database;
+pub use database::{Database, FaultHook};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use expr::{eval, eval_predicate, BinOp, EvalContext, Expr, UnOp};

@@ -9,6 +9,8 @@
 use std::io::Write;
 use std::path::Path;
 
+use edna_util::sha256::{sha256, DIGEST_LEN};
+
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::schema::{ColumnDef, ForeignKey, ReferentialAction, TableSchema};
@@ -298,7 +300,10 @@ pub fn decode(data: &[u8]) -> Result<Database> {
     Ok(db)
 }
 
-/// Saves the database to `path` (write-then-rename for atomicity).
+/// Saves the database to `path`: the [`encode`]d image plus a SHA-256
+/// checksum trailer, written to a temp file, fsynced, and atomically
+/// renamed into place — a crash mid-save leaves the old snapshot intact,
+/// and any other partial write is caught by the checksum at load.
 pub fn save(db: &Database, path: impl AsRef<Path>) -> Result<()> {
     let data = encode(db)?;
     let path = path.as_ref();
@@ -306,16 +311,30 @@ pub fn save(db: &Database, path: impl AsRef<Path>) -> Result<()> {
     let io = |e: std::io::Error| Error::Eval(format!("snapshot I/O: {e}"));
     let mut f = std::fs::File::create(&tmp).map_err(io)?;
     f.write_all(&data).map_err(io)?;
+    f.write_all(&sha256(&data)).map_err(io)?;
     f.sync_all().map_err(io)?;
     std::fs::rename(&tmp, path).map_err(io)?;
     Ok(())
 }
 
-/// Loads a database from `path`.
+/// Loads a database from `path`, verifying the checksum trailer [`save`]
+/// wrote. Truncation and bitflips are reported as corruption, never
+/// decoded into a wrong database.
 pub fn load(path: impl AsRef<Path>) -> Result<Database> {
     let data =
         std::fs::read(path.as_ref()).map_err(|e| Error::Eval(format!("snapshot I/O: {e}")))?;
-    decode(&data)
+    if data.len() < DIGEST_LEN {
+        return Err(Error::Eval(
+            "corrupt snapshot: too short for a checksum trailer".to_string(),
+        ));
+    }
+    let (body, sum) = data.split_at(data.len() - DIGEST_LEN);
+    if sha256(body) != sum {
+        return Err(Error::Eval(
+            "corrupt snapshot: checksum mismatch (truncated or bit-flipped)".to_string(),
+        ));
+    }
+    decode(body)
 }
 
 #[cfg(test)]
@@ -388,6 +407,31 @@ mod tests {
         save(&db, &path).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(back.dump(), db.dump());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn saved_file_corruption_is_caught_by_checksum() {
+        let db = sample();
+        let path =
+            std::env::temp_dir().join(format!("edna_snapshot_corrupt_{}.edna", std::process::id()));
+        save(&db, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation (a crash mid-write that somehow bypassed the rename).
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let err = load(&path).err().unwrap().to_string();
+        assert!(err.contains("checksum"), "got: {err}");
+
+        // A single flipped bit mid-body.
+        let mut flipped = full.clone();
+        flipped[full.len() / 2] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(load(&path).is_err());
+
+        // Intact bytes still load.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(load(&path).unwrap().dump(), db.dump());
         std::fs::remove_file(&path).unwrap();
     }
 

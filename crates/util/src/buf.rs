@@ -1,0 +1,260 @@
+//! Cursor-style byte buffers for the vault wire formats.
+//!
+//! A minimal stand-in for the `bytes` crate surface the workspace uses:
+//! [`BytesMut`] accumulates little-endian primitives and freezes into an
+//! immutable, cheaply-sliceable [`Bytes`] cursor. Readers are expected to
+//! check [`Bytes::remaining`] before decoding (the codecs do); the getters
+//! panic on underflow, matching `bytes`.
+
+use std::sync::Arc;
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian IEEE-754 `f64`.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Converts into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Copies the written bytes out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// An immutable byte buffer with a read cursor; clones and slices share
+/// the underlying allocation.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copies a byte slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Unread bytes left in the cursor.
+    pub fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether any unread bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        self.start < self.end
+    }
+
+    /// Same as [`Bytes::remaining`] (`bytes` exposes both).
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether the cursor is exhausted.
+    pub fn is_empty(&self) -> bool {
+        !self.has_remaining()
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.remaining(), "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Copies `out.len()` bytes into `out`, advancing the cursor.
+    pub fn copy_to_slice(&mut self, out: &mut [u8]) {
+        let n = out.len();
+        out.copy_from_slice(self.take(n));
+    }
+
+    /// Returns a new cursor over a sub-range of the *unread* bytes,
+    /// sharing the allocation. Accepts any range form (`..n`, `a..b`, ...).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.remaining(),
+        };
+        assert!(lo <= hi && hi <= self.remaining(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-42);
+        w.put_f64_le(1.5);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 1.5);
+        let mut out = [0u8; 3];
+        r.copy_to_slice(&mut out);
+        assert_eq!(&out, b"abc");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        b.get_u8();
+        let s = b.slice(..3);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(b.slice(2..4).as_slice(), &[3, 4]);
+        assert_eq!(b.remaining(), 5, "slice must not advance the parent");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        b.get_u32_le();
+    }
+}

@@ -1,0 +1,19 @@
+//! `edna-util`: zero-dependency utilities shared across the workspace.
+//!
+//! The workspace must build and test with no network access (no crates.io
+//! registry), so the handful of external crates the seed depended on are
+//! replaced by small in-repo implementations:
+//!
+//! - [`rng`] — a deterministic, seedable PRNG (SplitMix64 seeding feeding
+//!   xoshiro256++) behind a minimal [`rng::Rng`] trait, used by the data
+//!   generators, placeholder synthesis, and retry jitter;
+//! - [`buf`] — cursor-style byte buffers ([`buf::Bytes`] / [`buf::BytesMut`])
+//!   for the vault wire formats;
+//! - [`sha256`] — SHA-256 (FIPS 180-4), shared by the vault crypto and the
+//!   crash-consistency checksums in snapshots and vault files.
+
+#![warn(missing_docs)]
+
+pub mod buf;
+pub mod rng;
+pub mod sha256;

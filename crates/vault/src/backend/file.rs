@@ -1,39 +1,84 @@
 //! File-backed vault store: the offline-storage deployment model.
 //!
 //! Paper §4.2: "the records required to reverse account deletion might be
-//! in offline storage". Each user's vault is one append-friendly file of
-//! length-prefixed `(meta, payload)` records under a root directory. User
+//! in offline storage". Each user's vault is one append-only file of
+//! checksummed records (see [`crate::wal`]) under a root directory; user
 //! keys are hex-encoded into file names so arbitrary id renderings are
 //! safe.
+//!
+//! Crash consistency: appends are framed with per-record SHA-256
+//! checksums, rewrites (remove/purge) go through temp-file + atomic
+//! rename, and reads recover from a torn tail — the partial record a
+//! crash mid-append leaves behind — by truncating the file back to the
+//! last complete record instead of failing to load. [`FileStore::open`]
+//! also sweeps leftover `.tmp` files from interrupted rewrites.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use bytes::{Buf, Bytes, BytesMut};
-use parking_lot::Mutex;
+use edna_util::buf::{Bytes, BytesMut};
 
 use crate::entry::{EntryMeta, StoredEntry};
 use crate::error::Result;
+use crate::retry::RetryPolicy;
 use crate::serialize::{read_bytes, write_bytes};
+use crate::wal;
 
-use super::VaultStore;
+use super::{StoreStats, VaultStore};
 
 /// A vault store persisting each user's entries to one file.
 pub struct FileStore {
     root: PathBuf,
     // Serializes rewrites (remove/purge) against appends.
     lock: Mutex<()>,
+    retry: RetryPolicy,
+    retries: AtomicU64,
+    recovered_records: AtomicU64,
+    truncated_bytes: AtomicU64,
 }
 
 impl FileStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, removing any
+    /// temp files a crashed rewrite left behind. Torn record tails are
+    /// recovered lazily, on the first read of each user file.
     pub fn open(root: impl AsRef<Path>) -> Result<FileStore> {
+        Self::open_with_retry(root, RetryPolicy::NONE)
+    }
+
+    /// Like [`FileStore::open`], with transient I/O errors retried per
+    /// `retry`.
+    pub fn open_with_retry(root: impl AsRef<Path>, retry: RetryPolicy) -> Result<FileStore> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        for entry in fs::read_dir(&root)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                fs::remove_file(&path)?;
+            }
+        }
         Ok(FileStore {
             root,
             lock: Mutex::new(()),
+            retry,
+            retries: AtomicU64::new(0),
+            recovered_records: AtomicU64::new(0),
+            truncated_bytes: AtomicU64::new(0),
         })
+    }
+
+    /// Scans every user file now, truncating torn tails; returns how many
+    /// bytes were discarded. Useful right after reopening a store that may
+    /// have crashed mid-append (the CLI calls this on workspace open).
+    pub fn recover(&self) -> Result<usize> {
+        let users = self.users()?;
+        let _g = self.lock.lock().unwrap();
+        let before = self.truncated_bytes.load(Ordering::SeqCst);
+        for user in users {
+            self.read_all(&self.user_path(&user))?;
+        }
+        Ok((self.truncated_bytes.load(Ordering::SeqCst) - before) as usize)
     }
 
     fn user_path(&self, user: &str) -> PathBuf {
@@ -54,72 +99,108 @@ impl FileStore {
         String::from_utf8(bytes?).ok()
     }
 
+    /// Reads every complete record; a torn tail is truncated away on the
+    /// spot (and counted in [`StoreStats`]) rather than failing the read.
+    /// Caller must hold `self.lock`.
     fn read_all(&self, path: &Path) -> Result<Vec<StoredEntry>> {
-        let data = match fs::read(path) {
-            Ok(d) => d,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-            Err(e) => return Err(e.into()),
+        // A missing file means "no entries", not a transient fault to retry.
+        let data = match self.with_retry(|| match fs::read(path) {
+            Ok(d) => Ok(Some(d)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        })? {
+            Some(d) => d,
+            None => return Ok(Vec::new()),
         };
-        let mut buf = Bytes::from(data);
-        let mut out = Vec::new();
-        while buf.has_remaining() {
-            let meta_bytes = read_bytes(&mut buf)?;
-            let payload = read_bytes(&mut buf)?;
-            let mut mb = Bytes::from(meta_bytes);
-            let meta = EntryMeta::decode(&mut mb)?;
-            out.push(StoredEntry { meta, payload });
+        let scan = wal::scan_records(&data);
+        if scan.valid_len < data.len() {
+            let torn = scan.torn_bytes(data.len());
+            self.with_retry(|| {
+                let f = fs::OpenOptions::new().write(true).open(path)?;
+                f.set_len(scan.valid_len as u64)?;
+                f.sync_all()?;
+                Ok(())
+            })?;
+            self.truncated_bytes
+                .fetch_add(torn as u64, Ordering::SeqCst);
+            self.recovered_records
+                .fetch_add(scan.records.len() as u64, Ordering::SeqCst);
         }
-        Ok(out)
+        scan.records
+            .iter()
+            .map(|body| Self::decode_record(body))
+            .collect()
     }
 
+    /// Caller must hold `self.lock`.
     fn write_all(&self, path: &Path, entries: &[StoredEntry]) -> Result<()> {
         if entries.is_empty() {
-            match fs::remove_file(path) {
-                Ok(()) => return Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-                Err(e) => return Err(e.into()),
-            }
+            return self.with_retry(|| match fs::remove_file(path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e.into()),
+            });
         }
         let mut buf = BytesMut::new();
         for e in entries {
-            write_bytes(&mut buf, &e.meta.encode());
-            write_bytes(&mut buf, &e.payload);
+            wal::append_record(&mut buf, &Self::record_body(e));
         }
         // Write-then-rename for crash atomicity.
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, &buf)?;
-        fs::rename(&tmp, path)?;
-        Ok(())
+        self.with_retry(|| {
+            fs::write(&tmp, &buf)?;
+            fs::rename(&tmp, path)?;
+            Ok(())
+        })
     }
 
-    fn record_bytes(entry: &StoredEntry) -> Vec<u8> {
+    fn record_body(entry: &StoredEntry) -> Vec<u8> {
         let mut buf = BytesMut::new();
         write_bytes(&mut buf, &entry.meta.encode());
         write_bytes(&mut buf, &entry.payload);
         buf.to_vec()
     }
+
+    fn decode_record(body: &[u8]) -> Result<StoredEntry> {
+        let mut buf = Bytes::copy_from_slice(body);
+        let meta_bytes = read_bytes(&mut buf)?;
+        let payload = read_bytes(&mut buf)?;
+        let mut mb = Bytes::from(meta_bytes);
+        let meta = EntryMeta::decode(&mut mb)?;
+        Ok(StoredEntry { meta, payload })
+    }
+
+    fn with_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.retry.run(&self.retries, op)
+    }
+
+    fn append_bytes(&self, user: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.user_path(user);
+        self.with_retry(|| {
+            use std::io::Write;
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            f.write_all(bytes)?;
+            Ok(())
+        })
+    }
 }
 
 impl VaultStore for FileStore {
     fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
-        let _g = self.lock.lock();
-        let path = self.user_path(user);
-        use std::io::Write;
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        f.write_all(&Self::record_bytes(&entry))?;
-        Ok(())
+        let _g = self.lock.lock().unwrap();
+        self.append_bytes(user, &wal::encode_record(&Self::record_body(&entry)))
     }
 
     fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap();
         self.read_all(&self.user_path(user))
     }
 
     fn users(&self) -> Result<Vec<String>> {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap();
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.root)? {
             let path = entry?.path();
@@ -134,7 +215,7 @@ impl VaultStore for FileStore {
     }
 
     fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap();
         let path = self.user_path(user);
         let mut entries = self.read_all(&path)?;
         let before = entries.len();
@@ -148,7 +229,7 @@ impl VaultStore for FileStore {
 
     fn purge_expired(&self, now: i64) -> Result<usize> {
         let users = self.users()?;
-        let _g = self.lock.lock();
+        let _g = self.lock.lock().unwrap();
         let mut purged = 0;
         for user in users {
             let path = self.user_path(&user);
@@ -171,9 +252,25 @@ impl VaultStore for FileStore {
         }
         Ok(n)
     }
+
+    fn put_torn(&self, user: &str, entry: StoredEntry, keep: f64) -> Result<()> {
+        let _g = self.lock.lock().unwrap();
+        let record = wal::encode_record(&Self::record_body(&entry));
+        // Keep at least nothing and strictly less than the whole record,
+        // so the write is really torn.
+        let cut = ((record.len() as f64 * keep) as usize).min(record.len() - 1);
+        self.append_bytes(user, &record[..cut])
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            retries: self.retries.load(Ordering::SeqCst),
+            recovered_records: self.recovered_records.load(Ordering::SeqCst),
+            truncated_bytes: self.truncated_bytes.load(Ordering::SeqCst),
+        }
+    }
 }
 
-/// Maps malformed vault files to codec errors rather than panicking.
 impl std::fmt::Debug for FileStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileStore")
@@ -253,15 +350,100 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_an_error() {
-        let dir = tempdir("corrupt");
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tempdir("torn");
         let s = FileStore::open(&dir).unwrap();
         s.put("u", entry(1, None)).unwrap();
+        s.put("u", entry(2, None)).unwrap();
+        let path = s.user_path("u");
+        let full = fs::read(&path).unwrap();
+        // Tear the file at every point inside the second record: the first
+        // record must always survive, and a reload must settle the file.
+        let first_record_len = {
+            let scan = wal::scan_records(&full);
+            assert_eq!(scan.records.len(), 2);
+            let mut one = BytesMut::new();
+            wal::append_record(&mut one, &scan.records[0]);
+            one.len()
+        };
+        // Strictly inside the second record: a cut at the boundary is a
+        // complete file, not a torn one.
+        for cut in first_record_len + 1..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let s = FileStore::open(&dir).unwrap();
+            let got = s.list("u").unwrap();
+            assert_eq!(got, vec![entry(1, None)], "cut at {cut}");
+            assert_eq!(
+                fs::metadata(&path).unwrap().len(),
+                first_record_len as u64,
+                "file truncated back to the last complete record at cut {cut}"
+            );
+            let stats = s.stats();
+            assert_eq!(stats.recovered_records, 1);
+            assert_eq!(stats.truncated_bytes as usize, cut - first_record_len);
+            // After recovery, appends resume cleanly.
+            s.put("u", entry(3, None)).unwrap();
+            assert_eq!(s.list("u").unwrap().len(), 2);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_torn_leaves_recoverable_tail() {
+        let dir = tempdir("put_torn");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, None)).unwrap();
+        for keep in [0.0, 0.33, 0.5, 0.9, 1.0] {
+            s.put_torn("u", entry(2, None), keep).unwrap();
+            // The torn record is invisible and gets truncated away.
+            assert_eq!(s.list("u").unwrap(), vec![entry(1, None)], "keep {keep}");
+        }
+        assert!(s.stats().truncated_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_recover_sweeps_all_users() {
+        let dir = tempdir("recover");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("a", entry(1, None)).unwrap();
+        s.put_torn("a", entry(2, None), 0.5).unwrap();
+        s.put("b", entry(3, None)).unwrap();
+        drop(s);
+        let s = FileStore::open(&dir).unwrap();
+        let torn = s.recover().unwrap();
+        assert!(torn > 0);
+        assert_eq!(s.recover().unwrap(), 0, "second pass finds nothing");
+        assert_eq!(s.entry_count().unwrap(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_swept_on_open() {
+        let dir = tempdir("tmp_sweep");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, None)).unwrap();
+        let tmp = s.user_path("u").with_extension("tmp");
+        fs::write(&tmp, b"half a rewrite").unwrap();
+        drop(s);
+        let s = FileStore::open(&dir).unwrap();
+        assert!(!tmp.exists(), "crashed rewrite's temp file is removed");
+        assert_eq!(s.list("u").unwrap(), vec![entry(1, None)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_mid_file_stops_at_first_bad_record() {
+        let dir = tempdir("bitflip");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("u", entry(1, None)).unwrap();
+        s.put("u", entry(2, None)).unwrap();
         let path = s.user_path("u");
         let mut data = fs::read(&path).unwrap();
-        data.truncate(data.len() - 1);
-        fs::write(&path, data).unwrap();
-        assert!(s.list("u").is_err());
+        // Flip a byte in the first record's body: nothing can be trusted.
+        data[6] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        assert!(s.list("u").unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::entry::StoredEntry;
 use crate::error::Result;
@@ -31,6 +31,7 @@ impl VaultStore for MemoryStore {
     fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
         self.entries
             .lock()
+            .unwrap()
             .entry(user.to_string())
             .or_default()
             .push(entry);
@@ -38,11 +39,17 @@ impl VaultStore for MemoryStore {
     }
 
     fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
-        Ok(self.entries.lock().get(user).cloned().unwrap_or_default())
+        Ok(self
+            .entries
+            .lock()
+            .unwrap()
+            .get(user)
+            .cloned()
+            .unwrap_or_default())
     }
 
     fn users(&self) -> Result<Vec<String>> {
-        let map = self.entries.lock();
+        let map = self.entries.lock().unwrap();
         let mut users: Vec<String> = map
             .iter()
             .filter(|(_, v)| !v.is_empty())
@@ -53,7 +60,7 @@ impl VaultStore for MemoryStore {
     }
 
     fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
-        let mut map = self.entries.lock();
+        let mut map = self.entries.lock().unwrap();
         let Some(list) = map.get_mut(user) else {
             return Ok(0);
         };
@@ -63,7 +70,7 @@ impl VaultStore for MemoryStore {
     }
 
     fn purge_expired(&self, now: i64) -> Result<usize> {
-        let mut map = self.entries.lock();
+        let mut map = self.entries.lock().unwrap();
         let mut purged = 0;
         for list in map.values_mut() {
             let before = list.len();
@@ -74,7 +81,7 @@ impl VaultStore for MemoryStore {
     }
 
     fn entry_count(&self) -> Result<usize> {
-        Ok(self.entries.lock().values().map(Vec::len).sum())
+        Ok(self.entries.lock().unwrap().values().map(Vec::len).sum())
     }
 }
 

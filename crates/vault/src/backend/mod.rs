@@ -7,21 +7,49 @@
 //! - [`MemoryStore`] — application-adjacent tables (what the prototype uses);
 //! - [`FileStore`] — offline storage on a filesystem path;
 //! - [`ThirdPartyStore`] — a latency-injecting wrapper simulating a remote
-//!   third-party vault service.
+//!   third-party vault service;
+//! - [`FaultyStore`] — a fault-injecting wrapper driven by a seedable
+//!   [`FaultPlan`], for robustness testing.
 //!
 //! Encryption is orthogonal: it is applied by [`crate::Vault`] before the
 //! payload reaches a store, so every deployment model can be encrypted.
 
+pub mod fault;
 pub mod file;
 pub mod memory;
 pub mod thirdparty;
 
+pub use fault::{FaultPlan, FaultyStore};
 pub use file::FileStore;
 pub use memory::MemoryStore;
 pub use thirdparty::ThirdPartyStore;
 
 use crate::entry::StoredEntry;
-use crate::error::Result;
+use crate::error::{Error, Result};
+
+/// Operational counters a store accumulates over its lifetime, exposed so
+/// callers can observe retries and crash recovery (tests assert on them,
+/// and `edna-core` surfaces the retry count in its disguise reports).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Operations re-attempted by a retry policy (excludes first tries).
+    pub retries: u64,
+    /// Complete records salvaged while truncating a torn tail.
+    pub recovered_records: u64,
+    /// Bytes of torn tail discarded during open-time recovery.
+    pub truncated_bytes: u64,
+}
+
+impl StoreStats {
+    /// Element-wise sum of two counters (for aggregating across tiers).
+    pub fn merge(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            retries: self.retries + other.retries,
+            recovered_records: self.recovered_records + other.recovered_records,
+            truncated_bytes: self.truncated_bytes + other.truncated_bytes,
+        }
+    }
+}
 
 /// Storage interface for opaque vault entries, keyed by user.
 ///
@@ -57,6 +85,22 @@ pub trait VaultStore: Send + Sync {
             }
         }
         Ok(total)
+    }
+
+    /// Persists only `keep` (a fraction in `0.0..1.0`) of the encoded
+    /// record, then reports success — simulating a crash mid-write. Used
+    /// by [`FaultyStore`] to exercise crash recovery; only durable stores
+    /// can model it, so the default declines.
+    fn put_torn(&self, _user: &str, _entry: StoredEntry, _keep: f64) -> Result<()> {
+        Err(Error::Unavailable(
+            "this backend cannot model torn writes".to_string(),
+        ))
+    }
+
+    /// Operational counters (retries, crash recovery). Stores without any
+    /// report zeros.
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
     }
 }
 

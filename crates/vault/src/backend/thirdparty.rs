@@ -6,20 +6,29 @@
 //! configurable per-request latency (plus optional user-approval gating)
 //! in front of any inner store, letting benchmarks explore the cost of
 //! remote vault access.
+//!
+//! Remote services fail transiently; a [`RetryPolicy`] (off by default)
+//! re-issues requests that come back with transient errors, charging the
+//! per-request latency again each attempt — a retry is another round
+//! trip. Attempts are observable via [`ThirdPartyStore::request_count`]
+//! and [`VaultStore::stats`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::entry::StoredEntry;
 use crate::error::{Error, Result};
+use crate::retry::RetryPolicy;
 
-use super::VaultStore;
+use super::{StoreStats, VaultStore};
 
 /// A latency-injecting, approval-gated wrapper around another store.
 pub struct ThirdPartyStore<S> {
     inner: S,
     per_request: Duration,
     requests: AtomicU64,
+    retry: RetryPolicy,
+    retries: AtomicU64,
     /// When true, every access requires prior user approval (paper §4.2:
     /// "access might require explicit approval by the user").
     require_approval: AtomicBool,
@@ -28,11 +37,20 @@ pub struct ThirdPartyStore<S> {
 
 impl<S: VaultStore> ThirdPartyStore<S> {
     /// Wraps `inner`, charging `per_request` for every store operation.
+    /// No retries; see [`ThirdPartyStore::with_retry`].
     pub fn new(inner: S, per_request: Duration) -> ThirdPartyStore<S> {
+        Self::with_retry(inner, per_request, RetryPolicy::NONE)
+    }
+
+    /// Like [`ThirdPartyStore::new`], re-issuing transiently failed
+    /// requests per `retry`.
+    pub fn with_retry(inner: S, per_request: Duration, retry: RetryPolicy) -> ThirdPartyStore<S> {
         ThirdPartyStore {
             inner,
             per_request,
             requests: AtomicU64::new(0),
+            retry,
+            retries: AtomicU64::new(0),
             require_approval: AtomicBool::new(false),
             approved: AtomicBool::new(false),
         }
@@ -48,9 +66,14 @@ impl<S: VaultStore> ThirdPartyStore<S> {
         self.approved.store(approved, Ordering::SeqCst);
     }
 
-    /// Number of requests served.
+    /// Number of requests issued (retries are separate round trips).
     pub fn request_count(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests re-issued by the retry policy.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::SeqCst)
     }
 
     fn charge(&self) -> Result<()> {
@@ -66,44 +89,54 @@ impl<S: VaultStore> ThirdPartyStore<S> {
         }
         Ok(())
     }
+
+    /// One possibly-retried round trip: approval + latency, then `op`.
+    fn request<T>(&self, mut op: impl FnMut(&S) -> Result<T>) -> Result<T> {
+        self.retry.run(&self.retries, || {
+            self.charge()?;
+            op(&self.inner)
+        })
+    }
 }
 
 impl<S: VaultStore> VaultStore for ThirdPartyStore<S> {
     fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
-        self.charge()?;
-        self.inner.put(user, entry)
+        self.request(|s| s.put(user, entry.clone()))
     }
 
     fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
-        self.charge()?;
-        self.inner.list(user)
+        self.request(|s| s.list(user))
     }
 
     fn users(&self) -> Result<Vec<String>> {
-        self.charge()?;
-        self.inner.users()
+        self.request(|s| s.users())
     }
 
     fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
-        self.charge()?;
-        self.inner.remove(user, disguise_id)
+        self.request(|s| s.remove(user, disguise_id))
     }
 
     fn purge_expired(&self, now: i64) -> Result<usize> {
-        self.charge()?;
-        self.inner.purge_expired(now)
+        self.request(|s| s.purge_expired(now))
     }
 
     fn entry_count(&self) -> Result<usize> {
-        self.charge()?;
-        self.inner.entry_count()
+        self.request(|s| s.entry_count())
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            retries: self.retries.load(Ordering::SeqCst),
+            ..StoreStats::default()
+        }
+        .merge(self.inner.stats())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::MemoryStore;
+    use crate::backend::{FaultPlan, FaultyStore, MemoryStore};
     use crate::entry::EntryMeta;
 
     fn entry(id: u64) -> StoredEntry {
@@ -115,6 +148,16 @@ mod tests {
                 expires_at: None,
             },
             payload: vec![],
+        }
+    }
+
+    fn fast_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(1),
+            deadline: Duration::from_secs(2),
+            jitter_seed: 3,
         }
     }
 
@@ -143,5 +186,52 @@ mod tests {
         assert!(s.list("u").is_ok());
         s.set_approved(false);
         assert!(s.list("u").is_err());
+    }
+
+    #[test]
+    fn retry_absorbs_transient_outage() {
+        // The first op fails transiently: the put still lands, with every
+        // attempt visible as a separate round trip.
+        let flaky = FaultyStore::new(
+            MemoryStore::new(),
+            FaultPlan::new(1).fail_nth(0).transient(),
+        );
+        let s = ThirdPartyStore::with_retry(flaky, Duration::ZERO, fast_retry(8));
+        s.put("u", entry(1)).unwrap();
+        assert_eq!(s.retry_count(), 1);
+        assert_eq!(s.request_count(), 2, "retry is a second round trip");
+        assert_eq!(s.list("u").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn permanent_outage_fails_within_deadline_with_observable_retries() {
+        let dead = FaultyStore::new(MemoryStore::new(), FaultPlan::new(1).error_rate(1.0));
+        // Permanent injected faults are not retried at all.
+        let s = ThirdPartyStore::with_retry(dead, Duration::ZERO, fast_retry(8));
+        assert!(s.put("u", entry(1)).is_err());
+        assert_eq!(s.retry_count(), 0);
+
+        // A *transiently* failing store that never recovers: bounded
+        // attempts, deadline respected, retry count observable.
+        let dead = FaultyStore::new(
+            MemoryStore::new(),
+            FaultPlan::new(1).error_rate(1.0).transient(),
+        );
+        let s = ThirdPartyStore::with_retry(dead, Duration::ZERO, fast_retry(5));
+        let t0 = std::time::Instant::now();
+        let err = s.put("u", entry(1)).unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(2) + Duration::from_millis(500));
+        assert!(matches!(err, Error::RetriesExhausted { attempts: 6, .. }));
+        assert_eq!(s.retry_count(), 5);
+        assert_eq!(s.stats().retries, 5);
+    }
+
+    #[test]
+    fn approval_denial_is_not_retried() {
+        let s = ThirdPartyStore::with_retry(MemoryStore::new(), Duration::ZERO, fast_retry(8));
+        s.require_approval();
+        assert!(s.list("u").is_err());
+        assert_eq!(s.retry_count(), 0, "denial is permanent, no retries");
+        assert_eq!(s.request_count(), 0);
     }
 }

@@ -7,9 +7,9 @@
 
 pub mod chacha20;
 pub mod hmac;
-pub mod sha256;
+pub use edna_util::sha256;
 
-use rand::RngCore;
+use edna_util::rng::Rng;
 
 use crate::error::{Error, Result};
 use chacha20::{chacha20_xor, KEY_LEN, NONCE_LEN};
@@ -29,7 +29,7 @@ impl std::fmt::Debug for VaultKey {
 
 impl VaultKey {
     /// Generates a fresh random key.
-    pub fn generate(rng: &mut impl RngCore) -> VaultKey {
+    pub fn generate(rng: &mut impl Rng) -> VaultKey {
         let mut k = [0u8; KEY_LEN];
         rng.fill_bytes(&mut k);
         VaultKey(k)
@@ -76,7 +76,7 @@ const TAG_LEN: usize = 32;
 pub const SEAL_OVERHEAD: usize = NONCE_LEN + TAG_LEN;
 
 /// Encrypts and authenticates `plaintext` under `key` with a random nonce.
-pub fn seal(key: &VaultKey, plaintext: &[u8], rng: &mut impl RngCore) -> Vec<u8> {
+pub fn seal(key: &VaultKey, plaintext: &[u8], rng: &mut impl Rng) -> Vec<u8> {
     let mut nonce = [0u8; NONCE_LEN];
     rng.fill_bytes(&mut nonce);
     let mut out = Vec::with_capacity(plaintext.len() + SEAL_OVERHEAD);
@@ -109,12 +109,11 @@ pub fn open(key: &VaultKey, sealed: &[u8]) -> Result<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use edna_util::rng::Prng;
 
     #[test]
     fn seal_open_round_trip() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let key = VaultKey::generate(&mut rng);
         let msg = b"reveal function payload";
         let sealed = seal(&key, msg, &mut rng);
@@ -123,7 +122,7 @@ mod tests {
 
     #[test]
     fn tampering_is_detected() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let key = VaultKey::generate(&mut rng);
         let mut sealed = seal(&key, b"payload", &mut rng);
         // Flip one ciphertext bit.
@@ -133,7 +132,7 @@ mod tests {
 
     #[test]
     fn wrong_key_fails() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let key = VaultKey::generate(&mut rng);
         let other = VaultKey::generate(&mut rng);
         let sealed = seal(&key, b"payload", &mut rng);
@@ -165,7 +164,7 @@ mod tests {
 
     #[test]
     fn nonces_differ_between_seals() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let key = VaultKey::generate(&mut rng);
         let s1 = seal(&key, b"same", &mut rng);
         let s2 = seal(&key, b"same", &mut rng);

@@ -6,7 +6,7 @@
 //! pre-disguise state; the disguising tool is responsible for re-applying
 //! any disguises that happened in between (handled in `edna-core`).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edna_util::buf::{Bytes, BytesMut};
 
 use edna_relational::Value;
 

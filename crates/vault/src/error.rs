@@ -1,4 +1,5 @@
-//! Error types for the vault subsystem.
+//! Error types for the vault subsystem, with a transient/permanent
+//! classification driving the retry policies of [`crate::retry`].
 
 use std::fmt;
 
@@ -16,8 +17,51 @@ pub enum Error {
     NoKey(String),
     /// The requested entry does not exist (e.g. expired and purged).
     NoSuchEntry { user: String, disguise_id: u64 },
+    /// The backend is temporarily unreachable or cannot serve the request
+    /// right now (simulated outage, service brown-out). Safe to retry.
+    Unavailable(String),
+    /// A fault injected by a [`crate::backend::FaultPlan`] during testing.
+    Injected {
+        op: String,
+        index: u64,
+        transient: bool,
+    },
+    /// A retry loop gave up: attempts or the overall deadline were
+    /// exhausted. Wraps the last underlying error.
+    RetriesExhausted { attempts: u32, last: Box<Error> },
     /// An error bubbled up from the relational engine.
     Relational(edna_relational::Error),
+}
+
+/// Whether an error is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The operation may succeed if retried (outage, I/O hiccup).
+    Transient,
+    /// Retrying cannot help (bad key, corrupt codec, missing entry).
+    Permanent,
+}
+
+impl Error {
+    /// Classifies this error for retry purposes.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::Io(_) | Error::Unavailable(_) => ErrorClass::Transient,
+            Error::Injected { transient, .. } => {
+                if *transient {
+                    ErrorClass::Transient
+                } else {
+                    ErrorClass::Permanent
+                }
+            }
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether a retry might succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for Error {
@@ -30,6 +74,19 @@ impl fmt::Display for Error {
             Error::NoSuchEntry { user, disguise_id } => {
                 write!(f, "no vault entry for user {user}, disguise {disguise_id}")
             }
+            Error::Unavailable(m) => write!(f, "vault unavailable: {m}"),
+            Error::Injected {
+                op,
+                index,
+                transient,
+            } => write!(
+                f,
+                "injected {} fault on vault op {op} (op index {index})",
+                if *transient { "transient" } else { "permanent" }
+            ),
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
             Error::Relational(e) => write!(f, "relational error: {e}"),
         }
     }
@@ -39,6 +96,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::RetriesExhausted { last, .. } => Some(last),
             Error::Relational(e) => Some(e),
             _ => None,
         }
@@ -59,3 +117,34 @@ impl From<edna_relational::Error> for Error {
 
 /// Convenience alias used throughout the vault crate.
 pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Error::Unavailable("down".into()).is_transient());
+        assert!(Error::Io(std::io::Error::other("disk")).is_transient());
+        assert!(!Error::Crypto("bad mac".into()).is_transient());
+        assert!(!Error::NoKey("19".into()).is_transient());
+        assert!(Error::Injected {
+            op: "put".into(),
+            index: 0,
+            transient: true
+        }
+        .is_transient());
+        assert!(!Error::Injected {
+            op: "put".into(),
+            index: 0,
+            transient: false
+        }
+        .is_transient());
+        // Giving up is terminal even if the last error was transient.
+        assert!(!Error::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(Error::Unavailable("still down".into()))
+        }
+        .is_transient());
+    }
+}

@@ -1,0 +1,277 @@
+//! Durable spool for vault writes that could not reach their backend.
+//!
+//! When a disguise is applied under the *buffer* failure policy
+//! (`edna-core`'s `VaultFailurePolicy::Buffer`) and the vault backend is
+//! down, the reveal functions are appended to this local journal instead
+//! of being dropped: the disguise stays reversible, and the spooled
+//! entries are pushed into the real vault later via
+//! `Disguiser::flush_pending_vault_writes`. Entries are stored
+//! *unencrypted* (encryption happens in [`crate::Vault::put`] at flush
+//! time), so the journal should live on trusted local storage — the same
+//! trust domain as the disguising tool itself.
+//!
+//! The journal uses the checksummed record framing of [`crate::wal`]:
+//! appends are fsynced, a torn tail from a crash mid-append is truncated
+//! away at open, and compaction after a flush rewrites the file via
+//! temp-file + atomic rename.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use edna_util::buf::{Bytes, BytesMut};
+
+use crate::entry::{EntryMeta, VaultEntry};
+use crate::error::{Error, Result};
+use crate::serialize::{read_bytes, write_bytes};
+use crate::tiered::VaultTier;
+use crate::wal;
+
+/// A durable, checksummed spool of `(tier, entry)` pairs awaiting flush.
+pub struct VaultJournal {
+    path: PathBuf,
+    lock: Mutex<()>,
+}
+
+impl VaultJournal {
+    /// Opens (creating if needed) the journal at `path`, truncating any
+    /// torn tail a crash mid-append left behind.
+    pub fn open(path: impl AsRef<Path>) -> Result<VaultJournal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() {
+            fs::remove_file(&tmp)?;
+        }
+        let journal = VaultJournal {
+            path,
+            lock: Mutex::new(()),
+        };
+        journal.recover()?;
+        Ok(journal)
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends one pending vault write.
+    pub fn append(&self, tier: VaultTier, entry: &VaultEntry) -> Result<()> {
+        let _g = self.lock.lock().unwrap();
+        use std::io::Write;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(&wal::encode_record(&Self::record_body(tier, entry)))?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Every spooled write, in append order.
+    pub fn pending(&self) -> Result<Vec<(VaultTier, VaultEntry)>> {
+        let _g = self.lock.lock().unwrap();
+        self.read_records()?
+            .iter()
+            .map(|body| Self::decode_record(body))
+            .collect()
+    }
+
+    /// Number of spooled writes.
+    pub fn len(&self) -> Result<usize> {
+        let _g = self.lock.lock().unwrap();
+        Ok(self.read_records()?.len())
+    }
+
+    /// Whether nothing is spooled.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Replaces the journal contents with `remaining` (temp-file + atomic
+    /// rename; an empty list removes the file). Used after a flush pushed
+    /// a prefix of the pending writes into the vault.
+    pub fn rewrite(&self, remaining: &[(VaultTier, VaultEntry)]) -> Result<()> {
+        let _g = self.lock.lock().unwrap();
+        if remaining.is_empty() {
+            return match fs::remove_file(&self.path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e.into()),
+            };
+        }
+        let mut buf = BytesMut::new();
+        for (tier, entry) in remaining {
+            wal::append_record(&mut buf, &Self::record_body(*tier, entry));
+        }
+        let tmp = self.path.with_extension("tmp");
+        fs::write(&tmp, &buf)?;
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    /// Truncates a torn tail, if any; returns the bytes discarded.
+    fn recover(&self) -> Result<usize> {
+        let _g = self.lock.lock().unwrap();
+        let data = match fs::read(&self.path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = wal::scan_records(&data);
+        let torn = scan.torn_bytes(data.len());
+        if torn > 0 {
+            let f = fs::OpenOptions::new().write(true).open(&self.path)?;
+            f.set_len(scan.valid_len as u64)?;
+            f.sync_all()?;
+        }
+        Ok(torn)
+    }
+
+    /// Caller must hold `self.lock`. Tails torn *after* open (by a
+    /// concurrent crash simulation) are ignored, not truncated.
+    fn read_records(&self) -> Result<Vec<Vec<u8>>> {
+        let data = match fs::read(&self.path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(wal::scan_records(&data).records)
+    }
+
+    fn record_body(tier: VaultTier, entry: &VaultEntry) -> Vec<u8> {
+        let (meta, payload) = entry.encode();
+        let mut buf = BytesMut::new();
+        buf.put_u8(match tier {
+            VaultTier::Global => 0,
+            VaultTier::PerUser => 1,
+        });
+        write_bytes(&mut buf, &meta.encode());
+        write_bytes(&mut buf, &payload);
+        buf.to_vec()
+    }
+
+    fn decode_record(body: &[u8]) -> Result<(VaultTier, VaultEntry)> {
+        let mut buf = Bytes::copy_from_slice(body);
+        if !buf.has_remaining() {
+            return Err(Error::Codec("empty journal record".to_string()));
+        }
+        let tier = match buf.get_u8() {
+            0 => VaultTier::Global,
+            1 => VaultTier::PerUser,
+            t => return Err(Error::Codec(format!("unknown journal tier tag {t}"))),
+        };
+        let meta_bytes = read_bytes(&mut buf)?;
+        let payload = read_bytes(&mut buf)?;
+        let mut mb = Bytes::from(meta_bytes);
+        let meta = EntryMeta::decode(&mut mb)?;
+        Ok((tier, VaultEntry::decode(&meta, &payload)?))
+    }
+}
+
+impl std::fmt::Debug for VaultJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VaultJournal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::RevealOp;
+    use edna_relational::Value;
+
+    fn entry(id: u64) -> VaultEntry {
+        VaultEntry {
+            disguise_id: id,
+            disguise_name: format!("d{id}"),
+            user_id: Value::Int(19),
+            ops: vec![RevealOp::ReinsertRow {
+                table: "users".to_string(),
+                columns: vec!["id".to_string()],
+                row: vec![Value::Int(19)],
+            }],
+            created_at: 5,
+            expires_at: None,
+        }
+    }
+
+    fn temppath(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("edna_journal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("pending.journal")
+    }
+
+    #[test]
+    fn spools_and_reloads_across_opens() {
+        let path = temppath("spool");
+        {
+            let j = VaultJournal::open(&path).unwrap();
+            j.append(VaultTier::Global, &entry(1)).unwrap();
+            j.append(VaultTier::PerUser, &entry(2)).unwrap();
+        }
+        let j = VaultJournal::open(&path).unwrap();
+        let pending = j.pending().unwrap();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0], (VaultTier::Global, entry(1)));
+        assert_eq!(pending[1], (VaultTier::PerUser, entry(2)));
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts_and_empty_removes() {
+        let path = temppath("rewrite");
+        let j = VaultJournal::open(&path).unwrap();
+        j.append(VaultTier::Global, &entry(1)).unwrap();
+        j.append(VaultTier::Global, &entry(2)).unwrap();
+        j.rewrite(&[(VaultTier::PerUser, entry(2))]).unwrap();
+        assert_eq!(j.pending().unwrap(), vec![(VaultTier::PerUser, entry(2))]);
+        j.rewrite(&[]).unwrap();
+        assert!(j.is_empty().unwrap());
+        assert!(!path.exists());
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovered_on_open() {
+        let path = temppath("torn");
+        {
+            let j = VaultJournal::open(&path).unwrap();
+            j.append(VaultTier::Global, &entry(1)).unwrap();
+            j.append(VaultTier::Global, &entry(2)).unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        // Tear mid-second-record: the first entry must survive every cut.
+        let first_len = {
+            let mut one = BytesMut::new();
+            wal::append_record(&mut one, &wal::scan_records(&full).records[0]);
+            one.len()
+        };
+        for cut in [full.len() - 1, full.len() - 20, first_len + 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let j = VaultJournal::open(&path).unwrap();
+            assert_eq!(j.pending().unwrap(), vec![(VaultTier::Global, entry(1))]);
+        }
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_is_swept() {
+        let path = temppath("tmp");
+        let j = VaultJournal::open(&path).unwrap();
+        j.append(VaultTier::Global, &entry(1)).unwrap();
+        fs::write(path.with_extension("tmp"), b"crashed rewrite").unwrap();
+        drop(j);
+        let j = VaultJournal::open(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(j.len().unwrap(), 1);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

@@ -14,7 +14,12 @@
 //!   third party (footnote 1);
 //! - the multi-tier design ([`TieredVault`]): global tier for bulk
 //!   disguises, external per-user encrypted tier for user-invoked ones;
-//! - entry expiry, making the corresponding disguises irreversible.
+//! - entry expiry, making the corresponding disguises irreversible;
+//! - robustness plumbing: seedable fault injection ([`FaultPlan`]),
+//!   bounded retry with deterministic jitter ([`RetryPolicy`]), a durable
+//!   spool for vault writes that could not reach their backend
+//!   ([`VaultJournal`]), and crash-consistent checksummed record framing
+//!   with torn-tail recovery ([`wal`]).
 //!
 //! # Examples
 //!
@@ -44,15 +49,23 @@ pub mod backend;
 pub mod crypto;
 pub mod entry;
 pub mod error;
+pub mod journal;
+pub mod retry;
 pub mod serialize;
 pub mod shamir;
 pub mod tiered;
 pub mod vault;
+pub mod wal;
 
-pub use backend::{FileStore, MemoryStore, ThirdPartyStore, VaultStore, GLOBAL_USER};
+pub use backend::{
+    FaultPlan, FaultyStore, FileStore, MemoryStore, StoreStats, ThirdPartyStore, VaultStore,
+    GLOBAL_USER,
+};
 pub use crypto::VaultKey;
 pub use entry::{EntryMeta, RevealOp, StoredEntry, VaultEntry};
-pub use error::{Error, Result};
+pub use error::{Error, ErrorClass, Result};
+pub use journal::VaultJournal;
+pub use retry::RetryPolicy;
 pub use shamir::{recover, split, Share, ThresholdKey};
 pub use tiered::{TieredVault, VaultTier};
 pub use vault::Vault;

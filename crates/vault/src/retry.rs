@@ -1,0 +1,194 @@
+//! Bounded retry with exponential backoff for vault backends.
+//!
+//! Remote and filesystem vaults fail transiently (paper §4.2's third-party
+//! and offline deployment models); a [`RetryPolicy`] retries those
+//! failures with exponential backoff, deterministic jitter (seeded, so
+//! tests reproduce), and an overall deadline. Permanent errors — see
+//! [`Error::class`](crate::Error::class) — are never retried, and a policy
+//! that gives up wraps the last error in
+//! [`Error::RetriesExhausted`](crate::Error::RetriesExhausted) so callers
+//! can observe the attempt count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use edna_util::rng::{Rng, SplitMix64};
+
+use crate::error::{Error, Result};
+
+/// Bounded exponential backoff with deterministic jitter and a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first try (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_delay: Duration,
+    /// Cap on any single backoff (before jitter).
+    pub max_delay: Duration,
+    /// Overall budget from first try to giving up; once exceeded, no
+    /// further retry is attempted even if `max_retries` remain.
+    pub deadline: Duration,
+    /// Seed for the jitter stream (deterministic across runs).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every error surfaces immediately.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+        deadline: Duration::ZERO,
+        jitter_seed: 0,
+    };
+
+    /// Runs `op`, retrying transient failures per this policy. Each retry
+    /// increments `retries` (shared with the store's
+    /// [`StoreStats`](crate::backend::StoreStats)).
+    pub fn run<T>(&self, retries: &AtomicU64, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let mut jitter = SplitMix64::new(self.jitter_seed);
+        let mut attempt: u32 = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => {
+                    if attempt >= self.max_retries || start.elapsed() >= self.deadline {
+                        if attempt == 0 {
+                            return Err(e);
+                        }
+                        return Err(Error::RetriesExhausted {
+                            attempts: attempt + 1,
+                            last: Box::new(e),
+                        });
+                    }
+                    attempt += 1;
+                    retries.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(self.backoff(attempt, &mut jitter, start));
+                }
+            }
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based): exponential from
+    /// `base_delay`, capped at `max_delay`, plus up to 50% jitter, clamped
+    /// so it never sleeps past the deadline.
+    fn backoff(&self, attempt: u32, jitter: &mut SplitMix64, start: Instant) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_delay);
+        let unit = (jitter.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let jittered = exp + exp.mul_f64(unit * 0.5);
+        let remaining = self.deadline.saturating_sub(start.elapsed());
+        jittered.min(remaining)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four retries, 1 ms → 50 ms backoff, 1 s deadline — sized for the
+    /// simulated backends in this workspace, not real networks.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            deadline: Duration::from_secs(1),
+            jitter_seed: 0xED4A,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky(fail_first: u64) -> (impl FnMut() -> Result<u32>, std::sync::Arc<AtomicU64>) {
+        let calls = std::sync::Arc::new(AtomicU64::new(0));
+        let c = std::sync::Arc::clone(&calls);
+        let op = move || {
+            let n = c.fetch_add(1, Ordering::SeqCst);
+            if n < fail_first {
+                Err(Error::Unavailable(format!("outage {n}")))
+            } else {
+                Ok(7)
+            }
+        };
+        (op, calls)
+    }
+
+    #[test]
+    fn transient_failures_are_absorbed() {
+        let retries = AtomicU64::new(0);
+        let (op, calls) = flaky(2);
+        let got = RetryPolicy::default().run(&retries, op).unwrap();
+        assert_eq!(got, 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(retries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let retries = AtomicU64::new(0);
+        let err = RetryPolicy::default()
+            .run::<()>(&retries, || Err(Error::Crypto("bad mac".into())))
+            .unwrap_err();
+        assert!(matches!(err, Error::Crypto(_)));
+        assert_eq!(retries.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_attempts() {
+        let retries = AtomicU64::new(0);
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(200),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 1,
+        };
+        let err = policy
+            .run::<()>(&retries, || Err(Error::Unavailable("down".into())))
+            .unwrap_err();
+        match err {
+            Error::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 4, "1 try + 3 retries");
+                assert!(matches!(*last, Error::Unavailable(_)));
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert_eq!(retries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn deadline_bounds_total_time() {
+        let retries = AtomicU64::new(0);
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(20),
+            deadline: Duration::from_millis(60),
+            jitter_seed: 2,
+        };
+        let start = Instant::now();
+        let err = policy
+            .run::<()>(&retries, || Err(Error::Unavailable("down".into())))
+            .unwrap_err();
+        let took = start.elapsed();
+        assert!(matches!(err, Error::RetriesExhausted { .. }));
+        // Bounded: the deadline plus at most one max_delay backoff.
+        assert!(took < Duration::from_millis(500), "took {took:?}");
+        assert!(retries.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let retries = AtomicU64::new(0);
+        let (op, calls) = flaky(1);
+        let err = RetryPolicy::NONE.run(&retries, op).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(retries.load(Ordering::SeqCst), 0);
+    }
+}

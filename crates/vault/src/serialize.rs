@@ -5,7 +5,7 @@
 //! length-prefixed with `u32`. The format is versioned by a leading magic
 //! byte per payload so future evolution stays detectable.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edna_util::buf::{Bytes, BytesMut};
 
 use edna_relational::Value;
 

@@ -9,7 +9,7 @@
 //! degree `threshold - 1`; share `i` evaluates the polynomial at `x = i`.
 //! Recovery uses Lagrange interpolation at `x = 0`.
 
-use rand::RngCore;
+use edna_util::rng::Rng;
 
 use crate::error::{Error, Result};
 
@@ -63,12 +63,7 @@ fn gf_inv(a: u8) -> u8 {
 /// # Errors
 ///
 /// Fails if `threshold` is 0, exceeds `shares`, or `shares > 255`.
-pub fn split(
-    secret: &[u8],
-    shares: u8,
-    threshold: u8,
-    rng: &mut impl RngCore,
-) -> Result<Vec<Share>> {
+pub fn split(secret: &[u8], shares: u8, threshold: u8, rng: &mut impl Rng) -> Result<Vec<Share>> {
     if threshold == 0 || threshold > shares {
         return Err(Error::Crypto(format!(
             "invalid threshold {threshold} for {shares} shares"
@@ -159,7 +154,7 @@ pub struct ThresholdKey {
 
 impl ThresholdKey {
     /// Splits `key_bytes` 2-of-3 among user, application, and third party.
-    pub fn split_key(key_bytes: &[u8], rng: &mut impl RngCore) -> Result<ThresholdKey> {
+    pub fn split_key(key_bytes: &[u8], rng: &mut impl Rng) -> Result<ThresholdKey> {
         let mut shares = split(key_bytes, 3, 2, rng)?;
         let third_party_share = shares.pop().expect("3 shares");
         let app_share = shares.pop().expect("2 shares");
@@ -180,8 +175,7 @@ impl ThresholdKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use edna_util::rng::Prng;
 
     #[test]
     fn gf_field_axioms_spotcheck() {
@@ -194,7 +188,7 @@ mod tests {
 
     #[test]
     fn split_recover_exact_threshold() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         let secret = b"vault master key material!".to_vec();
         let shares = split(&secret, 5, 3, &mut rng).unwrap();
         let rec = recover(&shares[1..4]).unwrap();
@@ -203,7 +197,7 @@ mod tests {
 
     #[test]
     fn recover_with_all_shares() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Prng::seed_from_u64(8);
         let secret = vec![0u8, 255, 17, 42];
         let shares = split(&secret, 4, 2, &mut rng).unwrap();
         assert_eq!(recover(&shares).unwrap(), secret);
@@ -211,7 +205,7 @@ mod tests {
 
     #[test]
     fn below_threshold_does_not_recover() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Prng::seed_from_u64(9);
         let secret = b"super secret".to_vec();
         let shares = split(&secret, 5, 3, &mut rng).unwrap();
         let rec = recover(&shares[..2]).unwrap();
@@ -220,14 +214,14 @@ mod tests {
 
     #[test]
     fn invalid_parameters_rejected() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Prng::seed_from_u64(10);
         assert!(split(b"s", 3, 0, &mut rng).is_err());
         assert!(split(b"s", 2, 3, &mut rng).is_err());
     }
 
     #[test]
     fn malformed_shares_rejected() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Prng::seed_from_u64(11);
         let shares = split(b"secret", 3, 2, &mut rng).unwrap();
         assert!(recover(&[]).is_err());
         let mut dup = vec![shares[0].clone(), shares[0].clone()];
@@ -246,7 +240,7 @@ mod tests {
 
     #[test]
     fn threshold_key_two_of_three() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Prng::seed_from_u64(12);
         let key = vec![9u8; 32];
         let tk = ThresholdKey::split_key(&key, &mut rng).unwrap();
         // Any pair recovers.

@@ -78,6 +78,11 @@ impl TieredVault {
         Ok(self.global.storage_bytes()? + self.per_user.storage_bytes()?)
     }
 
+    /// Backend operational counters summed across both tiers.
+    pub fn store_stats(&self) -> crate::backend::StoreStats {
+        self.global.store_stats().merge(self.per_user.store_stats())
+    }
+
     /// Direct access to one tier.
     pub fn tier(&self, tier: VaultTier) -> &Vault {
         match tier {

@@ -3,9 +3,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use edna_util::rng::Prng;
+use std::sync::Mutex;
 
 use edna_relational::Value;
 
@@ -24,14 +23,14 @@ enum Protection {
     /// escrow among user / application / third party (§4.2, footnote 1).
     Encrypted {
         keys: Mutex<HashMap<String, UserKeys>>,
-        rng: Mutex<StdRng>,
+        rng: Mutex<Prng>,
     },
     /// Per-user keys derived from a passphrase (KDF over passphrase and
     /// user key), so the vault can be reopened across processes (used by
     /// the CLI). No escrow: the passphrase is the root secret.
     Derived {
         passphrase: String,
-        rng: Mutex<StdRng>,
+        rng: Mutex<Prng>,
     },
 }
 
@@ -64,7 +63,7 @@ impl Vault {
             store: Box::new(store),
             protection: Protection::Encrypted {
                 keys: Mutex::new(HashMap::new()),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rng: Mutex::new(Prng::seed_from_u64(seed)),
             },
         }
     }
@@ -81,7 +80,7 @@ impl Vault {
             store: Box::new(store),
             protection: Protection::Derived {
                 passphrase: passphrase.to_string(),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rng: Mutex::new(Prng::seed_from_u64(seed)),
             },
         }
     }
@@ -110,8 +109,8 @@ impl Vault {
         let payload = match &self.protection {
             Protection::Plain => payload,
             Protection::Encrypted { keys, rng } => {
-                let mut rng = rng.lock();
-                let mut keys = keys.lock();
+                let mut rng = rng.lock().unwrap();
+                let mut keys = keys.lock().unwrap();
                 let uk = match keys.get(&user) {
                     Some(uk) => uk,
                     None => {
@@ -125,7 +124,7 @@ impl Vault {
             }
             Protection::Derived { passphrase, rng } => {
                 let key = VaultKey::derive(passphrase, user.as_bytes());
-                let mut rng = rng.lock();
+                let mut rng = rng.lock().unwrap();
                 seal(&key, &payload, &mut *rng)
             }
         };
@@ -178,6 +177,11 @@ impl Vault {
         self.store.storage_bytes()
     }
 
+    /// The backend's operational counters (retries, crash recovery).
+    pub fn store_stats(&self) -> crate::backend::StoreStats {
+        self.store.stats()
+    }
+
     /// For encrypted vaults: the user's escrow share (handed to the user or
     /// their cloud storage; the vault forgets nothing else about it).
     pub fn user_escrow_share(&self, user_id: &Value) -> Result<crate::shamir::Share> {
@@ -188,6 +192,7 @@ impl Vault {
             Protection::Encrypted { keys, .. } => {
                 let user = Self::user_key(user_id);
                 keys.lock()
+                    .unwrap()
                     .get(&user)
                     .map(|uk| uk.escrow.user_share.clone())
                     .ok_or(Error::NoKey(user))
@@ -205,7 +210,7 @@ impl Vault {
             }
             Protection::Encrypted { keys, .. } => {
                 let user = Self::user_key(user_id);
-                let keys = keys.lock();
+                let keys = keys.lock().unwrap();
                 let uk = keys.get(&user).ok_or(Error::NoKey(user))?;
                 let bytes =
                     ThresholdKey::recover_key(&uk.escrow.app_share, &uk.escrow.third_party_share)?;
@@ -221,7 +226,7 @@ impl Vault {
         let payload = match &self.protection {
             Protection::Plain => stored.payload,
             Protection::Encrypted { keys, .. } => {
-                let keys = keys.lock();
+                let keys = keys.lock().unwrap();
                 let uk = keys
                     .get(user)
                     .ok_or_else(|| Error::NoKey(user.to_string()))?;

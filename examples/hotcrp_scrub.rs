@@ -87,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compose: true,
         optimize: false,
         use_transaction: true,
+        ..ApplyOptions::default()
     };
     let report = edna.apply_with_options("HotCRP-GDPR+", Some(&Value::Int(target)), naive)?;
     println!(

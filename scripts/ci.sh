@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The repository's offline CI gate: formatting, lints, build, tests.
+# Everything runs without network access (the workspace has no external
+# dependencies), so this is exactly what a checkout needs to pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "CI green."

@@ -42,4 +42,5 @@
 pub use edna_apps as apps;
 pub use edna_core as core;
 pub use edna_relational as relational;
+pub use edna_util as util;
 pub use edna_vault as vault;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alter-18d485be17e24e3c.d: crates/relational/tests/alter.rs
+
+/root/repo/target/debug/deps/alter-18d485be17e24e3c: crates/relational/tests/alter.rs
+
+crates/relational/tests/alter.rs:

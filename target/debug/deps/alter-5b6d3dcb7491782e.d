@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alter-5b6d3dcb7491782e.d: crates/relational/tests/alter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalter-5b6d3dcb7491782e.rmeta: crates/relational/tests/alter.rs Cargo.toml
+
+crates/relational/tests/alter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

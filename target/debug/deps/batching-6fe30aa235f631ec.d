@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batching-6fe30aa235f631ec.d: crates/bench/benches/batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatching-6fe30aa235f631ec.rmeta: crates/bench/benches/batching.rs Cargo.toml
+
+crates/bench/benches/batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_studies-250583fd7ab64089.d: crates/apps/tests/case_studies.rs
+
+/root/repo/target/debug/deps/case_studies-250583fd7ab64089: crates/apps/tests/case_studies.rs
+
+crates/apps/tests/case_studies.rs:

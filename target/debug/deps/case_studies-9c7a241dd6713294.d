@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_studies-9c7a241dd6713294.d: crates/apps/tests/case_studies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_studies-9c7a241dd6713294.rmeta: crates/apps/tests/case_studies.rs Cargo.toml
+
+crates/apps/tests/case_studies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_bin-4411ba32a9f485e3.d: crates/cli/tests/cli_bin.rs
+
+/root/repo/target/debug/deps/cli_bin-4411ba32a9f485e3: crates/cli/tests/cli_bin.rs
+
+crates/cli/tests/cli_bin.rs:
+
+# env-dep:CARGO_BIN_EXE_edna=/root/repo/target/debug/edna

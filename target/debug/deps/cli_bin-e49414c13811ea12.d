@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_bin-e49414c13811ea12.d: crates/cli/tests/cli_bin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_bin-e49414c13811ea12.rmeta: crates/cli/tests/cli_bin.rs Cargo.toml
+
+crates/cli/tests/cli_bin.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_edna=placeholder:edna
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composition-7f20f33aab2d676b.d: crates/bench/benches/composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposition-7f20f33aab2d676b.rmeta: crates/bench/benches/composition.rs Cargo.toml
+
+crates/bench/benches/composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

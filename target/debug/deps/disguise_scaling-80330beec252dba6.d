@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disguise_scaling-80330beec252dba6.d: crates/bench/benches/disguise_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisguise_scaling-80330beec252dba6.rmeta: crates/bench/benches/disguise_scaling.rs Cargo.toml
+
+crates/bench/benches/disguise_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

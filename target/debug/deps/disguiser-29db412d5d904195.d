@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disguiser-29db412d5d904195.d: crates/core/tests/disguiser.rs
+
+/root/repo/target/debug/deps/disguiser-29db412d5d904195: crates/core/tests/disguiser.rs
+
+crates/core/tests/disguiser.rs:

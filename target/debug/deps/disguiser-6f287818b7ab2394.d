@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disguiser-6f287818b7ab2394.d: crates/core/tests/disguiser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisguiser-6f287818b7ab2394.rmeta: crates/core/tests/disguiser.rs Cargo.toml
+
+crates/core/tests/disguiser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edna-1e5da5b8775c610f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libedna-1e5da5b8775c610f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libedna-1e5da5b8775c610f.rmeta: src/lib.rs
+
+src/lib.rs:

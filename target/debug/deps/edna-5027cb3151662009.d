@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edna-5027cb3151662009.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/edna-5027cb3151662009: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edna-e16cd9290e16ab9c.d: src/lib.rs
+
+/root/repo/target/debug/deps/edna-e16cd9290e16ab9c: src/lib.rs
+
+src/lib.rs:

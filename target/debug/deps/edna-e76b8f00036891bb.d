@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edna-e76b8f00036891bb.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/edna-e76b8f00036891bb: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edna-fe21dbde15d8305f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedna-fe21dbde15d8305f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/edna_apps-81820a5cba19cdbc.d: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna
+
+/root/repo/target/debug/deps/edna_apps-81820a5cba19cdbc: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna
+
+crates/apps/src/lib.rs:
+crates/apps/src/hotcrp/mod.rs:
+crates/apps/src/hotcrp/generate.rs:
+crates/apps/src/hotcrp/workload.rs:
+crates/apps/src/lobsters/mod.rs:
+crates/apps/src/lobsters/generate.rs:
+crates/apps/src/loc.rs:
+crates/apps/src/names.rs:
+crates/apps/src/hotcrp/../../sql/hotcrp.sql:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna:
+crates/apps/src/lobsters/../../sql/lobsters.sql:
+crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/edna_apps-e7d7701c1021c108.d: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna Cargo.toml
+
+/root/repo/target/debug/deps/libedna_apps-e7d7701c1021c108.rmeta: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/hotcrp/mod.rs:
+crates/apps/src/hotcrp/generate.rs:
+crates/apps/src/hotcrp/workload.rs:
+crates/apps/src/lobsters/mod.rs:
+crates/apps/src/lobsters/generate.rs:
+crates/apps/src/loc.rs:
+crates/apps/src/names.rs:
+crates/apps/src/hotcrp/../../sql/hotcrp.sql:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna:
+crates/apps/src/lobsters/../../sql/lobsters.sql:
+crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

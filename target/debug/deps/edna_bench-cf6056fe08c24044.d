@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edna_bench-cf6056fe08c24044.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libedna_bench-cf6056fe08c24044.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libedna_bench-cf6056fe08c24044.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

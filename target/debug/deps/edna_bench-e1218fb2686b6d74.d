@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/edna_bench-e1218fb2686b6d74.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/edna_bench-e1218fb2686b6d74: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

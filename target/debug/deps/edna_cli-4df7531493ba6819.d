@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edna_cli-4df7531493ba6819.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/edna_cli-4df7531493ba6819: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

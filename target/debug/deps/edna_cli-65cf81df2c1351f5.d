@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edna_cli-65cf81df2c1351f5.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedna_cli-65cf81df2c1351f5.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/edna_cli-830dadafb308dfae.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libedna_cli-830dadafb308dfae.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libedna_cli-830dadafb308dfae.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

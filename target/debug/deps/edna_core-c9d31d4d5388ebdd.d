@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/edna_core-c9d31d4d5388ebdd.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr.edna crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr_plus.edna crates/core/src/spec/../../../apps/disguises/hotcrp_confanon.edna crates/core/src/spec/../../../apps/disguises/lobsters_gdpr.edna Cargo.toml
+
+/root/repo/target/debug/deps/libedna_core-c9d31d4d5388ebdd.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr.edna crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr_plus.edna crates/core/src/spec/../../../apps/disguises/hotcrp_confanon.edna crates/core/src/spec/../../../apps/disguises/lobsters_gdpr.edna Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/error.rs:
+crates/core/src/guard.rs:
+crates/core/src/history.rs:
+crates/core/src/placeholder.rs:
+crates/core/src/policy.rs:
+crates/core/src/reveal.rs:
+crates/core/src/spec/mod.rs:
+crates/core/src/spec/model.rs:
+crates/core/src/spec/parser.rs:
+crates/core/src/spec/render.rs:
+crates/core/src/spec/validate.rs:
+crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr.edna:
+crates/core/src/spec/../../../apps/disguises/hotcrp_gdpr_plus.edna:
+crates/core/src/spec/../../../apps/disguises/hotcrp_confanon.edna:
+crates/core/src/spec/../../../apps/disguises/lobsters_gdpr.edna:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/edna_core-ff749a7d85887d1f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+/root/repo/target/debug/deps/libedna_core-ff749a7d85887d1f.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+/root/repo/target/debug/deps/libedna_core-ff749a7d85887d1f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/error.rs:
+crates/core/src/guard.rs:
+crates/core/src/history.rs:
+crates/core/src/placeholder.rs:
+crates/core/src/policy.rs:
+crates/core/src/reveal.rs:
+crates/core/src/spec/mod.rs:
+crates/core/src/spec/model.rs:
+crates/core/src/spec/parser.rs:
+crates/core/src/spec/render.rs:
+crates/core/src/spec/validate.rs:

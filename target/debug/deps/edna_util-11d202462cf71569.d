@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edna_util-11d202462cf71569.d: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+/root/repo/target/debug/deps/libedna_util-11d202462cf71569.rlib: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+/root/repo/target/debug/deps/libedna_util-11d202462cf71569.rmeta: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+crates/util/src/lib.rs:
+crates/util/src/buf.rs:
+crates/util/src/rng.rs:
+crates/util/src/sha256.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/edna_util-456aba3a03714255.d: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+/root/repo/target/debug/deps/edna_util-456aba3a03714255: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+crates/util/src/lib.rs:
+crates/util/src/buf.rs:
+crates/util/src/rng.rs:
+crates/util/src/sha256.rs:

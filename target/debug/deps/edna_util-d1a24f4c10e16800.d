@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/edna_util-d1a24f4c10e16800.d: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedna_util-d1a24f4c10e16800.rmeta: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/buf.rs:
+crates/util/src/rng.rs:
+crates/util/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

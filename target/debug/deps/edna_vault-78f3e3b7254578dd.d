@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/edna_vault-78f3e3b7254578dd.d: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedna_vault-78f3e3b7254578dd.rmeta: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs Cargo.toml
+
+crates/vault/src/lib.rs:
+crates/vault/src/backend/mod.rs:
+crates/vault/src/backend/fault.rs:
+crates/vault/src/backend/file.rs:
+crates/vault/src/backend/memory.rs:
+crates/vault/src/backend/thirdparty.rs:
+crates/vault/src/crypto/mod.rs:
+crates/vault/src/crypto/chacha20.rs:
+crates/vault/src/crypto/hmac.rs:
+crates/vault/src/entry.rs:
+crates/vault/src/error.rs:
+crates/vault/src/journal.rs:
+crates/vault/src/retry.rs:
+crates/vault/src/serialize.rs:
+crates/vault/src/shamir.rs:
+crates/vault/src/tiered.rs:
+crates/vault/src/vault.rs:
+crates/vault/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/edna_vault-da4839fedd777238.d: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+/root/repo/target/debug/deps/libedna_vault-da4839fedd777238.rlib: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+/root/repo/target/debug/deps/libedna_vault-da4839fedd777238.rmeta: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+crates/vault/src/lib.rs:
+crates/vault/src/backend/mod.rs:
+crates/vault/src/backend/fault.rs:
+crates/vault/src/backend/file.rs:
+crates/vault/src/backend/memory.rs:
+crates/vault/src/backend/thirdparty.rs:
+crates/vault/src/crypto/mod.rs:
+crates/vault/src/crypto/chacha20.rs:
+crates/vault/src/crypto/hmac.rs:
+crates/vault/src/entry.rs:
+crates/vault/src/error.rs:
+crates/vault/src/journal.rs:
+crates/vault/src/retry.rs:
+crates/vault/src/serialize.rs:
+crates/vault/src/shamir.rs:
+crates/vault/src/tiered.rs:
+crates/vault/src/vault.rs:
+crates/vault/src/wal.rs:

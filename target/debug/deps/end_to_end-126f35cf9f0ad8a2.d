@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-126f35cf9f0ad8a2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-126f35cf9f0ad8a2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution-281dd6fbe103b35f.d: crates/core/tests/evolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution-281dd6fbe103b35f.rmeta: crates/core/tests/evolution.rs Cargo.toml
+
+crates/core/tests/evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

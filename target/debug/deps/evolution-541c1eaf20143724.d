@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution-541c1eaf20143724.d: crates/core/tests/evolution.rs
+
+/root/repo/target/debug/deps/evolution-541c1eaf20143724: crates/core/tests/evolution.rs
+
+crates/core/tests/evolution.rs:

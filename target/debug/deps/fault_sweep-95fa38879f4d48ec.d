@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-95fa38879f4d48ec.d: tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-95fa38879f4d48ec: tests/fault_sweep.rs
+
+tests/fault_sweep.rs:

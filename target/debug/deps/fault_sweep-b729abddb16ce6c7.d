@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-b729abddb16ce6c7.d: tests/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-b729abddb16ce6c7.rmeta: tests/fault_sweep.rs Cargo.toml
+
+tests/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

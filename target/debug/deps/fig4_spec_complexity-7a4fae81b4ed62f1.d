@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_spec_complexity-7a4fae81b4ed62f1.d: crates/bench/src/bin/fig4_spec_complexity.rs
+
+/root/repo/target/debug/deps/fig4_spec_complexity-7a4fae81b4ed62f1: crates/bench/src/bin/fig4_spec_complexity.rs
+
+crates/bench/src/bin/fig4_spec_complexity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_spec_complexity-9738afd2ac68eaa1.d: crates/bench/src/bin/fig4_spec_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_spec_complexity-9738afd2ac68eaa1.rmeta: crates/bench/src/bin/fig4_spec_complexity.rs Cargo.toml
+
+crates/bench/src/bin/fig4_spec_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_spec_complexity-a027ced7277e0672.d: crates/bench/src/bin/fig4_spec_complexity.rs
+
+/root/repo/target/debug/deps/fig4_spec_complexity-a027ced7277e0672: crates/bench/src/bin/fig4_spec_complexity.rs
+
+crates/bench/src/bin/fig4_spec_complexity.rs:

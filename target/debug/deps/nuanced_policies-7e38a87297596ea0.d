@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nuanced_policies-7e38a87297596ea0.d: crates/apps/tests/nuanced_policies.rs
+
+/root/repo/target/debug/deps/nuanced_policies-7e38a87297596ea0: crates/apps/tests/nuanced_policies.rs
+
+crates/apps/tests/nuanced_policies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nuanced_policies-eddb96ef8c37d002.d: crates/apps/tests/nuanced_policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnuanced_policies-eddb96ef8c37d002.rmeta: crates/apps/tests/nuanced_policies.rs Cargo.toml
+
+crates/apps/tests/nuanced_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3f00fe6b21f35afd.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3f00fe6b21f35afd: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_composition-7f870e37f7058fe3.d: crates/bench/src/bin/sec6_composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_composition-7f870e37f7058fe3.rmeta: crates/bench/src/bin/sec6_composition.rs Cargo.toml
+
+crates/bench/src/bin/sec6_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

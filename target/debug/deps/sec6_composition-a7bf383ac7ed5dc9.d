@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_composition-a7bf383ac7ed5dc9.d: crates/bench/src/bin/sec6_composition.rs
+
+/root/repo/target/debug/deps/sec6_composition-a7bf383ac7ed5dc9: crates/bench/src/bin/sec6_composition.rs
+
+crates/bench/src/bin/sec6_composition.rs:

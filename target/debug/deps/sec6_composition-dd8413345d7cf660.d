@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_composition-dd8413345d7cf660.d: crates/bench/src/bin/sec6_composition.rs
+
+/root/repo/target/debug/deps/sec6_composition-dd8413345d7cf660: crates/bench/src/bin/sec6_composition.rs
+
+crates/bench/src/bin/sec6_composition.rs:

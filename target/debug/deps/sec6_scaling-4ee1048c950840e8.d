@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_scaling-4ee1048c950840e8.d: crates/bench/src/bin/sec6_scaling.rs
+
+/root/repo/target/debug/deps/sec6_scaling-4ee1048c950840e8: crates/bench/src/bin/sec6_scaling.rs
+
+crates/bench/src/bin/sec6_scaling.rs:

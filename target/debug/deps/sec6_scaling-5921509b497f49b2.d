@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec6_scaling-5921509b497f49b2.d: crates/bench/src/bin/sec6_scaling.rs
+
+/root/repo/target/debug/deps/sec6_scaling-5921509b497f49b2: crates/bench/src/bin/sec6_scaling.rs
+
+crates/bench/src/bin/sec6_scaling.rs:

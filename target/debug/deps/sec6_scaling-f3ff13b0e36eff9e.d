@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_scaling-f3ff13b0e36eff9e.d: crates/bench/src/bin/sec6_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_scaling-f3ff13b0e36eff9e.rmeta: crates/bench/src/bin/sec6_scaling.rs Cargo.toml
+
+crates/bench/src/bin/sec6_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vault_backends-79e99af37943a945.d: crates/bench/benches/vault_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvault_backends-79e99af37943a945.rmeta: crates/bench/benches/vault_backends.rs Cargo.toml
+
+crates/bench/benches/vault_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vault_overhead-06bdccc919677173.d: crates/bench/src/bin/vault_overhead.rs
+
+/root/repo/target/debug/deps/vault_overhead-06bdccc919677173: crates/bench/src/bin/vault_overhead.rs
+
+crates/bench/src/bin/vault_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vault_overhead-a1a1f3c947e77b77.d: crates/bench/src/bin/vault_overhead.rs
+
+/root/repo/target/debug/deps/vault_overhead-a1a1f3c947e77b77: crates/bench/src/bin/vault_overhead.rs
+
+crates/bench/src/bin/vault_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vault_overhead-dbf0bc64c45cff4e.d: crates/bench/src/bin/vault_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvault_overhead-dbf0bc64c45cff4e.rmeta: crates/bench/src/bin/vault_overhead.rs Cargo.toml
+
+crates/bench/src/bin/vault_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_evolution-62cf3ba76162a1f0.d: examples/app_evolution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_evolution-62cf3ba76162a1f0.rmeta: examples/app_evolution.rs Cargo.toml
+
+examples/app_evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_evolution-78bccde273216d6f.d: examples/app_evolution.rs
+
+/root/repo/target/debug/examples/app_evolution-78bccde273216d6f: examples/app_evolution.rs
+
+examples/app_evolution.rs:

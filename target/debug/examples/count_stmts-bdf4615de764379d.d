@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/count_stmts-bdf4615de764379d.d: examples/count_stmts.rs
+
+/root/repo/target/debug/examples/count_stmts-bdf4615de764379d: examples/count_stmts.rs
+
+examples/count_stmts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_decay-9bc4083490c345e7.d: examples/data_decay.rs
+
+/root/repo/target/debug/examples/data_decay-9bc4083490c345e7: examples/data_decay.rs
+
+examples/data_decay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/data_decay-f57ce3155df700c0.d: examples/data_decay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdata_decay-f57ce3155df700c0.rmeta: examples/data_decay.rs Cargo.toml
+
+examples/data_decay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotcrp_scrub-51c525a4db3106e3.d: examples/hotcrp_scrub.rs
+
+/root/repo/target/debug/examples/hotcrp_scrub-51c525a4db3106e3: examples/hotcrp_scrub.rs
+
+examples/hotcrp_scrub.rs:

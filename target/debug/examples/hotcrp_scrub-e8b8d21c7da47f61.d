@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotcrp_scrub-e8b8d21c7da47f61.d: examples/hotcrp_scrub.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotcrp_scrub-e8b8d21c7da47f61.rmeta: examples/hotcrp_scrub.rs Cargo.toml
+
+examples/hotcrp_scrub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

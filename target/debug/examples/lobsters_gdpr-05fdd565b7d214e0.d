@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lobsters_gdpr-05fdd565b7d214e0.d: examples/lobsters_gdpr.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblobsters_gdpr-05fdd565b7d214e0.rmeta: examples/lobsters_gdpr.rs Cargo.toml
+
+examples/lobsters_gdpr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

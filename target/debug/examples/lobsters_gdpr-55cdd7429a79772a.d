@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lobsters_gdpr-55cdd7429a79772a.d: examples/lobsters_gdpr.rs
+
+/root/repo/target/debug/examples/lobsters_gdpr-55cdd7429a79772a: examples/lobsters_gdpr.rs
+
+examples/lobsters_gdpr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d6eec824d1d7f018.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d6eec824d1d7f018: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libedna_util.rlib: /root/repo/crates/util/src/buf.rs /root/repo/crates/util/src/lib.rs /root/repo/crates/util/src/rng.rs /root/repo/crates/util/src/sha256.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edna-a174678bbca1f168.d: src/lib.rs
+
+/root/repo/target/release/deps/libedna-a174678bbca1f168.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libedna-a174678bbca1f168.rmeta: src/lib.rs
+
+src/lib.rs:

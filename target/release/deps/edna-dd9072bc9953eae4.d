@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edna-dd9072bc9953eae4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/edna-dd9072bc9953eae4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/edna_apps-54a15a971fa230b0.d: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna
+
+/root/repo/target/release/deps/libedna_apps-54a15a971fa230b0.rlib: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna
+
+/root/repo/target/release/deps/libedna_apps-54a15a971fa230b0.rmeta: crates/apps/src/lib.rs crates/apps/src/hotcrp/mod.rs crates/apps/src/hotcrp/generate.rs crates/apps/src/hotcrp/workload.rs crates/apps/src/lobsters/mod.rs crates/apps/src/lobsters/generate.rs crates/apps/src/loc.rs crates/apps/src/names.rs crates/apps/src/hotcrp/../../sql/hotcrp.sql crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna crates/apps/src/lobsters/../../sql/lobsters.sql crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna
+
+crates/apps/src/lib.rs:
+crates/apps/src/hotcrp/mod.rs:
+crates/apps/src/hotcrp/generate.rs:
+crates/apps/src/hotcrp/workload.rs:
+crates/apps/src/lobsters/mod.rs:
+crates/apps/src/lobsters/generate.rs:
+crates/apps/src/loc.rs:
+crates/apps/src/names.rs:
+crates/apps/src/hotcrp/../../sql/hotcrp.sql:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_gdpr_plus.edna:
+crates/apps/src/hotcrp/../../disguises/hotcrp_confanon.edna:
+crates/apps/src/lobsters/../../sql/lobsters.sql:
+crates/apps/src/lobsters/../../disguises/lobsters_gdpr.edna:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/edna_bench-de11dbc701551a70.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libedna_bench-de11dbc701551a70.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libedna_bench-de11dbc701551a70.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/edna_cli-64583919aac14613.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libedna_cli-64583919aac14613.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libedna_cli-64583919aac14613.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/edna_core-5b3e05e9eb50061a.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+/root/repo/target/release/deps/libedna_core-5b3e05e9eb50061a.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+/root/repo/target/release/deps/libedna_core-5b3e05e9eb50061a.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/apply.rs crates/core/src/error.rs crates/core/src/guard.rs crates/core/src/history.rs crates/core/src/placeholder.rs crates/core/src/policy.rs crates/core/src/reveal.rs crates/core/src/spec/mod.rs crates/core/src/spec/model.rs crates/core/src/spec/parser.rs crates/core/src/spec/render.rs crates/core/src/spec/validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/apply.rs:
+crates/core/src/error.rs:
+crates/core/src/guard.rs:
+crates/core/src/history.rs:
+crates/core/src/placeholder.rs:
+crates/core/src/policy.rs:
+crates/core/src/reveal.rs:
+crates/core/src/spec/mod.rs:
+crates/core/src/spec/model.rs:
+crates/core/src/spec/parser.rs:
+crates/core/src/spec/render.rs:
+crates/core/src/spec/validate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/edna_util-d8faea59e8deae6b.d: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+/root/repo/target/release/deps/libedna_util-d8faea59e8deae6b.rlib: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+/root/repo/target/release/deps/libedna_util-d8faea59e8deae6b.rmeta: crates/util/src/lib.rs crates/util/src/buf.rs crates/util/src/rng.rs crates/util/src/sha256.rs
+
+crates/util/src/lib.rs:
+crates/util/src/buf.rs:
+crates/util/src/rng.rs:
+crates/util/src/sha256.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/edna_vault-1225f099820a5770.d: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+/root/repo/target/release/deps/libedna_vault-1225f099820a5770.rlib: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+/root/repo/target/release/deps/libedna_vault-1225f099820a5770.rmeta: crates/vault/src/lib.rs crates/vault/src/backend/mod.rs crates/vault/src/backend/fault.rs crates/vault/src/backend/file.rs crates/vault/src/backend/memory.rs crates/vault/src/backend/thirdparty.rs crates/vault/src/crypto/mod.rs crates/vault/src/crypto/chacha20.rs crates/vault/src/crypto/hmac.rs crates/vault/src/entry.rs crates/vault/src/error.rs crates/vault/src/journal.rs crates/vault/src/retry.rs crates/vault/src/serialize.rs crates/vault/src/shamir.rs crates/vault/src/tiered.rs crates/vault/src/vault.rs crates/vault/src/wal.rs
+
+crates/vault/src/lib.rs:
+crates/vault/src/backend/mod.rs:
+crates/vault/src/backend/fault.rs:
+crates/vault/src/backend/file.rs:
+crates/vault/src/backend/memory.rs:
+crates/vault/src/backend/thirdparty.rs:
+crates/vault/src/crypto/mod.rs:
+crates/vault/src/crypto/chacha20.rs:
+crates/vault/src/crypto/hmac.rs:
+crates/vault/src/entry.rs:
+crates/vault/src/error.rs:
+crates/vault/src/journal.rs:
+crates/vault/src/retry.rs:
+crates/vault/src/serialize.rs:
+crates/vault/src/shamir.rs:
+crates/vault/src/tiered.rs:
+crates/vault/src/vault.rs:
+crates/vault/src/wal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_spec_complexity-a8aa3f1560e71158.d: crates/bench/src/bin/fig4_spec_complexity.rs
+
+/root/repo/target/release/deps/fig4_spec_complexity-a8aa3f1560e71158: crates/bench/src/bin/fig4_spec_complexity.rs
+
+crates/bench/src/bin/fig4_spec_complexity.rs:

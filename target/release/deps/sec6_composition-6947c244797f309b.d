@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec6_composition-6947c244797f309b.d: crates/bench/src/bin/sec6_composition.rs
+
+/root/repo/target/release/deps/sec6_composition-6947c244797f309b: crates/bench/src/bin/sec6_composition.rs
+
+crates/bench/src/bin/sec6_composition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec6_scaling-94533a74eec6f113.d: crates/bench/src/bin/sec6_scaling.rs
+
+/root/repo/target/release/deps/sec6_scaling-94533a74eec6f113: crates/bench/src/bin/sec6_scaling.rs
+
+crates/bench/src/bin/sec6_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vault_overhead-63eaa809f48f0538.d: crates/bench/src/bin/vault_overhead.rs
+
+/root/repo/target/release/deps/vault_overhead-63eaa809f48f0538: crates/bench/src/bin/vault_overhead.rs
+
+crates/bench/src/bin/vault_overhead.rs:

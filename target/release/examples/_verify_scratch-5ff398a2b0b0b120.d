@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_scratch-5ff398a2b0b0b120.d: examples/_verify_scratch.rs
+
+/root/repo/target/release/examples/_verify_scratch-5ff398a2b0b0b120: examples/_verify_scratch.rs
+
+examples/_verify_scratch.rs:

@@ -135,6 +135,7 @@ fn naive_and_optimized_composition_reach_equivalent_privacy_states() {
             compose: true,
             optimize,
             use_transaction: true,
+            ..ApplyOptions::default()
         };
         edna.apply_with_options("HotCRP-GDPR+", Some(&Value::Int(user)), opts)
             .unwrap();
