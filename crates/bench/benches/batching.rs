@@ -1,36 +1,161 @@
 //! Ablation ABL-BATCH: the performance levers paper §6 names — "batching,
 //! parallelization, and asynchronous application could improve
-//! performance". Compares disguising several users sequentially (one big
-//! transaction each) against parallel auto-commit application, under a
-//! MySQL-like injected latency where overlap pays off.
+//! performance". Two regimes:
+//!
+//! 1. **Latency regime** (timed): disguising several users sequentially
+//!    (one big transaction each) vs. parallel auto-commit application,
+//!    under a MySQL-like injected per-statement latency where both
+//!    batching (fewer statements) and overlap (readers in parallel with
+//!    the writer) pay off.
+//! 2. **No-latency regime** (counted): a single `HotCRP-GDPR+` apply with
+//!    statement/row counters from `DisguiseReport.stats`, demonstrating
+//!    that batched transforms issue far fewer statements than rows they
+//!    write, and that a second apply of the same spec hits the statement
+//!    cache.
+//!
+//! Results land in `BENCH_batching.json` (override with `BATCHING_OUT`).
+//! Knobs: `BATCHING_SCALE` (default 0.05), `BATCHING_USERS` (default 4),
+//! `BATCHING_SAMPLES` (default 10).
 
 use std::time::Duration;
 
 use edna_apps::hotcrp::generate::HotCrpConfig;
-use edna_bench::harness::BenchGroup;
+use edna_bench::harness::{BenchGroup, CaseSummary};
 use edna_bench::{apply_many, hotcrp_env};
-use edna_relational::LatencyModel;
+use edna_relational::{LatencyModel, Value};
 
-const USERS: usize = 4;
+const LATENCY_PER_STATEMENT_US: u64 = 200;
 
 fn latency() -> LatencyModel {
     LatencyModel {
-        per_statement: Duration::from_micros(200),
+        per_statement: Duration::from_micros(LATENCY_PER_STATEMENT_US),
         per_row_written: Duration::ZERO,
     }
 }
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Statement/row counters from one no-latency `HotCRP-GDPR+` apply.
+struct ApplyCounts {
+    label: String,
+    statements: u64,
+    rows_written: u64,
+    objects: usize,
+    stmt_cache_hits: u64,
+    stmt_cache_misses: u64,
+}
+
+/// Applies `HotCRP-GDPR+` to two users of a fresh no-latency instance and
+/// returns per-apply counters. The second apply reuses every SQL shape the
+/// first parsed, so its `stmt_cache_hits` must be nonzero.
+fn no_latency_counts(scale: f64) -> Vec<ApplyCounts> {
+    let env = hotcrp_env(&HotCrpConfig::scaled(scale), None);
+    let mut out = Vec::new();
+    for (label, user) in [
+        ("first_apply", env.instance.pc_contact_ids[0]),
+        ("second_apply", env.instance.pc_contact_ids[1]),
+    ] {
+        let report = env
+            .edna
+            .apply("HotCRP-GDPR+", Some(&Value::Int(user)))
+            .expect("GDPR+ applies");
+        out.push(ApplyCounts {
+            label: label.to_string(),
+            statements: report.stats.statements,
+            rows_written: report.stats.rows_written,
+            objects: report.rows_removed + report.rows_decorrelated + report.rows_modified,
+            stmt_cache_hits: report.stats.stmt_cache_hits,
+            stmt_cache_misses: report.stats.stmt_cache_misses,
+        });
+    }
+    out
+}
+
+fn json_case(s: &CaseSummary) -> String {
+    format!(
+        "    {{\"label\": \"{}\", \"min_ms\": {:.3}, \"median_ms\": {:.3}, \
+         \"mean_ms\": {:.3}, \"samples\": {}}}",
+        s.label,
+        s.min.as_secs_f64() * 1e3,
+        s.median.as_secs_f64() * 1e3,
+        s.mean.as_secs_f64() * 1e3,
+        s.samples
+    )
+}
+
+fn json_counts(c: &ApplyCounts) -> String {
+    format!(
+        "    {{\"label\": \"{}\", \"statements\": {}, \"rows_written\": {}, \
+         \"objects\": {}, \"stmt_cache_hits\": {}, \"stmt_cache_misses\": {}}}",
+        c.label, c.statements, c.rows_written, c.objects, c.stmt_cache_hits, c.stmt_cache_misses
+    )
+}
+
 fn main() {
+    let scale = env_f64("BATCHING_SCALE", 0.05);
+    let users = env_usize("BATCHING_USERS", 4);
+    let samples = env_usize("BATCHING_SAMPLES", 10);
+
+    // Regime 1: wall-clock under injected latency.
     let mut group = BenchGroup::new("batching");
-    group.sample_size(10);
+    group.sample_size(samples);
+    let mut cases: Vec<CaseSummary> = Vec::new();
     for (label, parallel) in [("sequential_txn", false), ("parallel_autocommit", true)] {
-        group.bench(
+        cases.push(group.bench(
             label,
-            || hotcrp_env(&HotCrpConfig::scaled(0.05), Some(latency())),
+            || hotcrp_env(&HotCrpConfig::scaled(scale), Some(latency())),
             |env| {
-                let users: Vec<i64> = env.instance.pc_contact_ids[..USERS].to_vec();
-                apply_many(&env, &users, parallel)
+                let ids: Vec<i64> = env.instance.pc_contact_ids[..users].to_vec();
+                apply_many(&env, &ids, parallel)
             },
+        ));
+    }
+    let speedup = cases[0].median.as_secs_f64() / cases[1].median.as_secs_f64().max(1e-9);
+    println!("  speedup (sequential/parallel median): {speedup:.2}x");
+
+    // Regime 2: statement counts without latency.
+    let counts = no_latency_counts(scale);
+    for c in &counts {
+        println!(
+            "  stats/{:<14} statements {:>5}  rows_written {:>5}  objects {:>5}  \
+             stmt_cache {}h/{}m",
+            c.label,
+            c.statements,
+            c.rows_written,
+            c.objects,
+            c.stmt_cache_hits,
+            c.stmt_cache_misses
         );
     }
+
+    let out_path = std::env::var("BATCHING_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_batching.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"batching\",\n  \"scale\": {scale},\n  \"users\": {users},\n  \
+         \"samples\": {samples},\n  \"latency_per_statement_us\": {LATENCY_PER_STATEMENT_US},\n  \
+         \"cases\": [\n{}\n  ],\n  \"no_latency\": [\n{}\n  ],\n  \
+         \"speedup_sequential_over_parallel\": {speedup:.3},\n  \
+         \"parallel_beats_sequential\": {}\n}}\n",
+        cases.iter().map(json_case).collect::<Vec<_>>().join(",\n"),
+        counts
+            .iter()
+            .map(json_counts)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        cases[1].median < cases[0].median
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_batching.json");
+    println!("  wrote {out_path}");
 }

@@ -17,6 +17,23 @@ pub struct BenchGroup {
     samples: usize,
 }
 
+/// Summary statistics for one benchmark case, as printed by
+/// [`BenchGroup::bench`]. Returned so callers (e.g. `benches/batching.rs`)
+/// can emit machine-readable results next to the human-readable line.
+#[derive(Debug, Clone)]
+pub struct CaseSummary {
+    /// `group/label` identifier.
+    pub label: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
 impl BenchGroup {
     /// Creates a group; prints a header.
     pub fn new(name: &str) -> BenchGroup {
@@ -34,13 +51,14 @@ impl BenchGroup {
     }
 
     /// Runs one case: `setup` produces fresh state per sample (untimed),
-    /// `routine` consumes it (timed). Prints a stats line.
+    /// `routine` consumes it (timed). Prints a stats line and returns the
+    /// summary so callers can persist it.
     pub fn bench<S, T>(
         &mut self,
         label: &str,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> T,
-    ) {
+    ) -> CaseSummary {
         let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let state = setup();
@@ -61,6 +79,13 @@ impl BenchGroup {
             mean.as_secs_f64() * 1e3,
             times.len(),
         );
+        CaseSummary {
+            label: format!("{}/{label}", self.name),
+            min,
+            median,
+            mean,
+            samples: times.len(),
+        }
     }
 }
 

@@ -166,6 +166,8 @@ pub struct ScalingPoint {
     pub objects: usize,
     /// Statements issued by the disguise.
     pub statements: u64,
+    /// Rows physically written by the disguise.
+    pub rows_written: u64,
     /// Wall-clock milliseconds.
     pub measured_ms: f64,
 }
@@ -189,6 +191,7 @@ pub fn sec6_scaling(factors: &[f64], latency: Option<LatencyModel>) -> Vec<Scali
                 factor,
                 objects: report.rows_removed + report.rows_decorrelated + report.rows_modified,
                 statements: report.stats.statements,
+                rows_written: report.stats.rows_written,
                 measured_ms: report.duration.as_secs_f64() * 1e3,
             }
         })
@@ -257,28 +260,31 @@ mod tests {
     #[test]
     fn composition_rows_have_the_papers_shape() {
         // Small instance, no latency: check orderings, not absolutes.
+        // Batched application collapses per-row UPDATEs into one statement
+        // per transform, so the work proxy here is *rows written* (physical
+        // writes stay proportional to disguised objects), not statements.
         let config = HotCrpConfig::small();
         let rows = sec6_composition(&config, None);
         assert_eq!(rows.len(), 4);
-        let independent = rows[0].statements;
-        let naive = rows[1].statements;
-        let confanon = rows[2].statements;
-        let optimized = rows[3].statements;
+        let independent = rows[0].rows_written;
+        let naive = rows[1].rows_written;
+        let confanon = rows[2].rows_written;
+        let optimized = rows[3].rows_written;
         // At the tiny test scale each of the 8 PC members owns 1/8 of the
         // reviews, so the global/per-user gap is ~4x; at paper scale
         // (30 PC) it approaches the paper's ~50x.
         assert!(
             confanon > 3 * independent,
-            "ConfAnon ({confanon}) must dwarf a single-user disguise ({independent})"
+            "ConfAnon ({confanon} rows) must dwarf a single-user disguise ({independent} rows)"
         );
         assert!(
             naive > optimized,
-            "naive composition ({naive}) must cost more than optimized ({optimized})"
+            "naive composition ({naive} rows) must cost more than optimized ({optimized} rows)"
         );
         assert!(
             optimized <= independent + independent / 2,
-            "optimized composed cost ({optimized}) should approach the independent cost \
-             ({independent})"
+            "optimized composed cost ({optimized} rows) should approach the independent cost \
+             ({independent} rows)"
         );
     }
 
@@ -286,16 +292,29 @@ mod tests {
     fn scaling_is_linear_in_objects() {
         let points = sec6_scaling(&[0.05, 0.1, 0.2], None);
         assert_eq!(points.len(), 3);
-        // Statements per object stays roughly constant.
+        // Rows written per object stays roughly constant (statements no
+        // longer do: batching issues one UPDATE per transform, not per row).
         let per_object: Vec<f64> = points
             .iter()
-            .map(|p| p.statements as f64 / p.objects.max(1) as f64)
+            .map(|p| p.rows_written as f64 / p.objects.max(1) as f64)
             .collect();
         let min = per_object.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per_object.iter().cloned().fold(0.0, f64::max);
         assert!(
             max / min < 2.0,
-            "statements-per-object should be near-constant, got {per_object:?}"
+            "rows-written-per-object should be near-constant, got {per_object:?}"
+        );
+        // Batching's whole point: statement count grows much slower than
+        // object count. 4x the objects must cost well under 4x statements.
+        let small = &points[0];
+        let large = &points[2];
+        assert!(large.objects > small.objects, "workload must actually grow");
+        let stmt_growth = large.statements as f64 / small.statements.max(1) as f64;
+        let object_growth = large.objects as f64 / small.objects.max(1) as f64;
+        assert!(
+            stmt_growth < object_growth,
+            "batched statements ({stmt_growth:.2}x) should grow slower than objects \
+             ({object_growth:.2}x)"
         );
     }
 
@@ -344,10 +363,10 @@ mod paper_scale_tests {
     #[ignore = "paper-scale smoke test; run with --release -- --ignored"]
     fn composition_shape_at_paper_scale() {
         let rows = sec6_composition(&HotCrpConfig::paper(), None);
-        let independent = rows[0].statements as f64;
-        let naive = rows[1].statements as f64;
-        let confanon = rows[2].statements as f64;
-        let optimized = rows[3].statements as f64;
+        let independent = rows[0].rows_written as f64;
+        let naive = rows[1].rows_written as f64;
+        let confanon = rows[2].rows_written as f64;
+        let optimized = rows[3].rows_written as f64;
         assert!(
             confanon / independent > 10.0,
             "ConfAnon dwarfs per-user disguises"

@@ -29,8 +29,12 @@ use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJou
 use crate::analysis::{plan_composition, CompositionPlan};
 use crate::error::{Error, Result};
 use crate::history::HistoryLog;
-use crate::placeholder::create_placeholder;
+use crate::placeholder::create_placeholders;
 use crate::spec::{validate_spec, DisguiseSpec, PredicatedTransform, Transformation};
+
+/// One batch of pk-keyed updates, as `Database::update_rows_by_pk` takes
+/// them: `(pk, [(column index, new value)])` per row.
+type PkUpdates = Vec<(Value, Vec<(usize, Value)>)>;
 
 /// What to do when the vault write at the end of an application fails
 /// (after retries, if the backend has a [`edna_vault::RetryPolicy`]).
@@ -431,7 +435,9 @@ impl Disguiser {
         }
 
         // Redo pass: re-disguise recorrelated rows the main pass left
-        // untouched, restoring the prior disguise's protection.
+        // untouched, restoring the prior disguise's protection. Writes are
+        // collected per table and flushed in one batch each.
+        let mut redo: Vec<(String, PkUpdates)> = Vec::new();
         for r in &recorrelated {
             let schema = self.db.schema(&r.table)?;
             let pred = pk_pred(&r.pk_column, &r.pk);
@@ -449,14 +455,13 @@ impl Disguiser {
             if to_redo.is_empty() {
                 continue;
             }
-            self.db
-                .update_with(&r.table, Some(&pred), &HashMap::new(), |_, row| {
-                    for (idx, v) in &to_redo {
-                        row[*idx] = v.clone();
-                    }
-                    Ok(())
-                })?;
-            report.rows_redone += 1;
+            match redo.iter_mut().find(|(t, _)| t == &r.table) {
+                Some((_, batch)) => batch.push((r.pk.clone(), to_redo)),
+                None => redo.push((r.table.clone(), vec![(r.pk.clone(), to_redo)])),
+            }
+        }
+        for (table, updates) in &redo {
+            report.rows_redone += self.db.update_rows_by_pk(table, updates)?;
         }
 
         // End-state assertions (§7): zero rows may match.
@@ -563,24 +568,26 @@ impl Disguiser {
                 let parent_schema = self.db.schema(parent_table)?;
                 let (_, parent_pk_col) = pk_of(&parent_schema, "placeholder creation")?;
                 let rows = self.db.select_rows(table, Some(&pred), params)?;
-                for row in rows {
-                    let original = row[fk_idx].clone();
-                    if original.is_null() {
-                        continue;
-                    }
-                    let placeholder_pk = {
-                        let mut rng = self.rng.lock().unwrap();
-                        create_placeholder(&self.db, spec, parent_table, &original, &mut *rng)?
-                    };
-                    report.placeholders_created += 1;
-                    let row_pred = pk_pred(&pk_col, &row[pk_idx]);
-                    let new_fk = placeholder_pk.clone();
-                    self.db
-                        .update_with(table, Some(&row_pred), &HashMap::new(), |_, r| {
-                            r[fk_idx] = new_fk.clone();
-                            Ok(())
-                        })?;
-                    report.rows_decorrelated += 1;
+                // Batched apply: one placeholder insert batch, then all
+                // fk rewrites in one engine round trip (instead of two
+                // statements per row).
+                let targets: Vec<&edna_relational::Row> =
+                    rows.iter().filter(|r| !r[fk_idx].is_null()).collect();
+                let originals: Vec<Value> = targets.iter().map(|r| r[fk_idx].clone()).collect();
+                let placeholder_pks = {
+                    let mut rng = self.rng.lock().unwrap();
+                    create_placeholders(&self.db, spec, parent_table, &originals, &mut *rng)?
+                };
+                report.placeholders_created += placeholder_pks.len();
+                let updates: Vec<(Value, Vec<(usize, Value)>)> = targets
+                    .iter()
+                    .zip(&placeholder_pks)
+                    .map(|(row, ppk)| (row[pk_idx].clone(), vec![(fk_idx, ppk.clone())]))
+                    .collect();
+                report.rows_decorrelated += self.db.update_rows_by_pk(table, &updates)?;
+                for ((row, original), placeholder_pk) in
+                    targets.iter().zip(originals).zip(placeholder_pks)
+                {
                     ops.push(RevealOp::RestoreColumns {
                         table: table.to_string(),
                         pk_column: pk_col.clone(),
@@ -599,30 +606,28 @@ impl Disguiser {
                 let (pk_idx, pk_col) = pk_of(&schema, "modification")?;
                 let col_idx = schema.require_column(column)?;
                 let rows = self.db.select_rows(table, Some(&pred), params)?;
-                for row in rows {
-                    let original = row[col_idx].clone();
-                    let new_value = {
-                        let mut rng = self.rng.lock().unwrap();
-                        modifier.apply(&original, &mut *rng)
-                    };
-                    if new_value == original {
-                        continue;
+                // Batched apply: compute every new value first (RNG draws
+                // stay in row order, so seeded runs are unchanged), then
+                // flush all column writes in one engine round trip.
+                let mut updates: Vec<(Value, Vec<(usize, Value)>)> = Vec::new();
+                {
+                    let mut rng = self.rng.lock().unwrap();
+                    for row in &rows {
+                        let original = row[col_idx].clone();
+                        let new_value = modifier.apply(&original, &mut *rng);
+                        if new_value == original {
+                            continue;
+                        }
+                        updates.push((row[pk_idx].clone(), vec![(col_idx, new_value)]));
+                        ops.push(RevealOp::RestoreColumns {
+                            table: table.to_string(),
+                            pk_column: pk_col.clone(),
+                            pk: row[pk_idx].clone(),
+                            columns: vec![(column.clone(), original)],
+                        });
                     }
-                    let row_pred = pk_pred(&pk_col, &row[pk_idx]);
-                    let nv = new_value.clone();
-                    self.db
-                        .update_with(table, Some(&row_pred), &HashMap::new(), |_, r| {
-                            r[col_idx] = nv.clone();
-                            Ok(())
-                        })?;
-                    report.rows_modified += 1;
-                    ops.push(RevealOp::RestoreColumns {
-                        table: table.to_string(),
-                        pk_column: pk_col.clone(),
-                        pk: row[pk_idx].clone(),
-                        columns: vec![(column.clone(), original)],
-                    });
                 }
+                report.rows_modified += self.db.update_rows_by_pk(table, &updates)?;
             }
         }
         Ok(())

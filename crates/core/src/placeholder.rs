@@ -7,7 +7,7 @@
 
 use edna_util::rng::Rng;
 
-use edna_relational::{Database, TableSchema, Value};
+use edna_relational::{Database, Row, TableSchema, Value};
 
 use crate::error::{Error, Result};
 use crate::spec::{DisguiseSpec, Generator};
@@ -76,6 +76,70 @@ pub fn create_placeholder(
         table: parent_table.to_string(),
         message: "could not find a free primary key after 64 attempts".to_string(),
     })
+}
+
+/// Creates one placeholder per entry of `originals`, batching the inserts
+/// into a single engine round trip when `parent_table` has an
+/// AUTO_INCREMENT primary key (the common case). Values are generated in
+/// the same per-row, schema-column order as repeated
+/// [`create_placeholder`] calls, so a seeded RNG produces identical
+/// placeholders either way. Tables with explicit primary keys fall back to
+/// per-row creation (the random-key retry loop needs per-row feedback).
+pub fn create_placeholders(
+    db: &Database,
+    spec: &DisguiseSpec,
+    parent_table: &str,
+    originals: &[Value],
+    rng: &mut impl Rng,
+) -> Result<Vec<Value>> {
+    if originals.is_empty() {
+        return Ok(Vec::new());
+    }
+    let schema = db.schema(parent_table)?;
+    let pk_index = schema.primary_key.ok_or_else(|| Error::NeedsPrimaryKey {
+        table: parent_table.to_string(),
+        context: "placeholder creation".to_string(),
+    })?;
+    if !schema.columns[pk_index].auto_increment {
+        return originals
+            .iter()
+            .map(|o| create_placeholder(db, spec, parent_table, o, rng))
+            .collect();
+    }
+    let generators = spec
+        .table(parent_table)
+        .map(|t| t.generate_placeholder.as_slice())
+        .unwrap_or(&[]);
+    let mut rows: Vec<Row> = Vec::with_capacity(originals.len());
+    for original in originals {
+        let mut row: Row = Vec::with_capacity(schema.columns.len());
+        for (i, col) in schema.columns.iter().enumerate() {
+            if i == pk_index {
+                row.push(Value::Null); // AUTO_INCREMENT assigns it.
+                continue;
+            }
+            let generator = generators
+                .iter()
+                .find(|(name, _)| name.eq_ignore_ascii_case(&col.name));
+            let v = match generator {
+                Some((_, Generator::Random)) => random_value(&schema, i, rng),
+                Some((_, Generator::Default(v))) => v.clone(),
+                Some((_, Generator::Derive { f, .. })) => f(original),
+                None => col.default.clone().unwrap_or(Value::Null),
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    db.insert_rows(parent_table, rows)?
+        .into_iter()
+        .map(|assigned| {
+            assigned.map(Value::Int).ok_or_else(|| Error::Placeholder {
+                table: parent_table.to_string(),
+                message: "AUTO_INCREMENT assigned no id".to_string(),
+            })
+        })
+        .collect()
 }
 
 /// A type-appropriate random value for `schema.columns[i]`. Text columns

@@ -657,11 +657,23 @@ fn stats_grow_linearly_with_objects() {
         .unwrap();
         let report = edna.apply("D", Some(&Value::Int(1))).unwrap();
         assert_eq!(report.rows_decorrelated, n);
-        counts.push(report.stats.statements as f64);
+        counts.push((
+            report.stats.rows_written as f64,
+            report.stats.statements as f64,
+        ));
     }
-    // Doubling the object count should roughly double the statements.
-    let r1 = counts[1] / counts[0];
-    let r2 = counts[2] / counts[1];
+    // Doubling the object count should roughly double the rows written
+    // (each note gets a placeholder insert plus an update)...
+    let r1 = counts[1].0 / counts[0].0;
+    let r2 = counts[2].0 / counts[1].0;
     assert!((1.6..=2.4).contains(&r1), "ratio {r1}");
     assert!((1.6..=2.4).contains(&r2), "ratio {r2}");
+    // ...while batching keeps the *statement* count nearly flat: the
+    // decorrelation issues one batched insert and one batched update
+    // regardless of n.
+    let s1 = counts[2].1 / counts[0].1;
+    assert!(
+        s1 < 1.5,
+        "4x the objects must not cost 4x the statements under batching, got {s1}x"
+    );
 }

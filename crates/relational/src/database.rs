@@ -1,9 +1,12 @@
 //! The public database handle.
 //!
 //! [`Database`] is cheaply cloneable (`Arc` inside) and thread-safe: all
-//! state sits behind a [`std::sync::Mutex`], statistics are atomic, and
-//! transactions serialize writers (single-writer semantics, as the paper's
-//! prototype applies each disguise in one large SQL transaction).
+//! state sits behind a [`std::sync::RwLock`] — reads (SELECTs and typed
+//! row reads) share the lock and run concurrently, while writes and
+//! transactions take it exclusively (single-writer semantics, as the
+//! paper's prototype applies each disguise in one large SQL transaction).
+//! Statistics are atomic, and repeated SQL shapes skip the parser via a
+//! per-database statement cache.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,6 +14,7 @@ use std::sync::Arc;
 
 use std::sync::{Mutex, RwLock};
 
+use crate::access::AccessPath;
 use crate::error::{Error, Result};
 use crate::exec::{Inner, QueryResult};
 use crate::expr::Expr;
@@ -35,10 +39,60 @@ use crate::value::{Row, Value};
 /// ```
 #[derive(Clone)]
 pub struct Database {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<RwLock<Inner>>,
     stats: Arc<Stats>,
     latency: Arc<RwLock<LatencyModel>>,
     fault: Arc<FaultState>,
+    stmt_cache: Arc<Mutex<StmtCache>>,
+}
+
+/// SQL texts the statement cache holds before evicting least-recently-used
+/// entries. A disguise workload repeats a handful of shapes; 256 leaves
+/// generous headroom without letting ad-hoc SQL grow the cache unboundedly.
+const STMT_CACHE_CAP: usize = 256;
+
+/// An LRU cache of parsed statements, keyed by exact SQL text.
+#[derive(Default)]
+struct StmtCache {
+    map: HashMap<String, CachedStmt>,
+    tick: u64,
+}
+
+struct CachedStmt {
+    stmt: Arc<Statement>,
+    last_used: u64,
+}
+
+impl StmtCache {
+    fn get(&mut self, sql: &str) -> Option<Arc<Statement>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(sql).map(|c| {
+            c.last_used = tick;
+            Arc::clone(&c.stmt)
+        })
+    }
+
+    fn insert(&mut self, sql: String, stmt: Arc<Statement>) {
+        if self.map.len() >= STMT_CACHE_CAP {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            sql,
+            CachedStmt {
+                stmt,
+                last_used: self.tick,
+            },
+        );
+    }
 }
 
 /// A statement-level fault hook: called with the 0-based index of each
@@ -68,10 +122,11 @@ impl Database {
     /// Creates an empty database.
     pub fn new() -> Database {
         Database {
-            inner: Arc::new(Mutex::new(Inner::new())),
+            inner: Arc::new(RwLock::new(Inner::new())),
             stats: Arc::new(Stats::default()),
             latency: Arc::new(RwLock::new(LatencyModel::NONE)),
             fault: Arc::new(FaultState::default()),
+            stmt_cache: Arc::new(Mutex::new(StmtCache::default())),
         }
     }
 
@@ -118,17 +173,37 @@ impl Database {
         self.execute_with_params(sql, &HashMap::new())
     }
 
-    /// Parses and executes one SQL statement with bound `$param`s.
+    /// Parses and executes one SQL statement with bound `$param`s. Repeat
+    /// SQL texts skip the parser via the statement cache.
     pub fn execute_with_params(
         &self,
         sql: &str,
         params: &HashMap<String, Value>,
     ) -> Result<QueryResult> {
-        let stmt = parse_statement(sql)?;
+        let stmt = self.cached_statement(sql)?;
         self.execute_stmt(&stmt, params)
     }
 
-    /// Executes a pre-parsed statement.
+    /// The parsed form of `sql`, served from the statement cache when the
+    /// exact text was executed before. Parsing happens outside the cache
+    /// lock; a racing parse of the same text is wasted work, not an error.
+    pub fn cached_statement(&self, sql: &str) -> Result<Arc<Statement>> {
+        if let Some(stmt) = self.stmt_cache.lock().unwrap().get(sql) {
+            self.stats.bump(&self.stats.stmt_cache_hits, 1);
+            return Ok(stmt);
+        }
+        self.stats.bump(&self.stats.stmt_cache_misses, 1);
+        let stmt = Arc::new(parse_statement(sql)?);
+        self.stmt_cache
+            .lock()
+            .unwrap()
+            .insert(sql.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    /// Executes a pre-parsed statement. SELECTs run under the shared (read)
+    /// lock and so proceed concurrently; everything else serializes behind
+    /// the write lock.
     pub fn execute_stmt(
         &self,
         stmt: &Statement,
@@ -148,9 +223,33 @@ impl Database {
                 self.rollback()?;
                 return Ok(QueryResult::default());
             }
+            Statement::Select(sel) => {
+                let result = {
+                    let inner = self.inner.read().unwrap();
+                    self.stats.bump(&self.stats.statements, 1);
+                    self.stats.bump(&self.stats.selects, 1);
+                    inner.select(sel, params, &self.stats)
+                };
+                let latency = *self.latency.read().unwrap();
+                latency.charge(0);
+                return result;
+            }
             _ => {}
         }
-        self.run_in_txn(|inner| inner.execute_stmt(stmt, params, &self.stats))
+        let is_ddl = matches!(
+            stmt,
+            Statement::CreateTable(_)
+                | Statement::CreateIndex { .. }
+                | Statement::DropTable { .. }
+                | Statement::AlterTable { .. }
+        );
+        let result = self.run_in_txn(|inner| inner.execute_stmt(stmt, params, &self.stats));
+        if is_ddl && result.is_ok() {
+            // Schema changed: drop cached parses so nothing stale survives
+            // (the executor's plan cache is invalidated engine-side).
+            self.stmt_cache.lock().unwrap().map.clear();
+        }
+        result
     }
 
     /// Executes a `;`-separated script, stopping at the first error (any
@@ -170,7 +269,7 @@ impl Database {
     /// callers overlap their simulated I/O.
     fn run_in_txn<T>(&self, f: impl FnOnce(&mut Inner) -> Result<T>) -> Result<T> {
         let written_before = self.stats.snapshot().rows_written;
-        let mut guard = self.inner.lock().unwrap();
+        let mut guard = self.inner.write().unwrap();
         let inner = &mut *guard;
         let result = if inner.txn.is_some() {
             let mark = inner.txn.as_ref().expect("checked").mark();
@@ -211,7 +310,7 @@ impl Database {
 
     /// Opens an explicit transaction; errors if one is already open.
     pub fn begin(&self) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.write().unwrap();
         if inner.txn.is_some() {
             return Err(Error::Txn("transaction already open".to_string()));
         }
@@ -221,7 +320,7 @@ impl Database {
 
     /// Commits the open transaction; errors if none is open.
     pub fn commit(&self) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.write().unwrap();
         match inner.txn.take() {
             Some(_) => Ok(()),
             None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
@@ -230,7 +329,7 @@ impl Database {
 
     /// Rolls back the open transaction; errors if none is open.
     pub fn rollback(&self) -> Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.write().unwrap();
         match inner.txn.take() {
             Some(txn) => {
                 inner.rollback(txn);
@@ -243,7 +342,7 @@ impl Database {
     /// Whether an explicit transaction is open.
     pub fn in_transaction(&self) -> bool {
         self.inner
-            .lock()
+            .read()
             .unwrap()
             .txn
             .as_ref()
@@ -272,12 +371,12 @@ impl Database {
 
     /// The schema of `table`.
     pub fn schema(&self, table: &str) -> Result<TableSchema> {
-        Ok(self.inner.lock().unwrap().table(table)?.schema.clone())
+        Ok(self.inner.read().unwrap().table(table)?.schema.clone())
     }
 
     /// All table names, in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         inner
             .table_order
             .iter()
@@ -287,12 +386,12 @@ impl Database {
 
     /// Whether `table` exists.
     pub fn has_table(&self, table: &str) -> bool {
-        self.inner.lock().unwrap().table(table).is_ok()
+        self.inner.read().unwrap().table(table).is_ok()
     }
 
     /// Number of live rows in `table`.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.inner.lock().unwrap().table(table)?.len())
+        Ok(self.inner.read().unwrap().table(table)?.len())
     }
 
     /// Rows of `table` matching `where_` (all rows if `None`), as full rows
@@ -307,7 +406,7 @@ impl Database {
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.selects, 1);
         let rows = {
-            let inner = self.inner.lock().unwrap();
+            let inner = self.inner.read().unwrap();
             let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
             let t = inner.table(table)?;
             ids.iter()
@@ -426,16 +525,66 @@ impl Database {
         })
     }
 
+    /// Applies a whole batch of per-row column writes under ONE lock
+    /// acquisition and ONE statement charge: each entry addresses a row by
+    /// its primary-key value and lists `(column index, new value)` writes.
+    /// Rows whose primary key no longer exists are skipped; constraints are
+    /// enforced (and undo logged) per row, so a violation anywhere rolls
+    /// back the statement's earlier rows too. Returns the number of rows
+    /// updated.
+    ///
+    /// This is the engine half of batched disguise application: a
+    /// `Decorrelate`/`Modify` transform collects its per-row rewrites and
+    /// flushes them here in one round trip instead of N.
+    pub fn update_rows_by_pk(
+        &self,
+        table: &str,
+        updates: &[(Value, Vec<(usize, Value)>)],
+    ) -> Result<usize> {
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        self.failpoint()?;
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.updates, 1);
+        self.run_in_txn(|inner| inner.update_rows_by_pk(table, updates, &self.stats))
+    }
+
+    /// Inserts a batch of fully materialized rows (all columns, in schema
+    /// order) under one lock acquisition and one statement charge,
+    /// returning the auto-increment value assigned to each. A constraint
+    /// violation anywhere fails the whole batch (statement-level rollback).
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<Vec<Option<i64>>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.failpoint()?;
+        self.stats.bump(&self.stats.statements, 1);
+        self.stats.bump(&self.stats.inserts, 1);
+        self.run_in_txn(|inner| inner.insert_rows(table, rows, &self.stats))
+    }
+
+    /// The access path execution would use for `table` under `pred` — the
+    /// same (cached) decision the executor makes, exposed for `explain`.
+    pub fn access_path(&self, table: &str, pred: Option<&Expr>) -> Result<AccessPath> {
+        let inner = self.inner.read().unwrap();
+        let t = inner.table(table)?;
+        Ok(match pred {
+            Some(p) => inner.cached_access_path(t, p, &self.stats),
+            None => AccessPath::FullScan,
+        })
+    }
+
     // ---- clock, stats, latency ----------------------------------------------
 
     /// The logical clock value returned by `NOW()`.
     pub fn now(&self) -> i64 {
-        self.inner.lock().unwrap().now
+        self.inner.read().unwrap().now
     }
 
     /// Sets the logical clock (used by expiration/decay policies).
     pub fn set_now(&self, now: i64) {
-        self.inner.lock().unwrap().now = now;
+        self.inner.write().unwrap().now = now;
     }
 
     /// A snapshot of the execution counters.
@@ -462,7 +611,7 @@ impl Database {
     /// and explicit `CREATE INDEX`es), in index-creation order — the order
     /// the executor tries them for predicate probes.
     pub fn index_columns(&self, table: &str) -> Result<Vec<String>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         let t = inner.table(table)?;
         Ok(t.indexes
             .iter()
@@ -473,7 +622,7 @@ impl Database {
     /// Extracts serializable images of every table, in creation order
     /// (used by [`crate::snapshot`]).
     pub fn snapshot_tables(&self) -> Result<Vec<crate::snapshot::TableSnapshot>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         let mut out = Vec::with_capacity(inner.table_order.len());
         for key in &inner.table_order {
             let t = &inner.tables[key];
@@ -505,7 +654,7 @@ impl Database {
     pub fn from_snapshots(snapshots: Vec<crate::snapshot::TableSnapshot>) -> Result<Database> {
         let db = Database::new();
         {
-            let mut inner = db.inner.lock().unwrap();
+            let mut inner = db.inner.write().unwrap();
             for snap in snapshots {
                 snap.schema.validate()?;
                 let key = snap.schema.name.to_lowercase();
@@ -547,7 +696,7 @@ impl Database {
     /// A deep snapshot of all table contents, for test assertions: table
     /// name → sorted rows rendered as SQL literals.
     pub fn dump(&self) -> std::collections::BTreeMap<String, Vec<String>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.read().unwrap();
         let mut out = std::collections::BTreeMap::new();
         for key in &inner.table_order {
             let t = &inner.tables[key];

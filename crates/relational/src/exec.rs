@@ -6,7 +6,9 @@
 //! constraint checks cannot be bypassed.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
+use crate::access::{choose_access_path, AccessPath};
 use crate::error::{Error, Result};
 use crate::expr::{eval, eval_predicate, BinOp, EvalContext, Expr};
 use crate::parser::{AggFunc, AlterAction, Join, JoinKind, Projection, SelectStmt, Statement};
@@ -60,7 +62,19 @@ pub(crate) struct Inner {
     pub txn: Option<Txn>,
     /// Logical clock returned by `NOW()`.
     pub now: i64,
+    /// Cached access-path decisions keyed by
+    /// `(lowercase table name, predicate text)`. The predicate text is the
+    /// *pre-bind* form (`id = $UID`), so one entry serves every binding of
+    /// a parameterized shape. Interior mutability lets the read path
+    /// populate it under the engine's shared (read) lock. Cleared by any
+    /// DDL — including DDL undone by a rollback.
+    plan_cache: Mutex<HashMap<(String, String), AccessPath>>,
 }
+
+/// Entries the plan cache may hold before it is wholesale cleared; a
+/// backstop against unbounded per-row literal predicates, far above the
+/// handful of shapes a disguise workload produces.
+const PLAN_CACHE_CAP: usize = 1024;
 
 impl Inner {
     pub fn new() -> Inner {
@@ -69,7 +83,36 @@ impl Inner {
             table_order: Vec::new(),
             txn: None,
             now: 0,
+            plan_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Drops every cached access path. Called on any schema change: a new
+    /// index can flip a scan to a probe, a drop can do the reverse.
+    fn invalidate_plans(&self) {
+        self.plan_cache.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// The access path for `table` under the *pre-bind* predicate `pred`,
+    /// served from the plan cache when the shape was seen before.
+    pub(crate) fn cached_access_path(
+        &self,
+        table: &Table,
+        pred: &Expr,
+        stats: &Stats,
+    ) -> AccessPath {
+        let key = (table.schema.name.to_lowercase(), pred.to_string());
+        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+        if let Some(path) = cache.get(&key) {
+            stats.bump(&stats.plan_cache_hits, 1);
+            return path.clone();
+        }
+        let path = choose_access_path(table, Some(pred));
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, path.clone());
+        path
     }
 
     pub fn table(&self, name: &str) -> Result<&Table> {
@@ -161,6 +204,7 @@ impl Inner {
         self.tables.insert(key.clone(), Table::new(schema));
         self.table_order.push(key);
         self.record(UndoOp::CreatedTable { name });
+        self.invalidate_plans();
         Ok(QueryResult::default())
     }
 
@@ -185,6 +229,7 @@ impl Inner {
             table: table_name,
             index: name.to_string(),
         });
+        self.invalidate_plans();
         Ok(QueryResult::default())
     }
 
@@ -197,6 +242,7 @@ impl Inner {
                     name: t.schema.name.clone(),
                     table: Box::new(t),
                 });
+                self.invalidate_plans();
                 Ok(QueryResult::default())
             }
             None if if_exists => Ok(QueryResult::default()),
@@ -303,6 +349,7 @@ impl Inner {
             name: table_name,
             table: Box::new(snapshot),
         });
+        self.invalidate_plans();
         Ok(QueryResult::default())
     }
 
@@ -556,27 +603,30 @@ impl Inner {
         };
         let t = self.table(table)?;
         let col_names: Vec<String> = t.schema.columns.iter().map(|c| c.name.clone()).collect();
-        // Index selection: find `col = const` over an indexed column.
-        let candidates: Vec<RowId> = match &bound {
-            Some(pred) => {
-                let mut via_index = None;
-                for ix in &t.indexes {
-                    let col_name = &t.schema.columns[ix.column].name;
-                    if let Some(v) = pred.equality_constant(col_name) {
-                        via_index = Some(ix.lookup(&v).to_vec());
-                        break;
-                    }
-                }
-                match via_index {
-                    Some(ids) => {
-                        stats.bump(&stats.index_probes, 1);
-                        ids
-                    }
-                    None => {
-                        stats.bump(&stats.table_scans, 1);
-                        t.row_ids()
-                    }
-                }
+        // Access-path selection goes through the shared chooser (cached on
+        // the pre-bind predicate text), so execution and `explain` decide
+        // identically. The probe value itself comes from the *bound*
+        // predicate; if it cannot be extracted (or the cached index is
+        // gone), fall back defensively to a scan.
+        let path = match where_ {
+            Some(orig) => self.cached_access_path(t, orig, stats),
+            None => AccessPath::FullScan,
+        };
+        let via_index: Option<Vec<RowId>> = match (&path, &bound) {
+            (AccessPath::IndexProbe { index, column }, Some(pred)) => {
+                pred.equality_constant(column).and_then(|v| {
+                    t.indexes
+                        .iter()
+                        .find(|ix| ix.name.eq_ignore_ascii_case(index))
+                        .map(|ix| ix.lookup(&v).to_vec())
+                })
+            }
+            _ => None,
+        };
+        let candidates: Vec<RowId> = match via_index {
+            Some(ids) => {
+                stats.bump(&stats.index_probes, 1);
+                ids
             }
             None => {
                 stats.bump(&stats.table_scans, 1);
@@ -703,6 +753,83 @@ impl Inner {
             old_row,
         });
         Ok(())
+    }
+
+    /// Applies a batch of per-row column writes, each row addressed by its
+    /// primary-key value. All constraint checks and undo logging of
+    /// [`Inner::update_row_checked`] apply per row; rows whose primary key
+    /// no longer exists are skipped. Returns the number of rows updated.
+    pub fn update_rows_by_pk(
+        &mut self,
+        table: &str,
+        updates: &[(Value, Vec<(usize, Value)>)],
+        stats: &Stats,
+    ) -> Result<usize> {
+        let (pk_col, table_name) = {
+            let t = self.table(table)?;
+            let pk = t.schema.primary_key.ok_or_else(|| {
+                Error::Eval(format!(
+                    "{}: no primary key for batch update",
+                    t.schema.name
+                ))
+            })?;
+            (pk, t.schema.name.clone())
+        };
+        let mut affected = 0usize;
+        for (pk_value, writes) in updates {
+            let id = {
+                let t = self.table(table)?;
+                let ids = match t.index_on(pk_col) {
+                    Some(ix) => {
+                        stats.bump(&stats.index_probes, 1);
+                        ix.lookup(pk_value).to_vec()
+                    }
+                    None => {
+                        stats.bump(&stats.table_scans, 1);
+                        t.iter()
+                            .filter(|(_, r)| r[pk_col].sql_eq(pk_value) == Some(true))
+                            .map(|(id, _)| id)
+                            .collect()
+                    }
+                };
+                match ids.first() {
+                    Some(&id) => id,
+                    None => continue,
+                }
+            };
+            let mut new_row = self
+                .table(table)?
+                .get(id)
+                .ok_or_else(|| Error::Eval(format!("{table_name}: indexed row vanished")))?
+                .clone();
+            for (col, value) in writes {
+                if *col >= new_row.len() {
+                    return Err(Error::Eval(format!(
+                        "{table_name}: column index {col} out of range in batch update"
+                    )));
+                }
+                new_row[*col] = value.clone();
+            }
+            stats.bump(&stats.rows_read, 1);
+            self.update_row_checked(table, id, new_row, stats)?;
+            affected += 1;
+        }
+        Ok(affected)
+    }
+
+    /// Inserts a batch of fully materialized rows with all checks, returning
+    /// the auto-increment value assigned to each (if any).
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        stats: &Stats,
+    ) -> Result<Vec<Option<i64>>> {
+        let mut assigned = Vec::with_capacity(rows.len());
+        for row in rows {
+            assigned.push(self.insert_row_checked(table, row, stats)?);
+        }
+        Ok(assigned)
     }
 
     // ---- DELETE ------------------------------------------------------------
@@ -846,15 +973,67 @@ impl Inner {
 
     // ---- SELECT ------------------------------------------------------------
 
-    fn select(
+    pub(crate) fn select(
         &self,
         sel: &SelectStmt,
         params: &HashMap<String, Value>,
         stats: &Stats,
     ) -> Result<QueryResult> {
-        // Build the joined relation: qualified column names + rows.
-        let (mut col_names, mut rows) = self.base_relation(&sel.from, sel.from_alias.as_deref())?;
-        stats.bump(&stats.table_scans, 1);
+        let resolved_where = match &sel.where_ {
+            Some(p) => Some(self.resolve_subqueries(p, params, stats)?),
+            None => None,
+        };
+        // Build the joined relation: qualified column names + rows. A
+        // join-free SELECT asks the shared access-path chooser (the same
+        // cached decision `explain` reports) whether the WHERE clause pins
+        // an indexed column; if so only the probe's candidates are
+        // materialized. The full predicate still runs below, so a probe
+        // never changes results — only how many rows it touches.
+        let (mut col_names, mut rows) = if sel.joins.is_empty() {
+            let t = self.table(&sel.from)?;
+            let prefix = sel.from_alias.as_deref().unwrap_or(&t.schema.name);
+            let cols: Vec<String> = t
+                .schema
+                .columns
+                .iter()
+                .map(|c| format!("{prefix}.{}", c.name))
+                .collect();
+            let path = match &sel.where_ {
+                Some(orig) => self.cached_access_path(t, orig, stats),
+                None => AccessPath::FullScan,
+            };
+            let probe: Option<Vec<crate::storage::RowId>> = match &path {
+                AccessPath::IndexProbe { index, column } => resolved_where.as_ref().and_then(|p| {
+                    p.bind_params(params)
+                        .ok()
+                        .and_then(|bound| bound.equality_constant(column))
+                        .and_then(|v| {
+                            t.indexes
+                                .iter()
+                                .find(|ix| ix.name.eq_ignore_ascii_case(index))
+                                .map(|ix| ix.lookup(&v).to_vec())
+                        })
+                }),
+                AccessPath::FullScan => None,
+            };
+            let rows: Vec<Row> = match probe {
+                Some(ids) => {
+                    stats.bump(&stats.index_probes, 1);
+                    ids.into_iter()
+                        .map(|id| t.get(id).expect("index ids are live").clone())
+                        .collect()
+                }
+                None => {
+                    stats.bump(&stats.table_scans, 1);
+                    t.iter().map(|(_, r)| r.clone()).collect()
+                }
+            };
+            (cols, rows)
+        } else {
+            let base = self.base_relation(&sel.from, sel.from_alias.as_deref())?;
+            stats.bump(&stats.table_scans, 1);
+            base
+        };
         for join in &sel.joins {
             let (jc, jr) = self.base_relation(&join.table, join.alias.as_deref())?;
             (col_names, rows) =
@@ -862,10 +1041,6 @@ impl Inner {
         }
         // Filter.
         let mut filtered = Vec::new();
-        let resolved_where = match &sel.where_ {
-            Some(p) => Some(self.resolve_subqueries(p, params, stats)?),
-            None => None,
-        };
         if let Some(pred) = &resolved_where {
             for row in rows {
                 let ctx = EvalContext {
@@ -1336,8 +1511,16 @@ impl Inner {
     /// ops beyond `mark` are undone and dropped. The truncated txn is NOT
     /// reinstalled — callers do that if needed.
     pub fn rollback_to(&mut self, mut txn: Txn, mark: usize) -> Txn {
+        let mut undid_ddl = false;
         while txn.undo.len() > mark {
             let op = txn.undo.pop().expect("len checked");
+            undid_ddl |= matches!(
+                op,
+                UndoOp::CreatedTable { .. }
+                    | UndoOp::DroppedTable { .. }
+                    | UndoOp::CreatedIndex { .. }
+                    | UndoOp::AlteredTable { .. }
+            );
             match op {
                 UndoOp::Inserted { table, row_id } => {
                     if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
@@ -1382,6 +1565,9 @@ impl Inner {
                     self.tables.insert(name.to_lowercase(), *table);
                 }
             }
+        }
+        if undid_ddl {
+            self.invalidate_plans();
         }
         txn
     }

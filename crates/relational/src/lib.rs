@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod database;
 pub mod error;
 pub mod exec;
@@ -43,6 +44,7 @@ pub mod storage;
 pub mod txn;
 pub mod value;
 
+pub use access::AccessPath;
 pub use database::{Database, FaultHook};
 pub use error::{Error, Result};
 pub use exec::QueryResult;

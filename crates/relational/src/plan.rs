@@ -7,6 +7,7 @@
 //! writing disguise predicates: a disguise over an unindexed column turns
 //! every per-row operation into a scan.
 
+use crate::access::AccessPath;
 use crate::database::Database;
 use crate::error::Result;
 use crate::exec::detect_equi_join;
@@ -109,7 +110,9 @@ impl Database {
         Ok(())
     }
 
-    /// Describes the access path for one table + optional predicate.
+    /// Describes the access path for one table + optional predicate, asking
+    /// the same shared (cached) chooser the executor uses — `explain` and
+    /// execution cannot disagree on probe vs. scan.
     fn explain_access(&self, table: &str, where_: Option<&Expr>, out: &mut String) -> Result<()> {
         let schema = self.schema(table)?;
         let rows = self.row_count(table)?;
@@ -117,50 +120,17 @@ impl Database {
             None => {
                 out.push_str(&format!("  {table}: full scan ({rows} rows)\n"));
             }
-            Some(pred) => {
-                // Mirror the executor's index selection: the first index
-                // whose column the predicate pins to a constant.
-                let chosen = self.index_columns(table)?.into_iter().find(|col| {
-                    // Parameters ($UID) count as constants once bound; probe
-                    // with a bound copy when params are referenced.
-                    pred.equality_constant(col).is_some() || references_param_equality(pred, col)
-                });
-                match chosen {
-                    Some(col) => out.push_str(&format!(
-                        "  {table}: index probe on {}.{col}, then filter: {pred}\n",
-                        schema.name
-                    )),
-                    None => out.push_str(&format!(
-                        "  {table}: full scan ({rows} rows), filter: {pred}\n"
-                    )),
-                }
-            }
+            Some(pred) => match self.access_path(table, Some(pred))? {
+                AccessPath::IndexProbe { column, .. } => out.push_str(&format!(
+                    "  {table}: index probe on {}.{column}, then filter: {pred}\n",
+                    schema.name
+                )),
+                AccessPath::FullScan => out.push_str(&format!(
+                    "  {table}: full scan ({rows} rows), filter: {pred}\n"
+                )),
+            },
         }
         Ok(())
-    }
-}
-
-/// Whether the predicate conjoins `col = $param` (an index probe once the
-/// parameter is bound).
-fn references_param_equality(pred: &Expr, col: &str) -> bool {
-    use crate::expr::BinOp;
-    match pred {
-        Expr::Binary {
-            op: BinOp::Eq,
-            lhs,
-            rhs,
-        } => {
-            let is_col =
-                |e: &Expr| matches!(e, Expr::Column { name, .. } if name.eq_ignore_ascii_case(col));
-            let is_param = |e: &Expr| matches!(e, Expr::Param(_));
-            (is_col(lhs) && is_param(rhs)) || (is_col(rhs) && is_param(lhs))
-        }
-        Expr::Binary {
-            op: BinOp::And,
-            lhs,
-            rhs,
-        } => references_param_equality(lhs, col) || references_param_equality(rhs, col),
-        _ => false,
     }
 }
 

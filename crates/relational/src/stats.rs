@@ -30,6 +30,12 @@ pub struct Stats {
     pub index_probes: AtomicU64,
     /// Predicate evaluations served by a full table scan.
     pub table_scans: AtomicU64,
+    /// SQL texts served from the statement cache (parse skipped).
+    pub stmt_cache_hits: AtomicU64,
+    /// SQL texts that had to be parsed (and were then cached).
+    pub stmt_cache_misses: AtomicU64,
+    /// Access-path decisions served from the plan cache.
+    pub plan_cache_hits: AtomicU64,
 }
 
 impl Stats {
@@ -45,6 +51,9 @@ impl Stats {
             rows_written: self.rows_written.load(Ordering::Relaxed),
             index_probes: self.index_probes.load(Ordering::Relaxed),
             table_scans: self.table_scans.load(Ordering::Relaxed),
+            stmt_cache_hits: self.stmt_cache_hits.load(Ordering::Relaxed),
+            stmt_cache_misses: self.stmt_cache_misses.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -59,6 +68,9 @@ impl Stats {
         self.rows_written.store(0, Ordering::Relaxed);
         self.index_probes.store(0, Ordering::Relaxed);
         self.table_scans.store(0, Ordering::Relaxed);
+        self.stmt_cache_hits.store(0, Ordering::Relaxed);
+        self.stmt_cache_misses.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(&self, counter: &AtomicU64, by: u64) {
@@ -87,6 +99,12 @@ pub struct StatsSnapshot {
     pub index_probes: u64,
     /// Full scan count.
     pub table_scans: u64,
+    /// Statement-cache hits (SQL served without re-parsing).
+    pub stmt_cache_hits: u64,
+    /// Statement-cache misses (SQL parsed, then cached).
+    pub stmt_cache_misses: u64,
+    /// Plan-cache hits (access-path decision reused).
+    pub plan_cache_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -102,6 +120,11 @@ impl StatsSnapshot {
             rows_written: self.rows_written.saturating_sub(earlier.rows_written),
             index_probes: self.index_probes.saturating_sub(earlier.index_probes),
             table_scans: self.table_scans.saturating_sub(earlier.table_scans),
+            stmt_cache_hits: self.stmt_cache_hits.saturating_sub(earlier.stmt_cache_hits),
+            stmt_cache_misses: self
+                .stmt_cache_misses
+                .saturating_sub(earlier.stmt_cache_misses),
+            plan_cache_hits: self.plan_cache_hits.saturating_sub(earlier.plan_cache_hits),
         }
     }
 

@@ -17,7 +17,18 @@ pub type RowId = usize;
 
 /// A [`Value`] wrapper with a total order, usable as a BTreeMap key.
 #[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
 pub struct IndexKey(pub Value);
+
+impl IndexKey {
+    /// Views a borrowed [`Value`] as a borrowed `IndexKey`, so map lookups
+    /// need not clone the probe key. Sound because `IndexKey` is a
+    /// `#[repr(transparent)]` wrapper around `Value`.
+    pub fn from_ref(v: &Value) -> &IndexKey {
+        // SAFETY: repr(transparent) guarantees identical layout.
+        unsafe { &*(v as *const Value as *const IndexKey) }
+    }
+}
 
 impl Eq for IndexKey {}
 
@@ -60,7 +71,7 @@ impl Index {
     /// Row ids whose indexed column equals `key`.
     pub fn lookup(&self, key: &Value) -> &[RowId] {
         self.map
-            .get(&IndexKey(key.clone()))
+            .get(IndexKey::from_ref(key))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -70,10 +81,11 @@ impl Index {
     }
 
     fn remove(&mut self, key: &Value, row_id: RowId) {
-        if let Some(ids) = self.map.get_mut(&IndexKey(key.clone())) {
+        let k = IndexKey::from_ref(key);
+        if let Some(ids) = self.map.get_mut(k) {
             ids.retain(|&id| id != row_id);
             if ids.is_empty() {
-                self.map.remove(&IndexKey(key.clone()));
+                self.map.remove(k);
             }
         }
     }

@@ -18,4 +18,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> bench smoke (ABL-BATCH at tiny scale)"
+BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
+    cargo bench -p edna-bench --bench batching
+if [ ! -s BENCH_batching.json ]; then
+    echo "BENCH_batching.json missing or empty" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_batching.json >/dev/null
+else
+    grep -q '"parallel_beats_sequential"' BENCH_batching.json
+fi
+echo "BENCH_batching.json OK"
+
 echo "CI green."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/_probe_count-7e2151e895d095a8.d: tests/_probe_count.rs
+
+/root/repo/target/debug/deps/_probe_count-7e2151e895d095a8: tests/_probe_count.rs
+
+tests/_probe_count.rs:

@@ -5,5 +5,6 @@
 crates/bench/benches/batching.rs:
 Cargo.toml:
 
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

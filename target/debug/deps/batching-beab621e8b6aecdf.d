@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/batching-beab621e8b6aecdf.d: crates/bench/benches/batching.rs
+
+/root/repo/target/debug/deps/batching-beab621e8b6aecdf: crates/bench/benches/batching.rs
+
+crates/bench/benches/batching.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

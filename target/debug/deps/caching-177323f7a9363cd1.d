@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/caching-177323f7a9363cd1.d: crates/relational/tests/caching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcaching-177323f7a9363cd1.rmeta: crates/relational/tests/caching.rs Cargo.toml
+
+crates/relational/tests/caching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/caching-580153c4013917ae.d: crates/relational/tests/caching.rs
+
+/root/repo/target/debug/deps/caching-580153c4013917ae: crates/relational/tests/caching.rs
+
+crates/relational/tests/caching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-93db482a534b33c8.d: crates/bench/benches/composition.rs
+
+/root/repo/target/debug/deps/composition-93db482a534b33c8: crates/bench/benches/composition.rs
+
+crates/bench/benches/composition.rs:

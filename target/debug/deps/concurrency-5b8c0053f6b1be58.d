@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-5b8c0053f6b1be58.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-5b8c0053f6b1be58: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-631a4cf617a71b8a.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-631a4cf617a71b8a.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disguise_scaling-c8388d17420a8d3b.d: crates/bench/benches/disguise_scaling.rs
+
+/root/repo/target/debug/deps/disguise_scaling-c8388d17420a8d3b: crates/bench/benches/disguise_scaling.rs
+
+crates/bench/benches/disguise_scaling.rs:

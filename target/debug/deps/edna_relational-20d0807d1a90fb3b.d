@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/edna_relational-20d0807d1a90fb3b.d: crates/relational/src/lib.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
+/root/repo/target/debug/deps/edna_relational-20d0807d1a90fb3b.d: crates/relational/src/lib.rs crates/relational/src/access.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
 
-/root/repo/target/debug/deps/edna_relational-20d0807d1a90fb3b: crates/relational/src/lib.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
+/root/repo/target/debug/deps/edna_relational-20d0807d1a90fb3b: crates/relational/src/lib.rs crates/relational/src/access.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
 
 crates/relational/src/lib.rs:
+crates/relational/src/access.rs:
 crates/relational/src/database.rs:
 crates/relational/src/error.rs:
 crates/relational/src/exec.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/edna_relational-7321c3b7a3bb49d5.d: crates/relational/src/lib.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
+/root/repo/target/debug/deps/edna_relational-7321c3b7a3bb49d5.d: crates/relational/src/lib.rs crates/relational/src/access.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
 
-/root/repo/target/debug/deps/libedna_relational-7321c3b7a3bb49d5.rlib: crates/relational/src/lib.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
+/root/repo/target/debug/deps/libedna_relational-7321c3b7a3bb49d5.rlib: crates/relational/src/lib.rs crates/relational/src/access.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
 
-/root/repo/target/debug/deps/libedna_relational-7321c3b7a3bb49d5.rmeta: crates/relational/src/lib.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
+/root/repo/target/debug/deps/libedna_relational-7321c3b7a3bb49d5.rmeta: crates/relational/src/lib.rs crates/relational/src/access.rs crates/relational/src/database.rs crates/relational/src/error.rs crates/relational/src/exec.rs crates/relational/src/expr.rs crates/relational/src/lexer.rs crates/relational/src/parser.rs crates/relational/src/plan.rs crates/relational/src/schema.rs crates/relational/src/snapshot.rs crates/relational/src/stats.rs crates/relational/src/storage.rs crates/relational/src/txn.rs crates/relational/src/value.rs
 
 crates/relational/src/lib.rs:
+crates/relational/src/access.rs:
 crates/relational/src/database.rs:
 crates/relational/src/error.rs:
 crates/relational/src/exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vault_backends-f402fa8b6f6e0e95.d: crates/bench/benches/vault_backends.rs
+
+/root/repo/target/debug/deps/vault_backends-f402fa8b6f6e0e95: crates/bench/benches/vault_backends.rs
+
+crates/bench/benches/vault_backends.rs:

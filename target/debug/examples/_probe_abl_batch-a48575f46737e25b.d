@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_probe_abl_batch-a48575f46737e25b.d: examples/_probe_abl_batch.rs
+
+/root/repo/target/debug/examples/_probe_abl_batch-a48575f46737e25b: examples/_probe_abl_batch.rs
+
+examples/_probe_abl_batch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/batching-b7c64e3bd177bfe2.d: crates/bench/benches/batching.rs
+
+/root/repo/target/release/deps/batching-b7c64e3bd177bfe2: crates/bench/benches/batching.rs
+
+crates/bench/benches/batching.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/composition-42f5c6b30a71e290.d: crates/bench/benches/composition.rs
+
+/root/repo/target/release/deps/composition-42f5c6b30a71e290: crates/bench/benches/composition.rs
+
+crates/bench/benches/composition.rs:

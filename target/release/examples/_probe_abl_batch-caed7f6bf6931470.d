@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_abl_batch-caed7f6bf6931470.d: examples/_probe_abl_batch.rs
+
+/root/repo/target/release/examples/_probe_abl_batch-caed7f6bf6931470: examples/_probe_abl_batch.rs
+
+examples/_probe_abl_batch.rs:
