@@ -3,12 +3,12 @@
 
 CREATE TABLE ContactInfo (
     contactId INT PRIMARY KEY AUTO_INCREMENT,
-    firstName TEXT NOT NULL,
-    lastName TEXT NOT NULL,
-    email TEXT UNIQUE,
-    affiliation TEXT,
+    firstName TEXT NOT NULL PII,
+    lastName TEXT NOT NULL PII,
+    email TEXT UNIQUE PII,
+    affiliation TEXT PII,
     password TEXT,
-    collaborators TEXT,
+    collaborators TEXT PII,
     roles INT NOT NULL DEFAULT 0,
     disabled BOOL NOT NULL DEFAULT FALSE,
     lastLogin INT NOT NULL DEFAULT 0,
@@ -85,7 +85,7 @@ CREATE TABLE ReviewRating (
 CREATE TABLE ReviewRequest (
     requestId INT PRIMARY KEY AUTO_INCREMENT,
     paperId INT NOT NULL,
-    email TEXT,
+    email TEXT PII,
     reason TEXT,
     requestedBy INT,
     FOREIGN KEY (paperId) REFERENCES Paper(paperId),
@@ -181,7 +181,7 @@ CREATE TABLE ActionLog (
     destContactId INT,
     paperId INT,
     action TEXT NOT NULL,
-    ipaddr TEXT,
+    ipaddr TEXT PII,
     timestamp INT NOT NULL DEFAULT 0,
     FOREIGN KEY (contactId) REFERENCES ContactInfo(contactId),
     FOREIGN KEY (destContactId) REFERENCES ContactInfo(contactId),
@@ -244,9 +244,9 @@ CREATE TABLE PaperReviewArchive (
 CREATE TABLE DeletedContactInfo (
     deletedContactId INT PRIMARY KEY AUTO_INCREMENT,
     contactId INT NOT NULL,
-    firstName TEXT,
-    lastName TEXT,
-    email TEXT,
+    firstName TEXT PII,
+    lastName TEXT PII,
+    email TEXT PII,
     deletedAt INT NOT NULL DEFAULT 0
 );
 

@@ -3,10 +3,10 @@
 
 CREATE TABLE users (
     id INT PRIMARY KEY AUTO_INCREMENT,
-    username TEXT NOT NULL UNIQUE,
-    email TEXT,
-    password_digest TEXT,
-    about TEXT,
+    username TEXT NOT NULL UNIQUE PII,
+    email TEXT PII,
+    password_digest TEXT PII,
+    about TEXT PII,
     karma INT NOT NULL DEFAULT 0,
     is_admin BOOL NOT NULL DEFAULT FALSE,
     is_moderator BOOL NOT NULL DEFAULT FALSE,
@@ -107,7 +107,7 @@ CREATE TABLE hat_requests (
 CREATE TABLE invitations (
     id INT PRIMARY KEY AUTO_INCREMENT,
     user_id INT NOT NULL,
-    email TEXT,
+    email TEXT PII,
     code TEXT,
     memo TEXT,
     used_at INT,
@@ -116,8 +116,8 @@ CREATE TABLE invitations (
 
 CREATE TABLE invitation_requests (
     id INT PRIMARY KEY AUTO_INCREMENT,
-    name TEXT NOT NULL,
-    email TEXT NOT NULL,
+    name TEXT NOT NULL PII,
+    email TEXT NOT NULL PII,
     memo TEXT,
     code TEXT,
     is_verified BOOL NOT NULL DEFAULT FALSE

@@ -260,6 +260,17 @@ tables: {
       Remove(pred: "paperId IS NOT NULL AND paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
     ],
   },
+  # Non-author conflicts and access links of an orphaned paper go with it.
+  PaperConflict: {
+    transformations: [
+      Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
+  Capability: {
+    transformations: [
+      Remove(pred: "paperId IS NOT NULL AND paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),
+    ],
+  },
   Paper: {
     transformations: [
       Remove(pred: "paperId NOT IN (SELECT paperId FROM PaperConflict WHERE conflictType = 2)"),

@@ -6,6 +6,7 @@
 //! edna explain <state> "<statement>"
 //! edna load-sql <state> <file.sql> [--passphrase <p>]
 //! edna register <state> <spec.edna> [--passphrase <p>]
+//! edna check <state> [<disguise> | <spec.edna> | --all] [--deny-warnings]
 //! edna specs <state>
 //! edna apply <state> <disguise> [--user <id>] [--no-compose] [--no-optimize]
 //! edna reveal <state> (--id <n> | --latest <disguise> [--user <id>])
@@ -43,8 +44,8 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn usage() -> CliError {
     CliError(
-        "usage: edna <init|sql|explain|load-sql|register|specs|apply|reveal|history|disguised|demo> \
-         <state> [args...] (see crate docs)"
+        "usage: edna <init|sql|explain|load-sql|register|check|specs|apply|reveal|history|\
+         disguised|demo> <state> [args...] (see crate docs)"
             .to_string(),
     )
 }
@@ -93,6 +94,68 @@ fn run(args: &[String]) -> CliResult<()> {
             let mut ws = Workspace::open(&state, passphrase)?;
             let name = ws.register_spec(&dsl)?;
             println!("registered disguise {name}");
+        }
+        "check" => {
+            let ws = Workspace::open(&state, passphrase)?;
+            let deny_warnings = has_flag(args, "--deny-warnings");
+            // A positional target names a registered disguise or a spec
+            // file; absent (or `--all`) every registered spec is checked.
+            let target = args
+                .get(2)
+                .map(String::as_str)
+                .filter(|a| !a.starts_with("--"));
+            let reports: Vec<(String, Vec<edna_core::Diagnostic>)> = match target {
+                None => ws.edna.check_all(),
+                Some(t) if ws.edna.spec(t).is_ok() => vec![(t.to_string(), ws.edna.check(t)?)],
+                Some(t) if std::path::Path::new(t).exists() => {
+                    // A spec file is analyzed without registering it,
+                    // with the registered specs as composition priors.
+                    let dsl = std::fs::read_to_string(t)
+                        .map_err(|e| CliError(format!("cannot read {t}: {e}")))?;
+                    let spec = edna_core::parse_spec(&dsl)?;
+                    let names = ws.spec_names()?;
+                    let priors = names
+                        .iter()
+                        .filter(|n| **n != spec.name)
+                        .map(|n| ws.edna.spec(n))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let diags = edna_core::analyze_spec(&spec, ws.edna.database(), &priors);
+                    vec![(spec.name.clone(), diags)]
+                }
+                Some(t) => {
+                    return Err(CliError(format!(
+                        "{t} is neither a registered disguise nor a spec file"
+                    )))
+                }
+            };
+            let mut errors = 0usize;
+            let mut warnings = 0usize;
+            for (name, diags) in &reports {
+                if diags.is_empty() {
+                    println!("{name}: ok");
+                    continue;
+                }
+                errors += diags
+                    .iter()
+                    .filter(|d| d.severity == edna_core::Severity::Error)
+                    .count();
+                warnings += diags
+                    .iter()
+                    .filter(|d| d.severity == edna_core::Severity::Warning)
+                    .count();
+                println!("{name}:");
+                print!("{}", edna_core::render_report(diags));
+            }
+            if errors > 0 || (deny_warnings && warnings > 0) {
+                return Err(CliError(format!(
+                    "check failed: {errors} error(s), {warnings} warning(s){}",
+                    if deny_warnings && errors == 0 {
+                        " (--deny-warnings)"
+                    } else {
+                        ""
+                    }
+                )));
+            }
         }
         "specs" => {
             let ws = Workspace::open(&state, passphrase)?;

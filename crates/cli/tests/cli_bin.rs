@@ -124,3 +124,46 @@ fn binary_reports_errors_cleanly() {
 
     cleanup(&state);
 }
+
+#[test]
+fn check_flags_flawed_spec_and_passes_bundled_ones() {
+    let state = temp_state("check");
+    let s = state.to_str().unwrap();
+
+    let (ok, _, stderr) = edna(&["demo", s, "hotcrp", "--scale", "0.05"]);
+    assert!(ok, "demo failed: {stderr}");
+
+    // Every bundled spec is clean, even with warnings denied.
+    let (ok, stdout, stderr) = edna(&["check", s, "--all", "--deny-warnings"]);
+    assert!(ok, "bundled specs should pass: {stdout}{stderr}");
+    assert!(stdout.contains("HotCRP-GDPR: ok"), "{stdout}");
+
+    // A single registered spec can be named.
+    let (ok, stdout, _) = edna(&["check", s, "HotCRP-ConfAnon"]);
+    assert!(ok);
+    assert!(stdout.contains("HotCRP-ConfAnon: ok"), "{stdout}");
+
+    // The intentionally flawed example spec is rejected with the
+    // documented diagnostics, without being registered.
+    let flawed = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/flawed_scrub.edna"
+    );
+    let (ok, stdout, stderr) = edna(&["check", s, flawed]);
+    assert!(!ok, "flawed spec must fail: {stdout}");
+    assert!(stdout.contains("error[E010]"), "orphaning Remove: {stdout}");
+    assert!(stdout.contains("error[E001]"), "type mismatch: {stdout}");
+    assert!(stderr.contains("check failed"), "{stderr}");
+
+    // Checking a file does not register it.
+    let (ok, stdout, _) = edna(&["specs", s]);
+    assert!(ok);
+    assert!(!stdout.contains("Flawed-Scrub"), "{stdout}");
+
+    // A target that is neither a spec nor a file is a clean error.
+    let (ok, _, stderr) = edna(&["check", s, "NoSuchThing"]);
+    assert!(!ok);
+    assert!(stderr.contains("neither a registered disguise"), "{stderr}");
+
+    cleanup(&state);
+}

@@ -200,4 +200,80 @@ mod tests {
         let plan = plan_composition(&gdpr_plus(), &[]);
         assert!(plan.redundant_decorrelations.is_empty());
     }
+
+    #[test]
+    fn global_predicated_prior_covers_amid_user_scoped_priors() {
+        // Two priors: another user's GDPR+ (not a superset) and a global
+        // sweep predicated without $UID (a superset). The mix must still
+        // mark the decorrelation redundant — coverage is per-prior, not
+        // all-priors.
+        let current = gdpr_plus();
+        let other_user = gdpr_plus();
+        let sweep = DisguiseSpecBuilder::new("sweep")
+            .decorrelate("Review", Some("reviewType = 1"), "contactId", "ContactInfo")
+            .build()
+            .unwrap();
+        let plan = plan_composition(&current, &[&other_user, &sweep]);
+        assert!(plan.is_redundant("Review", "contactId"));
+        // The plan's sets are exact, lowercase pairs.
+        assert_eq!(
+            plan.redundant_decorrelations,
+            [("review".to_string(), "contactid".to_string())]
+                .into_iter()
+                .collect(),
+        );
+        assert!(plan.redundant_modifies.is_empty());
+    }
+
+    #[test]
+    fn redundant_modify_is_case_insensitive_and_effect_sensitive() {
+        use crate::spec::Modifier;
+        let current = DisguiseSpecBuilder::new("current")
+            .user_scoped()
+            .modify(
+                "ActionLog",
+                Some("contactId = $UID"),
+                "ipaddr",
+                Modifier::SetNull,
+            )
+            .build()
+            .unwrap();
+        // Global prior nulling the same column, spelled in another case.
+        let prior = DisguiseSpecBuilder::new("prior")
+            .modify("ACTIONLOG", None, "IPADDR", Modifier::SetNull)
+            .build()
+            .unwrap();
+        let plan = plan_composition(&current, &[&prior]);
+        assert!(plan.is_redundant_modify("actionlog", "IpAddr"));
+        assert_eq!(
+            plan.redundant_modifies,
+            [("actionlog".to_string(), "ipaddr".to_string())]
+                .into_iter()
+                .collect(),
+        );
+
+        // A different deterministic effect is not a cover...
+        let redacting = DisguiseSpecBuilder::new("prior2")
+            .modify("ActionLog", None, "ipaddr", Modifier::Redact)
+            .build()
+            .unwrap();
+        assert!(plan_composition(&current, &[&redacting])
+            .redundant_modifies
+            .is_empty());
+
+        // ...and neither is another user's $UID-scoped modify.
+        let scoped = DisguiseSpecBuilder::new("prior3")
+            .user_scoped()
+            .modify(
+                "ActionLog",
+                Some("contactId = $UID"),
+                "ipaddr",
+                Modifier::SetNull,
+            )
+            .build()
+            .unwrap();
+        assert!(plan_composition(&current, &[&scoped])
+            .redundant_modifies
+            .is_empty());
+    }
 }

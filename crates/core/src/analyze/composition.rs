@@ -1,0 +1,212 @@
+//! Pass 3: reveal-safety of disguise *pairs*.
+//!
+//! Extends [`crate::analysis`] (which finds transforms a prior disguise
+//! makes redundant) in the other direction: transform pairs whose
+//! composition is *lossy on reveal*. Reversible pairs are fine — the
+//! apply-time composition machinery recorrelates through vaults — so
+//! these warnings fire only when one side is irreversible (no vault
+//! entries, or entries that expire): a `Remove` over rows a prior
+//! disguise decorrelated (`W020`), or a second `Modify` of a column an
+//! irreversible disguise already rewrote (`W021`).
+
+use crate::spec::{DisguiseSpec, Transformation};
+
+use super::diagnostics::{codes, Diagnostic, Location};
+
+/// Whether reveal functions for this spec are ever unavailable: never
+/// recorded, or recorded with an expiry.
+fn irreversible(spec: &DisguiseSpec) -> bool {
+    !spec.reversible || spec.expires_after.is_some()
+}
+
+fn why_irreversible(spec: &DisguiseSpec) -> &'static str {
+    if !spec.reversible {
+        "records no reveal functions"
+    } else {
+        "has expiring vault entries"
+    }
+}
+
+/// Runs the pass: `current` against each prior spec, appending findings
+/// to `diags`. Priors should be passed in a deterministic order.
+pub fn check(current: &DisguiseSpec, priors: &[&DisguiseSpec], diags: &mut Vec<Diagnostic>) {
+    for prior in priors {
+        if !irreversible(current) && !irreversible(prior) {
+            continue;
+        }
+        let lossy = if irreversible(current) {
+            format!("`{}` {}", current.name, why_irreversible(current))
+        } else {
+            format!("`{}` {}", prior.name, why_irreversible(prior))
+        };
+        check_remove_after_decorrelate(current, prior, &lossy, diags);
+        check_double_modify(current, prior, &lossy, diags);
+    }
+}
+
+/// `prior` decorrelates `T.c`; `current` removes rows of `T`. With both
+/// reversible, apply-time composition recorrelates first and the removed
+/// originals stay recoverable. With either side irreversible, reveal
+/// cannot reconstruct the original correlation: the pair is lossy.
+fn check_remove_after_decorrelate(
+    current: &DisguiseSpec,
+    prior: &DisguiseSpec,
+    lossy: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for section in &current.tables {
+        let removes = section
+            .transformations
+            .iter()
+            .any(|pt| matches!(pt.transform, Transformation::Remove));
+        if !removes {
+            continue;
+        }
+        let Some(prior_section) = prior.table(&section.table) else {
+            continue;
+        };
+        for pt in &prior_section.transformations {
+            if let Transformation::Decorrelate { fk_column, .. } = &pt.transform {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::LOSSY_REMOVE_AFTER_DECORRELATE,
+                        &current.name,
+                        Location::table(&section.table).with_context(format!(
+                            "Remove composed over `{}`'s Decorrelate({fk_column})",
+                            prior.name
+                        )),
+                        format!(
+                            "removing `{}` rows that `{}` decorrelated is lossy on reveal: \
+                             {lossy}, so the original `{fk_column}` correlation cannot be \
+                             reconstructed",
+                            section.table, prior.name
+                        ),
+                    )
+                    .with_help(
+                        "make both disguises reversible without expiry, or accept that reveal \
+                         restores decorrelated rows",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Both specs modify the same `(table, column)`. With either side
+/// irreversible, the value the reversible side vaulted (or re-derives) is
+/// already disguised, so reveal restores a disguised value.
+fn check_double_modify(
+    current: &DisguiseSpec,
+    prior: &DisguiseSpec,
+    lossy: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for section in &current.tables {
+        let Some(prior_section) = prior.table(&section.table) else {
+            continue;
+        };
+        for pt in &section.transformations {
+            let Transformation::Modify { column, modifier } = &pt.transform else {
+                continue;
+            };
+            for prior_pt in &prior_section.transformations {
+                let Transformation::Modify {
+                    column: prior_col,
+                    modifier: prior_mod,
+                } = &prior_pt.transform
+                else {
+                    continue;
+                };
+                if !prior_col.eq_ignore_ascii_case(column) {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        codes::LOSSY_DOUBLE_MODIFY,
+                        &current.name,
+                        Location::column(&section.table, column).with_context(format!(
+                            "Modify({}) composed over `{}`'s Modify({})",
+                            modifier.name(),
+                            prior.name,
+                            prior_mod.name()
+                        )),
+                        format!(
+                            "modifying `{}.{column}` again after `{}` is lossy on reveal: \
+                             {lossy}, so the pre-disguise value cannot be restored",
+                            section.table, prior.name
+                        ),
+                    )
+                    .with_help("make both disguises reversible without expiry, or drop one Modify"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Modifier};
+
+    fn decorrelator(reversible: bool) -> DisguiseSpec {
+        let mut b = DisguiseSpecBuilder::new("Anon")
+            .decorrelate("reviews", None, "user_id", "users")
+            .modify("reviews", None, "body", Modifier::Redact);
+        if !reversible {
+            b = b.irreversible();
+        }
+        b.build().unwrap()
+    }
+
+    fn remover() -> DisguiseSpec {
+        DisguiseSpecBuilder::new("Scrub")
+            .user_scoped()
+            .remove("reviews", Some("user_id = $UID"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reversible_pairs_do_not_warn() {
+        let prior = decorrelator(true);
+        let mut diags = Vec::new();
+        check(&remover(), &[&prior], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn irreversible_prior_makes_remove_after_decorrelate_lossy() {
+        let prior = decorrelator(false);
+        let mut diags = Vec::new();
+        check(&remover(), &[&prior], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::LOSSY_REMOVE_AFTER_DECORRELATE);
+    }
+
+    #[test]
+    fn expiring_current_makes_double_modify_lossy() {
+        let prior = decorrelator(true);
+        let current = DisguiseSpecBuilder::new("Decay")
+            .modify("reviews", None, "body", Modifier::Truncate(10))
+            .expires_after(3600)
+            .build()
+            .unwrap();
+        let mut diags = Vec::new();
+        check(&current, &[&prior], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::LOSSY_DOUBLE_MODIFY);
+        assert_eq!(diags[0].location.column.as_deref(), Some("body"));
+    }
+
+    #[test]
+    fn disjoint_tables_and_columns_do_not_warn() {
+        let prior = decorrelator(false);
+        let current = DisguiseSpecBuilder::new("Other")
+            .modify("users", None, "email", Modifier::SetNull)
+            .build()
+            .unwrap();
+        let mut diags = Vec::new();
+        check(&current, &[&prior], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The diagnostic model: structured findings rendered rustc-style.
+//!
+//! Every analysis pass reports [`Diagnostic`]s rather than printing or
+//! erroring directly, so callers can decide policy: `Disguiser::register`
+//! hard-fails on errors and records warnings; `edna check` renders the
+//! full report and maps severities to exit codes (optionally promoting
+//! warnings with `--deny-warnings`).
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The disguise would misbehave or fail mid-transaction if applied;
+    /// registration is refused.
+    Error,
+    /// The disguise is applicable but likely not what the author meant
+    /// (dead predicate, lossy composition, uncovered PII).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// Where in the spec a finding points (span-ish: specs have no byte
+/// offsets once parsed, so locations name the table section, column, and
+/// transformation instead).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Table section the finding is about, if any.
+    pub table: Option<String>,
+    /// Column within that table, if the finding is column-precise.
+    pub column: Option<String>,
+    /// Extra context: the transformation (`Remove`, `Modify(...)`) or the
+    /// predicate text the finding anchors to.
+    pub context: Option<String>,
+}
+
+impl Location {
+    /// A location naming just a table section.
+    pub fn table(table: impl Into<String>) -> Location {
+        Location {
+            table: Some(table.into()),
+            ..Location::default()
+        }
+    }
+
+    /// A location naming a table and column.
+    pub fn column(table: impl Into<String>, column: impl Into<String>) -> Location {
+        Location {
+            table: Some(table.into()),
+            column: Some(column.into()),
+            ..Location::default()
+        }
+    }
+
+    /// Attaches transformation/predicate context.
+    pub fn with_context(mut self, context: impl Into<String>) -> Location {
+        self.context = Some(context.into());
+        self
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.table, &self.column) {
+            (Some(t), Some(c)) => write!(f, "{t}.{c}")?,
+            (Some(t), None) => write!(f, "{t}")?,
+            _ => write!(f, "<spec>")?,
+        }
+        if let Some(ctx) = &self.context {
+            write!(f, ", {ctx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable code (`E0xx` for errors, `W0xx` for warnings); see the
+    /// constants on [`codes`].
+    pub code: &'static str,
+    /// The disguise the finding is about.
+    pub disguise: String,
+    /// Where in the spec it points.
+    pub location: Location,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the pass can suggest something concrete.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(
+        code: &'static str,
+        disguise: impl Into<String>,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            disguise: disguise.into(),
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        disguise: impl Into<String>,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            disguise: disguise.into(),
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders one finding rustc-style:
+    ///
+    /// ```text
+    /// error[E001]: predicate compares INT column `age` with TEXT 'abc'
+    ///   --> FlawedScrub / users.age, predicate `age = 'abc'`
+    ///   = help: change the literal to an INT
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        out.push_str(&format!("  --> {} / {}\n", self.disguise, self.location));
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  = help: {help}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.render().trim_end())
+    }
+}
+
+/// The stable diagnostic codes, one per defect class.
+pub mod codes {
+    /// Predicate compares/combines incompatible types.
+    pub const TYPE_MISMATCH: &str = "E001";
+    /// Spec references a table the schema does not have.
+    pub const UNKNOWN_TABLE: &str = "E002";
+    /// Spec references a column the table does not have.
+    pub const UNKNOWN_COLUMN: &str = "E003";
+    /// A constant predicate failed to evaluate (e.g. division by zero).
+    pub const PREDICATE_EVAL: &str = "E004";
+    /// Constant predicate is always false: the transform is dead.
+    pub const ALWAYS_FALSE: &str = "W001";
+    /// Constant predicate is always true: the guard is vacuous.
+    pub const ALWAYS_TRUE: &str = "W002";
+    /// A `Remove` would orphan child rows no other transform handles.
+    pub const ORPHANING_REMOVE: &str = "E010";
+    /// A placeholder generator produces NULL for a NOT NULL column.
+    pub const PLACEHOLDER_NULL_GAP: &str = "E011";
+    /// A placeholder generator's fixed value has the wrong type.
+    pub const GENERATOR_TYPE: &str = "E012";
+    /// Composition pair: Remove after Decorrelate is lossy on reveal.
+    pub const LOSSY_REMOVE_AFTER_DECORRELATE: &str = "W020";
+    /// Composition pair: double Modify of one column is lossy on reveal.
+    pub const LOSSY_DOUBLE_MODIFY: &str = "W021";
+    /// A PII-annotated column is left untouched by a spec that transforms
+    /// its table.
+    pub const PII_GAP: &str = "W040";
+}
+
+/// Renders a full report: findings in order, then a rustc-style summary
+/// line (`N errors, M warnings` or `no findings`).
+pub fn render_report(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diagnostics.len() - errors;
+    if errors == 0 && warnings == 0 {
+        out.push_str("no findings\n");
+    } else {
+        out.push_str(&format!(
+            "{errors} error{}, {warnings} warning{}\n",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
+/// Whether any finding is an error.
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_code_location_and_help() {
+        let d = Diagnostic::error(
+            codes::TYPE_MISMATCH,
+            "Scrub",
+            Location::column("users", "age").with_context("predicate `age = 'x'`"),
+            "type mismatch",
+        )
+        .with_help("fix the literal");
+        let r = d.render();
+        assert!(r.contains("error[E001]: type mismatch"), "got: {r}");
+        assert!(r.contains("--> Scrub / users.age, predicate"), "got: {r}");
+        assert!(r.contains("= help: fix the literal"), "got: {r}");
+    }
+
+    #[test]
+    fn report_summarizes_counts() {
+        let e = Diagnostic::error(codes::UNKNOWN_TABLE, "S", Location::table("t"), "x");
+        let w = Diagnostic::warning(codes::PII_GAP, "S", Location::table("t"), "y");
+        let r = render_report(&[e.clone(), w.clone(), w.clone()]);
+        assert!(r.contains("1 error, 2 warnings"), "got: {r}");
+        assert!(has_errors(&[e]));
+        assert!(!has_errors(&[w]));
+        assert!(render_report(&[]).contains("no findings"));
+    }
+}

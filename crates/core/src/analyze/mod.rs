@@ -1,0 +1,122 @@
+//! Schema-aware static analysis of disguise specifications.
+//!
+//! Paper §6 promises "static analysis of the disguise and schema";
+//! [`crate::analysis`] automates the composition *optimization* slice of
+//! that promise, and this module adds the *diagnostics* slice: four
+//! passes over a [`DisguiseSpec`] × database schema that catch disguises
+//! which would fail mid-transaction, silently do nothing, destroy data
+//! needed for reveal, or leave identifying data behind:
+//!
+//! 1. [`typeck`] — predicate type checking against column types, plus
+//!    constant-predicate folding (`E001`–`E004`, `W001`/`W002`);
+//! 2. [`refsafety`] — foreign-key walking for orphaning `Remove`s and
+//!    placeholder generators that cannot insert (`E010`–`E012`);
+//! 3. [`composition`] — spec pairs whose composition is lossy on reveal
+//!    (`W020`/`W021`);
+//! 4. [`pii`] — coverage of `PII`-annotated schema columns (`W040`).
+//!
+//! All passes emit structured [`Diagnostic`]s rendered rustc-style.
+//! [`crate::Disguiser::register`] hard-fails on errors and records
+//! warnings; the `edna check` CLI subcommand runs the analyzer
+//! standalone (optionally with `--deny-warnings`).
+
+pub mod composition;
+pub mod diagnostics;
+pub mod pii;
+pub mod refsafety;
+pub mod typeck;
+
+pub use diagnostics::{codes, has_errors, render_report, Diagnostic, Location, Severity};
+
+use edna_relational::Database;
+
+use crate::spec::DisguiseSpec;
+
+/// Runs all four analysis passes over `spec` against the schema in `db`,
+/// with `priors` as the already-registered specs for pair analysis
+/// (pass them in a deterministic order, e.g. sorted by name).
+///
+/// Returns every finding, errors before warnings. Sections naming
+/// unknown tables are reported (`E002`) and skipped by the schema-driven
+/// passes, so the analyzer never panics on a malformed spec.
+pub fn analyze_spec(
+    spec: &DisguiseSpec,
+    db: &Database,
+    priors: &[&DisguiseSpec],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for section in &spec.tables {
+        if db.schema(&section.table).is_err() {
+            diags.push(Diagnostic::error(
+                codes::UNKNOWN_TABLE,
+                &spec.name,
+                Location::table(&section.table),
+                format!("unknown table `{}`", section.table),
+            ));
+        }
+    }
+    for assertion in &spec.assertions {
+        if db.schema(&assertion.table).is_err() {
+            diags.push(Diagnostic::error(
+                codes::UNKNOWN_TABLE,
+                &spec.name,
+                Location::table(&assertion.table)
+                    .with_context(format!("assertion {:?}", assertion.description)),
+                format!("unknown table `{}`", assertion.table),
+            ));
+        }
+    }
+    typeck::check(spec, db, &mut diags);
+    refsafety::check(spec, db, &mut diags);
+    composition::check(spec, priors, &mut diags);
+    pii::check(spec, db, &mut diags);
+    // Errors first; within a severity keep pass order (stable sort).
+    diags.sort_by_key(|d| d.severity);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DisguiseSpecBuilder;
+
+    #[test]
+    fn unknown_tables_are_reported_not_panicked() {
+        let db = Database::new();
+        let spec = DisguiseSpecBuilder::new("Ghost")
+            .remove("nowhere", None)
+            .assert_empty("elsewhere", "1 = 0", "gone")
+            .build()
+            .unwrap();
+        let diags = analyze_spec(&spec, &db, &[]);
+        let got: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            got,
+            vec![codes::UNKNOWN_TABLE, codes::UNKNOWN_TABLE],
+            "{diags:?}"
+        );
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let db = Database::new();
+        db.execute("CREATE TABLE users (id INT PRIMARY KEY, name TEXT PII, age INT)")
+            .unwrap();
+        // One warning source (untouched PII) and one error source (type
+        // mismatch), declared warning-first.
+        let spec = DisguiseSpecBuilder::new("Mix")
+            .modify(
+                "users",
+                Some("age = 'old'"),
+                "age",
+                crate::spec::Modifier::SetNull,
+            )
+            .build()
+            .unwrap();
+        let diags = analyze_spec(&spec, &db, &[]);
+        assert!(diags.len() >= 2, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags.last().unwrap().severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,129 @@
+//! Pass 4: PII coverage.
+//!
+//! Columns annotated `PII` in the schema (see
+//! `edna_relational::ColumnDef::pii`) hold personally identifiable
+//! information. For every table a spec transforms, this lint reports PII
+//! columns the spec leaves untouched (`W040`): rows survive the disguise
+//! with identifying data intact. Tables the spec only declares
+//! placeholder generators for are not checked — placeholders are fresh
+//! synthetic rows, not surviving user data.
+
+use edna_relational::Database;
+
+use crate::spec::{DisguiseSpec, Transformation};
+
+use super::diagnostics::{codes, Diagnostic, Location};
+
+/// Runs the pass, appending findings to `diags`.
+pub fn check(spec: &DisguiseSpec, db: &Database, diags: &mut Vec<Diagnostic>) {
+    for section in &spec.tables {
+        if section.transformations.is_empty() {
+            continue;
+        }
+        let Ok(schema) = db.schema(&section.table) else {
+            continue;
+        };
+        let removes_rows = section
+            .transformations
+            .iter()
+            .any(|pt| matches!(pt.transform, Transformation::Remove));
+        if removes_rows {
+            // A Remove disposes of the whole row, PII included. (Remove
+            // predicates may not cover every row, but the spec author has
+            // visibly decided which rows of this table go away.)
+            continue;
+        }
+        for pii_col in schema.pii_columns() {
+            let covered = section
+                .transformations
+                .iter()
+                .any(|pt| match &pt.transform {
+                    Transformation::Remove => true,
+                    Transformation::Modify { column, .. } => column.eq_ignore_ascii_case(pii_col),
+                    Transformation::Decorrelate { fk_column, .. } => {
+                        fk_column.eq_ignore_ascii_case(pii_col)
+                    }
+                });
+            if !covered {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::PII_GAP,
+                        &spec.name,
+                        Location::column(&section.table, pii_col),
+                        format!(
+                            "`{}.{pii_col}` is annotated PII but this spec transforms the \
+                             table without touching it; identifying data survives the disguise",
+                            section.table
+                        ),
+                    )
+                    .with_help(format!(
+                        "add a Modify (e.g. SetNull, HashText) or Remove covering \
+                         `{}.{pii_col}`, or drop the PII annotation if it is wrong",
+                        section.table
+                    )),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Generator, Modifier};
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY, name TEXT NOT NULL PII, \
+               email TEXT PII, karma INT);
+             CREATE TABLE posts (id INT PRIMARY KEY, user_id INT NOT NULL, body TEXT,
+               FOREIGN KEY (user_id) REFERENCES users(id));",
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(spec: &DisguiseSpec) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(spec, &db(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn untouched_pii_in_transformed_table_is_flagged() {
+        let spec = DisguiseSpecBuilder::new("Partial")
+            .user_scoped()
+            .modify("users", Some("id = $UID"), "email", Modifier::SetNull)
+            .build()
+            .unwrap();
+        let diags = run(&spec);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::PII_GAP);
+        assert_eq!(diags[0].location.column.as_deref(), Some("name"));
+    }
+
+    #[test]
+    fn remove_covers_all_pii() {
+        let spec = DisguiseSpecBuilder::new("Delete")
+            .user_scoped()
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        assert!(run(&spec).is_empty());
+    }
+
+    #[test]
+    fn untransformed_tables_are_not_checked() {
+        // A spec that only touches posts says nothing about users; no
+        // findings even though users has PII. Placeholder-only sections
+        // are likewise skipped.
+        let spec = DisguiseSpecBuilder::new("PostsOnly")
+            .user_scoped()
+            .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+            .placeholder("users", "name", Generator::Random)
+            .build()
+            .unwrap();
+        assert!(run(&spec).is_empty(), "{:?}", run(&spec));
+    }
+}

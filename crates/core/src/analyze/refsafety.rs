@@ -1,0 +1,322 @@
+//! Pass 2: referential safety.
+//!
+//! Walks the schema's foreign-key edges to find `Remove`s that would
+//! orphan child rows no other transform in the spec handles (`E010`) —
+//! at apply time these surface as mid-transaction foreign-key violations
+//! and roll the whole disguise back. Also checks placeholder generators
+//! against the parent schema: a fixed NULL for a NOT NULL column
+//! (`E011`) or a fixed value of the wrong type (`E012`) makes every
+//! decorrelation into that parent fail at placeholder-insert time.
+
+use edna_relational::{DataType, Database, ReferentialAction, Value};
+
+use crate::spec::{DisguiseSpec, Generator, Transformation};
+
+use super::diagnostics::{codes, Diagnostic, Location};
+
+/// Runs the pass, appending findings to `diags`.
+pub fn check(spec: &DisguiseSpec, db: &Database, diags: &mut Vec<Diagnostic>) {
+    check_orphaning_removes(spec, db, diags);
+    check_placeholder_generators(spec, db, diags);
+}
+
+/// Tables the spec removes rows from (section has at least one `Remove`).
+fn removed_tables(spec: &DisguiseSpec) -> Vec<&str> {
+    spec.tables
+        .iter()
+        .filter(|s| {
+            s.transformations
+                .iter()
+                .any(|pt| matches!(pt.transform, Transformation::Remove))
+        })
+        .map(|s| s.table.as_str())
+        .collect()
+}
+
+fn check_orphaning_removes(spec: &DisguiseSpec, db: &Database, diags: &mut Vec<Diagnostic>) {
+    let removed = removed_tables(spec);
+    for parent in &removed {
+        // Every table with a RESTRICT foreign key into `parent` must be
+        // handled somehow, or the DELETE will be rejected mid-transaction.
+        for child_name in db.table_names() {
+            let Ok(child) = db.schema(&child_name) else {
+                continue;
+            };
+            for fk in &child.foreign_keys {
+                if !fk.parent_table.eq_ignore_ascii_case(parent)
+                    || fk.on_delete != ReferentialAction::Restrict
+                {
+                    continue;
+                }
+                if handles_child(spec, &child_name, &fk.column, &removed, db) {
+                    continue;
+                }
+                diags.push(
+                    Diagnostic::error(
+                        codes::ORPHANING_REMOVE,
+                        &spec.name,
+                        Location::table(*parent).with_context(format!(
+                            "Remove; `{child_name}.{}` REFERENCES {parent} ON DELETE RESTRICT",
+                            fk.column
+                        )),
+                        format!(
+                            "removing rows of `{parent}` can orphan `{child_name}.{}`, which no \
+                             transformation in this spec handles",
+                            fk.column
+                        ),
+                    )
+                    .with_help(format!(
+                        "add a Remove on `{child_name}`, a Decorrelate or Modify of \
+                         `{child_name}.{}`, or change the foreign key to CASCADE/SET NULL",
+                        fk.column
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// Whether the spec accounts for `child.fk_column` rows when their parent
+/// rows go away: the child is itself removed, the foreign key is
+/// decorrelated or modified, or the child cascades away through some
+/// other foreign key whose parent the spec also removes (e.g. review
+/// archives cascade with their review even though the spec never names
+/// the archive table).
+fn handles_child(
+    spec: &DisguiseSpec,
+    child: &str,
+    fk_column: &str,
+    removed: &[&str],
+    db: &Database,
+) -> bool {
+    // A table may appear in several sections (e.g. one holding only
+    // placeholder generators); scan them all.
+    for section in spec
+        .tables
+        .iter()
+        .filter(|s| s.table.eq_ignore_ascii_case(child))
+    {
+        for pt in &section.transformations {
+            match &pt.transform {
+                Transformation::Remove => return true,
+                Transformation::Decorrelate { fk_column: c, .. }
+                | Transformation::Modify { column: c, .. } => {
+                    if c.eq_ignore_ascii_case(fk_column) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    if let Ok(schema) = db.schema(child) {
+        for fk in &schema.foreign_keys {
+            if fk.on_delete == ReferentialAction::Cascade
+                && removed
+                    .iter()
+                    .any(|t| t.eq_ignore_ascii_case(&fk.parent_table))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn check_placeholder_generators(spec: &DisguiseSpec, db: &Database, diags: &mut Vec<Diagnostic>) {
+    // Parents of at least one decorrelation, deduplicated case-insensitively
+    // so shared generator sections are reported once.
+    let mut parents: Vec<&str> = Vec::new();
+    for (_, _, parent) in spec.decorrelations() {
+        if !parents.iter().any(|p| p.eq_ignore_ascii_case(parent)) {
+            parents.push(parent);
+        }
+    }
+    for parent in parents {
+        let Ok(schema) = db.schema(parent) else {
+            continue;
+        };
+        // Generators may live in a different section than the
+        // transformations; collect them from every section for `parent`.
+        let gens = spec
+            .tables
+            .iter()
+            .filter(|s| s.table.eq_ignore_ascii_case(parent))
+            .flat_map(|s| s.generate_placeholder.iter());
+        for (col_name, gen) in gens {
+            let Some(i) = schema.column_index(col_name) else {
+                diags.push(Diagnostic::error(
+                    codes::UNKNOWN_COLUMN,
+                    &spec.name,
+                    Location::column(parent, col_name).with_context("generate_placeholder"),
+                    format!("placeholder column `{parent}.{col_name}` does not exist"),
+                ));
+                continue;
+            };
+            let col = &schema.columns[i];
+            let Generator::Default(v) = gen else {
+                continue;
+            };
+            if v.is_null() {
+                if col.not_null {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::PLACEHOLDER_NULL_GAP,
+                            &spec.name,
+                            Location::column(parent, &col.name)
+                                .with_context("generate_placeholder"),
+                            format!(
+                                "placeholder generator produces NULL but `{parent}.{}` is \
+                                 NOT NULL; every decorrelation into `{parent}` would fail",
+                                col.name
+                            ),
+                        )
+                        .with_help("use Random or a typed Default value instead of Default(NULL)"),
+                    );
+                }
+            } else if !assignable(v, col.ty) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::GENERATOR_TYPE,
+                        &spec.name,
+                        Location::column(parent, &col.name).with_context("generate_placeholder"),
+                        format!(
+                            "placeholder generator Default({}) has type {} but `{parent}.{}` \
+                             is {}",
+                            v.to_sql_literal(),
+                            v.data_type().map(|t| t.to_string()).unwrap_or_default(),
+                            col.name,
+                            col.ty
+                        ),
+                    )
+                    .with_help("match the generator value to the column type"),
+                );
+            }
+        }
+    }
+}
+
+/// Whether a non-NULL fixed value can be stored in a column of type `ty`
+/// (exact match plus the engine's conventional coercions).
+fn assignable(v: &Value, ty: DataType) -> bool {
+    match (v.data_type(), ty) {
+        (Some(t), ty) if t == ty => true,
+        (Some(DataType::Int), DataType::Float) => true,
+        (Some(DataType::Bool), DataType::Int) => true,
+        (Some(DataType::Int), DataType::Bool) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DisguiseSpecBuilder, Generator, Modifier};
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY, name TEXT NOT NULL, email TEXT);
+             CREATE TABLE reviews (id INT PRIMARY KEY, user_id INT NOT NULL, body TEXT,
+               FOREIGN KEY (user_id) REFERENCES users(id));
+             CREATE TABLE ratings (id INT PRIMARY KEY, review_id INT NOT NULL,
+               user_id INT NOT NULL,
+               FOREIGN KEY (review_id) REFERENCES reviews(id) ON DELETE CASCADE,
+               FOREIGN KEY (user_id) REFERENCES users(id));",
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(spec: &DisguiseSpec) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check(spec, &db(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unhandled_restrict_child_is_flagged() {
+        let spec = DisguiseSpecBuilder::new("Bad")
+            .user_scoped()
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        let diags = run(&spec);
+        // reviews.user_id and ratings.user_id both orphan.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == codes::ORPHANING_REMOVE));
+    }
+
+    #[test]
+    fn decorrelate_modify_or_remove_handles_children() {
+        let spec = DisguiseSpecBuilder::new("Ok")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .modify(
+                "ratings",
+                Some("user_id = $UID"),
+                "user_id",
+                Modifier::SetNull,
+            )
+            .placeholder("users", "name", Generator::Random)
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        assert!(run(&spec).is_empty(), "{:?}", run(&spec));
+    }
+
+    #[test]
+    fn cascade_through_removed_table_handles_grandchildren() {
+        // Removing reviews removes ratings via CASCADE, so a spec that
+        // removes users+reviews need not name ratings at all.
+        let spec = DisguiseSpecBuilder::new("Ok")
+            .user_scoped()
+            .remove("reviews", Some("user_id = $UID"))
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        assert!(run(&spec).is_empty(), "{:?}", run(&spec));
+    }
+
+    #[test]
+    fn null_default_into_not_null_placeholder_is_flagged() {
+        let spec = DisguiseSpecBuilder::new("Bad")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .placeholder("users", "name", Generator::Default(Value::Null))
+            .build()
+            .unwrap();
+        let diags = run(&spec);
+        assert!(
+            diags.iter().any(|d| d.code == codes::PLACEHOLDER_NULL_GAP),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_typed_default_is_flagged() {
+        let spec = DisguiseSpecBuilder::new("Bad")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .placeholder("users", "name", Generator::Default(Value::Int(7)))
+            .build()
+            .unwrap();
+        let diags = run(&spec);
+        assert!(
+            diags.iter().any(|d| d.code == codes::GENERATOR_TYPE),
+            "{diags:?}"
+        );
+        // NULL into a nullable column and matching types are fine.
+        let ok = DisguiseSpecBuilder::new("Ok")
+            .user_scoped()
+            .decorrelate("reviews", Some("user_id = $UID"), "user_id", "users")
+            .placeholder(
+                "users",
+                "name",
+                Generator::Default(Value::Text("anon".into())),
+            )
+            .placeholder("users", "email", Generator::Default(Value::Null))
+            .build()
+            .unwrap();
+        assert!(run(&ok).is_empty(), "{:?}", run(&ok));
+    }
+}

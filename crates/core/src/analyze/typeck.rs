@@ -1,0 +1,422 @@
+//! Pass 1: predicate type checking and constant-predicate folding.
+//!
+//! Infers a [`DataType`] for every sub-expression of each predicate
+//! against the table's schema, flagging comparisons and arithmetic over
+//! incompatible types (`age = 'abc'`) as errors. Predicates that
+//! reference no columns or parameters are constant-folded: an
+//! always-false predicate makes its transform dead (`W001`); an
+//! always-true one means the guard is vacuous (`W002`).
+
+use std::collections::HashMap;
+
+use edna_relational::{eval_predicate, DataType, Database, EvalContext, Expr, TableSchema};
+
+use crate::spec::DisguiseSpec;
+
+use super::diagnostics::{codes, Diagnostic, Location};
+
+/// Runs the pass over every predicate (transformations and assertions)
+/// of `spec`, appending findings to `diags`. Sections whose table is
+/// unknown are skipped (the orchestrator already reported `E002`).
+pub fn check(spec: &DisguiseSpec, db: &Database, diags: &mut Vec<Diagnostic>) {
+    for section in &spec.tables {
+        let Ok(schema) = db.schema(&section.table) else {
+            continue;
+        };
+        for (i, pt) in section.transformations.iter().enumerate() {
+            if let Some(pred) = &pt.pred {
+                let context = format!(
+                    "transformation #{} ({}), predicate `{pred}`",
+                    i + 1,
+                    pt.transform.name()
+                );
+                check_predicate(spec, &schema, pred, &context, db, diags);
+            }
+        }
+    }
+    for assertion in &spec.assertions {
+        let Ok(schema) = db.schema(&assertion.table) else {
+            continue;
+        };
+        let context = format!(
+            "assertion {:?}, predicate `{}`",
+            assertion.description, assertion.pred
+        );
+        check_predicate(spec, &schema, &assertion.pred, &context, db, diags);
+    }
+}
+
+fn check_predicate(
+    spec: &DisguiseSpec,
+    schema: &TableSchema,
+    pred: &Expr,
+    context: &str,
+    db: &Database,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut ck = Checker {
+        spec: &spec.name,
+        schema,
+        context,
+        unknown_reported: Vec::new(),
+        diags,
+    };
+    ck.infer(pred);
+
+    // Constant folding: a predicate with no columns and no parameters
+    // evaluates to the same truth value for every row.
+    if pred.referenced_columns().is_empty() && pred.referenced_params().is_empty() {
+        let params = HashMap::new();
+        let ctx = EvalContext {
+            columns: &[],
+            row: &[],
+            params: &params,
+            now: db.now(),
+        };
+        let location = Location::table(&schema.name).with_context(context.to_string());
+        match eval_predicate(pred, &ctx) {
+            Ok(true) => diags.push(
+                Diagnostic::warning(
+                    codes::ALWAYS_TRUE,
+                    &spec.name,
+                    location,
+                    "predicate is constant and always true; the guard is vacuous",
+                )
+                .with_help("drop the predicate, or reference a column if rows should be filtered"),
+            ),
+            Ok(false) => diags.push(
+                Diagnostic::warning(
+                    codes::ALWAYS_FALSE,
+                    &spec.name,
+                    location,
+                    "predicate is constant and always false; the transformation is dead",
+                )
+                .with_help("remove the transformation, or fix the predicate"),
+            ),
+            Err(e) => diags.push(Diagnostic::error(
+                codes::PREDICATE_EVAL,
+                &spec.name,
+                location,
+                format!("constant predicate fails to evaluate: {e}"),
+            )),
+        }
+    }
+}
+
+struct Checker<'a> {
+    spec: &'a str,
+    schema: &'a TableSchema,
+    context: &'a str,
+    /// Unknown columns already reported for this predicate, to avoid one
+    /// diagnostic per occurrence.
+    unknown_reported: Vec<String>,
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Checker<'_> {
+    fn error(&mut self, code: &'static str, column: Option<&str>, message: String, help: &str) {
+        let location = match column {
+            Some(c) => Location::column(&self.schema.name, c),
+            None => Location::table(&self.schema.name),
+        }
+        .with_context(self.context.to_string());
+        let mut d = Diagnostic::error(code, self.spec, location, message);
+        if !help.is_empty() {
+            d = d.with_help(help.to_string());
+        }
+        self.diags.push(d);
+    }
+
+    /// Infers the type of `expr`, reporting findings along the way.
+    /// `None` means unknown (NULL literals, parameters, opaque functions).
+    fn infer(&mut self, expr: &Expr) -> Option<DataType> {
+        use edna_relational::{BinOp, UnOp};
+        match expr {
+            Expr::Literal(v) => v.data_type(),
+            Expr::Column { name, .. } => match self.schema.column_index(name) {
+                Some(i) => Some(self.schema.columns[i].ty),
+                None => {
+                    if !self
+                        .unknown_reported
+                        .iter()
+                        .any(|r| r.eq_ignore_ascii_case(name))
+                    {
+                        self.unknown_reported.push(name.clone());
+                        self.error(
+                            codes::UNKNOWN_COLUMN,
+                            Some(name),
+                            format!("unknown column `{name}` in table `{}`", self.schema.name),
+                            "",
+                        );
+                    }
+                    None
+                }
+            },
+            Expr::Param(_) => None,
+            Expr::Unary { op, expr } => {
+                let t = self.infer(expr);
+                match op {
+                    UnOp::Not => Some(DataType::Bool),
+                    UnOp::Neg => {
+                        if let Some(t) = t {
+                            if !numeric(t) {
+                                self.error(
+                                    codes::TYPE_MISMATCH,
+                                    None,
+                                    format!("unary minus applied to {} operand `{expr}`", t),
+                                    "negation needs an INT or FLOAT operand",
+                                );
+                            }
+                        }
+                        t
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.infer(lhs);
+                let rt = self.infer(rhs);
+                match op {
+                    BinOp::And | BinOp::Or => Some(DataType::Bool),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        self.require_comparable(lt, rt, lhs, rhs, &format!("`{op}` comparison"));
+                        Some(DataType::Bool)
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        for (t, e) in [(lt, lhs), (rt, rhs)] {
+                            if let Some(t) = t {
+                                if !numeric(t) {
+                                    self.error(
+                                        codes::TYPE_MISMATCH,
+                                        None,
+                                        format!("arithmetic `{op}` applied to {t} operand `{e}`"),
+                                        "arithmetic needs INT or FLOAT operands",
+                                    );
+                                }
+                            }
+                        }
+                        match (lt, rt) {
+                            (Some(DataType::Float), _) | (_, Some(DataType::Float)) => {
+                                Some(DataType::Float)
+                            }
+                            (Some(_), Some(_)) => Some(DataType::Int),
+                            _ => None,
+                        }
+                    }
+                    BinOp::Concat => Some(DataType::Text),
+                }
+            }
+            Expr::InList {
+                expr: e,
+                list,
+                negated: _,
+            } => {
+                let et = self.infer(e);
+                for item in list {
+                    let it = self.infer(item);
+                    self.require_comparable(et, it, e, item, "`IN` list membership");
+                }
+                Some(DataType::Bool)
+            }
+            Expr::InSelect { expr: e, .. } => {
+                self.infer(e);
+                Some(DataType::Bool)
+            }
+            Expr::Between {
+                expr: e, low, high, ..
+            } => {
+                let et = self.infer(e);
+                let lt = self.infer(low);
+                let ht = self.infer(high);
+                self.require_comparable(et, lt, e, low, "`BETWEEN` bound");
+                self.require_comparable(et, ht, e, high, "`BETWEEN` bound");
+                Some(DataType::Bool)
+            }
+            Expr::Like {
+                expr: e, pattern, ..
+            } => {
+                for (t, part) in [(self.infer(e), e), (self.infer(pattern), pattern)] {
+                    if let Some(t) = t {
+                        if t != DataType::Text {
+                            self.error(
+                                codes::TYPE_MISMATCH,
+                                None,
+                                format!("`LIKE` applied to {t} operand `{part}`"),
+                                "LIKE matches TEXT values",
+                            );
+                        }
+                    }
+                }
+                Some(DataType::Bool)
+            }
+            Expr::IsNull { expr: e, .. } => {
+                self.infer(e);
+                Some(DataType::Bool)
+            }
+            Expr::Func { name, args } => {
+                let arg_types: Vec<Option<DataType>> = args.iter().map(|a| self.infer(a)).collect();
+                match name.to_ascii_uppercase().as_str() {
+                    "LOWER" | "UPPER" | "SUBSTR" | "CONCAT" => Some(DataType::Text),
+                    "LENGTH" | "NOW" => Some(DataType::Int),
+                    "ABS" => arg_types.first().copied().flatten(),
+                    "COALESCE" | "IFNULL" => arg_types.into_iter().flatten().next(),
+                    _ => None,
+                }
+            }
+            Expr::Case { arms, else_ } => {
+                let mut out = None;
+                for (cond, val) in arms {
+                    self.infer(cond);
+                    let vt = self.infer(val);
+                    out = out.or(vt);
+                }
+                if let Some(e) = else_ {
+                    let et = self.infer(e);
+                    out = out.or(et);
+                }
+                out
+            }
+        }
+    }
+
+    fn require_comparable(
+        &mut self,
+        lt: Option<DataType>,
+        rt: Option<DataType>,
+        lhs: &Expr,
+        rhs: &Expr,
+        what: &str,
+    ) {
+        let (Some(lt), Some(rt)) = (lt, rt) else {
+            return;
+        };
+        if !comparable(lt, rt) {
+            let column = [lhs, rhs].into_iter().find_map(|e| match e {
+                Expr::Column { name, .. } => Some(name.as_str()),
+                _ => None,
+            });
+            self.error(
+                codes::TYPE_MISMATCH,
+                column,
+                format!("{what} between {lt} `{lhs}` and {rt} `{rhs}` can never match"),
+                "change the literal (or column) so both sides have comparable types",
+            );
+        }
+    }
+}
+
+fn numeric(t: DataType) -> bool {
+    matches!(t, DataType::Int | DataType::Float)
+}
+
+/// Whether values of the two types can meaningfully compare: same type,
+/// both numeric, or BOOL against INT (the SQL 0/1 idiom).
+fn comparable(a: DataType, b: DataType) -> bool {
+    if a == b || (numeric(a) && numeric(b)) {
+        return true;
+    }
+    matches!(
+        (a, b),
+        (DataType::Bool, DataType::Int) | (DataType::Int, DataType::Bool)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::diagnostics::Severity;
+    use crate::spec::DisguiseSpecBuilder;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE users (id INT PRIMARY KEY, age INT, name TEXT, \
+             score FLOAT, active BOOL)",
+        )
+        .unwrap();
+        db
+    }
+
+    fn run(pred: &str) -> Vec<Diagnostic> {
+        let spec = DisguiseSpecBuilder::new("T")
+            .remove("users", Some(pred))
+            .build()
+            .unwrap();
+        let mut diags = Vec::new();
+        check(&spec, &db(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn int_text_comparison_is_flagged() {
+        let diags = run("age = 'abc'");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::TYPE_MISMATCH);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].location.column.as_deref(), Some("age"));
+    }
+
+    #[test]
+    fn compatible_comparisons_pass() {
+        assert!(run("age = 30").is_empty());
+        assert!(run("age > score").is_empty(), "int vs float is numeric");
+        assert!(run("name = 'bea'").is_empty());
+        assert!(run("active = TRUE").is_empty());
+        assert!(run("active = 1").is_empty(), "bool vs int idiom");
+        assert!(run("age = $UID").is_empty(), "params are untyped");
+        assert!(run("name IS NOT NULL").is_empty());
+    }
+
+    #[test]
+    fn arithmetic_and_like_and_in_are_checked() {
+        assert_eq!(run("age + name > 3")[0].code, codes::TYPE_MISMATCH);
+        assert_eq!(run("age LIKE 'a%'")[0].code, codes::TYPE_MISMATCH);
+        assert_eq!(run("age IN (1, 'x')")[0].code, codes::TYPE_MISMATCH);
+        assert_eq!(run("name BETWEEN 1 AND 2")[0].code, codes::TYPE_MISMATCH);
+        assert!(run("age IN (1, 2, 3)").is_empty());
+        assert!(run("name LIKE 'a%'").is_empty());
+    }
+
+    #[test]
+    fn unknown_column_reported_once() {
+        let diags = run("ghost = 1 AND ghost = 2");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::UNKNOWN_COLUMN);
+    }
+
+    #[test]
+    fn constant_predicates_fold() {
+        let always_true = run("1 = 1");
+        assert_eq!(always_true.len(), 1, "{always_true:?}");
+        assert_eq!(always_true[0].code, codes::ALWAYS_TRUE);
+        assert_eq!(always_true[0].severity, Severity::Warning);
+
+        let always_false = run("1 = 2");
+        assert_eq!(always_false[0].code, codes::ALWAYS_FALSE);
+
+        let bad = run("1 / 0 > 1");
+        assert!(
+            bad.iter().any(|d| d.code == codes::PREDICATE_EVAL),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn assertions_are_checked_too() {
+        let spec = DisguiseSpecBuilder::new("T")
+            .user_scoped()
+            .remove("users", Some("id = $UID"))
+            .assert_empty("users", "age = 'nope'", "bad assertion")
+            .build()
+            .unwrap();
+        let mut diags = Vec::new();
+        check(&spec, &db(), &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::TYPE_MISMATCH);
+        assert!(diags[0]
+            .location
+            .context
+            .as_deref()
+            .unwrap()
+            .contains("assertion"));
+    }
+}

@@ -27,6 +27,7 @@ use edna_relational::{
 use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJournal};
 
 use crate::analysis::{plan_composition, CompositionPlan};
+use crate::analyze::{self, Diagnostic};
 use crate::error::{Error, Result};
 use crate::history::HistoryLog;
 use crate::placeholder::create_placeholders;
@@ -188,6 +189,8 @@ pub struct Disguiser {
     pub(crate) vaults: TieredVault,
     pub(crate) history: HistoryLog,
     pub(crate) specs: HashMap<String, DisguiseSpec>,
+    /// Warnings the static analyzer recorded when each spec registered.
+    pub(crate) warnings: HashMap<String, Vec<Diagnostic>>,
     pub(crate) rng: Mutex<Prng>,
     pub(crate) journal: Mutex<Option<VaultJournal>>,
     /// Options used by [`Disguiser::apply`].
@@ -213,6 +216,7 @@ impl Disguiser {
             vaults,
             history,
             specs: HashMap::new(),
+            warnings: HashMap::new(),
             rng: Mutex::new(Prng::seed_from_u64(0xED4A)),
             journal: Mutex::new(None),
             options: ApplyOptions::default(),
@@ -277,11 +281,67 @@ impl Disguiser {
         Ok(flushed)
     }
 
-    /// Registers (and validates) a disguise specification.
+    /// Registers a disguise specification: validates it against the
+    /// schema, then runs the static analyzer ([`crate::analyze`]) with
+    /// every already-registered spec as composition context.
+    /// Registration fails on analyzer errors ([`Error::AnalysisFailed`]);
+    /// warnings are recorded and readable via
+    /// [`Disguiser::registration_warnings`].
     pub fn register(&mut self, spec: DisguiseSpec) -> Result<()> {
         validate_spec(&spec, &self.db)?;
+        let diags = analyze::analyze_spec(&spec, &self.db, &self.prior_specs(&spec.name));
+        if analyze::has_errors(&diags) {
+            return Err(Error::AnalysisFailed {
+                disguise: spec.name.clone(),
+                report: analyze::render_report(&diags),
+            });
+        }
+        self.warnings.insert(spec.name.clone(), diags);
         self.specs.insert(spec.name.clone(), spec);
         Ok(())
+    }
+
+    /// Every registered spec except `excluding`, sorted by name so
+    /// analyzer output is deterministic.
+    fn prior_specs(&self, excluding: &str) -> Vec<&DisguiseSpec> {
+        let mut priors: Vec<&DisguiseSpec> = self
+            .specs
+            .values()
+            .filter(|s| s.name != excluding)
+            .collect();
+        priors.sort_by(|a, b| a.name.cmp(&b.name));
+        priors
+    }
+
+    /// Re-runs the static analyzer on a registered spec against the
+    /// current schema and the other registered specs.
+    pub fn check(&self, name: &str) -> Result<Vec<Diagnostic>> {
+        let spec = self.spec(name)?;
+        Ok(analyze::analyze_spec(
+            spec,
+            &self.db,
+            &self.prior_specs(name),
+        ))
+    }
+
+    /// Runs [`Disguiser::check`] over every registered spec, sorted by
+    /// name.
+    pub fn check_all(&self) -> Vec<(String, Vec<Diagnostic>)> {
+        let mut names: Vec<String> = self.specs.keys().cloned().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|n| {
+                let diags = self.check(&n).expect("registered spec");
+                (n, diags)
+            })
+            .collect()
+    }
+
+    /// The warnings the analyzer recorded when `name` registered (empty
+    /// if none, or if the spec is unknown).
+    pub fn registration_warnings(&self, name: &str) -> &[Diagnostic] {
+        self.warnings.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Parses, validates, and registers a DSL spec; returns its name.

@@ -12,6 +12,9 @@ pub enum Error {
     SpecInvalid { disguise: String, message: String },
     /// The disguise specification text could not be parsed.
     SpecParse { line: usize, message: String },
+    /// Static analysis ([`crate::analyze`]) found errors at registration;
+    /// `report` is the rendered diagnostic report.
+    AnalysisFailed { disguise: String, report: String },
     /// A user-scoped disguise was applied without a user id.
     MissingUser(String),
     /// A post-apply assertion failed; the disguise was rolled back.
@@ -58,6 +61,9 @@ impl fmt::Display for Error {
             }
             Error::SpecParse { line, message } => {
                 write!(f, "disguise spec parse error at line {line}: {message}")
+            }
+            Error::AnalysisFailed { disguise, report } => {
+                write!(f, "disguise {disguise} failed static analysis:\n{report}")
             }
             Error::MissingUser(n) => {
                 write!(f, "disguise {n} is user-scoped but no user id was provided")

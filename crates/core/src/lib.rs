@@ -16,6 +16,9 @@
 //!   never undoes a later disguise (§4.2);
 //! - [`analysis`] — static analysis of disguise interactions automating
 //!   the paper's §6 composition optimization;
+//! - [`analyze`] — schema-aware static analysis producing rustc-style
+//!   diagnostics (typed predicates, referential/reveal safety, PII
+//!   coverage), enforced at registration and exposed as `edna check`;
 //! - assertions over the end state (§7), checked post-apply with rollback
 //!   and mechanism-retry on failure;
 //! - [`policy`] — expiration and data-decay policies over a logical clock
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod analyze;
 pub mod apply;
 pub mod error;
 pub mod guard;
@@ -37,6 +41,7 @@ pub mod reveal;
 pub mod spec;
 
 pub use analysis::{plan_composition, CompositionPlan};
+pub use analyze::{analyze_spec, render_report, Diagnostic, Location, Severity};
 pub use apply::{ApplyOptions, DisguiseReport, Disguiser, VaultFailurePolicy};
 pub use error::{Error, Result};
 pub use guard::DisguisedRows;

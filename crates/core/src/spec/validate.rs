@@ -23,6 +23,30 @@ pub fn validate_spec(spec: &DisguiseSpec, db: &Database) -> Result<()> {
         disguise: spec.name.clone(),
         message,
     };
+    // Two column-targeting transformations of the same column in one spec
+    // fight over the column's reveal function: the later one records the
+    // already-disguised value, so reveal cannot restore the original.
+    // `Remove`s are exempt — several predicated Removes over one table
+    // (e.g. "my rows" and "rows about me") are a common, sound idiom.
+    let mut targeted: Vec<(String, String)> = Vec::new();
+    for section in &spec.tables {
+        for pt in &section.transformations {
+            let col = match &pt.transform {
+                Transformation::Remove => continue,
+                Transformation::Decorrelate { fk_column, .. } => fk_column,
+                Transformation::Modify { column, .. } => column,
+            };
+            let key = (section.table.to_ascii_lowercase(), col.to_ascii_lowercase());
+            if targeted.contains(&key) {
+                return Err(fail(format!(
+                    "duplicate transformation of {}.{col}: a column may be \
+                     modified or decorrelated at most once per spec",
+                    section.table
+                )));
+            }
+            targeted.push(key);
+        }
+    }
     let mut saw_uid = false;
     for section in &spec.tables {
         let schema = db
@@ -248,6 +272,47 @@ mod tests {
             .build()
             .unwrap();
         assert!(validate_spec(&spec, &db()).is_err());
+    }
+
+    #[test]
+    fn duplicate_column_transformations_rejected() {
+        use crate::spec::Modifier;
+        // Modify + Modify of the same column.
+        let spec = DisguiseSpecBuilder::new("bad")
+            .user_scoped()
+            .modify("users", Some("id = $UID"), "email", Modifier::SetNull)
+            .modify("users", Some("id = $UID"), "email", Modifier::Redact)
+            .build()
+            .unwrap();
+        let err = validate_spec(&spec, &db()).unwrap_err().to_string();
+        assert!(err.contains("duplicate transformation"), "got: {err}");
+
+        // Modify + Decorrelate of the same column, across two sections of
+        // the same table (case-insensitively).
+        let spec = DisguiseSpecBuilder::new("bad2")
+            .user_scoped()
+            .modify(
+                "reviews",
+                Some("user_id = $UID"),
+                "user_id",
+                Modifier::SetNull,
+            )
+            .decorrelate("Reviews", Some("user_id = $UID"), "USER_ID", "users")
+            .placeholder("users", "name", Generator::Random)
+            .build()
+            .unwrap();
+        let err = validate_spec(&spec, &db()).unwrap_err().to_string();
+        assert!(err.contains("duplicate transformation"), "got: {err}");
+
+        // Several Removes over one table stay legal.
+        let spec = DisguiseSpecBuilder::new("ok")
+            .user_scoped()
+            .remove("reviews", Some("user_id = $UID"))
+            .remove("reviews", Some("body = 'about me' AND user_id = $UID"))
+            .remove("users", Some("id = $UID"))
+            .build()
+            .unwrap();
+        validate_spec(&spec, &db()).unwrap();
     }
 
     #[test]

@@ -397,7 +397,11 @@ fn assertion_failure_rolls_back_and_retry_mechanism_works() {
     edna.register(
         DisguiseSpecBuilder::new("Impossible")
             .user_scoped()
+            .decorrelate("stories", Some("user_id = $UID"), "user_id", "users")
+            .decorrelate("comments", Some("user_id = $UID"), "user_id", "users")
             .remove("users", Some("id = $UID"))
+            .placeholder("users", "username", Generator::Random)
+            .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
             .assert_empty("comments", "story_id = 1", "nothing references story 1")
             .build()
             .unwrap(),

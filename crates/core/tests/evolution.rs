@@ -76,14 +76,16 @@ fn reveal_after_drop_column_discards_stale_values() {
         DisguiseSpecBuilder::new("RedactAndDelete")
             .user_scoped()
             .modify("posts", Some("user_id = $UID"), "body", Modifier::Redact)
+            .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
             .remove("users", Some("id = $UID"))
+            .placeholder("users", "name", Generator::Random)
+            .placeholder("users", "disabled", Generator::Default(Value::Bool(true)))
             .build()
             .unwrap(),
     )
     .unwrap();
-    // user 2 has one post; their user row has no posts pointing at it
-    // after... actually posts still reference user 2; modify only. Use a
-    // removable user: give mel's post to bea first.
+    // Give mel's post to bea first, so removing user 2 touches no posts
+    // and the decorrelation matches zero rows.
     db.execute("UPDATE posts SET user_id = 1 WHERE user_id = 2")
         .unwrap();
     let report = edna.apply("RedactAndDelete", Some(&Value::Int(2))).unwrap();

@@ -105,6 +105,7 @@ const KEYWORDS: &[&str] = &[
     "COLUMN",
     "RENAME",
     "TO",
+    "PII",
 ];
 
 /// Tokenizes `src` into a vector of [`Token`]s.

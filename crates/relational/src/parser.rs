@@ -435,6 +435,8 @@ impl Parser {
                 col.auto_increment = true;
             } else if self.eat_keyword("DEFAULT") {
                 col.default = Some(self.literal_value()?);
+            } else if self.eat_keyword("PII") {
+                col.pii = true;
             } else {
                 break;
             }

@@ -55,6 +55,11 @@ pub struct ColumnDef {
     pub default: Option<Value>,
     /// Whether this is an AUTO_INCREMENT integer column.
     pub auto_increment: bool,
+    /// Whether the column holds personally identifiable information
+    /// (declared with the `PII` column annotation). Consumed by the
+    /// disguise analyzer's coverage lint; the engine itself attaches no
+    /// semantics to it.
+    pub pii: bool,
 }
 
 impl ColumnDef {
@@ -67,6 +72,7 @@ impl ColumnDef {
             unique: false,
             default: None,
             auto_increment: false,
+            pii: false,
         }
     }
 
@@ -85,6 +91,12 @@ impl ColumnDef {
     /// Builder: sets a DEFAULT value.
     pub fn default_value(mut self, v: impl Into<Value>) -> ColumnDef {
         self.default = Some(v.into());
+        self
+    }
+
+    /// Builder: marks the column as personally identifiable information.
+    pub fn pii(mut self) -> ColumnDef {
+        self.pii = true;
         self
     }
 }
@@ -145,6 +157,15 @@ impl TableSchema {
             .find(|fk| fk.column.eq_ignore_ascii_case(column))
     }
 
+    /// Names of the columns annotated `PII`, in declaration order.
+    pub fn pii_columns(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.pii)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
     /// Validates internal consistency: unique column names, PK/FK columns
     /// exist, auto-increment only on INT columns.
     pub fn validate(&self) -> Result<()> {
@@ -195,6 +216,9 @@ impl TableSchema {
             }
             if let Some(d) = &c.default {
                 s.push_str(&format!(" DEFAULT {}", d.to_sql_literal()));
+            }
+            if c.pii {
+                s.push_str(" PII");
             }
             parts.push(s);
         }
@@ -263,5 +287,14 @@ mod tests {
         let sql = t.to_create_sql();
         assert!(sql.contains("reviewId INT PRIMARY KEY"));
         assert!(sql.contains("FOREIGN KEY (contactId) REFERENCES ContactInfo(contactId)"));
+    }
+
+    #[test]
+    fn pii_annotation_is_tracked_and_rendered() {
+        let mut t = sample();
+        t.columns
+            .push(ColumnDef::new("email", DataType::Text).pii());
+        assert_eq!(t.pii_columns(), vec!["email"]);
+        assert!(t.to_create_sql().contains("email TEXT PII"));
     }
 }

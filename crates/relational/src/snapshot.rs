@@ -16,7 +16,7 @@ use crate::error::{Error, Result};
 use crate::schema::{ColumnDef, ForeignKey, ReferentialAction, TableSchema};
 use crate::value::{DataType, Row, Value};
 
-const MAGIC: &[u8; 8] = b"EDNADB\x01\x00";
+const MAGIC: &[u8; 8] = b"EDNADB\x02\x00";
 
 // ---- little byte helpers (self-contained; no external serializer) ---------
 
@@ -175,6 +175,7 @@ pub fn encode(db: &Database) -> Result<Vec<u8>> {
             w.u8(u8::from(c.not_null));
             w.u8(u8::from(c.unique));
             w.u8(u8::from(c.auto_increment));
+            w.u8(u8::from(c.pii));
             match &c.default {
                 Some(v) => {
                     w.u8(1);
@@ -237,6 +238,7 @@ pub fn decode(data: &[u8]) -> Result<Database> {
             col.not_null = r.u8()? != 0;
             col.unique = r.u8()? != 0;
             col.auto_increment = r.u8()? != 0;
+            col.pii = r.u8()? != 0;
             if r.u8()? != 0 {
                 col.default = Some(r.value()?);
             }

@@ -20,16 +20,6 @@ pub type RowId = usize;
 #[repr(transparent)]
 pub struct IndexKey(pub Value);
 
-impl IndexKey {
-    /// Views a borrowed [`Value`] as a borrowed `IndexKey`, so map lookups
-    /// need not clone the probe key. Sound because `IndexKey` is a
-    /// `#[repr(transparent)]` wrapper around `Value`.
-    pub fn from_ref(v: &Value) -> &IndexKey {
-        // SAFETY: repr(transparent) guarantees identical layout.
-        unsafe { &*(v as *const Value as *const IndexKey) }
-    }
-}
-
 impl Eq for IndexKey {}
 
 impl PartialOrd for IndexKey {
@@ -71,7 +61,7 @@ impl Index {
     /// Row ids whose indexed column equals `key`.
     pub fn lookup(&self, key: &Value) -> &[RowId] {
         self.map
-            .get(IndexKey::from_ref(key))
+            .get(&IndexKey(key.clone()))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -81,11 +71,11 @@ impl Index {
     }
 
     fn remove(&mut self, key: &Value, row_id: RowId) {
-        let k = IndexKey::from_ref(key);
-        if let Some(ids) = self.map.get_mut(k) {
+        let k = IndexKey(key.clone());
+        if let Some(ids) = self.map.get_mut(&k) {
             ids.retain(|&id| id != row_id);
             if ids.is_empty() {
-                self.map.remove(k);
+                self.map.remove(&k);
             }
         }
     }

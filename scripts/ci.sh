@@ -18,6 +18,20 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> edna check (static analysis over every bundled spec)"
+CHECK_DIR=$(mktemp -d)
+trap 'rm -rf "$CHECK_DIR"' EXIT
+target/release/edna demo "$CHECK_DIR/hotcrp" hotcrp --scale 0.02
+target/release/edna check "$CHECK_DIR/hotcrp" --all --deny-warnings
+target/release/edna demo "$CHECK_DIR/lobsters" lobsters
+target/release/edna check "$CHECK_DIR/lobsters" --all --deny-warnings
+# The intentionally flawed example spec must be rejected.
+if target/release/edna check "$CHECK_DIR/hotcrp" examples/flawed_scrub.edna; then
+    echo "examples/flawed_scrub.edna unexpectedly passed edna check" >&2
+    exit 1
+fi
+echo "edna check OK"
+
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
 BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
     cargo bench -p edna-bench --bench batching
