@@ -58,9 +58,10 @@ struct ApplyCounts {
 }
 
 /// Applies `HotCRP-GDPR+` to two users of a fresh no-latency instance and
-/// returns per-apply counters. The second apply reuses every SQL shape the
-/// first parsed, so its `stmt_cache_hits` must be nonzero.
-fn no_latency_counts(scale: f64) -> Vec<ApplyCounts> {
+/// returns per-apply counters plus the engine's metrics-registry snapshot
+/// (JSON exposition) after both applies. The second apply reuses every SQL
+/// shape the first parsed, so its `stmt_cache_hits` must be nonzero.
+fn no_latency_counts(scale: f64) -> (Vec<ApplyCounts>, String) {
     let env = hotcrp_env(&HotCrpConfig::scaled(scale), None);
     let mut out = Vec::new();
     for (label, user) in [
@@ -80,7 +81,8 @@ fn no_latency_counts(scale: f64) -> Vec<ApplyCounts> {
             stmt_cache_misses: report.stats.stmt_cache_misses,
         });
     }
-    out
+    let metrics = env.edna.database().metrics().render_json();
+    (out, metrics)
 }
 
 fn json_case(s: &CaseSummary) -> String {
@@ -126,7 +128,7 @@ fn main() {
     println!("  speedup (sequential/parallel median): {speedup:.2}x");
 
     // Regime 2: statement counts without latency.
-    let counts = no_latency_counts(scale);
+    let (counts, metrics) = no_latency_counts(scale);
     for c in &counts {
         println!(
             "  stats/{:<14} statements {:>5}  rows_written {:>5}  objects {:>5}  \
@@ -146,6 +148,7 @@ fn main() {
         "{{\n  \"bench\": \"batching\",\n  \"scale\": {scale},\n  \"users\": {users},\n  \
          \"samples\": {samples},\n  \"latency_per_statement_us\": {LATENCY_PER_STATEMENT_US},\n  \
          \"cases\": [\n{}\n  ],\n  \"no_latency\": [\n{}\n  ],\n  \
+         \"metrics\": {metrics},\n  \
          \"speedup_sequential_over_parallel\": {speedup:.3},\n  \
          \"parallel_beats_sequential\": {}\n}}\n",
         cases.iter().map(json_case).collect::<Vec<_>>().join(",\n"),

@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use edna_core::{Disguiser, HISTORY_TABLE};
+use edna_core::{Disguiser, SpanRecord, HISTORY_TABLE};
 use edna_relational::{Database, QueryResult, Value};
 use edna_vault::{FileStore, TieredVault, Vault};
 
@@ -118,10 +118,21 @@ impl Workspace {
         Ok(Workspace { path, db, edna })
     }
 
-    /// Persists the database snapshot.
+    /// Persists the database snapshot, plus a `<state>.metrics` sidecar
+    /// with the Prometheus-text rendering of this process's metrics
+    /// registry (readable later via `edna stats`).
     pub fn save(&self) -> CliResult<()> {
         self.db.save(&self.path)?;
+        std::fs::write(self.metrics_path(), self.db.metrics().render_prometheus())
+            .map_err(|e| CliError(format!("cannot write metrics sidecar: {e}")))?;
         Ok(())
+    }
+
+    /// Where the metrics sidecar of this workspace lives.
+    pub fn metrics_path(&self) -> PathBuf {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(".metrics");
+        PathBuf::from(os)
     }
 
     /// Registers a disguise from DSL text and persists it in the registry.
@@ -211,6 +222,49 @@ pub fn format_result(r: &QueryResult) -> String {
     out
 }
 
+/// Renders exported spans (`--trace-out` JSONL) as an indented tree,
+/// children under their parents, siblings in start order.
+pub fn format_trace_tree(spans: &[SpanRecord]) -> String {
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    let mut children: std::collections::HashMap<u64, Vec<&SpanRecord>> =
+        std::collections::HashMap::new();
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    for s in spans {
+        match s.parent {
+            // A parent evicted from the ring buffer orphans the child;
+            // show it as a root rather than dropping it.
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    roots.sort_by_key(|s| s.start_us);
+    for v in children.values_mut() {
+        v.sort_by_key(|s| s.start_us);
+    }
+    let mut out = String::new();
+    fn emit(
+        out: &mut String,
+        s: &SpanRecord,
+        depth: usize,
+        children: &std::collections::HashMap<u64, Vec<&SpanRecord>>,
+    ) {
+        let _ = write!(out, "{}{}  {}us", "  ".repeat(depth), s.label, s.dur_us);
+        for (k, v) in &s.attrs {
+            let _ = write!(out, "  {k}={v}");
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&s.id) {
+            for kid in kids {
+                emit(out, kid, depth + 1, children);
+            }
+        }
+    }
+    for root in roots {
+        emit(&mut out, root, 0, &children);
+    }
+    out
+}
+
 /// Renders the disguise history as a table.
 pub fn format_history(edna: &Disguiser) -> CliResult<String> {
     let r = edna.database().execute(&format!(
@@ -235,6 +289,9 @@ mod tests {
 
     fn cleanup(p: &Path) {
         let _ = std::fs::remove_file(p);
+        let mut m = p.as_os_str().to_os_string();
+        m.push(".metrics");
+        let _ = std::fs::remove_file(PathBuf::from(m));
         let mut v = p.as_os_str().to_os_string();
         v.push(".vault");
         let _ = std::fs::remove_dir_all(PathBuf::from(v));
@@ -352,6 +409,56 @@ tables: {
         assert_eq!(parse_user("42"), Value::Int(42));
         assert_eq!(parse_user("-3"), Value::Int(-3));
         assert_eq!(parse_user("bea"), Value::Text("bea".into()));
+    }
+
+    #[test]
+    fn save_writes_metrics_sidecar() {
+        let state = temp_state("metrics");
+        let ws = Workspace::init(&state, None).unwrap();
+        ws.db
+            .execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            .unwrap();
+        ws.save().unwrap();
+        let text = std::fs::read_to_string(ws.metrics_path()).unwrap();
+        assert!(text.contains("edna_statements_total"), "got: {text}");
+        assert!(text.contains("# TYPE"), "got: {text}");
+        cleanup(&state);
+    }
+
+    #[test]
+    fn trace_tree_nests_and_orphans_surface() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                label: "disguise_apply".into(),
+                start_us: 0,
+                dur_us: 90,
+                attrs: vec![("disguise".into(), "Gdpr".into())],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                label: "transform".into(),
+                start_us: 10,
+                dur_us: 40,
+                attrs: vec![],
+            },
+            // Parent 99 was evicted from the ring buffer.
+            SpanRecord {
+                id: 3,
+                parent: Some(99),
+                label: "orphan".into(),
+                start_us: 5,
+                dur_us: 1,
+                attrs: vec![],
+            },
+        ];
+        let tree = format_trace_tree(&spans);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines[0], "disguise_apply  90us  disguise=Gdpr");
+        assert_eq!(lines[1], "  transform  40us");
+        assert_eq!(lines[2], "orphan  1us");
     }
 
     #[test]

@@ -2,23 +2,38 @@
 //!
 //! ```text
 //! edna init <state> [--schema <file.sql>] [--passphrase <p>]
-//! edna sql <state> "<statement>" [--passphrase <p>]
+//! edna sql <state> "<statement>" [--passphrase <p>] [--trace-out <f.jsonl>]
+//!          [--slow-ms <n>]
 //! edna explain <state> "<statement>"
 //! edna load-sql <state> <file.sql> [--passphrase <p>]
 //! edna register <state> <spec.edna> [--passphrase <p>]
 //! edna check <state> [<disguise> | <spec.edna> | --all] [--deny-warnings]
 //! edna specs <state>
 //! edna apply <state> <disguise> [--user <id>] [--no-compose] [--no-optimize]
+//!          [--trace-out <f.jsonl>]
 //! edna reveal <state> (--id <n> | --latest <disguise> [--user <id>])
+//!          [--trace-out <f.jsonl>]
 //! edna history <state>
 //! edna disguised <state>
+//! edna stats <state>
+//! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
+//!
+//! `--trace-out` records structured spans (statements, disguise phases,
+//! vault/storage operations) and exports them as JSON Lines;
+//! `edna trace` pretty-prints such a file as an indented tree. `edna
+//! stats` prints the Prometheus-text metrics the last state-mutating
+//! command left in the `<state>.metrics` sidecar. `EXPLAIN ANALYZE
+//! <select>` (via `edna sql`) profiles per-operator row counts and
+//! timings from a real execution.
 
 use std::process::ExitCode;
 
-use edna_cli::{format_history, format_result, parse_user, CliError, CliResult, Workspace};
-use edna_core::ApplyOptions;
+use edna_cli::{
+    format_history, format_result, format_trace_tree, parse_user, CliError, CliResult, Workspace,
+};
+use edna_core::{ApplyOptions, SpanRecord, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,9 +60,22 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn usage() -> CliError {
     CliError(
         "usage: edna <init|sql|explain|load-sql|register|check|specs|apply|reveal|history|\
-         disguised|demo> <state> [args...] (see crate docs)"
+         disguised|stats|trace|demo> <state> [args...] (see crate docs)"
             .to_string(),
     )
+}
+
+/// Builds a tracer when `--trace-out <file>` was given; the returned
+/// closure writes the collected spans there.
+fn trace_sink(args: &[String]) -> Option<(Tracer, impl FnOnce(&Tracer) -> CliResult<()>)> {
+    let path = flag_value(args, "--trace-out")?.to_string();
+    let tracer = Tracer::default();
+    Some((tracer, move |t: &Tracer| {
+        t.write_jsonl(std::path::Path::new(&path))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {} span(s) to {path}", t.len());
+        Ok(())
+    }))
 }
 
 fn run(args: &[String]) -> CliResult<()> {
@@ -69,9 +97,31 @@ fn run(args: &[String]) -> CliResult<()> {
         "sql" => {
             let stmt = args.get(2).ok_or_else(usage)?;
             let ws = Workspace::open(&state, passphrase)?;
+            let sink = trace_sink(args);
+            if let Some((tracer, _)) = &sink {
+                ws.edna.set_tracer(Some(tracer.clone()));
+            }
+            let slow_ms: Option<u64> = flag_value(args, "--slow-ms")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError(format!("bad --slow-ms {s}")))
+                })
+                .transpose()?;
+            if let Some(ms) = slow_ms {
+                ws.db
+                    .set_slow_statement_threshold(Some(std::time::Duration::from_millis(ms)));
+            }
             let r = ws.db.execute(stmt)?;
             print!("{}", format_result(&r));
+            if slow_ms.is_some() {
+                for s in ws.db.slow_statements() {
+                    eprintln!("slow ({}us): {}", s.micros, s.sql);
+                }
+            }
             ws.save()?;
+            if let Some((tracer, flush)) = sink {
+                flush(&tracer)?;
+            }
         }
         "explain" => {
             let stmt = args.get(2).ok_or_else(usage)?;
@@ -173,6 +223,10 @@ fn run(args: &[String]) -> CliResult<()> {
             let disguise = args.get(2).ok_or_else(usage)?;
             let user = flag_value(args, "--user").map(parse_user);
             let ws = Workspace::open(&state, passphrase)?;
+            let sink = trace_sink(args);
+            if let Some((tracer, _)) = &sink {
+                ws.edna.set_tracer(Some(tracer.clone()));
+            }
             let opts = ApplyOptions {
                 compose: !has_flag(args, "--no-compose"),
                 optimize: !has_flag(args, "--no-optimize"),
@@ -193,9 +247,16 @@ fn run(args: &[String]) -> CliResult<()> {
                 report.stats.statements
             );
             ws.save()?;
+            if let Some((tracer, flush)) = sink {
+                flush(&tracer)?;
+            }
         }
         "reveal" => {
             let ws = Workspace::open(&state, passphrase)?;
+            let sink = trace_sink(args);
+            if let Some((tracer, _)) = &sink {
+                ws.edna.set_tracer(Some(tracer.clone()));
+            }
             let report = if let Some(id) = flag_value(args, "--id") {
                 let id: u64 = id.parse().map_err(|_| CliError(format!("bad id {id}")))?;
                 ws.edna.reveal(id)?
@@ -218,6 +279,39 @@ fn run(args: &[String]) -> CliResult<()> {
                 report.reapplied
             );
             ws.save()?;
+            if let Some((tracer, flush)) = sink {
+                flush(&tracer)?;
+            }
+        }
+        "stats" => {
+            // The sidecar holds the registry snapshot the last
+            // state-mutating command saved; a fresh open would read all
+            // zeroes, so print the sidecar instead.
+            let ws = Workspace::open(&state, passphrase)?;
+            let path = ws.metrics_path();
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                CliError(format!(
+                    "no metrics sidecar at {} (run a state-mutating command first): {e}",
+                    path.display()
+                ))
+            })?;
+            print!("{text}");
+        }
+        "trace" => {
+            // Here the positional argument is the JSONL file itself.
+            let text = std::fs::read_to_string(&state)
+                .map_err(|e| CliError(format!("cannot read {state}: {e}")))?;
+            let mut spans = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let span = SpanRecord::from_json(line)
+                    .ok_or_else(|| CliError(format!("{state}:{}: not a span line", i + 1)))?;
+                spans.push(span);
+            }
+            print!("{}", format_trace_tree(&spans));
+            eprintln!("({} span(s))", spans.len());
         }
         "history" => {
             let ws = Workspace::open(&state, passphrase)?;

@@ -18,7 +18,9 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use edna_obs::{SpanGuard, Tracer};
 use edna_util::rng::Prng;
+use edna_util::sync::lock_unpoisoned;
 use std::sync::Mutex;
 
 use edna_relational::{
@@ -225,7 +227,27 @@ impl Disguiser {
 
     /// Reseeds the RNG (placeholder values become reproducible).
     pub fn set_seed(&self, seed: u64) {
-        *self.rng.lock().unwrap() = Prng::seed_from_u64(seed);
+        *lock_unpoisoned(&self.rng) = Prng::seed_from_u64(seed);
+    }
+
+    /// Installs (or with `None` removes) a tracer across every layer this
+    /// disguiser touches: the engine emits per-statement spans, the vaults
+    /// and journal emit storage spans, and the disguiser itself emits
+    /// disguise-phase spans (`disguise_apply`, `recorrelate`, `transform`,
+    /// `predicate_scan`, `placeholder_gen`, `transform_write`,
+    /// `redo_pass`, `assertions`, `history_append`, `vault_write`,
+    /// `reveal`, ...), all sharing one span buffer.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        self.db.set_tracer(tracer.clone());
+        self.vaults.set_tracer(tracer.clone());
+        if let Some(j) = lock_unpoisoned(&self.journal).as_ref() {
+            j.set_tracer(tracer);
+        }
+    }
+
+    /// Opens a disguise-phase span if a tracer is installed.
+    pub(crate) fn span(&self, label: &str) -> Option<SpanGuard> {
+        self.db.tracer().map(|t| t.begin(label))
     }
 
     /// The underlying database handle.
@@ -246,13 +268,15 @@ impl Disguiser {
     /// Configures the journal that [`VaultFailurePolicy::Buffer`] spools
     /// vault writes to when the backend is down.
     pub fn set_vault_journal(&self, journal: VaultJournal) {
-        *self.journal.lock().unwrap() = Some(journal);
+        // Inherit whatever tracer is currently installed.
+        journal.set_tracer(self.db.tracer());
+        *lock_unpoisoned(&self.journal) = Some(journal);
     }
 
     /// Vault entries spooled by [`VaultFailurePolicy::Buffer`] and not yet
     /// flushed (0 if no journal is configured).
     pub fn pending_vault_writes(&self) -> Result<usize> {
-        match self.journal.lock().unwrap().as_ref() {
+        match lock_unpoisoned(&self.journal).as_ref() {
             Some(j) => Ok(j.len()?),
             None => Ok(0),
         }
@@ -264,7 +288,8 @@ impl Disguiser {
     /// journal and the error surfaces — calling again once the backend
     /// recovers resumes where it stopped.
     pub fn flush_pending_vault_writes(&self) -> Result<usize> {
-        let guard = self.journal.lock().unwrap();
+        let _span = self.span("vault_flush");
+        let guard = lock_unpoisoned(&self.journal);
         let Some(journal) = guard.as_ref() else {
             return Ok(0);
         };
@@ -419,6 +444,11 @@ impl Disguiser {
             params.insert("UID".to_string(), user_value.clone());
         }
 
+        let mut root = self.span("disguise_apply");
+        if let Some(g) = root.as_mut() {
+            g.attr("disguise", name);
+            g.attr("user", user_value.to_sql_literal());
+        }
         let started = Instant::now();
         let stats_before = self.db.stats();
         let vault_stats_before = self.vaults.store_stats();
@@ -473,6 +503,7 @@ impl Disguiser {
         // Composition pre-pass: temporarily recorrelate rows that prior
         // disguises transformed and this disguise needs to see (§4.2).
         let recorrelated = if opts.compose {
+            let _phase = self.span("recorrelate");
             self.recorrelate_for(spec, user_value, params, opts.optimize, &mut report)?
         } else {
             Vec::new()
@@ -497,6 +528,7 @@ impl Disguiser {
         // Redo pass: re-disguise recorrelated rows the main pass left
         // untouched, restoring the prior disguise's protection. Writes are
         // collected per table and flushed in one batch each.
+        let redo_span = self.span("redo_pass");
         let mut redo: Vec<(String, PkUpdates)> = Vec::new();
         for r in &recorrelated {
             let schema = self.db.schema(&r.table)?;
@@ -523,8 +555,10 @@ impl Disguiser {
         for (table, updates) in &redo {
             report.rows_redone += self.db.update_rows_by_pk(table, updates)?;
         }
+        drop(redo_span);
 
         // End-state assertions (§7): zero rows may match.
+        let assert_span = self.span("assertions");
         for assertion in &spec.assertions {
             let matching = self
                 .db
@@ -537,13 +571,17 @@ impl Disguiser {
                 });
             }
         }
+        drop(assert_span);
 
         // Record history and reveal functions.
-        let id = self
-            .history
-            .record(&spec.name, user_value, now, spec.reversible)?;
+        let id = {
+            let _phase = self.span("history_append");
+            self.history
+                .record(&spec.name, user_value, now, spec.reversible)?
+        };
         report.disguise_id = id;
         if spec.reversible && !ops.is_empty() {
+            let _phase = self.span("vault_write");
             let entry = VaultEntry {
                 disguise_id: id,
                 disguise_name: spec.name.clone(),
@@ -567,7 +605,7 @@ impl Disguiser {
                     // Proceed reversibly: spool the entry durably; if even
                     // the journal fails, abort as under Require.
                     VaultFailurePolicy::Buffer => {
-                        match self.journal.lock().unwrap().as_ref() {
+                        match lock_unpoisoned(&self.journal).as_ref() {
                             Some(journal) => journal.append(spec.vault_tier, &entry)?,
                             None => return Err(Error::NoJournal),
                         }
@@ -593,9 +631,26 @@ impl Disguiser {
         report: &mut DisguiseReport,
     ) -> Result<()> {
         let pred = combine_preds(pt.pred.as_ref(), extra_pred);
+        let mut phase = self.span("transform");
+        if let Some(g) = phase.as_mut() {
+            g.attr("table", table);
+            g.attr(
+                "kind",
+                match &pt.transform {
+                    Transformation::Remove => "remove",
+                    Transformation::Decorrelate { .. } => "decorrelate",
+                    Transformation::Modify { .. } => "modify",
+                },
+            );
+        }
         match &pt.transform {
             Transformation::Remove => {
-                let removed = self.db.delete_where_returning(table, &pred, params)?;
+                // The delete both scans the predicate and writes, so it
+                // counts as the transform's write phase.
+                let removed = {
+                    let _w = self.span("transform_write");
+                    self.db.delete_where_returning(table, &pred, params)?
+                };
                 report.rows_removed += removed.len();
                 // Column names are recorded so reveal can adapt rows if
                 // the schema evolves in between (paper §7).
@@ -627,7 +682,10 @@ impl Disguiser {
                 let fk_idx = schema.require_column(fk_column)?;
                 let parent_schema = self.db.schema(parent_table)?;
                 let (_, parent_pk_col) = pk_of(&parent_schema, "placeholder creation")?;
-                let rows = self.db.select_rows(table, Some(&pred), params)?;
+                let rows = {
+                    let _scan = self.span("predicate_scan");
+                    self.db.select_rows(table, Some(&pred), params)?
+                };
                 // Batched apply: one placeholder insert batch, then all
                 // fk rewrites in one engine round trip (instead of two
                 // statements per row).
@@ -635,7 +693,8 @@ impl Disguiser {
                     rows.iter().filter(|r| !r[fk_idx].is_null()).collect();
                 let originals: Vec<Value> = targets.iter().map(|r| r[fk_idx].clone()).collect();
                 let placeholder_pks = {
-                    let mut rng = self.rng.lock().unwrap();
+                    let _gen = self.span("placeholder_gen");
+                    let mut rng = lock_unpoisoned(&self.rng);
                     create_placeholders(&self.db, spec, parent_table, &originals, &mut *rng)?
                 };
                 report.placeholders_created += placeholder_pks.len();
@@ -644,7 +703,10 @@ impl Disguiser {
                     .zip(&placeholder_pks)
                     .map(|(row, ppk)| (row[pk_idx].clone(), vec![(fk_idx, ppk.clone())]))
                     .collect();
-                report.rows_decorrelated += self.db.update_rows_by_pk(table, &updates)?;
+                report.rows_decorrelated += {
+                    let _w = self.span("transform_write");
+                    self.db.update_rows_by_pk(table, &updates)?
+                };
                 for ((row, original), placeholder_pk) in
                     targets.iter().zip(originals).zip(placeholder_pks)
                 {
@@ -665,13 +727,16 @@ impl Disguiser {
                 let schema = self.db.schema(table)?;
                 let (pk_idx, pk_col) = pk_of(&schema, "modification")?;
                 let col_idx = schema.require_column(column)?;
-                let rows = self.db.select_rows(table, Some(&pred), params)?;
+                let rows = {
+                    let _scan = self.span("predicate_scan");
+                    self.db.select_rows(table, Some(&pred), params)?
+                };
                 // Batched apply: compute every new value first (RNG draws
                 // stay in row order, so seeded runs are unchanged), then
                 // flush all column writes in one engine round trip.
                 let mut updates: Vec<(Value, Vec<(usize, Value)>)> = Vec::new();
                 {
-                    let mut rng = self.rng.lock().unwrap();
+                    let mut rng = lock_unpoisoned(&self.rng);
                     for row in &rows {
                         let original = row[col_idx].clone();
                         let new_value = modifier.apply(&original, &mut *rng);
@@ -687,7 +752,10 @@ impl Disguiser {
                         });
                     }
                 }
-                report.rows_modified += self.db.update_rows_by_pk(table, &updates)?;
+                report.rows_modified += {
+                    let _w = self.span("transform_write");
+                    self.db.update_rows_by_pk(table, &updates)?
+                };
             }
         }
         Ok(())

@@ -57,6 +57,10 @@ impl Disguiser {
 
     /// Reverts disguise application `disguise_id`.
     pub fn reveal(&self, disguise_id: u64) -> Result<RevealReport> {
+        let mut root = self.span("reveal");
+        if let Some(g) = root.as_mut() {
+            g.attr("disguise_id", disguise_id.to_string());
+        }
         let started = Instant::now();
         let event = self.history.get(disguise_id)?;
         if event.reverted {
@@ -135,6 +139,7 @@ impl Disguiser {
         // children were recorded before their parents, so the reverse order
         // restores parents first). A fixpoint loop tolerates cross-entry
         // orderings.
+        let reinsert_span = self.span("reinsert");
         let mut pending: Vec<&RevealOp> = all_ops
             .iter()
             .rev()
@@ -198,8 +203,10 @@ impl Disguiser {
             }
             pending = next_round;
         }
+        drop(reinsert_span);
 
         // Phase 2: restore modified/decorrelated columns.
+        let restore_span = self.span("restore_columns");
         for op in &all_ops {
             let RevealOp::RestoreColumns {
                 table,
@@ -250,8 +257,10 @@ impl Disguiser {
                 .or_default()
                 .push(pk.clone());
         }
+        drop(restore_span);
 
         // Phase 3: garbage-collect placeholders nothing references anymore.
+        let gc_span = self.span("placeholder_gc");
         for op in &all_ops {
             let RevealOp::RemovePlaceholder {
                 table,
@@ -272,9 +281,11 @@ impl Disguiser {
                 Err(e) => return Err(e.into()),
             }
         }
+        drop(gc_span);
 
         // Re-application: later active disguises must still hold over the
         // revealed rows (§4.2).
+        let reapply_span = self.span("reapply");
         for later in self.history.active_after(disguise_id)? {
             let Some(spec) = self.specs.get(&later.name) else {
                 continue;
@@ -341,6 +352,7 @@ impl Disguiser {
                 }
             }
         }
+        drop(reapply_span);
 
         // The reveal is permanent: drop the entries and mark the event.
         self.vaults.remove(&event.user_id, disguise_id)?;

@@ -681,3 +681,84 @@ fn stats_grow_linearly_with_objects() {
         "4x the objects must not cost 4x the statements under batching, got {s1}x"
     );
 }
+
+#[test]
+fn tracer_emits_disguise_phase_spans() {
+    let db = forum_db();
+    let mut edna = Disguiser::new(db.clone());
+    edna.register(scrub_spec()).unwrap();
+
+    let tracer = edna_core::Tracer::new(4096);
+    edna.set_tracer(Some(tracer.clone()));
+    let report = edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
+
+    let spans = tracer.spans();
+    let labels: Vec<&str> = spans.iter().map(|s| s.label.as_str()).collect();
+    // The root phase span, with disguise/user attrs.
+    let root = spans
+        .iter()
+        .find(|s| s.label == "disguise_apply")
+        .expect("root span");
+    assert!(root.parent.is_none());
+    assert!(root
+        .attrs
+        .iter()
+        .any(|(k, v)| k == "disguise" && v == "Scrub"));
+    assert!(root.attrs.iter().any(|(k, v)| k == "user" && v == "1"));
+    // Every disguise phase shows up.
+    for phase in [
+        "transform",
+        "predicate_scan",
+        "placeholder_gen",
+        "transform_write",
+        "assertions",
+        "history_append",
+        "vault_write",
+    ] {
+        assert!(labels.contains(&phase), "missing phase span {phase}");
+    }
+    // Transform spans carry table/kind attrs and nest under the root.
+    let decorrelate = spans
+        .iter()
+        .find(|s| {
+            s.label == "transform"
+                && s.attrs
+                    .iter()
+                    .any(|(k, v)| k == "kind" && v == "decorrelate")
+        })
+        .expect("decorrelate transform span");
+    assert_eq!(decorrelate.parent, Some(root.id));
+    assert!(decorrelate.attrs.iter().any(|(k, _)| k == "table"));
+    // The vault write nests storage spans (vault_put) beneath the phase.
+    let vault_phase = spans.iter().find(|s| s.label == "vault_write").unwrap();
+    let vault_put = spans
+        .iter()
+        .find(|s| s.label == "vault_put")
+        .expect("vault_put span from the vault layer");
+    assert_eq!(vault_put.parent, Some(vault_phase.id));
+    // Engine statement spans appear under the root too.
+    assert!(labels.contains(&"statement"));
+
+    // Reveal emits its own phase spans.
+    tracer.clear();
+    edna.reveal(report.disguise_id).unwrap();
+    let labels: Vec<String> = tracer.spans().iter().map(|s| s.label.clone()).collect();
+    for phase in [
+        "reveal",
+        "reinsert",
+        "restore_columns",
+        "placeholder_gc",
+        "reapply",
+    ] {
+        assert!(
+            labels.iter().any(|l| l == phase),
+            "missing reveal phase {phase}"
+        );
+    }
+
+    // Detaching the tracer stops span collection everywhere.
+    tracer.clear();
+    edna.set_tracer(None);
+    edna.apply("Scrub", Some(&Value::Int(2))).unwrap();
+    assert!(tracer.spans().is_empty());
+}

@@ -1,0 +1,256 @@
+//! Minimal JSON support shared by the exposition formats.
+//!
+//! The workspace has no external dependencies, so the small amount of JSON
+//! we emit (metrics exposition, trace export) and read back (`edna trace`,
+//! CI smoke validation) is handled here. The parser accepts general JSON;
+//! numbers are kept as `f64`, which is exact for every value we emit
+//! (span ids and microsecond timestamps stay far below 2^53).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the body of a JSON string literal (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are kept sorted for deterministic inspection.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Returns the object map if this value is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this value is numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document. Returns `None` on any syntax error or
+/// trailing garbage.
+pub fn parse(input: &str) -> Option<Json> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut pos = 0;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(s: &[char], pos: &mut usize) {
+    while *pos < s.len() && matches!(s[*pos], ' ' | '\t' | '\n' | '\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(s: &[char], pos: &mut usize) -> Option<Json> {
+    skip_ws(s, pos);
+    match s.get(*pos)? {
+        '{' => parse_object(s, pos),
+        '[' => parse_array(s, pos),
+        '"' => parse_string(s, pos).map(Json::Str),
+        't' => parse_lit(s, pos, "true", Json::Bool(true)),
+        'f' => parse_lit(s, pos, "false", Json::Bool(false)),
+        'n' => parse_lit(s, pos, "null", Json::Null),
+        _ => parse_number(s, pos),
+    }
+}
+
+fn parse_lit(s: &[char], pos: &mut usize, lit: &str, value: Json) -> Option<Json> {
+    for c in lit.chars() {
+        if s.get(*pos) != Some(&c) {
+            return None;
+        }
+        *pos += 1;
+    }
+    Some(value)
+}
+
+fn parse_number(s: &[char], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if s.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while *pos < s.len() && matches!(s[*pos], '0'..='9' | '.' | 'e' | 'E' | '+' | '-') {
+        *pos += 1;
+    }
+    let text: String = s[start..*pos].iter().collect();
+    text.parse::<f64>().ok().map(Json::Num)
+}
+
+fn parse_string(s: &[char], pos: &mut usize) -> Option<String> {
+    if s.get(*pos) != Some(&'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match s.get(*pos)? {
+            '"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            '\\' => {
+                *pos += 1;
+                match s.get(*pos)? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            *pos += 1;
+                            code = code * 16 + s.get(*pos)?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(s: &[char], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(s, pos);
+    if s.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(s, pos)?);
+        skip_ws(s, pos);
+        match s.get(*pos)? {
+            ',' => *pos += 1,
+            ']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(s: &[char], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(s, pos);
+    if s.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Some(Json::Obj(map));
+    }
+    loop {
+        skip_ws(s, pos);
+        let key = parse_string(s, pos)?;
+        skip_ws(s, pos);
+        if s.get(*pos) != Some(&':') {
+            return None;
+        }
+        *pos += 1;
+        map.insert(key, parse_value(s, pos)?);
+        skip_ws(s, pos);
+        match s.get(*pos)? {
+            ',' => *pos += 1,
+            '}' => {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let parsed = parse(&doc).unwrap();
+        assert_eq!(parsed.as_obj().unwrap()["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":null,"d":true},"e":"x"}"#;
+        let Json::Obj(m) = parse(doc).unwrap() else {
+            panic!("not an object");
+        };
+        assert_eq!(
+            m["a"],
+            Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)])
+        );
+        assert_eq!(m["b"].as_obj().unwrap()["c"], Json::Null);
+        assert_eq!(m["e"].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_syntax_errors() {
+        assert_eq!(parse("{\"a\":1} x"), None);
+        assert_eq!(parse("{\"a\":}"), None);
+        assert_eq!(parse("[1,]"), None);
+        assert_eq!(parse(""), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! Observability primitives for the Edna workspace.
+//!
+//! Two independent facilities, both dependency-free and safe for hot paths:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   latency [`Histogram`]s. Handles are `Arc`s over atomics, so recording
+//!   a sample is a single relaxed atomic op; the registry lock is only
+//!   taken at registration and exposition time. Renders to Prometheus
+//!   text format ([`MetricsRegistry::render_prometheus`]) and JSON
+//!   ([`MetricsRegistry::render_json`]).
+//! * [`Tracer`] — structured spans (id, parent, label, duration,
+//!   key/value attrs) collected into a bounded ring buffer and exported
+//!   as JSON Lines ([`Tracer::to_jsonl`]). Parent linkage is implicit:
+//!   [`Tracer::begin`] nests under the most recently begun, still-open
+//!   span, which matches the engine's single-writer execution model.
+//!
+//! The [`json`] module holds the hand-rolled JSON escape/parse helpers the
+//! exposition formats share (the workspace deliberately has no external
+//! dependencies).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
+pub use trace::{SpanGuard, SpanRecord, Tracer};

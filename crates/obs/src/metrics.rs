@@ -1,0 +1,453 @@
+//! Lock-free metrics: counters, gauges and fixed-bucket latency histograms.
+//!
+//! A [`MetricsRegistry`] hands out `Arc`'d metric handles keyed by name.
+//! Recording a sample touches only atomics; the registry's own lock is
+//! taken at registration and exposition time, never on the hot path.
+//!
+//! Naming follows Prometheus conventions: lowercase `snake_case`,
+//! counters end in `_total`, histograms in `_seconds`. Histogram bucket
+//! bounds are stored in microseconds internally and rendered in seconds.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::json::escape;
+
+/// Default latency histogram buckets (upper bounds, microseconds):
+/// 50µs … 1s, roughly logarithmic.
+pub const DEFAULT_LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `by` to the counter.
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `by` (may be negative).
+    pub fn add(&self, by: i64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// A fixed-bucket latency histogram. Bounds are upper bounds in
+/// microseconds; an implicit `+Inf` bucket catches the rest.
+pub struct Histogram {
+    bounds_us: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds_us: &[u64]) -> Histogram {
+        debug_assert!(bounds_us.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds_us: bounds_us.to_vec(),
+            buckets: (0..=bounds_us.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records a sample expressed in microseconds.
+    pub fn observe_micros(&self, us: u64) {
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(self.bounds_us.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), one per bound plus `+Inf`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum_us={})",
+            self.count(),
+            self.sum_micros()
+        )
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A registry of named metrics. Cheap to clone handles out of; exposition
+/// renders every registered family in registration order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        write!(f, "MetricsRegistry({} families)", families.len())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind, or is
+    /// not a valid metric name (`[a-z_][a-z0-9_]*`).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Counter(c) => return Arc::clone(c),
+                other => panic!("metric {name} already registered as {}", other.kind()),
+            }
+        }
+        let c = Arc::new(Counter::default());
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Like [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Gauge(g) => return Arc::clone(g),
+                other => panic!("metric {name} already registered as {}", other.kind()),
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Returns the histogram named `name`, registering it on first use
+    /// with the given bucket bounds (microseconds, ascending). Bounds are
+    /// fixed at first registration; later calls return the same handle.
+    ///
+    /// # Panics
+    /// Like [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str, help: &str, bounds_us: &[u64]) -> Arc<Histogram> {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Histogram(h) => return Arc::clone(h),
+                other => panic!("metric {name} already registered as {}", other.kind()),
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds_us));
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Zeroes every registered metric. Exists for `Stats::reset`-style
+    /// test plumbing; production counters are normally monotonic.
+    pub fn reset(&self) {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        for f in families.iter() {
+            match &f.metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.set(0),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders every family in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for f in families.iter() {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.metric.kind());
+            match &f.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", f.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", f.name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, count) in counts.iter().enumerate() {
+                        cumulative += count;
+                        let le = match h.bounds_us.get(i) {
+                            Some(&b) => format!("{}", b as f64 / 1e6),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", f.name, le, cumulative);
+                    }
+                    let _ = writeln!(out, "{}_sum {}", f.name, h.sum_micros() as f64 / 1e6);
+                    let _ = writeln!(out, "{}_count {}", f.name, h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every family as one JSON object keyed by metric name.
+    pub fn render_json(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::from("{");
+        for (i, f) in families.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"type\":\"{}\"",
+                escape(&f.name),
+                f.metric.kind()
+            );
+            match &f.metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, ",\"value\":{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum_us\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum_micros()
+                    );
+                    let counts = h.bucket_counts();
+                    for (j, count) in counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        match h.bounds_us.get(j) {
+                            Some(&b) => {
+                                let _ = write!(out, "{{\"le_us\":{b},\"count\":{count}}}");
+                            }
+                            None => {
+                                let _ = write!(out, "{{\"le_us\":null,\"count\":{count}}}");
+                            }
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("edna_things_total", "Things.");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        // Re-registration returns the same handle.
+        assert_eq!(reg.counter("edna_things_total", "Things.").get(), 4);
+        let g = reg.gauge("edna_depth", "Depth.");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("edna_x_total", "X.");
+        reg.gauge("edna_x_total", "X again.");
+    }
+
+    #[test]
+    fn histogram_buckets_and_prometheus_rendering() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("edna_op_seconds", "Op latency.", &[100, 1000]);
+        h.observe_micros(50); // bucket 0
+        h.observe_micros(100); // bucket 0 (inclusive upper bound)
+        h.observe_micros(500); // bucket 1
+        h.observe_micros(5000); // +Inf
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_micros(), 5650);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE edna_op_seconds histogram"));
+        assert!(text.contains("edna_op_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(text.contains("edna_op_seconds_bucket{le=\"0.001\"} 3"));
+        assert!(text.contains("edna_op_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("edna_op_seconds_count 4"));
+    }
+
+    #[test]
+    fn json_exposition_parses() {
+        let reg = MetricsRegistry::new();
+        reg.counter("edna_statements_total", "Statements.").add(12);
+        let h = reg.histogram("edna_stmt_seconds", "Latency.", &[100]);
+        h.observe_micros(7);
+        let doc = parse(&reg.render_json()).expect("valid json");
+        let obj = doc.as_obj().unwrap();
+        let stmts = obj["edna_statements_total"].as_obj().unwrap();
+        assert_eq!(stmts["value"], Json::Num(12.0));
+        let hist = obj["edna_stmt_seconds"].as_obj().unwrap();
+        assert_eq!(hist["count"], Json::Num(1.0));
+        assert_eq!(hist["sum_us"], Json::Num(7.0));
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let reg = MetricsRegistry::new();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reg.counter("Bad-Name", "nope")
+        }))
+        .is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Structured tracing spans with a bounded ring-buffer collector.
+//!
+//! A [`Tracer`] is a cheap-to-clone handle over a shared collector. Spans
+//! carry an id, an optional parent id, a label, start offset and duration
+//! (microseconds since the tracer's epoch) and free-form key/value attrs.
+//!
+//! Two recording styles:
+//!
+//! * [`Tracer::begin`] returns a [`SpanGuard`] that records on drop (or
+//!   [`SpanGuard::finish`]). Guards nest: a span begun while another is
+//!   open becomes its child. The "current open span" is tracked in a
+//!   single atomic, which is exact for the engine's single-writer
+//!   execution model and best-effort under concurrency.
+//! * [`Tracer::record`] logs an already-measured interval with an explicit
+//!   parent — used where the measured region doesn't nest lexically
+//!   (e.g. lock-wait time inside a statement).
+//!
+//! The collector keeps the most recent `capacity` spans; older ones are
+//! dropped oldest-first. Export is JSON Lines, one span per line.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::json::{escape, Json};
+
+/// Default ring-buffer capacity (spans).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within this tracer (starts at 1).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// What the span measures, e.g. `statement` or `vault_put`.
+    pub label: String,
+    /// Start offset from the tracer's epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Free-form key/value attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Renders this span as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!("{{\"id\":{}", self.id));
+        match self.parent {
+            Some(p) => out.push_str(&format!(",\"parent\":{p}")),
+            None => out.push_str(",\"parent\":null"),
+        }
+        out.push_str(&format!(
+            ",\"label\":\"{}\",\"start_us\":{},\"dur_us\":{}",
+            escape(&self.label),
+            self.start_us,
+            self.dur_us
+        ));
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a span from one JSON line produced by [`SpanRecord::to_json`].
+    pub fn from_json(line: &str) -> Option<SpanRecord> {
+        let doc = crate::json::parse(line)?;
+        let obj = doc.as_obj()?;
+        let id = obj.get("id")?.as_num()? as u64;
+        let parent = match obj.get("parent")? {
+            Json::Null => None,
+            Json::Num(n) => Some(*n as u64),
+            _ => return None,
+        };
+        let label = obj.get("label")?.as_str()?.to_string();
+        let start_us = obj.get("start_us")?.as_num()? as u64;
+        let dur_us = obj.get("dur_us")?.as_num()? as u64;
+        let mut attrs = Vec::new();
+        if let Some(Json::Obj(m)) = obj.get("attrs") {
+            for (k, v) in m {
+                attrs.push((k.clone(), v.as_str()?.to_string()));
+            }
+        }
+        Some(SpanRecord {
+            id,
+            parent,
+            label,
+            start_us,
+            dur_us,
+            attrs,
+        })
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    /// Id of the innermost open guard span; 0 = none.
+    current: AtomicU64,
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+/// Handle to a shared span collector. Clones share the same buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer({} spans)", self.len())
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                current: AtomicU64::new(0),
+                capacity: capacity.max(1),
+                spans: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Opens a span as a child of the currently open span (if any). The
+    /// span is recorded when the guard is dropped or finished.
+    pub fn begin(&self, label: &str) -> SpanGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = match self.inner.current.swap(id, Ordering::Relaxed) {
+            0 => None,
+            p => Some(p),
+        };
+        SpanGuard {
+            tracer: self.clone(),
+            id,
+            parent,
+            label: label.to_string(),
+            start: Instant::now(),
+            attrs: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Records an interval that was measured by the caller. Does not
+    /// affect guard nesting. Returns the new span's id.
+    pub fn record(
+        &self,
+        parent: Option<u64>,
+        label: &str,
+        started: Instant,
+        dur: Duration,
+        attrs: Vec<(String, String)>,
+    ) -> u64 {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanRecord {
+            id,
+            parent,
+            label: label.to_string(),
+            start_us: self.offset_us(started),
+            dur_us: dur.as_micros().min(u128::from(u64::MAX)) as u64,
+            attrs,
+        });
+        id
+    }
+
+    /// Id of the innermost open guard span, if any.
+    pub fn current(&self) -> Option<u64> {
+        match self.inner.current.load(Ordering::Relaxed) {
+            0 => None,
+            p => Some(p),
+        }
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True if no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted from the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the buffered spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops all buffered spans.
+    pub fn clear(&self) {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Renders all buffered spans as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL export to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    fn offset_us(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.inner.epoch)
+            .unwrap_or(Duration::ZERO)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    fn push(&self, span: SpanRecord) {
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if spans.len() == self.inner.capacity {
+            spans.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        spans.push_back(span);
+    }
+
+    fn close_guard(&self, id: u64, parent: Option<u64>) {
+        // Restore the parent as current. Only if we are still the
+        // innermost span — a sibling begun after us (unbalanced drop
+        // order) keeps its own linkage.
+        let _ = self.inner.current.compare_exchange(
+            id,
+            parent.unwrap_or(0),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// An open span; records itself when dropped or finished.
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    label: String,
+    start: Instant,
+    attrs: Vec<(String, String)>,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// This span's id (usable as an explicit parent for [`Tracer::record`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches a key/value attribute.
+    pub fn attr(&mut self, key: &str, value: impl Into<String>) {
+        self.attrs.push((key.to_string(), value.into()));
+    }
+
+    /// Closes and records the span now.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let dur = self.start.elapsed();
+        self.tracer.close_guard(self.id, self.parent);
+        let span = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            label: std::mem::take(&mut self.label),
+            start_us: self.tracer.offset_us(self.start),
+            dur_us: dur.as_micros().min(u128::from(u64::MAX)) as u64,
+            attrs: std::mem::take(&mut self.attrs),
+        };
+        self.tracer.push(span);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_nest_and_record_on_drop() {
+        let tracer = Tracer::new(16);
+        {
+            let outer = tracer.begin("outer");
+            assert_eq!(tracer.current(), Some(outer.id()));
+            {
+                let mut inner = tracer.begin("inner");
+                inner.attr("k", "v");
+            }
+            assert_eq!(tracer.current(), Some(outer.id()));
+        }
+        assert_eq!(tracer.current(), None);
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closed first.
+        assert_eq!(spans[0].label, "inner");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[0].attrs, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(spans[1].label, "outer");
+        assert_eq!(spans[1].parent, None);
+    }
+
+    #[test]
+    fn record_links_to_explicit_parent() {
+        let tracer = Tracer::new(16);
+        let root = tracer.begin("root");
+        let root_id = root.id();
+        let t0 = Instant::now();
+        let child = tracer.record(
+            Some(root_id),
+            "lock_wait",
+            t0,
+            Duration::from_micros(42),
+            vec![("mode".to_string(), "write".to_string())],
+        );
+        root.finish();
+        let spans = tracer.spans();
+        assert_eq!(spans[0].id, child);
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[0].dur_us, 42);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tracer = Tracer::new(3);
+        for i in 0..5 {
+            tracer.begin(&format!("s{i}")).finish();
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].label, "s2");
+        assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let tracer = Tracer::new(16);
+        {
+            let mut s = tracer.begin("stmt");
+            s.attr("sql", "SELECT \"x\"\nFROM t");
+        }
+        let jsonl = tracer.to_jsonl();
+        let line = jsonl.lines().next().unwrap();
+        let parsed = SpanRecord::from_json(line).expect("parseable");
+        assert_eq!(parsed, tracer.spans()[0]);
+    }
+}

@@ -7,12 +7,23 @@
 //! paper's prototype applies each disguise in one large SQL transaction).
 //! Statistics are atomic, and repeated SQL shapes skip the parser via a
 //! per-database statement cache.
+//!
+//! Locks recover from poisoning: a panic inside one statement (e.g. from
+//! a user callback in [`Database::update_with`]) must not wedge the
+//! engine for every later caller. Poisoned plain-data locks (caches,
+//! latency model) are simply re-entered; the engine-state lock
+//! additionally rolls back any implicit transaction the panic abandoned,
+//! so no half-applied statement becomes visible.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use std::sync::{Mutex, RwLock};
+
+use edna_obs::{Histogram, MetricsRegistry, Tracer, DEFAULT_LATENCY_BUCKETS_US};
+use edna_util::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 
 use crate::access::AccessPath;
 use crate::error::{Error, Result};
@@ -44,6 +55,48 @@ pub struct Database {
     latency: Arc<RwLock<LatencyModel>>,
     fault: Arc<FaultState>,
     stmt_cache: Arc<Mutex<StmtCache>>,
+    obs: Arc<DbObs>,
+}
+
+/// One entry of the slow-statement log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowStatement {
+    /// The SQL text (typed-API statements log their operation name).
+    pub sql: String,
+    /// Wall-clock execution time, microseconds.
+    pub micros: u64,
+}
+
+/// Entries the slow-statement log retains (oldest evicted first).
+const SLOW_LOG_CAP: usize = 128;
+
+/// Per-database observability state: optional tracer, statement latency
+/// histogram, and the slow-statement log.
+struct DbObs {
+    tracer: RwLock<Option<Tracer>>,
+    stmt_seconds: Arc<Histogram>,
+    slow_threshold: RwLock<Option<Duration>>,
+    slow_log: Mutex<VecDeque<SlowStatement>>,
+    slow_total: Arc<edna_obs::Counter>,
+}
+
+impl DbObs {
+    fn new(registry: &MetricsRegistry) -> DbObs {
+        DbObs {
+            tracer: RwLock::new(None),
+            stmt_seconds: registry.histogram(
+                "edna_statement_seconds",
+                "In-engine statement execution latency.",
+                DEFAULT_LATENCY_BUCKETS_US,
+            ),
+            slow_threshold: RwLock::new(None),
+            slow_log: Mutex::new(VecDeque::new()),
+            slow_total: registry.counter(
+                "edna_slow_statements_total",
+                "Statements exceeding the slow-statement threshold.",
+            ),
+        }
+    }
 }
 
 /// SQL texts the statement cache holds before evicting least-recently-used
@@ -121,13 +174,49 @@ impl Default for Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Database {
+        let stats = Arc::new(Stats::default());
+        let obs = Arc::new(DbObs::new(&stats.registry()));
         Database {
             inner: Arc::new(RwLock::new(Inner::new())),
-            stats: Arc::new(Stats::default()),
+            stats,
             latency: Arc::new(RwLock::new(LatencyModel::NONE)),
             fault: Arc::new(FaultState::default()),
             stmt_cache: Arc::new(Mutex::new(StmtCache::default())),
+            obs,
         }
+    }
+
+    // ---- engine lock (poison-tolerant) -------------------------------------
+
+    /// Read-locks the engine state, recovering from poisoning first.
+    fn inner_read(&self) -> RwLockReadGuard<'_, Inner> {
+        if self.inner.is_poisoned() {
+            self.repair_poisoned();
+        }
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-locks the engine state, recovering from poisoning first.
+    fn inner_write(&self) -> RwLockWriteGuard<'_, Inner> {
+        if self.inner.is_poisoned() {
+            self.repair_poisoned();
+        }
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A panic while the engine lock was held poisons it; the panicking
+    /// statement may have died mid-write. Its implicit transaction (if
+    /// any) still holds the undo log, so replay it before letting any
+    /// later statement see the state. An *explicit* transaction is left
+    /// open — its owner decides between COMMIT and ROLLBACK, and its undo
+    /// log still covers the partial statement either way.
+    fn repair_poisoned(&self) {
+        let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if guard.txn.as_ref().is_some_and(|t| t.implicit) {
+            let txn = guard.txn.take().expect("checked above");
+            guard.rollback(txn);
+        }
+        self.inner.clear_poison();
     }
 
     // ---- fault injection ---------------------------------------------------
@@ -138,7 +227,7 @@ impl Database {
     /// [`Database::begin`]/[`Database::commit`]/[`Database::rollback`]
     /// calls are exempt so recovery paths cannot themselves be killed.
     pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
-        *self.fault.hook.write().unwrap() = hook;
+        *write_unpoisoned(&self.fault.hook) = hook;
         self.fault.seq.store(0, Ordering::SeqCst);
     }
 
@@ -156,7 +245,7 @@ impl Database {
 
     /// Consults the fault hook, if any; charges one statement index.
     fn failpoint(&self) -> Result<()> {
-        let hook = self.fault.hook.read().unwrap();
+        let hook = read_unpoisoned(&self.fault.hook);
         if let Some(h) = hook.as_ref() {
             let index = self.fault.seq.fetch_add(1, Ordering::SeqCst);
             if h(index) {
@@ -174,30 +263,53 @@ impl Database {
     }
 
     /// Parses and executes one SQL statement with bound `$param`s. Repeat
-    /// SQL texts skip the parser via the statement cache.
+    /// SQL texts skip the parser via the statement cache. `EXPLAIN ANALYZE
+    /// <select>` is intercepted here and routed to the query profiler.
     pub fn execute_with_params(
         &self,
         sql: &str,
         params: &HashMap<String, Value>,
     ) -> Result<QueryResult> {
+        if let Some(rest) = strip_explain_analyze(sql) {
+            return self.explain_analyze(rest, params);
+        }
+        let started = Instant::now();
+        let tracer = self.tracer();
+        let hits_before = self.stats.stmt_cache_hits.get();
         let stmt = self.cached_statement(sql)?;
-        self.execute_stmt(&stmt, params)
+        if let Some(t) = &tracer {
+            let cache = if self.stats.stmt_cache_hits.get() > hits_before {
+                "hit"
+            } else {
+                "miss"
+            };
+            t.record(
+                t.current(),
+                "parse",
+                started,
+                started.elapsed(),
+                vec![
+                    ("sql".to_string(), truncate_sql(sql)),
+                    ("cache".to_string(), cache.to_string()),
+                ],
+            );
+        }
+        let result = self.execute_stmt(&stmt, params);
+        self.note_slow(sql, started.elapsed());
+        result
     }
 
     /// The parsed form of `sql`, served from the statement cache when the
     /// exact text was executed before. Parsing happens outside the cache
     /// lock; a racing parse of the same text is wasted work, not an error.
     pub fn cached_statement(&self, sql: &str) -> Result<Arc<Statement>> {
-        if let Some(stmt) = self.stmt_cache.lock().unwrap().get(sql) {
+        if let Some(stmt) = lock_unpoisoned(&self.stmt_cache).get(sql) {
             self.stats.bump(&self.stats.stmt_cache_hits, 1);
             return Ok(stmt);
         }
         self.stats.bump(&self.stats.stmt_cache_misses, 1);
         let stmt = Arc::new(parse_statement(sql)?);
-        self.stmt_cache
-            .lock()
-            .unwrap()
-            .insert(sql.to_string(), Arc::clone(&stmt));
+        lock_unpoisoned(&self.stmt_cache).insert(sql.to_string(), Arc::clone(&stmt));
         Ok(stmt)
     }
 
@@ -224,14 +336,17 @@ impl Database {
                 return Ok(QueryResult::default());
             }
             Statement::Select(sel) => {
-                let result = {
-                    let inner = self.inner.read().unwrap();
+                let started = Instant::now();
+                let (result, lock_wait) = {
+                    let inner = self.inner_read();
+                    let lock_wait = started.elapsed();
                     self.stats.bump(&self.stats.statements, 1);
                     self.stats.bump(&self.stats.selects, 1);
-                    inner.select(sel, params, &self.stats)
+                    (inner.select(sel, params, &self.stats), lock_wait)
                 };
-                let latency = *self.latency.read().unwrap();
+                let latency = *read_unpoisoned(&self.latency);
                 latency.charge(0);
+                self.note_statement("select", started, lock_wait);
                 return result;
             }
             _ => {}
@@ -243,11 +358,18 @@ impl Database {
                 | Statement::DropTable { .. }
                 | Statement::AlterTable { .. }
         );
-        let result = self.run_in_txn(|inner| inner.execute_stmt(stmt, params, &self.stats));
+        let op = match stmt {
+            Statement::Insert { .. } => "insert",
+            Statement::Update { .. } => "update",
+            Statement::Delete { .. } => "delete",
+            _ if is_ddl => "ddl",
+            _ => "other",
+        };
+        let result = self.run_in_txn(op, |inner| inner.execute_stmt(stmt, params, &self.stats));
         if is_ddl && result.is_ok() {
             // Schema changed: drop cached parses so nothing stale survives
             // (the executor's plan cache is invalidated engine-side).
-            self.stmt_cache.lock().unwrap().map.clear();
+            lock_unpoisoned(&self.stmt_cache).map.clear();
         }
         result
     }
@@ -266,10 +388,13 @@ impl Database {
     /// Runs `f` inside the open transaction, or an implicit per-statement
     /// transaction if none is open (rolled back on error). The engine lock
     /// is released before any synthetic latency is charged, so concurrent
-    /// callers overlap their simulated I/O.
-    fn run_in_txn<T>(&self, f: impl FnOnce(&mut Inner) -> Result<T>) -> Result<T> {
+    /// callers overlap their simulated I/O. `op` labels the statement in
+    /// traces and the latency histogram.
+    fn run_in_txn<T>(&self, op: &str, f: impl FnOnce(&mut Inner) -> Result<T>) -> Result<T> {
         let written_before = self.stats.snapshot().rows_written;
-        let mut guard = self.inner.write().unwrap();
+        let started = Instant::now();
+        let mut guard = self.inner_write();
+        let lock_wait = started.elapsed();
         let inner = &mut *guard;
         let result = if inner.txn.is_some() {
             let mark = inner.txn.as_ref().expect("checked").mark();
@@ -298,19 +423,65 @@ impl Database {
             }
         };
         drop(guard);
-        let latency = *self.latency.read().unwrap();
+        let latency = *read_unpoisoned(&self.latency);
         if !latency.is_none() {
             let written_after = self.stats.snapshot().rows_written;
             latency.charge(written_after.saturating_sub(written_before));
         }
+        self.note_statement(op, started, lock_wait);
         result
+    }
+
+    /// Observes one finished statement: feeds the latency histogram and,
+    /// when a tracer is installed, emits a `statement` span with
+    /// `lock_wait`/`execute` children.
+    fn note_statement(&self, op: &str, started: Instant, lock_wait: Duration) {
+        let elapsed = started.elapsed();
+        self.obs.stmt_seconds.observe(elapsed);
+        if let Some(t) = self.tracer() {
+            let id = t.record(
+                t.current(),
+                "statement",
+                started,
+                elapsed,
+                vec![("op".to_string(), op.to_string())],
+            );
+            t.record(Some(id), "lock_wait", started, lock_wait, Vec::new());
+            t.record(
+                Some(id),
+                "execute",
+                started + lock_wait,
+                elapsed.saturating_sub(lock_wait),
+                Vec::new(),
+            );
+        }
+    }
+
+    /// Appends to the slow-statement log if `elapsed` crosses the
+    /// configured threshold.
+    fn note_slow(&self, sql: &str, elapsed: Duration) {
+        let Some(threshold) = *read_unpoisoned(&self.obs.slow_threshold) else {
+            return;
+        };
+        if elapsed < threshold {
+            return;
+        }
+        self.obs.slow_total.inc();
+        let mut log = lock_unpoisoned(&self.obs.slow_log);
+        if log.len() == SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(SlowStatement {
+            sql: sql.to_string(),
+            micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        });
     }
 
     // ---- transactions ------------------------------------------------------
 
     /// Opens an explicit transaction; errors if one is already open.
     pub fn begin(&self) -> Result<()> {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner_write();
         if inner.txn.is_some() {
             return Err(Error::Txn("transaction already open".to_string()));
         }
@@ -320,7 +491,7 @@ impl Database {
 
     /// Commits the open transaction; errors if none is open.
     pub fn commit(&self) -> Result<()> {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner_write();
         match inner.txn.take() {
             Some(_) => Ok(()),
             None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
@@ -329,7 +500,7 @@ impl Database {
 
     /// Rolls back the open transaction; errors if none is open.
     pub fn rollback(&self) -> Result<()> {
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner_write();
         match inner.txn.take() {
             Some(txn) => {
                 inner.rollback(txn);
@@ -341,12 +512,7 @@ impl Database {
 
     /// Whether an explicit transaction is open.
     pub fn in_transaction(&self) -> bool {
-        self.inner
-            .read()
-            .unwrap()
-            .txn
-            .as_ref()
-            .is_some_and(|t| !t.implicit)
+        self.inner_read().txn.as_ref().is_some_and(|t| !t.implicit)
     }
 
     /// Runs `f` inside a fresh explicit transaction, committing on `Ok` and
@@ -371,12 +537,12 @@ impl Database {
 
     /// The schema of `table`.
     pub fn schema(&self, table: &str) -> Result<TableSchema> {
-        Ok(self.inner.read().unwrap().table(table)?.schema.clone())
+        Ok(self.inner_read().table(table)?.schema.clone())
     }
 
     /// All table names, in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner_read();
         inner
             .table_order
             .iter()
@@ -386,12 +552,12 @@ impl Database {
 
     /// Whether `table` exists.
     pub fn has_table(&self, table: &str) -> bool {
-        self.inner.read().unwrap().table(table).is_ok()
+        self.inner_read().table(table).is_ok()
     }
 
     /// Number of live rows in `table`.
     pub fn row_count(&self, table: &str) -> Result<usize> {
-        Ok(self.inner.read().unwrap().table(table)?.len())
+        Ok(self.inner_read().table(table)?.len())
     }
 
     /// Rows of `table` matching `where_` (all rows if `None`), as full rows
@@ -405,16 +571,21 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.selects, 1);
-        let rows = {
-            let inner = self.inner.read().unwrap();
+        let started = Instant::now();
+        let (rows, lock_wait) = {
+            let inner = self.inner_read();
+            let lock_wait = started.elapsed();
             let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
             let t = inner.table(table)?;
-            ids.iter()
+            let rows: Vec<Row> = ids
+                .iter()
                 .map(|&id| t.get(id).expect("live").clone())
-                .collect()
+                .collect();
+            (rows, lock_wait)
         };
-        let latency = *self.latency.read().unwrap();
+        let latency = *read_unpoisoned(&self.latency);
         latency.charge(0);
+        self.note_statement("select", started, lock_wait);
         Ok(rows)
     }
 
@@ -425,7 +596,7 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.inserts, 1);
-        self.run_in_txn(|inner| {
+        self.run_in_txn("insert", |inner| {
             let schema = inner.table(table)?.schema.clone();
             let mut row: Row = schema
                 .columns
@@ -451,7 +622,7 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.deletes, 1);
-        self.run_in_txn(|inner| {
+        self.run_in_txn("delete", |inner| {
             let ids = inner.matching_row_ids(table, Some(where_), params, &self.stats)?;
             let mut removed = 0;
             for id in ids {
@@ -475,7 +646,7 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.deletes, 1);
-        self.run_in_txn(|inner| {
+        self.run_in_txn("delete", |inner| {
             let ids = inner.matching_row_ids(table, Some(where_), params, &self.stats)?;
             let mut collected = Vec::new();
             for id in ids {
@@ -493,7 +664,7 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.inserts, 1);
-        self.run_in_txn(|inner| {
+        self.run_in_txn("insert", |inner| {
             inner.insert_row_checked(table, row, &self.stats)?;
             Ok(())
         })
@@ -511,7 +682,7 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.updates, 1);
-        self.run_in_txn(|inner| {
+        self.run_in_txn("update", |inner| {
             let ids = inner.matching_row_ids(table, where_, params, &self.stats)?;
             let schema = inner.table(table)?.schema.clone();
             let mut n = 0;
@@ -547,7 +718,9 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.updates, 1);
-        self.run_in_txn(|inner| inner.update_rows_by_pk(table, updates, &self.stats))
+        self.run_in_txn("update", |inner| {
+            inner.update_rows_by_pk(table, updates, &self.stats)
+        })
     }
 
     /// Inserts a batch of fully materialized rows (all columns, in schema
@@ -561,13 +734,15 @@ impl Database {
         self.failpoint()?;
         self.stats.bump(&self.stats.statements, 1);
         self.stats.bump(&self.stats.inserts, 1);
-        self.run_in_txn(|inner| inner.insert_rows(table, rows, &self.stats))
+        self.run_in_txn("insert", |inner| {
+            inner.insert_rows(table, rows, &self.stats)
+        })
     }
 
     /// The access path execution would use for `table` under `pred` — the
     /// same (cached) decision the executor makes, exposed for `explain`.
     pub fn access_path(&self, table: &str, pred: Option<&Expr>) -> Result<AccessPath> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner_read();
         let t = inner.table(table)?;
         Ok(match pred {
             Some(p) => inner.cached_access_path(t, p, &self.stats),
@@ -579,12 +754,12 @@ impl Database {
 
     /// The logical clock value returned by `NOW()`.
     pub fn now(&self) -> i64 {
-        self.inner.read().unwrap().now
+        self.inner_read().now
     }
 
     /// Sets the logical clock (used by expiration/decay policies).
     pub fn set_now(&self, now: i64) {
-        self.inner.write().unwrap().now = now;
+        self.inner_write().now = now;
     }
 
     /// A snapshot of the execution counters.
@@ -597,21 +772,112 @@ impl Database {
         self.stats.reset();
     }
 
+    /// The metrics registry backing this database's counters and
+    /// histograms; render with `render_prometheus()` / `render_json()`.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.stats.registry()
+    }
+
+    /// Installs (or with `None` removes) a tracer. While installed, the
+    /// engine emits a `statement` span (with `lock_wait`/`execute`
+    /// children) per statement and a `parse` span per SQL text.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *write_unpoisoned(&self.obs.tracer) = tracer;
+    }
+
+    /// The installed tracer, if any (clones share the span buffer).
+    pub fn tracer(&self) -> Option<Tracer> {
+        read_unpoisoned(&self.obs.tracer).clone()
+    }
+
+    /// Sets (or with `None` disables) the slow-statement threshold: SQL
+    /// statements whose wall-clock time reaches it are appended to the
+    /// slow-statement log and counted in `edna_slow_statements_total`.
+    pub fn set_slow_statement_threshold(&self, threshold: Option<Duration>) {
+        *write_unpoisoned(&self.obs.slow_threshold) = threshold;
+    }
+
+    /// The recorded slow statements, oldest first (bounded; oldest entries
+    /// are evicted past the cap).
+    pub fn slow_statements(&self) -> Vec<SlowStatement> {
+        lock_unpoisoned(&self.obs.slow_log)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Executes `SELECT` SQL under the query profiler and reports one row
+    /// per executed operator: `operator`, `detail`, `rows` (rows the
+    /// operator produced) and `time_us` (wall-clock spent in it), with a
+    /// trailing `total` row. This is what `EXPLAIN ANALYZE <select>`
+    /// (accepted by [`Database::execute`]) runs; the statement *is*
+    /// executed for real, against live data.
+    pub fn explain_analyze(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(Error::Unsupported(
+                "EXPLAIN ANALYZE supports SELECT statements only".to_string(),
+            ));
+        };
+        self.failpoint()?;
+        let started = Instant::now();
+        let (result, profile) = {
+            let inner = self.inner_read();
+            self.stats.bump(&self.stats.statements, 1);
+            self.stats.bump(&self.stats.selects, 1);
+            let mut profile = Vec::new();
+            let result = inner.select_profiled(&sel, params, &self.stats, &mut profile)?;
+            (result, profile)
+        };
+        let total_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut rows: Vec<Row> = profile
+            .iter()
+            .map(|op| {
+                vec![
+                    Value::Text(op.op.to_string()),
+                    Value::Text(op.detail.clone()),
+                    Value::Int(op.rows as i64),
+                    Value::Int(op.elapsed_us as i64),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            Value::Text("total".to_string()),
+            Value::Text(format!("{} row(s) returned", result.rows.len())),
+            Value::Int(result.rows.len() as i64),
+            Value::Int(total_us as i64),
+        ]);
+        Ok(QueryResult {
+            columns: vec![
+                "operator".to_string(),
+                "detail".to_string(),
+                "rows".to_string(),
+                "time_us".to_string(),
+            ],
+            rows,
+            ..QueryResult::default()
+        })
+    }
+
     /// Sets the synthetic latency model.
     pub fn set_latency(&self, model: LatencyModel) {
-        *self.latency.write().unwrap() = model;
+        *write_unpoisoned(&self.latency) = model;
     }
 
     /// The current synthetic latency model.
     pub fn latency(&self) -> LatencyModel {
-        *self.latency.read().unwrap()
+        *read_unpoisoned(&self.latency)
     }
 
     /// Names of the indexed columns of `table` (implicit PK/UNIQUE indexes
     /// and explicit `CREATE INDEX`es), in index-creation order — the order
     /// the executor tries them for predicate probes.
     pub fn index_columns(&self, table: &str) -> Result<Vec<String>> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner_read();
         let t = inner.table(table)?;
         Ok(t.indexes
             .iter()
@@ -622,7 +888,7 @@ impl Database {
     /// Extracts serializable images of every table, in creation order
     /// (used by [`crate::snapshot`]).
     pub fn snapshot_tables(&self) -> Result<Vec<crate::snapshot::TableSnapshot>> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner_read();
         let mut out = Vec::with_capacity(inner.table_order.len());
         for key in &inner.table_order {
             let t = &inner.tables[key];
@@ -654,7 +920,7 @@ impl Database {
     pub fn from_snapshots(snapshots: Vec<crate::snapshot::TableSnapshot>) -> Result<Database> {
         let db = Database::new();
         {
-            let mut inner = db.inner.write().unwrap();
+            let mut inner = db.inner_write();
             for snap in snapshots {
                 snap.schema.validate()?;
                 let key = snap.schema.name.to_lowercase();
@@ -696,7 +962,7 @@ impl Database {
     /// A deep snapshot of all table contents, for test assertions: table
     /// name → sorted rows rendered as SQL literals.
     pub fn dump(&self) -> std::collections::BTreeMap<String, Vec<String>> {
-        let inner = self.inner.read().unwrap();
+        let inner = self.inner_read();
         let mut out = std::collections::BTreeMap::new();
         for key in &inner.table_order {
             let t = &inner.tables[key];
@@ -713,6 +979,42 @@ impl Database {
             out.insert(t.schema.name.clone(), rows);
         }
         out
+    }
+}
+
+/// Strips a leading `EXPLAIN ANALYZE` (case-insensitive), returning the
+/// statement text that follows, or `None` if `sql` is not one.
+fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let rest = strip_keyword(sql.trim_start(), "EXPLAIN")?;
+    strip_keyword(rest.trim_start(), "ANALYZE")
+}
+
+/// Strips one leading keyword followed by whitespace (case-insensitive).
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    let head = s.get(..kw.len())?;
+    if !head.eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    if rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+/// Trims SQL for span attributes: collapsed to one line, capped length.
+fn truncate_sql(sql: &str) -> String {
+    const MAX: usize = 120;
+    let flat: String = sql.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.len() <= MAX {
+        flat
+    } else {
+        let cut = (0..=MAX)
+            .rev()
+            .find(|&i| flat.is_char_boundary(i))
+            .unwrap_or(0);
+        format!("{}…", &flat[..cut])
     }
 }
 
@@ -1276,5 +1578,257 @@ mod subquery_tests {
             .unwrap();
         let s = db.stats();
         assert_eq!(s.selects, 2, "outer + subquery");
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::value::Value;
+    use edna_obs::Tracer;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT);
+             CREATE INDEX idx_v ON t (v);",
+        )
+        .unwrap();
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO t (v) VALUES ('v{i}')"))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn metrics_render_after_statements() {
+        let d = db();
+        let text = d.metrics().render_prometheus();
+        assert!(text.contains("# TYPE edna_statements_total counter"));
+        assert!(text.contains("edna_selects_total"));
+        assert!(text.contains("# TYPE edna_statement_seconds histogram"));
+        assert!(text.contains("edna_statement_seconds_bucket{le=\"+Inf\"}"));
+        // Every INSERT above fed the statement histogram.
+        assert!(text.contains("edna_statement_seconds_count 1"));
+        // The JSON form must parse and carry the same counters.
+        let json = d.metrics().render_json();
+        let parsed = edna_obs::json::parse(&json).expect("metrics JSON parses");
+        let obj = parsed.as_obj().unwrap();
+        let stmts = obj["edna_statements_total"].as_obj().unwrap();
+        // 2 DDL statements + 10 INSERTs.
+        assert_eq!(stmts["value"].as_num(), Some(12.0));
+    }
+
+    #[test]
+    fn explain_analyze_reports_real_operators() {
+        let d = db();
+        let r = d
+            .execute("EXPLAIN ANALYZE SELECT v FROM t WHERE v = 'v3'")
+            .unwrap();
+        assert_eq!(r.columns, vec!["operator", "detail", "rows", "time_us"]);
+        let ops: Vec<&str> = r
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Text(s) => s.as_str(),
+                other => panic!("non-text operator {other:?}"),
+            })
+            .collect();
+        assert!(
+            ops.contains(&"probe"),
+            "indexed lookup should probe: {ops:?}"
+        );
+        assert_eq!(*ops.last().unwrap(), "total");
+        // The probe stage saw exactly the matching row.
+        let probe = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::Text("probe".into()))
+            .unwrap();
+        assert_eq!(probe[2], Value::Int(1));
+
+        // An unindexed predicate falls back to a scan over all 10 rows.
+        let r = d
+            .execute("EXPLAIN ANALYZE SELECT id FROM t WHERE id > 5")
+            .unwrap();
+        let scan = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::Text("scan".into()))
+            .expect("scan operator");
+        assert_eq!(scan[2], Value::Int(10), "scan reads every live row");
+    }
+
+    #[test]
+    fn explain_analyze_rejects_non_select() {
+        let d = db();
+        let err = d.execute("EXPLAIN ANALYZE DELETE FROM t WHERE id = 1");
+        assert!(matches!(err, Err(Error::Unsupported(_))), "{err:?}");
+        // And bare EXPLAIN (without ANALYZE) is still a parse error, not
+        // silently executed.
+        assert!(d.execute("EXPLAIN SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn slow_statement_log_respects_threshold() {
+        let d = db();
+        // No threshold: nothing is recorded.
+        d.execute("SELECT * FROM t").unwrap();
+        assert!(d.slow_statements().is_empty());
+        // Zero threshold: everything is recorded, counter moves.
+        d.set_slow_statement_threshold(Some(Duration::ZERO));
+        d.execute("SELECT * FROM t WHERE id = 1").unwrap();
+        let slow = d.slow_statements();
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].sql.contains("WHERE id = 1"));
+        assert!(d
+            .metrics()
+            .render_prometheus()
+            .contains("edna_slow_statements_total 1"));
+        // Unreachable threshold: recording stops.
+        d.set_slow_statement_threshold(Some(Duration::from_secs(3600)));
+        d.execute("SELECT * FROM t").unwrap();
+        assert_eq!(d.slow_statements().len(), 1);
+    }
+
+    #[test]
+    fn tracer_emits_statement_spans() {
+        let d = db();
+        let tracer = Tracer::new(1024);
+        d.set_tracer(Some(tracer.clone()));
+        d.execute("INSERT INTO t (v) VALUES ('traced')").unwrap();
+        d.execute("SELECT * FROM t WHERE v = 'traced'").unwrap();
+        d.set_tracer(None);
+
+        let spans = tracer.spans();
+        let stmt_ops: Vec<String> = spans
+            .iter()
+            .filter(|s| s.label == "statement")
+            .filter_map(|s| {
+                s.attrs
+                    .iter()
+                    .find(|(k, _)| k == "op")
+                    .map(|(_, v)| v.clone())
+            })
+            .collect();
+        assert_eq!(stmt_ops, vec!["insert".to_string(), "select".to_string()]);
+        // Each statement span has lock_wait + execute children.
+        let stmt = spans.iter().find(|s| s.label == "statement").unwrap();
+        for child in ["lock_wait", "execute"] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.label == child && s.parent == Some(stmt.id)),
+                "missing child {child}"
+            );
+        }
+        // Parse spans carry the (truncated) SQL text.
+        let parse = spans.iter().find(|s| s.label == "parse").unwrap();
+        assert!(parse
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "sql" && v.contains("INSERT")));
+
+        // JSONL round trip.
+        let jsonl = tracer.to_jsonl();
+        for line in jsonl.lines() {
+            let rec = crate::SpanRecord::from_json(line).expect("span line parses");
+            assert!(!rec.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn typed_select_feeds_statement_histogram() {
+        let d = db();
+        let before = histogram_count(&d);
+        d.select_rows("t", None, &HashMap::new()).unwrap();
+        assert_eq!(histogram_count(&d), before + 1);
+    }
+
+    fn histogram_count(d: &Database) -> u64 {
+        let json = d.metrics().render_json();
+        let parsed = edna_obs::json::parse(&json).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        let hist = obj["edna_statement_seconds"].as_obj().unwrap();
+        hist["count"].as_num().unwrap() as u64
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_rolls_back() {
+        let d = db();
+        // Panic mid-update, while the engine write lock is held and an
+        // implicit transaction is open with one row already mutated.
+        let mut seen = 0;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.update_with("t", None, &HashMap::new(), |schema, row| {
+                seen += 1;
+                let pos = schema.require_column("v")?;
+                row[pos] = Value::Text("poisoned".into());
+                if seen == 2 {
+                    panic!("injected panic under engine lock");
+                }
+                Ok(())
+            })
+        }));
+        assert!(result.is_err(), "closure panic must propagate");
+
+        // The engine must self-repair: the abandoned implicit txn is rolled
+        // back (no 'poisoned' values survive) and new statements work.
+        let r = d
+            .execute("SELECT COUNT(*) FROM t WHERE v = 'poisoned'")
+            .unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
+        d.execute("INSERT INTO t (v) VALUES ('after')").unwrap();
+        assert_eq!(d.row_count("t").unwrap(), 11);
+    }
+
+    #[test]
+    fn poisoned_stmt_cache_recovers() {
+        let d = db();
+        // Poison the statement-cache mutex directly.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = d.stmt_cache.lock().unwrap();
+            panic!("poison stmt cache");
+        }));
+        assert!(d.stmt_cache.is_poisoned());
+        // Cached execution still works (lock_unpoisoned re-enters).
+        d.execute("SELECT * FROM t WHERE id = $ID").unwrap_err();
+        d.execute("SELECT * FROM t").unwrap();
+    }
+
+    #[test]
+    fn auto_increment_restored_on_rollback() {
+        let d = Database::new();
+        d.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)")
+            .unwrap();
+        d.execute("INSERT INTO t (v) VALUES ('a')").unwrap(); // id 1
+        d.execute("BEGIN").unwrap();
+        d.execute("INSERT INTO t (v) VALUES ('b')").unwrap(); // id 2
+                                                              // Explicit value ahead of the counter bumps it too...
+        d.execute("INSERT INTO t (id, v) VALUES (50, 'c')").unwrap();
+        d.execute("ROLLBACK").unwrap();
+        // ...but rollback fully restores the counter (deliberately not
+        // MySQL's leak-the-ids behavior — see exec.rs): the next insert
+        // reuses id 2, not 51.
+        let r = d.execute("INSERT INTO t (v) VALUES ('d')").unwrap();
+        assert_eq!(r.last_insert_id, Some(2));
+    }
+
+    #[test]
+    fn auto_increment_survives_snapshot_round_trip() {
+        let d = Database::new();
+        d.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)")
+            .unwrap();
+        for v in ["a", "b", "c"] {
+            d.execute(&format!("INSERT INTO t (v) VALUES ('{v}')"))
+                .unwrap();
+        }
+        // Delete the highest row: a naive max(id)+1 reconstruction would
+        // hand out 3 again.
+        d.execute("DELETE FROM t WHERE id = 3").unwrap();
+        let restored = Database::from_snapshots(d.snapshot_tables().unwrap()).unwrap();
+        let r = restored.execute("INSERT INTO t (v) VALUES ('d')").unwrap();
+        assert_eq!(r.last_insert_id, Some(4), "snapshot must persist next_auto");
     }
 }

@@ -7,6 +7,9 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
+
+use edna_util::sync::lock_unpoisoned;
 
 use crate::access::{choose_access_path, AccessPath};
 use crate::error::{Error, Result};
@@ -52,6 +55,20 @@ impl QueryResult {
     }
 }
 
+/// One executed operator of a profiled SELECT (`EXPLAIN ANALYZE`): what
+/// ran, how many rows it produced, and the wall-clock time it took.
+#[derive(Debug, Clone)]
+pub(crate) struct OpProfile {
+    /// Operator kind (`scan`, `probe`, `join`, `filter`, ...).
+    pub op: &'static str,
+    /// Human-readable specifics (table, index, join target).
+    pub detail: String,
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// Wall-clock time spent in the operator, microseconds.
+    pub elapsed_us: u64,
+}
+
 /// The engine's internal, lock-protected state.
 pub(crate) struct Inner {
     /// Tables keyed by lowercase name.
@@ -90,7 +107,7 @@ impl Inner {
     /// Drops every cached access path. Called on any schema change: a new
     /// index can flip a scan to a probe, a drop can do the reverse.
     fn invalidate_plans(&self) {
-        self.plan_cache.lock().expect("plan cache poisoned").clear();
+        lock_unpoisoned(&self.plan_cache).clear();
     }
 
     /// The access path for `table` under the *pre-bind* predicate `pred`,
@@ -102,7 +119,9 @@ impl Inner {
         stats: &Stats,
     ) -> AccessPath {
         let key = (table.schema.name.to_lowercase(), pred.to_string());
-        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+        // Poison-tolerant: the cache only ever holds complete entries, so
+        // a panic elsewhere must not wedge every later plan lookup.
+        let mut cache = lock_unpoisoned(&self.plan_cache);
         if let Some(path) = cache.get(&key) {
             stats.bump(&stats.plan_cache_hits, 1);
             return path.clone();
@@ -436,6 +455,16 @@ impl Inner {
             row[i] = row[i].coerce_to(col.ty)?;
         }
         // AUTO_INCREMENT assignment.
+        //
+        // Counter-rollback semantics (deliberately *not* MySQL's): every
+        // bump of `next_auto` — the auto-assign path below and the
+        // keep-ahead bump for explicit values — logs an
+        // `UndoOp::AutoIncrement` carrying the prior value, and rollback
+        // restores it (see `rollback_to`). Snapshots persist `next_auto`
+        // and restore it verbatim (`Database::from_snapshots`). MySQL
+        // instead lets rolled-back transactions burn ids; we choose full
+        // restore so a rolled-back disguise leaves the database
+        // bit-identical, which the fault-injection suite asserts.
         let mut assigned: Option<i64> = None;
         for (i, col) in schema.columns.iter().enumerate() {
             if col.auto_increment && row[i].is_null() {
@@ -979,10 +1008,47 @@ impl Inner {
         params: &HashMap<String, Value>,
         stats: &Stats,
     ) -> Result<QueryResult> {
+        self.select_impl(sel, params, stats, None)
+    }
+
+    /// Like [`Inner::select`], but records one [`OpProfile`] per executed
+    /// operator into `profile` (the `EXPLAIN ANALYZE` backend).
+    pub(crate) fn select_profiled(
+        &self,
+        sel: &SelectStmt,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+        profile: &mut Vec<OpProfile>,
+    ) -> Result<QueryResult> {
+        self.select_impl(sel, params, stats, Some(profile))
+    }
+
+    fn select_impl(
+        &self,
+        sel: &SelectStmt,
+        params: &HashMap<String, Value>,
+        stats: &Stats,
+        mut profile: Option<&mut Vec<OpProfile>>,
+    ) -> Result<QueryResult> {
+        let note = |profile: &mut Option<&mut Vec<OpProfile>>,
+                    op: &'static str,
+                    detail: String,
+                    rows: u64,
+                    since: Instant| {
+            if let Some(p) = profile.as_deref_mut() {
+                p.push(OpProfile {
+                    op,
+                    detail,
+                    rows,
+                    elapsed_us: since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                });
+            }
+        };
         let resolved_where = match &sel.where_ {
             Some(p) => Some(self.resolve_subqueries(p, params, stats)?),
             None => None,
         };
+        let access_started = Instant::now();
         // Build the joined relation: qualified column names + rows. A
         // join-free SELECT asks the shared access-path chooser (the same
         // cached decision `explain` reports) whether the WHERE clause pins
@@ -1016,6 +1082,7 @@ impl Inner {
                 }),
                 AccessPath::FullScan => None,
             };
+            let probe_used = probe.is_some();
             let rows: Vec<Row> = match probe {
                 Some(ids) => {
                     stats.bump(&stats.index_probes, 1);
@@ -1028,18 +1095,42 @@ impl Inner {
                     t.iter().map(|(_, r)| r.clone()).collect()
                 }
             };
+            let (op, detail) = match (&path, probe_used) {
+                (AccessPath::IndexProbe { index, .. }, true) => {
+                    ("probe", format!("{} via {}", sel.from, index))
+                }
+                _ => ("scan", sel.from.clone()),
+            };
+            note(&mut profile, op, detail, rows.len() as u64, access_started);
             (cols, rows)
         } else {
             let base = self.base_relation(&sel.from, sel.from_alias.as_deref())?;
             stats.bump(&stats.table_scans, 1);
+            note(
+                &mut profile,
+                "scan",
+                sel.from.clone(),
+                base.1.len() as u64,
+                access_started,
+            );
             base
         };
         for join in &sel.joins {
+            let join_started = Instant::now();
             let (jc, jr) = self.base_relation(&join.table, join.alias.as_deref())?;
             (col_names, rows) =
                 self.join_relations(col_names, rows, jc, jr, join, params, stats)?;
+            note(
+                &mut profile,
+                "join",
+                join.table.clone(),
+                rows.len() as u64,
+                join_started,
+            );
         }
         // Filter.
+        let filter_started = Instant::now();
+        let had_filter = resolved_where.is_some();
         let mut filtered = Vec::new();
         if let Some(pred) = &resolved_where {
             for row in rows {
@@ -1057,17 +1148,40 @@ impl Inner {
             filtered = rows;
         }
         stats.bump(&stats.rows_read, filtered.len() as u64);
+        if had_filter {
+            note(
+                &mut profile,
+                "filter",
+                "where".to_string(),
+                filtered.len() as u64,
+                filter_started,
+            );
+        }
 
+        let project_started = Instant::now();
         let has_aggregates = sel
             .projections
             .iter()
             .any(|p| matches!(p, Projection::Aggregate { .. }));
-        let mut result = if has_aggregates || !sel.group_by.is_empty() {
+        let aggregated = has_aggregates || !sel.group_by.is_empty();
+        let mut result = if aggregated {
             self.project_aggregate(sel, &col_names, filtered, params)?
         } else {
             self.project_plain(sel, &col_names, filtered, params)?
         };
+        note(
+            &mut profile,
+            if aggregated { "aggregate" } else { "project" },
+            if sel.order_by.is_empty() {
+                String::new()
+            } else {
+                "ordered".to_string()
+            },
+            result.rows.len() as u64,
+            project_started,
+        );
         if sel.distinct {
+            let distinct_started = Instant::now();
             let mut seen = std::collections::HashSet::new();
             result.rows.retain(|r| {
                 let key: String = r
@@ -1077,7 +1191,16 @@ impl Inner {
                     .join("\u{1}");
                 seen.insert(key)
             });
+            note(
+                &mut profile,
+                "distinct",
+                String::new(),
+                result.rows.len() as u64,
+                distinct_started,
+            );
         }
+        let limit_started = Instant::now();
+        let had_limit = sel.offset.is_some() || sel.limit.is_some();
         if let Some(offset) = sel.offset {
             if offset >= result.rows.len() {
                 result.rows.clear();
@@ -1087,6 +1210,15 @@ impl Inner {
         }
         if let Some(limit) = sel.limit {
             result.rows.truncate(limit);
+        }
+        if had_limit {
+            note(
+                &mut profile,
+                "limit",
+                String::new(),
+                result.rows.len() as u64,
+                limit_started,
+            );
         }
         Ok(result)
     }
@@ -1557,6 +1689,11 @@ impl Inner {
                     }
                 }
                 UndoOp::AutoIncrement { table, old_value } => {
+                    // Full-restore semantics: undo records exist for both
+                    // the auto-assign and explicit keep-ahead bumps, and
+                    // ops replay newest-first, so the counter lands back
+                    // on its pre-transaction value (unlike MySQL, which
+                    // burns ids on rollback).
                     if let Some(t) = self.tables.get_mut(&table.to_lowercase()) {
                         t.next_auto = old_value;
                     }

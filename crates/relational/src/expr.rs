@@ -716,24 +716,50 @@ fn eval_func(name: &str, args: &[Expr], ctx: &EvalContext<'_>) -> Result<Value> 
     }
 }
 
-/// SQL LIKE matching: `%` matches any run, `_` matches one character.
+/// SQL LIKE matching: `%` matches any run, `_` matches exactly one
+/// character; both are case-insensitive (MySQL's default collation).
+///
+/// Iterative two-pointer algorithm, O(|text| · |pattern|) worst case: on a
+/// mismatch after a `%`, backtrack to the most recent `%` and retry it one
+/// text character later. Only the *latest* `%` ever needs retrying, which
+/// is what keeps patterns like `%a%a%a%a%b` linear-ish instead of the
+/// exponential blowup of naive recursive backtracking (a DoS vector, since
+/// patterns arrive in user-supplied predicates).
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn rec(t: &[char], p: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                // Try consuming 0..=len(t) characters.
-                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
-            }
-            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
-            Some(c) => {
-                !t.is_empty() && t[0].to_lowercase().eq(c.to_lowercase()) && rec(&t[1..], &p[1..])
-            }
-        }
-    }
     let t: Vec<char> = text.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
-    rec(&t, &p)
+    let mut ti = 0; // next text char
+    let mut pi = 0; // next pattern char
+                    // After seeing `%` at p[star_pi - 1]: the retry point (pattern index
+                    // just past the `%`, text index the `%` currently absorbs up to).
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || (p[pi] != '%' && like_chars_eq(t[ti], p[pi]))) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((star_pi, star_ti)) = star {
+            // Mismatch past a `%`: let the `%` absorb one more character.
+            pi = star_pi;
+            ti = star_ti + 1;
+            star = Some((star_pi, star_ti + 1));
+        } else {
+            return false;
+        }
+    }
+    // Text exhausted: only trailing `%`s may remain.
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Case-insensitive single-character comparison (full Unicode lowercase
+/// expansion, matching the previous recursive implementation).
+fn like_chars_eq(a: char, b: char) -> bool {
+    a == b || a.to_lowercase().eq(b.to_lowercase())
 }
 
 impl fmt::Display for Expr {
@@ -878,6 +904,59 @@ mod tests {
         assert_eq!(
             eval_str("'hello' NOT LIKE '%z%'").unwrap(),
             Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn like_adversarial_pattern_is_fast() {
+        // The old recursive matcher was exponential in the number of `%`
+        // wildcards; this pattern against a non-matching 200-char string
+        // took effectively forever. The iterative matcher must finish
+        // (well) under a second.
+        let text = "a".repeat(200);
+        let start = std::time::Instant::now();
+        assert!(!like_match(&text, "%a%a%a%a%a%a%a%b"));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "adversarial LIKE took {:?}",
+            start.elapsed()
+        );
+        // And the same pattern still matches when it should.
+        let mut matching = "a".repeat(100);
+        matching.push('b');
+        assert!(like_match(&matching, "%a%a%a%a%a%a%a%b"));
+    }
+
+    #[test]
+    fn like_semantics_matrix() {
+        // MySQL LIKE is case-insensitive (default collation); `=` on text
+        // in this engine is case-sensitive.
+        assert_eq!(eval_str("'HELLO' LIKE 'hello'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("'HELLO' = 'hello'").unwrap(), Value::Bool(false));
+
+        // `_` matches exactly one character, including multi-byte ones.
+        assert_eq!(eval_str("'café' LIKE 'caf_'").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("'café' LIKE 'ca_'").unwrap(), Value::Bool(false));
+        assert!(like_match("é", "_"));
+        assert!(!like_match("é", "__"));
+
+        // Empty pattern matches only the empty string.
+        assert_eq!(eval_str("'' LIKE ''").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("'a' LIKE ''").unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("'' LIKE '%'").unwrap(), Value::Bool(true));
+
+        // Trailing/leading `%` runs collapse.
+        assert!(like_match("abc", "%%%abc%%%"));
+        assert!(like_match("abc", "a%%c"));
+
+        // NULL on either side of (NOT) LIKE yields NULL, not FALSE.
+        assert_eq!(eval_str("NULL LIKE '%'").unwrap(), Value::Null);
+        assert_eq!(eval_str("'a' LIKE NULL").unwrap(), Value::Null);
+        assert_eq!(eval_str("NULL NOT LIKE '%z%'").unwrap(), Value::Null);
+        // ... so NOT LIKE over NULL does not satisfy a WHERE predicate.
+        assert_eq!(
+            eval_str("COALESCE(NULL NOT LIKE '%z%', FALSE)").unwrap(),
+            Value::Bool(false)
         );
     }
 

@@ -45,7 +45,8 @@ pub mod txn;
 pub mod value;
 
 pub use access::AccessPath;
-pub use database::{Database, FaultHook};
+pub use database::{Database, FaultHook, SlowStatement};
+pub use edna_obs::{MetricsRegistry, SpanRecord, Tracer};
 pub use error::{Error, Result};
 pub use exec::QueryResult;
 pub use expr::{eval, eval_predicate, BinOp, EvalContext, Expr, UnOp};

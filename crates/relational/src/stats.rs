@@ -5,76 +5,124 @@
 //! make that measurable. The optional [`LatencyModel`] injects a fixed cost
 //! per statement and per row, approximating a networked DBMS (the
 //! prototype's MySQL backend) without one being available.
+//!
+//! Counters are handles into an `edna-obs` [`MetricsRegistry`], so the
+//! same numbers are exportable in Prometheus text or JSON form via
+//! [`Stats::registry`] alongside any histograms the engine registers
+//! there. The bump path is unchanged: a single relaxed atomic add.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use edna_obs::{Counter, MetricsRegistry};
+
 /// Cumulative counters for one [`crate::Database`].
-#[derive(Debug, Default)]
+///
+/// Fields are shared handles into [`Stats::registry`]; incrementing one is
+/// a single relaxed atomic add.
+#[derive(Debug)]
 pub struct Stats {
+    registry: Arc<MetricsRegistry>,
     /// Total statements executed (including those inside scripts).
-    pub statements: AtomicU64,
+    pub statements: Arc<Counter>,
     /// SELECT statements.
-    pub selects: AtomicU64,
+    pub selects: Arc<Counter>,
     /// INSERT statements.
-    pub inserts: AtomicU64,
+    pub inserts: Arc<Counter>,
     /// UPDATE statements.
-    pub updates: AtomicU64,
+    pub updates: Arc<Counter>,
     /// DELETE statements.
-    pub deletes: AtomicU64,
+    pub deletes: Arc<Counter>,
     /// Rows materialized by reads (scan or index probe results).
-    pub rows_read: AtomicU64,
+    pub rows_read: Arc<Counter>,
     /// Rows inserted, updated, or deleted.
-    pub rows_written: AtomicU64,
+    pub rows_written: Arc<Counter>,
     /// Predicate evaluations served by an index probe.
-    pub index_probes: AtomicU64,
+    pub index_probes: Arc<Counter>,
     /// Predicate evaluations served by a full table scan.
-    pub table_scans: AtomicU64,
+    pub table_scans: Arc<Counter>,
     /// SQL texts served from the statement cache (parse skipped).
-    pub stmt_cache_hits: AtomicU64,
+    pub stmt_cache_hits: Arc<Counter>,
     /// SQL texts that had to be parsed (and were then cached).
-    pub stmt_cache_misses: AtomicU64,
+    pub stmt_cache_misses: Arc<Counter>,
     /// Access-path decisions served from the plan cache.
-    pub plan_cache_hits: AtomicU64,
+    pub plan_cache_hits: Arc<Counter>,
+}
+
+impl Default for Stats {
+    fn default() -> Stats {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        Stats {
+            registry: Arc::clone(&registry),
+            statements: c("edna_statements_total", "SQL statements executed."),
+            selects: c("edna_selects_total", "SELECT statements executed."),
+            inserts: c("edna_inserts_total", "INSERT statements executed."),
+            updates: c("edna_updates_total", "UPDATE statements executed."),
+            deletes: c("edna_deletes_total", "DELETE statements executed."),
+            rows_read: c("edna_rows_read_total", "Rows materialized by reads."),
+            rows_written: c(
+                "edna_rows_written_total",
+                "Rows inserted, updated, or deleted.",
+            ),
+            index_probes: c(
+                "edna_index_probes_total",
+                "Predicate evaluations served by an index probe.",
+            ),
+            table_scans: c(
+                "edna_table_scans_total",
+                "Predicate evaluations served by a full table scan.",
+            ),
+            stmt_cache_hits: c(
+                "edna_stmt_cache_hits_total",
+                "SQL texts served from the statement cache.",
+            ),
+            stmt_cache_misses: c(
+                "edna_stmt_cache_misses_total",
+                "SQL texts parsed and then cached.",
+            ),
+            plan_cache_hits: c(
+                "edna_plan_cache_hits_total",
+                "Access-path decisions served from the plan cache.",
+            ),
+        }
+    }
 }
 
 impl Stats {
+    /// The metrics registry backing these counters. The engine registers
+    /// additional metrics (latency histograms, slow-statement counts)
+    /// here; render with `render_prometheus()` / `render_json()`.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Takes an immutable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            statements: self.statements.load(Ordering::Relaxed),
-            selects: self.selects.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            updates: self.updates.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            rows_read: self.rows_read.load(Ordering::Relaxed),
-            rows_written: self.rows_written.load(Ordering::Relaxed),
-            index_probes: self.index_probes.load(Ordering::Relaxed),
-            table_scans: self.table_scans.load(Ordering::Relaxed),
-            stmt_cache_hits: self.stmt_cache_hits.load(Ordering::Relaxed),
-            stmt_cache_misses: self.stmt_cache_misses.load(Ordering::Relaxed),
-            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            statements: self.statements.get(),
+            selects: self.selects.get(),
+            inserts: self.inserts.get(),
+            updates: self.updates.get(),
+            deletes: self.deletes.get(),
+            rows_read: self.rows_read.get(),
+            rows_written: self.rows_written.get(),
+            index_probes: self.index_probes.get(),
+            table_scans: self.table_scans.get(),
+            stmt_cache_hits: self.stmt_cache_hits.get(),
+            stmt_cache_misses: self.stmt_cache_misses.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
         }
     }
 
-    /// Resets all counters to zero.
+    /// Resets every metric in the backing registry to zero (including
+    /// engine-registered histograms).
     pub fn reset(&self) {
-        self.statements.store(0, Ordering::Relaxed);
-        self.selects.store(0, Ordering::Relaxed);
-        self.inserts.store(0, Ordering::Relaxed);
-        self.updates.store(0, Ordering::Relaxed);
-        self.deletes.store(0, Ordering::Relaxed);
-        self.rows_read.store(0, Ordering::Relaxed);
-        self.rows_written.store(0, Ordering::Relaxed);
-        self.index_probes.store(0, Ordering::Relaxed);
-        self.table_scans.store(0, Ordering::Relaxed);
-        self.stmt_cache_hits.store(0, Ordering::Relaxed);
-        self.stmt_cache_misses.store(0, Ordering::Relaxed);
-        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.registry.reset();
     }
 
-    pub(crate) fn bump(&self, counter: &AtomicU64, by: u64) {
-        counter.fetch_add(by, Ordering::Relaxed);
+    pub(crate) fn bump(&self, counter: &Counter, by: u64) {
+        counter.add(by);
     }
 }
 

@@ -10,10 +10,13 @@
 //! - [`buf`] — cursor-style byte buffers ([`buf::Bytes`] / [`buf::BytesMut`])
 //!   for the vault wire formats;
 //! - [`sha256`] — SHA-256 (FIPS 180-4), shared by the vault crypto and the
-//!   crash-consistency checksums in snapshots and vault files.
+//!   crash-consistency checksums in snapshots and vault files;
+//! - [`sync`] — poison-tolerant lock acquisition, so a panic in one
+//!   statement cannot wedge shared caches for every later caller.
 
 #![warn(missing_docs)]
 
 pub mod buf;
 pub mod rng;
 pub mod sha256;
+pub mod sync;

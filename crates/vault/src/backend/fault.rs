@@ -249,6 +249,10 @@ impl<S: VaultStore> VaultStore for FaultyStore<S> {
     fn stats(&self) -> StoreStats {
         self.inner.stats()
     }
+
+    fn set_tracer(&self, tracer: Option<edna_obs::Tracer>) {
+        self.inner.set_tracer(tracer);
+    }
 }
 
 #[cfg(test)]

@@ -16,9 +16,11 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
+use edna_obs::Tracer;
 use edna_util::buf::{Bytes, BytesMut};
+use edna_util::sync::{read_unpoisoned, write_unpoisoned};
 
 use crate::entry::{EntryMeta, StoredEntry};
 use crate::error::Result;
@@ -37,6 +39,7 @@ pub struct FileStore {
     retries: AtomicU64,
     recovered_records: AtomicU64,
     truncated_bytes: AtomicU64,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl FileStore {
@@ -65,6 +68,7 @@ impl FileStore {
             retries: AtomicU64::new(0),
             recovered_records: AtomicU64::new(0),
             truncated_bytes: AtomicU64::new(0),
+            tracer: RwLock::new(None),
         })
     }
 
@@ -104,7 +108,7 @@ impl FileStore {
     /// Caller must hold `self.lock`.
     fn read_all(&self, path: &Path) -> Result<Vec<StoredEntry>> {
         // A missing file means "no entries", not a transient fault to retry.
-        let data = match self.with_retry(|| match fs::read(path) {
+        let data = match self.with_retry("file_read", || match fs::read(path) {
             Ok(d) => Ok(Some(d)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
@@ -115,7 +119,7 @@ impl FileStore {
         let scan = wal::scan_records(&data);
         if scan.valid_len < data.len() {
             let torn = scan.torn_bytes(data.len());
-            self.with_retry(|| {
+            self.with_retry("file_truncate", || {
                 let f = fs::OpenOptions::new().write(true).open(path)?;
                 f.set_len(scan.valid_len as u64)?;
                 f.sync_all()?;
@@ -135,7 +139,7 @@ impl FileStore {
     /// Caller must hold `self.lock`.
     fn write_all(&self, path: &Path, entries: &[StoredEntry]) -> Result<()> {
         if entries.is_empty() {
-            return self.with_retry(|| match fs::remove_file(path) {
+            return self.with_retry("file_remove", || match fs::remove_file(path) {
                 Ok(()) => Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
                 Err(e) => Err(e.into()),
@@ -147,7 +151,7 @@ impl FileStore {
         }
         // Write-then-rename for crash atomicity.
         let tmp = path.with_extension("tmp");
-        self.with_retry(|| {
+        self.with_retry("file_rewrite", || {
             fs::write(&tmp, &buf)?;
             fs::rename(&tmp, path)?;
             Ok(())
@@ -170,13 +174,15 @@ impl FileStore {
         Ok(StoredEntry { meta, payload })
     }
 
-    fn with_retry<T>(&self, op: impl FnMut() -> Result<T>) -> Result<T> {
-        self.retry.run(&self.retries, op)
+    fn with_retry<T>(&self, label: &str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        let tracer = read_unpoisoned(&self.tracer).clone();
+        self.retry
+            .run_traced(&self.retries, tracer.as_ref(), label, op)
     }
 
     fn append_bytes(&self, user: &str, bytes: &[u8]) -> Result<()> {
         let path = self.user_path(user);
-        self.with_retry(|| {
+        self.with_retry("file_append", || {
             use std::io::Write;
             let mut f = fs::OpenOptions::new()
                 .create(true)
@@ -268,6 +274,10 @@ impl VaultStore for FileStore {
             recovered_records: self.recovered_records.load(Ordering::SeqCst),
             truncated_bytes: self.truncated_bytes.load(Ordering::SeqCst),
         }
+    }
+
+    fn set_tracer(&self, tracer: Option<Tracer>) {
+        *write_unpoisoned(&self.tracer) = tracer;
     }
 }
 

@@ -102,6 +102,11 @@ pub trait VaultStore: Send + Sync {
     fn stats(&self) -> StoreStats {
         StoreStats::default()
     }
+
+    /// Installs (or with `None` removes) a tracer; stores that support it
+    /// emit one span per backend request. The default ignores the tracer
+    /// (in-memory stores have nothing worth timing).
+    fn set_tracer(&self, _tracer: Option<edna_obs::Tracer>) {}
 }
 
 /// The reserved user key for the global vault scope.

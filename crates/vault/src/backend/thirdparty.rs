@@ -14,7 +14,11 @@
 //! and [`VaultStore::stats`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
 use std::time::Duration;
+
+use edna_obs::Tracer;
+use edna_util::sync::{read_unpoisoned, write_unpoisoned};
 
 use crate::entry::StoredEntry;
 use crate::error::{Error, Result};
@@ -33,6 +37,7 @@ pub struct ThirdPartyStore<S> {
     /// "access might require explicit approval by the user").
     require_approval: AtomicBool,
     approved: AtomicBool,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl<S: VaultStore> ThirdPartyStore<S> {
@@ -53,6 +58,7 @@ impl<S: VaultStore> ThirdPartyStore<S> {
             retries: AtomicU64::new(0),
             require_approval: AtomicBool::new(false),
             approved: AtomicBool::new(false),
+            tracer: RwLock::new(None),
         }
     }
 
@@ -91,37 +97,39 @@ impl<S: VaultStore> ThirdPartyStore<S> {
     }
 
     /// One possibly-retried round trip: approval + latency, then `op`.
-    fn request<T>(&self, mut op: impl FnMut(&S) -> Result<T>) -> Result<T> {
-        self.retry.run(&self.retries, || {
-            self.charge()?;
-            op(&self.inner)
-        })
+    fn request<T>(&self, label: &str, mut op: impl FnMut(&S) -> Result<T>) -> Result<T> {
+        let tracer = read_unpoisoned(&self.tracer).clone();
+        self.retry
+            .run_traced(&self.retries, tracer.as_ref(), label, || {
+                self.charge()?;
+                op(&self.inner)
+            })
     }
 }
 
 impl<S: VaultStore> VaultStore for ThirdPartyStore<S> {
     fn put(&self, user: &str, entry: StoredEntry) -> Result<()> {
-        self.request(|s| s.put(user, entry.clone()))
+        self.request("remote_put", |s| s.put(user, entry.clone()))
     }
 
     fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
-        self.request(|s| s.list(user))
+        self.request("remote_list", |s| s.list(user))
     }
 
     fn users(&self) -> Result<Vec<String>> {
-        self.request(|s| s.users())
+        self.request("remote_users", |s| s.users())
     }
 
     fn remove(&self, user: &str, disguise_id: u64) -> Result<usize> {
-        self.request(|s| s.remove(user, disguise_id))
+        self.request("remote_remove", |s| s.remove(user, disguise_id))
     }
 
     fn purge_expired(&self, now: i64) -> Result<usize> {
-        self.request(|s| s.purge_expired(now))
+        self.request("remote_purge", |s| s.purge_expired(now))
     }
 
     fn entry_count(&self) -> Result<usize> {
-        self.request(|s| s.entry_count())
+        self.request("remote_count", |s| s.entry_count())
     }
 
     fn stats(&self) -> StoreStats {
@@ -130,6 +138,11 @@ impl<S: VaultStore> VaultStore for ThirdPartyStore<S> {
             ..StoreStats::default()
         }
         .merge(self.inner.stats())
+    }
+
+    fn set_tracer(&self, tracer: Option<Tracer>) {
+        self.inner.set_tracer(tracer.clone());
+        *write_unpoisoned(&self.tracer) = tracer;
     }
 }
 

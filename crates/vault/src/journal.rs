@@ -10,6 +10,16 @@
 //! time), so the journal should live on trusted local storage — the same
 //! trust domain as the disguising tool itself.
 //!
+//! Operationally that plaintext spool matters: while entries sit in the
+//! journal, the very data a disguise just removed from the database (the
+//! reveal functions reconstruct it) is readable by anyone who can read
+//! the file. Deployments should restrict the journal's filesystem
+//! permissions to the disguising tool's user, exclude the spool path from
+//! backups and log shipping, and flush promptly once the vault backend
+//! recovers — `rewrite` compacts via a new temp file, so old plaintext
+//! bytes may also survive in unallocated blocks until the filesystem
+//! reuses them.
+//!
 //! The journal uses the checksummed record framing of [`crate::wal`]:
 //! appends are fsynced, a torn tail from a crash mid-append is truncated
 //! away at open, and compaction after a flush rewrites the file via
@@ -17,9 +27,11 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
+use edna_obs::Tracer;
 use edna_util::buf::{Bytes, BytesMut};
+use edna_util::sync::{read_unpoisoned, write_unpoisoned};
 
 use crate::entry::{EntryMeta, VaultEntry};
 use crate::error::{Error, Result};
@@ -31,6 +43,7 @@ use crate::wal;
 pub struct VaultJournal {
     path: PathBuf,
     lock: Mutex<()>,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl VaultJournal {
@@ -50,6 +63,7 @@ impl VaultJournal {
         let journal = VaultJournal {
             path,
             lock: Mutex::new(()),
+            tracer: RwLock::new(None),
         };
         journal.recover()?;
         Ok(journal)
@@ -60,17 +74,34 @@ impl VaultJournal {
         &self.path
     }
 
+    /// Installs (or with `None` removes) a tracer; each append emits a
+    /// `journal_append` span covering the fsynced write.
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        *write_unpoisoned(&self.tracer) = tracer;
+    }
+
     /// Durably appends one pending vault write.
     pub fn append(&self, tier: VaultTier, entry: &VaultEntry) -> Result<()> {
+        let mut span = read_unpoisoned(&self.tracer).as_ref().map(|t| {
+            let mut g = t.begin("journal_append");
+            g.attr("tier", format!("{tier:?}"));
+            g
+        });
         let _g = self.lock.lock().unwrap();
         use std::io::Write;
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        f.write_all(&wal::encode_record(&Self::record_body(tier, entry)))?;
-        f.sync_all()?;
-        Ok(())
+        let result = (|| -> Result<()> {
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            f.write_all(&wal::encode_record(&Self::record_body(tier, entry)))?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if let Some(g) = span.as_mut() {
+            g.attr("ok", result.is_ok().to_string());
+        }
+        result
     }
 
     /// Every spooled write, in append order.

@@ -12,6 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use edna_obs::Tracer;
 use edna_util::rng::{Rng, SplitMix64};
 
 use crate::error::{Error, Result};
@@ -45,20 +46,35 @@ impl RetryPolicy {
     /// Runs `op`, retrying transient failures per this policy. Each retry
     /// increments `retries` (shared with the store's
     /// [`StoreStats`](crate::backend::StoreStats)).
-    pub fn run<T>(&self, retries: &AtomicU64, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    pub fn run<T>(&self, retries: &AtomicU64, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.run_traced(retries, None, "retry", op)
+    }
+
+    /// Like [`RetryPolicy::run`], additionally emitting one `label` span —
+    /// covering the whole operation, all attempts and backoff sleeps
+    /// included — with `retries`/`ok` attributes when a tracer is
+    /// installed. The span parents under the innermost open guard span
+    /// (typically a disguise phase or `vault_put`).
+    pub fn run_traced<T>(
+        &self,
+        retries: &AtomicU64,
+        tracer: Option<&Tracer>,
+        label: &str,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
         let start = Instant::now();
         let mut jitter = SplitMix64::new(self.jitter_seed);
         let mut attempt: u32 = 0;
-        loop {
+        let result = loop {
             match op() {
-                Ok(v) => return Ok(v),
-                Err(e) if !e.is_transient() => return Err(e),
+                Ok(v) => break Ok(v),
+                Err(e) if !e.is_transient() => break Err(e),
                 Err(e) => {
                     if attempt >= self.max_retries || start.elapsed() >= self.deadline {
                         if attempt == 0 {
-                            return Err(e);
+                            break Err(e);
                         }
-                        return Err(Error::RetriesExhausted {
+                        break Err(Error::RetriesExhausted {
                             attempts: attempt + 1,
                             last: Box::new(e),
                         });
@@ -68,7 +84,20 @@ impl RetryPolicy {
                     std::thread::sleep(self.backoff(attempt, &mut jitter, start));
                 }
             }
+        };
+        if let Some(t) = tracer {
+            t.record(
+                t.current(),
+                label,
+                start,
+                start.elapsed(),
+                vec![
+                    ("retries".to_string(), attempt.to_string()),
+                    ("ok".to_string(), result.is_ok().to_string()),
+                ],
+            );
         }
+        result
     }
 
     /// The sleep before retry number `attempt` (1-based): exponential from

@@ -83,6 +83,13 @@ impl TieredVault {
         self.global.store_stats().merge(self.per_user.store_stats())
     }
 
+    /// Installs (or with `None` removes) a tracer on both tiers; see
+    /// [`Vault::set_tracer`].
+    pub fn set_tracer(&self, tracer: Option<edna_obs::Tracer>) {
+        self.global.set_tracer(tracer.clone());
+        self.per_user.set_tracer(tracer);
+    }
+
     /// Direct access to one tier.
     pub fn tier(&self, tier: VaultTier) -> &Vault {
         match tier {

@@ -4,8 +4,10 @@
 use std::collections::HashMap;
 
 use edna_util::rng::Prng;
-use std::sync::Mutex;
+use edna_util::sync::{read_unpoisoned, write_unpoisoned};
+use std::sync::{Mutex, RwLock};
 
+use edna_obs::Tracer;
 use edna_relational::Value;
 
 use crate::backend::{VaultStore, GLOBAL_USER};
@@ -44,6 +46,7 @@ struct UserKeys {
 pub struct Vault {
     store: Box<dyn VaultStore>,
     protection: Protection,
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl Vault {
@@ -52,6 +55,7 @@ impl Vault {
         Vault {
             store: Box::new(store),
             protection: Protection::Plain,
+            tracer: RwLock::new(None),
         }
     }
 
@@ -65,6 +69,7 @@ impl Vault {
                 keys: Mutex::new(HashMap::new()),
                 rng: Mutex::new(Prng::seed_from_u64(seed)),
             },
+            tracer: RwLock::new(None),
         }
     }
 
@@ -82,6 +87,7 @@ impl Vault {
                 passphrase: passphrase.to_string(),
                 rng: Mutex::new(Prng::seed_from_u64(seed)),
             },
+            tracer: RwLock::new(None),
         }
     }
 
@@ -102,9 +108,23 @@ impl Vault {
         }
     }
 
+    /// Installs (or with `None` removes) a tracer: each stored entry emits
+    /// a `vault_put` span, with backend I/O and retry spans nested inside
+    /// it (the tracer is forwarded to the store).
+    pub fn set_tracer(&self, tracer: Option<Tracer>) {
+        self.store.set_tracer(tracer.clone());
+        *write_unpoisoned(&self.tracer) = tracer;
+    }
+
     /// Stores the reveal functions for one disguise application.
     pub fn put(&self, entry: &VaultEntry) -> Result<()> {
         let user = Self::user_key(&entry.user_id);
+        let mut span = read_unpoisoned(&self.tracer).as_ref().map(|t| {
+            let mut g = t.begin("vault_put");
+            g.attr("user", user.as_str());
+            g.attr("encrypted", self.is_encrypted().to_string());
+            g
+        });
         let (meta, payload) = entry.encode();
         let payload = match &self.protection {
             Protection::Plain => payload,
@@ -128,7 +148,11 @@ impl Vault {
                 seal(&key, &payload, &mut *rng)
             }
         };
-        self.store.put(&user, StoredEntry { meta, payload })
+        let result = self.store.put(&user, StoredEntry { meta, payload });
+        if let Some(g) = span.as_mut() {
+            g.attr("ok", result.is_ok().to_string());
+        }
+        result
     }
 
     /// All decoded entries for `user_id`, oldest first.

@@ -32,6 +32,25 @@ if target/release/edna check "$CHECK_DIR/hotcrp" examples/flawed_scrub.edna; the
 fi
 echo "edna check OK"
 
+echo "==> trace smoke (apply with --trace-out, stats sidecar, trace tree)"
+target/release/edna apply "$CHECK_DIR/hotcrp" HotCRP-GDPR --user 1 \
+    --trace-out "$CHECK_DIR/trace.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+    # Every line must be valid JSON.
+    python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$CHECK_DIR/trace.jsonl"
+fi
+for span in disguise_apply transform vault_write vault_put statement; do
+    grep -q "\"label\":\"$span\"" "$CHECK_DIR/trace.jsonl" || {
+        echo "trace.jsonl missing $span span" >&2
+        exit 1
+    }
+done
+target/release/edna trace "$CHECK_DIR/trace.jsonl" | grep -q "disguise_apply"
+target/release/edna stats "$CHECK_DIR/hotcrp" | grep -q "edna_statements_total"
+echo "trace smoke OK"
+
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
 BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
     cargo bench -p edna-bench --bench batching
