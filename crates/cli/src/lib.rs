@@ -3,7 +3,12 @@
 //! State layout for a workspace at path `STATE`:
 //!
 //! - `STATE` — database snapshot (see `edna_relational::snapshot`);
+//! - `STATE.wal` — the write-ahead log: every committed statement is
+//!   fsynced here before it returns, so work between `save`s survives a
+//!   crash (replayed on the next open);
+//! - `STATE.metrics` — Prometheus-text metrics sidecar;
 //! - `STATE.vault/global/`, `STATE.vault/user/` — file-backed vault tiers;
+//! - `STATE.vault/pending.journal` — spooled vault writes awaiting flush;
 //! - registered disguise DSL texts live *in* the database, in the reserved
 //!   `_edna_spec_registry` table, so every command sees the same specs.
 //!
@@ -11,15 +16,24 @@
 //! (per-user keys derived from it), matching the paper's §4.2 external
 //! encrypted per-user vaults; without one it is plaintext, like the
 //! prototype (§5).
+//!
+//! Every `Workspace::open` is a recovery pass: stale temp files are swept
+//! (or, after a crash mid-save, a complete checksum-valid snapshot temp
+//! is promoted), the WAL's torn tail is truncated, its tail beyond the
+//! snapshot watermark is replayed, and half-applied disguises are rolled
+//! forward or back against the history table (see
+//! `Disguiser::resolve_recovered_intents`). `edna recover --verify`
+//! reports what such a pass did and self-checks integrity.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-use edna_core::{Disguiser, SpanRecord, HISTORY_TABLE};
-use edna_relational::{Database, QueryResult, Value};
-use edna_vault::{FileStore, TieredVault, Vault};
+use edna_core::{Disguiser, IntentResolution, SpanRecord, Tracer, HISTORY_TABLE};
+use edna_relational::{snapshot, Database, QueryResult, RecoveryReport, Value};
+use edna_vault::{FileStore, TieredVault, Vault, VaultJournal};
 
 /// Reserved table persisting registered disguise DSL texts.
 pub const SPEC_REGISTRY_TABLE: &str = "_edna_spec_registry";
@@ -61,16 +75,66 @@ pub type CliResult<T> = Result<T, CliError>;
 pub struct Workspace {
     /// Path of the snapshot file.
     pub path: PathBuf,
-    /// The database (loaded from the snapshot).
+    /// The database (loaded from the snapshot, WAL tail replayed).
     pub db: Database,
     /// The disguising tool (vaults under `<path>.vault/`).
     pub edna: Disguiser,
+    /// What open-time recovery did (snapshot promotion, WAL replay).
+    pub last_recovery: RecoveryReport,
+    /// How open disguise intents found in the WAL were resolved.
+    pub last_resolution: IntentResolution,
 }
 
 fn vault_dir(state: &Path, tier: &str) -> PathBuf {
     let mut os = state.as_os_str().to_os_string();
     os.push(".vault");
     PathBuf::from(os).join(tier)
+}
+
+fn sidecar(state: &Path, suffix: &str) -> PathBuf {
+    let mut os = state.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// Fsyncs the directory containing `path` so a rename into it is durable.
+/// Best-effort: not every filesystem supports opening directories.
+fn fsync_parent(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// If the authoritative snapshot is missing but a complete,
+/// checksum-valid `.tmp` exists (crash after the temp was fully written
+/// and fsynced, before the rename), promote the temp. A temp that fails
+/// the checksum is swept; a temp beside a live snapshot is stale and
+/// swept too.
+fn resolve_snapshot_tmp(path: &Path) -> CliResult<bool> {
+    let tmp = path.with_extension("tmp");
+    if !tmp.exists() {
+        return Ok(false);
+    }
+    if !path.exists() {
+        if let Ok(bytes) = std::fs::read(&tmp) {
+            if snapshot::decode_checked(&bytes).is_ok() {
+                std::fs::rename(&tmp, path)
+                    .map_err(|e| CliError(format!("cannot promote {}: {e}", tmp.display())))?;
+                fsync_parent(path);
+                return Ok(true);
+            }
+        }
+    }
+    std::fs::remove_file(&tmp)
+        .map_err(|e| CliError(format!("cannot sweep stale {}: {e}", tmp.display())))?;
+    Ok(false)
 }
 
 impl Workspace {
@@ -80,25 +144,45 @@ impl Workspace {
         if path.exists() {
             return Err(CliError(format!("{} already exists", path.display())));
         }
+        // A stale log from a deleted workspace must not replay into the
+        // fresh one.
+        let wal = sidecar(path, ".wal");
+        if wal.exists() {
+            std::fs::remove_file(&wal)
+                .map_err(|e| CliError(format!("cannot remove stale {}: {e}", wal.display())))?;
+        }
         let db = Database::new();
         ensure_registry(&db)?;
         db.save(path)?;
         Self::open(path, passphrase)
     }
 
-    /// Opens an existing workspace, recovering from an interrupted save:
-    /// a crash between snapshot write and atomic rename leaves a stale
-    /// `.tmp` beside the authoritative snapshot, which is swept here. The
-    /// file-backed vault tiers likewise sweep their temp files and
+    /// Opens an existing workspace, recovering whatever a crash left
+    /// behind:
+    ///
+    /// - a complete checksum-valid snapshot `.tmp` with no authoritative
+    ///   snapshot (crash between temp fsync and rename) is promoted;
+    ///   stale temps (snapshot and metrics sidecar) are swept;
+    /// - the WAL's torn tail is truncated and committed frames beyond the
+    ///   snapshot watermark are replayed;
+    /// - disguises that logged an intent but never committed are resolved
+    ///   (rolled forward or fully undone) against the history table;
+    /// - if recovery changed anything, the result is checkpointed so the
+    ///   next open starts clean.
+    ///
+    /// The file-backed vault tiers likewise sweep their temp files and
     /// truncate torn record tails when opened.
     pub fn open(path: impl AsRef<Path>, passphrase: Option<&str>) -> CliResult<Workspace> {
         let path = path.as_ref().to_path_buf();
-        let tmp = path.with_extension("tmp");
-        if tmp.exists() {
-            std::fs::remove_file(&tmp)
-                .map_err(|e| CliError(format!("cannot sweep stale {}: {e}", tmp.display())))?;
+        let promoted = resolve_snapshot_tmp(&path)?;
+        let metrics_tmp = sidecar(&path, ".metrics.tmp");
+        if metrics_tmp.exists() {
+            std::fs::remove_file(&metrics_tmp).map_err(|e| {
+                CliError(format!("cannot sweep stale {}: {e}", metrics_tmp.display()))
+            })?;
         }
-        let db = Database::load(&path)?;
+        let (db, mut report) = Database::open_durable(Some(&path), &sidecar(&path, ".wal"))?;
+        report.snapshot_promoted = promoted;
         ensure_registry(&db)?;
         let global = Vault::plain(FileStore::open(vault_dir(&path, "global"))?);
         let user_store = FileStore::open(vault_dir(&path, "user"))?;
@@ -107,6 +191,9 @@ impl Workspace {
             None => Vault::plain(user_store),
         };
         let mut edna = Disguiser::with_vaults(db.clone(), TieredVault::new(global, per_user));
+        edna.set_vault_journal(VaultJournal::open(
+            sidecar(&path, ".vault").join("pending.journal"),
+        )?);
         // Re-register persisted specs.
         let specs = db.execute(&format!(
             "SELECT dsl FROM {SPEC_REGISTRY_TABLE} ORDER BY id"
@@ -115,24 +202,89 @@ impl Workspace {
             let dsl = row[0].as_text()?;
             edna.register_dsl(dsl)?;
         }
-        Ok(Workspace { path, db, edna })
+        let resolution = edna.resolve_recovered_intents(&report.open_intents)?;
+        let ws = Workspace {
+            path,
+            db,
+            edna,
+            last_recovery: report,
+            last_resolution: resolution,
+        };
+        // Checkpoint what recovery rebuilt: fold the replayed tail into
+        // the snapshot so the next open starts from a clean log.
+        if ws.last_recovery.acted() || !ws.last_resolution.is_empty() {
+            ws.save()?;
+        }
+        Ok(ws)
     }
 
-    /// Persists the database snapshot, plus a `<state>.metrics` sidecar
-    /// with the Prometheus-text rendering of this process's metrics
-    /// registry (readable later via `edna stats`).
+    /// Persists the database snapshot (checkpointing — truncating — the
+    /// WAL), plus a `<state>.metrics` sidecar with the Prometheus-text
+    /// rendering of this process's metrics registry (readable later via
+    /// `edna stats`). The sidecar is written with the same
+    /// temp-write + fsync + atomic-rename discipline as the snapshot, so
+    /// a crash mid-save never leaves a torn sidecar.
     pub fn save(&self) -> CliResult<()> {
         self.db.save(&self.path)?;
-        std::fs::write(self.metrics_path(), self.db.metrics().render_prometheus())
-            .map_err(|e| CliError(format!("cannot write metrics sidecar: {e}")))?;
+        let target = self.metrics_path();
+        let tmp = sidecar(&self.path, ".metrics.tmp");
+        (|| -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.db.metrics().render_prometheus().as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &target)?;
+            fsync_parent(&target);
+            Ok(())
+        })()
+        .map_err(|e| CliError(format!("cannot write metrics sidecar: {e}")))?;
         Ok(())
     }
 
     /// Where the metrics sidecar of this workspace lives.
     pub fn metrics_path(&self) -> PathBuf {
-        let mut os = self.path.as_os_str().to_os_string();
-        os.push(".metrics");
-        PathBuf::from(os)
+        sidecar(&self.path, ".metrics")
+    }
+
+    /// Where the write-ahead log of this workspace lives.
+    pub fn wal_path(&self) -> PathBuf {
+        sidecar(&self.path, ".wal")
+    }
+
+    /// Emits a retroactive `recovery` span (plus a child per resolved
+    /// intent) describing what this open's recovery pass did, for
+    /// `--trace-out` exports.
+    pub fn record_recovery_span(&self, tracer: &Tracer) {
+        let r = &self.last_recovery;
+        let started = Instant::now()
+            .checked_sub(r.duration)
+            .unwrap_or_else(Instant::now);
+        let id = tracer.record(
+            None,
+            "recovery",
+            started,
+            r.duration,
+            vec![
+                ("frames_scanned".into(), r.frames_scanned.to_string()),
+                ("frames_replayed".into(), r.frames_replayed.to_string()),
+                ("torn_bytes".into(), r.torn_bytes.to_string()),
+                ("snapshot_promoted".into(), r.snapshot_promoted.to_string()),
+            ],
+        );
+        for (label, ids) in [
+            ("intent_completed", &self.last_resolution.completed),
+            ("intent_undone", &self.last_resolution.undone),
+        ] {
+            for d in ids {
+                tracer.record(
+                    Some(id),
+                    label,
+                    started,
+                    std::time::Duration::ZERO,
+                    vec![("disguise_id".into(), d.to_string())],
+                );
+            }
+        }
     }
 
     /// Registers a disguise from DSL text and persists it in the registry.
@@ -280,21 +432,17 @@ mod tests {
 
     fn temp_state(tag: &str) -> PathBuf {
         let p = std::env::temp_dir().join(format!("edna_cli_test_{tag}_{}", std::process::id()));
-        let _ = std::fs::remove_file(&p);
-        let mut v = p.as_os_str().to_os_string();
-        v.push(".vault");
-        let _ = std::fs::remove_dir_all(PathBuf::from(v));
+        cleanup(&p);
         p
     }
 
     fn cleanup(p: &Path) {
         let _ = std::fs::remove_file(p);
-        let mut m = p.as_os_str().to_os_string();
-        m.push(".metrics");
-        let _ = std::fs::remove_file(PathBuf::from(m));
-        let mut v = p.as_os_str().to_os_string();
-        v.push(".vault");
-        let _ = std::fs::remove_dir_all(PathBuf::from(v));
+        let _ = std::fs::remove_file(p.with_extension("tmp"));
+        for suffix in [".metrics", ".metrics.tmp", ".wal"] {
+            let _ = std::fs::remove_file(sidecar(p, suffix));
+        }
+        let _ = std::fs::remove_dir_all(sidecar(p, ".vault"));
     }
 
     const SPEC: &str = r#"
@@ -385,14 +533,73 @@ tables: {
         let ws = Workspace::open(&state, None).unwrap();
         assert!(!state.with_extension("tmp").exists(), "stale tmp swept");
         assert_eq!(ws.db.row_count("users").unwrap(), 1);
+        drop(ws);
+
+        // Crash between temp fsync and rename: the authoritative snapshot
+        // is gone but a complete checksum-valid temp exists — promote it.
+        let good = std::fs::read(&state).unwrap();
+        std::fs::remove_file(&state).unwrap();
+        std::fs::write(state.with_extension("tmp"), &good).unwrap();
+        let ws = Workspace::open(&state, None).unwrap();
+        assert!(ws.last_recovery.snapshot_promoted);
+        assert!(state.exists(), "tmp promoted to authoritative");
+        assert!(!state.with_extension("tmp").exists());
+        assert_eq!(ws.db.row_count("users").unwrap(), 1);
+        drop(ws);
+
+        // Same crash shape but the temp is garbage: swept, and the
+        // missing snapshot surfaces as a clear error.
+        std::fs::remove_file(&state).unwrap();
+        std::fs::write(state.with_extension("tmp"), b"not a snapshot").unwrap();
+        assert!(Workspace::open(&state, None).is_err());
+        assert!(!state.with_extension("tmp").exists(), "garbage tmp swept");
 
         // A corrupted snapshot itself is a clear error, not a bad load.
-        let mut bytes = std::fs::read(&state).unwrap();
+        let mut bytes = good.clone();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&state, &bytes).unwrap();
         let err = Workspace::open(&state, None).err().unwrap().to_string();
         assert!(err.contains("corrupt snapshot"), "got: {err}");
+        cleanup(&state);
+    }
+
+    #[test]
+    fn unsaved_work_survives_reopen_via_wal() {
+        let state = temp_state("walreplay");
+        {
+            let ws = Workspace::init(&state, None).unwrap();
+            ws.db
+                .execute("CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)")
+                .unwrap();
+            ws.db
+                .execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+                .unwrap();
+            // Crash: drop without save() — the WAL is the only record.
+        }
+        let ws = Workspace::open(&state, None).unwrap();
+        assert!(ws.last_recovery.frames_replayed > 0);
+        assert_eq!(ws.db.row_count("users").unwrap(), 2);
+        assert_eq!(ws.db.verify_integrity(), Vec::<String>::new());
+        drop(ws);
+        // Recovery checkpointed: a second open replays nothing.
+        let ws = Workspace::open(&state, None).unwrap();
+        assert_eq!(ws.last_recovery.frames_replayed, 0);
+        assert_eq!(ws.db.row_count("users").unwrap(), 2);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn stale_metrics_sidecar_tmp_is_swept() {
+        let state = temp_state("metricstmp");
+        {
+            let ws = Workspace::init(&state, None).unwrap();
+            ws.save().unwrap();
+        }
+        let tmp = sidecar(&state, ".metrics.tmp");
+        std::fs::write(&tmp, b"half-written metrics").unwrap();
+        let _ws = Workspace::open(&state, None).unwrap();
+        assert!(!tmp.exists(), "stale metrics tmp swept");
         cleanup(&state);
     }
 

@@ -16,6 +16,7 @@
 //! edna history <state>
 //! edna disguised <state>
 //! edna stats <state>
+//! edna recover <state> [--verify] [--passphrase <p>] [--trace-out <f.jsonl>]
 //! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
@@ -60,7 +61,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn usage() -> CliError {
     CliError(
         "usage: edna <init|sql|explain|load-sql|register|check|specs|apply|reveal|history|\
-         disguised|stats|trace|demo> <state> [args...] (see crate docs)"
+         disguised|stats|recover|trace|demo> <state> [args...] (see crate docs)"
             .to_string(),
     )
 }
@@ -296,6 +297,56 @@ fn run(args: &[String]) -> CliResult<()> {
                 ))
             })?;
             print!("{text}");
+        }
+        "recover" => {
+            // Recovery happens inside every open; this surfaces what it
+            // did. `--verify` additionally self-checks structural
+            // integrity (FKs, unique indexes, auto-increment cursors).
+            let ws = Workspace::open(&state, passphrase)?;
+            let r = &ws.last_recovery;
+            println!(
+                "scanned {} WAL frame(s), replayed {}, truncated {} torn byte(s)",
+                r.frames_scanned, r.frames_replayed, r.torn_bytes
+            );
+            println!(
+                "snapshot watermark {}, last LSN {}{}",
+                r.snapshot_watermark,
+                r.last_lsn,
+                if r.snapshot_promoted {
+                    ", promoted interrupted snapshot"
+                } else {
+                    ""
+                }
+            );
+            for id in &ws.last_resolution.completed {
+                println!("disguise {id}: intent resolved as completed");
+            }
+            for id in &ws.last_resolution.undone {
+                println!("disguise {id}: half-applied, rolled back");
+            }
+            if r.acted() || !ws.last_resolution.is_empty() {
+                println!("recovered state checkpointed");
+            } else {
+                println!("nothing to recover");
+            }
+            if let Some((tracer, flush)) = trace_sink(args) {
+                ws.record_recovery_span(&tracer);
+                flush(&tracer)?;
+            }
+            if has_flag(args, "--verify") {
+                let problems = ws.db.verify_integrity();
+                if problems.is_empty() {
+                    println!("integrity: ok");
+                } else {
+                    for p in &problems {
+                        eprintln!("integrity: {p}");
+                    }
+                    return Err(CliError(format!(
+                        "integrity check failed: {} problem(s)",
+                        problems.len()
+                    )));
+                }
+            }
         }
         "trace" => {
             // Here the positional argument is the JSONL file itself.

@@ -1,0 +1,217 @@
+//! Kill sweep over disguise application: crash at every WAL frame, in
+//! every crash style, and assert that `Workspace::open` recovers to a
+//! state where the database is structurally consistent and the history
+//! table, vault, and pending-write journal agree — the disguise either
+//! fully happened or fully didn't.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use edna_cli::Workspace;
+use edna_core::HISTORY_TABLE;
+use edna_relational::{Value, WalCrash};
+use edna_vault::{FileStore, Vault, VaultJournal};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("edna_cli_sweep_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+/// Builds a saved baseline workspace: FK schema, data, registered spec.
+fn make_baseline(state: &Path) {
+    let mut ws = Workspace::init(state, None).unwrap();
+    ws.db
+        .execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id) ON DELETE CASCADE);
+             INSERT INTO users (name) VALUES ('bea'), ('mel');
+             INSERT INTO posts (user_id, body) VALUES (1, 'a'), (2, 'b');",
+        )
+        .unwrap();
+    ws.register_spec(SPEC).unwrap();
+    ws.save().unwrap();
+}
+
+/// Copies every on-disk artifact of a workspace to a new base path.
+fn copy_state(src: &Path, dst: &Path) {
+    std::fs::copy(src, dst).unwrap();
+    for suffix in [".wal", ".metrics"] {
+        let s = sidecar(src, suffix);
+        if s.exists() {
+            std::fs::copy(&s, sidecar(dst, suffix)).unwrap();
+        }
+    }
+    let (sv, dv) = (sidecar(src, ".vault"), sidecar(dst, ".vault"));
+    if sv.exists() {
+        copy_dir(&sv, &dv);
+    }
+}
+
+fn sidecar(base: &Path, suffix: &str) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn user_rows(ws: &Workspace) -> Vec<Vec<Value>> {
+    ws.db
+        .execute("SELECT id, name FROM users ORDER BY id")
+        .unwrap()
+        .rows
+}
+
+fn post_rows(ws: &Workspace) -> Vec<Vec<Value>> {
+    ws.db
+        .execute("SELECT id, user_id FROM posts ORDER BY id")
+        .unwrap()
+        .rows
+}
+
+fn history_count(ws: &Workspace) -> i64 {
+    match ws
+        .db
+        .execute(&format!(
+            "SELECT COUNT(*) FROM {HISTORY_TABLE} WHERE name = 'Gdpr' AND reverted = FALSE"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+    {
+        Value::Int(n) => *n,
+        other => panic!("count returned {other:?}"),
+    }
+}
+
+fn vault_entry_count(state: &Path, user: &Value, disguise_id: u64) -> usize {
+    let vault = Vault::plain(FileStore::open(sidecar(state, ".vault").join("user")).unwrap());
+    vault.entries_for_disguise(user, disguise_id).unwrap().len()
+}
+
+#[test]
+fn disguise_application_survives_a_crash_at_every_wal_frame() {
+    let dir = TempDir::new("kill");
+    let baseline = dir.path("base.edna");
+    make_baseline(&baseline);
+
+    // Count the frames a clean application writes, with a hook that
+    // never fires (counting is a side effect of consultation).
+    let frames = {
+        let state = dir.path("count.edna");
+        copy_state(&baseline, &state);
+        let ws = Workspace::open(&state, None).unwrap();
+        let wal = ws.db.wal().unwrap();
+        wal.set_crash_hook(Some(Arc::new(|_| None)));
+        ws.edna.apply("Gdpr", Some(&Value::Int(1))).unwrap();
+        wal.crash_frame_count()
+    };
+    assert!(
+        frames >= 3,
+        "expected at least intent + txn + commit frames, got {frames}"
+    );
+
+    let baseline_users = {
+        let ws = Workspace::open(&baseline, None).unwrap();
+        (user_rows(&ws), post_rows(&ws))
+    };
+
+    for style in [
+        WalCrash::BeforeWrite,
+        WalCrash::TornWrite,
+        WalCrash::AfterWrite,
+    ] {
+        for k in 0..frames {
+            let state = dir.path(&format!("sweep_{style:?}_{k}.edna"));
+            copy_state(&baseline, &state);
+            {
+                let ws = Workspace::open(&state, None).unwrap();
+                let wal = ws.db.wal().unwrap();
+                wal.set_crash_hook(Some(Arc::new(move |i| (i == k).then_some(style))));
+                // Crashing on the trailing commit marker is absorbed
+                // (the marker is advisory), so Ok is possible at the
+                // last frames; everything earlier must surface the
+                // injected death.
+                let _ = ws.edna.apply("Gdpr", Some(&Value::Int(1)));
+                // Process dies here: no save, no cleanup.
+            }
+            let ws = Workspace::open(&state, None).unwrap();
+            let ctx = format!("style {style:?} frame {k}");
+
+            // Structural integrity: FKs, unique indexes, auto cursors.
+            assert_eq!(ws.db.verify_integrity(), Vec::<String>::new(), "{ctx}");
+
+            // Atomicity: the disguise fully happened or fully didn't,
+            // and history, vault, and journal all tell the same story.
+            let applied = history_count(&ws) == 1;
+            let disguise_id = 1;
+            if applied {
+                assert_eq!(
+                    user_rows(&ws),
+                    vec![vec![Value::Int(2), Value::Text("mel".into())]],
+                    "{ctx}: user row must be removed"
+                );
+                assert_eq!(
+                    post_rows(&ws),
+                    vec![vec![Value::Int(2), Value::Int(2)]],
+                    "{ctx}: cascade must be complete"
+                );
+                assert_eq!(
+                    vault_entry_count(&state, &Value::Int(1), disguise_id),
+                    1,
+                    "{ctx}: applied disguise must keep its reveal functions"
+                );
+                // The reveal functions actually work after recovery.
+                ws.edna.reveal(disguise_id).unwrap();
+                assert_eq!(user_rows(&ws), baseline_users.0, "{ctx}: reveal restores");
+            } else {
+                assert_eq!(user_rows(&ws), baseline_users.0, "{ctx}: rolled back");
+                assert_eq!(post_rows(&ws), baseline_users.1, "{ctx}: rolled back");
+                assert_eq!(
+                    vault_entry_count(&state, &Value::Int(1), disguise_id),
+                    0,
+                    "{ctx}: undone disguise must leave no orphan vault entry"
+                );
+                let journal =
+                    VaultJournal::open(sidecar(&state, ".vault").join("pending.journal")).unwrap();
+                assert!(journal.is_empty().unwrap(), "{ctx}: journal must be empty");
+            }
+        }
+    }
+}

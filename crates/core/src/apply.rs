@@ -24,7 +24,7 @@ use edna_util::sync::lock_unpoisoned;
 use std::sync::Mutex;
 
 use edna_relational::{
-    eval_predicate, Database, EvalContext, Expr, StatsSnapshot, TableSchema, Value,
+    eval_predicate, Database, EvalContext, Expr, OpenIntent, StatsSnapshot, TableSchema, Value,
 };
 use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJournal};
 
@@ -125,6 +125,10 @@ pub struct DisguiseReport {
     /// Whether the vault entry was spooled to the journal
     /// ([`VaultFailurePolicy::Buffer`]) instead of reaching the vault.
     pub vault_buffered: bool,
+    /// Whether a WAL intent marker brackets this application's vault-side
+    /// writes (set when the database has a WAL attached and the disguise
+    /// recorded reveal functions).
+    pub(crate) wal_intent: bool,
 }
 
 impl Default for DisguiseReport {
@@ -145,6 +149,7 @@ impl Default for DisguiseReport {
             vault_retries: 0,
             vault_degraded: None,
             vault_buffered: false,
+            wal_intent: false,
         }
     }
 }
@@ -296,6 +301,19 @@ impl Disguiser {
         let pending = journal.pending()?;
         let mut flushed = 0;
         for (i, (tier, entry)) in pending.iter().enumerate() {
+            // Idempotent flush: a crash after the put but before the
+            // journal compaction below leaves the entry both in the vault
+            // and in the journal; re-flushing must not store it twice
+            // (file-backed stores append blindly).
+            let already = self
+                .vaults
+                .entries_for_disguise(&entry.user_id, entry.disguise_id)?
+                .iter()
+                .any(|e| e == entry);
+            if already {
+                flushed += 1;
+                continue;
+            }
             if let Err(e) = self.vaults.put(*tier, entry) {
                 journal.rewrite(&pending[i..])?;
                 return Err(Error::Vault(e));
@@ -304,6 +322,42 @@ impl Disguiser {
         }
         journal.rewrite(&[])?;
         Ok(flushed)
+    }
+
+    /// Resolves disguise intents that recovery found open in the WAL
+    /// (intent marker with no commit marker): for each one, the database's
+    /// own history table is the commit arbiter.
+    ///
+    /// - History row **present** — the disguise's transaction committed;
+    ///   its vault writes are legitimate. The intent is closed with a
+    ///   commit marker (the original one was lost to the crash).
+    /// - History row **absent** — the transaction never committed; the
+    ///   vault entry (and any journal-spooled copy) is an orphan carrying
+    ///   reveal functions for a disguise that never happened. Both are
+    ///   removed, then the intent is closed.
+    ///
+    /// Idempotent: re-resolving an already-resolved intent removes nothing
+    /// and re-stamps the marker. Called by `Workspace::open` after WAL
+    /// replay; safe to call with an empty slice.
+    pub fn resolve_recovered_intents(&self, intents: &[OpenIntent]) -> Result<IntentResolution> {
+        let mut resolution = IntentResolution::default();
+        for intent in intents {
+            let committed = self.history.get(intent.disguise_id).is_ok();
+            if committed {
+                resolution.completed.push(intent.disguise_id);
+            } else {
+                self.vaults.remove(&intent.user, intent.disguise_id)?;
+                if let Some(j) = lock_unpoisoned(&self.journal).as_ref() {
+                    j.purge_disguise(intent.disguise_id)?;
+                }
+                resolution.undone.push(intent.disguise_id);
+            }
+            // Close the bracket either way so the next recovery does not
+            // re-resolve it (a commit marker here means "resolved", not
+            // necessarily "applied" — the history row is the arbiter).
+            self.db.wal_disguise_commit(intent.disguise_id)?;
+        }
+        Ok(resolution)
     }
 
     /// Registers a disguise specification: validates it against the
@@ -459,7 +513,25 @@ impl Disguiser {
         match result {
             Ok(mut report) => {
                 if opts.use_transaction {
-                    self.db.commit()?;
+                    if let Err(commit_err) = self.db.commit() {
+                        // A failed commit (e.g. the WAL append died) rolled
+                        // the transaction back inside the engine, but the
+                        // vault write already happened outside it — and
+                        // the commit is AMBIGUOUS: the frame may or may
+                        // not have reached disk before the append
+                        // reported failure. Do NOT undo the vault entry
+                        // here; the intent marker stays open and the next
+                        // recovery resolves it against what actually
+                        // persisted (history row present → entry is
+                        // legitimate; absent → entry is removed).
+                        return Err(Error::Relational(commit_err));
+                    }
+                }
+                // The disguise is durable: close the intent bracket.
+                // Losing this marker is benign — recovery re-resolves the
+                // intent against the committed history row.
+                if report.wal_intent {
+                    let _ = self.db.wal_disguise_commit(report.disguise_id);
                 }
                 report.duration = started.elapsed();
                 report.stats = self.db.stats().since(&stats_before);
@@ -582,6 +654,16 @@ impl Disguiser {
         report.disguise_id = id;
         if spec.reversible && !ops.is_empty() {
             let _phase = self.span("vault_write");
+            // Durable intent marker *before* any vault-side write: if the
+            // process dies between the vault put below and the database
+            // commit, recovery finds this intent with no committed history
+            // row and undoes the orphaned vault entry (see
+            // [`Disguiser::resolve_recovered_intents`]). No-op without a
+            // WAL attached.
+            if self.db.wal().is_some() {
+                self.db.wal_disguise_intent(id, user_value)?;
+                report.wal_intent = true;
+            }
             let entry = VaultEntry {
                 disguise_id: id,
                 disguise_name: spec.name.clone(),
@@ -967,6 +1049,24 @@ impl Disguiser {
             result.transforms.push(pt);
         }
         result
+    }
+}
+
+/// What [`Disguiser::resolve_recovered_intents`] did with each open
+/// intent.
+#[derive(Debug, Clone, Default)]
+pub struct IntentResolution {
+    /// Disguise ids whose transaction had committed: vault state kept.
+    pub completed: Vec<u64>,
+    /// Disguise ids whose transaction never committed: orphaned vault
+    /// entries and journal spools removed.
+    pub undone: Vec<u64>,
+}
+
+impl IntentResolution {
+    /// Whether any intent needed resolving.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty() && self.undone.is_empty()
     }
 }
 

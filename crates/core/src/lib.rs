@@ -42,7 +42,7 @@ pub mod spec;
 
 pub use analysis::{plan_composition, CompositionPlan};
 pub use analyze::{analyze_spec, render_report, Diagnostic, Location, Severity};
-pub use apply::{ApplyOptions, DisguiseReport, Disguiser, VaultFailurePolicy};
+pub use apply::{ApplyOptions, DisguiseReport, Disguiser, IntentResolution, VaultFailurePolicy};
 pub use edna_obs::{SpanRecord, Tracer};
 pub use error::{Error, Result};
 pub use guard::DisguisedRows;

@@ -1,0 +1,190 @@
+//! Crash consistency of the vault pending-write journal and of
+//! half-applied disguises: double crashes around a flush must neither
+//! lose nor duplicate spooled vault entries, and recovery must resolve
+//! WAL disguise intents against the committed history.
+
+use std::path::PathBuf;
+
+use edna_core::{ApplyOptions, Disguiser, VaultFailurePolicy};
+use edna_relational::{Database, Value};
+use edna_vault::{FaultPlan, FaultyStore, FileStore, TieredVault, Vault, VaultJournal};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("edna_core_crash_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+fn seed_db() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY, name TEXT);
+         INSERT INTO users VALUES (1, 'bea'), (2, 'mel');",
+    )
+    .unwrap();
+    db
+}
+
+fn healthy_vaults(dir: &TempDir) -> TieredVault {
+    TieredVault::new(
+        Vault::plain(FileStore::open(dir.path("global")).unwrap()),
+        Vault::plain(FileStore::open(dir.path("user")).unwrap()),
+    )
+}
+
+fn down_vaults(dir: &TempDir) -> TieredVault {
+    let plan = || FaultPlan::new(1).error_rate(1.0).transient();
+    TieredVault::new(
+        Vault::plain(FaultyStore::new(
+            FileStore::open(dir.path("global")).unwrap(),
+            plan(),
+        )),
+        Vault::plain(FaultyStore::new(
+            FileStore::open(dir.path("user")).unwrap(),
+            plan(),
+        )),
+    )
+}
+
+#[test]
+fn double_crash_around_flush_loses_and_duplicates_nothing() {
+    let dir = TempDir::new("double");
+    let journal_path = dir.path("pending.journal");
+    let db = seed_db();
+
+    // Phase 1: the vault backend is down; two applications under the
+    // Buffer policy spool their reveal functions into the journal.
+    let (id1, id2) = {
+        let mut edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
+        edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
+        edna.register_dsl(SPEC).unwrap();
+        let opts = ApplyOptions {
+            vault_failure_policy: VaultFailurePolicy::Buffer,
+            ..ApplyOptions::default()
+        };
+        let r1 = edna
+            .apply_with_options("Gdpr", Some(&Value::Int(1)), opts)
+            .unwrap();
+        let r2 = edna
+            .apply_with_options("Gdpr", Some(&Value::Int(2)), opts)
+            .unwrap();
+        assert!(r1.vault_buffered && r2.vault_buffered);
+        assert_eq!(edna.pending_vault_writes().unwrap(), 2);
+        (r1.disguise_id, r2.disguise_id)
+    };
+
+    // Crash #1: the backend recovers and a flush starts; the first
+    // entry's put lands, then the process dies before the journal is
+    // compacted. The entry now exists in BOTH the vault and the journal.
+    {
+        let journal = VaultJournal::open(&journal_path).unwrap();
+        let pending = journal.pending().unwrap();
+        assert_eq!(pending.len(), 2);
+        let (tier, entry) = &pending[0];
+        healthy_vaults(&dir).put(*tier, entry).unwrap();
+    }
+
+    // Crash #2: the restarted flush skips the duplicate, puts the second
+    // entry — and dies again before compaction. Now BOTH entries are in
+    // the vault and the journal, and the crash mid-append also tore a
+    // partial record onto the journal tail.
+    {
+        let journal = VaultJournal::open(&journal_path).unwrap();
+        let pending = journal.pending().unwrap();
+        let (tier, entry) = &pending[1];
+        healthy_vaults(&dir).put(*tier, entry).unwrap();
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+    }
+
+    // Reboot: the torn tail is truncated at open, the flush finds every
+    // entry already present and only compacts. Nothing lost, nothing
+    // duplicated.
+    let edna = Disguiser::with_vaults(db.clone(), healthy_vaults(&dir));
+    edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
+    assert_eq!(edna.flush_pending_vault_writes().unwrap(), 2);
+    assert_eq!(edna.pending_vault_writes().unwrap(), 0);
+    let vaults = healthy_vaults(&dir);
+    for (id, user) in [(id1, 1), (id2, 2)] {
+        let entries = vaults.entries_for_disguise(&Value::Int(user), id).unwrap();
+        assert_eq!(entries.len(), 1, "disguise {id}: exactly one vault entry");
+    }
+    // The flushed entries actually work: both disguises reveal.
+    edna.reveal(id1).unwrap();
+    edna.reveal(id2).unwrap();
+    assert_eq!(db.row_count("users").unwrap(), 2);
+}
+
+#[test]
+fn flush_is_idempotent_when_interrupted_repeatedly() {
+    // Same window hit N times in a row: the vault entry count must stay
+    // pinned at one however often the put-then-die cycle repeats.
+    let dir = TempDir::new("repeat");
+    let journal_path = dir.path("pending.journal");
+    let db = seed_db();
+    let id = {
+        let mut edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
+        edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
+        edna.register_dsl(SPEC).unwrap();
+        let opts = ApplyOptions {
+            vault_failure_policy: VaultFailurePolicy::Buffer,
+            ..ApplyOptions::default()
+        };
+        edna.apply_with_options("Gdpr", Some(&Value::Int(1)), opts)
+            .unwrap()
+            .disguise_id
+    };
+    for _ in 0..3 {
+        let journal = VaultJournal::open(&journal_path).unwrap();
+        let pending = journal.pending().unwrap();
+        assert_eq!(pending.len(), 1, "entry must never be lost");
+        let (tier, entry) = pending[0].clone();
+        let edna = Disguiser::with_vaults(db.clone(), healthy_vaults(&dir));
+        edna.set_vault_journal(journal);
+        assert_eq!(edna.flush_pending_vault_writes().unwrap(), 1);
+        // "Crash" before compaction: the next reboot sees the entry
+        // still journalled even though the vault already holds it.
+        VaultJournal::open(&journal_path)
+            .unwrap()
+            .append(tier, &entry)
+            .unwrap();
+    }
+    let edna = Disguiser::with_vaults(db.clone(), healthy_vaults(&dir));
+    edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
+    assert_eq!(edna.flush_pending_vault_writes().unwrap(), 1);
+    assert_eq!(
+        healthy_vaults(&dir)
+            .entries_for_disguise(&Value::Int(1), id)
+            .unwrap()
+            .len(),
+        1,
+        "repeated interrupted flushes must not duplicate the entry"
+    );
+}

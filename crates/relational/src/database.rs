@@ -34,6 +34,7 @@ use crate::schema::TableSchema;
 use crate::stats::{LatencyModel, Stats, StatsSnapshot};
 use crate::txn::Txn;
 use crate::value::{Row, Value};
+use crate::wal::{self, OpenIntent, RecoveryReport, ReplayOutcome, Wal, WalRecord};
 
 /// An in-process relational database.
 ///
@@ -56,6 +57,7 @@ pub struct Database {
     fault: Arc<FaultState>,
     stmt_cache: Arc<Mutex<StmtCache>>,
     obs: Arc<DbObs>,
+    wal: Arc<RwLock<Option<Arc<Wal>>>>,
 }
 
 /// One entry of the slow-statement log.
@@ -183,6 +185,7 @@ impl Database {
             fault: Arc::new(FaultState::default()),
             stmt_cache: Arc::new(Mutex::new(StmtCache::default())),
             obs,
+            wal: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -412,8 +415,15 @@ impl Database {
             inner.txn = Some(Txn::implicit());
             match f(inner) {
                 Ok(v) => {
-                    inner.txn = None;
-                    Ok(v)
+                    let txn = inner.txn.take().expect("installed above");
+                    match self.wal_log_commit(inner, &txn) {
+                        Ok(()) => Ok(v),
+                        Err(e) => {
+                            // Not logged ⇒ not committed: undo the statement.
+                            inner.rollback(txn);
+                            Err(e)
+                        }
+                    }
                 }
                 Err(e) => {
                     let txn = inner.txn.take().expect("installed above");
@@ -489,11 +499,20 @@ impl Database {
         Ok(())
     }
 
-    /// Commits the open transaction; errors if none is open.
+    /// Commits the open transaction; errors if none is open. With a WAL
+    /// attached the transaction's redo frame is fsynced before this
+    /// returns; if that append fails the transaction is rolled back
+    /// instead — nothing becomes visible that is not also durable.
     pub fn commit(&self) -> Result<()> {
         let mut inner = self.inner_write();
         match inner.txn.take() {
-            Some(_) => Ok(()),
+            Some(txn) => match self.wal_log_commit(&inner, &txn) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    inner.rollback(txn);
+                    Err(e)
+                }
+            },
             None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
         }
     }
@@ -531,6 +550,264 @@ impl Database {
                 Err(e)
             }
         }
+    }
+
+    // ---- write-ahead log and recovery --------------------------------------
+
+    /// Attaches a write-ahead log: from now on every committed transaction
+    /// appends an fsynced redo frame before its commit returns, and
+    /// [`Database::save`] becomes a checkpoint (snapshot + log truncation).
+    /// The log's counters are bound into this database's metrics registry.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        wal.bind_metrics(&self.stats.registry());
+        *write_unpoisoned(&self.wal) = Some(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        read_unpoisoned(&self.wal).clone()
+    }
+
+    /// The last LSN the attached WAL assigned (0 with no WAL or an empty
+    /// one). Snapshots record this as their checkpoint watermark.
+    pub fn wal_last_lsn(&self) -> u64 {
+        self.wal().map(|w| w.last_lsn()).unwrap_or(0)
+    }
+
+    /// Logs a committing transaction's redo frame (no-op without a WAL or
+    /// for a read-only transaction). Called with the transaction already
+    /// taken out of `inner`, so the live state *is* the post-commit state
+    /// the redo conversion resolves after-images against.
+    fn wal_log_commit(&self, inner: &Inner, txn: &Txn) -> Result<()> {
+        let Some(w) = self.wal() else { return Ok(()) };
+        if txn.undo.is_empty() {
+            return Ok(());
+        }
+        let ops = wal::redo_from_txn(inner, txn)?;
+        w.append(&WalRecord::Txn { ops })?;
+        Ok(())
+    }
+
+    /// Appends a disguise *intent* marker: disguise `disguise_id` for
+    /// `user` is about to write vault-side state. No-op without a WAL.
+    pub fn wal_disguise_intent(&self, disguise_id: u64, user: &Value) -> Result<()> {
+        if let Some(w) = self.wal() {
+            w.append(&WalRecord::DisguiseIntent {
+                disguise_id,
+                user: user.clone(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Appends a disguise *commit* marker: disguise `disguise_id` fully
+    /// applied; database, history, and vault agree. No-op without a WAL.
+    pub fn wal_disguise_commit(&self, disguise_id: u64) -> Result<()> {
+        if let Some(w) = self.wal() {
+            w.append(&WalRecord::DisguiseCommit { disguise_id })?;
+        }
+        Ok(())
+    }
+
+    /// Replays scanned WAL records over this database. Txn frames with
+    /// `lsn > watermark` are applied physically (no transaction, no
+    /// constraint re-checks — they describe committed state); frames at or
+    /// below the watermark are already contained in the snapshot and are
+    /// skipped. Intent/commit markers are matched across the *whole* log
+    /// regardless of watermark, since the vault state they guard lives
+    /// outside the snapshot.
+    pub fn replay_wal(
+        &self,
+        records: &[(u64, WalRecord)],
+        watermark: u64,
+    ) -> Result<ReplayOutcome> {
+        let mut inner = self.inner_write();
+        if inner.txn.is_some() {
+            return Err(Error::Wal(
+                "cannot replay into a database with an open transaction".to_string(),
+            ));
+        }
+        let mut frames_replayed = 0;
+        let mut intents: Vec<OpenIntent> = Vec::new();
+        for (lsn, record) in records {
+            match record {
+                WalRecord::Txn { ops } => {
+                    if *lsn > watermark {
+                        for op in ops {
+                            wal::apply_op(&mut inner, op)?;
+                        }
+                        frames_replayed += 1;
+                    }
+                }
+                WalRecord::DisguiseIntent { disguise_id, user } => {
+                    intents.push(OpenIntent {
+                        lsn: *lsn,
+                        disguise_id: *disguise_id,
+                        user: user.clone(),
+                    });
+                }
+                WalRecord::DisguiseCommit { disguise_id } => {
+                    intents.retain(|i| i.disguise_id != *disguise_id);
+                }
+            }
+        }
+        inner.invalidate_plans();
+        drop(inner);
+        lock_unpoisoned(&self.stmt_cache).map.clear();
+        Ok(ReplayOutcome {
+            frames_replayed,
+            open_intents: intents,
+        })
+    }
+
+    /// Opens a durable database: loads the snapshot (an empty database if
+    /// `snapshot` is `None`), opens the WAL at `wal_path` (truncating any
+    /// torn tail), replays the log's tail over the snapshot, and attaches
+    /// the log for future commits. The report says what recovery did;
+    /// `report.open_intents` must be resolved by the disguise layer before
+    /// the vault is trusted.
+    pub fn open_durable(
+        snapshot: Option<&std::path::Path>,
+        wal_path: &std::path::Path,
+    ) -> Result<(Database, RecoveryReport)> {
+        let started = Instant::now();
+        let (db, watermark) = match snapshot {
+            Some(p) => crate::snapshot::load_with_watermark(p)?,
+            None => (Database::new(), 0),
+        };
+        let (wal, scan) = Wal::open(wal_path)?;
+        let outcome = db.replay_wal(&scan.records, watermark)?;
+        let last_lsn = scan
+            .records
+            .last()
+            .map(|(lsn, _)| *lsn)
+            .unwrap_or(watermark)
+            .max(watermark);
+        // The file alone under-counts after a checkpoint truncated it;
+        // new frames must sort after everything the snapshot absorbed.
+        wal.ensure_next_lsn(last_lsn + 1);
+        db.attach_wal(Arc::new(wal));
+        let report = RecoveryReport {
+            frames_scanned: scan.records.len(),
+            frames_replayed: outcome.frames_replayed,
+            torn_bytes: scan.torn_bytes,
+            snapshot_watermark: watermark,
+            last_lsn,
+            open_intents: outcome.open_intents,
+            snapshot_promoted: false,
+            duration: started.elapsed(),
+        };
+        let registry = db.metrics();
+        registry
+            .counter(
+                "edna_wal_replayed_frames_total",
+                "WAL frames replayed during recovery.",
+            )
+            .add(report.frames_replayed as u64);
+        registry
+            .counter(
+                "edna_wal_torn_bytes_total",
+                "Torn-tail bytes truncated off the WAL during recovery.",
+            )
+            .add(report.torn_bytes as u64);
+        registry
+            .gauge(
+                "edna_recovery_duration_us",
+                "Wall-clock microseconds the last recovery pass took.",
+            )
+            .set(report.duration.as_micros().min(u128::from(u64::MAX) / 2) as i64);
+        Ok((db, report))
+    }
+
+    /// Self-checks structural invariants after recovery: foreign keys
+    /// resolve, UNIQUE/PRIMARY KEY columns hold no duplicates, and
+    /// AUTO_INCREMENT counters sit above every assigned id. Returns one
+    /// human-readable line per violation (empty = consistent). The crash
+    /// sweep calls this after every recovery; it is cheap enough to run
+    /// unconditionally on open.
+    pub fn verify_integrity(&self) -> Vec<String> {
+        let inner = self.inner_read();
+        let mut problems = Vec::new();
+        for key in &inner.table_order {
+            let t = &inner.tables[key];
+            let name = &t.schema.name;
+            // Foreign keys: every non-NULL child value has a parent.
+            for fk in &t.schema.foreign_keys {
+                let Ok(child_col) = t.schema.require_column(&fk.column) else {
+                    problems.push(format!("{name}: FK column {} missing", fk.column));
+                    continue;
+                };
+                let Some(parent) = inner.tables.get(&fk.parent_table.to_lowercase()) else {
+                    problems.push(format!(
+                        "{name}: FK parent table {} missing",
+                        fk.parent_table
+                    ));
+                    continue;
+                };
+                let Ok(parent_col) = parent.schema.require_column(&fk.parent_column) else {
+                    problems.push(format!(
+                        "{name}: FK parent column {}.{} missing",
+                        fk.parent_table, fk.parent_column
+                    ));
+                    continue;
+                };
+                for (_, row) in t.iter() {
+                    let v = &row[child_col];
+                    if *v == Value::Null {
+                        continue;
+                    }
+                    let found = parent.iter().any(|(_, p)| p[parent_col] == *v);
+                    if !found {
+                        problems.push(format!(
+                            "{name}.{}: dangling FK value {} (no row in {}.{})",
+                            fk.column,
+                            v.to_sql_literal(),
+                            fk.parent_table,
+                            fk.parent_column
+                        ));
+                    }
+                }
+            }
+            // Unique columns (PRIMARY KEY and UNIQUE): no duplicates.
+            for (pos, col) in t.schema.columns.iter().enumerate() {
+                let unique = col.unique || t.schema.primary_key == Some(pos);
+                if !unique {
+                    continue;
+                }
+                let mut seen = std::collections::HashSet::new();
+                for (_, row) in t.iter() {
+                    let v = &row[pos];
+                    if *v == Value::Null {
+                        continue;
+                    }
+                    if !seen.insert(v.to_sql_literal()) {
+                        problems.push(format!(
+                            "{name}.{}: duplicate value {} in unique column",
+                            col.name,
+                            v.to_sql_literal()
+                        ));
+                    }
+                }
+            }
+            // AUTO_INCREMENT sits above every assigned id.
+            for (pos, col) in t.schema.columns.iter().enumerate() {
+                if !col.auto_increment {
+                    continue;
+                }
+                let max = t
+                    .iter()
+                    .filter_map(|(_, row)| row[pos].as_int().ok())
+                    .max()
+                    .unwrap_or(0);
+                if t.next_auto <= max {
+                    problems.push(format!(
+                        "{name}.{}: AUTO_INCREMENT counter {} not above max id {max}",
+                        col.name, t.next_auto
+                    ));
+                }
+            }
+        }
+        problems
     }
 
     // ---- schema and typed access -------------------------------------------
@@ -757,9 +1034,17 @@ impl Database {
         self.inner_read().now
     }
 
-    /// Sets the logical clock (used by expiration/decay policies).
+    /// Sets the logical clock (used by expiration/decay policies). With a
+    /// WAL attached the new clock value is logged best-effort: a failed
+    /// append loses only the clock (re-set by the caller on restart), not
+    /// data, so it does not fail the call.
     pub fn set_now(&self, now: i64) {
         self.inner_write().now = now;
+        if let Some(w) = self.wal() {
+            let _ = w.append(&WalRecord::Txn {
+                ops: vec![wal::RedoOp::SetNow { now }],
+            });
+        }
     }
 
     /// A snapshot of the execution counters.
@@ -889,34 +1174,17 @@ impl Database {
     /// (used by [`crate::snapshot`]).
     pub fn snapshot_tables(&self) -> Result<Vec<crate::snapshot::TableSnapshot>> {
         let inner = self.inner_read();
-        let mut out = Vec::with_capacity(inner.table_order.len());
-        for key in &inner.table_order {
-            let t = &inner.tables[key];
-            let indexes = t
-                .indexes
-                .iter()
-                .filter(|ix| !ix.name.starts_with("_auto_"))
-                .map(|ix| {
-                    (
-                        ix.name.clone(),
-                        t.schema.columns[ix.column].name.clone(),
-                        ix.unique,
-                    )
-                })
-                .collect();
-            out.push(crate::snapshot::TableSnapshot {
-                schema: t.schema.clone(),
-                next_auto: t.next_auto,
-                indexes,
-                rows: t.iter().map(|(_, r)| r.clone()).collect(),
-            });
-        }
-        Ok(out)
+        Ok(inner
+            .table_order
+            .iter()
+            .map(|key| crate::snapshot::TableSnapshot::of(&inner.tables[key]))
+            .collect())
     }
 
     /// Rebuilds a database from table images (used by [`crate::snapshot`]).
     /// Rows are assumed internally consistent; constraints are *not*
-    /// re-checked row by row, but indexes are rebuilt.
+    /// re-checked row by row, but indexes are rebuilt and row slot ids are
+    /// preserved (the WAL addresses rows by id).
     pub fn from_snapshots(snapshots: Vec<crate::snapshot::TableSnapshot>) -> Result<Database> {
         let db = Database::new();
         {
@@ -927,22 +1195,7 @@ impl Database {
                 if inner.tables.contains_key(&key) {
                     return Err(Error::AlreadyExists(snap.schema.name.clone()));
                 }
-                let mut table = crate::storage::Table::new(snap.schema);
-                for (name, column, unique) in snap.indexes {
-                    let pos = table.schema.require_column(&column)?;
-                    table.add_index(name, pos, unique)?;
-                }
-                for row in snap.rows {
-                    if row.len() != table.schema.arity() {
-                        return Err(Error::Eval(format!(
-                            "snapshot row arity mismatch in {}",
-                            table.schema.name
-                        )));
-                    }
-                    table.insert_unchecked(row);
-                }
-                table.next_auto = snap.next_auto;
-                inner.tables.insert(key.clone(), table);
+                inner.tables.insert(key.clone(), snap.into_table()?);
                 inner.table_order.push(key);
             }
         }
@@ -950,8 +1203,16 @@ impl Database {
     }
 
     /// Saves the database to a snapshot file (see [`crate::snapshot`]).
+    /// With a WAL attached this is a **checkpoint**: the snapshot records
+    /// the WAL watermark, and once it is durably renamed into place the
+    /// log is truncated — every frame it held is contained in the
+    /// snapshot.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        crate::snapshot::save(self, path)
+        crate::snapshot::save(self, path)?;
+        if let Some(w) = self.wal() {
+            w.truncate()?;
+        }
+        Ok(())
     }
 
     /// Loads a database from a snapshot file (see [`crate::snapshot`]).

@@ -50,6 +50,11 @@ pub enum Error {
     /// since the hook was installed. Only produced by fault-injection
     /// tests, never by normal execution.
     FaultInjected(u64),
+    /// The write-ahead log failed (I/O stringified — the error must stay
+    /// `Clone + Eq` — or a corrupt/unreplayable record at recovery). A
+    /// commit that hits this is rolled back: nothing is durable that is
+    /// not also logged.
+    Wal(String),
 }
 
 impl fmt::Display for Error {
@@ -94,6 +99,7 @@ impl fmt::Display for Error {
             Error::FaultInjected(i) => {
                 write!(f, "injected fault at statement index {i}")
             }
+            Error::Wal(m) => write!(f, "WAL error: {m}"),
         }
     }
 }

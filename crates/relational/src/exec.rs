@@ -106,7 +106,7 @@ impl Inner {
 
     /// Drops every cached access path. Called on any schema change: a new
     /// index can flip a scan to a probe, a drop can do the reverse.
-    fn invalidate_plans(&self) {
+    pub(crate) fn invalidate_plans(&self) {
         lock_unpoisoned(&self.plan_cache).clear();
     }
 

@@ -43,6 +43,7 @@ pub mod stats;
 pub mod storage;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use access::AccessPath;
 pub use database::{Database, FaultHook, SlowStatement};
@@ -55,3 +56,7 @@ pub use schema::{ColumnDef, ForeignKey, ReferentialAction, TableSchema};
 pub use stats::{LatencyModel, StatsSnapshot};
 pub use storage::RowId;
 pub use value::{DataType, Row, Value};
+pub use wal::{
+    OpenIntent, RecoveryReport, RedoOp, ReplayOutcome, Wal, WalCrash, WalCrashHook, WalRecord,
+    WalScan,
+};

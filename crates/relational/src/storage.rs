@@ -132,6 +132,22 @@ impl Table {
         self.live == 0
     }
 
+    /// Total slot count, live and free. Slot ids below this bound may be
+    /// referenced by snapshots or WAL records.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Extends the slot array with free slots up to `total` (no-op if the
+    /// table already has that many). Used when rebuilding from a snapshot
+    /// so the freed tail keeps its ids instead of being compacted away.
+    pub fn reserve_slots(&mut self, total: usize) {
+        while self.rows.len() < total {
+            self.free.push(self.rows.len());
+            self.rows.push(None);
+        }
+    }
+
     /// Returns the row stored at `id`, if live.
     pub fn get(&self, id: RowId) -> Option<&Row> {
         self.rows.get(id).and_then(|r| r.as_ref())

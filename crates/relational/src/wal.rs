@@ -1,0 +1,972 @@
+//! Write-ahead log: redo records for committed transactions.
+//!
+//! The engine is snapshot-durable on its own — state survives only as far
+//! as the last [`crate::snapshot::save`]. The WAL closes that gap: every
+//! committed transaction appends one fsynced *redo frame* before the
+//! commit returns, so `Workspace`-level recovery can replay the tail of
+//! the log over the last snapshot and recover every committed write.
+//!
+//! # Records
+//!
+//! Frames use the shared [`edna_util::frame`] codec
+//! (`[len][body][sha256]`, torn tail truncated on open). Each body is
+//! `[u64 LSN][u8 kind][payload]`:
+//!
+//! - **Txn** — the redo image of one committed transaction (implicit
+//!   single-statement transactions included), as a list of [`RedoOp`]s.
+//!   Redo ops are *physical-logical*: they address rows by slot id
+//!   ([`RowId`]) and carry full row images, so replay needs no SQL,
+//!   re-checks no constraints, and is idempotent (each op sets state
+//!   rather than transforming it). Row ids are stable across snapshots as
+//!   of format v3.
+//! - **DisguiseIntent / DisguiseCommit** — markers bracketing a disguise
+//!   application's vault-side writes (see `edna-core`); an intent without
+//!   a matching commit or committed history row tells recovery to undo
+//!   the vault half of a half-applied disguise.
+//!
+//! LSNs increase monotonically and never reset, surviving checkpoints: a
+//! snapshot records the last LSN it contains (its *watermark*), a
+//! checkpoint truncates the log, and replay skips any frame at or below
+//! the watermark of the snapshot it starts from.
+//!
+//! # Crash points
+//!
+//! The [`WalCrashHook`] is the WAL-side half of the fault-injection
+//! harness (`Database::set_fault_hook` is the statement-side half): it is
+//! consulted once per append with the frame's 0-based index and may kill
+//! the append before the write, mid-write (torn frame, no fsync), or
+//! after the write+fsync — the three states a real crash can leave. An
+//! injected crash also poisons the log (the process is presumed dead), so
+//! later appends fail rather than writing after a gap.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use edna_obs::{Counter, MetricsRegistry};
+use edna_util::frame;
+use edna_util::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
+
+use crate::error::{Error, Result};
+use crate::exec::Inner;
+use crate::snapshot::{self, Reader, TableSnapshot, Writer};
+use crate::storage::RowId;
+use crate::txn::{Txn, UndoOp};
+use crate::value::{Row, Value};
+
+/// One redo operation inside a committed transaction's frame.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // Field names are self-describing.
+pub enum RedoOp {
+    /// Set slot `row_id` of `table` to `row` (insert, or overwrite on
+    /// replay over state that already contains it).
+    Insert {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    /// Replace slot `row_id` of `table` with `row`.
+    Update {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    /// Clear slot `row_id` of `table`.
+    Delete { table: String, row_id: RowId },
+    /// (Re)create a table from its full image.
+    CreateTable { image: TableSnapshot },
+    /// Drop a table.
+    DropTable { name: String },
+    /// Replace a table wholesale with its post-alter image.
+    AlterTable { name: String, image: TableSnapshot },
+    /// Create a secondary index.
+    CreateIndex {
+        table: String,
+        name: String,
+        column: String,
+        unique: bool,
+    },
+    /// Set a table's AUTO_INCREMENT counter.
+    SetNextAuto { table: String, value: i64 },
+    /// Set the logical clock.
+    SetNow { now: i64 },
+}
+
+/// One WAL record (the body of one frame, minus its LSN).
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// The redo image of one committed transaction.
+    Txn {
+        /// Redo operations in application order.
+        ops: Vec<RedoOp>,
+    },
+    /// A disguise application is about to write vault-side state.
+    DisguiseIntent {
+        /// The history row id the disguise was recorded under.
+        disguise_id: u64,
+        /// The disguise's subject user id (`Value::Null` for global
+        /// disguises), as passed to the vault layer.
+        user: Value,
+    },
+    /// The disguise application committed; its stores agree.
+    DisguiseCommit {
+        /// The matching intent's history row id.
+        disguise_id: u64,
+    },
+}
+
+/// A disguise intent recovered from the log with no matching commit
+/// marker: the application may have died between its vault writes and its
+/// database commit. `edna-core` resolves it against the history table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenIntent {
+    /// LSN of the intent frame.
+    pub lsn: u64,
+    /// The history row id the disguise would have been recorded under.
+    pub disguise_id: u64,
+    /// The disguise's subject user id.
+    pub user: Value,
+}
+
+/// How a [`WalCrashHook`] kills an append — the three states a real crash
+/// can leave a log in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalCrash {
+    /// Die before anything reaches the file: the frame is wholly absent.
+    BeforeWrite,
+    /// Die mid-write: a torn frame prefix reaches the file, unsynced.
+    TornWrite,
+    /// Die after write + fsync: the frame is durable, the caller's
+    /// post-append work is lost.
+    AfterWrite,
+}
+
+/// A WAL-level crash hook: called with the 0-based index of each frame
+/// appended since the hook was installed; returning `Some(style)` kills
+/// that append with [`Error::FaultInjected`] and poisons the log.
+pub type WalCrashHook = Arc<dyn Fn(u64) -> Option<WalCrash> + Send + Sync>;
+
+/// What [`Wal::open`] found in the file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every complete frame, as `(lsn, record)`, in log order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Torn-tail bytes truncated away.
+    pub torn_bytes: usize,
+}
+
+/// Counters bound into a database's metrics registry on attach.
+struct WalMetrics {
+    frames: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+struct WalFile {
+    file: Option<std::fs::File>,
+    next_lsn: u64,
+}
+
+/// An append-only, fsync-per-frame redo log.
+///
+/// Obtained from [`Wal::open`] and attached to a database with
+/// `Database::attach_wal`; thereafter every committed transaction appends
+/// a frame before its commit returns.
+pub struct Wal {
+    path: PathBuf,
+    state: Mutex<WalFile>,
+    crash_hook: RwLock<Option<WalCrashHook>>,
+    frame_seq: AtomicU64,
+    poisoned: AtomicBool,
+    metrics: RwLock<Option<WalMetrics>>,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Wal(format!("{what}: {e}"))
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, truncating any torn tail and
+    /// decoding every complete frame. The returned [`WalScan`] is the
+    /// replay input; the `Wal` continues appending after the valid tail.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Wal, WalScan)> {
+        let path = path.as_ref().to_path_buf();
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read WAL", e)),
+        };
+        let scan = frame::scan_records(&data);
+        if scan.valid_len < data.len() {
+            // Torn tail: truncate back to the last complete frame.
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| io_err("open WAL for truncation", e))?;
+            f.set_len(scan.valid_len as u64)
+                .map_err(|e| io_err("truncate WAL", e))?;
+            f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
+        }
+        let torn_bytes = scan.torn_bytes(data.len());
+        let mut records = Vec::with_capacity(scan.records.len());
+        let mut next_lsn = 1;
+        for body in &scan.records {
+            let (lsn, record) = decode_body(body)?;
+            next_lsn = next_lsn.max(lsn + 1);
+            records.push((lsn, record));
+        }
+        let wal = Wal {
+            path,
+            state: Mutex::new(WalFile {
+                file: None,
+                next_lsn,
+            }),
+            crash_hook: RwLock::new(None),
+            frame_seq: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            metrics: RwLock::new(None),
+        };
+        Ok((
+            wal,
+            WalScan {
+                records,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// Binds append counters into `registry` (idempotent; get-or-create).
+    pub(crate) fn bind_metrics(&self, registry: &MetricsRegistry) {
+        *write_unpoisoned(&self.metrics) = Some(WalMetrics {
+            frames: registry.counter("edna_wal_frames_total", "WAL frames appended."),
+            fsyncs: registry.counter("edna_wal_fsyncs_total", "WAL fsync calls."),
+            bytes: registry.counter("edna_wal_bytes_total", "WAL bytes written."),
+        });
+    }
+
+    /// Installs (or with `None` removes) a crash hook, resetting the frame
+    /// index to 0 and clearing crash poisoning. The hook is consulted once
+    /// per append, *before* the write reaches the file.
+    pub fn set_crash_hook(&self, hook: Option<WalCrashHook>) {
+        *write_unpoisoned(&self.crash_hook) = hook;
+        self.frame_seq.store(0, Ordering::SeqCst);
+        self.poisoned.store(false, Ordering::SeqCst);
+    }
+
+    /// Frames the installed hook has seen. With a never-firing hook this
+    /// counts a workload's appends, giving the sweep bound for exhaustive
+    /// crash injection.
+    pub fn crash_frame_count(&self) -> u64 {
+        self.frame_seq.load(Ordering::SeqCst)
+    }
+
+    /// The last LSN assigned to an appended frame (0 if none ever was).
+    /// Monotonic across checkpoints: truncation keeps the counter.
+    pub fn last_lsn(&self) -> u64 {
+        lock_unpoisoned(&self.state).next_lsn - 1
+    }
+
+    /// Raises the LSN counter so the next append gets at least
+    /// `min_next`. A checkpoint truncates the log file but the snapshot
+    /// watermark keeps the old count, so a *reopened* log (which derives
+    /// its counter from the — now empty — file) must be bumped past the
+    /// watermark or its fresh frames would be skipped as already
+    /// checkpointed on the next replay.
+    pub fn ensure_next_lsn(&self, min_next: u64) {
+        let mut state = lock_unpoisoned(&self.state);
+        state.next_lsn = state.next_lsn.max(min_next);
+    }
+
+    /// Appends one record as an fsynced frame, returning its LSN.
+    pub fn append(&self, record: &WalRecord) -> Result<u64> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(Error::Wal(
+                "log poisoned by injected crash; reopen to recover".to_string(),
+            ));
+        }
+        let mut state = lock_unpoisoned(&self.state);
+        let lsn = state.next_lsn;
+        let body = encode_body(lsn, record);
+        let framed = frame::encode_record(&body);
+        let crash = {
+            let hook = read_unpoisoned(&self.crash_hook);
+            hook.as_ref().and_then(|h| {
+                let index = self.frame_seq.fetch_add(1, Ordering::SeqCst);
+                h(index).map(|style| (index, style))
+            })
+        };
+        if let Some((index, style)) = crash {
+            self.poisoned.store(true, Ordering::SeqCst);
+            match style {
+                WalCrash::BeforeWrite => {}
+                WalCrash::TornWrite => {
+                    // Half a frame reaches the file, never synced. A real
+                    // crash may persist any prefix; half exercises both a
+                    // torn length header and a torn body across the sweep.
+                    let _ = self.write_bytes(&mut state, &framed[..framed.len() / 2], false);
+                }
+                WalCrash::AfterWrite => {
+                    self.write_bytes(&mut state, &framed, true)?;
+                    state.next_lsn = lsn + 1;
+                }
+            }
+            return Err(Error::FaultInjected(index));
+        }
+        self.write_bytes(&mut state, &framed, true)?;
+        state.next_lsn = lsn + 1;
+        Ok(lsn)
+    }
+
+    /// Appends + fsyncs `bytes`, opening the file lazily.
+    fn write_bytes(&self, state: &mut WalFile, bytes: &[u8], sync: bool) -> Result<()> {
+        if state.file.is_none() {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| io_err("open WAL for append", e))?;
+            state.file = Some(f);
+        }
+        let f = state.file.as_mut().expect("just opened");
+        f.write_all(bytes).map_err(|e| io_err("append WAL", e))?;
+        if sync {
+            f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
+        }
+        if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
+            m.frames.inc();
+            m.bytes.add(bytes.len() as u64);
+            if sync {
+                m.fsyncs.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncates the log to empty (checkpoint: the snapshot now contains
+    /// every frame). LSNs keep counting from where they were.
+    pub fn truncate(&self) -> Result<()> {
+        let mut state = lock_unpoisoned(&self.state);
+        // Reopen from scratch so the append offset resets with the file.
+        state.file = None;
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(|e| io_err("open WAL for truncation", e))?;
+        f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
+        Ok(())
+    }
+
+    /// The log file's current size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+// ---- record encoding --------------------------------------------------------
+
+const KIND_TXN: u8 = 0;
+const KIND_INTENT: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+fn encode_body(lsn: u64, record: &WalRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(lsn);
+    match record {
+        WalRecord::Txn { ops } => {
+            w.u8(KIND_TXN);
+            w.u32(ops.len() as u32);
+            for op in ops {
+                encode_op(&mut w, op);
+            }
+        }
+        WalRecord::DisguiseIntent { disguise_id, user } => {
+            w.u8(KIND_INTENT);
+            w.u64(*disguise_id);
+            w.value(user);
+        }
+        WalRecord::DisguiseCommit { disguise_id } => {
+            w.u8(KIND_COMMIT);
+            w.u64(*disguise_id);
+        }
+    }
+    w.buf
+}
+
+fn encode_op(w: &mut Writer, op: &RedoOp) {
+    match op {
+        RedoOp::Insert { table, row_id, row } => {
+            w.u8(0);
+            w.string(table);
+            w.u64(*row_id as u64);
+            w.u32(row.len() as u32);
+            for v in row {
+                w.value(v);
+            }
+        }
+        RedoOp::Update { table, row_id, row } => {
+            w.u8(1);
+            w.string(table);
+            w.u64(*row_id as u64);
+            w.u32(row.len() as u32);
+            for v in row {
+                w.value(v);
+            }
+        }
+        RedoOp::Delete { table, row_id } => {
+            w.u8(2);
+            w.string(table);
+            w.u64(*row_id as u64);
+        }
+        RedoOp::CreateTable { image } => {
+            w.u8(3);
+            snapshot::encode_table(w, image);
+        }
+        RedoOp::DropTable { name } => {
+            w.u8(4);
+            w.string(name);
+        }
+        RedoOp::AlterTable { name, image } => {
+            w.u8(5);
+            w.string(name);
+            snapshot::encode_table(w, image);
+        }
+        RedoOp::CreateIndex {
+            table,
+            name,
+            column,
+            unique,
+        } => {
+            w.u8(6);
+            w.string(table);
+            w.string(name);
+            w.string(column);
+            w.u8(u8::from(*unique));
+        }
+        RedoOp::SetNextAuto { table, value } => {
+            w.u8(7);
+            w.string(table);
+            w.i64(*value);
+        }
+        RedoOp::SetNow { now } => {
+            w.u8(8);
+            w.i64(*now);
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<(u64, WalRecord)> {
+    let mut r = Reader::new(body);
+    let bad = |m: &str| Error::Wal(format!("corrupt WAL record: {m}"));
+    let lsn = r.u64().map_err(|e| bad(&e.to_string()))?;
+    let kind = r.u8().map_err(|e| bad(&e.to_string()))?;
+    let record = match kind {
+        KIND_TXN => {
+            let n = r.u32().map_err(|e| bad(&e.to_string()))? as usize;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(decode_op(&mut r).map_err(|e| bad(&e.to_string()))?);
+            }
+            WalRecord::Txn { ops }
+        }
+        KIND_INTENT => WalRecord::DisguiseIntent {
+            disguise_id: r.u64().map_err(|e| bad(&e.to_string()))?,
+            user: r.value().map_err(|e| bad(&e.to_string()))?,
+        },
+        KIND_COMMIT => WalRecord::DisguiseCommit {
+            disguise_id: r.u64().map_err(|e| bad(&e.to_string()))?,
+        },
+        k => return Err(bad(&format!("unknown record kind {k}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(bad("trailing bytes"));
+    }
+    Ok((lsn, record))
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<RedoOp> {
+    Ok(match r.u8()? {
+        0 => {
+            let table = r.string()?;
+            let row_id = r.u64()? as RowId;
+            let n = r.u32()? as usize;
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(r.value()?);
+            }
+            RedoOp::Insert { table, row_id, row }
+        }
+        1 => {
+            let table = r.string()?;
+            let row_id = r.u64()? as RowId;
+            let n = r.u32()? as usize;
+            let mut row = Vec::with_capacity(n);
+            for _ in 0..n {
+                row.push(r.value()?);
+            }
+            RedoOp::Update { table, row_id, row }
+        }
+        2 => RedoOp::Delete {
+            table: r.string()?,
+            row_id: r.u64()? as RowId,
+        },
+        3 => RedoOp::CreateTable {
+            image: snapshot::decode_table(r, 3)?,
+        },
+        4 => RedoOp::DropTable { name: r.string()? },
+        5 => RedoOp::AlterTable {
+            name: r.string()?,
+            image: snapshot::decode_table(r, 3)?,
+        },
+        6 => RedoOp::CreateIndex {
+            table: r.string()?,
+            name: r.string()?,
+            column: r.string()?,
+            unique: r.u8()? != 0,
+        },
+        7 => RedoOp::SetNextAuto {
+            table: r.string()?,
+            value: r.i64()?,
+        },
+        8 => RedoOp::SetNow { now: r.i64()? },
+        t => return Err(Error::Wal(format!("unknown redo op tag {t}"))),
+    })
+}
+
+// ---- undo → redo conversion -------------------------------------------------
+
+/// Converts a committing transaction's undo log into redo operations.
+///
+/// The undo log records, per operation, how to restore the *previous*
+/// state; redo needs the *resulting* state. Walking the log in reverse
+/// recovers each operation's after-image: the state just after op `i` is
+/// whatever the nearest later op recorded as its before-image — or the
+/// live (committed) state if no later op touched that row/table. The
+/// emitted list is then reversed back into application order.
+///
+/// Redo ops are replayed physically, so interleavings that reuse a
+/// row slot or table name within one transaction (insert-then-delete,
+/// drop-then-recreate) are safe: each op *sets* state, and replay
+/// tolerates overwriting an occupied slot.
+pub(crate) fn redo_from_txn(inner: &Inner, txn: &Txn) -> Result<Vec<RedoOp>> {
+    // After-images discovered so far while walking backwards. Keys are
+    // lowercase table names; a `None` image means "absent at that point".
+    let mut row_after: HashMap<(String, RowId), Option<Row>> = HashMap::new();
+    let mut table_after: HashMap<String, Option<TableSnapshot>> = HashMap::new();
+    let mut auto_after: HashMap<String, i64> = HashMap::new();
+    let mut rev = Vec::with_capacity(txn.undo.len());
+
+    // The image of `table`.`id` just after the op being visited.
+    let row_at = |row_after: &HashMap<(String, RowId), Option<Row>>,
+                  table_after: &HashMap<String, Option<TableSnapshot>>,
+                  key: &str,
+                  id: RowId|
+     -> Option<Row> {
+        if let Some(img) = row_after.get(&(key.to_string(), id)) {
+            return img.clone();
+        }
+        if let Some(timg) = table_after.get(key) {
+            return timg.as_ref().and_then(|t| {
+                t.rows
+                    .iter()
+                    .find(|(rid, _)| *rid == id)
+                    .map(|(_, r)| r.clone())
+            });
+        }
+        inner.tables.get(key).and_then(|t| t.get(id)).cloned()
+    };
+    // The image of `table` just after the op being visited.
+    let table_at = |table_after: &HashMap<String, Option<TableSnapshot>>,
+                    key: &str|
+     -> Option<TableSnapshot> {
+        if let Some(img) = table_after.get(key) {
+            return img.clone();
+        }
+        inner.tables.get(key).map(TableSnapshot::of)
+    };
+
+    for op in txn.undo.iter().rev() {
+        match op {
+            UndoOp::Inserted { table, row_id } => {
+                let key = table.to_lowercase();
+                let row = row_at(&row_after, &table_after, &key, *row_id)
+                    .ok_or_else(|| Error::Wal(format!("no after-image for insert into {table}")))?;
+                rev.push(RedoOp::Insert {
+                    table: key.clone(),
+                    row_id: *row_id,
+                    row,
+                });
+                row_after.insert((key, *row_id), None);
+            }
+            UndoOp::Updated {
+                table,
+                row_id,
+                old_row,
+            } => {
+                let key = table.to_lowercase();
+                let row = row_at(&row_after, &table_after, &key, *row_id)
+                    .ok_or_else(|| Error::Wal(format!("no after-image for update of {table}")))?;
+                rev.push(RedoOp::Update {
+                    table: key.clone(),
+                    row_id: *row_id,
+                    row,
+                });
+                row_after.insert((key, *row_id), Some(old_row.clone()));
+            }
+            UndoOp::Deleted { table, row_id, row } => {
+                let key = table.to_lowercase();
+                rev.push(RedoOp::Delete {
+                    table: key.clone(),
+                    row_id: *row_id,
+                });
+                row_after.insert((key, *row_id), Some(row.clone()));
+            }
+            UndoOp::CreatedTable { name } => {
+                let key = name.to_lowercase();
+                let image = table_at(&table_after, &key).ok_or_else(|| {
+                    Error::Wal(format!("no after-image for created table {name}"))
+                })?;
+                rev.push(RedoOp::CreateTable { image });
+                table_after.insert(key, None);
+            }
+            UndoOp::DroppedTable { name, table } => {
+                let key = name.to_lowercase();
+                rev.push(RedoOp::DropTable { name: key.clone() });
+                table_after.insert(key, Some(TableSnapshot::of(table)));
+            }
+            UndoOp::AlteredTable { name, table } => {
+                let key = name.to_lowercase();
+                let image = table_at(&table_after, &key).ok_or_else(|| {
+                    Error::Wal(format!("no after-image for altered table {name}"))
+                })?;
+                rev.push(RedoOp::AlterTable {
+                    name: key.clone(),
+                    image,
+                });
+                table_after.insert(key, Some(TableSnapshot::of(table)));
+            }
+            UndoOp::CreatedIndex { table, index } => {
+                let key = table.to_lowercase();
+                let timg = table_at(&table_after, &key).ok_or_else(|| {
+                    Error::Wal(format!("no table image for index {index} on {table}"))
+                })?;
+                // The index definition as it existed just after creation.
+                let full = inner.tables.get(&key);
+                let (column, unique) = timg
+                    .indexes
+                    .iter()
+                    .find(|(n, _, _)| n.eq_ignore_ascii_case(index))
+                    .map(|(_, c, u)| (c.clone(), *u))
+                    .or_else(|| {
+                        full.and_then(|t| {
+                            t.indexes
+                                .iter()
+                                .find(|ix| ix.name.eq_ignore_ascii_case(index))
+                                .map(|ix| (t.schema.columns[ix.column].name.clone(), ix.unique))
+                        })
+                    })
+                    .ok_or_else(|| {
+                        Error::Wal(format!("created index {index} not found on {table}"))
+                    })?;
+                rev.push(RedoOp::CreateIndex {
+                    table: key,
+                    name: index.clone(),
+                    column,
+                    unique,
+                });
+            }
+            UndoOp::AutoIncrement { table, old_value } => {
+                let key = table.to_lowercase();
+                let value = auto_after
+                    .get(&key)
+                    .copied()
+                    .or_else(|| {
+                        table_after
+                            .get(&key)
+                            .and_then(|t| t.as_ref().map(|t| t.next_auto))
+                    })
+                    .or_else(|| inner.tables.get(&key).map(|t| t.next_auto))
+                    .ok_or_else(|| {
+                        Error::Wal(format!("no after-image for auto-increment of {table}"))
+                    })?;
+                rev.push(RedoOp::SetNextAuto {
+                    table: key.clone(),
+                    value,
+                });
+                auto_after.insert(key, *old_value);
+            }
+        }
+    }
+    rev.reverse();
+    Ok(rev)
+}
+
+// ---- replay -----------------------------------------------------------------
+
+/// Applies one redo op to engine state, physically and idempotently: ops
+/// *set* state, so replaying a frame whose effects are already present
+/// (snapshot taken mid-append, double recovery) converges to the same
+/// result. No constraints are re-checked — the ops describe a state that
+/// passed them when it committed.
+pub(crate) fn apply_op(inner: &mut Inner, op: &RedoOp) -> Result<()> {
+    match op {
+        RedoOp::Insert { table, row_id, row } | RedoOp::Update { table, row_id, row } => {
+            let t = inner
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| Error::Wal(format!("replay into missing table {table}")))?;
+            if t.get(*row_id).is_some() {
+                t.replace(*row_id, row.clone());
+            } else {
+                t.restore_at(*row_id, row.clone());
+            }
+        }
+        RedoOp::Delete { table, row_id } => {
+            if let Some(t) = inner.tables.get_mut(table) {
+                t.remove(*row_id);
+            }
+        }
+        RedoOp::CreateTable { image } => {
+            let key = image.schema.name.to_lowercase();
+            let table = image.clone().into_table()?;
+            if inner.tables.insert(key.clone(), table).is_none() {
+                inner.table_order.push(key);
+            }
+        }
+        RedoOp::DropTable { name } => {
+            let key = name.to_lowercase();
+            inner.tables.remove(&key);
+            inner.table_order.retain(|k| k != &key);
+        }
+        RedoOp::AlterTable { name, image } => {
+            let old_key = name.to_lowercase();
+            let new_key = image.schema.name.to_lowercase();
+            let table = image.clone().into_table()?;
+            inner.tables.remove(&old_key);
+            if inner.tables.insert(new_key.clone(), table).is_none() {
+                match inner.table_order.iter().position(|k| k == &old_key) {
+                    Some(pos) => inner.table_order[pos] = new_key,
+                    None => inner.table_order.push(new_key),
+                }
+            }
+        }
+        RedoOp::CreateIndex {
+            table,
+            name,
+            column,
+            unique,
+        } => {
+            let t = inner
+                .tables
+                .get_mut(table)
+                .ok_or_else(|| Error::Wal(format!("replay index onto missing table {table}")))?;
+            let already = t
+                .indexes
+                .iter()
+                .any(|ix| ix.name.eq_ignore_ascii_case(name));
+            if !already {
+                let pos = t.schema.require_column(column)?;
+                t.add_index(name.clone(), pos, *unique)?;
+            }
+        }
+        RedoOp::SetNextAuto { table, value } => {
+            if let Some(t) = inner.tables.get_mut(table) {
+                t.next_auto = *value;
+            }
+        }
+        RedoOp::SetNow { now } => {
+            inner.now = *now;
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of replaying a scanned log over a snapshot.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Txn frames whose LSN exceeded the snapshot watermark and were
+    /// applied.
+    pub frames_replayed: usize,
+    /// Intent markers with no matching commit marker, in log order.
+    pub open_intents: Vec<OpenIntent>,
+}
+
+/// A report of one recovery pass (what `Workspace::open` and the
+/// `edna recover` subcommand surface).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Complete frames found in the log.
+    pub frames_scanned: usize,
+    /// Txn frames replayed over the snapshot.
+    pub frames_replayed: usize,
+    /// Torn-tail bytes truncated off the log.
+    pub torn_bytes: usize,
+    /// The snapshot's checkpoint watermark (frames at or below it were
+    /// skipped).
+    pub snapshot_watermark: u64,
+    /// The highest LSN in the log (equals the watermark when no replay
+    /// was needed; 0 for an empty log).
+    pub last_lsn: u64,
+    /// Disguise intents with no matching commit marker; `edna-core`
+    /// resolves each to "completed" or "undone".
+    pub open_intents: Vec<OpenIntent>,
+    /// Whether a complete snapshot temp file was promoted to
+    /// authoritative (crash between temp fsync and rename). Set by the
+    /// caller that owns snapshot file management, not by `open_durable`.
+    pub snapshot_promoted: bool,
+    /// Wall-clock time recovery took.
+    pub duration: Duration,
+}
+
+impl RecoveryReport {
+    /// Whether recovery changed (or found suspect) anything at all.
+    pub fn acted(&self) -> bool {
+        self.frames_replayed > 0
+            || self.torn_bytes > 0
+            || !self.open_intents.is_empty()
+            || self.snapshot_promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("edna_wal_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let ops = vec![
+            RedoOp::Insert {
+                table: "t".into(),
+                row_id: 3,
+                row: vec![Value::Int(1), Value::Text("x".into())],
+            },
+            RedoOp::Delete {
+                table: "t".into(),
+                row_id: 0,
+            },
+            RedoOp::SetNextAuto {
+                table: "t".into(),
+                value: 9,
+            },
+            RedoOp::SetNow { now: -5 },
+        ];
+        let body = encode_body(7, &WalRecord::Txn { ops });
+        let (lsn, rec) = decode_body(&body).unwrap();
+        assert_eq!(lsn, 7);
+        let WalRecord::Txn { ops } = rec else {
+            panic!("wrong kind")
+        };
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(&ops[0], RedoOp::Insert { table, row_id: 3, row }
+            if table == "t" && row.len() == 2));
+
+        let body = encode_body(
+            8,
+            &WalRecord::DisguiseIntent {
+                disguise_id: 12,
+                user: Value::Int(42),
+            },
+        );
+        let (lsn, rec) = decode_body(&body).unwrap();
+        assert_eq!(lsn, 8);
+        assert!(
+            matches!(rec, WalRecord::DisguiseIntent { disguise_id: 12, user }
+            if user == Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn append_scan_and_torn_tail_truncation() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, scan) = Wal::open(&path).unwrap();
+            assert!(scan.records.is_empty());
+            wal.append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+                .unwrap();
+            wal.append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+                .unwrap();
+            assert_eq!(wal.last_lsn(), 2);
+        }
+        // Tear the tail by appending garbage.
+        let mut data = std::fs::read(&path).unwrap();
+        let full = data.len();
+        data.extend_from_slice(&[0xAB; 9]);
+        std::fs::write(&path, &data).unwrap();
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_bytes, 9);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full as u64);
+        // LSNs continue past the recovered tail.
+        let lsn = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 3 })
+            .unwrap();
+        assert_eq!(lsn, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_hook_styles_and_poisoning() {
+        let path = tmp("crash");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+            .unwrap();
+        let base = std::fs::metadata(&path).unwrap().len();
+
+        // BeforeWrite: nothing reaches the file; the log is poisoned.
+        wal.set_crash_hook(Some(Arc::new(|i| {
+            (i == 0).then_some(WalCrash::BeforeWrite)
+        })));
+        let err = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap_err();
+        assert_eq!(err, Error::FaultInjected(0));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), base);
+        assert!(matches!(
+            wal.append(&WalRecord::DisguiseCommit { disguise_id: 2 }),
+            Err(Error::Wal(_))
+        ));
+
+        // TornWrite: a partial frame lands; reopen truncates it away.
+        wal.set_crash_hook(Some(Arc::new(|i| (i == 0).then_some(WalCrash::TornWrite))));
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap_err();
+        assert!(std::fs::metadata(&path).unwrap().len() > base);
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_bytes > 0);
+
+        // AfterWrite: the frame is durable; only the caller's follow-up dies.
+        wal.set_crash_hook(Some(Arc::new(|i| (i == 0).then_some(WalCrash::AfterWrite))));
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap_err();
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_keeps_lsn_counter() {
+        let path = tmp("truncate");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+            .unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.size_bytes(), 0);
+        let lsn = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap();
+        assert_eq!(lsn, 2, "LSNs must not reset at checkpoint");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! End-to-end WAL durability: committed writes survive a process "crash"
+//! (dropping the database without saving) and come back via replay.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use edna_relational::{Database, Value, WalCrash};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("edna_durability_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn seed_schema(db: &Database) {
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL);
+         CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+         body TEXT, FOREIGN KEY (user_id) REFERENCES users(id) ON DELETE CASCADE);",
+    )
+    .unwrap();
+}
+
+#[test]
+fn committed_rows_survive_a_crash_without_save() {
+    let dir = TempDir::new("no_save");
+    let wal_path = dir.path("db.wal");
+    {
+        let (db, report) = Database::open_durable(None, &wal_path).unwrap();
+        assert_eq!(report.frames_replayed, 0);
+        seed_schema(&db);
+        db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'hi')")
+            .unwrap();
+        db.execute("UPDATE users SET name = 'bee' WHERE id = 1")
+            .unwrap();
+        db.execute("DELETE FROM users WHERE id = 2").unwrap();
+        // Crash: drop without ever calling save().
+    }
+    let (back, report) = Database::open_durable(None, &wal_path).unwrap();
+    assert!(report.frames_replayed > 0);
+    assert!(report.open_intents.is_empty());
+    assert_eq!(back.verify_integrity(), Vec::<String>::new());
+    assert_eq!(
+        back.execute("SELECT name FROM users ORDER BY id")
+            .unwrap()
+            .rows,
+        vec![vec![Value::Text("bee".into())]]
+    );
+    assert_eq!(
+        back.execute("SELECT body FROM posts").unwrap().rows,
+        vec![vec![Value::Text("hi".into())]]
+    );
+    // AUTO_INCREMENT continues past replayed ids.
+    let r = back
+        .execute("INSERT INTO users (name) VALUES ('zoe')")
+        .unwrap();
+    assert_eq!(r.last_insert_id, Some(3));
+}
+
+#[test]
+fn checkpoint_truncates_and_replay_starts_at_watermark() {
+    let dir = TempDir::new("checkpoint");
+    let wal_path = dir.path("db.wal");
+    let snap_path = dir.path("db.edna");
+    {
+        let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+        seed_schema(&db);
+        db.execute("INSERT INTO users (name) VALUES ('bea')")
+            .unwrap();
+        db.save(&snap_path).unwrap();
+        assert_eq!(
+            db.wal().unwrap().size_bytes(),
+            0,
+            "checkpoint must truncate the log"
+        );
+        // Post-checkpoint writes land in the (new) log tail.
+        db.execute("INSERT INTO users (name) VALUES ('mel')")
+            .unwrap();
+    }
+    let (back, report) = Database::open_durable(Some(&snap_path), &wal_path).unwrap();
+    assert_eq!(report.frames_replayed, 1, "only the post-checkpoint insert");
+    assert!(report.snapshot_watermark > 0);
+    assert_eq!(
+        back.execute("SELECT COUNT(*) FROM users")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(2)
+    );
+}
+
+#[test]
+fn explicit_transactions_log_one_frame_and_replay() {
+    let dir = TempDir::new("explicit");
+    let wal_path = dir.path("db.wal");
+    {
+        let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+        seed_schema(&db);
+        let frames_before = db.wal().unwrap().last_lsn();
+        db.transaction(|db| {
+            db.execute("INSERT INTO users (name) VALUES ('bea')")?;
+            db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'x')")?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            db.wal().unwrap().last_lsn(),
+            frames_before + 1,
+            "one commit = one frame"
+        );
+        // A rolled-back transaction logs nothing.
+        db.begin().unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('ghost')")
+            .unwrap();
+        db.rollback().unwrap();
+        assert_eq!(db.wal().unwrap().last_lsn(), frames_before + 1);
+    }
+    let (back, _) = Database::open_durable(None, &wal_path).unwrap();
+    assert_eq!(
+        back.execute("SELECT COUNT(*) FROM users")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(1)
+    );
+    assert_eq!(back.verify_integrity(), Vec::<String>::new());
+}
+
+#[test]
+fn ddl_and_cascading_deletes_replay() {
+    let dir = TempDir::new("ddl");
+    let wal_path = dir.path("db.wal");
+    {
+        let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+        seed_schema(&db);
+        db.execute("CREATE INDEX posts_by_user ON posts (user_id)")
+            .unwrap();
+        db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+            .unwrap();
+        db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'a'), (1, 'b'), (2, 'c')")
+            .unwrap();
+        // Cascade: deleting user 1 removes two posts in the same frame.
+        db.execute("DELETE FROM users WHERE id = 1").unwrap();
+        db.execute("DROP TABLE posts").unwrap();
+        db.execute("ALTER TABLE users RENAME COLUMN name TO handle")
+            .unwrap();
+    }
+    let (back, _) = Database::open_durable(None, &wal_path).unwrap();
+    assert!(!back.has_table("posts"));
+    assert_eq!(
+        back.execute("SELECT handle FROM users").unwrap().rows,
+        vec![vec![Value::Text("mel".into())]]
+    );
+    assert_eq!(back.verify_integrity(), Vec::<String>::new());
+}
+
+#[test]
+fn failed_wal_append_rolls_the_commit_back() {
+    let dir = TempDir::new("append_fail");
+    let wal_path = dir.path("db.wal");
+    let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+    seed_schema(&db);
+    db.execute("INSERT INTO users (name) VALUES ('bea')")
+        .unwrap();
+    let wal = db.wal().unwrap();
+    wal.set_crash_hook(Some(Arc::new(|i| {
+        (i == 0).then_some(WalCrash::BeforeWrite)
+    })));
+    let err = db
+        .execute("INSERT INTO users (name) VALUES ('ghost')")
+        .unwrap_err();
+    assert!(
+        matches!(err, edna_relational::Error::FaultInjected(_)),
+        "got: {err}"
+    );
+    // The insert is NOT visible: unlogged means uncommitted.
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM users")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(1)
+    );
+    // While the injected crash is live, the log stays poisoned: a process
+    // that "died" must not keep writing.
+    assert!(db
+        .execute("INSERT INTO users (name) VALUES ('dead')")
+        .is_err());
+    // Clearing the hook clears the simulated death; writes flow again.
+    wal.set_crash_hook(None);
+    db.execute("INSERT INTO users (name) VALUES ('mel')")
+        .unwrap();
+    let (back, _) = Database::open_durable(None, &wal_path).unwrap();
+    assert_eq!(
+        back.execute("SELECT COUNT(*) FROM users")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        &Value::Int(2)
+    );
+}
+
+#[test]
+fn crash_at_every_wal_frame_recovers_consistently() {
+    // Sweep: crash the k-th WAL append in each of the three styles; after
+    // each crash, recovery must yield a database where every committed
+    // frame's effects are present, FK structure intact.
+    let dir = TempDir::new("sweep");
+    // Count the workload's frames with a never-firing hook.
+    let workload = |db: &Database| -> edna_relational::Result<()> {
+        db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")?;
+        db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'a'), (2, 'b')")?;
+        db.execute("UPDATE users SET name = 'bee' WHERE id = 1")?;
+        db.execute("DELETE FROM posts WHERE id = 2")?;
+        Ok(())
+    };
+    let frames = {
+        let wal_path = dir.path("count.wal");
+        let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+        seed_schema(&db);
+        let wal = db.wal().unwrap();
+        wal.set_crash_hook(Some(Arc::new(|_| None)));
+        workload(&db).unwrap();
+        wal.crash_frame_count()
+    };
+    assert!(
+        frames >= 4,
+        "expected one frame per statement, got {frames}"
+    );
+    for style in [
+        WalCrash::BeforeWrite,
+        WalCrash::TornWrite,
+        WalCrash::AfterWrite,
+    ] {
+        for k in 0..frames {
+            let wal_path = dir.path(&format!("sweep_{style:?}_{k}.wal"));
+            {
+                let (db, _) = Database::open_durable(None, &wal_path).unwrap();
+                seed_schema(&db);
+                let wal = db.wal().unwrap();
+                wal.set_crash_hook(Some(Arc::new(move |i| (i == k).then_some(style))));
+                let err = workload(&db);
+                assert!(err.is_err(), "hook at frame {k} must fire");
+            }
+            let (back, report) = Database::open_durable(None, &wal_path).unwrap();
+            assert_eq!(
+                back.verify_integrity(),
+                Vec::<String>::new(),
+                "style {style:?} frame {k}"
+            );
+            // Durability floor: everything before the crashed frame
+            // survived. (AfterWrite also persists the crashed frame.)
+            let expected_frames = report.frames_scanned;
+            let min_expected = k as usize + usize::from(style == WalCrash::AfterWrite);
+            assert!(
+                expected_frames >= min_expected,
+                "style {style:?} frame {k}: {expected_frames} < {min_expected}"
+            );
+        }
+    }
+}

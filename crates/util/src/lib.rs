@@ -9,6 +9,9 @@
 //!   generators, placeholder synthesis, and retry jitter;
 //! - [`buf`] — cursor-style byte buffers ([`buf::Bytes`] / [`buf::BytesMut`])
 //!   for the vault wire formats;
+//! - [`frame`] — checksummed `[len][body][sha256]` record framing with
+//!   torn-tail detection, shared by the vault files, the pending-write
+//!   journal, and the relational write-ahead log;
 //! - [`sha256`] — SHA-256 (FIPS 180-4), shared by the vault crypto and the
 //!   crash-consistency checksums in snapshots and vault files;
 //! - [`sync`] — poison-tolerant lock acquisition, so a panic in one
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod buf;
+pub mod frame;
 pub mod rng;
 pub mod sha256;
 pub mod sync;

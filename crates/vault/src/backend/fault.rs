@@ -60,6 +60,7 @@ pub struct FaultPlan {
     fail_nth: Option<u64>,
     error_rate: f64,
     transient: bool,
+    io_kind: Option<std::io::ErrorKind>,
     latency_nth: Option<u64>,
     latency: Duration,
     torn_nth: Option<u64>,
@@ -76,6 +77,7 @@ impl FaultPlan {
             fail_nth: None,
             error_rate: 0.0,
             transient: false,
+            io_kind: None,
             latency_nth: None,
             latency: Duration::ZERO,
             torn_nth: None,
@@ -99,6 +101,16 @@ impl FaultPlan {
     /// so retry policies may absorb them. Default: permanent.
     pub fn transient(mut self) -> FaultPlan {
         self.transient = true;
+        self
+    }
+
+    /// Injected failures surface as [`Error::Io`] with the given kind
+    /// (e.g. [`std::io::ErrorKind::StorageFull`] for a full disk) instead
+    /// of [`Error::Injected`] — their retry classification then follows
+    /// the real I/O rules, so fail-fast behavior on ENOSPC/EROFS can be
+    /// exercised without actually filling a disk.
+    pub fn io_error_kind(mut self, kind: std::io::ErrorKind) -> FaultPlan {
+        self.io_kind = Some(kind);
         self
     }
 
@@ -200,10 +212,16 @@ impl<S: VaultStore> FaultyStore<S> {
     }
 
     fn injected(&self, op: &str, index: u64) -> Error {
-        Error::Injected {
-            op: op.to_string(),
-            index,
-            transient: self.plan.transient,
+        match self.plan.io_kind {
+            Some(kind) => Error::Io(std::io::Error::new(
+                kind,
+                format!("injected I/O fault on vault op {op} (op index {index})"),
+            )),
+            None => Error::Injected {
+                op: op.to_string(),
+                index,
+                transient: self.plan.transient,
+            },
         }
     }
 }

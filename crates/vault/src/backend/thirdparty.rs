@@ -240,6 +240,40 @@ mod tests {
     }
 
     #[test]
+    fn disk_full_and_read_only_fs_fail_fast() {
+        // ENOSPC/EROFS cannot be cured by retrying: the policy must
+        // surface them on the first attempt instead of burning the
+        // backoff budget (and masking the condition).
+        for kind in [
+            std::io::ErrorKind::StorageFull,
+            std::io::ErrorKind::ReadOnlyFilesystem,
+        ] {
+            let full = FaultyStore::new(
+                MemoryStore::new(),
+                FaultPlan::new(1).error_rate(1.0).io_error_kind(kind),
+            );
+            let s = ThirdPartyStore::with_retry(full, Duration::ZERO, fast_retry(8));
+            let err = s.put("u", entry(1)).unwrap_err();
+            assert!(
+                matches!(&err, Error::Io(e) if e.kind() == kind),
+                "got {err}"
+            );
+            assert_eq!(s.retry_count(), 0, "{kind:?} must not be retried");
+            assert_eq!(s.request_count(), 1, "{kind:?}: exactly one attempt");
+        }
+        // Generic I/O hiccups stay retryable.
+        let flaky = FaultyStore::new(
+            MemoryStore::new(),
+            FaultPlan::new(1)
+                .fail_nth(0)
+                .io_error_kind(std::io::ErrorKind::Interrupted),
+        );
+        let s = ThirdPartyStore::with_retry(flaky, Duration::ZERO, fast_retry(8));
+        s.put("u", entry(1)).unwrap();
+        assert_eq!(s.retry_count(), 1);
+    }
+
+    #[test]
     fn approval_denial_is_not_retried() {
         let s = ThirdPartyStore::with_retry(MemoryStore::new(), Duration::ZERO, fast_retry(8));
         s.require_approval();

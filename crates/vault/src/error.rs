@@ -42,11 +42,33 @@ pub enum ErrorClass {
     Permanent,
 }
 
+/// Whether an I/O error can be cured by retrying. A full disk or a
+/// filesystem remounted read-only will fail the same way on every
+/// attempt — retrying only delays the inevitable surfacing (and under
+/// the `Buffer` vault policy would mask the condition until flush).
+fn io_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    // StorageFull/ReadOnlyFilesystem are stable but ENOSPC/EROFS can
+    // also surface as `Other`/`Uncategorized` on some platforms, so
+    // check the raw errno too (28 = ENOSPC, 30 = EROFS on Linux).
+    !matches!(
+        e.kind(),
+        ErrorKind::StorageFull | ErrorKind::ReadOnlyFilesystem | ErrorKind::PermissionDenied
+    ) && !matches!(e.raw_os_error(), Some(28) | Some(30))
+}
+
 impl Error {
     /// Classifies this error for retry purposes.
     pub fn class(&self) -> ErrorClass {
         match self {
-            Error::Io(_) | Error::Unavailable(_) => ErrorClass::Transient,
+            Error::Io(e) => {
+                if io_is_transient(e) {
+                    ErrorClass::Transient
+                } else {
+                    ErrorClass::Permanent
+                }
+            }
+            Error::Unavailable(_) => ErrorClass::Transient,
             Error::Injected { transient, .. } => {
                 if *transient {
                     ErrorClass::Transient
@@ -126,6 +148,21 @@ mod tests {
     fn classification() {
         assert!(Error::Unavailable("down".into()).is_transient());
         assert!(Error::Io(std::io::Error::other("disk")).is_transient());
+        // A full or read-only filesystem will not heal between retries.
+        for kind in [
+            std::io::ErrorKind::StorageFull,
+            std::io::ErrorKind::ReadOnlyFilesystem,
+            std::io::ErrorKind::PermissionDenied,
+        ] {
+            assert!(
+                !Error::Io(std::io::Error::new(kind, "disk")).is_transient(),
+                "{kind:?} must be permanent"
+            );
+        }
+        // ENOSPC/EROFS recognized by errno even when the kind is opaque.
+        assert!(!Error::Io(std::io::Error::from_raw_os_error(28)).is_transient());
+        assert!(!Error::Io(std::io::Error::from_raw_os_error(30)).is_transient());
+        assert!(Error::Io(std::io::Error::from_raw_os_error(5)).is_transient());
         assert!(!Error::Crypto("bad mac".into()).is_transient());
         assert!(!Error::NoKey("19".into()).is_transient());
         assert!(Error::Injected {

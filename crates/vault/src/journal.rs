@@ -141,9 +141,32 @@ impl VaultJournal {
             wal::append_record(&mut buf, &Self::record_body(*tier, entry));
         }
         let tmp = self.path.with_extension("tmp");
-        fs::write(&tmp, &buf)?;
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(buf.as_ref())?;
+            f.sync_all()?;
+        }
         fs::rename(&tmp, &self.path)?;
         Ok(())
+    }
+
+    /// Drops every spooled write belonging to `disguise_id`; returns how
+    /// many were removed. Recovery calls this when it undoes a
+    /// half-applied disguise — its buffered vault writes must not be
+    /// flushed later.
+    pub fn purge_disguise(&self, disguise_id: u64) -> Result<usize> {
+        let pending = self.pending()?;
+        let remaining: Vec<_> = pending
+            .iter()
+            .filter(|(_, e)| e.disguise_id != disguise_id)
+            .cloned()
+            .collect();
+        let purged = pending.len() - remaining.len();
+        if purged > 0 {
+            self.rewrite(&remaining)?;
+        }
+        Ok(purged)
     }
 
     /// Truncates a torn tail, if any; returns the bytes discarded.

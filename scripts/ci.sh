@@ -51,6 +51,18 @@ target/release/edna trace "$CHECK_DIR/trace.jsonl" | grep -q "disguise_apply"
 target/release/edna stats "$CHECK_DIR/hotcrp" | grep -q "edna_statements_total"
 echo "trace smoke OK"
 
+echo "==> crash-sweep (WAL kill sweep + recover --verify smoke)"
+# The kill sweep crashes disguise application at every WAL frame in
+# every crash style and asserts recovery lands on a consistent state;
+# release mode so the sweep exercises the same codegen users run.
+cargo test --release -p edna-relational --test durability --quiet
+cargo test --release -p edna-core --test crash_recovery --quiet
+cargo test --release -p edna-cli --test recovery --quiet
+# A disguise was applied to the hotcrp demo above; recover must find a
+# quiescent, structurally intact state.
+target/release/edna recover "$CHECK_DIR/hotcrp" --verify | grep -q "integrity: ok"
+echo "crash-sweep OK"
+
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
 BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
     cargo bench -p edna-bench --bench batching
