@@ -1206,12 +1206,31 @@ impl Database {
     /// With a WAL attached this is a **checkpoint**: the snapshot records
     /// the WAL watermark, and once it is durably renamed into place the
     /// log is truncated — every frame it held is contained in the
-    /// snapshot.
+    /// snapshot. (Intent markers still open at the checkpoint are carried
+    /// into the fresh log by [`Wal::truncate`].)
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        crate::snapshot::save(self, path)?;
-        if let Some(w) = self.wal() {
-            w.truncate()?;
-        }
+        let Some(w) = self.wal() else {
+            return crate::snapshot::save(self, path);
+        };
+        // The database is Arc-shared and writable from other threads, so
+        // hold the engine lock across encode → rename → truncate: a
+        // transaction committing in the gap would have an LSN above the
+        // captured watermark, effects absent from the snapshot, and its
+        // frame deleted by the truncation — an acknowledged durable
+        // commit lost. Commits take the write lock (and append their
+        // frame under it), so a read guard held here excludes them while
+        // letting concurrent readers proceed.
+        let inner = self.inner_read();
+        let watermark = w.last_lsn();
+        let snapshots: Vec<crate::snapshot::TableSnapshot> = inner
+            .table_order
+            .iter()
+            .map(|key| crate::snapshot::TableSnapshot::of(&inner.tables[key]))
+            .collect();
+        let data = crate::snapshot::encode_parts(inner.now, watermark, &snapshots);
+        crate::snapshot::write_atomic(&data, path.as_ref())?;
+        w.truncate()?;
+        drop(inner);
         Ok(())
     }
 

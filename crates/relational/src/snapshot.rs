@@ -371,15 +371,22 @@ pub(crate) fn decode_table(r: &mut Reader<'_>, version: u8) -> Result<TableSnaps
 pub fn encode(db: &Database) -> Result<Vec<u8>> {
     let watermark = db.wal_last_lsn();
     let snapshots = db.snapshot_tables()?;
+    Ok(encode_parts(db.now(), watermark, &snapshots))
+}
+
+/// Serializes pre-extracted parts of a database. Split out of [`encode`]
+/// so `Database::save` can build the image while holding the engine lock
+/// (checkpoint atomicity) without re-entering the lock per part.
+pub(crate) fn encode_parts(now: i64, watermark: u64, snapshots: &[TableSnapshot]) -> Vec<u8> {
     let mut w = Writer::new();
     w.buf.extend_from_slice(MAGIC);
-    w.i64(db.now());
+    w.i64(now);
     w.u64(watermark);
     w.u32(snapshots.len() as u32);
-    for t in &snapshots {
+    for t in snapshots {
         encode_table(&mut w, t);
     }
-    Ok(w.buf)
+    w.buf
 }
 
 /// Reconstructs a database from bytes produced by [`encode`].
@@ -424,12 +431,17 @@ pub fn decode_with_watermark(data: &[u8]) -> Result<(Database, u64)> {
 /// before the caller truncates a WAL checkpointed by this snapshot.
 pub fn save(db: &Database, path: impl AsRef<Path>) -> Result<()> {
     let data = encode(db)?;
-    let path = path.as_ref();
+    write_atomic(&data, path.as_ref())
+}
+
+/// Durably writes an encoded snapshot image to `path`: checksum trailer
+/// appended, temp file fsynced, atomic rename, parent directory fsynced.
+pub(crate) fn write_atomic(data: &[u8], path: &Path) -> Result<()> {
     let tmp = path.with_extension("tmp");
     let io = |e: std::io::Error| Error::Eval(format!("snapshot I/O: {e}"));
     let mut f = std::fs::File::create(&tmp).map_err(io)?;
-    f.write_all(&data).map_err(io)?;
-    f.write_all(&sha256(&data)).map_err(io)?;
+    f.write_all(data).map_err(io)?;
+    f.write_all(&sha256(data)).map_err(io)?;
     f.sync_all().map_err(io)?;
     std::fs::rename(&tmp, path).map_err(io)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {

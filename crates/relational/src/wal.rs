@@ -37,7 +37,11 @@
 //! the append before the write, mid-write (torn frame, no fsync), or
 //! after the write+fsync — the three states a real crash can leave. An
 //! injected crash also poisons the log (the process is presumed dead), so
-//! later appends fail rather than writing after a gap.
+//! later appends fail rather than writing after a gap. A *real* append
+//! failure (ENOSPC, EIO, failed fsync) is handled differently: the file
+//! is truncated back to the last good frame boundary so the log stays
+//! valid for further appends, and the log is poisoned only if that
+//! restore itself fails.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -168,6 +172,9 @@ struct WalMetrics {
 struct WalFile {
     file: Option<std::fs::File>,
     next_lsn: u64,
+    /// File length as of the last successful append (or truncation) — the
+    /// restore point when a real append fails partway through.
+    good_len: u64,
 }
 
 /// An append-only, fsync-per-frame redo log.
@@ -182,6 +189,11 @@ pub struct Wal {
     frame_seq: AtomicU64,
     poisoned: AtomicBool,
     metrics: RwLock<Option<WalMetrics>>,
+    /// Intent markers appended (or found on open) with no matching commit
+    /// marker yet, as `(disguise_id, user)`. A checkpoint truncation
+    /// re-appends these to the fresh log: the vault-side state they guard
+    /// lives outside the snapshot, so recovery must still see them.
+    open_intents: Mutex<Vec<(u64, Value)>>,
 }
 
 fn io_err(what: &str, e: std::io::Error) -> Error {
@@ -213,9 +225,19 @@ impl Wal {
         let torn_bytes = scan.torn_bytes(data.len());
         let mut records = Vec::with_capacity(scan.records.len());
         let mut next_lsn = 1;
+        let mut open_intents: Vec<(u64, Value)> = Vec::new();
         for body in &scan.records {
             let (lsn, record) = decode_body(body)?;
             next_lsn = next_lsn.max(lsn + 1);
+            match &record {
+                WalRecord::DisguiseIntent { disguise_id, user } => {
+                    open_intents.push((*disguise_id, user.clone()));
+                }
+                WalRecord::DisguiseCommit { disguise_id } => {
+                    open_intents.retain(|(id, _)| id != disguise_id);
+                }
+                WalRecord::Txn { .. } => {}
+            }
             records.push((lsn, record));
         }
         let wal = Wal {
@@ -223,11 +245,13 @@ impl Wal {
             state: Mutex::new(WalFile {
                 file: None,
                 next_lsn,
+                good_len: scan.valid_len as u64,
             }),
             crash_hook: RwLock::new(None),
             frame_seq: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             metrics: RwLock::new(None),
+            open_intents: Mutex::new(open_intents),
         };
         Ok((
             wal,
@@ -281,10 +305,18 @@ impl Wal {
     }
 
     /// Appends one record as an fsynced frame, returning its LSN.
+    ///
+    /// On a *real* append failure (partial write, failed fsync) the file
+    /// is truncated back to the last known-good frame boundary before the
+    /// error is returned, so the next append continues a clean log rather
+    /// than writing after torn frame bytes — which would wedge the next
+    /// recovery scan at the tear and silently drop every later committed
+    /// frame. Only if that restore itself fails is the log poisoned.
     pub fn append(&self, record: &WalRecord) -> Result<u64> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(Error::Wal(
-                "log poisoned by injected crash; reopen to recover".to_string(),
+                "log poisoned by a crash or unrestorable append failure; reopen to recover"
+                    .to_string(),
             ));
         }
         let mut state = lock_unpoisoned(&self.state);
@@ -310,14 +342,61 @@ impl Wal {
                 }
                 WalCrash::AfterWrite => {
                     self.write_bytes(&mut state, &framed, true)?;
+                    state.good_len += framed.len() as u64;
                     state.next_lsn = lsn + 1;
                 }
             }
             return Err(Error::FaultInjected(index));
         }
-        self.write_bytes(&mut state, &framed, true)?;
+        if let Err(e) = self.write_bytes(&mut state, &framed, true) {
+            // The write or fsync failed (ENOSPC, EIO, …): any prefix of
+            // the frame — including unsynced post-fsync-failure bytes
+            // that may yet persist — could be sitting mid-file. Restore
+            // the known-good state before another append lands after it.
+            self.restore_good_len(&mut state);
+            return Err(e);
+        }
+        state.good_len += framed.len() as u64;
         state.next_lsn = lsn + 1;
+        self.note_appended(record);
         Ok(lsn)
+    }
+
+    /// Tracks intent/commit markers on successful appends so a checkpoint
+    /// can carry still-open intents into the fresh log.
+    fn note_appended(&self, record: &WalRecord) {
+        match record {
+            WalRecord::DisguiseIntent { disguise_id, user } => {
+                lock_unpoisoned(&self.open_intents).push((*disguise_id, user.clone()));
+            }
+            WalRecord::DisguiseCommit { disguise_id } => {
+                lock_unpoisoned(&self.open_intents).retain(|(id, _)| id != disguise_id);
+            }
+            WalRecord::Txn { .. } => {}
+        }
+    }
+
+    /// Truncates the file back to the last known-good frame boundary
+    /// after a failed append, fsyncing the truncation. If the restore
+    /// itself cannot be made durable the log is poisoned instead: callers
+    /// must reopen (which re-runs torn-tail truncation) before writing
+    /// again.
+    fn restore_good_len(&self, state: &mut WalFile) {
+        // Drop the append handle; its offset may sit past the tear.
+        state.file = None;
+        let restore = || -> std::io::Result<()> {
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&self.path)?;
+            f.set_len(state.good_len)?;
+            f.sync_all()?;
+            Ok(())
+        };
+        if restore().is_err() {
+            self.poisoned.store(true, Ordering::SeqCst);
+        }
     }
 
     /// Appends + fsyncs `bytes`, opening the file lazily.
@@ -346,7 +425,13 @@ impl Wal {
     }
 
     /// Truncates the log to empty (checkpoint: the snapshot now contains
-    /// every frame). LSNs keep counting from where they were.
+    /// every Txn frame). LSNs keep counting from where they were.
+    ///
+    /// Disguise intent markers still unmatched by a commit marker are
+    /// re-appended to the fresh log (with new LSNs): they guard vault-side
+    /// state that lives *outside* the snapshot, so erasing them would hide
+    /// a half-applied disguise's orphaned vault entry from the next
+    /// recovery.
     pub fn truncate(&self) -> Result<()> {
         let mut state = lock_unpoisoned(&self.state);
         // Reopen from scratch so the append offset resets with the file.
@@ -358,6 +443,17 @@ impl Wal {
             .open(&self.path)
             .map_err(|e| io_err("open WAL for truncation", e))?;
         f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
+        drop(f);
+        state.good_len = 0;
+        let open = lock_unpoisoned(&self.open_intents).clone();
+        for (disguise_id, user) in open {
+            let lsn = state.next_lsn;
+            let body = encode_body(lsn, &WalRecord::DisguiseIntent { disguise_id, user });
+            let framed = frame::encode_record(&body);
+            self.write_bytes(&mut state, &framed, true)?;
+            state.good_len += framed.len() as u64;
+            state.next_lsn = lsn + 1;
+        }
         Ok(())
     }
 
@@ -951,6 +1047,85 @@ mod tests {
             .unwrap_err();
         let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_append_restores_known_good_state() {
+        let path = tmp("real_fail");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+            .unwrap();
+        let good = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate partially-persisted frame bytes from a failed append
+        // (e.g. an fsync that failed after its writes reached the file):
+        // garbage past the good boundary, then a write error on the next
+        // append, injected by swapping in a read-only handle.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0xEE; 7]).unwrap();
+        }
+        lock_unpoisoned(&wal.state).file = Some(std::fs::File::open(&path).unwrap());
+        let err = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap_err();
+        assert!(matches!(err, Error::Wal(_)), "got: {err:?}");
+
+        // The restore truncated back to the last good frame: no torn
+        // bytes remain, the log is NOT poisoned, and the next append
+        // succeeds with the same LSN the failed one would have used.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        let lsn = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap();
+        assert_eq!(lsn, 2);
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 2, "both frames intact after reopen");
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_carries_open_intents() {
+        let path = tmp("carry_intents");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::DisguiseIntent {
+            disguise_id: 7,
+            user: Value::Int(1),
+        })
+        .unwrap();
+        wal.append(&WalRecord::DisguiseIntent {
+            disguise_id: 8,
+            user: Value::Int(2),
+        })
+        .unwrap();
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 8 })
+            .unwrap();
+        wal.append(&WalRecord::Txn { ops: Vec::new() }).unwrap();
+        wal.truncate().unwrap();
+        // The still-open intent (7) survives the checkpoint, re-appended
+        // with a fresh LSN; the matched pair (8) and the Txn frame do not.
+        let (wal2, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let (lsn, rec) = &scan.records[0];
+        assert!(*lsn > 4, "re-appended intent keeps counting LSNs");
+        assert!(
+            matches!(rec, WalRecord::DisguiseIntent { disguise_id: 7, user }
+            if *user == Value::Int(1))
+        );
+        // Committing it (e.g. recovery resolving the intent) then
+        // checkpointing empties the log for good.
+        wal2.append(&WalRecord::DisguiseCommit { disguise_id: 7 })
+            .unwrap();
+        wal2.truncate().unwrap();
+        assert_eq!(wal2.size_bytes(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 
