@@ -27,7 +27,7 @@ pub fn create_db() -> edna_relational::Result<Database> {
 }
 
 /// Registers the three HotCRP disguises with a disguiser.
-pub fn register_disguises(edna: &mut Disguiser) -> edna_core::Result<()> {
+pub fn register_disguises(edna: &Disguiser) -> edna_core::Result<()> {
     edna.register_dsl(GDPR_DSL)?;
     edna.register_dsl(GDPR_PLUS_DSL)?;
     edna.register_dsl(CONFANON_DSL)?;
@@ -53,8 +53,8 @@ mod tests {
     #[test]
     fn disguises_validate_against_schema() {
         let db = create_db().unwrap();
-        let mut edna = Disguiser::new(db);
-        register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::new(db);
+        register_disguises(&edna).unwrap();
         assert!(edna.spec("HotCRP-GDPR").is_ok());
         assert!(edna.spec("HotCRP-GDPR+").is_ok());
         assert!(edna.spec("HotCRP-ConfAnon").is_ok());

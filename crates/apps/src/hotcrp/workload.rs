@@ -81,8 +81,8 @@ mod tests {
         // identity is gone and placeholders cannot log in.
         let db = create_db().unwrap();
         let inst = generate(&db, &HotCrpConfig::small()).unwrap();
-        let mut edna = Disguiser::new(db.clone());
-        register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::new(db.clone());
+        register_disguises(&edna).unwrap();
 
         let bea = inst.pc_contact_ids[0];
         let reviews_before = db.row_count("Review").unwrap();

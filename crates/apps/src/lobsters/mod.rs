@@ -20,7 +20,7 @@ pub fn create_db() -> edna_relational::Result<Database> {
 }
 
 /// Registers the Lobsters disguise with a disguiser.
-pub fn register_disguises(edna: &mut Disguiser) -> edna_core::Result<()> {
+pub fn register_disguises(edna: &Disguiser) -> edna_core::Result<()> {
     edna.register_dsl(GDPR_DSL)?;
     Ok(())
 }
@@ -40,8 +40,8 @@ mod tests {
     #[test]
     fn disguise_validates() {
         let db = create_db().unwrap();
-        let mut edna = Disguiser::new(db);
-        register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::new(db);
+        register_disguises(&edna).unwrap();
         assert!(edna.spec("Lobsters-GDPR").unwrap().user_scoped);
     }
 }

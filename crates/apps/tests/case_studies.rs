@@ -14,8 +14,8 @@ fn hotcrp_setup() -> (
 ) {
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     (db, edna, inst)
 }
 
@@ -238,8 +238,8 @@ fn gdpr_reveal_after_confanon_respects_confanon() {
 fn lobsters_gdpr_and_reveal() {
     let db = lobsters::create_db().unwrap();
     let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    lobsters::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&edna).unwrap();
 
     let user = inst.user_ids[0];
     let stories_before = db.row_count("stories").unwrap();

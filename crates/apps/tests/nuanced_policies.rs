@@ -18,8 +18,8 @@ fn confanon_is_fully_reversible_from_the_global_vault() {
     // global tier (tier 1 of the multi-tier design), where it IS feasible.
     let db = hotcrp::create_db().unwrap();
     hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
 
     let before = db.dump();
     let report = edna.apply("HotCRP-ConfAnon", None).unwrap();
@@ -42,8 +42,8 @@ fn application_utility_survives_confanon() {
     // with (placeholder) reviewer names, nobody's identity appears.
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     edna.apply("HotCRP-ConfAnon", None).unwrap();
 
     let papers = workload::paper_list(&db).unwrap();
@@ -68,8 +68,8 @@ fn lobsters_messages_stay_visible_to_recipients() {
     // side deleted, and decorrelates only the departed party.
     let db = lobsters::create_db().unwrap();
     let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    lobsters::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&edna).unwrap();
 
     // Find a user who authored at least one message.
     let authored = db
@@ -121,8 +121,8 @@ fn third_party_vault_requires_user_approval_for_reveal() {
     store.require_approval();
     store.set_approved(true);
     let vaults = TieredVault::new(Vault::plain(MemoryStore::new()), Vault::plain(store));
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
 
     let user = inst.pc_contact_ids[0];
     let report = edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap();
@@ -165,8 +165,8 @@ fn third_party_vault_requires_user_approval_for_reveal() {
         Vault::plain(MemoryStore::new()),
         Vault::plain(Shared(store2.clone())),
     );
-    let mut edna2 = Disguiser::with_vaults(db2, vaults2);
-    hotcrp::register_disguises(&mut edna2).unwrap();
+    let edna2 = Disguiser::with_vaults(db2, vaults2);
+    hotcrp::register_disguises(&edna2).unwrap();
     let user2 = inst2.pc_contact_ids[0];
     let report2 = edna2
         .apply("HotCRP-GDPR+", Some(&Value::Int(user2)))
@@ -192,8 +192,8 @@ fn orphaned_submissions_policy_via_subquery_predicate() {
     // with no remaining author conflicts are removed.
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     edna.register_dsl(
         r#"
 disguise_name: "DropOrphanedPapers"

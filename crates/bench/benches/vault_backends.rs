@@ -13,8 +13,8 @@ use edna_vault::{FileStore, MemoryStore, ThirdPartyStore, TieredVault, Vault};
 fn build_env(vaults: TieredVault) -> (Disguiser, i64) {
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::scaled(0.1)).unwrap();
-    let mut edna = Disguiser::with_vaults(db, vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db, vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     (edna, inst.pc_contact_ids[0])
 }
 

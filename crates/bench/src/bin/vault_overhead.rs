@@ -25,8 +25,8 @@ fn run(encrypted: bool) {
             Vault::plain(MemoryStore::new()),
         )
     };
-    let mut edna = Disguiser::with_vaults(db, vaults);
-    hotcrp::register_disguises(&mut edna).expect("register");
+    let edna = Disguiser::with_vaults(db, vaults);
+    hotcrp::register_disguises(&edna).expect("register");
 
     let user = inst.pc_contact_ids[0];
     let gdpr = edna

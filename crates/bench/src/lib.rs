@@ -42,8 +42,8 @@ pub struct HotCrpEnv {
 pub fn hotcrp_env(config: &HotCrpConfig, latency: Option<LatencyModel>) -> HotCrpEnv {
     let db = hotcrp::create_db().expect("schema installs");
     let instance = hotcrp::generate::generate(&db, config).expect("generation succeeds");
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).expect("disguises validate");
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).expect("disguises validate");
     if let Some(model) = latency {
         db.set_latency(model);
     }

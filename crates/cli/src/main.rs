@@ -17,6 +17,8 @@
 //! edna disguised <state>
 //! edna stats <state>
 //! edna recover <state> [--verify] [--passphrase <p>] [--trace-out <f.jsonl>]
+//! edna serve <state> [--addr <ip:port>] [--max-conns <n>] [--conn-timeout-ms <n>]
+//!          [--max-frame-bytes <n>] [--checkpoint-secs <n>] [--passphrase <p>]
 //! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
@@ -40,9 +42,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        // Distinct exit codes so wrappers (the serve supervisor, ci.sh,
+        // operator scripts) can react to the failure class: usage=2,
+        // runtime=1, recovery-needed=3.
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.kind.code())
         }
     }
 }
@@ -59,9 +64,9 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn usage() -> CliError {
-    CliError(
+    CliError::usage(
         "usage: edna <init|sql|explain|load-sql|register|check|specs|apply|reveal|history|\
-         disguised|stats|recover|trace|demo> <state> [args...] (see crate docs)"
+         disguised|stats|recover|serve|trace|demo> <state> [args...] (see crate docs)"
             .to_string(),
     )
 }
@@ -73,7 +78,7 @@ fn trace_sink(args: &[String]) -> Option<(Tracer, impl FnOnce(&Tracer) -> CliRes
     let tracer = Tracer::default();
     Some((tracer, move |t: &Tracer| {
         t.write_jsonl(std::path::Path::new(&path))
-            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote {} span(s) to {path}", t.len());
         Ok(())
     }))
@@ -89,7 +94,7 @@ fn run(args: &[String]) -> CliResult<()> {
             let ws = Workspace::init(&state, passphrase)?;
             if let Some(schema) = flag_value(args, "--schema") {
                 let sql = std::fs::read_to_string(schema)
-                    .map_err(|e| CliError(format!("cannot read {schema}: {e}")))?;
+                    .map_err(|e| CliError::runtime(format!("cannot read {schema}: {e}")))?;
                 ws.db.execute_script(&sql)?;
                 ws.save()?;
             }
@@ -105,7 +110,7 @@ fn run(args: &[String]) -> CliResult<()> {
             let slow_ms: Option<u64> = flag_value(args, "--slow-ms")
                 .map(|s| {
                     s.parse()
-                        .map_err(|_| CliError(format!("bad --slow-ms {s}")))
+                        .map_err(|_| CliError::usage(format!("bad --slow-ms {s}")))
                 })
                 .transpose()?;
             if let Some(ms) = slow_ms {
@@ -132,7 +137,7 @@ fn run(args: &[String]) -> CliResult<()> {
         "load-sql" => {
             let file = args.get(2).ok_or_else(usage)?;
             let sql = std::fs::read_to_string(file)
-                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+                .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
             let ws = Workspace::open(&state, passphrase)?;
             let results = ws.db.execute_script(&sql)?;
             println!("executed {} statement(s)", results.len());
@@ -141,8 +146,8 @@ fn run(args: &[String]) -> CliResult<()> {
         "register" => {
             let file = args.get(2).ok_or_else(usage)?;
             let dsl = std::fs::read_to_string(file)
-                .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
-            let mut ws = Workspace::open(&state, passphrase)?;
+                .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
+            let ws = Workspace::open(&state, passphrase)?;
             let name = ws.register_spec(&dsl)?;
             println!("registered disguise {name}");
         }
@@ -162,7 +167,7 @@ fn run(args: &[String]) -> CliResult<()> {
                     // A spec file is analyzed without registering it,
                     // with the registered specs as composition priors.
                     let dsl = std::fs::read_to_string(t)
-                        .map_err(|e| CliError(format!("cannot read {t}: {e}")))?;
+                        .map_err(|e| CliError::runtime(format!("cannot read {t}: {e}")))?;
                     let spec = edna_core::parse_spec(&dsl)?;
                     let names = ws.spec_names()?;
                     let priors = names
@@ -170,11 +175,12 @@ fn run(args: &[String]) -> CliResult<()> {
                         .filter(|n| **n != spec.name)
                         .map(|n| ws.edna.spec(n))
                         .collect::<Result<Vec<_>, _>>()?;
-                    let diags = edna_core::analyze_spec(&spec, ws.edna.database(), &priors);
+                    let prior_refs: Vec<&edna_core::DisguiseSpec> = priors.iter().collect();
+                    let diags = edna_core::analyze_spec(&spec, ws.edna.database(), &prior_refs);
                     vec![(spec.name.clone(), diags)]
                 }
                 Some(t) => {
-                    return Err(CliError(format!(
+                    return Err(CliError::runtime(format!(
                         "{t} is neither a registered disguise nor a spec file"
                     )))
                 }
@@ -198,7 +204,7 @@ fn run(args: &[String]) -> CliResult<()> {
                 print!("{}", edna_core::render_report(diags));
             }
             if errors > 0 || (deny_warnings && warnings > 0) {
-                return Err(CliError(format!(
+                return Err(CliError::runtime(format!(
                     "check failed: {errors} error(s), {warnings} warning(s){}",
                     if deny_warnings && errors == 0 {
                         " (--deny-warnings)"
@@ -253,21 +259,33 @@ fn run(args: &[String]) -> CliResult<()> {
             }
         }
         "reveal" => {
+            // Validate the target flags before touching the state, so a
+            // typo is a usage error even when the state is unopenable.
+            enum Target {
+                Id(u64),
+                Latest(String, Option<edna_relational::Value>),
+            }
+            let target = if let Some(id) = flag_value(args, "--id") {
+                let id: u64 = id
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad id {id}")))?;
+                Target::Id(id)
+            } else if let Some(name) = flag_value(args, "--latest") {
+                let user = flag_value(args, "--user").map(parse_user);
+                Target::Latest(name.to_string(), user)
+            } else {
+                return Err(CliError::usage(
+                    "reveal needs --id <n> or --latest <disguise> [--user <id>]".to_string(),
+                ));
+            };
             let ws = Workspace::open(&state, passphrase)?;
             let sink = trace_sink(args);
             if let Some((tracer, _)) = &sink {
                 ws.edna.set_tracer(Some(tracer.clone()));
             }
-            let report = if let Some(id) = flag_value(args, "--id") {
-                let id: u64 = id.parse().map_err(|_| CliError(format!("bad id {id}")))?;
-                ws.edna.reveal(id)?
-            } else if let Some(name) = flag_value(args, "--latest") {
-                let user = flag_value(args, "--user").map(parse_user);
-                ws.edna.reveal_latest(name, user.as_ref())?
-            } else {
-                return Err(CliError(
-                    "reveal needs --id <n> or --latest <disguise> [--user <id>]".to_string(),
-                ));
+            let report = match target {
+                Target::Id(id) => ws.edna.reveal(id)?,
+                Target::Latest(name, user) => ws.edna.reveal_latest(&name, user.as_ref())?,
             };
             println!(
                 "revealed {} (id {}): reinserted {}, restored {}, placeholders removed {}, \
@@ -291,11 +309,23 @@ fn run(args: &[String]) -> CliResult<()> {
             let ws = Workspace::open(&state, passphrase)?;
             let path = ws.metrics_path();
             let text = std::fs::read_to_string(&path).map_err(|e| {
-                CliError(format!(
-                    "no metrics sidecar at {} (run a state-mutating command first): {e}",
+                CliError::runtime(format!(
+                    "no metrics sidecar at {} (run any state-mutating command, e.g. \
+                     `edna sql`, to generate it): {e}",
                     path.display()
                 ))
             })?;
+            // A truncated sidecar (torn write on a pre-atomic-rename
+            // build) or one from a pre-observability edna would print as
+            // garbage; surface what to do instead.
+            if let Err(why) = edna_cli::validate_metrics_sidecar(&text) {
+                return Err(CliError::runtime(format!(
+                    "metrics sidecar at {} is not a readable Prometheus exposition \
+                     ({why}); it may be truncated or written by an older edna — re-run \
+                     any state-mutating command (e.g. `edna sql`) to regenerate it",
+                    path.display()
+                )));
+            }
             print!("{text}");
         }
         "recover" => {
@@ -341,24 +371,70 @@ fn run(args: &[String]) -> CliResult<()> {
                     for p in &problems {
                         eprintln!("integrity: {p}");
                     }
-                    return Err(CliError(format!(
+                    return Err(CliError::recovery(format!(
                         "integrity check failed: {} problem(s)",
                         problems.len()
                     )));
                 }
             }
         }
+        "serve" => {
+            fn num_flag<T: std::str::FromStr>(
+                args: &[String],
+                name: &str,
+                default: T,
+            ) -> CliResult<T> {
+                match flag_value(args, name) {
+                    None => Ok(default),
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| CliError::usage(format!("bad {name} {s}"))),
+                }
+            }
+            let addr = flag_value(args, "--addr")
+                .unwrap_or("127.0.0.1:0")
+                .to_string();
+            let max_conns: usize = num_flag(args, "--max-conns", 8)?;
+            let conn_timeout_ms: u64 = num_flag(args, "--conn-timeout-ms", 10_000)?;
+            let max_frame_bytes: usize = num_flag(args, "--max-frame-bytes", 1 << 20)?;
+            let checkpoint_secs: u64 = num_flag(args, "--checkpoint-secs", 30)?;
+            let config = edna_server::ServerConfig {
+                addr,
+                max_conns,
+                queue_depth: max_conns,
+                conn_timeout: std::time::Duration::from_millis(conn_timeout_ms.max(1)),
+                max_frame_bytes,
+                checkpoint_every: (checkpoint_secs > 0)
+                    .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+            };
+            let ws = Workspace::open(&state, passphrase)?;
+            let svc = std::sync::Arc::new(edna_server::Service::new(ws)?);
+            let handle = edna_server::start(svc, config)
+                .map_err(|e| CliError::runtime(format!("cannot bind server: {e}")))?;
+            // The soak harness and supervisors parse this line to learn
+            // the picked port; stdout is line-buffered, so it flushes.
+            // A supervisor may close stdout after parsing it — status
+            // prints must not crash the drain, so write errors are
+            // swallowed.
+            use std::io::Write as _;
+            println!("listening on {}", handle.addr());
+            handle
+                .wait()
+                .map_err(|_| CliError::runtime("server thread panicked".to_string()))?;
+            let _ = writeln!(std::io::stdout(), "drained and checkpointed");
+        }
         "trace" => {
             // Here the positional argument is the JSONL file itself.
             let text = std::fs::read_to_string(&state)
-                .map_err(|e| CliError(format!("cannot read {state}: {e}")))?;
+                .map_err(|e| CliError::runtime(format!("cannot read {state}: {e}")))?;
             let mut spans = Vec::new();
             for (i, line) in text.lines().enumerate() {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let span = SpanRecord::from_json(line)
-                    .ok_or_else(|| CliError(format!("{state}:{}: not a span line", i + 1)))?;
+                let span = SpanRecord::from_json(line).ok_or_else(|| {
+                    CliError::runtime(format!("{state}:{}: not a span line", i + 1))
+                })?;
                 spans.push(span);
             }
             print!("{}", format_trace_tree(&spans));
@@ -382,10 +458,13 @@ fn run(args: &[String]) -> CliResult<()> {
         "demo" => {
             let which = args.get(2).ok_or_else(usage)?.as_str();
             let scale: f64 = flag_value(args, "--scale")
-                .map(|s| s.parse().map_err(|_| CliError(format!("bad scale {s}"))))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError::usage(format!("bad scale {s}")))
+                })
                 .transpose()?
                 .unwrap_or(0.1);
-            let mut ws = Workspace::init(&state, passphrase)?;
+            let ws = Workspace::init(&state, passphrase)?;
             match which {
                 "hotcrp" => {
                     ws.db.execute_script(edna_apps::hotcrp::SCHEMA_SQL)?;
@@ -414,7 +493,7 @@ fn run(args: &[String]) -> CliResult<()> {
                     );
                 }
                 other => {
-                    return Err(CliError(format!(
+                    return Err(CliError::runtime(format!(
                         "unknown demo {other} (expected hotcrp or lobsters)"
                     )))
                 }
@@ -423,7 +502,12 @@ fn run(args: &[String]) -> CliResult<()> {
             println!("try: edna specs {state}");
         }
         // A user id as first flag is easy to mistype; give a hint.
-        other => return Err(CliError(format!("unknown command {other}; {}", usage()))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown command {other}; {}",
+                usage()
+            )))
+        }
     }
     Ok(())
 }

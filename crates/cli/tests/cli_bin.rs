@@ -167,3 +167,118 @@ fn check_flags_flawed_spec_and_passes_bundled_ones() {
 
     cleanup(&state);
 }
+
+/// Like `edna`, but returns the raw exit code for assertions on the
+/// documented failure classes (usage=2, runtime=1, recovery=3).
+fn edna_exit_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_edna"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn exit_codes_distinguish_usage_runtime_and_recovery() {
+    let state = temp_state("exitcodes");
+    let s = state.to_str().unwrap();
+
+    // Usage errors: unknown command, bad flag value, missing argument.
+    let (code, _, _) = edna_exit_code(&["bogus-command", s]);
+    assert_eq!(code, Some(2));
+    let (code, _, _) = edna_exit_code(&["reveal", s, "--id", "not-a-number"]);
+    assert_eq!(code, Some(2));
+
+    // Runtime failure: operating on a workspace that does not exist.
+    let (code, _, _) = edna_exit_code(&["sql", s, "SELECT 1 FROM t"]);
+    assert_eq!(code, Some(1));
+
+    let (code, _, _) = edna_exit_code(&["init", s]);
+    assert_eq!(code, Some(0));
+    let (code, _, _) = edna_exit_code(&["sql", s, "CREATE TABLE t (id INT PRIMARY KEY)"]);
+    assert_eq!(code, Some(0));
+
+    // Runtime failure on a live workspace: engine error.
+    let (code, _, stderr) = edna_exit_code(&["sql", s, "SELECT * FROM no_such_table"]);
+    assert_eq!(code, Some(1), "{stderr}");
+
+    // Recovery needed: the snapshot itself is corrupt — open-time
+    // recovery cannot repair a flipped byte in the authoritative copy.
+    let mut bytes = std::fs::read(&state).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&state, &bytes).unwrap();
+    let (code, _, stderr) = edna_exit_code(&["sql", s, "SELECT 1 FROM t"]);
+    assert_eq!(
+        code,
+        Some(3),
+        "corrupt snapshot is the recovery class: {stderr}"
+    );
+    assert!(stderr.contains("corrupt snapshot"), "{stderr}");
+    let (code, _, _) = edna_exit_code(&["recover", s, "--verify"]);
+    assert_eq!(code, Some(3));
+
+    cleanup(&state);
+    let mut wal = state.as_os_str().to_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(PathBuf::from(wal));
+}
+
+#[test]
+fn stats_gives_actionable_errors_for_missing_or_damaged_sidecar() {
+    let state = temp_state("statserr");
+    let s = state.to_str().unwrap();
+    let sidecar = |suffix: &str| {
+        let mut p = state.as_os_str().to_os_string();
+        p.push(suffix);
+        PathBuf::from(p)
+    };
+
+    let (ok, _, _) = edna(&["init", s]);
+    assert!(ok);
+    // First open may checkpoint init leftovers and regenerate the
+    // sidecar; settle the state, then remove the sidecar for real.
+    let _ = edna(&["stats", s]);
+
+    // A workspace without a sidecar: the error says how to make one,
+    // and it is the runtime class.
+    let _ = std::fs::remove_file(sidecar(".metrics"));
+    let (code, _, stderr) = edna_exit_code(&["stats", s]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("no metrics sidecar"), "{stderr}");
+    assert!(stderr.contains("state-mutating command"), "{stderr}");
+
+    // A truncated sidecar (or one from a pre-observability build) is
+    // diagnosed, not dumped as garbage.
+    std::fs::write(
+        sidecar(".metrics"),
+        "# TYPE edna_statements_total counter\nedna_sta",
+    )
+    .unwrap();
+    let (code, _, stderr) = edna_exit_code(&["stats", s]);
+    assert_eq!(code, Some(1));
+    assert!(
+        stderr.contains("truncated or written by an older edna"),
+        "{stderr}"
+    );
+
+    std::fs::write(sidecar(".metrics"), "# TYPE up gauge\nup 1\n").unwrap();
+    let (_, _, stderr) = edna_exit_code(&["stats", s]);
+    assert!(stderr.contains("older edna"), "{stderr}");
+
+    // After any state-mutating command the sidecar is healthy again.
+    let (ok, _, _) = edna(&["sql", s, "CREATE TABLE t (id INT PRIMARY KEY)"]);
+    assert!(ok);
+    let (code, stdout, stderr) = edna_exit_code(&["stats", s]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("edna_statements_total"), "{stdout}");
+
+    cleanup(&state);
+    for suffix in [".metrics", ".wal", ".lock"] {
+        let _ = std::fs::remove_file(sidecar(suffix));
+    }
+}

@@ -43,7 +43,7 @@ tables: {
 
 /// Builds a saved baseline workspace: FK schema, data, registered spec.
 fn make_baseline(state: &Path) {
-    let mut ws = Workspace::init(state, None).unwrap();
+    let ws = Workspace::init(state, None).unwrap();
     ws.db
         .execute_script(
             "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL);

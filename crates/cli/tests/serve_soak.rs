@@ -1,0 +1,203 @@
+//! Kill-sweep for the network layer: serve a workspace under concurrent
+//! mixed traffic, SIGKILL the server at a random instant, then prove
+//! `edna recover --verify` passes and the state re-serves cleanly.
+//!
+//! This extends the crash-atomicity sweeps of the fault-injection tests
+//! (`tests/fault_sweep.rs`) to the process boundary: the WAL fsyncs
+//! every committed statement before it is acknowledged, so no sequence
+//! of acknowledged wire operations can be lost or torn by a kill.
+//!
+//! Iterations default low to keep `cargo test` fast; CI raises them via
+//! `EDNA_SOAK_ITERS` (ci.sh runs the full sweep).
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use edna_server::Client;
+use edna_util::rng::{Rng as _, SplitMix64};
+
+fn temp_state(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("edna_soak_{tag}_{}", std::process::id()));
+    cleanup(&p);
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    for suffix in [".tmp", ".metrics", ".metrics.tmp", ".wal", ".lock"] {
+        let mut os = p.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(os));
+    }
+    let mut os = p.as_os_str().to_os_string();
+    os.push(".vault");
+    let _ = std::fs::remove_dir_all(PathBuf::from(os));
+}
+
+fn edna_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_edna"))
+}
+
+/// Spawns `edna serve` on a free port and parses the bound address from
+/// its first stdout line.
+fn spawn_serve(state: &str) -> (Child, SocketAddr) {
+    let mut child = edna_bin()
+        .args([
+            "serve",
+            state,
+            "--addr",
+            "127.0.0.1:0",
+            "--checkpoint-secs",
+            "1",
+            "--conn-timeout-ms",
+            "5000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("serve announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .parse()
+        .expect("parsable address");
+    (child, addr)
+}
+
+const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+/// One traffic thread: mixed inserts, selects, and apply/reveal pairs,
+/// until the connection dies (the kill) or `rounds` complete.
+fn traffic(addr: SocketAddr, thread_id: u64, rounds: usize) {
+    let Ok(mut c) = Client::connect_with_timeout(addr, Duration::from_secs(5)) else {
+        return;
+    };
+    for i in 0..rounds {
+        let r = match i % 3 {
+            0 => c.sql(&format!(
+                "INSERT INTO users (name) VALUES ('t{thread_id}r{i}')"
+            )),
+            1 => c.sql("SELECT COUNT(*) FROM users"),
+            _ => {
+                // Apply-then-reveal using the minted capability; either
+                // half may be cut off by the kill, which is the point.
+                match c.apply("Gdpr", Some(&format!("{}", thread_id + 1))) {
+                    Ok(resp) if resp.ok => {
+                        let id: u64 = match resp.header_value("id").and_then(|v| v.parse().ok()) {
+                            Some(id) => id,
+                            None => continue,
+                        };
+                        match resp.header_value("cap") {
+                            Some(cap) => {
+                                let cap = cap.to_string();
+                                c.reveal(id, &cap)
+                            }
+                            None => continue,
+                        }
+                    }
+                    other => other,
+                }
+            }
+        };
+        if r.is_err() {
+            return; // server killed mid-conversation — expected.
+        }
+    }
+}
+
+#[test]
+fn sigkill_under_concurrent_traffic_recovers_and_reserves() {
+    let iterations: usize = std::env::var("EDNA_SOAK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let state = temp_state("sigkill");
+    let s = state.to_str().unwrap().to_string();
+
+    // Seed the workspace through the binary, like an operator would.
+    let ok = edna_bin().args(["init", &s]).status().unwrap().success();
+    assert!(ok, "init failed");
+    let ok = edna_bin()
+        .args([
+            "sql",
+            &s,
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)",
+        ])
+        .status()
+        .unwrap()
+        .success();
+    assert!(ok, "schema failed");
+    let spec_file = state.with_extension("edna_spec");
+    std::fs::write(&spec_file, SPEC).unwrap();
+    let ok = edna_bin()
+        .args(["register", &s, spec_file.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success();
+    assert!(ok, "register failed");
+
+    let mut rng = SplitMix64::new(0xEDAA_50AC);
+    for iteration in 0..iterations {
+        let (mut child, addr) = spawn_serve(&s);
+
+        // Concurrent mixed traffic from several connections.
+        let threads: Vec<_> = (0..4)
+            .map(|t| std::thread::spawn(move || traffic(addr, t, 200)))
+            .collect();
+
+        // Kill at a random instant while traffic is in flight.
+        let delay = 50 + (rng.next_u64() % 400);
+        std::thread::sleep(Duration::from_millis(delay));
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+        for t in threads {
+            let _ = t.join();
+        }
+
+        // The kill left a stale lock and possibly a WAL tail and
+        // half-applied disguises; recovery must resolve all of it.
+        let out = edna_bin()
+            .args(["recover", &s, "--verify"])
+            .output()
+            .expect("recover runs");
+        assert!(
+            out.status.success(),
+            "iteration {iteration}: recover --verify failed (exit {:?}):\n{}{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("integrity: ok"),
+            "iteration {iteration}: {stdout}"
+        );
+    }
+
+    // After the last kill+recover the state still serves cleanly.
+    let (mut child, addr) = spawn_serve(&s);
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.sql("SELECT COUNT(*) FROM users").unwrap();
+    assert!(r.ok, "{}", r.body);
+    assert!(c.shutdown().unwrap().ok);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "clean drain exits 0");
+
+    let _ = std::fs::remove_file(&spec_file);
+    cleanup(&state);
+}

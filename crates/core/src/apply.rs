@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 
 use edna_obs::{SpanGuard, Tracer};
 use edna_util::rng::Prng;
-use edna_util::sync::lock_unpoisoned;
-use std::sync::Mutex;
+use edna_util::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
+use std::sync::{Mutex, RwLock};
 
 use edna_relational::{
     eval_predicate, Database, EvalContext, Expr, OpenIntent, StatsSnapshot, TableSchema, Value,
@@ -175,7 +175,7 @@ pub(crate) struct Recorrelated {
 /// db.execute("CREATE TABLE users (id INT PRIMARY KEY, email TEXT)").unwrap();
 /// db.execute("INSERT INTO users VALUES (19, 'bea@uni.edu')").unwrap();
 ///
-/// let mut edna = Disguiser::new(db.clone());
+/// let edna = Disguiser::new(db.clone());
 /// edna.register(
 ///     DisguiseSpecBuilder::new("GDPR")
 ///         .user_scoped()
@@ -195,9 +195,12 @@ pub struct Disguiser {
     pub(crate) db: Database,
     pub(crate) vaults: TieredVault,
     pub(crate) history: HistoryLog,
-    pub(crate) specs: HashMap<String, DisguiseSpec>,
+    /// Registered specs, behind interior locking so registration is a
+    /// `&self` operation and the disguiser can be shared across server
+    /// worker threads (`Send + Sync` service shape).
+    pub(crate) specs: RwLock<HashMap<String, DisguiseSpec>>,
     /// Warnings the static analyzer recorded when each spec registered.
-    pub(crate) warnings: HashMap<String, Vec<Diagnostic>>,
+    pub(crate) warnings: RwLock<HashMap<String, Vec<Diagnostic>>>,
     pub(crate) rng: Mutex<Prng>,
     pub(crate) journal: Mutex<Option<VaultJournal>>,
     /// Options used by [`Disguiser::apply`].
@@ -222,8 +225,8 @@ impl Disguiser {
             db,
             vaults,
             history,
-            specs: HashMap::new(),
-            warnings: HashMap::new(),
+            specs: RwLock::new(HashMap::new()),
+            warnings: RwLock::new(HashMap::new()),
             rng: Mutex::new(Prng::seed_from_u64(0xED4A)),
             journal: Mutex::new(None),
             options: ApplyOptions::default(),
@@ -366,27 +369,30 @@ impl Disguiser {
     /// Registration fails on analyzer errors ([`Error::AnalysisFailed`]);
     /// warnings are recorded and readable via
     /// [`Disguiser::registration_warnings`].
-    pub fn register(&mut self, spec: DisguiseSpec) -> Result<()> {
+    pub fn register(&self, spec: DisguiseSpec) -> Result<()> {
         validate_spec(&spec, &self.db)?;
-        let diags = analyze::analyze_spec(&spec, &self.db, &self.prior_specs(&spec.name));
+        let priors = self.prior_specs(&spec.name);
+        let prior_refs: Vec<&DisguiseSpec> = priors.iter().collect();
+        let diags = analyze::analyze_spec(&spec, &self.db, &prior_refs);
         if analyze::has_errors(&diags) {
             return Err(Error::AnalysisFailed {
                 disguise: spec.name.clone(),
                 report: analyze::render_report(&diags),
             });
         }
-        self.warnings.insert(spec.name.clone(), diags);
-        self.specs.insert(spec.name.clone(), spec);
+        write_unpoisoned(&self.warnings).insert(spec.name.clone(), diags);
+        write_unpoisoned(&self.specs).insert(spec.name.clone(), spec);
         Ok(())
     }
 
     /// Every registered spec except `excluding`, sorted by name so
     /// analyzer output is deterministic.
-    fn prior_specs(&self, excluding: &str) -> Vec<&DisguiseSpec> {
-        let mut priors: Vec<&DisguiseSpec> = self
-            .specs
+    fn prior_specs(&self, excluding: &str) -> Vec<DisguiseSpec> {
+        let specs = read_unpoisoned(&self.specs);
+        let mut priors: Vec<DisguiseSpec> = specs
             .values()
             .filter(|s| s.name != excluding)
+            .cloned()
             .collect();
         priors.sort_by(|a, b| a.name.cmp(&b.name));
         priors
@@ -396,17 +402,15 @@ impl Disguiser {
     /// current schema and the other registered specs.
     pub fn check(&self, name: &str) -> Result<Vec<Diagnostic>> {
         let spec = self.spec(name)?;
-        Ok(analyze::analyze_spec(
-            spec,
-            &self.db,
-            &self.prior_specs(name),
-        ))
+        let priors = self.prior_specs(name);
+        let prior_refs: Vec<&DisguiseSpec> = priors.iter().collect();
+        Ok(analyze::analyze_spec(&spec, &self.db, &prior_refs))
     }
 
     /// Runs [`Disguiser::check`] over every registered spec, sorted by
     /// name.
     pub fn check_all(&self) -> Vec<(String, Vec<Diagnostic>)> {
-        let mut names: Vec<String> = self.specs.keys().cloned().collect();
+        let mut names: Vec<String> = read_unpoisoned(&self.specs).keys().cloned().collect();
         names.sort();
         names
             .into_iter()
@@ -419,12 +423,15 @@ impl Disguiser {
 
     /// The warnings the analyzer recorded when `name` registered (empty
     /// if none, or if the spec is unknown).
-    pub fn registration_warnings(&self, name: &str) -> &[Diagnostic] {
-        self.warnings.get(name).map(Vec::as_slice).unwrap_or(&[])
+    pub fn registration_warnings(&self, name: &str) -> Vec<Diagnostic> {
+        read_unpoisoned(&self.warnings)
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Parses, validates, and registers a DSL spec; returns its name.
-    pub fn register_dsl(&mut self, dsl: &str) -> Result<String> {
+    pub fn register_dsl(&self, dsl: &str) -> Result<String> {
         let spec = crate::spec::parse_spec(dsl)?;
         let name = spec.name.clone();
         self.register(spec)?;
@@ -436,21 +443,24 @@ impl Disguiser {
     /// validate and the reason (paper §7: schema updates in a system that
     /// has already applied disguises).
     pub fn revalidate(&self) -> Vec<(String, Error)> {
+        let specs = read_unpoisoned(&self.specs);
         let mut failures = Vec::new();
-        let mut names: Vec<&String> = self.specs.keys().collect();
+        let mut names: Vec<&String> = specs.keys().collect();
         names.sort();
         for name in names {
-            if let Err(e) = validate_spec(&self.specs[name], &self.db) {
+            if let Err(e) = validate_spec(&specs[name], &self.db) {
                 failures.push((name.clone(), e));
             }
         }
         failures
     }
 
-    /// The registered spec with the given name.
-    pub fn spec(&self, name: &str) -> Result<&DisguiseSpec> {
-        self.specs
+    /// The registered spec with the given name (cloned out of the
+    /// interior-locked registry).
+    pub fn spec(&self, name: &str) -> Result<DisguiseSpec> {
+        read_unpoisoned(&self.specs)
             .get(name)
+            .cloned()
             .ok_or_else(|| Error::NoSuchDisguise(name.to_string()))
     }
 
@@ -487,7 +497,7 @@ impl Disguiser {
         user: Option<&Value>,
         opts: ApplyOptions,
     ) -> Result<DisguiseReport> {
-        let spec = self.spec(name)?.clone();
+        let spec = self.spec(name)?;
         let user_value = match (spec.user_scoped, user) {
             (true, Some(u)) if !u.is_null() => u.clone(),
             (true, _) => return Err(Error::MissingUser(name.to_string())),
@@ -863,11 +873,10 @@ impl Disguiser {
         if priors.is_empty() {
             return Ok(Vec::new());
         }
-        let prior_specs: Vec<&DisguiseSpec> = priors
-            .iter()
-            .filter_map(|e| self.specs.get(&e.name))
-            .collect();
         let plan = if optimize {
+            let specs = read_unpoisoned(&self.specs);
+            let prior_specs: Vec<&DisguiseSpec> =
+                priors.iter().filter_map(|e| specs.get(&e.name)).collect();
             plan_composition(spec, &prior_specs)
         } else {
             CompositionPlan::default()

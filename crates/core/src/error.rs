@@ -50,6 +50,9 @@ pub enum Error {
     Relational(edna_relational::Error),
     /// An error bubbled up from vault storage.
     Vault(edna_vault::Error),
+    /// A workspace-level failure (state files, lock file, sidecars); the
+    /// message is already formatted for the operator.
+    Workspace(String),
 }
 
 impl fmt::Display for Error {
@@ -113,6 +116,7 @@ impl fmt::Display for Error {
             ),
             Error::Relational(e) => write!(f, "relational error: {e}"),
             Error::Vault(e) => write!(f, "vault error: {e}"),
+            Error::Workspace(msg) => f.write_str(msg),
         }
     }
 }

@@ -112,7 +112,7 @@ mod tests {
             .unwrap();
         db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'a'), (2, 'b')")
             .unwrap();
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("Scrub")
                 .user_scoped()

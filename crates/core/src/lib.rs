@@ -39,6 +39,7 @@ pub mod placeholder;
 pub mod policy;
 pub mod reveal;
 pub mod spec;
+pub mod workspace;
 
 pub use analysis::{plan_composition, CompositionPlan};
 pub use analyze::{analyze_spec, render_report, Diagnostic, Location, Severity};
@@ -52,3 +53,4 @@ pub use spec::{
     parse_spec, spec_loc, Assertion, DisguiseSpec, DisguiseSpecBuilder, Generator, Modifier,
     PredicatedTransform, TableDisguise, Transformation,
 };
+pub use workspace::{parse_user, Workspace, SPEC_REGISTRY_TABLE};

@@ -190,7 +190,7 @@ mod tests {
         .unwrap();
         db.execute("INSERT INTO notes (body, created_at) VALUES ('old', 0), ('new', 900)")
             .unwrap();
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("TruncOld")
                 .irreversible()
@@ -263,7 +263,7 @@ mod tests {
         .unwrap();
         db.execute("INSERT INTO users (name, last_login) VALUES ('a', 0), ('b', 950)")
             .unwrap();
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("Expire")
                 .user_scoped()

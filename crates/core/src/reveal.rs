@@ -287,9 +287,13 @@ impl Disguiser {
         // revealed rows (§4.2).
         let reapply_span = self.span("reapply");
         for later in self.history.active_after(disguise_id)? {
-            let Some(spec) = self.specs.get(&later.name) else {
+            let Some(spec) = edna_util::sync::read_unpoisoned(&self.specs)
+                .get(&later.name)
+                .cloned()
+            else {
                 continue;
             };
+            let spec = &spec;
             let mut params = HashMap::new();
             if !later.user_id.is_null() {
                 params.insert("UID".to_string(), later.user_id.clone());

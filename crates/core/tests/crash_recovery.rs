@@ -78,7 +78,7 @@ fn double_crash_around_flush_loses_and_duplicates_nothing() {
     // Phase 1: the vault backend is down; two applications under the
     // Buffer policy spool their reveal functions into the journal.
     let (id1, id2) = {
-        let mut edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
+        let edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
         edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
         edna.register_dsl(SPEC).unwrap();
         let opts = ApplyOptions {
@@ -150,7 +150,7 @@ fn flush_is_idempotent_when_interrupted_repeatedly() {
     let journal_path = dir.path("pending.journal");
     let db = seed_db();
     let id = {
-        let mut edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
+        let edna = Disguiser::with_vaults(db.clone(), down_vaults(&dir));
         edna.set_vault_journal(VaultJournal::open(&journal_path).unwrap());
         edna.register_dsl(SPEC).unwrap();
         let opts = ApplyOptions {

@@ -61,7 +61,7 @@ fn scrub_spec() -> edna_core::DisguiseSpec {
 }
 
 fn disguiser(db: &Database) -> Disguiser {
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
     edna
 }
@@ -145,7 +145,7 @@ fn reveal_round_trips_exactly() {
 #[test]
 fn remove_records_cascaded_children() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     // Deleting a story cascades to its comments; reveal must restore both.
     edna.register(
         DisguiseSpecBuilder::new("DropStories")
@@ -168,7 +168,7 @@ fn remove_records_cascaded_children() {
 #[test]
 fn modify_and_reveal_restores_values() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("RedactComments")
             .user_scoped()
@@ -201,7 +201,7 @@ fn reveal_respects_later_disguises() {
     // The paper's §4.2 example: reversal of a user disguise must not
     // reintroduce data a later global anonymization transformed.
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("RedactMine")
             .user_scoped()
@@ -245,7 +245,7 @@ fn composition_finds_rows_a_prior_disguise_hid() {
     // user-scoped scrub. The scrub's predicates can't see Bea's rows
     // anymore; composition must consult the vault.
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
     edna.register(
         DisguiseSpecBuilder::new("AnonAll")
@@ -295,7 +295,7 @@ fn composition_finds_rows_a_prior_disguise_hid() {
 #[test]
 fn optimized_composition_skips_redundant_decorrelation() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
     edna.register(
         DisguiseSpecBuilder::new("AnonAll")
@@ -338,7 +338,7 @@ fn optimized_composition_skips_redundant_decorrelation() {
 
     // Fresh environment for the naive run.
     let db2 = forum_db();
-    let mut edna2 = Disguiser::new(db2.clone());
+    let edna2 = Disguiser::new(db2.clone());
     edna2.register(scrub_spec()).unwrap();
     edna2
         .register(
@@ -378,7 +378,7 @@ fn optimized_composition_skips_redundant_decorrelation() {
 #[test]
 fn assertion_failure_rolls_back_and_retry_mechanism_works() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
     edna.register(
         DisguiseSpecBuilder::new("AnonAll")
@@ -416,7 +416,7 @@ fn assertion_failure_rolls_back_and_retry_mechanism_works() {
 #[test]
 fn irreversible_disguise_records_nothing() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("HardDelete")
             .user_scoped()
@@ -439,7 +439,7 @@ fn irreversible_disguise_records_nothing() {
 fn expired_vault_entries_make_disguise_irreversible() {
     let db = forum_db();
     db.set_now(1000);
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("Expiring")
             .user_scoped()
@@ -464,7 +464,7 @@ fn expired_vault_entries_make_disguise_irreversible() {
 #[test]
 fn vault_tiers_route_by_scope() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
     edna.register(
         DisguiseSpecBuilder::new("AnonAll")
@@ -511,7 +511,7 @@ fn missing_user_and_unknown_disguise_errors() {
 #[test]
 fn dsl_round_trip_through_disguiser() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     let name = edna
         .register_dsl(
             r#"
@@ -562,7 +562,7 @@ fn policies_expire_and_decay() {
         .unwrap();
     db.execute("UPDATE users SET last_login = 900 WHERE id = 2")
         .unwrap();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("ExpireUser")
             .user_scoped()
@@ -648,7 +648,7 @@ fn stats_grow_linearly_with_objects() {
             ))
             .unwrap();
         }
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("D")
                 .user_scoped()
@@ -685,7 +685,7 @@ fn stats_grow_linearly_with_objects() {
 #[test]
 fn tracer_emits_disguise_phase_spans() {
     let db = forum_db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub_spec()).unwrap();
 
     let tracer = edna_core::Tracer::new(4096);

@@ -36,7 +36,7 @@ fn scrub() -> edna_core::DisguiseSpec {
 #[test]
 fn reveal_after_add_column_adapts_rows() {
     let db = db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub()).unwrap();
     let report = edna.apply("Scrub", Some(&Value::Int(1))).unwrap();
 
@@ -71,7 +71,7 @@ fn reveal_after_add_column_adapts_rows() {
 #[test]
 fn reveal_after_drop_column_discards_stale_values() {
     let db = db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("RedactAndDelete")
             .user_scoped()
@@ -109,7 +109,7 @@ fn reveal_after_drop_column_discards_stale_values() {
 #[test]
 fn revalidate_flags_broken_specs_after_evolution() {
     let db = db();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(scrub()).unwrap();
     assert!(edna.revalidate().is_empty(), "fresh schema validates");
 
@@ -153,7 +153,7 @@ fn disguise_after_schema_growth_covers_new_column() {
         .unwrap();
     db.execute("UPDATE users SET email = 'bea@uni.edu' WHERE id = 1")
         .unwrap();
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("ScrubEmail")
             .user_scoped()

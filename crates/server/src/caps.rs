@@ -1,0 +1,137 @@
+//! Per-user capability tokens gating reveal.
+//!
+//! When the server applies a reversible disguise it mints a random
+//! 32-byte capability and returns it to the caller — once. Only the
+//! SHA-256 of the capability is persisted (in the reserved `_edna_caps`
+//! table, so it rides the same WAL/snapshot durability as everything
+//! else); the server can *verify* a presented token but never recover
+//! one. Revealing over the wire requires presenting the capability
+//! minted at apply time, mirroring the decryption-capability design of
+//! the paper's external encrypted vaults (§4.2): the service operator
+//! alone cannot undo a user's disguise.
+//!
+//! The CLI, which runs with filesystem access to the state (and the
+//! vault passphrase), is trusted and does not go through this gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use edna_core::{Error, Result};
+use edna_relational::{Database, Value};
+use edna_util::{hex, sha256::sha256};
+
+/// Reserved table persisting capability hashes, keyed by disguise id.
+pub const CAPS_TABLE: &str = "_edna_caps";
+
+/// Creates the capability table if this state has never served.
+pub fn ensure_caps_table(db: &Database) -> Result<()> {
+    if !db.has_table(CAPS_TABLE) {
+        db.execute(&format!(
+            "CREATE TABLE {CAPS_TABLE} (id INT PRIMARY KEY AUTO_INCREMENT, \
+             disguise_id INT NOT NULL, cap_hash TEXT NOT NULL)"
+        ))?;
+    }
+    Ok(())
+}
+
+/// Mints a fresh 32-byte capability. Prefers the OS entropy pool;
+/// falls back to hashing clock, pid, and a process-wide counter, which
+/// is unpredictable enough for a gate that also sits behind the state
+/// lock and the network boundary.
+pub fn mint() -> [u8; 32] {
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        use std::io::Read;
+        let mut buf = [0u8; 32];
+        if f.read_exact(&mut buf).is_ok() {
+            return buf;
+        }
+    }
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let mut seed = Vec::with_capacity(32);
+    seed.extend_from_slice(&nanos.to_le_bytes());
+    seed.extend_from_slice(&std::process::id().to_le_bytes());
+    seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    sha256(&seed)
+}
+
+/// Stores the hash of `cap` for `disguise_id` and returns the token's
+/// wire form (hex).
+pub fn store(db: &Database, disguise_id: u64, cap: &[u8; 32]) -> Result<String> {
+    db.insert_row(
+        CAPS_TABLE,
+        &[
+            ("disguise_id", Value::Int(disguise_id as i64)),
+            ("cap_hash", Value::Text(hex::to_hex(&sha256(cap)))),
+        ],
+    )?;
+    Ok(hex::to_hex(cap))
+}
+
+/// Checks a presented hex capability against the stored hash for
+/// `disguise_id`. `Ok(())` means the caller may reveal; the error
+/// message distinguishes "never minted" from "wrong token" so operators
+/// can tell a CLI-applied disguise from an attack.
+pub fn verify(db: &Database, disguise_id: u64, presented_hex: &str) -> Result<()> {
+    let Some(presented) = hex::from_hex(presented_hex.trim()) else {
+        return Err(Error::Workspace("capability is not valid hex".to_string()));
+    };
+    let r = db.execute(&format!(
+        "SELECT cap_hash FROM {CAPS_TABLE} WHERE disguise_id = {disguise_id}"
+    ))?;
+    let Some(row) = r.rows.first() else {
+        return Err(Error::Workspace(format!(
+            "no capability registered for disguise {disguise_id}; it was not applied \
+             through this server — reveal it with the CLI instead"
+        )));
+    };
+    let stored = row[0].as_text()?;
+    if hex::to_hex(&sha256(&presented)) != stored {
+        return Err(Error::Workspace(format!(
+            "capability does not match disguise {disguise_id}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_store_verify_round_trip() {
+        let db = Database::new();
+        ensure_caps_table(&db).unwrap();
+        let cap = mint();
+        let token = store(&db, 7, &cap).unwrap();
+        assert_eq!(token.len(), 64);
+        verify(&db, 7, &token).unwrap();
+    }
+
+    #[test]
+    fn wrong_or_missing_capability_is_refused() {
+        let db = Database::new();
+        ensure_caps_table(&db).unwrap();
+        let cap = mint();
+        store(&db, 7, &cap).unwrap();
+        // Wrong token for a known disguise.
+        let wrong = hex::to_hex(&mint());
+        let err = verify(&db, 7, &wrong).unwrap_err().to_string();
+        assert!(err.contains("does not match"), "got: {err}");
+        // Unknown disguise: the error points at the CLI path.
+        let err = verify(&db, 8, &wrong).unwrap_err().to_string();
+        assert!(err.contains("no capability registered"), "got: {err}");
+        // Garbage encoding.
+        let err = verify(&db, 7, "zz-not-hex").unwrap_err().to_string();
+        assert!(err.contains("not valid hex"), "got: {err}");
+    }
+
+    #[test]
+    fn minted_caps_are_distinct() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a, b);
+    }
+}

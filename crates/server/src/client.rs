@@ -1,0 +1,104 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! Used by the server's own tests, the CLI soak harness, and anyone
+//! scripting against `edna serve` from Rust. One [`Client`] is one
+//! persistent connection; requests are answered in order.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::wire::{self, ReadOutcome};
+
+/// One connection to an `edna serve` instance.
+pub struct Client {
+    stream: TcpStream,
+    timeout: Duration,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects with the default 10 s timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit connect/read timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client {
+            stream,
+            timeout,
+            max_frame_bytes: 1 << 24,
+        })
+    }
+
+    fn io_err(msg: String) -> std::io::Error {
+        std::io::Error::other(msg)
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        match wire::read_frame(
+            &mut self.stream,
+            self.max_frame_bytes,
+            self.timeout,
+            self.timeout,
+        ) {
+            Ok(ReadOutcome::Frame(body)) => {
+                let text = std::str::from_utf8(&body)
+                    .map_err(|_| Self::io_err("response is not UTF-8".to_string()))?;
+                Response::parse(text).map_err(Self::io_err)
+            }
+            Ok(ReadOutcome::Eof) => Err(Self::io_err(
+                "server closed the connection before responding".to_string(),
+            )),
+            Ok(ReadOutcome::IdleTimeout) => {
+                Err(Self::io_err("timed out waiting for response".to_string()))
+            }
+            Err(e) => Err(Self::io_err(e.to_string())),
+        }
+    }
+
+    /// Runs one SQL statement.
+    pub fn sql(&mut self, stmt: &str) -> std::io::Result<Response> {
+        self.request(&Request::new("sql").body(stmt))
+    }
+
+    /// Applies a disguise; the response carries `id` and (for reversible
+    /// disguises) `cap` headers.
+    pub fn apply(&mut self, disguise: &str, user: Option<&str>) -> std::io::Result<Response> {
+        let mut req = Request::new("apply").arg(disguise);
+        if let Some(u) = user {
+            req = req.header("user", u);
+        }
+        self.request(&req)
+    }
+
+    /// Reveals a disguise by id, presenting its capability.
+    pub fn reveal(&mut self, id: u64, cap: &str) -> std::io::Result<Response> {
+        self.request(
+            &Request::new("reveal")
+                .header("id", id.to_string())
+                .header("cap", cap),
+        )
+    }
+
+    /// Fetches the live Prometheus metrics.
+    pub fn stats(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::new("stats"))
+    }
+
+    /// Liveness probe (lock-free on the server).
+    pub fn health(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::new("health"))
+    }
+
+    /// Asks the server to drain and checkpoint.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::new("shutdown"))
+    }
+}

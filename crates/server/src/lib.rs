@@ -1,0 +1,39 @@
+//! `edna-server`: the fault-hardened, multi-tenant disguise server.
+//!
+//! The paper frames Edna as an *external tool* applications call into
+//! (Figure 1). This crate gives that tool a network face: one process
+//! holds the workspace (and its `.lock`), and many clients — the
+//! application, operators, users' own agents — speak a small framed
+//! protocol to it. The design goals are the robustness ones:
+//!
+//! - **No trust in the network**: every message is a checksummed frame
+//!   ([`wire`]); corrupt, truncated, oversized, or dribbled input gets a
+//!   structured error, never a panic or a hung worker.
+//! - **No tenant starves another**: a bounded worker pool with explicit
+//!   `busy` backpressure ([`server`]), absolute per-frame deadlines, and
+//!   a service-level door that keeps long disguise applications from
+//!   blocking liveness probes ([`service`]).
+//! - **The operator is not omnipotent**: reversible applications mint
+//!   per-user capability tokens; reveal over the wire requires the
+//!   token, and the server stores only its hash ([`caps`]).
+//! - **Kill it anytime**: graceful drain (`shutdown` op) checkpoints on
+//!   the way out, and SIGKILL at any instant is recoverable because the
+//!   WAL made every committed statement durable first (`edna recover`).
+//!
+//! Entry points: [`service::Service::new`] wraps an open
+//! [`edna_core::Workspace`], [`server::start`] serves it, and
+//! [`client::Client`] talks to it.
+
+#![warn(missing_docs)]
+
+pub mod caps;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::Client;
+pub use proto::{code, Request, Response};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use service::Service;

@@ -1,0 +1,312 @@
+//! The request/response text format carried inside wire frames.
+//!
+//! A frame body is UTF-8 text shaped like a minimal internet message:
+//!
+//! ```text
+//! <op> [<argument>]
+//! <key>: <value>
+//! ...
+//! <blank line>
+//! <free-form body>
+//! ```
+//!
+//! Responses lead with `ok` or `err <code>` instead of an op. The format
+//! is deliberately line-based and dependency-free: a human can speak it
+//! with a hex editor, and a torn or hostile frame degrades into a parse
+//! error rather than undefined behavior (framing-level corruption is
+//! already rejected below this layer, see [`crate::wire`]).
+
+use edna_util::frame;
+
+/// Error codes a response can carry (`err <code>`), stable across
+/// releases so clients and scripts can dispatch on them.
+pub mod code {
+    /// Malformed request: unknown op, missing argument or header.
+    pub const USAGE: &str = "usage";
+    /// Admission queue full; retry later.
+    pub const BUSY: &str = "busy";
+    /// The request overran a read deadline mid-frame.
+    pub const TIMEOUT: &str = "timeout";
+    /// Framing violation: bad checksum, torn frame, non-UTF-8 body.
+    pub const FRAME: &str = "frame";
+    /// Frame length exceeds the server's `--max-frame-bytes`.
+    pub const TOO_LARGE: &str = "too-large";
+    /// Capability check failed: missing, unknown, or wrong token.
+    pub const DENIED: &str = "denied";
+    /// The operation itself failed (engine error, unknown disguise, ...).
+    pub const RUNTIME: &str = "runtime";
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The operation: `sql`, `apply`, `reveal`, `check`, `stats`,
+    /// `recover`, `health`, `ready`, `shutdown`.
+    pub op: String,
+    /// Optional positional argument on the op line (e.g. a disguise name).
+    pub arg: Option<String>,
+    /// `key: value` headers, in order.
+    pub headers: Vec<(String, String)>,
+    /// Free-form body after the blank line (e.g. a SQL statement).
+    pub body: String,
+}
+
+impl Request {
+    /// A request with no argument, headers, or body.
+    pub fn new(op: impl Into<String>) -> Request {
+        Request {
+            op: op.into(),
+            arg: None,
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Sets the positional argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Request {
+        self.arg = Some(arg.into());
+        self
+    }
+
+    /// Appends a header.
+    pub fn header(mut self, key: impl Into<String>, value: impl Into<String>) -> Request {
+        self.headers.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, body: impl Into<String>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// First value of header `key`, if present.
+    pub fn header_value(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders the request as protocol text.
+    pub fn render(&self) -> String {
+        let mut out = self.op.clone();
+        if let Some(arg) = &self.arg {
+            out.push(' ');
+            out.push_str(arg);
+        }
+        out.push('\n');
+        render_tail(out, &self.headers, &self.body)
+    }
+
+    /// Renders and frames the request for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        frame::encode_record(self.render().as_bytes())
+    }
+
+    /// Parses protocol text into a request.
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let (first, headers, body) = parse_message(text)?;
+        let mut words = first.splitn(2, ' ');
+        let op = words.next().unwrap_or("").trim();
+        if op.is_empty() {
+            return Err("empty request".to_string());
+        }
+        let arg = words
+            .next()
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty());
+        Ok(Request {
+            op: op.to_string(),
+            arg,
+            headers,
+            body,
+        })
+    }
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// `true` for `ok`, `false` for `err <code>`.
+    pub ok: bool,
+    /// The error code when `!ok` (one of [`code`]'s constants).
+    pub code: Option<String>,
+    /// `key: value` headers, in order.
+    pub headers: Vec<(String, String)>,
+    /// Free-form body (result table, error message, metrics text, ...).
+    pub body: String,
+}
+
+impl Response {
+    /// A successful response with the given body.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            ok: true,
+            code: None,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An error response with the given code and message body.
+    pub fn err(code: &str, msg: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            code: Some(code.to_string()),
+            headers: Vec::new(),
+            body: msg.into(),
+        }
+    }
+
+    /// Appends a header.
+    pub fn header(mut self, key: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((key.into(), value.into()));
+        self
+    }
+
+    /// First value of header `key`, if present.
+    pub fn header_value(&self, key: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders the response as protocol text.
+    pub fn render(&self) -> String {
+        let mut out = if self.ok {
+            "ok\n".to_string()
+        } else {
+            format!("err {}\n", self.code.as_deref().unwrap_or(code::RUNTIME))
+        };
+        out = render_tail(std::mem::take(&mut out), &self.headers, &self.body);
+        out
+    }
+
+    /// Renders and frames the response for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        frame::encode_record(self.render().as_bytes())
+    }
+
+    /// Parses protocol text into a response.
+    pub fn parse(text: &str) -> Result<Response, String> {
+        let (first, headers, body) = parse_message(text)?;
+        let (ok, code) = if first == "ok" {
+            (true, None)
+        } else if let Some(c) = first.strip_prefix("err ") {
+            (false, Some(c.trim().to_string()))
+        } else {
+            return Err(format!("bad status line {first:?}"));
+        };
+        Ok(Response {
+            ok,
+            code,
+            headers,
+            body,
+        })
+    }
+}
+
+fn render_tail(mut out: String, headers: &[(String, String)], body: &str) -> String {
+    for (k, v) in headers {
+        out.push_str(k);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(body);
+    out
+}
+
+/// Splits protocol text into (first line, headers, body).
+type Message = (String, Vec<(String, String)>, String);
+
+fn parse_message(text: &str) -> Result<Message, String> {
+    let mut lines = text.split('\n');
+    let first = lines
+        .next()
+        .unwrap_or("")
+        .trim_end_matches('\r')
+        .to_string();
+    if first.trim().is_empty() {
+        return Err("empty request".to_string());
+    }
+    let mut headers = Vec::new();
+    let mut consumed = first.len() + 1;
+    let mut found_blank = false;
+    for line in lines {
+        consumed += line.len() + 1;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            found_blank = true;
+            break;
+        }
+        let Some((k, v)) = line.split_once(':') else {
+            return Err(format!("bad header line {line:?}"));
+        };
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    let body = if found_blank && consumed <= text.len() {
+        text[consumed..].to_string()
+    } else {
+        String::new()
+    };
+    Ok((first, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::new("apply")
+            .arg("Gdpr")
+            .header("user", "19")
+            .body("extra context");
+        let parsed = Request::parse(&req.render()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.header_value("user"), Some("19"));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let ok = Response::ok("2 rows\n").header("rows", "2");
+        assert_eq!(Response::parse(&ok.render()).unwrap(), ok);
+        let err = Response::err(code::DENIED, "bad capability");
+        let parsed = Response::parse(&err.render()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.code.as_deref(), Some(code::DENIED));
+        assert_eq!(parsed.body, "bad capability");
+    }
+
+    #[test]
+    fn bodyless_request_parses() {
+        let req = Request::parse("health\n\n").unwrap();
+        assert_eq!(req.op, "health");
+        assert!(req.arg.is_none());
+        assert!(req.body.is_empty());
+        // Even without the trailing blank line.
+        let req = Request::parse("health").unwrap();
+        assert_eq!(req.op, "health");
+    }
+
+    #[test]
+    fn hostile_text_is_a_clean_error() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("\n\n").is_err());
+        assert!(Request::parse("sql\nnot a header\n\nbody").is_err());
+        assert!(Response::parse("neither ok nor err\n\n").is_err());
+    }
+
+    #[test]
+    fn multiline_sql_body_survives() {
+        let stmt = "SELECT *\nFROM users\nWHERE id = 1";
+        let req = Request::new("sql").body(stmt);
+        assert_eq!(Request::parse(&req.render()).unwrap().body, stmt);
+    }
+}

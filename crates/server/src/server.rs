@@ -1,0 +1,396 @@
+//! The threaded TCP server: bounded pool, admission control, drain.
+//!
+//! Shape:
+//!
+//! ```text
+//! acceptor ──try_send──▶ admission queue (bounded) ──▶ N workers
+//!    │ full?                                             │
+//!    └── err busy + close                                └── frame loop
+//! ```
+//!
+//! - The **acceptor** never blocks on a client: a full admission queue
+//!   answers `err busy` immediately and closes — explicit backpressure
+//!   instead of an unbounded thread-per-connection pile-up.
+//! - **Workers** own a connection until EOF, idle timeout, a framing
+//!   violation, or drain. Well-formed-but-wrong requests (bad op, bad
+//!   SQL) get an error response and the connection lives on; framing
+//!   violations (checksum, truncation, oversize, deadline) get a final
+//!   structured error and the connection is closed, because nothing
+//!   after a corrupt frame can be trusted.
+//! - **Graceful drain**: the `shutdown` op stops the acceptor, lets
+//!   in-flight requests finish, joins every worker, then checkpoints
+//!   the workspace so the WAL is folded into the snapshot. A SIGKILL at
+//!   any instant is still safe — not because of anything here, but
+//!   because every committed statement was already fsynced to the WAL
+//!   (see `edna recover`).
+//! - A **background checkpointer** (optional) periodically snapshots to
+//!   bound WAL growth during long serving runs.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use edna_util::sync::lock_unpoisoned;
+
+use crate::proto::{code, Request, Response};
+use crate::service::Service;
+use crate::wire;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker pool size = connections served concurrently.
+    pub max_conns: usize,
+    /// Admission queue depth beyond the in-service connections; a
+    /// connection arriving past this gets `err busy`.
+    pub queue_depth: usize,
+    /// Idle timeout *and* per-frame arrival budget.
+    pub conn_timeout: Duration,
+    /// Largest accepted frame body.
+    pub max_frame_bytes: usize,
+    /// Checkpoint the workspace this often while serving (bounds WAL
+    /// growth); `None` disables background checkpointing.
+    pub checkpoint_every: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 8,
+            queue_depth: 8,
+            conn_timeout: Duration::from_secs(10),
+            max_frame_bytes: 1 << 20,
+            checkpoint_every: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server; call
+/// [`ServerHandle::stop`] (or send the `shutdown` op) and then
+/// [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    svc: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a drain from inside the process, as the `shutdown` op
+    /// does from the wire.
+    pub fn stop(&self) {
+        trigger_shutdown(&self.svc, &self.shutdown, self.addr);
+    }
+
+    /// Waits for the drain to complete (workers joined, workspace
+    /// checkpointed).
+    pub fn wait(self) -> std::thread::Result<()> {
+        self.thread.join()
+    }
+
+    /// [`ServerHandle::stop`] + [`ServerHandle::wait`].
+    pub fn stop_and_wait(self) -> std::thread::Result<()> {
+        self.stop();
+        self.wait()
+    }
+}
+
+fn trigger_shutdown(svc: &Service, shutdown: &AtomicBool, addr: SocketAddr) {
+    svc.begin_drain();
+    shutdown.store(true, Ordering::SeqCst);
+    // Wake the acceptor out of its blocking accept; the connection is
+    // dropped on arrival.
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+/// Binds and serves in background threads, returning a handle.
+pub fn start(svc: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let svc = svc.clone();
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("edna-acceptor".to_string())
+            .spawn(move || run(listener, addr, svc, config, shutdown))?
+    };
+    Ok(ServerHandle {
+        addr,
+        svc,
+        shutdown,
+        thread,
+    })
+}
+
+fn run(
+    listener: TcpListener,
+    addr: SocketAddr,
+    svc: Arc<Service>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let metrics = svc.workspace().db.metrics();
+    let connections_total = metrics.counter(
+        "edna_server_connections_total",
+        "Connections admitted to the worker pool",
+    );
+    let busy_total = metrics.counter(
+        "edna_server_busy_rejections_total",
+        "Connections refused with `err busy` by admission control",
+    );
+    let frame_errors_total = metrics.counter(
+        "edna_server_frame_errors_total",
+        "Connections closed for framing violations",
+    );
+    let timeouts_total = metrics.counter(
+        "edna_server_timeouts_total",
+        "Connections closed for missing a frame deadline",
+    );
+
+    let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::new();
+    for i in 0..config.max_conns.max(1) {
+        let rx = rx.clone();
+        let svc = svc.clone();
+        let config = config.clone();
+        let shutdown = shutdown.clone();
+        let frame_errors_total = frame_errors_total.clone();
+        let timeouts_total = timeouts_total.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("edna-worker-{i}"))
+                .spawn(move || {
+                    worker_loop(
+                        &rx,
+                        &svc,
+                        &config,
+                        addr,
+                        &shutdown,
+                        &frame_errors_total,
+                        &timeouts_total,
+                    )
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    // Optional background checkpointer, bounding WAL growth.
+    let checkpointer = config.checkpoint_every.map(|every| {
+        let svc = svc.clone();
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("edna-checkpointer".to_string())
+            .spawn(move || {
+                let tick = Duration::from_millis(50);
+                'outer: loop {
+                    let mut waited = Duration::ZERO;
+                    while waited < every {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break 'outer;
+                        }
+                        std::thread::sleep(tick);
+                        waited += tick;
+                    }
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Err(e) = svc.checkpoint() {
+                        eprintln!("edna serve: background checkpoint failed: {e}");
+                    }
+                }
+            })
+            .expect("spawn checkpointer")
+    });
+
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Either the wake connection or a late client; if it
+                    // speaks, it finds out we are draining.
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &Response::err(code::SHUTTING_DOWN, "server is draining").encode(),
+                    );
+                    break;
+                }
+                match tx.try_send(stream) {
+                    Ok(()) => connections_total.inc(),
+                    Err(TrySendError::Full(mut stream)) => {
+                        busy_total.inc();
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        let _ = wire::write_frame(
+                            &mut stream,
+                            &Response::err(
+                                code::BUSY,
+                                "admission queue is full; retry with backoff",
+                            )
+                            .encode(),
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Drain: close the queue, let workers finish their connections.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    if let Some(c) = checkpointer {
+        let _ = c.join();
+    }
+    // Final checkpoint: fold the WAL into the snapshot so a clean
+    // shutdown leaves a clean state.
+    if let Err(e) = svc.checkpoint() {
+        eprintln!("edna serve: shutdown checkpoint failed: {e}");
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    svc: &Arc<Service>,
+    config: &ServerConfig,
+    addr: SocketAddr,
+    shutdown: &Arc<AtomicBool>,
+    frame_errors_total: &edna_obs::Counter,
+    timeouts_total: &edna_obs::Counter,
+) {
+    loop {
+        let stream = {
+            let guard = lock_unpoisoned(rx);
+            match guard.recv() {
+                Ok(s) => s,
+                Err(_) => break, // acceptor dropped the sender: drain.
+            }
+        };
+        serve_connection(
+            stream,
+            svc,
+            config,
+            addr,
+            shutdown,
+            frame_errors_total,
+            timeouts_total,
+        );
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    wire::write_frame(stream, &resp.encode()).is_ok()
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    svc: &Arc<Service>,
+    config: &ServerConfig,
+    addr: SocketAddr,
+    shutdown: &Arc<AtomicBool>,
+    frame_errors_total: &edna_obs::Counter,
+    timeouts_total: &edna_obs::Counter,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(config.conn_timeout));
+    loop {
+        if svc.draining() {
+            send(
+                &mut stream,
+                &Response::err(code::SHUTTING_DOWN, "server is draining"),
+            );
+            return;
+        }
+        let outcome = wire::read_frame(
+            &mut stream,
+            config.max_frame_bytes,
+            config.conn_timeout,
+            config.conn_timeout,
+        );
+        let body = match outcome {
+            Ok(wire::ReadOutcome::Frame(body)) => body,
+            Ok(wire::ReadOutcome::Eof) | Ok(wire::ReadOutcome::IdleTimeout) => return,
+            Err(wire::WireError::TooLarge(n)) => {
+                frame_errors_total.inc();
+                send(
+                    &mut stream,
+                    &Response::err(
+                        code::TOO_LARGE,
+                        format!(
+                            "frame of {n} bytes exceeds the {} byte limit",
+                            config.max_frame_bytes
+                        ),
+                    ),
+                );
+                return;
+            }
+            Err(wire::WireError::DeadlineExpired) => {
+                timeouts_total.inc();
+                send(
+                    &mut stream,
+                    &Response::err(code::TIMEOUT, "frame did not arrive within the deadline"),
+                );
+                return;
+            }
+            Err(e @ (wire::WireError::Torn | wire::WireError::BadChecksum)) => {
+                frame_errors_total.inc();
+                send(&mut stream, &Response::err(code::FRAME, e.to_string()));
+                return;
+            }
+            Err(wire::WireError::Io(_)) => return,
+        };
+        // From here on the frame is intact; request-level problems keep
+        // the connection alive.
+        let resp = match std::str::from_utf8(&body) {
+            Err(_) => {
+                frame_errors_total.inc();
+                send(
+                    &mut stream,
+                    &Response::err(code::FRAME, "request body is not UTF-8"),
+                );
+                return;
+            }
+            Ok(text) => match Request::parse(text) {
+                Err(e) => Response::err(code::USAGE, e),
+                Ok(req) if req.op == "shutdown" => {
+                    // Flip the drain flag before acknowledging, so by the
+                    // time the caller sees `ok` no new work is accepted.
+                    trigger_shutdown(svc, shutdown, addr);
+                    send(&mut stream, &Response::ok("draining\n"));
+                    return;
+                }
+                // A frame that arrives after drain began is new work,
+                // not in-flight work: refuse it and close.
+                Ok(_) if svc.draining() => {
+                    send(
+                        &mut stream,
+                        &Response::err(code::SHUTTING_DOWN, "server is draining"),
+                    );
+                    return;
+                }
+                Ok(req) => svc.handle(&req),
+            },
+        };
+        if !send(&mut stream, &resp) {
+            return;
+        }
+    }
+}

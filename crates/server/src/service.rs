@@ -1,0 +1,517 @@
+//! The shared service: one workspace, many concurrent requests.
+//!
+//! [`Service`] wraps the single open [`Workspace`] in the shape worker
+//! threads need: every operation takes `&self`, and a service-level
+//! reader/writer "door" serializes the operations that cannot overlap.
+//!
+//! The engine has exactly one transaction slot (an explicit `BEGIN`
+//! claims the whole database), so the door maps operations onto it:
+//!
+//! - `sql`, `check`, `stats`, `recover` take the door's **read** side —
+//!   plain statements commit atomically under the engine's own
+//!   per-statement write lock and may interleave freely;
+//! - `apply` and `reveal` run inside an explicit engine transaction and
+//!   take the door's **write** side, as does the background
+//!   checkpointer (a snapshot taken mid-disguise would be consistent
+//!   but operationally confusing);
+//! - wire-level `BEGIN`/`COMMIT`/`ROLLBACK` is rejected outright: a
+//!   remote client holding the global transaction slot open would be a
+//!   denial of service on every other tenant.
+//!
+//! `health` takes no lock at all — it must answer even while a long
+//! apply holds the door, because that is precisely when an operator
+//! probes liveness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use edna_core::{render_report, ApplyOptions, Workspace};
+use edna_obs::{Counter, Histogram};
+use edna_util::sync::{read_unpoisoned, write_unpoisoned};
+
+use crate::caps;
+use crate::proto::{code, Request, Response};
+
+/// Statements that would claim the engine's single explicit-transaction
+/// slot from the wire.
+fn is_transaction_control(sql: &str) -> bool {
+    let first = sql
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    matches!(
+        first.as_str(),
+        "BEGIN" | "COMMIT" | "ROLLBACK" | "START" | "SAVEPOINT" | "RELEASE"
+    )
+}
+
+/// The request-handling core, shared across workers behind an `Arc`.
+pub struct Service {
+    ws: Workspace,
+    /// The operation door: read = interleavable ops, write = ops that
+    /// own the engine's transaction slot.
+    door: RwLock<()>,
+    draining: AtomicBool,
+    requests_total: Arc<Counter>,
+    denied_total: Arc<Counter>,
+    caps_minted_total: Arc<Counter>,
+    checkpoints_total: Arc<Counter>,
+    request_us: Arc<Histogram>,
+}
+
+impl Service {
+    /// Wraps an open workspace, registering the server's metrics in the
+    /// workspace's registry (so `stats` and the metrics sidecar carry
+    /// them alongside the engine counters).
+    pub fn new(ws: Workspace) -> edna_core::Result<Service> {
+        caps::ensure_caps_table(&ws.db)?;
+        let m = ws.db.metrics();
+        Ok(Service {
+            requests_total: m.counter(
+                "edna_server_requests_total",
+                "Requests handled by the disguise server",
+            ),
+            denied_total: m.counter(
+                "edna_server_denied_total",
+                "Requests refused by the capability gate",
+            ),
+            caps_minted_total: m.counter(
+                "edna_server_caps_minted_total",
+                "Reveal capabilities minted at apply time",
+            ),
+            checkpoints_total: m.counter(
+                "edna_server_checkpoints_total",
+                "Background and shutdown checkpoints taken",
+            ),
+            request_us: m.histogram(
+                "edna_server_request_us",
+                "Request handling latency",
+                &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+            ),
+            ws,
+            door: RwLock::new(()),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The wrapped workspace (used by the server for the final save).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+
+    /// Marks the service as draining: `ready` starts failing and
+    /// workers stop taking new frames.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoints the workspace (snapshot + WAL truncation), waiting
+    /// out any in-flight apply/reveal first.
+    pub fn checkpoint(&self) -> edna_core::Result<()> {
+        let _door = write_unpoisoned(&self.door);
+        self.ws.save()?;
+        self.checkpoints_total.inc();
+        Ok(())
+    }
+
+    /// Handles one parsed request. Never panics on hostile input; every
+    /// failure maps to a structured error response.
+    pub fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        self.requests_total.inc();
+        let resp = self.dispatch(req);
+        self.request_us.observe(start.elapsed());
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.op.as_str() {
+            "health" => Response::ok("ok\n"),
+            "ready" => {
+                if self.draining() {
+                    Response::err(code::SHUTTING_DOWN, "server is draining")
+                } else {
+                    Response::ok("ready\n")
+                }
+            }
+            "sql" => self.op_sql(req),
+            "apply" => self.op_apply(req),
+            "reveal" => self.op_reveal(req),
+            "check" => self.op_check(req),
+            "stats" => {
+                let _door = read_unpoisoned(&self.door);
+                Response::ok(self.ws.db.metrics().render_prometheus())
+            }
+            "recover" => self.op_recover(req),
+            // `shutdown` is intercepted by the connection loop (it has
+            // to stop the accept loop, not just answer); seeing it here
+            // means a non-server caller routed it manually.
+            "shutdown" => Response::err(code::USAGE, "shutdown is handled at the connection layer"),
+            other => Response::err(code::USAGE, format!("unknown op {other:?}")),
+        }
+    }
+
+    fn op_sql(&self, req: &Request) -> Response {
+        let stmt = req.body.trim();
+        if stmt.is_empty() {
+            return Response::err(code::USAGE, "sql needs a statement in the body");
+        }
+        if is_transaction_control(stmt) {
+            return Response::err(
+                code::USAGE,
+                "explicit transactions are not available over the wire (the engine has a \
+                 single transaction slot); each statement commits atomically on its own",
+            );
+        }
+        let _door = read_unpoisoned(&self.door);
+        match self.ws.db.execute(stmt) {
+            Ok(r) => {
+                let mut body = String::new();
+                if !r.columns.is_empty() {
+                    body.push_str(&r.columns.join("\t"));
+                    body.push('\n');
+                    for row in &r.rows {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        body.push_str(&cells.join("\t"));
+                        body.push('\n');
+                    }
+                }
+                let mut resp = Response::ok(body)
+                    .header("rows", r.rows.len().to_string())
+                    .header("affected", r.affected.to_string());
+                if let Some(id) = r.last_insert_id {
+                    resp = resp.header("last-insert-id", id.to_string());
+                }
+                resp
+            }
+            Err(e) => Response::err(code::RUNTIME, e.to_string()),
+        }
+    }
+
+    fn op_apply(&self, req: &Request) -> Response {
+        let Some(name) = req.arg.as_deref() else {
+            return Response::err(code::USAGE, "apply needs a disguise name: `apply <name>`");
+        };
+        let user = req.header_value("user").map(edna_core::parse_user);
+        let opts = ApplyOptions {
+            compose: req.header_value("compose") != Some("false"),
+            optimize: req.header_value("optimize") != Some("false"),
+            use_transaction: true,
+            ..ApplyOptions::default()
+        };
+        let _door = write_unpoisoned(&self.door);
+        let reversible = match self.ws.edna.spec(name) {
+            Ok(spec) => spec.reversible,
+            Err(e) => return Response::err(code::RUNTIME, e.to_string()),
+        };
+        match self.ws.edna.apply_with_options(name, user.as_ref(), opts) {
+            Ok(report) => {
+                let mut resp = Response::ok(format!(
+                    "applied {} (id {}): removed {}, decorrelated {}, modified {}, \
+                     placeholders {}, recorrelated {}\n",
+                    report.name,
+                    report.disguise_id,
+                    report.rows_removed,
+                    report.rows_decorrelated,
+                    report.rows_modified,
+                    report.placeholders_created,
+                    report.rows_recorrelated,
+                ))
+                .header("id", report.disguise_id.to_string());
+                // A reversible application gets a one-time reveal
+                // capability; only its hash survives in the database.
+                if reversible && report.disguise_id != 0 {
+                    match caps::store(&self.ws.db, report.disguise_id, &caps::mint()) {
+                        Ok(token) => {
+                            self.caps_minted_total.inc();
+                            resp = resp.header("cap", token);
+                        }
+                        Err(e) => {
+                            return Response::err(
+                                code::RUNTIME,
+                                format!("applied but could not mint capability: {e}"),
+                            )
+                        }
+                    }
+                }
+                resp
+            }
+            Err(e) => Response::err(code::RUNTIME, e.to_string()),
+        }
+    }
+
+    fn op_reveal(&self, req: &Request) -> Response {
+        let Some(id) = req.header_value("id") else {
+            return Response::err(
+                code::USAGE,
+                "reveal needs an `id` header (the id returned by apply)",
+            );
+        };
+        let Ok(id) = id.trim().parse::<u64>() else {
+            return Response::err(code::USAGE, format!("bad disguise id {id:?}"));
+        };
+        let Some(cap) = req.header_value("cap") else {
+            return Response::err(
+                code::DENIED,
+                "reveal needs the `cap` header minted when the disguise was applied",
+            );
+        };
+        let _door = write_unpoisoned(&self.door);
+        if let Err(e) = caps::verify(&self.ws.db, id, cap) {
+            self.denied_total.inc();
+            return Response::err(code::DENIED, e.to_string());
+        }
+        match self.ws.edna.reveal(id) {
+            Ok(report) => Response::ok(format!(
+                "revealed {} (id {}): reinserted {}, restored {}, placeholders removed {}\n",
+                report.name,
+                report.disguise_id,
+                report.rows_reinserted,
+                report.rows_restored,
+                report.placeholders_removed,
+            ))
+            .header("id", report.disguise_id.to_string()),
+            Err(e) => Response::err(code::RUNTIME, e.to_string()),
+        }
+    }
+
+    fn op_check(&self, req: &Request) -> Response {
+        let _door = read_unpoisoned(&self.door);
+        let reports = match req.arg.as_deref() {
+            Some(name) => match self.ws.edna.check(name) {
+                Ok(diags) => vec![(name.to_string(), diags)],
+                Err(e) => return Response::err(code::RUNTIME, e.to_string()),
+            },
+            None => self.ws.edna.check_all(),
+        };
+        let mut body = String::new();
+        let mut errors = 0usize;
+        let mut warnings = 0usize;
+        for (name, diags) in &reports {
+            if diags.is_empty() {
+                body.push_str(&format!("{name}: ok\n"));
+                continue;
+            }
+            errors += diags
+                .iter()
+                .filter(|d| d.severity == edna_core::Severity::Error)
+                .count();
+            warnings += diags
+                .iter()
+                .filter(|d| d.severity == edna_core::Severity::Warning)
+                .count();
+            body.push_str(&format!("{name}:\n"));
+            body.push_str(&render_report(diags));
+        }
+        Response::ok(body)
+            .header("errors", errors.to_string())
+            .header("warnings", warnings.to_string())
+    }
+
+    fn op_recover(&self, req: &Request) -> Response {
+        let _door = read_unpoisoned(&self.door);
+        let r = &self.ws.last_recovery;
+        let mut body = format!(
+            "scanned {} WAL frame(s), replayed {}, truncated {} torn byte(s)\n",
+            r.frames_scanned, r.frames_replayed, r.torn_bytes
+        );
+        for id in &self.ws.last_resolution.completed {
+            body.push_str(&format!("disguise {id}: intent resolved as completed\n"));
+        }
+        for id in &self.ws.last_resolution.undone {
+            body.push_str(&format!("disguise {id}: half-applied, rolled back\n"));
+        }
+        if req.header_value("verify") == Some("true") {
+            let problems = self.ws.db.verify_integrity();
+            if !problems.is_empty() {
+                for p in &problems {
+                    body.push_str(&format!("integrity: {p}\n"));
+                }
+                return Response::err(code::RUNTIME, body)
+                    .header("integrity-problems", problems.len().to_string());
+            }
+            body.push_str("integrity: ok\n");
+        }
+        Response::ok(body)
+    }
+}
+
+// The whole point of the service shape: one instance, many threads.
+#[allow(dead_code)]
+fn assert_service_is_shareable() {
+    fn shareable<T: Send + Sync>() {}
+    shareable::<Service>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::{Path, PathBuf};
+
+    fn temp_state(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("edna_svc_test_{tag}_{}", std::process::id()));
+        cleanup(&p);
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        for suffix in [".tmp", ".metrics", ".metrics.tmp", ".wal", ".lock"] {
+            let _ = std::fs::remove_file(edna_core::workspace::sidecar(p, suffix));
+        }
+        let _ = std::fs::remove_dir_all(edna_core::workspace::sidecar(p, ".vault"));
+    }
+
+    const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+    fn service(tag: &str) -> (Service, PathBuf) {
+        let state = temp_state(tag);
+        let ws = Workspace::init(&state, None).unwrap();
+        ws.db
+            .execute("CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)")
+            .unwrap();
+        ws.db
+            .execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")
+            .unwrap();
+        ws.register_spec(SPEC).unwrap();
+        (Service::new(ws).unwrap(), state)
+    }
+
+    #[test]
+    fn sql_apply_reveal_through_the_service() {
+        let (svc, state) = service("lifecycle");
+        let r = svc.handle(&Request::new("sql").body("SELECT name FROM users ORDER BY id"));
+        assert!(r.ok, "{}", r.body);
+        assert_eq!(r.header_value("rows"), Some("2"));
+        assert!(r.body.contains("bea"));
+
+        let r = svc.handle(&Request::new("apply").arg("Gdpr").header("user", "1"));
+        assert!(r.ok, "{}", r.body);
+        let id = r.header_value("id").unwrap().to_string();
+        let cap = r
+            .header_value("cap")
+            .expect("reversible apply mints a cap")
+            .to_string();
+
+        // Wrong capability is denied and denies are counted.
+        let r = svc.handle(
+            &Request::new("reveal")
+                .header("id", &id)
+                .header("cap", "00".repeat(32)),
+        );
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some(code::DENIED));
+
+        let r = svc.handle(&Request::new("reveal").header("id", &id).header("cap", cap));
+        assert!(r.ok, "{}", r.body);
+        let r = svc.handle(&Request::new("sql").body("SELECT name FROM users ORDER BY id"));
+        assert_eq!(r.header_value("rows"), Some("2"));
+
+        let r = svc.handle(&Request::new("stats"));
+        assert!(r.ok);
+        assert!(r.body.contains("edna_server_requests_total"), "{}", r.body);
+        assert!(r.body.contains("edna_server_denied_total 1"), "{}", r.body);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn wire_transactions_are_rejected() {
+        let (svc, state) = service("txn");
+        for stmt in [
+            "BEGIN",
+            "begin",
+            "COMMIT",
+            "ROLLBACK",
+            "  Start Transaction",
+        ] {
+            let r = svc.handle(&Request::new("sql").body(stmt));
+            assert!(!r.ok, "{stmt} should be rejected");
+            assert_eq!(r.code.as_deref(), Some(code::USAGE), "{stmt}");
+        }
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn unknown_ops_and_empty_sql_are_usage_errors() {
+        let (svc, state) = service("usage");
+        assert_eq!(
+            svc.handle(&Request::new("frobnicate")).code.as_deref(),
+            Some(code::USAGE)
+        );
+        assert_eq!(
+            svc.handle(&Request::new("sql")).code.as_deref(),
+            Some(code::USAGE)
+        );
+        assert_eq!(
+            svc.handle(&Request::new("apply")).code.as_deref(),
+            Some(code::USAGE)
+        );
+        assert_eq!(
+            svc.handle(&Request::new("reveal").header("id", "not-a-number"))
+                .code
+                .as_deref(),
+            Some(code::USAGE)
+        );
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn ready_flips_on_drain_but_health_stays_up() {
+        let (svc, state) = service("drain");
+        assert!(svc.handle(&Request::new("ready")).ok);
+        svc.begin_drain();
+        let r = svc.handle(&Request::new("ready"));
+        assert_eq!(r.code.as_deref(), Some(code::SHUTTING_DOWN));
+        assert!(svc.handle(&Request::new("health")).ok);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn recover_op_reports_and_verifies() {
+        let (svc, state) = service("recover");
+        let r = svc.handle(&Request::new("recover").header("verify", "true"));
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("integrity: ok"), "{}", r.body);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn concurrent_sql_and_apply_do_not_interleave_torn_state() {
+        let (svc, state) = service("concurrent");
+        let svc = std::sync::Arc::new(svc);
+        std::thread::scope(|s| {
+            let applier = {
+                let svc = svc.clone();
+                s.spawn(move || {
+                    let r = svc.handle(&Request::new("apply").arg("Gdpr").header("user", "1"));
+                    assert!(r.ok, "{}", r.body);
+                })
+            };
+            for _ in 0..20 {
+                let r = svc.handle(&Request::new("sql").body("SELECT COUNT(*) FROM users"));
+                assert!(r.ok, "{}", r.body);
+            }
+            applier.join().unwrap();
+        });
+        drop(svc);
+        cleanup(&state);
+    }
+}

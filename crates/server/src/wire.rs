@@ -1,0 +1,257 @@
+//! Framed, deadline-bounded socket I/O.
+//!
+//! Every message on the wire is one record in the same checksummed
+//! framing the WAL and vault files use ([`edna_util::frame`]):
+//! `[u32 LE length][body][32-byte SHA-256]`. Reading is bounded twice
+//! over:
+//!
+//! - an **idle timeout** while waiting for a frame to start — a
+//!   connection that goes quiet is closed, it does not pin a worker;
+//! - a **frame budget** that starts at the first byte — once a frame has
+//!   begun, the whole thing must arrive before the budget expires. A
+//!   slowloris client dribbling one byte per second hits this deadline
+//!   no matter how regularly it feeds bytes, because the deadline is
+//!   absolute, not a per-read inactivity window.
+//!
+//! Oversized length prefixes are rejected *before* the body is read, so
+//! a hostile 4 GiB length never allocates 4 GiB.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use edna_util::sha256::{sha256, DIGEST_LEN};
+
+/// How a bounded frame read ended, when it didn't produce a frame error.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, checksum-valid frame body.
+    Frame(Vec<u8>),
+    /// Clean EOF between frames: the peer hung up.
+    Eof,
+    /// No frame started within the idle timeout.
+    IdleTimeout,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum WireError {
+    /// The length prefix exceeds the configured maximum.
+    TooLarge(u32),
+    /// The peer closed mid-frame.
+    Torn,
+    /// The body does not match its checksum.
+    BadChecksum,
+    /// The frame budget expired mid-frame (slowloris, stall).
+    DeadlineExpired,
+    /// Some other socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds the limit"),
+            WireError::Torn => f.write_str("connection closed mid-frame"),
+            WireError::BadChecksum => f.write_str("frame checksum mismatch"),
+            WireError::DeadlineExpired => f.write_str("frame did not arrive within the deadline"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+fn timed_out(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads exactly `buf.len()` bytes with an absolute deadline, adjusting
+/// the socket read timeout before every `read` so a dribbling peer
+/// cannot reset the clock. Returns the number of bytes read before an
+/// early EOF (`Ok(n) < buf.len()`), the full length on success.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(WireError::DeadlineExpired);
+        }
+        stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(WireError::Io)?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if timed_out(&e) => return Err(WireError::DeadlineExpired),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame. Waits up to `idle` for the first byte; once the
+/// frame has started, the whole frame must complete within `budget`.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    max_bytes: usize,
+    idle: Duration,
+    budget: Duration,
+) -> Result<ReadOutcome, WireError> {
+    // Wait for the first byte of the length prefix under the idle timeout.
+    let mut len_buf = [0u8; 4];
+    stream
+        .set_read_timeout(Some(idle.max(Duration::from_millis(1))))
+        .map_err(WireError::Io)?;
+    let first = loop {
+        match stream.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(ReadOutcome::Eof),
+            Ok(_) => break len_buf[0],
+            Err(e) if timed_out(&e) => return Ok(ReadOutcome::IdleTimeout),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    };
+    len_buf[0] = first;
+    // The frame has started: everything else races the absolute budget.
+    let deadline = Instant::now() + budget;
+    if read_exact_deadline(stream, &mut len_buf[1..], deadline)? < 3 {
+        return Err(WireError::Torn);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > max_bytes {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut rest = vec![0u8; len as usize + DIGEST_LEN];
+    if read_exact_deadline(stream, &mut rest, deadline)? < rest.len() {
+        return Err(WireError::Torn);
+    }
+    let body = &rest[..len as usize];
+    if sha256(body) != rest[len as usize..] {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(ReadOutcome::Frame(body.to_vec()))
+}
+
+/// Writes one pre-framed message (see `encode` on the proto types).
+pub fn write_frame(stream: &mut TcpStream, framed: &[u8]) -> std::io::Result<()> {
+    stream.write_all(framed)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edna_util::frame::encode_record;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    const IDLE: Duration = Duration::from_millis(400);
+    const BUDGET: Duration = Duration::from_millis(400);
+
+    #[test]
+    fn frame_round_trips() {
+        let (mut client, mut server) = pair();
+        write_frame(&mut client, &encode_record(b"hello frames")).unwrap();
+        match read_frame(&mut server, 1 << 20, IDLE, BUDGET).unwrap() {
+            ReadOutcome::Frame(body) => assert_eq!(body, b"hello frames"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let (mut client, mut server) = pair();
+        let mut hostile = u32::MAX.to_le_bytes().to_vec();
+        hostile.extend_from_slice(b"tail");
+        client.write_all(&hostile).unwrap();
+        match read_frame(&mut server, 1024, IDLE, BUDGET) {
+            Err(WireError::TooLarge(n)) => assert_eq!(n, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_detected() {
+        let (mut client, mut server) = pair();
+        let framed = encode_record(b"will be cut short");
+        client.write_all(&framed[..framed.len() / 2]).unwrap();
+        drop(client);
+        match read_frame(&mut server, 1 << 20, IDLE, BUDGET) {
+            Err(WireError::Torn) => {}
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_flip_is_detected() {
+        let (mut client, mut server) = pair();
+        let mut framed = encode_record(b"checksummed");
+        let last = framed.len() - 1;
+        framed[last] ^= 0xFF;
+        client.write_all(&framed).unwrap();
+        match read_frame(&mut server, 1 << 20, IDLE, BUDGET) {
+            Err(WireError::BadChecksum) => {}
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_peer_times_out_quietly() {
+        let (_client, mut server) = pair();
+        match read_frame(&mut server, 1 << 20, Duration::from_millis(50), BUDGET).unwrap() {
+            ReadOutcome::IdleTimeout => {}
+            other => panic!("expected IdleTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dribbling_slowloris_hits_the_absolute_deadline() {
+        let (mut client, mut server) = pair();
+        let framed = encode_record(&[7u8; 64]);
+        let feeder = std::thread::spawn(move || {
+            // One byte every 20 ms: each read succeeds well within any
+            // per-read timeout, but the absolute budget still expires.
+            for chunk in framed.chunks(1).take(60) {
+                if client.write_all(chunk).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let t0 = Instant::now();
+        let got = read_frame(&mut server, 1 << 20, IDLE, Duration::from_millis(200));
+        assert!(
+            matches!(got, Err(WireError::DeadlineExpired)),
+            "expected DeadlineExpired, got {got:?}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline was absolute"
+        );
+        feeder.join().unwrap();
+    }
+
+    #[test]
+    fn zero_length_frame_is_a_valid_empty_body() {
+        let (mut client, mut server) = pair();
+        write_frame(&mut client, &encode_record(b"")).unwrap();
+        match read_frame(&mut server, 1 << 20, IDLE, BUDGET).unwrap() {
+            ReadOutcome::Frame(body) => assert!(body.is_empty()),
+            other => panic!("expected empty frame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Hostile wire-input tests: the server must answer garbage with
+//! structured errors, never panic, and never let one bad client block a
+//! well-behaved one.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use edna_core::Workspace;
+use edna_server::{server, Client, ServerConfig, ServerHandle, Service};
+use edna_util::frame::encode_record;
+use edna_util::sha256::DIGEST_LEN;
+
+fn temp_state(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("edna_hostile_test_{tag}_{}", std::process::id()));
+    cleanup(&p);
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    for suffix in [".tmp", ".metrics", ".metrics.tmp", ".wal", ".lock"] {
+        let _ = std::fs::remove_file(edna_core::workspace::sidecar(p, suffix));
+    }
+    let _ = std::fs::remove_dir_all(edna_core::workspace::sidecar(p, ".vault"));
+}
+
+fn start_server(tag: &str, config: ServerConfig) -> (ServerHandle, PathBuf) {
+    let state = temp_state(tag);
+    let ws = Workspace::init(&state, None).unwrap();
+    ws.db
+        .execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, x INT)")
+        .unwrap();
+    ws.db.execute("INSERT INTO t (x) VALUES (1), (2)").unwrap();
+    let svc = Arc::new(Service::new(ws).unwrap());
+    let handle = server::start(svc, config).unwrap();
+    (handle, state)
+}
+
+/// Reads one response frame off a raw socket (no client conveniences).
+fn read_raw_response(stream: &mut TcpStream) -> Option<String> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut rest = vec![0u8; len + DIGEST_LEN];
+    stream.read_exact(&mut rest).ok()?;
+    String::from_utf8(rest[..len].to_vec()).ok()
+}
+
+#[test]
+fn truncated_frame_gets_a_frame_error_and_the_server_survives() {
+    let (handle, state) = start_server("truncated", ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut hostile = TcpStream::connect(addr).unwrap();
+    let framed = encode_record(b"health\n\n");
+    hostile.write_all(&framed[..framed.len() / 2]).unwrap();
+    // Half a frame, then hang up mid-frame.
+    hostile.shutdown(std::net::Shutdown::Write).unwrap();
+    let resp = read_raw_response(&mut hostile);
+    assert!(
+        resp.as_deref().unwrap_or("").starts_with("err frame"),
+        "got: {resp:?}"
+    );
+
+    // The server is fine: a fresh well-behaved connection works.
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c.health().unwrap().ok);
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn oversized_frame_is_refused_before_the_body_is_read() {
+    let (handle, state) = start_server(
+        "oversized",
+        ServerConfig {
+            max_frame_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let mut hostile = TcpStream::connect(addr).unwrap();
+    // A 3 GiB length prefix; the body never needs to exist for the
+    // server to say no.
+    hostile.write_all(&(3u32 << 30).to_le_bytes()).unwrap();
+    let resp = read_raw_response(&mut hostile).unwrap();
+    assert!(resp.starts_with("err too-large"), "got: {resp}");
+
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c.health().unwrap().ok);
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn checksum_failure_is_refused_and_the_connection_closed() {
+    let (handle, state) = start_server("checksum", ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut hostile = TcpStream::connect(addr).unwrap();
+    let mut framed = encode_record(b"health\n\n");
+    let last = framed.len() - 1;
+    framed[last] ^= 0xFF;
+    hostile.write_all(&framed).unwrap();
+    let resp = read_raw_response(&mut hostile).unwrap();
+    assert!(resp.starts_with("err frame"), "got: {resp}");
+    // Closed: the next read sees EOF.
+    let mut buf = [0u8; 1];
+    assert_eq!(hostile.read(&mut buf).unwrap_or(0), 0);
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn zero_length_frame_is_a_usage_error_and_the_connection_lives() {
+    let (handle, state) = start_server("zerolen", ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&encode_record(b"")).unwrap();
+    let resp = read_raw_response(&mut stream).unwrap();
+    assert!(resp.starts_with("err usage"), "got: {resp}");
+
+    // The framing was valid, so the connection stays usable.
+    stream.write_all(&encode_record(b"health\n\n")).unwrap();
+    let resp = read_raw_response(&mut stream).unwrap();
+    assert!(resp.starts_with("ok"), "got: {resp}");
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn non_utf8_body_is_a_frame_error() {
+    let (handle, state) = start_server("nonutf8", ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(&encode_record(&[0xFF, 0xFE, 0x80, 0x00]))
+        .unwrap();
+    let resp = read_raw_response(&mut stream).unwrap();
+    assert!(resp.starts_with("err frame"), "got: {resp}");
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn slowloris_and_malformed_clients_cannot_block_a_well_behaved_one() {
+    // Two hostile connections pin at most two workers; with a pool of
+    // four, the well-behaved client's latency stays bounded by its own
+    // work, not by the hostile clients' 5-second connection timeout.
+    let config = ServerConfig {
+        max_conns: 4,
+        queue_depth: 4,
+        conn_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let (handle, state) = start_server("slowloris", config);
+    let addr = handle.addr();
+
+    // Hostile client 1: starts a frame, then stalls half-written.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    let framed = encode_record(b"sql\n\nSELECT * FROM t");
+    stalled.write_all(&framed[..3]).unwrap();
+
+    // Hostile client 2: dribbles one byte every 50 ms.
+    let dribbler = std::thread::spawn(move || {
+        let mut s = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let framed = encode_record(&vec![b'x'; 4096]);
+        for chunk in framed.chunks(1).take(100) {
+            if s.write_all(chunk).is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The well-behaved client gets answers with bounded latency the
+    // whole time the hostile pair is stalling.
+    let mut c = Client::connect(addr).unwrap();
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        let r = c.sql("SELECT COUNT(*) FROM t").unwrap();
+        assert!(r.ok, "{}", r.body);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "well-behaved client was starved: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    // Eventually the stalled client is evicted with a timeout error.
+    let resp = read_raw_response(&mut stalled);
+    if let Some(resp) = resp {
+        assert!(resp.starts_with("err timeout"), "got: {resp}");
+    }
+    dribbler.join().unwrap();
+
+    // The hostile clients are counted, and the server drains cleanly.
+    // Fresh connection: `c` sat idle while we waited for the eviction
+    // and may itself have been reaped by the idle timeout, which is
+    // correct server behaviour.
+    drop(c);
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.stats().unwrap();
+    assert!(r.body.contains("edna_server_timeouts_total"), "{}", r.body);
+    assert!(c.shutdown().unwrap().ok);
+    handle.wait().unwrap();
+    cleanup(&state);
+}
+
+fn addr_of(handle: &ServerHandle) -> SocketAddr {
+    handle.addr()
+}
+
+#[test]
+fn a_fuzz_burst_of_garbage_never_kills_the_server() {
+    let (handle, state) = start_server("fuzz", ServerConfig::default());
+    let addr = addr_of(&handle);
+
+    // Deterministic garbage: assorted prefixes, lengths, and junk bytes.
+    use edna_util::rng::Rng as _;
+    let mut rng = edna_util::rng::SplitMix64::new(0xED7A);
+    for _ in 0..40 {
+        let mut s = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let n = (rng.next_u64() % 64) as usize;
+        let junk: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        let _ = s.write_all(&junk);
+        // Half the connections hang up immediately, half linger.
+        if rng.next_u64().is_multiple_of(2) {
+            drop(s);
+        } else {
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let _ = read_raw_response(&mut s);
+        }
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.sql("SELECT COUNT(*) FROM t").unwrap();
+    assert!(r.ok, "server died under garbage: {}", r.body);
+    assert!(c.shutdown().unwrap().ok);
+    handle.wait().unwrap();
+    cleanup(&state);
+}

@@ -1,0 +1,59 @@
+//! Lowercase hexadecimal encoding and decoding.
+//!
+//! Capability tokens cross the wire as hex text, and several tests
+//! render digests for comparison; this is the one shared codec.
+
+/// Renders `bytes` as lowercase hex, two digits per byte.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Parses hex text (case-insensitive) back into bytes. Returns `None` on
+/// odd length or any non-hex character.
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u32> = text
+        .chars()
+        .map(|c| c.to_digit(16))
+        .collect::<Option<_>>()?;
+    Some(
+        digits
+            .chunks_exact(2)
+            .map(|d| ((d[0] << 4) | d[1]) as u8)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(hex.len(), 512);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        // Uppercase input decodes too.
+        assert_eq!(from_hex(&hex.to_uppercase()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex digit");
+        assert_eq!(from_hex(""), Some(vec![]));
+    }
+
+    #[test]
+    fn known_vector() {
+        assert_eq!(to_hex(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+    }
+}

@@ -15,12 +15,18 @@
 //! - [`sha256`] — SHA-256 (FIPS 180-4), shared by the vault crypto and the
 //!   crash-consistency checksums in snapshots and vault files;
 //! - [`sync`] — poison-tolerant lock acquisition, so a panic in one
-//!   statement cannot wedge shared caches for every later caller.
+//!   statement cannot wedge shared caches for every later caller;
+//! - [`hex`] — lowercase hex encode/decode for capability tokens and
+//!   digest rendering;
+//! - [`lockfile`] — advisory PID lock files with stale-holder
+//!   reclamation, so two processes cannot open the same workspace.
 
 #![warn(missing_docs)]
 
 pub mod buf;
 pub mod frame;
+pub mod hex;
+pub mod lockfile;
 pub mod rng;
 pub mod sha256;
 pub mod sync;

@@ -1,0 +1,191 @@
+//! Advisory state-directory lock files with stale-holder detection.
+//!
+//! Two processes opening the same workspace would interleave WAL
+//! appends and trample each other's checkpoints, so a workspace takes a
+//! `<state>.lock` file for its lifetime: created with `O_EXCL` and
+//! holding the owner's PID. A crash (including `SIGKILL`) leaves the
+//! file behind; the next acquirer reads the PID, sees the process is
+//! gone, and reclaims the lock instead of failing forever.
+//!
+//! The lock is *advisory* — nothing stops a process that does not take
+//! it — and PID-recycling can in principle make a stale lock look live;
+//! both are the standard trade-offs of PID lock files (accepted by
+//! pretty much every daemon that ships one).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// PID recorded in the lock file.
+        holder_pid: u32,
+        /// The lock file path.
+        path: PathBuf,
+    },
+    /// Filesystem trouble while creating or inspecting the lock.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { holder_pid, path } => write!(
+                f,
+                "{} is locked by running process {holder_pid}; if that process is \
+                 gone, delete the lock file",
+                path.display()
+            ),
+            LockError::Io(e) => write!(f, "lock file error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Whether a process with `pid` appears to be alive. On Linux this is a
+/// `/proc/<pid>` existence check; elsewhere we have no portable
+/// dependency-free probe, so every recorded holder is presumed alive
+/// (fail safe: never steal a lock we cannot prove stale).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// A held advisory lock; dropping it releases (deletes) the file.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Acquires the lock at `path`, reclaiming it if the recorded holder
+    /// is dead (or the file is garbled — a crash between create and the
+    /// PID write leaves an empty file).
+    pub fn acquire(path: impl AsRef<Path>) -> Result<LockFile, LockError> {
+        let path = path.as_ref().to_path_buf();
+        // A bounded retry loop: each pass either creates the file, finds
+        // a live holder, or sweeps a stale file and tries again. The
+        // sweep-then-create window is racy between two reclaiming
+        // processes, but one of them wins the O_EXCL create and the
+        // other comes back around to a live holder.
+        for _ in 0..5 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(std::process::id().to_string().as_bytes())
+                        .and_then(|()| f.sync_all())
+                        .map_err(LockError::Io)?;
+                    return Ok(LockFile { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(LockError::Held {
+                                holder_pid: pid,
+                                path,
+                            })
+                        }
+                        // Dead holder or unreadable/garbled content:
+                        // stale, sweep and retry. A concurrent sweep
+                        // having already removed it is fine.
+                        _ => match std::fs::remove_file(&path) {
+                            Ok(()) => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            Err(e) => return Err(LockError::Io(e)),
+                        },
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Io(std::io::Error::other(format!(
+            "could not acquire {} after repeated stale-lock sweeps",
+            path.display()
+        ))))
+    }
+
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("edna_lock_test_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let p = temp("cycle");
+        let _ = std::fs::remove_file(&p);
+        let lock = LockFile::acquire(&p).unwrap();
+        assert!(p.exists());
+        // Second acquire in the same (live) process fails and names us.
+        match LockFile::acquire(&p) {
+            Err(LockError::Held { holder_pid, .. }) => {
+                assert_eq!(holder_pid, std::process::id())
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        drop(lock);
+        assert!(!p.exists(), "drop released the lock");
+        let _relock = LockFile::acquire(&p).unwrap();
+    }
+
+    #[test]
+    fn stale_pid_is_reclaimed() {
+        let p = temp("stale");
+        let _ = std::fs::remove_file(&p);
+        // A PID far above any real pid_max stands in for a dead holder.
+        std::fs::write(&p, "4194304999").unwrap();
+        let lock = LockFile::acquire(&p).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(lock.path()).unwrap(),
+            std::process::id().to_string()
+        );
+    }
+
+    #[test]
+    fn garbled_lock_is_reclaimed() {
+        let p = temp("garbled");
+        let _ = std::fs::remove_file(&p);
+        std::fs::write(&p, "").unwrap();
+        let _lock = LockFile::acquire(&p).unwrap();
+        let p2 = temp("garbled2");
+        let _ = std::fs::remove_file(&p2);
+        std::fs::write(&p2, "not a pid").unwrap();
+        let _lock2 = LockFile::acquire(&p2).unwrap();
+    }
+
+    #[test]
+    fn error_message_names_holder() {
+        let p = temp("msg");
+        let _ = std::fs::remove_file(&p);
+        let _lock = LockFile::acquire(&p).unwrap();
+        let msg = LockFile::acquire(&p).unwrap_err().to_string();
+        assert!(msg.contains(&std::process::id().to_string()), "got: {msg}");
+        assert!(msg.contains("locked by running process"), "got: {msg}");
+    }
+}

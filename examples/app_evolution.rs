@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.execute("INSERT INTO users (name) VALUES ('bea'), ('mel')")?;
     db.execute("INSERT INTO posts (user_id, body) VALUES (1, 'original thoughts'), (2, 'hi')")?;
 
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register(
         DisguiseSpecBuilder::new("Scrub")
             .user_scoped()

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
 
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     // Expiration: scrub long-inactive users (reversible — they can return).
     edna.register(
         DisguiseSpecBuilder::new("ExpireInactive")

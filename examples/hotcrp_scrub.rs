@@ -14,8 +14,8 @@ use edna::relational::Value;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = hotcrp::create_db()?;
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small())?;
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna)?;
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna)?;
 
     let bea = inst.pc_contact_ids[0];
     println!("== DISGUISE (Figure 2) ==");

@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Vault::plain(MemoryStore::new()),
         Vault::encrypted(MemoryStore::new(), 42),
     );
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    lobsters::register_disguises(&mut edna)?;
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    lobsters::register_disguises(&edna)?;
 
     let user = inst.user_ids[0];
     let username = db

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The disguising tool, with a disguise spec in the Figure 3 DSL:
     //    delete the account, decorrelate the posts onto placeholders.
-    let mut edna = Disguiser::new(db.clone());
+    let edna = Disguiser::new(db.clone());
     edna.register_dsl(
         r#"
 disguise_name: "AccountDeletion"

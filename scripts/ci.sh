@@ -63,6 +63,14 @@ cargo test --release -p edna-cli --test recovery --quiet
 target/release/edna recover "$CHECK_DIR/hotcrp" --verify | grep -q "integrity: ok"
 echo "crash-sweep OK"
 
+echo "==> serve soak (SIGKILL sweep over the network layer, 20 iterations)"
+# Serve a workspace under concurrent mixed sql/apply/reveal traffic,
+# SIGKILL the server at a random instant, then require
+# `edna recover --verify` to pass and the state to re-serve cleanly.
+# 20 iterations in CI; plain `cargo test` runs a fast 4-iteration smoke.
+EDNA_SOAK_ITERS=20 cargo test --release -p edna-cli --test serve_soak --quiet
+echo "serve soak OK"
+
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
 BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
     cargo bench -p edna-bench --bench batching

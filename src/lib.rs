@@ -22,7 +22,7 @@
 //! db.execute("CREATE TABLE users (id INT PRIMARY KEY, email TEXT)").unwrap();
 //! db.execute("INSERT INTO users VALUES (19, 'bea@uni.edu')").unwrap();
 //!
-//! let mut edna = Disguiser::new(db.clone());
+//! let edna = Disguiser::new(db.clone());
 //! edna.register_dsl(r#"
 //! disguise_name: "GDPR"
 //! user_to_disguise: $UID

@@ -66,8 +66,8 @@ fn readers_overlap_under_injected_latency() {
 fn readers_make_progress_during_disguise_application() {
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     let bea = inst.pc_contact_ids[0];
 
     // Slow every statement a little so the writer holds the engine long
@@ -113,8 +113,8 @@ fn readers_make_progress_during_disguise_application() {
 fn concurrent_reader_sees_stable_review_count() {
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     let mel = inst.pc_contact_ids[1];
     let expected = {
         let r = db.execute("SELECT COUNT(*) FROM Review").unwrap();

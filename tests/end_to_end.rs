@@ -31,8 +31,8 @@ fn file_backed_vault_survives_reopen() {
             Vault::plain(MemoryStore::new()),
             Vault::plain(FileStore::open(&dir).unwrap()),
         );
-        let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-        hotcrp::register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::with_vaults(db.clone(), vaults);
+        hotcrp::register_disguises(&edna).unwrap();
         edna.apply("HotCRP-GDPR+", Some(&Value::Int(bea)))
             .unwrap()
             .disguise_id
@@ -43,8 +43,8 @@ fn file_backed_vault_survives_reopen() {
         Vault::plain(MemoryStore::new()),
         Vault::plain(FileStore::open(&dir).unwrap()),
     );
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     let reveal = edna.reveal(disguise_id).unwrap();
     assert!(reveal.rows_reinserted > 0);
 
@@ -65,8 +65,8 @@ fn referential_integrity_holds_through_disguise_sequences() {
     // foreign key in every table must reference an existing parent row.
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
 
     let check_integrity = |label: &str| {
         for table in db.table_names() {
@@ -123,8 +123,8 @@ fn naive_and_optimized_composition_reach_equivalent_privacy_states() {
     let build = || {
         let db = hotcrp::create_db().unwrap();
         let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-        let mut edna = Disguiser::new(db.clone());
-        hotcrp::register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::new(db.clone());
+        hotcrp::register_disguises(&edna).unwrap();
         edna.apply("HotCRP-ConfAnon", None).unwrap();
         (db, edna, inst.pc_contact_ids[1])
     };
@@ -169,8 +169,8 @@ fn naive_and_optimized_composition_reach_equivalent_privacy_states() {
 fn lobsters_two_users_interleaved_with_reveals() {
     let db = lobsters::create_db().unwrap();
     let inst = lobsters::generate::generate(&db, &LobstersConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    lobsters::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    lobsters::register_disguises(&edna).unwrap();
 
     let u1 = inst.user_ids[0];
     let u2 = inst.user_ids[1];
@@ -198,8 +198,8 @@ fn history_log_is_queryable_sql() {
     // (paper §5) — the application can audit it with plain SQL.
     let db = hotcrp::create_db().unwrap();
     let inst = hotcrp::generate::generate(&db, &HotCrpConfig::small()).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     edna.apply("HotCRP-GDPR+", Some(&Value::Int(inst.pc_contact_ids[0])))
         .unwrap();
     edna.apply("HotCRP-ConfAnon", None).unwrap();

@@ -25,8 +25,8 @@ fn hotcrp_image() -> (Vec<u8>, i64) {
 
 fn disguiser_for(image: &[u8]) -> (edna::relational::Database, Disguiser) {
     let db = snapshot::decode(image).unwrap();
-    let mut edna = Disguiser::new(db.clone());
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::new(db.clone());
+    hotcrp::register_disguises(&edna).unwrap();
     (db, edna)
 }
 
@@ -102,8 +102,8 @@ fn disguiser_with_failing_vault(image: &[u8]) -> (edna::relational::Database, Di
             FaultPlan::new(9).fail_nth(0),
         )),
     );
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     (db, edna)
 }
 
@@ -244,8 +244,8 @@ fn transient_vault_outage_is_absorbed_with_observable_retries() {
         },
     );
     let vaults = TieredVault::new(Vault::plain(MemoryStore::new()), Vault::plain(remote));
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     let report = edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap();
     assert_eq!(report.vault_retries, 1, "one retry absorbed the outage");
     assert_eq!(vault_entry_total(&edna), 1);
@@ -273,8 +273,8 @@ fn permanent_vault_outage_fails_within_the_deadline() {
         },
     );
     let vaults = TieredVault::new(Vault::plain(MemoryStore::new()), Vault::plain(remote));
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     let before = db.dump();
 
     let start = std::time::Instant::now();
@@ -310,8 +310,8 @@ fn torn_vault_tail_is_recovered_across_reopen() {
             Vault::plain(MemoryStore::new()),
             Vault::plain(FileStore::open(&dir).unwrap()),
         );
-        let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-        hotcrp::register_disguises(&mut edna).unwrap();
+        let edna = Disguiser::with_vaults(db.clone(), vaults);
+        hotcrp::register_disguises(&edna).unwrap();
         let report = edna.apply("HotCRP-GDPR+", Some(&Value::Int(user))).unwrap();
         report.disguise_id
     };
@@ -336,8 +336,8 @@ fn torn_vault_tail_is_recovered_across_reopen() {
     // Reopen: recovery truncates the torn tails; the entry is intact.
     let store = FileStore::open(&dir).unwrap();
     let vaults = TieredVault::new(Vault::plain(MemoryStore::new()), Vault::plain(store));
-    let mut edna = Disguiser::with_vaults(db.clone(), vaults);
-    hotcrp::register_disguises(&mut edna).unwrap();
+    let edna = Disguiser::with_vaults(db.clone(), vaults);
+    hotcrp::register_disguises(&edna).unwrap();
     edna.reveal(disguise_id).unwrap();
     assert!(edna.vaults().store_stats().truncated_bytes > 0);
     assert_eq!(

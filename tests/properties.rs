@@ -220,7 +220,7 @@ fn disguise_reveal_round_trips() {
             ))
             .unwrap();
         }
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("Scrub")
                 .user_scoped()
@@ -348,7 +348,7 @@ fn random_interleavings_restore_exact_state() {
             ))
             .unwrap();
         }
-        let mut edna = Disguiser::new(db.clone());
+        let edna = Disguiser::new(db.clone());
         edna.register(
             DisguiseSpecBuilder::new("Scrub")
                 .user_scoped()
