@@ -418,6 +418,10 @@ fn run(args: &[String]) -> CliResult<()> {
             // swallowed.
             use std::io::Write as _;
             println!("listening on {}", handle.addr());
+            // The wire `shutdown` op must present this token; only the
+            // operator reading this stdout (or the supervisor capturing
+            // it) can drain the server remotely.
+            println!("shutdown token {}", handle.shutdown_token());
             handle
                 .wait()
                 .map_err(|_| CliError::runtime("server thread panicked".to_string()))?;

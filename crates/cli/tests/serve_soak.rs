@@ -41,9 +41,9 @@ fn edna_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_edna"))
 }
 
-/// Spawns `edna serve` on a free port and parses the bound address from
-/// its first stdout line.
-fn spawn_serve(state: &str) -> (Child, SocketAddr) {
+/// Spawns `edna serve` on a free port and parses the bound address and
+/// the operator shutdown token from its stdout banner.
+fn spawn_serve(state: &str) -> (Child, SocketAddr, String) {
     let mut child = edna_bin()
         .args([
             "serve",
@@ -60,8 +60,9 @@ fn spawn_serve(state: &str) -> (Child, SocketAddr) {
         .spawn()
         .expect("serve spawns");
     let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
     let mut line = String::new();
-    BufReader::new(stdout)
+    reader
         .read_line(&mut line)
         .expect("serve announces its address");
     let addr = line
@@ -70,7 +71,16 @@ fn spawn_serve(state: &str) -> (Child, SocketAddr) {
         .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
         .parse()
         .expect("parsable address");
-    (child, addr)
+    let mut token_line = String::new();
+    reader
+        .read_line(&mut token_line)
+        .expect("serve announces its shutdown token");
+    let token = token_line
+        .trim()
+        .strip_prefix("shutdown token ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {token_line:?}"))
+        .to_string();
+    (child, addr, token)
 }
 
 const SPEC: &str = r#"
@@ -153,7 +163,7 @@ fn sigkill_under_concurrent_traffic_recovers_and_reserves() {
 
     let mut rng = SplitMix64::new(0xEDAA_50AC);
     for iteration in 0..iterations {
-        let (mut child, addr) = spawn_serve(&s);
+        let (mut child, addr, _token) = spawn_serve(&s);
 
         // Concurrent mixed traffic from several connections.
         let threads: Vec<_> = (0..4)
@@ -190,11 +200,15 @@ fn sigkill_under_concurrent_traffic_recovers_and_reserves() {
     }
 
     // After the last kill+recover the state still serves cleanly.
-    let (mut child, addr) = spawn_serve(&s);
+    let (mut child, addr, token) = spawn_serve(&s);
     let mut c = Client::connect(addr).unwrap();
     let r = c.sql("SELECT COUNT(*) FROM users").unwrap();
     assert!(r.ok, "{}", r.body);
-    assert!(c.shutdown().unwrap().ok);
+    // Without the operator token the drain is refused...
+    let denied = c.shutdown("not-the-token").unwrap();
+    assert!(!denied.ok, "tokenless shutdown must be denied");
+    // ...and with it the server drains cleanly.
+    assert!(c.shutdown(&token).unwrap().ok);
     let status = child.wait().unwrap();
     assert!(status.success(), "clean drain exits 0");
 

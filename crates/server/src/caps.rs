@@ -13,8 +13,6 @@
 //! The CLI, which runs with filesystem access to the state (and the
 //! vault passphrase), is trusted and does not go through this gate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use edna_core::{Error, Result};
 use edna_relational::{Database, Value};
 use edna_util::{hex, sha256::sha256};
@@ -33,28 +31,23 @@ pub fn ensure_caps_table(db: &Database) -> Result<()> {
     Ok(())
 }
 
-/// Mints a fresh 32-byte capability. Prefers the OS entropy pool;
-/// falls back to hashing clock, pid, and a process-wide counter, which
-/// is unpredictable enough for a gate that also sits behind the state
-/// lock and the network boundary.
-pub fn mint() -> [u8; 32] {
-    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+/// Mints a fresh 32-byte capability from the OS entropy pool. Fails
+/// closed: a capability is a bearer security token, so on a platform or
+/// in a sandbox where `/dev/urandom` is unavailable we refuse to mint
+/// rather than degrade to a guessable clock-seeded value.
+pub fn mint() -> Result<[u8; 32]> {
+    let attempt = || -> std::io::Result<[u8; 32]> {
         use std::io::Read;
+        let mut f = std::fs::File::open("/dev/urandom")?;
         let mut buf = [0u8; 32];
-        if f.read_exact(&mut buf).is_ok() {
-            return buf;
-        }
-    }
-    static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos())
-        .unwrap_or(0);
-    let mut seed = Vec::with_capacity(32);
-    seed.extend_from_slice(&nanos.to_le_bytes());
-    seed.extend_from_slice(&std::process::id().to_le_bytes());
-    seed.extend_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
-    sha256(&seed)
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    };
+    attempt().map_err(|e| {
+        Error::Workspace(format!(
+            "cannot mint a capability: no OS entropy source (/dev/urandom: {e})"
+        ))
+    })
 }
 
 /// Stores the hash of `cap` for `disguise_id` and returns the token's
@@ -104,7 +97,7 @@ mod tests {
     fn mint_store_verify_round_trip() {
         let db = Database::new();
         ensure_caps_table(&db).unwrap();
-        let cap = mint();
+        let cap = mint().unwrap();
         let token = store(&db, 7, &cap).unwrap();
         assert_eq!(token.len(), 64);
         verify(&db, 7, &token).unwrap();
@@ -114,10 +107,10 @@ mod tests {
     fn wrong_or_missing_capability_is_refused() {
         let db = Database::new();
         ensure_caps_table(&db).unwrap();
-        let cap = mint();
+        let cap = mint().unwrap();
         store(&db, 7, &cap).unwrap();
         // Wrong token for a known disguise.
-        let wrong = hex::to_hex(&mint());
+        let wrong = hex::to_hex(&mint().unwrap());
         let err = verify(&db, 7, &wrong).unwrap_err().to_string();
         assert!(err.contains("does not match"), "got: {err}");
         // Unknown disguise: the error points at the CLI path.
@@ -130,8 +123,8 @@ mod tests {
 
     #[test]
     fn minted_caps_are_distinct() {
-        let a = mint();
-        let b = mint();
+        let a = mint().unwrap();
+        let b = mint().unwrap();
         assert_ne!(a, b);
     }
 }

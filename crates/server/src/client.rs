@@ -97,8 +97,10 @@ impl Client {
         self.request(&Request::new("health"))
     }
 
-    /// Asks the server to drain and checkpoint.
-    pub fn shutdown(&mut self) -> std::io::Result<Response> {
-        self.request(&Request::new("shutdown"))
+    /// Asks the server to drain and checkpoint, presenting the operator
+    /// token minted at server start (`ServerHandle::shutdown_token`, or
+    /// the `shutdown token` line `edna serve` prints).
+    pub fn shutdown(&mut self, token: &str) -> std::io::Result<Response> {
+        self.request(&Request::new("shutdown").header("token", token))
     }
 }

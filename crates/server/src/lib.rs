@@ -15,10 +15,14 @@
 //!   blocking liveness probes ([`service`]).
 //! - **The operator is not omnipotent**: reversible applications mint
 //!   per-user capability tokens; reveal over the wire requires the
-//!   token, and the server stores only its hash ([`caps`]).
-//! - **Kill it anytime**: graceful drain (`shutdown` op) checkpoints on
-//!   the way out, and SIGKILL at any instant is recoverable because the
-//!   WAL made every committed statement durable first (`edna recover`).
+//!   token, and the server stores only its hash ([`caps`]). Wire SQL
+//!   cannot reach the reserved `_edna_*` tables that back the gate
+//!   ([`guard`]).
+//! - **Kill it anytime**: graceful drain (the `shutdown` op,
+//!   authenticated with the operator token minted at startup)
+//!   checkpoints on the way out, and SIGKILL at any instant is
+//!   recoverable because the WAL made every committed statement durable
+//!   first (`edna recover`).
 //!
 //! Entry points: [`service::Service::new`] wraps an open
 //! [`edna_core::Workspace`], [`server::start`] serves it, and
@@ -28,6 +32,7 @@
 
 pub mod caps;
 pub mod client;
+pub mod guard;
 pub mod proto;
 pub mod server;
 pub mod service;

@@ -227,16 +227,15 @@ type Message = (String, Vec<(String, String)>, String);
 
 fn parse_message(text: &str) -> Result<Message, String> {
     let mut lines = text.split('\n');
-    let first = lines
-        .next()
-        .unwrap_or("")
-        .trim_end_matches('\r')
-        .to_string();
+    // `consumed` counts raw bytes, so measure the line before stripping
+    // the `\r` a CRLF client sends.
+    let raw_first = lines.next().unwrap_or("");
+    let first = raw_first.trim_end_matches('\r').to_string();
     if first.trim().is_empty() {
         return Err("empty request".to_string());
     }
     let mut headers = Vec::new();
-    let mut consumed = first.len() + 1;
+    let mut consumed = raw_first.len() + 1;
     let mut found_blank = false;
     for line in lines {
         consumed += line.len() + 1;
@@ -301,6 +300,17 @@ mod tests {
         assert!(Request::parse("\n\n").is_err());
         assert!(Request::parse("sql\nnot a header\n\nbody").is_err());
         assert!(Response::parse("neither ok nor err\n\n").is_err());
+    }
+
+    #[test]
+    fn crlf_line_endings_do_not_shift_the_body() {
+        let req = Request::parse("sql\r\nuser: 7\r\n\r\nSELECT 1").unwrap();
+        assert_eq!(req.op, "sql");
+        assert_eq!(req.header_value("user"), Some("7"));
+        assert_eq!(req.body, "SELECT 1");
+        let resp = Response::parse("ok\r\nrows: 2\r\n\r\nbody line\n").unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.body, "body line\n");
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //!   after a corrupt frame can be trusted.
 //! - **Graceful drain**: the `shutdown` op stops the acceptor, lets
 //!   in-flight requests finish, joins every worker, then checkpoints
-//!   the workspace so the WAL is folded into the snapshot. A SIGKILL at
-//!   any instant is still safe — not because of anything here, but
-//!   because every committed statement was already fsynced to the WAL
-//!   (see `edna recover`).
+//!   the workspace so the WAL is folded into the snapshot. Drain is an
+//!   operator action, not a tenant one: the wire op must present the
+//!   operator token minted at startup ([`ServerHandle::shutdown_token`],
+//!   printed by `edna serve`), or any client could stop the server for
+//!   everyone. A SIGKILL at any instant is still safe — not because of
+//!   anything here, but because every committed statement was already
+//!   fsynced to the WAL (see `edna recover`).
 //! - A **background checkpointer** (optional) periodically snapshots to
 //!   bound WAL growth during long serving runs.
 
@@ -32,8 +35,11 @@ use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use edna_util::hex;
+use edna_util::sha256::sha256;
 use edna_util::sync::lock_unpoisoned;
 
+use crate::caps;
 use crate::proto::{code, Request, Response};
 use crate::service::Service;
 use crate::wire;
@@ -70,26 +76,51 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running server. Dropping the handle does not stop the server; call
-/// [`ServerHandle::stop`] (or send the `shutdown` op) and then
-/// [`ServerHandle::wait`].
-pub struct ServerHandle {
+/// Shutdown coordination shared by the acceptor, workers, and handle.
+/// The wire `shutdown` op is authenticated against `token_hash`: only a
+/// caller holding the operator token minted at startup may drain the
+/// server, so one tenant cannot deny service to the rest.
+struct ShutdownCtl {
+    flag: AtomicBool,
     addr: SocketAddr,
+    token_hash: [u8; 32],
+}
+
+impl ShutdownCtl {
+    /// Constant-size comparison: both sides are hashed before the
+    /// equality check, so the compare never walks a secret prefix.
+    fn token_matches(&self, presented: &str) -> bool {
+        sha256(presented.trim().as_bytes()) == self.token_hash
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server; call
+/// [`ServerHandle::stop`] (or send the `shutdown` op with the operator
+/// token) and then [`ServerHandle::wait`].
+pub struct ServerHandle {
     svc: Arc<Service>,
-    shutdown: Arc<AtomicBool>,
+    ctl: Arc<ShutdownCtl>,
+    token: String,
     thread: std::thread::JoinHandle<()>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves `:0` to the picked port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.ctl.addr
     }
 
-    /// Begins a drain from inside the process, as the `shutdown` op
-    /// does from the wire.
+    /// The operator token the wire `shutdown` op must present (`token`
+    /// header). Minted fresh per server start; `edna serve` prints it to
+    /// stdout for the supervisor.
+    pub fn shutdown_token(&self) -> &str {
+        &self.token
+    }
+
+    /// Begins a drain from inside the process, as the authenticated
+    /// `shutdown` op does from the wire.
     pub fn stop(&self) {
-        trigger_shutdown(&self.svc, &self.shutdown, self.addr);
+        trigger_shutdown(&self.svc, &self.ctl);
     }
 
     /// Waits for the drain to complete (workers joined, workspace
@@ -105,41 +136,40 @@ impl ServerHandle {
     }
 }
 
-fn trigger_shutdown(svc: &Service, shutdown: &AtomicBool, addr: SocketAddr) {
+fn trigger_shutdown(svc: &Service, ctl: &ShutdownCtl) {
     svc.begin_drain();
-    shutdown.store(true, Ordering::SeqCst);
+    ctl.flag.store(true, Ordering::SeqCst);
     // Wake the acceptor out of its blocking accept; the connection is
     // dropped on arrival.
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+    let _ = TcpStream::connect_timeout(&ctl.addr, Duration::from_secs(1));
 }
 
 /// Binds and serves in background threads, returning a handle.
 pub fn start(svc: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let token = hex::to_hex(&caps::mint().map_err(std::io::Error::other)?);
+    let ctl = Arc::new(ShutdownCtl {
+        flag: AtomicBool::new(false),
+        addr,
+        token_hash: sha256(token.as_bytes()),
+    });
     let thread = {
         let svc = svc.clone();
-        let shutdown = shutdown.clone();
+        let ctl = ctl.clone();
         std::thread::Builder::new()
             .name("edna-acceptor".to_string())
-            .spawn(move || run(listener, addr, svc, config, shutdown))?
+            .spawn(move || run(listener, svc, config, ctl))?
     };
     Ok(ServerHandle {
-        addr,
         svc,
-        shutdown,
+        ctl,
+        token,
         thread,
     })
 }
 
-fn run(
-    listener: TcpListener,
-    addr: SocketAddr,
-    svc: Arc<Service>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
-) {
+fn run(listener: TcpListener, svc: Arc<Service>, config: ServerConfig, ctl: Arc<ShutdownCtl>) {
     let metrics = svc.workspace().db.metrics();
     let connections_total = metrics.counter(
         "edna_server_connections_total",
@@ -165,7 +195,7 @@ fn run(
         let rx = rx.clone();
         let svc = svc.clone();
         let config = config.clone();
-        let shutdown = shutdown.clone();
+        let ctl = ctl.clone();
         let frame_errors_total = frame_errors_total.clone();
         let timeouts_total = timeouts_total.clone();
         workers.push(
@@ -176,8 +206,7 @@ fn run(
                         &rx,
                         &svc,
                         &config,
-                        addr,
-                        &shutdown,
+                        &ctl,
                         &frame_errors_total,
                         &timeouts_total,
                     )
@@ -189,7 +218,7 @@ fn run(
     // Optional background checkpointer, bounding WAL growth.
     let checkpointer = config.checkpoint_every.map(|every| {
         let svc = svc.clone();
-        let shutdown = shutdown.clone();
+        let ctl = ctl.clone();
         std::thread::Builder::new()
             .name("edna-checkpointer".to_string())
             .spawn(move || {
@@ -197,13 +226,13 @@ fn run(
                 'outer: loop {
                     let mut waited = Duration::ZERO;
                     while waited < every {
-                        if shutdown.load(Ordering::SeqCst) {
+                        if ctl.flag.load(Ordering::SeqCst) {
                             break 'outer;
                         }
                         std::thread::sleep(tick);
                         waited += tick;
                     }
-                    if shutdown.load(Ordering::SeqCst) {
+                    if ctl.flag.load(Ordering::SeqCst) {
                         break;
                     }
                     if let Err(e) = svc.checkpoint() {
@@ -217,7 +246,7 @@ fn run(
     loop {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if ctl.flag.load(Ordering::SeqCst) {
                     // Either the wake connection or a late client; if it
                     // speaks, it finds out we are draining.
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
@@ -245,7 +274,7 @@ fn run(
                 }
             }
             Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if ctl.flag.load(Ordering::SeqCst) {
                     break;
                 }
             }
@@ -271,8 +300,7 @@ fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
     svc: &Arc<Service>,
     config: &ServerConfig,
-    addr: SocketAddr,
-    shutdown: &Arc<AtomicBool>,
+    ctl: &Arc<ShutdownCtl>,
     frame_errors_total: &edna_obs::Counter,
     timeouts_total: &edna_obs::Counter,
 ) {
@@ -284,15 +312,7 @@ fn worker_loop(
                 Err(_) => break, // acceptor dropped the sender: drain.
             }
         };
-        serve_connection(
-            stream,
-            svc,
-            config,
-            addr,
-            shutdown,
-            frame_errors_total,
-            timeouts_total,
-        );
+        serve_connection(stream, svc, config, ctl, frame_errors_total, timeouts_total);
     }
 }
 
@@ -304,8 +324,7 @@ fn serve_connection(
     mut stream: TcpStream,
     svc: &Arc<Service>,
     config: &ServerConfig,
-    addr: SocketAddr,
-    shutdown: &Arc<AtomicBool>,
+    ctl: &Arc<ShutdownCtl>,
     frame_errors_total: &edna_obs::Counter,
     timeouts_total: &edna_obs::Counter,
 ) {
@@ -371,11 +390,27 @@ fn serve_connection(
             Ok(text) => match Request::parse(text) {
                 Err(e) => Response::err(code::USAGE, e),
                 Ok(req) if req.op == "shutdown" => {
-                    // Flip the drain flag before acknowledging, so by the
-                    // time the caller sees `ok` no new work is accepted.
-                    trigger_shutdown(svc, shutdown, addr);
-                    send(&mut stream, &Response::ok("draining\n"));
-                    return;
+                    // Draining stops the whole server, so it is operator
+                    // business: the request must carry the token minted
+                    // at startup, or any tenant could deny service to
+                    // every other one.
+                    let authorized = req
+                        .header_value("token")
+                        .is_some_and(|t| ctl.token_matches(t));
+                    if authorized {
+                        // Flip the drain flag before acknowledging, so by
+                        // the time the caller sees `ok` no new work is
+                        // accepted.
+                        trigger_shutdown(svc, ctl);
+                        send(&mut stream, &Response::ok("draining\n"));
+                        return;
+                    }
+                    svc.note_denied();
+                    Response::err(
+                        code::DENIED,
+                        "shutdown requires the operator token minted at server start \
+                         (`token` header)",
+                    )
                 }
                 // A frame that arrives after drain began is new work,
                 // not in-flight work: refuse it and close.

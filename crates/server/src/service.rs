@@ -112,6 +112,12 @@ impl Service {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// Counts a refusal decided outside the service (the connection
+    /// layer's shutdown-token check) in the same denial metric.
+    pub(crate) fn note_denied(&self) {
+        self.denied_total.inc();
+    }
+
     /// Checkpoints the workspace (snapshot + WAL truncation), waiting
     /// out any in-flight apply/reveal first.
     pub fn checkpoint(&self) -> edna_core::Result<()> {
@@ -168,6 +174,16 @@ impl Service {
                 code::USAGE,
                 "explicit transactions are not available over the wire (the engine has a \
                  single transaction slot); each statement commits atomically on its own",
+            );
+        }
+        // Reserved tables hold capability hashes and disguise bookkeeping;
+        // a tenant who can touch them can forge or destroy another
+        // tenant's reveal capability.
+        if let Some(table) = crate::guard::reserved_table_in(stmt) {
+            self.denied_total.inc();
+            return Response::err(
+                code::DENIED,
+                format!("table {table:?} is reserved and not accessible over the wire"),
             );
         }
         let _door = read_unpoisoned(&self.door);
@@ -228,7 +244,9 @@ impl Service {
                 // A reversible application gets a one-time reveal
                 // capability; only its hash survives in the database.
                 if reversible && report.disguise_id != 0 {
-                    match caps::store(&self.ws.db, report.disguise_id, &caps::mint()) {
+                    let minted = caps::mint()
+                        .and_then(|cap| caps::store(&self.ws.db, report.disguise_id, &cap));
+                    match minted {
                         Ok(token) => {
                             self.caps_minted_total.inc();
                             resp = resp.header("cap", token);
@@ -467,6 +485,27 @@ tables: {
                 .as_deref(),
             Some(code::USAGE)
         );
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn reserved_tables_are_unreachable_over_the_wire() {
+        let (svc, state) = service("reserved");
+        for stmt in [
+            "SELECT cap_hash FROM _edna_caps",
+            "UPDATE _edna_caps SET cap_hash = 'attacker'",
+            "DELETE FROM _edna_caps",
+            "DROP TABLE _edna_spec_registry",
+            "SELECT * FROM users WHERE id IN (SELECT disguise_id FROM _edna_caps)",
+        ] {
+            let r = svc.handle(&Request::new("sql").body(stmt));
+            assert!(!r.ok, "{stmt} must be refused");
+            assert_eq!(r.code.as_deref(), Some(code::DENIED), "{stmt}");
+        }
+        // The denial is counted alongside capability denials.
+        let r = svc.handle(&Request::new("stats"));
+        assert!(r.body.contains("edna_server_denied_total 5"), "{}", r.body);
         drop(svc);
         cleanup(&state);
     }

@@ -219,7 +219,7 @@ fn slowloris_and_malformed_clients_cannot_block_a_well_behaved_one() {
     let mut c = Client::connect(addr).unwrap();
     let r = c.stats().unwrap();
     assert!(r.body.contains("edna_server_timeouts_total"), "{}", r.body);
-    assert!(c.shutdown().unwrap().ok);
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
     handle.wait().unwrap();
     cleanup(&state);
 }
@@ -256,7 +256,7 @@ fn a_fuzz_burst_of_garbage_never_kills_the_server() {
     let mut c = Client::connect(addr).unwrap();
     let r = c.sql("SELECT COUNT(*) FROM t").unwrap();
     assert!(r.ok, "server died under garbage: {}", r.body);
-    assert!(c.shutdown().unwrap().ok);
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
     handle.wait().unwrap();
     cleanup(&state);
 }

@@ -101,9 +101,10 @@ fn full_lifecycle_over_the_wire() {
         r.body
     );
 
-    // Graceful drain: shutdown answers, then the server checkpoints and
-    // exits; the WAL is folded into the snapshot.
-    assert!(c.shutdown().unwrap().ok);
+    // Graceful drain: shutdown (with the operator token) answers, then
+    // the server checkpoints and exits; the WAL is folded into the
+    // snapshot.
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
     handle.wait().unwrap();
     let wal = edna_core::workspace::sidecar(&state, ".wal");
     let wal_len = std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
@@ -114,6 +115,59 @@ fn full_lifecycle_over_the_wire() {
     assert_eq!(ws.last_recovery.frames_replayed, 0);
     assert_eq!(ws.db.row_count("users").unwrap(), 4);
     drop(ws);
+    cleanup(&state);
+}
+
+#[test]
+fn shutdown_without_the_operator_token_is_denied() {
+    let (handle, state) = start_server("shutdown_token", ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Missing and wrong tokens are both refused, and the refusal does
+    // not drain the server: other tenants keep working.
+    let r = c.request(&Request::new("shutdown")).unwrap();
+    assert!(!r.ok);
+    assert_eq!(r.code.as_deref(), Some(code::DENIED), "{}", r.body);
+    let r = c.shutdown(&"ff".repeat(32)).unwrap();
+    assert_eq!(r.code.as_deref(), Some(code::DENIED), "{}", r.body);
+    assert!(c.health().unwrap().ok, "denied shutdown must not drain");
+    let mut other = Client::connect(handle.addr()).unwrap();
+    assert!(other.sql("SELECT COUNT(*) FROM users").unwrap().ok);
+
+    // The real token drains.
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
+    handle.wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn wire_sql_cannot_forge_or_destroy_capabilities() {
+    let (handle, state) = start_server("reserved_wire", ServerConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let r = c.apply("Gdpr", Some("1")).unwrap();
+    assert!(r.ok, "{}", r.body);
+    let id: u64 = r.header_value("id").unwrap().parse().unwrap();
+    let cap = r.header_value("cap").unwrap().to_string();
+
+    // A hostile tenant cannot rewrite the stored hash to one they chose,
+    // delete it to deny the legitimate reveal, or read hashes out.
+    for stmt in [
+        "UPDATE _edna_caps SET cap_hash = 'mine'",
+        "DELETE FROM _edna_caps",
+        "SELECT cap_hash FROM _edna_caps",
+        "DROP TABLE _edna_caps",
+    ] {
+        let r = c.sql(stmt).unwrap();
+        assert!(!r.ok, "{stmt} must be refused");
+        assert_eq!(r.code.as_deref(), Some(code::DENIED), "{stmt}: {}", r.body);
+    }
+
+    // The legitimate capability still reveals.
+    let r = c.reveal(id, &cap).unwrap();
+    assert!(r.ok, "{}", r.body);
+
+    handle.stop_and_wait().unwrap();
     cleanup(&state);
 }
 
@@ -216,7 +270,7 @@ fn drain_refuses_new_connections_and_finishes_in_flight_work() {
     assert!(a.health().unwrap().ok);
     assert!(b.health().unwrap().ok);
 
-    assert!(a.shutdown().unwrap().ok);
+    assert!(a.shutdown(handle.shutdown_token()).unwrap().ok);
 
     // The other persistent connection is told the server is draining on
     // its next request (or sees a clean close), and new connections
@@ -269,7 +323,7 @@ fn concurrent_mixed_clients_keep_state_consistent() {
     let mut c = Client::connect(addr).unwrap();
     let r = c.sql("SELECT COUNT(*) FROM users").unwrap();
     assert!(r.body.contains("43"), "3 seed + 40 inserted: {}", r.body);
-    assert!(c.shutdown().unwrap().ok);
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
     handle.wait().unwrap();
 
     // Everything survived into the checkpointed state.
@@ -317,7 +371,7 @@ fn background_checkpointer_bounds_the_wal() {
     }
     // The checkpoint is a real snapshot: metrics sidecar refreshed too.
     assert!(edna_core::workspace::sidecar(&state, ".metrics").exists());
-    assert!(c.shutdown().unwrap().ok);
+    assert!(c.shutdown(handle.shutdown_token()).unwrap().ok);
     handle.wait().unwrap();
     cleanup(&state);
 }
