@@ -51,6 +51,23 @@ impl HotCrpConfig {
         }
     }
 
+    /// A population-targeted instance: exactly `users` users with the
+    /// workload (PC, papers, reviews) grown proportionally to the paper's
+    /// ratios. Supports the 10⁴–10⁵-user write-scaling sweeps, where the
+    /// independent variable is the number of disguisable principals.
+    pub fn sized(users: usize) -> HotCrpConfig {
+        let base = HotCrpConfig::paper();
+        let factor = users.max(8) as f64 / base.users as f64;
+        let s = |n: usize, min: usize| (((n as f64) * factor) as usize).max(min);
+        HotCrpConfig {
+            users: users.max(8),
+            pc_members: s(base.pc_members, 4),
+            papers: s(base.papers, 4),
+            reviews: s(base.reviews, 8),
+            seed: base.seed,
+        }
+    }
+
     /// The paper configuration with papers and reviews scaled by `factor`
     /// at a fixed population — the §6 scaling sweep: the number of objects
     /// one user's disguise touches grows with `factor`.

@@ -31,6 +31,20 @@ impl LobstersConfig {
         }
     }
 
+    /// A population-targeted instance: exactly `users` users, each with
+    /// the medium instance's per-user content density (2 stories and 6
+    /// comments per user). Supports the 10⁴–10⁵-user write-scaling
+    /// sweeps.
+    pub fn sized(users: usize) -> LobstersConfig {
+        let users = users.max(2);
+        LobstersConfig {
+            users,
+            stories: users * 2,
+            comments: users * 6,
+            seed: 11,
+        }
+    }
+
     /// A small instance for fast tests.
     pub fn small() -> LobstersConfig {
         LobstersConfig {

@@ -88,11 +88,12 @@ fn no_latency_counts(scale: f64) -> (Vec<ApplyCounts>, String) {
 fn json_case(s: &CaseSummary) -> String {
     format!(
         "    {{\"label\": \"{}\", \"min_ms\": {:.3}, \"median_ms\": {:.3}, \
-         \"mean_ms\": {:.3}, \"samples\": {}}}",
+         \"mean_ms\": {:.3}, \"p99_ms\": {:.3}, \"samples\": {}}}",
         s.label,
         s.min.as_secs_f64() * 1e3,
         s.median.as_secs_f64() * 1e3,
         s.mean.as_secs_f64() * 1e3,
+        s.p99.as_secs_f64() * 1e3,
         s.samples
     )
 }
@@ -144,8 +145,12 @@ fn main() {
 
     let out_path = std::env::var("BATCHING_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_batching.json", env!("CARGO_MANIFEST_DIR")));
+    // The parallel regime runs one worker thread per disguised user.
+    let threads = users;
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"batching\",\n  \"scale\": {scale},\n  \"users\": {users},\n  \
+         \"threads\": {threads},\n  \"host_parallelism\": {host_parallelism},\n  \
          \"samples\": {samples},\n  \"latency_per_statement_us\": {LATENCY_PER_STATEMENT_US},\n  \
          \"cases\": [\n{}\n  ],\n  \"no_latency\": [\n{}\n  ],\n  \
          \"metrics\": {metrics},\n  \

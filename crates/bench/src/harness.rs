@@ -30,8 +30,21 @@ pub struct CaseSummary {
     pub median: Duration,
     /// Arithmetic mean of all samples.
     pub mean: Duration,
+    /// 99th-percentile sample (nearest-rank; equals the max below 100
+    /// samples — still useful as a worst-observed bound).
+    pub p99: Duration,
     /// Number of samples taken.
     pub samples: usize,
+}
+
+/// Nearest-rank percentile over a **sorted** slice of durations. `pct` is
+/// in `[0, 100]`; an empty slice returns zero.
+pub fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl BenchGroup {
@@ -71,12 +84,14 @@ impl BenchGroup {
         let min = times[0];
         let median = times[times.len() / 2];
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let p99 = percentile(&times, 99.0);
         println!(
-            "  {}/{label:<38} min {:>9.3} ms  median {:>9.3} ms  mean {:>9.3} ms  (n={})",
+            "  {}/{label:<38} min {:>9.3} ms  median {:>9.3} ms  mean {:>9.3} ms  p99 {:>9.3} ms  (n={})",
             self.name,
             min.as_secs_f64() * 1e3,
             median.as_secs_f64() * 1e3,
             mean.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
             times.len(),
         );
         CaseSummary {
@@ -84,6 +99,7 @@ impl BenchGroup {
             min,
             median,
             mean,
+            p99,
             samples: times.len(),
         }
     }
@@ -109,5 +125,25 @@ mod tests {
         );
         assert_eq!(setups, 3);
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(percentile(&sorted, 100.0), ms(100));
+        assert_eq!(percentile(&sorted[..4], 99.0), ms(4));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn case_summary_p99_bounds_median() {
+        let mut g = BenchGroup::new("t");
+        let s = g.sample_size(5).bench("case", || (), |()| ());
+        assert_eq!(s.samples, 5);
+        assert!(s.p99 >= s.median);
+        assert!(s.p99 >= s.min);
     }
 }

@@ -11,6 +11,8 @@
 //! edna specs <state>
 //! edna apply <state> <disguise> [--user <id>] [--no-compose] [--no-optimize]
 //!          [--trace-out <f.jsonl>]
+//! edna apply <state> <disguise> --users-file <ids.txt> [--shards <n>]
+//!          [--trace-out <f.jsonl>]
 //! edna reveal <state> (--id <n> | --latest <disguise> [--user <id>])
 //!          [--trace-out <f.jsonl>]
 //! edna history <state>
@@ -228,6 +230,64 @@ fn run(args: &[String]) -> CliResult<()> {
         }
         "apply" => {
             let disguise = args.get(2).ok_or_else(usage)?;
+            // Mass disguise: one user id per line (blank lines and `#`
+            // comments skipped), owner-hash-sharded across threads.
+            if let Some(path) = flag_value(args, "--users-file") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+                let users: Vec<edna_relational::Value> = text
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .map(parse_user)
+                    .collect();
+                if users.is_empty() {
+                    return Err(CliError::usage(format!("{path} lists no users")));
+                }
+                let shards: usize = match flag_value(args, "--shards") {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| CliError::usage(format!("bad shard count {s}")))?,
+                    None => 0, // 0 = one shard per available core
+                };
+                let ws = Workspace::open(&state, passphrase)?;
+                let sink = trace_sink(args);
+                if let Some((tracer, _)) = &sink {
+                    ws.edna.set_tracer(Some(tracer.clone()));
+                }
+                let report = ws.edna.apply_many(disguise, &users, shards)?;
+                println!(
+                    "applied {} to {} user(s) in {} shard(s): {} succeeded, {} failed, \
+                     removed {}, decorrelated {}, modified {}, vault entries {}, \
+                     degraded {}, {:.1?}",
+                    report.name,
+                    report.users,
+                    report.shards,
+                    report.succeeded,
+                    report.failures.len(),
+                    report.rows_removed,
+                    report.rows_decorrelated,
+                    report.rows_modified,
+                    report.vault_entries,
+                    report.degraded,
+                    report.duration
+                );
+                for (user, reason) in &report.failures {
+                    eprintln!("  failed {}: {reason}", user.to_sql_literal());
+                }
+                ws.save()?;
+                if let Some((tracer, flush)) = sink {
+                    flush(&tracer)?;
+                }
+                if !report.failures.is_empty() {
+                    return Err(CliError::runtime(format!(
+                        "{} of {} user(s) failed to disguise",
+                        report.failures.len(),
+                        report.users
+                    )));
+                }
+                return Ok(());
+            }
             let user = flag_value(args, "--user").map(parse_user);
             let ws = Workspace::open(&state, passphrase)?;
             let sink = trace_sink(args);

@@ -125,6 +125,113 @@ fn vault_entry_count(state: &Path, user: &Value, disguise_id: u64) -> usize {
     vault.entries_for_disguise(user, disguise_id).unwrap().len()
 }
 
+/// Builds a saved baseline with `n` users (each owning one post) and the
+/// Gdpr spec registered — the cohort for the `apply_many` kill test.
+fn make_cohort_baseline(state: &Path, n: usize) {
+    let ws = Workspace::init(state, None).unwrap();
+    ws.db
+        .execute_script(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT NOT NULL);
+             CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+             body TEXT, FOREIGN KEY (user_id) REFERENCES users(id) ON DELETE CASCADE);",
+        )
+        .unwrap();
+    let users: Vec<String> = (0..n).map(|i| format!("('u{i}')")).collect();
+    ws.db
+        .execute(&format!(
+            "INSERT INTO users (name) VALUES {}",
+            users.join(", ")
+        ))
+        .unwrap();
+    let posts: Vec<String> = (1..=n).map(|id| format!("({id}, 'p{id}')")).collect();
+    ws.db
+        .execute(&format!(
+            "INSERT INTO posts (user_id, body) VALUES {}",
+            posts.join(", ")
+        ))
+        .unwrap();
+    ws.register_spec(SPEC).unwrap();
+    ws.save().unwrap();
+}
+
+#[test]
+fn sigkill_mid_apply_many_recovers_with_verify() {
+    // A real SIGKILL (not an injected hook) lands mid-flight in a sharded
+    // `edna apply --users-file` child process; `edna recover --verify`
+    // must then report a consistent state, and every user must be either
+    // fully disguised (history row present, user row gone) or fully
+    // untouched — the WAL intent/commit protocol resolves the rest.
+    use std::process::{Command, Stdio};
+
+    const USERS: usize = 300;
+    let dir = TempDir::new("apply_many_kill");
+    let baseline = dir.path("cohort.edna");
+    make_cohort_baseline(&baseline, USERS);
+    let ids_file = dir.path("ids.txt");
+    let ids: Vec<String> = (1..=USERS).map(|id| id.to_string()).collect();
+    std::fs::write(&ids_file, ids.join("\n")).unwrap();
+
+    for (iteration, delay_ms) in [5u64, 25, 75].into_iter().enumerate() {
+        let state = dir.path(&format!("kill_{iteration}.edna"));
+        copy_state(&baseline, &state);
+
+        let mut child = Command::new(env!("CARGO_BIN_EXE_edna"))
+            .args([
+                "apply",
+                state.to_str().unwrap(),
+                "Gdpr",
+                "--users-file",
+                ids_file.to_str().unwrap(),
+                "--shards",
+                "4",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn edna apply");
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        let out = Command::new(env!("CARGO_BIN_EXE_edna"))
+            .args(["recover", state.to_str().unwrap(), "--verify"])
+            .output()
+            .expect("recover runs");
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            out.status.success() && stdout.contains("integrity: ok"),
+            "iteration {iteration}: recover --verify failed (exit {:?}):\n{stdout}{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr),
+        );
+
+        // Shard-bounded atomicity: each shard applies one user at a time
+        // as auto-commit statements (row transformations, then the
+        // history record), so a SIGKILL can catch at most one user per
+        // shard between its removal and its history row. Everyone else
+        // is fully disguised (history row, user gone) or fully untouched.
+        let ws = Workspace::open(&state, None).unwrap();
+        assert_eq!(ws.db.verify_integrity(), Vec::<String>::new());
+        let remaining = match ws
+            .db
+            .execute("SELECT COUNT(*) FROM users")
+            .unwrap()
+            .scalar()
+            .unwrap()
+        {
+            Value::Int(n) => *n,
+            other => panic!("count returned {other:?}"),
+        };
+        let applied = history_count(&ws);
+        let in_flight = USERS as i64 - (remaining + applied);
+        assert!(
+            (0..=4).contains(&in_flight),
+            "iteration {iteration}: at most one in-flight user per shard \
+             ({remaining} remaining, {applied} disguised, {in_flight} in flight)"
+        );
+    }
+}
+
 #[test]
 fn disguise_application_survives_a_crash_at_every_wal_frame() {
     let dir = TempDir::new("kill");

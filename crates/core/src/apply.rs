@@ -26,7 +26,7 @@ use std::sync::{Mutex, RwLock};
 use edna_relational::{
     eval_predicate, Database, EvalContext, Expr, OpenIntent, StatsSnapshot, TableSchema, Value,
 };
-use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJournal};
+use edna_vault::{MemoryStore, RevealOp, TieredVault, Vault, VaultEntry, VaultJournal, VaultTier};
 
 use crate::analysis::{plan_composition, CompositionPlan};
 use crate::analyze::{self, Diagnostic};
@@ -152,6 +152,60 @@ impl Default for DisguiseReport {
             wal_intent: false,
         }
     }
+}
+
+/// A vault write deferred by `apply_many` so a shard can flush a whole
+/// chunk of users' entries in one batched backend round trip.
+pub(crate) struct PendingVaultPut {
+    pub(crate) tier: VaultTier,
+    pub(crate) entry: VaultEntry,
+    pub(crate) disguise_id: u64,
+}
+
+/// What one mass disguise application ([`Disguiser::apply_many`]) did.
+#[derive(Debug, Clone)]
+pub struct ApplyManyReport {
+    /// Disguise name.
+    pub name: String,
+    /// Users requested.
+    pub users: usize,
+    /// Users disguised successfully.
+    pub succeeded: usize,
+    /// Users whose application failed, with the error rendered. A failed
+    /// user may be partially disguised: `apply_many` runs without a
+    /// wrapping transaction (shards commit statement-by-statement through
+    /// the group-commit WAL), so there is nothing to roll back.
+    pub failures: Vec<(Value, String)>,
+    /// Shards the users were hash-partitioned into.
+    pub shards: usize,
+    /// Rows deleted across all users.
+    pub rows_removed: usize,
+    /// Rows decorrelated across all users.
+    pub rows_decorrelated: usize,
+    /// Rows modified across all users.
+    pub rows_modified: usize,
+    /// Placeholder rows created across all users.
+    pub placeholders_created: usize,
+    /// Reveal-function entries written to vaults (batched per chunk).
+    pub vault_entries: usize,
+    /// Users whose disguise degraded to irreversible because the vault
+    /// write failed after the database changes were already committed.
+    pub degraded: usize,
+    /// Wall-clock duration of the whole mass application.
+    pub duration: Duration,
+}
+
+/// What one shard worker accumulated; merged into [`ApplyManyReport`].
+#[derive(Default)]
+struct ShardOutcome {
+    succeeded: usize,
+    failures: Vec<(Value, String)>,
+    rows_removed: usize,
+    rows_decorrelated: usize,
+    rows_modified: usize,
+    placeholders_created: usize,
+    vault_entries: usize,
+    degraded: usize,
 }
 
 /// A row temporarily recorrelated from a vault during composition.
@@ -519,7 +573,7 @@ impl Disguiser {
         if opts.use_transaction {
             self.db.begin()?;
         }
-        let result = self.apply_inner(&spec, &user_value, &params, opts);
+        let result = self.apply_inner(&spec, &user_value, &params, opts, None);
         match result {
             Ok(mut report) => {
                 if opts.use_transaction {
@@ -568,12 +622,246 @@ impl Disguiser {
         }
     }
 
+    /// Applies a user-scoped disguise to many users at once, sharded by
+    /// owner hash across a scoped thread pool (ROADMAP: mass disguising —
+    /// "10k departing users in one request").
+    ///
+    /// Each shard owns a disjoint set of users (owner-column predicates
+    /// make their row sets disjoint too, which is what makes the shards
+    /// independent), applies the disguise per user *without* a wrapping
+    /// transaction — every statement commits through the engine, so
+    /// concurrent shards share fsyncs via the group-commit WAL — and
+    /// batches its vault puts and intent-close markers per chunk of
+    /// [`Disguiser::VAULT_PUT_BATCH`] users.
+    ///
+    /// Failure semantics: a user whose application errors is reported in
+    /// [`ApplyManyReport::failures`] and does not stop the rest. If a
+    /// batched vault put fails, the affected users' database changes are
+    /// already committed and cannot be rolled back; the failure policy
+    /// decides between marking them degraded (irreversible, the *require*
+    /// and *degrade* policies) or spooling to the journal (*buffer*).
+    /// Open WAL intents from a crash mid-`apply_many` are resolved by the
+    /// next recovery exactly as for single applications.
+    pub fn apply_many(
+        &self,
+        name: &str,
+        users: &[Value],
+        shards: usize,
+    ) -> Result<ApplyManyReport> {
+        let spec = self.spec(name)?;
+        if !spec.user_scoped {
+            return Err(Error::SpecInvalid {
+                disguise: name.to_string(),
+                message: "apply_many requires a user-scoped disguise".to_string(),
+            });
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shard_count = if shards == 0 { hw } else { shards }
+            .min(users.len())
+            .max(1);
+
+        let mut root = self.span("disguise_apply_many");
+        if let Some(g) = root.as_mut() {
+            g.attr("disguise", name);
+            g.attr("users", users.len().to_string());
+            g.attr("shards", shard_count.to_string());
+        }
+        let started = Instant::now();
+
+        // Owner-hash partition: every occurrence of the same user id lands
+        // in the same shard, so per-user application order is preserved.
+        let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); shard_count];
+        for user in users {
+            buckets[owner_shard(user, shard_count)].push(user.clone());
+        }
+
+        let opts = ApplyOptions {
+            use_transaction: false,
+            ..self.options
+        };
+        let spec = &spec;
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .filter(|b| !b.is_empty())
+                .map(|bucket| s.spawn(move || self.apply_shard(spec, bucket, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(_) => ShardOutcome {
+                        failures: vec![(Value::Null, "shard worker panicked".to_string())],
+                        ..ShardOutcome::default()
+                    },
+                })
+                .collect()
+        });
+
+        let mut report = ApplyManyReport {
+            name: name.to_string(),
+            users: users.len(),
+            succeeded: 0,
+            failures: Vec::new(),
+            shards: shard_count,
+            rows_removed: 0,
+            rows_decorrelated: 0,
+            rows_modified: 0,
+            placeholders_created: 0,
+            vault_entries: 0,
+            degraded: 0,
+            duration: Duration::ZERO,
+        };
+        for o in outcomes {
+            report.succeeded += o.succeeded;
+            report.failures.extend(o.failures);
+            report.rows_removed += o.rows_removed;
+            report.rows_decorrelated += o.rows_decorrelated;
+            report.rows_modified += o.rows_modified;
+            report.placeholders_created += o.placeholders_created;
+            report.vault_entries += o.vault_entries;
+            report.degraded += o.degraded;
+        }
+        report.duration = started.elapsed();
+        Ok(report)
+    }
+
+    /// Users per batched vault flush inside one `apply_many` shard.
+    pub const VAULT_PUT_BATCH: usize = 32;
+
+    /// One shard of [`Disguiser::apply_many`]: applies the disguise to its
+    /// users chunk by chunk, flushing each chunk's vault entries in one
+    /// batched put and then closing their WAL intent brackets.
+    fn apply_shard(
+        &self,
+        spec: &DisguiseSpec,
+        users: &[Value],
+        opts: ApplyOptions,
+    ) -> ShardOutcome {
+        let mut out = ShardOutcome::default();
+        for chunk in users.chunks(Self::VAULT_PUT_BATCH) {
+            let mut pending: Vec<PendingVaultPut> = Vec::new();
+            let mut applied: Vec<(Value, DisguiseReport)> = Vec::new();
+            for user in chunk {
+                let mut params = HashMap::new();
+                params.insert("UID".to_string(), user.clone());
+                match self.apply_inner(spec, user, &params, opts, Some(&mut pending)) {
+                    Ok(report) => applied.push((user.clone(), report)),
+                    Err(e) => out.failures.push((user.clone(), e.to_string())),
+                }
+            }
+            for (_, r) in &applied {
+                out.rows_removed += r.rows_removed;
+                out.rows_decorrelated += r.rows_decorrelated;
+                out.rows_modified += r.rows_modified;
+                out.placeholders_created += r.placeholders_created;
+            }
+            let flush_failures = self.flush_pending_puts(pending, opts, &mut out);
+            // Close every intent bracket the chunk opened — including
+            // degraded ones, whose history rows now say "irreversible"
+            // (recovery treats a present history row as committed either
+            // way). Losing a marker here is benign: see apply_with_options.
+            for (_, r) in &applied {
+                if r.wal_intent {
+                    let _ = self.db.wal_disguise_commit(r.disguise_id);
+                }
+            }
+            for (user, reason) in flush_failures {
+                match applied.iter().position(|(u, _)| *u == user) {
+                    Some(i) => {
+                        applied.remove(i);
+                        out.failures.push((user, reason));
+                    }
+                    None => out.failures.push((user, reason)),
+                }
+            }
+            out.succeeded += applied.len();
+        }
+        out
+    }
+
+    /// Flushes one chunk's deferred vault puts: the fast path is a single
+    /// batched `put_all` per tier. If a batch fails, falls back to
+    /// idempotent per-entry puts (a prefix of the batch may already be
+    /// stored) and applies the vault failure policy to each entry that
+    /// still cannot be stored. Returns the users to be marked failed.
+    fn flush_pending_puts(
+        &self,
+        pending: Vec<PendingVaultPut>,
+        opts: ApplyOptions,
+        out: &mut ShardOutcome,
+    ) -> Vec<(Value, String)> {
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        let mut failures = Vec::new();
+        for tier in [VaultTier::Global, VaultTier::PerUser] {
+            let batch: Vec<&PendingVaultPut> = pending.iter().filter(|p| p.tier == tier).collect();
+            if batch.is_empty() {
+                continue;
+            }
+            let entries: Vec<VaultEntry> = batch.iter().map(|p| p.entry.clone()).collect();
+            if self.vaults.put_all(tier, &entries).is_ok() {
+                out.vault_entries += entries.len();
+                continue;
+            }
+            // Batch failed partway: settle each entry individually.
+            for p in &batch {
+                let already = self
+                    .vaults
+                    .entries_for_disguise(&p.entry.user_id, p.disguise_id)
+                    .map(|es| es.contains(&p.entry))
+                    .unwrap_or(false);
+                if already {
+                    out.vault_entries += 1;
+                    continue;
+                }
+                let vault_err = match self.vaults.put(tier, &p.entry) {
+                    Ok(()) => {
+                        out.vault_entries += 1;
+                        continue;
+                    }
+                    Err(e) => e,
+                };
+                // The database changes are committed; nothing to roll
+                // back. Degrade (or spool) instead, so the history row
+                // never offers a reveal it cannot honor.
+                match opts.vault_failure_policy {
+                    VaultFailurePolicy::Require | VaultFailurePolicy::Degrade => {
+                        let reason = format!("vault write failed: {vault_err}");
+                        let _ = self.history.mark_degraded(p.disguise_id, &reason);
+                        out.degraded += 1;
+                        if opts.vault_failure_policy == VaultFailurePolicy::Require {
+                            failures.push((p.entry.user_id.clone(), reason));
+                        }
+                    }
+                    VaultFailurePolicy::Buffer => match lock_unpoisoned(&self.journal).as_ref() {
+                        Some(journal) => {
+                            if let Err(e) = journal.append(tier, &p.entry) {
+                                failures.push((p.entry.user_id.clone(), e.to_string()));
+                            } else {
+                                out.vault_entries += 1;
+                            }
+                        }
+                        None => {
+                            failures.push((p.entry.user_id.clone(), Error::NoJournal.to_string()))
+                        }
+                    },
+                }
+            }
+        }
+        failures
+    }
+
     fn apply_inner(
         &self,
         spec: &DisguiseSpec,
         user_value: &Value,
         params: &HashMap<String, Value>,
         opts: ApplyOptions,
+        mut vault_sink: Option<&mut Vec<PendingVaultPut>>,
     ) -> Result<DisguiseReport> {
         let mut report = DisguiseReport {
             name: spec.name.clone(),
@@ -682,6 +970,17 @@ impl Disguiser {
                 created_at: now,
                 expires_at: spec.expires_after.map(|d| now + d),
             };
+            // Deferred mode (`apply_many`): the caller batches vault puts
+            // across users, so just hand the entry over. The intent marker
+            // above is already durable, bracketing the deferred put.
+            if let Some(sink) = vault_sink.as_mut() {
+                sink.push(PendingVaultPut {
+                    tier: spec.vault_tier,
+                    entry,
+                    disguise_id: id,
+                });
+                return Ok(report);
+            }
             if let Err(vault_err) = self.vaults.put(spec.vault_tier, &entry) {
                 match opts.vault_failure_policy {
                     // Abort: the caller rolls the transaction back; the
@@ -1085,6 +1384,16 @@ struct AffectedTransforms<'s> {
 }
 
 /// `pk_column = pk` as an expression.
+/// Owner-hash partitioning for [`Disguiser::apply_many`]: hashes the
+/// user id's SQL-literal rendering (the same key vaults and history use)
+/// so every representation of an id lands in the same shard.
+fn owner_shard(user: &Value, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    user.to_sql_literal().hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
 pub(crate) fn pk_pred(pk_column: &str, pk: &Value) -> Expr {
     Expr::eq(Expr::col(pk_column), Expr::lit(pk.clone()))
 }

@@ -43,7 +43,9 @@ pub mod workspace;
 
 pub use analysis::{plan_composition, CompositionPlan};
 pub use analyze::{analyze_spec, render_report, Diagnostic, Location, Severity};
-pub use apply::{ApplyOptions, DisguiseReport, Disguiser, IntentResolution, VaultFailurePolicy};
+pub use apply::{
+    ApplyManyReport, ApplyOptions, DisguiseReport, Disguiser, IntentResolution, VaultFailurePolicy,
+};
 pub use edna_obs::{SpanRecord, Tracer};
 pub use error::{Error, Result};
 pub use guard::DisguisedRows;

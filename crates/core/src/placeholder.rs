@@ -12,10 +12,39 @@ use edna_relational::{Database, Row, TableSchema, Value};
 use crate::error::{Error, Result};
 use crate::spec::{DisguiseSpec, Generator};
 
+/// Attempts before giving up on a colliding `Random` draw (or free
+/// primary key). The pseudo-name space is finite, so at 10⁴–10⁵
+/// placeholders individual draws *will* collide with earlier placeholders
+/// on UNIQUE columns; redrawing makes that a retry, not a failure.
+const UNIQUE_RETRIES: usize = 64;
+
+/// Redraws every `Random`-generated column of `values` in place. Called
+/// after a UNIQUE violation: `Default`/`Derive` values can't change, so
+/// only fresh randomness can resolve the conflict.
+fn redraw_random_columns(
+    schema: &TableSchema,
+    generators: &[(String, Generator)],
+    values: &mut [(&str, Value)],
+    rng: &mut impl Rng,
+) {
+    for (i, col) in schema.columns.iter().enumerate() {
+        let is_random = generators.iter().any(|(name, g)| {
+            name.eq_ignore_ascii_case(&col.name) && matches!(g, Generator::Random)
+        });
+        if !is_random {
+            continue;
+        }
+        if let Some(slot) = values.iter_mut().find(|(name, _)| *name == col.name) {
+            slot.1 = random_value(schema, i, rng);
+        }
+    }
+}
+
 /// Creates one placeholder row in `parent_table`, returning its primary-key
 /// value. Column values come from the spec's `generate_placeholder` section
 /// for that table, falling back to column defaults; the original value of
 /// the decorrelated reference is available to `Derive` generators.
+/// `Random` columns that land on a UNIQUE conflict are redrawn (bounded).
 pub fn create_placeholder(
     db: &Database,
     spec: &DisguiseSpec,
@@ -50,31 +79,55 @@ pub fn create_placeholder(
         values.push((col.name.as_str(), v));
     }
 
+    let has_random = generators
+        .iter()
+        .any(|(_, g)| matches!(g, Generator::Random));
     let pk_col = &schema.columns[pk_index];
     if pk_col.auto_increment {
-        let assigned = db
-            .insert_row(parent_table, &values)?
-            .ok_or_else(|| Error::Placeholder {
-                table: parent_table.to_string(),
-                message: "AUTO_INCREMENT assigned no id".to_string(),
-            })?;
-        return Ok(Value::Int(assigned));
+        for attempt in 0..UNIQUE_RETRIES {
+            match db.insert_row(parent_table, &values) {
+                Ok(Some(assigned)) => return Ok(Value::Int(assigned)),
+                Ok(None) => {
+                    return Err(Error::Placeholder {
+                        table: parent_table.to_string(),
+                        message: "AUTO_INCREMENT assigned no id".to_string(),
+                    })
+                }
+                Err(edna_relational::Error::UniqueViolation { .. })
+                    if has_random && attempt + 1 < UNIQUE_RETRIES =>
+                {
+                    redraw_random_columns(&schema, generators, &mut values, rng);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        return Err(Error::Placeholder {
+            table: parent_table.to_string(),
+            message: format!("could not draw a unique placeholder after {UNIQUE_RETRIES} attempts"),
+        });
     }
 
     // Non-auto primary key: pick random ids until one is free (bounded).
-    for _ in 0..64 {
+    for _ in 0..UNIQUE_RETRIES {
         let candidate = Value::Int(rng.gen_range(1_000_000_000..i64::MAX / 2));
         let mut with_pk = values.clone();
         with_pk.push((pk_col.name.as_str(), candidate.clone()));
         match db.insert_row(parent_table, &with_pk) {
             Ok(_) => return Ok(candidate),
-            Err(edna_relational::Error::UniqueViolation { .. }) => continue,
+            Err(edna_relational::Error::UniqueViolation { .. }) => {
+                // The conflict may be the candidate key *or* a random
+                // UNIQUE column — redraw both.
+                if has_random {
+                    redraw_random_columns(&schema, generators, &mut values, rng);
+                }
+                continue;
+            }
             Err(e) => return Err(e.into()),
         }
     }
     Err(Error::Placeholder {
         table: parent_table.to_string(),
-        message: "could not find a free primary key after 64 attempts".to_string(),
+        message: format!("could not find a free primary key after {UNIQUE_RETRIES} attempts"),
     })
 }
 
@@ -131,15 +184,27 @@ pub fn create_placeholders(
         }
         rows.push(row);
     }
-    db.insert_rows(parent_table, rows)?
-        .into_iter()
-        .map(|assigned| {
-            assigned.map(Value::Int).ok_or_else(|| Error::Placeholder {
-                table: parent_table.to_string(),
-                message: "AUTO_INCREMENT assigned no id".to_string(),
+    match db.insert_rows(parent_table, rows) {
+        Ok(assigned) => assigned
+            .into_iter()
+            .map(|assigned| {
+                assigned.map(Value::Int).ok_or_else(|| Error::Placeholder {
+                    table: parent_table.to_string(),
+                    message: "AUTO_INCREMENT assigned no id".to_string(),
+                })
             })
-        })
-        .collect()
+            .collect(),
+        Err(edna_relational::Error::UniqueViolation { .. }) => {
+            // A Random draw collided (with an existing row or within the
+            // batch). The failed statement rolled back atomically, so fall
+            // back to per-row creation, which redraws on conflict.
+            originals
+                .iter()
+                .map(|o| create_placeholder(db, spec, parent_table, o, rng))
+                .collect()
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// A type-appropriate random value for `schema.columns[i]`. Text columns
@@ -149,14 +214,19 @@ pub fn random_value(schema: &TableSchema, i: usize, rng: &mut impl Rng) -> Value
     use edna_relational::DataType;
     let col = &schema.columns[i];
     match col.ty {
-        DataType::Int => Value::Int(rng.gen_range(0..1_000_000)),
+        DataType::Int => Value::Int(rng.gen_range(0..1_000_000_000_000)),
         DataType::Float => Value::Float(rng.gen_range(0.0..1.0)),
         DataType::Bool => Value::Bool(false),
         DataType::Bytes => Value::Bytes((0..8).map(|_| rng.gen()).collect()),
         DataType::Text => {
             const CONSONANTS: &[u8] = b"bcdfgklmnprstvz";
             const VOWELS: &[u8] = b"aeiou";
-            let syllables = rng.gen_range(2..=4);
+            // Four syllables minimum keeps the draw space ≥ 31M: at
+            // 10⁴–10⁵ placeholders, birthday collisions on UNIQUE
+            // columns stay rare enough that the bounded redraw in
+            // `create_placeholder` is a corner case, not the batch
+            // path's common case.
+            let syllables = rng.gen_range(4..=6);
             let mut name = String::new();
             for s in 0..syllables {
                 let c = CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char;
@@ -260,6 +330,66 @@ mod tests {
             .unwrap()
             .rows;
         assert_eq!(rows[0][0], Value::Text("anon-of-19".into()));
+    }
+
+    #[test]
+    fn random_unique_collision_redraws_instead_of_failing() {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY AUTO_INCREMENT, \
+             name TEXT NOT NULL UNIQUE)",
+        )
+        .unwrap();
+        let spec = DisguiseSpecBuilder::new("t")
+            .placeholder("ContactInfo", "name", Generator::Random)
+            .build()
+            .unwrap();
+        // Pre-claim the exact name a fresh seed-9 RNG draws first, so the
+        // placeholder's first attempt is guaranteed to collide.
+        let schema = db.schema("ContactInfo").unwrap();
+        let mut probe = Prng::seed_from_u64(9);
+        let Value::Text(first_draw) = random_value(&schema, 1, &mut probe) else {
+            panic!("expected a text draw")
+        };
+        db.execute(&format!(
+            "INSERT INTO ContactInfo (name) VALUES ('{first_draw}')"
+        ))
+        .unwrap();
+
+        let mut rng = Prng::seed_from_u64(9);
+        create_placeholder(&db, &spec, "ContactInfo", &Value::Int(1), &mut rng)
+            .expect("collision redraws");
+        assert_eq!(db.row_count("ContactInfo").unwrap(), 2);
+    }
+
+    #[test]
+    fn batch_placeholders_fall_back_per_row_on_collision() {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE ContactInfo (contactId INT PRIMARY KEY AUTO_INCREMENT, \
+             name TEXT NOT NULL UNIQUE)",
+        )
+        .unwrap();
+        let spec = DisguiseSpecBuilder::new("t")
+            .placeholder("ContactInfo", "name", Generator::Random)
+            .build()
+            .unwrap();
+        let schema = db.schema("ContactInfo").unwrap();
+        let mut probe = Prng::seed_from_u64(10);
+        let Value::Text(first_draw) = random_value(&schema, 1, &mut probe) else {
+            panic!("expected a text draw")
+        };
+        db.execute(&format!(
+            "INSERT INTO ContactInfo (name) VALUES ('{first_draw}')"
+        ))
+        .unwrap();
+
+        let originals = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+        let mut rng = Prng::seed_from_u64(10);
+        let pks = create_placeholders(&db, &spec, "ContactInfo", &originals, &mut rng)
+            .expect("batch falls back and redraws");
+        assert_eq!(pks.len(), 3);
+        assert_eq!(db.row_count("ContactInfo").unwrap(), 4);
     }
 
     #[test]

@@ -762,3 +762,161 @@ fn tracer_emits_disguise_phase_spans() {
     edna.apply("Scrub", Some(&Value::Int(2))).unwrap();
     assert!(tracer.spans().is_empty());
 }
+
+/// A forum database with `n` users, each owning one story and one comment
+/// on it (enough structure that Scrub touches every table per user).
+fn forum_db_with_users(n: usize) -> Database {
+    let db = forum_db();
+    // Users 1 and 2 exist already; grow the population.
+    for i in 3..=n {
+        db.execute(&format!(
+            "INSERT INTO users (username, email) VALUES ('u{i}', 'u{i}@x.org')"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO stories (user_id, title) VALUES ({i}, 'story {i}')"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO comments (user_id, story_id, body) VALUES ({i}, 1, 'hi from {i}')"
+        ))
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn apply_many_disguises_every_user_in_parallel_shards() {
+    let n = 40;
+    let db = forum_db_with_users(n);
+    let edna = disguiser(&db);
+    let users: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
+
+    let report = edna.apply_many("Scrub", &users, 4).unwrap();
+    assert_eq!(report.users, n);
+    assert_eq!(report.succeeded, n, "failures: {:?}", report.failures);
+    assert!(report.failures.is_empty());
+    assert_eq!(report.shards, 4);
+    assert_eq!(report.rows_removed, n, "one account row per user");
+    assert_eq!(report.vault_entries, n, "one reveal entry per user");
+    assert_eq!(report.degraded, 0);
+
+    // Every account is gone; every contribution is decorrelated.
+    for uid in 1..=n as i64 {
+        assert!(db
+            .execute(&format!("SELECT id FROM users WHERE id = {uid}"))
+            .unwrap()
+            .rows
+            .is_empty());
+        assert!(db
+            .execute(&format!("SELECT id FROM stories WHERE user_id = {uid}"))
+            .unwrap()
+            .rows
+            .is_empty());
+    }
+    // History recorded one application per user, and reveal still works.
+    let event = edna
+        .history()
+        .latest("Scrub", &Value::Int(5))
+        .unwrap()
+        .expect("user 5 was disguised");
+    assert!(event.reversible);
+    edna.reveal(event.id).unwrap();
+    assert_eq!(
+        db.execute("SELECT username FROM users WHERE id = 5")
+            .unwrap()
+            .rows
+            .len(),
+        1,
+        "revealed user 5 is back"
+    );
+}
+
+#[test]
+fn apply_many_matches_sequential_apply() {
+    let n = 12;
+    let seq_db = forum_db_with_users(n);
+    let seq = disguiser(&seq_db);
+    let par_db = forum_db_with_users(n);
+    let par = disguiser(&par_db);
+    let users: Vec<Value> = (1..=n as i64).map(Value::Int).collect();
+
+    let mut seq_removed = 0;
+    let mut seq_decorrelated = 0;
+    let opts = ApplyOptions {
+        use_transaction: false,
+        ..ApplyOptions::default()
+    };
+    for u in &users {
+        let r = seq.apply_with_options("Scrub", Some(u), opts).unwrap();
+        seq_removed += r.rows_removed;
+        seq_decorrelated += r.rows_decorrelated;
+    }
+    let many = par.apply_many("Scrub", &users, 3).unwrap();
+    assert_eq!(many.rows_removed, seq_removed);
+    assert_eq!(many.rows_decorrelated, seq_decorrelated);
+    assert_eq!(
+        seq_db.row_count("users").unwrap(),
+        par_db.row_count("users").unwrap()
+    );
+    assert_eq!(
+        seq_db.row_count("stories").unwrap(),
+        par_db.row_count("stories").unwrap()
+    );
+}
+
+#[test]
+fn apply_many_reports_per_user_failures_and_continues() {
+    let db = forum_db_with_users(6);
+    // Only user 2 has zero karma; the karma-gated remove below leaves
+    // everyone else's account behind, tripping their end-state assertion.
+    db.execute("UPDATE users SET karma = 1 WHERE id <> 2")
+        .unwrap();
+    let edna = Disguiser::new(db.clone());
+    edna.register(
+        DisguiseSpecBuilder::new("Purge")
+            .user_scoped()
+            .decorrelate("stories", Some("user_id = $UID"), "user_id", "users")
+            .decorrelate("comments", Some("user_id = $UID"), "user_id", "users")
+            .remove("users", Some("id = $UID AND karma = 0"))
+            .placeholder("users", "username", Generator::Random)
+            .assert_empty("users", "id = $UID", "account removed")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let users: Vec<Value> = (1..=6).map(Value::Int).collect();
+    let report = edna.apply_many("Purge", &users, 2).unwrap();
+    assert_eq!(report.succeeded, 1, "only the zero-karma user purges");
+    assert_eq!(report.failures.len(), 5);
+    assert!(report
+        .failures
+        .iter()
+        .all(|(_, msg)| msg.contains("account removed")));
+    assert!(report.failures.iter().all(|(u, _)| *u != Value::Int(2)));
+}
+
+#[test]
+fn apply_many_rejects_global_disguises() {
+    let db = forum_db();
+    let edna = Disguiser::new(db.clone());
+    edna.register(
+        DisguiseSpecBuilder::new("Decay")
+            .remove("comments", Some("created_at < 100"))
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let err = edna.apply_many("Decay", &[Value::Int(1)], 2).unwrap_err();
+    assert!(matches!(err, Error::SpecInvalid { .. }), "got {err:?}");
+}
+
+#[test]
+fn apply_many_clamps_shards_to_user_count() {
+    let db = forum_db_with_users(3);
+    let edna = disguiser(&db);
+    let users = vec![Value::Int(3)];
+    let report = edna.apply_many("Scrub", &users, 64).unwrap();
+    assert_eq!(report.shards, 1);
+    assert_eq!(report.succeeded, 1);
+}

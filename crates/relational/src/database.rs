@@ -58,6 +58,12 @@ pub struct Database {
     stmt_cache: Arc<Mutex<StmtCache>>,
     obs: Arc<DbObs>,
     wal: Arc<RwLock<Option<Arc<Wal>>>>,
+    /// Transactions whose redo frame is staged in the WAL's group-commit
+    /// pipeline but not yet durable, keyed by LSN. Their effects are
+    /// already visible; if the batch flush fails, the WAL's abort handler
+    /// pulls them from here and rolls them back before any committer
+    /// observes the failure.
+    pending_txns: Arc<Mutex<HashMap<u64, Txn>>>,
 }
 
 /// One entry of the slow-statement log.
@@ -186,6 +192,7 @@ impl Database {
             stmt_cache: Arc::new(Mutex::new(StmtCache::default())),
             obs,
             wal: Arc::new(RwLock::new(None)),
+            pending_txns: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -399,6 +406,7 @@ impl Database {
         let mut guard = self.inner_write();
         let lock_wait = started.elapsed();
         let inner = &mut *guard;
+        let mut ticket = None;
         let result = if inner.txn.is_some() {
             let mark = inner.txn.as_ref().expect("checked").mark();
             match f(inner) {
@@ -416,13 +424,16 @@ impl Database {
             match f(inner) {
                 Ok(v) => {
                     let txn = inner.txn.take().expect("installed above");
-                    match self.wal_log_commit(inner, &txn) {
-                        Ok(()) => Ok(v),
-                        Err(e) => {
-                            // Not logged ⇒ not committed: undo the statement.
-                            inner.rollback(txn);
-                            Err(e)
+                    // Stage the redo frame while the lock still excludes
+                    // other writers (the LSN order must match commit
+                    // order); the durability wait happens after release
+                    // so concurrent committers share one batch fsync.
+                    match self.wal_stage_commit(inner, txn) {
+                        Ok(t) => {
+                            ticket = t;
+                            Ok(v)
                         }
+                        Err(e) => Err(e),
                     }
                 }
                 Err(e) => {
@@ -433,6 +444,10 @@ impl Database {
             }
         };
         drop(guard);
+        let result = match (result, ticket) {
+            (Ok(v), Some(t)) => self.wal_wait_commit(t).map(|()| v),
+            (result, _) => result,
+        };
         let latency = *read_unpoisoned(&self.latency);
         if !latency.is_none() {
             let written_after = self.stats.snapshot().rows_written;
@@ -500,20 +515,20 @@ impl Database {
     }
 
     /// Commits the open transaction; errors if none is open. With a WAL
-    /// attached the transaction's redo frame is fsynced before this
-    /// returns; if that append fails the transaction is rolled back
-    /// instead — nothing becomes visible that is not also durable.
+    /// attached the transaction's redo frame is durable (via the
+    /// group-commit pipeline) before this returns; if logging fails the
+    /// transaction is rolled back instead — nothing stays visible that is
+    /// not also durable.
     pub fn commit(&self) -> Result<()> {
         let mut inner = self.inner_write();
-        match inner.txn.take() {
-            Some(txn) => match self.wal_log_commit(&inner, &txn) {
-                Ok(()) => Ok(()),
-                Err(e) => {
-                    inner.rollback(txn);
-                    Err(e)
-                }
-            },
-            None => Err(Error::Txn("COMMIT without BEGIN".to_string())),
+        let ticket = match inner.txn.take() {
+            Some(txn) => self.wal_stage_commit(&mut inner, txn)?,
+            None => return Err(Error::Txn("COMMIT without BEGIN".to_string())),
+        };
+        drop(inner);
+        match ticket {
+            Some(t) => self.wal_wait_commit(t),
+            None => Ok(()),
         }
     }
 
@@ -555,11 +570,37 @@ impl Database {
     // ---- write-ahead log and recovery --------------------------------------
 
     /// Attaches a write-ahead log: from now on every committed transaction
-    /// appends an fsynced redo frame before its commit returns, and
-    /// [`Database::save`] becomes a checkpoint (snapshot + log truncation).
-    /// The log's counters are bound into this database's metrics registry.
+    /// gets a durable redo frame (via the group-commit pipeline) before
+    /// its commit returns, and [`Database::save`] becomes a checkpoint
+    /// (snapshot + log truncation). The log's counters are bound into
+    /// this database's metrics registry, and its abort handler is wired
+    /// to roll back transactions whose batch flush fails.
     pub fn attach_wal(&self, wal: Arc<Wal>) {
         wal.bind_metrics(&self.stats.registry());
+        let inner = Arc::clone(&self.inner);
+        let pending = Arc::clone(&self.pending_txns);
+        wal.set_abort_handler(Some(Arc::new(move |lsns: &[u64]| {
+            let mut victims: Vec<(u64, Txn)> = {
+                let mut p = lock_unpoisoned(&pending);
+                lsns.iter()
+                    .filter_map(|lsn| p.remove(lsn).map(|txn| (*lsn, txn)))
+                    .collect()
+            };
+            if victims.is_empty() {
+                // Only marker frames died; nothing visible to undo (and
+                // skipping the engine lock here keeps a checkpoint that
+                // holds a read guard from deadlocking against us).
+                return;
+            }
+            // Two failed transactions can touch the same row slot; undo
+            // in reverse commit order so each rollback sees the state its
+            // undo log expects.
+            victims.sort_by_key(|v| std::cmp::Reverse(v.0));
+            let mut guard = inner.write().unwrap_or_else(PoisonError::into_inner);
+            for (_, txn) in victims {
+                guard.rollback(txn);
+            }
+        })));
         *write_unpoisoned(&self.wal) = Some(wal);
     }
 
@@ -574,18 +615,49 @@ impl Database {
         self.wal().map(|w| w.last_lsn()).unwrap_or(0)
     }
 
-    /// Logs a committing transaction's redo frame (no-op without a WAL or
-    /// for a read-only transaction). Called with the transaction already
-    /// taken out of `inner`, so the live state *is* the post-commit state
-    /// the redo conversion resolves after-images against.
-    fn wal_log_commit(&self, inner: &Inner, txn: &Txn) -> Result<()> {
-        let Some(w) = self.wal() else { return Ok(()) };
+    /// Stages a committing transaction's redo frame in the WAL's
+    /// group-commit pipeline (no-op without a WAL or for a read-only
+    /// transaction), returning the ticket to wait on *after* the engine
+    /// lock is released. Called with the transaction already taken out of
+    /// `inner`, so the live state *is* the post-commit state the redo
+    /// conversion resolves after-images against. On staging failure the
+    /// transaction is rolled back here (not staged ⇒ not logged ⇒ not
+    /// committed); once staged, the transaction is parked in
+    /// `pending_txns` so a failed batch flush can roll it back.
+    fn wal_stage_commit(&self, inner: &mut Inner, txn: Txn) -> Result<Option<wal::WalTicket>> {
+        let Some(w) = self.wal() else { return Ok(None) };
         if txn.undo.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
-        let ops = wal::redo_from_txn(inner, txn)?;
-        w.append(&WalRecord::Txn { ops })?;
-        Ok(())
+        let staged =
+            wal::redo_from_txn(inner, &txn).and_then(|ops| w.stage(&WalRecord::Txn { ops }));
+        match staged {
+            Ok(ticket) => {
+                lock_unpoisoned(&self.pending_txns).insert(ticket.lsn, txn);
+                Ok(Some(ticket))
+            }
+            Err(e) => {
+                inner.rollback(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until a staged commit's batch is durable, then retires its
+    /// `pending_txns` entry. On batch failure the WAL's abort handler has
+    /// already rolled the transaction back (it runs before any waiter is
+    /// released), so only the error needs propagating.
+    fn wal_wait_commit(&self, ticket: wal::WalTicket) -> Result<()> {
+        let Some(w) = self.wal() else {
+            return Err(Error::Wal("WAL detached mid-commit".to_string()));
+        };
+        match w.wait_durable(ticket) {
+            Ok(lsn) => {
+                lock_unpoisoned(&self.pending_txns).remove(&lsn);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Appends a disguise *intent* marker: disguise `disguise_id` for
@@ -1217,21 +1289,37 @@ impl Database {
         // transaction committing in the gap would have an LSN above the
         // captured watermark, effects absent from the snapshot, and its
         // frame deleted by the truncation — an acknowledged durable
-        // commit lost. Commits take the write lock (and append their
-        // frame under it), so a read guard held here excludes them while
-        // letting concurrent readers proceed.
-        let inner = self.inner_read();
-        let watermark = w.last_lsn();
-        let snapshots: Vec<crate::snapshot::TableSnapshot> = inner
-            .table_order
-            .iter()
-            .map(|key| crate::snapshot::TableSnapshot::of(&inner.tables[key]))
-            .collect();
-        let data = crate::snapshot::encode_parts(inner.now, watermark, &snapshots);
-        crate::snapshot::write_atomic(&data, path.as_ref())?;
-        w.truncate()?;
-        drop(inner);
-        Ok(())
+        // commit lost. Commits stage their frame under the write lock, so
+        // a read guard held here excludes new ones while letting
+        // concurrent readers proceed.
+        loop {
+            // Drain the commit pipeline first: a staged-but-unflushed
+            // frame belongs to a transaction whose effects are already
+            // visible, and a failed flush would roll it back *after* the
+            // snapshot encoded them — an unacknowledged commit made
+            // durable by the checkpoint. Only snapshot a quiescent
+            // pipeline.
+            w.flush_pending()?;
+            let inner = self.inner_read();
+            if !w.pipeline_idle() {
+                // A committer slipped a frame in between the flush and
+                // the lock; let it finish and retry.
+                drop(inner);
+                std::thread::yield_now();
+                continue;
+            }
+            let watermark = w.last_lsn();
+            let snapshots: Vec<crate::snapshot::TableSnapshot> = inner
+                .table_order
+                .iter()
+                .map(|key| crate::snapshot::TableSnapshot::of(&inner.tables[key]))
+                .collect();
+            let data = crate::snapshot::encode_parts(inner.now, watermark, &snapshots);
+            crate::snapshot::write_atomic(&data, path.as_ref())?;
+            w.truncate()?;
+            drop(inner);
+            return Ok(());
+        }
     }
 
     /// Loads a database from a snapshot file (see [`crate::snapshot`]).

@@ -1,10 +1,31 @@
-//! Write-ahead log: redo records for committed transactions.
+//! Write-ahead log: redo records for committed transactions, flushed
+//! through a group-commit pipeline.
 //!
 //! The engine is snapshot-durable on its own — state survives only as far
 //! as the last [`crate::snapshot::save`]. The WAL closes that gap: every
-//! committed transaction appends one fsynced *redo frame* before the
-//! commit returns, so `Workspace`-level recovery can replay the tail of
-//! the log over the last snapshot and recover every committed write.
+//! committed transaction gets an fsynced *redo frame* before the commit
+//! returns, so `Workspace`-level recovery can replay the tail of the log
+//! over the last snapshot and recover every committed write.
+//!
+//! # Group commit
+//!
+//! Committers do not write the file themselves. [`Wal::stage`] assigns an
+//! LSN and queues the encoded frame; [`Wal::wait_durable`] blocks until
+//! that LSN is on disk. The first waiter to find the pipeline free
+//! becomes the batch *leader*: it drains the queue (up to
+//! [`WalGroupConfig::max_frames`]), writes every frame with one
+//! `write`+`fsync` pair, and wakes the followers. While a flush is in
+//! flight new committers keep staging, so batches form naturally under
+//! load — N concurrent committers cost ~1 fsync per batch instead of N —
+//! while a solo committer flushes immediately and sees exactly one fsync
+//! with no added latency. [`WalGroupConfig::max_delay`] optionally trades
+//! latency for bigger batches.
+//!
+//! A *failed* batch flush fails every waiter in the batch (and any frames
+//! staged behind it): the file is truncated back to the last known-good
+//! frame boundary, the LSN counter rewinds to just past the durable tail,
+//! and the abort handler installed by `Database::attach_wal` rolls the
+//! victims' already-visible effects back before any waiter is released.
 //!
 //! # Records
 //!
@@ -33,24 +54,24 @@
 //!
 //! The [`WalCrashHook`] is the WAL-side half of the fault-injection
 //! harness (`Database::set_fault_hook` is the statement-side half): it is
-//! consulted once per append with the frame's 0-based index and may kill
-//! the append before the write, mid-write (torn frame, no fsync), or
-//! after the write+fsync — the three states a real crash can leave. An
-//! injected crash also poisons the log (the process is presumed dead), so
-//! later appends fail rather than writing after a gap. A *real* append
-//! failure (ENOSPC, EIO, failed fsync) is handled differently: the file
-//! is truncated back to the last good frame boundary so the log stays
-//! valid for further appends, and the log is poisoned only if that
-//! restore itself fails.
+//! consulted once per frame, at flush time, with the frame's 0-based
+//! index, and may kill the flush before the frame's write, mid-write
+//! (torn frame, no fsync), or after a write+fsync — the three states a
+//! real crash can leave. An injected crash also poisons the log (the
+//! process is presumed dead), so later appends fail rather than writing
+//! after a gap. A *real* flush failure (ENOSPC, EIO, failed fsync) is
+//! handled differently: the file is truncated back to the last good
+//! frame boundary so the log stays valid for further appends, and the
+//! log is poisoned only if that restore itself fails.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
-use edna_obs::{Counter, MetricsRegistry};
+use edna_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use edna_util::frame;
 use edna_util::sync::{lock_unpoisoned, read_unpoisoned, write_unpoisoned};
 
@@ -167,24 +188,151 @@ struct WalMetrics {
     frames: Arc<Counter>,
     fsyncs: Arc<Counter>,
     bytes: Arc<Counter>,
+    group_commits: Arc<Counter>,
+    group_size: Arc<Histogram>,
+    fsyncs_saved: Arc<Counter>,
+    frames_per_fsync: Arc<Gauge>,
 }
 
 struct WalFile {
     file: Option<std::fs::File>,
-    next_lsn: u64,
-    /// File length as of the last successful append (or truncation) — the
-    /// restore point when a real append fails partway through.
+    /// File length as of the last successful flush (or truncation) — the
+    /// restore point when a real flush fails partway through.
     good_len: u64,
 }
 
-/// An append-only, fsync-per-frame redo log.
+/// Tuning knobs for the group-commit pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct WalGroupConfig {
+    /// Most frames one leader flushes in a single write+fsync.
+    pub max_frames: usize,
+    /// How long a leader waits for co-committers to stage before
+    /// flushing. The wait is *adaptive*: it is honored only when the
+    /// queue (or the previous batch) shows more than one committer, so
+    /// a strictly solo committer always sees one immediate fsync with
+    /// no added latency — and under contention the pipeline escapes the
+    /// steady state where each flush wakes only the previous batch's
+    /// committers and batches never grow. Zero disables accumulation
+    /// (batching still emerges while a flush is in flight).
+    pub max_delay: Duration,
+    /// Lower bound on the wall-clock cost of one batch flush (padded
+    /// with a sleep when the real fsync beats it). Pins the relative
+    /// price of durability on hosts whose fsync is too fast for
+    /// group-commit effects to be measurable; zero disables.
+    pub fsync_floor: Duration,
+}
+
+impl Default for WalGroupConfig {
+    fn default() -> WalGroupConfig {
+        WalGroupConfig {
+            max_frames: 64,
+            max_delay: Duration::from_micros(500),
+            fsync_floor: Duration::ZERO,
+        }
+    }
+}
+
+/// A staged frame's claim check: pass to [`Wal::wait_durable`] to block
+/// until the frame is on disk. The internal stage sequence number — not
+/// the LSN — identifies the frame: a failed batch rewinds the LSN
+/// counter, so LSNs can be reassigned, while stage seqs never are.
+#[derive(Debug, Clone, Copy)]
+pub struct WalTicket {
+    seq: u64,
+    /// The LSN assigned to the staged frame.
+    pub lsn: u64,
+}
+
+/// Marker bookkeeping a staged frame carries so `open_intents` can be
+/// updated when (and only when) the frame actually reaches disk.
+enum MarkerNote {
+    Intent(u64, Value),
+    Commit(u64),
+}
+
+/// One frame queued for the next batch flush.
+struct StagedFrame {
+    seq: u64,
+    lsn: u64,
+    bytes: Vec<u8>,
+    note: Option<MarkerNote>,
+}
+
+/// Why a staged frame's waiter is being failed.
+enum AbortCause {
+    /// The crash hook killed the flush at this frame (hook index).
+    Injected(u64),
+    /// The batch failed for a real (or neighboring) reason.
+    Failed(String),
+}
+
+impl AbortCause {
+    fn into_error(self) -> Error {
+        match self {
+            AbortCause::Injected(index) => Error::FaultInjected(index),
+            AbortCause::Failed(msg) => Error::Wal(msg),
+        }
+    }
+}
+
+/// How one batch flush failed (internal to the leader protocol).
+enum BatchFailure {
+    /// The crash hook fired at the frame staged under `seq`.
+    /// `persisted_lsn` is `Some` when the crash style left frames durable
+    /// through that LSN ([`WalCrash::AfterWrite`]).
+    Injected {
+        seq: u64,
+        index: u64,
+        persisted_lsn: Option<u64>,
+    },
+    /// A real I/O failure; the file was restored to the good boundary.
+    Real(Error),
+}
+
+/// Commit-pipeline state shared by stagers, waiters, and the leader.
+struct GroupState {
+    /// Frames staged and not yet flushed, in LSN order.
+    pending: VecDeque<StagedFrame>,
+    /// Next LSN to assign.
+    next_lsn: u64,
+    /// Next stage sequence number to assign (starts at 1).
+    next_seq: u64,
+    /// Highest stage seq whose frame is durable *and acknowledged* — the
+    /// waiters' release cursor.
+    durable_seq: u64,
+    /// Highest LSN durable on disk — the floor a failed batch rewinds
+    /// `next_lsn` to (+1). Can run ahead of `durable_seq`'s frame when an
+    /// injected `AfterWrite` crash makes frames durable but unacked.
+    durable_lsn: u64,
+    /// A leader is writing a batch (pipeline busy; new frames queue up).
+    flushing: bool,
+    /// A failed batch is being rolled back: staging is refused and abort
+    /// verdicts are withheld until the rollback completes.
+    aborting: bool,
+    /// Abort verdicts by stage seq, awaiting pickup by their waiters.
+    aborted: HashMap<u64, AbortCause>,
+    /// How many frames the previous batch carried — the concurrency
+    /// signal the adaptive accumulation delay keys off.
+    last_batch_frames: usize,
+}
+
+/// Callback invoked with the *LSNs* of every frame killed by a failed
+/// batch, before any of their waiters are released. `Database` uses it to
+/// roll back the victims' still-visible transaction effects.
+pub type WalAbortHandler = Arc<dyn Fn(&[u64]) + Send + Sync>;
+
+/// An append-only redo log with group commit.
 ///
 /// Obtained from [`Wal::open`] and attached to a database with
-/// `Database::attach_wal`; thereafter every committed transaction appends
-/// a frame before its commit returns.
+/// `Database::attach_wal`; thereafter every committed transaction's frame
+/// is durable (via a shared batch fsync) before its commit returns.
 pub struct Wal {
     path: PathBuf,
     state: Mutex<WalFile>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    config: RwLock<WalGroupConfig>,
+    abort_handler: RwLock<Option<WalAbortHandler>>,
     crash_hook: RwLock<Option<WalCrashHook>>,
     frame_seq: AtomicU64,
     poisoned: AtomicBool,
@@ -244,9 +392,22 @@ impl Wal {
             path,
             state: Mutex::new(WalFile {
                 file: None,
-                next_lsn,
                 good_len: scan.valid_len as u64,
             }),
+            group: Mutex::new(GroupState {
+                pending: VecDeque::new(),
+                next_lsn,
+                next_seq: 1,
+                durable_seq: 0,
+                durable_lsn: next_lsn - 1,
+                flushing: false,
+                aborting: false,
+                aborted: HashMap::new(),
+                last_batch_frames: 0,
+            }),
+            group_cv: Condvar::new(),
+            config: RwLock::new(WalGroupConfig::default()),
+            abort_handler: RwLock::new(None),
             crash_hook: RwLock::new(None),
             frame_seq: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
@@ -268,12 +429,44 @@ impl Wal {
             frames: registry.counter("edna_wal_frames_total", "WAL frames appended."),
             fsyncs: registry.counter("edna_wal_fsyncs_total", "WAL fsync calls."),
             bytes: registry.counter("edna_wal_bytes_total", "WAL bytes written."),
+            group_commits: registry.counter(
+                "edna_wal_group_commits_total",
+                "Group-commit batch flushes (one fsync each).",
+            ),
+            group_size: registry.histogram(
+                "edna_wal_group_size",
+                "Frames per group-commit batch (unit: frames, not µs).",
+                &[1, 2, 4, 8, 16, 32, 64, 128],
+            ),
+            fsyncs_saved: registry.counter(
+                "edna_wal_group_fsyncs_saved_total",
+                "Fsyncs avoided by batching (batch size - 1, summed).",
+            ),
+            frames_per_fsync: registry.gauge(
+                "edna_wal_frames_per_fsync",
+                "Cumulative mean frames per fsync, scaled by 1000.",
+            ),
         });
+    }
+
+    /// Replaces the group-commit tuning knobs (defaults: flush
+    /// immediately, at most 64 frames per batch, no fsync floor).
+    pub fn set_group_commit(&self, cfg: WalGroupConfig) {
+        *write_unpoisoned(&self.config) = cfg;
+    }
+
+    /// Installs (or with `None` removes) the failed-batch abort handler.
+    /// It runs on the leader thread of a failed flush, after the file is
+    /// restored and before any waiter is released, with the LSNs of every
+    /// killed frame.
+    pub fn set_abort_handler(&self, handler: Option<WalAbortHandler>) {
+        *write_unpoisoned(&self.abort_handler) = handler;
     }
 
     /// Installs (or with `None` removes) a crash hook, resetting the frame
     /// index to 0 and clearing crash poisoning. The hook is consulted once
-    /// per append, *before* the write reaches the file.
+    /// per frame at flush time, *before* that frame's write reaches the
+    /// file (frames flush in LSN order, so indices follow append order).
     pub fn set_crash_hook(&self, hook: Option<WalCrashHook>) {
         *write_unpoisoned(&self.crash_hook) = hook;
         self.frame_seq.store(0, Ordering::SeqCst);
@@ -287,10 +480,10 @@ impl Wal {
         self.frame_seq.load(Ordering::SeqCst)
     }
 
-    /// The last LSN assigned to an appended frame (0 if none ever was).
+    /// The last LSN assigned to a staged frame (0 if none ever was).
     /// Monotonic across checkpoints: truncation keeps the counter.
     pub fn last_lsn(&self) -> u64 {
-        lock_unpoisoned(&self.state).next_lsn - 1
+        lock_unpoisoned(&self.group).next_lsn - 1
     }
 
     /// Raises the LSN counter so the next append gets at least
@@ -300,84 +493,389 @@ impl Wal {
     /// watermark or its fresh frames would be skipped as already
     /// checkpointed on the next replay.
     pub fn ensure_next_lsn(&self, min_next: u64) {
-        let mut state = lock_unpoisoned(&self.state);
-        state.next_lsn = state.next_lsn.max(min_next);
+        let mut group = lock_unpoisoned(&self.group);
+        group.next_lsn = group.next_lsn.max(min_next);
+        if group.pending.is_empty() && !group.flushing {
+            // Keep the rewind floor in step: a failed batch resets
+            // `next_lsn` to `durable_lsn + 1`, which must never fall back
+            // below the watermark the caller just raised us past — a
+            // reassigned lower LSN would be skipped as already
+            // checkpointed on the next replay.
+            group.durable_lsn = group.durable_lsn.max(group.next_lsn - 1);
+        }
     }
 
-    /// Appends one record as an fsynced frame, returning its LSN.
-    ///
-    /// On a *real* append failure (partial write, failed fsync) the file
-    /// is truncated back to the last known-good frame boundary before the
-    /// error is returned, so the next append continues a clean log rather
-    /// than writing after torn frame bytes — which would wedge the next
-    /// recovery scan at the tear and silently drop every later committed
-    /// frame. Only if that restore itself fails is the log poisoned.
+    /// Appends one record as a durably-flushed frame, returning its LSN:
+    /// [`Wal::stage`] followed by [`Wal::wait_durable`].
     pub fn append(&self, record: &WalRecord) -> Result<u64> {
+        let ticket = self.stage(record)?;
+        self.wait_durable(ticket)
+    }
+
+    /// Assigns the record an LSN and queues its encoded frame for the
+    /// next batch flush. Cheap (no I/O): callers may stage while holding
+    /// the engine lock, release it, then [`Wal::wait_durable`] so
+    /// concurrent committers share one fsync.
+    pub fn stage(&self, record: &WalRecord) -> Result<WalTicket> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(Error::Wal(
                 "log poisoned by a crash or unrestorable append failure; reopen to recover"
                     .to_string(),
             ));
         }
-        let mut state = lock_unpoisoned(&self.state);
-        let lsn = state.next_lsn;
-        let body = encode_body(lsn, record);
-        let framed = frame::encode_record(&body);
-        let crash = {
-            let hook = read_unpoisoned(&self.crash_hook);
-            hook.as_ref().and_then(|h| {
-                let index = self.frame_seq.fetch_add(1, Ordering::SeqCst);
-                h(index).map(|style| (index, style))
-            })
-        };
-        if let Some((index, style)) = crash {
-            self.poisoned.store(true, Ordering::SeqCst);
-            match style {
-                WalCrash::BeforeWrite => {}
-                WalCrash::TornWrite => {
-                    // Half a frame reaches the file, never synced. A real
-                    // crash may persist any prefix; half exercises both a
-                    // torn length header and a torn body across the sweep.
-                    let _ = self.write_bytes(&mut state, &framed[..framed.len() / 2], false);
-                }
-                WalCrash::AfterWrite => {
-                    self.write_bytes(&mut state, &framed, true)?;
-                    state.good_len += framed.len() as u64;
-                    state.next_lsn = lsn + 1;
-                }
+        let mut group = lock_unpoisoned(&self.group);
+        if group.aborting {
+            // Refusing (rather than waiting) keeps stagers that hold the
+            // engine lock from deadlocking against the abort handler,
+            // which needs that lock to roll the failed batch back.
+            return Err(Error::Wal(
+                "commit pipeline is rolling back a failed batch; retry".to_string(),
+            ));
+        }
+        let seq = group.next_seq;
+        group.next_seq += 1;
+        let lsn = group.next_lsn;
+        group.next_lsn = lsn + 1;
+        let bytes = frame::encode_record(&encode_body(lsn, record));
+        let note = match record {
+            WalRecord::DisguiseIntent { disguise_id, user } => {
+                Some(MarkerNote::Intent(*disguise_id, user.clone()))
             }
-            return Err(Error::FaultInjected(index));
+            WalRecord::DisguiseCommit { disguise_id } => Some(MarkerNote::Commit(*disguise_id)),
+            WalRecord::Txn { .. } => None,
+        };
+        group.pending.push_back(StagedFrame {
+            seq,
+            lsn,
+            bytes,
+            note,
+        });
+        if group.pending.len() >= read_unpoisoned(&self.config).max_frames {
+            // A dawdling leader stops accumulating the moment the batch
+            // is full.
+            self.group_cv.notify_all();
         }
-        if let Err(e) = self.write_bytes(&mut state, &framed, true) {
-            // The write or fsync failed (ENOSPC, EIO, …): any prefix of
-            // the frame — including unsynced post-fsync-failure bytes
-            // that may yet persist — could be sitting mid-file. Restore
-            // the known-good state before another append lands after it.
-            self.restore_good_len(&mut state);
-            return Err(e);
-        }
-        state.good_len += framed.len() as u64;
-        state.next_lsn = lsn + 1;
-        self.note_appended(record);
-        Ok(lsn)
+        Ok(WalTicket { seq, lsn })
     }
 
-    /// Tracks intent/commit markers on successful appends so a checkpoint
-    /// can carry still-open intents into the fresh log.
-    fn note_appended(&self, record: &WalRecord) {
-        match record {
-            WalRecord::DisguiseIntent { disguise_id, user } => {
+    /// Blocks until the staged frame is durable (returning its LSN) or
+    /// its batch failed (returning the failure). The first waiter to find
+    /// the pipeline free leads the flush for everyone queued behind it.
+    ///
+    /// On a *real* flush failure (partial write, failed fsync) the file
+    /// is truncated back to the last known-good frame boundary before any
+    /// waiter is failed, so the next append continues a clean log rather
+    /// than writing after torn frame bytes — which would wedge the next
+    /// recovery scan at the tear and silently drop every later committed
+    /// frame. Only if that restore itself fails is the log poisoned.
+    pub fn wait_durable(&self, ticket: WalTicket) -> Result<u64> {
+        let mut group = lock_unpoisoned(&self.group);
+        loop {
+            if !group.aborting {
+                // Verdicts are withheld while `aborting`: the abort
+                // handler must finish rolling back the victims'
+                // still-visible effects before a waiter can observe the
+                // failure.
+                if let Some(cause) = group.aborted.remove(&ticket.seq) {
+                    return Err(cause.into_error());
+                }
+                if group.durable_seq >= ticket.seq {
+                    return Ok(ticket.lsn);
+                }
+                if !group.flushing {
+                    // Our frame is still pending and nobody is flushing:
+                    // become the leader.
+                    group = self.lead(group, true);
+                    continue;
+                }
+            }
+            group = self
+                .group_cv
+                .wait(group)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Flushes every currently-staged frame, leading batches as needed,
+    /// and returns once the pipeline is empty and quiescent. Used by
+    /// checkpoints to drain in-flight commits before snapshotting.
+    pub fn flush_pending(&self) -> Result<()> {
+        let mut group = lock_unpoisoned(&self.group);
+        loop {
+            if group.flushing || group.aborting {
+                group = self
+                    .group_cv
+                    .wait(group)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if group.pending.is_empty() {
+                return Ok(());
+            }
+            group = self.lead(group, false);
+        }
+    }
+
+    /// Whether the commit pipeline is empty and quiescent (nothing
+    /// staged, no flush in flight, no abort in progress). Only meaningful
+    /// while the caller excludes new commits (e.g. holding the engine
+    /// lock commits stage under).
+    pub fn pipeline_idle(&self) -> bool {
+        let group = lock_unpoisoned(&self.group);
+        group.pending.is_empty() && !group.flushing && !group.aborting
+    }
+
+    /// Becomes the batch leader: optionally waits out the accumulation
+    /// window, drains up to `max_frames` staged frames, and flushes them
+    /// with one write+fsync. Called with the group lock held; returns
+    /// with it reacquired. On failure the whole batch (and everything
+    /// staged behind it) is aborted before waiters are woken.
+    fn lead<'a>(
+        &'a self,
+        mut group: MutexGuard<'a, GroupState>,
+        honor_delay: bool,
+    ) -> MutexGuard<'a, GroupState> {
+        let cfg = *read_unpoisoned(&self.config);
+        // Adaptive accumulation: only dawdle when there is evidence of
+        // concurrency — co-committers already queued, or the previous
+        // batch carried more than one frame. A strictly solo committer
+        // never waits, so single-threaded latency stays one immediate
+        // fsync per commit.
+        if honor_delay
+            && cfg.max_delay > Duration::ZERO
+            && (group.pending.len() > 1 || group.last_batch_frames > 1)
+        {
+            let deadline = Instant::now() + cfg.max_delay;
+            while group.pending.len() < cfg.max_frames {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _timeout) = self
+                    .group_cv
+                    .wait_timeout(group, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                group = g;
+                if group.flushing || group.aborting || group.pending.is_empty() {
+                    // The pipeline moved on while we dozed; re-evaluate.
+                    return group;
+                }
+            }
+        }
+        let n = group.pending.len().min(cfg.max_frames.max(1));
+        let batch: Vec<StagedFrame> = group.pending.drain(..n).collect();
+        group.flushing = true;
+        drop(group);
+
+        let started = Instant::now();
+        let result = self.flush_batch(&batch);
+        if result.is_ok() && cfg.fsync_floor > Duration::ZERO {
+            let elapsed = started.elapsed();
+            if elapsed < cfg.fsync_floor {
+                std::thread::sleep(cfg.fsync_floor - elapsed);
+            }
+        }
+
+        let mut group = lock_unpoisoned(&self.group);
+        group.flushing = false;
+        group.last_batch_frames = batch.len();
+        match result {
+            Ok(bytes) => {
+                let last = batch.last().expect("batch is non-empty");
+                group.durable_seq = last.seq;
+                group.durable_lsn = last.lsn;
+                for f in &batch {
+                    if let Some(note) = &f.note {
+                        self.note_marker(note);
+                    }
+                }
+                self.note_group_flush(batch.len(), bytes);
+            }
+            Err(failure) => {
+                group = self.abort_batch(group, batch, failure);
+            }
+        }
+        self.group_cv.notify_all();
+        group
+    }
+
+    /// Writes one batch to the file: the crash hook is consulted per
+    /// frame (before its write), frames are written in LSN order without
+    /// syncing, and one fsync at the end makes the whole batch durable.
+    /// Returns the bytes written on success.
+    fn flush_batch(&self, batch: &[StagedFrame]) -> std::result::Result<u64, BatchFailure> {
+        let mut state = lock_unpoisoned(&self.state);
+        let mut written = 0u64;
+        for f in batch {
+            let crash = {
+                let hook = read_unpoisoned(&self.crash_hook);
+                hook.as_ref().and_then(|h| {
+                    let index = self.frame_seq.fetch_add(1, Ordering::SeqCst);
+                    h(index).map(|style| (index, style))
+                })
+            };
+            if let Some((index, style)) = crash {
+                self.poisoned.store(true, Ordering::SeqCst);
+                return Err(match style {
+                    WalCrash::BeforeWrite => {
+                        // Nothing of this frame reaches the file, and the
+                        // batch's earlier frames were never synced — the
+                        // modeled crash loses them; restore the durable
+                        // boundary.
+                        self.restore_good_len(&mut state);
+                        BatchFailure::Injected {
+                            seq: f.seq,
+                            index,
+                            persisted_lsn: None,
+                        }
+                    }
+                    WalCrash::TornWrite => {
+                        // Half a frame reaches the file, never synced. A
+                        // real crash may persist any prefix; half
+                        // exercises both a torn length header and a torn
+                        // body across the sweep.
+                        let _ = self.write_raw(&mut state, &f.bytes[..f.bytes.len() / 2]);
+                        BatchFailure::Injected {
+                            seq: f.seq,
+                            index,
+                            persisted_lsn: None,
+                        }
+                    }
+                    WalCrash::AfterWrite => {
+                        // This frame and the batch's earlier frames all
+                        // reach disk (one sync); the callers' post-append
+                        // work is what dies.
+                        match self
+                            .write_raw(&mut state, &f.bytes)
+                            .and_then(|()| self.sync_file(&mut state))
+                        {
+                            Ok(()) => {
+                                state.good_len += written + f.bytes.len() as u64;
+                                BatchFailure::Injected {
+                                    seq: f.seq,
+                                    index,
+                                    persisted_lsn: Some(f.lsn),
+                                }
+                            }
+                            Err(e) => {
+                                self.restore_good_len(&mut state);
+                                BatchFailure::Real(e)
+                            }
+                        }
+                    }
+                });
+            }
+            if let Err(e) = self.write_raw(&mut state, &f.bytes) {
+                // The write failed (ENOSPC, EIO, …): any prefix of the
+                // batch could be sitting mid-file. Restore the known-good
+                // state before another flush lands after it.
+                self.restore_good_len(&mut state);
+                return Err(BatchFailure::Real(e));
+            }
+            written += f.bytes.len() as u64;
+        }
+        if let Err(e) = self.sync_file(&mut state) {
+            // A failed fsync may still have persisted any of the writes;
+            // same restore discipline.
+            self.restore_good_len(&mut state);
+            return Err(BatchFailure::Real(e));
+        }
+        state.good_len += written;
+        Ok(written)
+    }
+
+    /// Fails every waiter of a dead batch (and everything staged behind
+    /// it), rewinds the LSN counter to just past the durable tail, and
+    /// runs the abort handler so the victims' still-visible effects are
+    /// rolled back *before* any waiter observes the failure. Called with
+    /// the group lock held; returns with it reacquired.
+    fn abort_batch<'a>(
+        &'a self,
+        mut group: MutexGuard<'a, GroupState>,
+        batch: Vec<StagedFrame>,
+        failure: BatchFailure,
+    ) -> MutexGuard<'a, GroupState> {
+        group.aborting = true;
+        let (crashed, msg) = match &failure {
+            BatchFailure::Injected {
+                seq,
+                index,
+                persisted_lsn,
+            } => {
+                if let Some(lsn) = persisted_lsn {
+                    // AfterWrite left frames durable (but unacked): the
+                    // rewind floor must not hand their LSNs out again.
+                    group.durable_lsn = group.durable_lsn.max(*lsn);
+                }
+                (
+                    Some(*seq),
+                    format!("group commit batch killed by injected crash (frame {index})"),
+                )
+            }
+            BatchFailure::Real(e) => (None, e.to_string()),
+        };
+        let mut victim_lsns = Vec::with_capacity(batch.len() + group.pending.len());
+        for f in batch {
+            let cause = match &failure {
+                BatchFailure::Injected { index, .. } if crashed == Some(f.seq) => {
+                    AbortCause::Injected(*index)
+                }
+                _ => AbortCause::Failed(msg.clone()),
+            };
+            group.aborted.insert(f.seq, cause);
+            victim_lsns.push(f.lsn);
+        }
+        // Frames staged behind the failed batch would otherwise become
+        // durable above a hole in the LSN sequence; cascade the abort.
+        let trailing: Vec<StagedFrame> = group.pending.drain(..).collect();
+        for f in trailing {
+            group.aborted.insert(f.seq, AbortCause::Failed(msg.clone()));
+            victim_lsns.push(f.lsn);
+        }
+        group.next_lsn = group.durable_lsn + 1;
+        // No wakeup yet: waiters refuse verdicts until `aborting` clears,
+        // which happens only after the handler has rolled the victims'
+        // still-visible effects back.
+        drop(group);
+        let handler = read_unpoisoned(&self.abort_handler).clone();
+        if let Some(h) = handler {
+            h(&victim_lsns);
+        }
+        let mut group = lock_unpoisoned(&self.group);
+        group.aborting = false;
+        group
+    }
+
+    /// Tracks intent/commit markers when their frames reach disk so a
+    /// checkpoint can carry still-open intents into the fresh log.
+    fn note_marker(&self, note: &MarkerNote) {
+        match note {
+            MarkerNote::Intent(disguise_id, user) => {
                 lock_unpoisoned(&self.open_intents).push((*disguise_id, user.clone()));
             }
-            WalRecord::DisguiseCommit { disguise_id } => {
+            MarkerNote::Commit(disguise_id) => {
                 lock_unpoisoned(&self.open_intents).retain(|(id, _)| id != disguise_id);
             }
-            WalRecord::Txn { .. } => {}
+        }
+    }
+
+    /// Feeds the metrics for one successful batch flush.
+    fn note_group_flush(&self, frames: usize, bytes: u64) {
+        if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
+            m.frames.add(frames as u64);
+            m.bytes.add(bytes);
+            m.fsyncs.inc();
+            m.group_commits.inc();
+            m.group_size.observe_micros(frames as u64);
+            m.fsyncs_saved.add(frames.saturating_sub(1) as u64);
+            let fsyncs = m.fsyncs.get().max(1);
+            m.frames_per_fsync
+                .set(((m.frames.get().saturating_mul(1000)) / fsyncs) as i64);
         }
     }
 
     /// Truncates the file back to the last known-good frame boundary
-    /// after a failed append, fsyncing the truncation. If the restore
+    /// after a failed flush, fsyncing the truncation. If the restore
     /// itself cannot be made durable the log is poisoned instead: callers
     /// must reopen (which re-runs torn-tail truncation) before writing
     /// again.
@@ -399,8 +897,8 @@ impl Wal {
         }
     }
 
-    /// Appends + fsyncs `bytes`, opening the file lazily.
-    fn write_bytes(&self, state: &mut WalFile, bytes: &[u8], sync: bool) -> Result<()> {
+    /// Appends `bytes` to the file (no sync), opening it lazily.
+    fn write_raw(&self, state: &mut WalFile, bytes: &[u8]) -> Result<()> {
         if state.file.is_none() {
             let f = std::fs::OpenOptions::new()
                 .create(true)
@@ -410,22 +908,22 @@ impl Wal {
             state.file = Some(f);
         }
         let f = state.file.as_mut().expect("just opened");
-        f.write_all(bytes).map_err(|e| io_err("append WAL", e))?;
-        if sync {
+        f.write_all(bytes).map_err(|e| io_err("append WAL", e))
+    }
+
+    /// Fsyncs the append handle (no-op metrics; callers account flushes).
+    fn sync_file(&self, state: &mut WalFile) -> Result<()> {
+        if let Some(f) = state.file.as_mut() {
             f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
-        }
-        if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
-            m.frames.inc();
-            m.bytes.add(bytes.len() as u64);
-            if sync {
-                m.fsyncs.inc();
-            }
         }
         Ok(())
     }
 
     /// Truncates the log to empty (checkpoint: the snapshot now contains
-    /// every Txn frame). LSNs keep counting from where they were.
+    /// every Txn frame). LSNs keep counting from where they were. Any
+    /// staged-but-unflushed frames are flushed (and their waiters acked)
+    /// first, and the group lock is held across the file reset so no new
+    /// frame can land mid-truncation.
     ///
     /// Disguise intent markers still unmatched by a commit marker are
     /// re-appended to the fresh log (with new LSNs): they guard vault-side
@@ -433,6 +931,20 @@ impl Wal {
     /// a half-applied disguise's orphaned vault entry from the next
     /// recovery.
     pub fn truncate(&self) -> Result<()> {
+        let mut group = lock_unpoisoned(&self.group);
+        loop {
+            if group.flushing || group.aborting {
+                group = self
+                    .group_cv
+                    .wait(group)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            if group.pending.is_empty() {
+                break;
+            }
+            group = self.lead(group, false);
+        }
         let mut state = lock_unpoisoned(&self.state);
         // Reopen from scratch so the append offset resets with the file.
         state.file = None;
@@ -447,13 +959,20 @@ impl Wal {
         state.good_len = 0;
         let open = lock_unpoisoned(&self.open_intents).clone();
         for (disguise_id, user) in open {
-            let lsn = state.next_lsn;
+            let lsn = group.next_lsn;
             let body = encode_body(lsn, &WalRecord::DisguiseIntent { disguise_id, user });
             let framed = frame::encode_record(&body);
-            self.write_bytes(&mut state, &framed, true)?;
+            self.write_raw(&mut state, &framed)?;
+            self.sync_file(&mut state)?;
             state.good_len += framed.len() as u64;
-            state.next_lsn = lsn + 1;
+            group.next_lsn = lsn + 1;
+            if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
+                m.frames.inc();
+                m.bytes.add(framed.len() as u64);
+                m.fsyncs.inc();
+            }
         }
+        group.durable_lsn = group.next_lsn - 1;
         Ok(())
     }
 
@@ -1126,6 +1645,120 @@ mod tests {
             .unwrap();
         wal2.truncate().unwrap();
         assert_eq!(wal2.size_bytes(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn solo_append_flushes_immediately_with_one_fsync() {
+        let path = tmp("solo_fsync");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        let registry = MetricsRegistry::new();
+        wal.bind_metrics(&registry);
+        // Under the default group config a solo committer must not wait
+        // for co-committers: one append = one immediate fsync, and the
+        // frame is on disk before the call returns.
+        let lsn = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+            .unwrap();
+        assert_eq!(lsn, 1);
+        let frames = registry.counter("edna_wal_frames_total", "").get();
+        let fsyncs = registry.counter("edna_wal_fsyncs_total", "").get();
+        assert_eq!(frames, 1);
+        assert_eq!(fsyncs, 1, "solo commit fsyncs before returning");
+        // Durable without any explicit flush/close: a fresh scan sees it.
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_appends() {
+        let path = tmp("group_batch");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        let registry = MetricsRegistry::new();
+        wal.bind_metrics(&registry);
+        // A generous accumulation window guarantees the concurrent
+        // appends below share batches regardless of scheduling.
+        wal.set_group_commit(WalGroupConfig {
+            max_frames: 8,
+            max_delay: Duration::from_millis(250),
+            fsync_floor: Duration::ZERO,
+        });
+        const N: u64 = 8;
+        let mut lsns: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|i| {
+                    let wal = &wal;
+                    s.spawn(move || {
+                        wal.append(&WalRecord::DisguiseCommit { disguise_id: i })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        lsns.sort_unstable();
+        assert_eq!(
+            lsns,
+            (1..=N).collect::<Vec<_>>(),
+            "distinct contiguous LSNs"
+        );
+        let frames = registry.counter("edna_wal_frames_total", "").get();
+        let fsyncs = registry.counter("edna_wal_fsyncs_total", "").get();
+        let saved = registry
+            .counter("edna_wal_group_fsyncs_saved_total", "")
+            .get();
+        assert_eq!(frames, N);
+        assert!(
+            fsyncs < N,
+            "{N} concurrent appends must share fsyncs, got {fsyncs}"
+        );
+        assert_eq!(saved, N - fsyncs, "every saved fsync is accounted");
+        // Every acked frame is durable and well-formed.
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), N as usize);
+        assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_batch_flush_fails_every_waiter_and_restores() {
+        let path = tmp("batch_fail");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::DisguiseCommit { disguise_id: 1 })
+            .unwrap();
+        let good = std::fs::metadata(&path).unwrap().len();
+
+        // Stage a whole batch, then make the file handle unwritable so
+        // the flush dies with a real I/O error.
+        let t1 = wal
+            .stage(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap();
+        let t2 = wal
+            .stage(&WalRecord::DisguiseCommit { disguise_id: 3 })
+            .unwrap();
+        let t3 = wal.stage(&WalRecord::Txn { ops: Vec::new() }).unwrap();
+        assert_eq!((t1.lsn, t2.lsn, t3.lsn), (2, 3, 4));
+        lock_unpoisoned(&wal.state).file = Some(std::fs::File::open(&path).unwrap());
+        wal.flush_pending().unwrap();
+        // Every waiter in the dead batch fails; none hang.
+        for t in [t1, t2, t3] {
+            assert!(matches!(wal.wait_durable(t), Err(Error::Wal(_))));
+        }
+        // File restored to the durable boundary, log not poisoned, and
+        // the LSN counter rewound: the retry reuses LSN 2.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        let lsn = wal
+            .append(&WalRecord::DisguiseCommit { disguise_id: 2 })
+            .unwrap();
+        assert_eq!(lsn, 2);
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_bytes, 0);
         std::fs::remove_file(&path).unwrap();
     }
 

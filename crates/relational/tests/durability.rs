@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use edna_relational::wal::WalGroupConfig;
 use edna_relational::{Database, Value, WalCrash};
 
 struct TempDir(PathBuf);
@@ -286,6 +287,148 @@ fn open_disguise_intent_survives_checkpoint() {
     assert_eq!(report.open_intents.len(), 1);
     assert_eq!(report.open_intents[0].disguise_id, 5);
     assert_eq!(report.open_intents[0].user, Value::Int(1));
+}
+
+#[test]
+fn solo_commit_fsyncs_immediately_through_group_pipeline() {
+    // Group commit must not weaken the solo-committer contract: with no
+    // co-committers, every acknowledged auto-commit is one immediate
+    // write+fsync (no deferral window a crash could exploit).
+    let dir = TempDir::new("solo_fsync");
+    let (db, _) = Database::open_durable(None, &dir.path("db.wal")).unwrap();
+    seed_schema(&db);
+    db.wal().unwrap().set_group_commit(WalGroupConfig {
+        max_frames: 64,
+        max_delay: std::time::Duration::ZERO,
+        fsync_floor: std::time::Duration::ZERO,
+    });
+    let fsyncs = db.metrics().counter("edna_wal_fsyncs_total", "").get();
+    db.execute("INSERT INTO users (name) VALUES ('bea')")
+        .unwrap();
+    assert_eq!(
+        db.metrics().counter("edna_wal_fsyncs_total", "").get(),
+        fsyncs + 1,
+        "a solo auto-commit is exactly one fsync"
+    );
+    db.execute("UPDATE users SET name = 'bee' WHERE id = 1")
+        .unwrap();
+    assert_eq!(
+        db.metrics().counter("edna_wal_fsyncs_total", "").get(),
+        fsyncs + 2,
+        "each further solo commit fsyncs again"
+    );
+}
+
+#[test]
+fn group_commit_kill_sweep_with_concurrent_committers() {
+    // Extend the every-frame kill sweep to the multi-threaded pipeline:
+    // N committers push acknowledged inserts through group commit (an
+    // fsync floor keeps flushes slow enough that real multi-frame batches
+    // form) while the k-th WAL frame crashes in each style. Invariant:
+    // an insert whose statement returned Ok was acknowledged durable, so
+    // it must be present after recovery — no matter which frame of which
+    // batch died.
+    use std::sync::Mutex;
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 6;
+    let dir = TempDir::new("group_sweep");
+
+    let run = |wal_path: &PathBuf,
+               hook: Option<edna_relational::WalCrashHook>|
+     -> (Vec<String>, u64) {
+        let (db, _) = Database::open_durable(None, wal_path).unwrap();
+        seed_schema(&db);
+        let wal = db.wal().unwrap();
+        wal.set_group_commit(WalGroupConfig {
+            max_frames: 8,
+            max_delay: std::time::Duration::ZERO,
+            fsync_floor: std::time::Duration::from_micros(100),
+        });
+        wal.set_crash_hook(hook);
+        let acked = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let db = db.clone();
+                let acked = &acked;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let name = format!("t{t}_{i}");
+                        match db.execute(&format!("INSERT INTO users (name) VALUES ('{name}')")) {
+                            Ok(_) => acked.lock().unwrap().push(name),
+                            // The injected crash poisons the log; this
+                            // committer is dead from here on.
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        let frames = wal.crash_frame_count();
+        (acked.into_inner().unwrap(), frames)
+    };
+
+    // Bound the sweep with a never-firing hook.
+    let (all, frames) = run(&dir.path("count.wal"), Some(Arc::new(|_| None)));
+    assert_eq!(all.len(), THREADS * PER_THREAD);
+    assert_eq!(frames, (THREADS * PER_THREAD) as u64);
+
+    for style in [
+        WalCrash::BeforeWrite,
+        WalCrash::TornWrite,
+        WalCrash::AfterWrite,
+    ] {
+        for k in 0..frames {
+            let wal_path = dir.path(&format!("group_{style:?}_{k}.wal"));
+            let (acked, _) = run(
+                &wal_path,
+                Some(Arc::new(move |i| (i == k).then_some(style))),
+            );
+            assert!(
+                acked.len() < THREADS * PER_THREAD,
+                "style {style:?} frame {k}: the crash must kill at least one commit"
+            );
+            let (back, report) = Database::open_durable(None, &wal_path).unwrap();
+            assert_eq!(
+                back.verify_integrity(),
+                Vec::<String>::new(),
+                "style {style:?} frame {k}"
+            );
+            assert!(report.open_intents.is_empty());
+            let recovered: std::collections::HashSet<String> = back
+                .execute("SELECT name FROM users")
+                .unwrap()
+                .rows
+                .into_iter()
+                .map(|r| match &r[0] {
+                    Value::Text(s) => s.clone(),
+                    other => panic!("unexpected name {other:?}"),
+                })
+                .collect();
+            for name in &acked {
+                assert!(
+                    recovered.contains(name),
+                    "style {style:?} frame {k}: acknowledged insert '{name}' lost \
+                     (recovered {} of {} acked)",
+                    recovered.len(),
+                    acked.len(),
+                );
+            }
+            // BeforeWrite restores the durable boundary, losing the whole
+            // crashed batch: nothing unacknowledged may survive. (Torn and
+            // after-write crashes may leave unsynced-but-lingering frames
+            // of the crashed batch on disk even though their committers
+            // saw an error — durable-but-unacked is allowed,
+            // lost-but-acked never is.)
+            if style == WalCrash::BeforeWrite {
+                assert_eq!(
+                    recovered.len(),
+                    acked.len(),
+                    "style {style:?} frame {k}: an unacknowledged insert survived"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -149,6 +149,7 @@ impl Service {
             }
             "sql" => self.op_sql(req),
             "apply" => self.op_apply(req),
+            "apply_many" => self.op_apply_many(req),
             "reveal" => self.op_reveal(req),
             "check" => self.op_check(req),
             "stats" => {
@@ -260,6 +261,61 @@ impl Service {
                     }
                 }
                 resp
+            }
+            Err(e) => Response::err(code::RUNTIME, e.to_string()),
+        }
+    }
+
+    /// Mass disguise: `apply_many <name>` with one user id per body line
+    /// (blank lines and `#` comments skipped) and an optional `shards`
+    /// header. The work is owner-hash-sharded across threads inside the
+    /// engine; commits from all shards share fsyncs through the
+    /// group-commit WAL. Unlike `apply`, no reveal capabilities are
+    /// minted — a departing cohort's reveals are an operator action
+    /// (the CLI bypasses capabilities), not a wire-tenant one.
+    fn op_apply_many(&self, req: &Request) -> Response {
+        let Some(name) = req.arg.as_deref() else {
+            return Response::err(
+                code::USAGE,
+                "apply_many needs a disguise name: `apply_many <name>`",
+            );
+        };
+        let users: Vec<edna_relational::Value> = req
+            .body
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(edna_core::parse_user)
+            .collect();
+        if users.is_empty() {
+            return Response::err(code::USAGE, "apply_many needs one user id per body line");
+        }
+        let shards: usize = match req.header_value("shards") {
+            Some(s) => match s.trim().parse() {
+                Ok(n) => n,
+                Err(_) => return Response::err(code::USAGE, format!("bad shard count {s:?}")),
+            },
+            None => 0, // 0 = one shard per available core
+        };
+        let _door = write_unpoisoned(&self.door);
+        match self.ws.edna.apply_many(name, &users, shards) {
+            Ok(report) => {
+                let mut body = format!(
+                    "applied {} to {} user(s) in {} shard(s): {} succeeded, {} failed\n",
+                    report.name,
+                    report.users,
+                    report.shards,
+                    report.succeeded,
+                    report.failures.len(),
+                );
+                for (user, reason) in &report.failures {
+                    body.push_str(&format!("failed {}: {reason}\n", user.to_sql_literal()));
+                }
+                Response::ok(body)
+                    .header("users", report.users.to_string())
+                    .header("succeeded", report.succeeded.to_string())
+                    .header("failed", report.failures.len().to_string())
+                    .header("shards", report.shards.to_string())
             }
             Err(e) => Response::err(code::RUNTIME, e.to_string()),
         }

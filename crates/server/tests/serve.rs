@@ -375,3 +375,61 @@ fn background_checkpointer_bounds_the_wal() {
     handle.wait().unwrap();
     cleanup(&state);
 }
+
+#[test]
+fn apply_many_disguises_a_cohort_over_the_wire() {
+    let (handle, state) = start_server("apply_many", ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // Grow the population past the three seed users.
+    for i in 0..20 {
+        let r = c
+            .sql(&format!("INSERT INTO users (name) VALUES ('u{i}')"))
+            .unwrap();
+        assert!(r.ok, "{}", r.body);
+    }
+
+    // Disguise users 1..=20 in one request, leaving 21..=23.
+    let ids: String = (1..=20).map(|i| format!("{i}\n")).collect();
+    let r = c
+        .request(
+            &Request::new("apply_many")
+                .arg("Gdpr")
+                .header("shards", "4")
+                .body(format!("# departing cohort\n{ids}")),
+        )
+        .unwrap();
+    assert!(r.ok, "{}", r.body);
+    assert_eq!(r.header_value("users"), Some("20"));
+    assert_eq!(r.header_value("succeeded"), Some("20"));
+    assert_eq!(r.header_value("failed"), Some("0"));
+    assert_eq!(r.header_value("shards"), Some("4"));
+
+    let r = c.sql("SELECT COUNT(*) FROM users").unwrap();
+    assert!(r.body.contains('3'), "only the cohort is gone: {}", r.body);
+
+    // Bad requests answer with usage errors, not hangs.
+    let r = c.request(&Request::new("apply_many")).unwrap();
+    assert_eq!(r.code.as_deref(), Some(code::USAGE));
+    let r = c
+        .request(
+            &Request::new("apply_many")
+                .arg("Gdpr")
+                .body("\n# only comments\n"),
+        )
+        .unwrap();
+    assert_eq!(r.code.as_deref(), Some(code::USAGE));
+    let r = c
+        .request(
+            &Request::new("apply_many")
+                .arg("Gdpr")
+                .header("shards", "zap")
+                .body("21\n"),
+        )
+        .unwrap();
+    assert_eq!(r.code.as_deref(), Some(code::USAGE));
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}

@@ -200,6 +200,29 @@ impl VaultStore for FileStore {
         self.append_bytes(user, &wal::encode_record(&Self::record_body(&entry)))
     }
 
+    fn put_many(&self, items: Vec<(String, StoredEntry)>) -> Result<()> {
+        // One lock acquisition and one file open per distinct user for the
+        // whole batch: entries are grouped by user (stably, so per-user
+        // order is preserved) and appended as a single concatenated write.
+        let _g = self.lock.lock().unwrap();
+        let mut grouped: Vec<(String, BytesMut)> = Vec::new();
+        for (user, entry) in items {
+            let record = wal::encode_record(&Self::record_body(&entry));
+            match grouped.iter_mut().find(|(u, _)| *u == user) {
+                Some((_, buf)) => buf.put_slice(&record),
+                None => {
+                    let mut buf = BytesMut::new();
+                    buf.put_slice(&record);
+                    grouped.push((user, buf));
+                }
+            }
+        }
+        for (user, buf) in grouped {
+            self.append_bytes(&user, buf.as_ref())?;
+        }
+        Ok(())
+    }
+
     fn list(&self, user: &str) -> Result<Vec<StoredEntry>> {
         let _g = self.lock.lock().unwrap();
         self.read_all(&self.user_path(user))
@@ -331,6 +354,26 @@ mod tests {
             2,
             "both user files should be discovered"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_many_groups_appends_per_user() {
+        let dir = tempdir("put_many");
+        let s = FileStore::open(&dir).unwrap();
+        s.put("a", entry(1, None)).unwrap();
+        s.put_many(vec![
+            ("a".to_string(), entry(2, None)),
+            ("b".to_string(), entry(3, None)),
+            ("a".to_string(), entry(4, None)),
+        ])
+        .unwrap();
+        // Per-user order is preserved and everything round-trips.
+        assert_eq!(
+            s.list("a").unwrap(),
+            vec![entry(1, None), entry(2, None), entry(4, None)]
+        );
+        assert_eq!(s.list("b").unwrap(), vec![entry(3, None)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -72,7 +72,7 @@ EDNA_SOAK_ITERS=20 cargo test --release -p edna-cli --test serve_soak --quiet
 echo "serve soak OK"
 
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
-BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=2 \
+BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=10 \
     cargo bench -p edna-bench --bench batching
 if [ ! -s BENCH_batching.json ]; then
     echo "BENCH_batching.json missing or empty" >&2
@@ -84,5 +84,48 @@ else
     grep -q '"parallel_beats_sequential"' BENCH_batching.json
 fi
 echo "BENCH_batching.json OK"
+
+echo "==> write-scaling smoke (group-commit WAL + sharded apply_many)"
+# Reduced sweep: two thread counts, a small cohort, and a 500us fsync
+# floor so group-commit effects are visible on any host. The gate is
+# shape + direction: concurrent committers must out-run a solo one.
+WRITE_SCALING_THREADS=1,8 WRITE_SCALING_TXNS=60 WRITE_SCALING_USERS=60 \
+WRITE_SCALING_SHARDS=8 WRITE_SCALING_FSYNC_FLOOR_US=500 \
+    cargo bench -p edna-bench --bench write_scaling
+if [ ! -s BENCH_write_scaling.json ]; then
+    echo "BENCH_write_scaling.json missing or empty" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+
+d = json.load(open("BENCH_write_scaling.json"))
+for key in ("threads", "host_parallelism", "fsync_floor_us",
+            "commit_sweep", "apply_many"):
+    assert key in d, f"BENCH_write_scaling.json missing {key!r}"
+pts = d["commit_sweep"]
+assert len(pts) >= 2, "commit sweep needs at least two thread counts"
+for p in pts:
+    for key in ("threads", "throughput_txn_per_s", "p50_us", "p99_us",
+                "fsyncs_per_txn", "frames_per_fsync"):
+        assert key in p, f"sweep point missing {key!r}"
+lo, hi = pts[0], pts[-1]
+assert hi["throughput_txn_per_s"] > lo["throughput_txn_per_s"], (
+    f"group commit not scaling: {hi['threads']} threads at "
+    f"{hi['throughput_txn_per_s']} txn/s <= {lo['threads']} thread(s) at "
+    f"{lo['throughput_txn_per_s']} txn/s")
+assert hi["fsyncs_per_txn"] < 1.0, "concurrent committers must share fsyncs"
+assert d["apply_many"]["speedup"] > 1.0, "sharded apply_many slower than sequential"
+print("write-scaling smoke: "
+      f"{hi['throughput_txn_per_s']:.0f} txn/s at {hi['threads']} threads vs "
+      f"{lo['throughput_txn_per_s']:.0f} at {lo['threads']}, "
+      f"apply_many speedup {d['apply_many']['speedup']:.2f}x")
+EOF
+else
+    grep -q '"commit_sweep"' BENCH_write_scaling.json
+    grep -q '"apply_many"' BENCH_write_scaling.json
+fi
+echo "BENCH_write_scaling.json OK"
 
 echo "CI green."
