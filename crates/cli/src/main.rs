@@ -6,8 +6,10 @@
 //!          [--slow-ms <n>]
 //! edna explain <state> "<statement>"
 //! edna load-sql <state> <file.sql> [--passphrase <p>]
-//! edna register <state> <spec.edna> [--passphrase <p>]
+//! edna register <state> <spec.edna | policy.edna> [--passphrase <p>]
 //! edna check <state> [<disguise> | <spec.edna> | --all] [--deny-warnings]
+//!          [--format text|json]
+//! edna audit <state> [--deny-warnings] [--format text|json]
 //! edna specs <state>
 //! edna apply <state> <disguise> [--user <id>] [--no-compose] [--no-optimize]
 //!          [--trace-out <f.jsonl>]
@@ -21,9 +23,20 @@
 //! edna recover <state> [--verify] [--passphrase <p>] [--trace-out <f.jsonl>]
 //! edna serve <state> [--addr <ip:port>] [--max-conns <n>] [--conn-timeout-ms <n>]
 //!          [--max-frame-bytes <n>] [--checkpoint-secs <n>] [--passphrase <p>]
+//!          [--skip-audit]
 //! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
+//!
+//! `edna register` routes on content: files starting with `policy_name:`
+//! register as scheduled policies (expiration / decay), everything else
+//! as disguise specs. `edna audit` abstractly interprets the whole
+//! workspace — every registered disguise under arbitrary application
+//! order, plus every registered policy — and proves or refutes
+//! reveal-reachability, vault-orphaning, and policy convergence
+//! (diagnostics `E050`–`E053`, `W050`–`W053`). `edna serve` runs the
+//! same audit at startup and refuses to serve a workspace with audit
+//! errors unless `--skip-audit` is given.
 //!
 //! `--trace-out` records structured spans (statements, disguise phases,
 //! vault/storage operations) and exports them as JSON Lines;
@@ -67,10 +80,71 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn usage() -> CliError {
     CliError::usage(
-        "usage: edna <init|sql|explain|load-sql|register|check|specs|apply|reveal|history|\
-         disguised|stats|recover|serve|trace|demo> <state> [args...] (see crate docs)"
+        "usage: edna <init|sql|explain|load-sql|register|check|audit|specs|apply|reveal|\
+         history|disguised|stats|recover|serve|trace|demo> <state> [args...] (see crate docs)"
             .to_string(),
     )
+}
+
+/// Parses `--format text|json` (defaulting to text). Returns whether
+/// JSON output was requested.
+fn json_format(args: &[String]) -> CliResult<bool> {
+    match flag_value(args, "--format") {
+        None | Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(CliError::usage(format!(
+            "bad --format {other} (expected text or json)"
+        ))),
+    }
+}
+
+/// Prints check/audit reports (text or JSON) and maps findings to the
+/// exit class: errors — or warnings under `--deny-warnings` — are
+/// runtime failures (exit 1), matching the serve supervisor's classing.
+fn finish_diagnostics(
+    tool: &str,
+    reports: &[(String, Vec<edna_core::Diagnostic>)],
+    json: bool,
+    deny_warnings: bool,
+) -> CliResult<()> {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (_, diags) in reports {
+        errors += diags
+            .iter()
+            .filter(|d| d.severity == edna_core::Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity == edna_core::Severity::Warning)
+            .count();
+    }
+    if json {
+        println!(
+            "{}",
+            edna_core::render_json_report(&format!("edna {tool}"), reports)
+        );
+    } else {
+        for (name, diags) in reports {
+            if diags.is_empty() {
+                println!("{name}: ok");
+                continue;
+            }
+            println!("{name}:");
+            print!("{}", edna_core::render_report(diags));
+        }
+    }
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(CliError::runtime(format!(
+            "{tool} failed: {errors} error(s), {warnings} warning(s){}",
+            if deny_warnings && errors == 0 {
+                " (--deny-warnings)"
+            } else {
+                ""
+            }
+        )));
+    }
+    Ok(())
 }
 
 /// Builds a tracer when `--trace-out <file>` was given; the returned
@@ -150,8 +224,15 @@ fn run(args: &[String]) -> CliResult<()> {
             let dsl = std::fs::read_to_string(file)
                 .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
             let ws = Workspace::open(&state, passphrase)?;
-            let name = ws.register_spec(&dsl)?;
-            println!("registered disguise {name}");
+            // Route on content: `policy_name:` files are scheduled
+            // policies, everything else is a disguise spec.
+            if edna_core::is_policy_source(&dsl) {
+                let name = ws.register_policy(&dsl)?;
+                println!("registered policy {name}");
+            } else {
+                let name = ws.register_spec(&dsl)?;
+                println!("registered disguise {name}");
+            }
         }
         "check" => {
             let ws = Workspace::open(&state, passphrase)?;
@@ -187,34 +268,15 @@ fn run(args: &[String]) -> CliResult<()> {
                     )))
                 }
             };
-            let mut errors = 0usize;
-            let mut warnings = 0usize;
-            for (name, diags) in &reports {
-                if diags.is_empty() {
-                    println!("{name}: ok");
-                    continue;
-                }
-                errors += diags
-                    .iter()
-                    .filter(|d| d.severity == edna_core::Severity::Error)
-                    .count();
-                warnings += diags
-                    .iter()
-                    .filter(|d| d.severity == edna_core::Severity::Warning)
-                    .count();
-                println!("{name}:");
-                print!("{}", edna_core::render_report(diags));
-            }
-            if errors > 0 || (deny_warnings && warnings > 0) {
-                return Err(CliError::runtime(format!(
-                    "check failed: {errors} error(s), {warnings} warning(s){}",
-                    if deny_warnings && errors == 0 {
-                        " (--deny-warnings)"
-                    } else {
-                        ""
-                    }
-                )));
-            }
+            finish_diagnostics("check", &reports, json_format(args)?, deny_warnings)?;
+        }
+        "audit" => {
+            let deny_warnings = has_flag(args, "--deny-warnings");
+            let json = json_format(args)?;
+            let ws = Workspace::open(&state, passphrase)?;
+            let diags = ws.audit()?;
+            let reports = vec![("workspace".to_string(), diags)];
+            finish_diagnostics("audit", &reports, json, deny_warnings)?;
         }
         "specs" => {
             let ws = Workspace::open(&state, passphrase)?;
@@ -468,6 +530,25 @@ fn run(args: &[String]) -> CliResult<()> {
                     .then(|| std::time::Duration::from_secs(checkpoint_secs)),
             };
             let ws = Workspace::open(&state, passphrase)?;
+            // Refuse to serve a workspace whose disguise graph has audit
+            // errors (orphanable vaults, unreachable reveals, diverging
+            // policies): clients would be offered disguises whose
+            // reversibility promise can be broken by another tenant's
+            // apply. `--skip-audit` is the operator escape hatch.
+            if !has_flag(args, "--skip-audit") {
+                let diags = ws.audit()?;
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == edna_core::Severity::Error)
+                    .count();
+                if errors > 0 {
+                    eprint!("{}", edna_core::render_report(&diags));
+                    return Err(CliError::runtime(format!(
+                        "refusing to serve: audit found {errors} error(s) \
+                         (run `edna audit {state}` for details, or pass --skip-audit)"
+                    )));
+                }
+            }
             let svc = std::sync::Arc::new(edna_server::Service::new(ws)?);
             let handle = edna_server::start(svc, config)
                 .map_err(|e| CliError::runtime(format!("cannot bind server: {e}")))?;

@@ -282,3 +282,139 @@ fn stats_gives_actionable_errors_for_missing_or_damaged_sidecar() {
         let _ = std::fs::remove_file(sidecar(suffix));
     }
 }
+
+fn example(name: &str) -> String {
+    format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Builds a workspace from the audit-demo schema with the given example
+/// specs/policies registered, returning the state path.
+fn counterexample_state(tag: &str, files: &[&str]) -> PathBuf {
+    let state = temp_state(tag);
+    let s = state.to_str().unwrap();
+    let (ok, _, stderr) = edna(&["init", s]);
+    assert!(ok, "{stderr}");
+    let (ok, _, stderr) = edna(&["load-sql", s, &example("audit_demo.sql")]);
+    assert!(ok, "{stderr}");
+    for f in files {
+        let (ok, stdout, stderr) = edna(&["register", s, &example(f)]);
+        assert!(ok, "registering {f}: {stderr}");
+        // `register` routes on content: policy files go to the policy
+        // registry, everything else is a disguise spec.
+        if f.contains("policy") {
+            assert!(stdout.contains("registered policy"), "{stdout}");
+        } else {
+            assert!(stdout.contains("registered disguise"), "{stdout}");
+        }
+    }
+    state
+}
+
+#[test]
+fn audit_is_green_on_demos() {
+    let state = temp_state("audit_green");
+    let s = state.to_str().unwrap();
+    let (ok, _, stderr) = edna(&["demo", s, "hotcrp", "--scale", "0.05"]);
+    assert!(ok, "{stderr}");
+
+    // The bundled demo composes cleanly: reveal-reachability proven,
+    // even with warnings denied.
+    let (code, stdout, stderr) = edna_exit_code(&["audit", s, "--deny-warnings"]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("workspace: ok"), "{stdout}");
+
+    // Machine-readable output is one JSON document on stdout.
+    let (code, stdout, _) = edna_exit_code(&["audit", s, "--format", "json"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"tool\":\"edna audit\""), "{stdout}");
+    assert!(stdout.contains("\"summary\":{\"errors\":0"), "{stdout}");
+
+    // A bad --format value is the usage class, not a runtime failure.
+    let (code, _, stderr) = edna_exit_code(&["audit", s, "--format", "yaml"]);
+    assert_eq!(code, Some(2), "{stderr}");
+
+    cleanup(&state);
+}
+
+#[test]
+fn audit_rejects_vault_orphaning_counterexample() {
+    let state = counterexample_state(
+        "audit_trap",
+        &["vault_trap_keep.edna", "vault_trap_purge.edna"],
+    );
+    let s = state.to_str().unwrap();
+
+    // Findings are the runtime class (exit 1), with the specific codes.
+    let (code, stdout, stderr) = edna_exit_code(&["audit", s]);
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stdout.contains("error[E050]"), "{stdout}");
+    assert!(stdout.contains("error[E051]"), "{stdout}");
+    assert!(stdout.contains("Vault-Trap-Purge"), "{stdout}");
+    assert!(stderr.contains("audit failed: 2 error(s)"), "{stderr}");
+
+    // JSON carries the same codes and a non-zero summary.
+    let (code, stdout, _) = edna_exit_code(&["audit", s, "--format", "json"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("\"code\":\"E050\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"E051\""), "{stdout}");
+    assert!(stdout.contains("\"summary\":{\"errors\":2"), "{stdout}");
+
+    cleanup(&state);
+}
+
+#[test]
+fn audit_rejects_diverging_decay_counterexample() {
+    let state = counterexample_state(
+        "audit_decay",
+        &["endless_decay.edna", "endless_decay_policy.edna"],
+    );
+    let s = state.to_str().unwrap();
+
+    let (code, stdout, stderr) = edna_exit_code(&["audit", s]);
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stdout.contains("error[E052]"), "{stdout}");
+    assert!(stdout.contains("never converges"), "{stdout}");
+    assert!(stdout.contains("HashText"), "{stdout}");
+
+    cleanup(&state);
+}
+
+#[test]
+fn serve_refuses_audit_errors_unless_skipped() {
+    let state = counterexample_state(
+        "serve_audit",
+        &["vault_trap_keep.edna", "vault_trap_purge.edna"],
+    );
+    let s = state.to_str().unwrap();
+
+    // Startup is refused while the disguise graph has audit errors.
+    let (code, _, stderr) = edna_exit_code(&["serve", s]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("refusing to serve"), "{stderr}");
+    assert!(
+        stderr.contains("error[E051]"),
+        "audit report shown: {stderr}"
+    );
+
+    // The operator escape hatch really starts the server.
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_edna"))
+        .args(["serve", s, "--skip-audit"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("serve prints its address");
+    assert!(
+        first_line.starts_with("listening on "),
+        "skip-audit server came up: {first_line}"
+    );
+    child.kill().expect("server stops");
+    let _ = child.wait();
+
+    cleanup(&state);
+}

@@ -1,0 +1,346 @@
+//! The abstract domains of the workspace audit (`edna audit`).
+//!
+//! Two domains, one per question:
+//!
+//! - [`CellState`] abstracts what a disguise pipeline has done to one
+//!   *cell* — a `(table, column)` pair or a table's row set — ordered by
+//!   how much of the original data is still (recoverably) there. The
+//!   interleaving explorer ([`super::interleave`]) tracks a map from
+//!   [`CellId`] to [`CellState`] per explored application order.
+//! - [`AbsVal`] abstracts the *value* a column holds after repeated
+//!   modification, precise enough to decide whether re-running a decay
+//!   stage rewrites the column again ([`Change`]). The policy-convergence
+//!   check iterates decay ladders over this domain to a fixed point.
+//!
+//! Both domains are deliberately tiny: the audit's soundness rests on
+//! every transfer function ([`super::transfer`]) being an
+//! over-approximation of what `apply.rs` really does, not on domain
+//! precision.
+
+use std::fmt;
+
+use edna_relational::Value;
+
+use crate::spec::Modifier;
+
+/// One abstract cell: a table's row set, or one column of a table.
+///
+/// Names are lowercased on construction so the domain is
+/// case-insensitive like the engine's own name resolution.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellId {
+    /// The row set of a table (affected by `Remove`).
+    Rows(String),
+    /// One column of a table (affected by `Modify` / `Decorrelate`).
+    Col(String, String),
+}
+
+impl CellId {
+    /// The row-set cell of `table`.
+    pub fn rows(table: &str) -> CellId {
+        CellId::Rows(table.to_ascii_lowercase())
+    }
+
+    /// The cell of `table`.`column`.
+    pub fn col(table: &str, column: &str) -> CellId {
+        CellId::Col(table.to_ascii_lowercase(), column.to_ascii_lowercase())
+    }
+
+    /// The (lowercased) table this cell belongs to.
+    pub fn table(&self) -> &str {
+        match self {
+            CellId::Rows(t) | CellId::Col(t, _) => t,
+        }
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellId::Rows(t) => write!(f, "{t}.<rows>"),
+            CellId::Col(t, c) => write!(f, "{t}.{c}"),
+        }
+    }
+}
+
+/// What a sequence of disguise applications has done to a cell.
+///
+/// The lattice order is by information destroyed: `Bottom` (unreached) ⊑
+/// `Present` ⊑ `Modified`/`Decorrelated` ⊑ `Removed`, and within one
+/// constructor the non-invertible (unvaulted) variant is above the
+/// invertible one — once any interleaving loses the original, the join
+/// remembers that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellState {
+    /// No interleaving reached this cell (lattice ⊥, the join identity).
+    Bottom,
+    /// The original data is in place.
+    Present,
+    /// A `Modify` rewrote the column; `invertible` means the vault holds
+    /// the original (the writing spec was reversible and its entries do
+    /// not expire).
+    Modified {
+        /// Whether a reveal can restore the pre-modify value.
+        invertible: bool,
+    },
+    /// A `Decorrelate` re-pointed the column at a placeholder row.
+    Decorrelated {
+        /// Whether a reveal can restore the original association.
+        invertible: bool,
+    },
+    /// A `Remove` deleted the rows; `vaulted` means reinsert ops were
+    /// recorded.
+    Removed {
+        /// Whether the vault holds the rows for reinsertion.
+        vaulted: bool,
+    },
+}
+
+impl CellState {
+    /// Height of the constructor in the lattice (for the join).
+    fn rank(self) -> u8 {
+        match self {
+            CellState::Bottom => 0,
+            CellState::Present => 1,
+            CellState::Modified { .. } => 2,
+            CellState::Decorrelated { .. } => 3,
+            CellState::Removed { .. } => 4,
+        }
+    }
+
+    /// Whether the original value can still be recovered through vaults.
+    pub fn recoverable(self) -> bool {
+        match self {
+            CellState::Bottom | CellState::Present => true,
+            CellState::Modified { invertible } | CellState::Decorrelated { invertible } => {
+                invertible
+            }
+            CellState::Removed { vaulted } => vaulted,
+        }
+    }
+
+    /// The least upper bound of two states: the constructor that
+    /// destroyed more, and invertible only if both sides are.
+    pub fn join(self, other: CellState) -> CellState {
+        use CellState::*;
+        if self == other {
+            return self;
+        }
+        let (hi, lo) = if self.rank() >= other.rank() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if lo == Bottom {
+            return hi;
+        }
+        // Same rank, different invertibility — or mixed constructors:
+        // keep the higher constructor, and stay invertible only if both
+        // sides still reach Present through vaults.
+        let inv = hi.recoverable() && lo.recoverable();
+        match hi {
+            Bottom | Present => hi,
+            Modified { .. } => Modified { invertible: inv },
+            Decorrelated { .. } => Decorrelated { invertible: inv },
+            Removed { .. } => Removed { vaulted: inv },
+        }
+    }
+}
+
+/// The value a column abstractly holds between decay-policy runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsVal {
+    /// Whatever the application wrote (nothing disguised it yet).
+    Original,
+    /// Definitely SQL NULL.
+    Null,
+    /// Definitely this constant.
+    Const(Value),
+    /// An 8-byte hex digest of some prior value ([`Modifier::HashText`]).
+    Hashed,
+    /// A freshly drawn random value.
+    Random,
+    /// Text known to be at most `n` characters ([`Modifier::Truncate`]).
+    TruncatedTo(usize),
+    /// An integer known to be a multiple of `w` ([`Modifier::Bucket`]).
+    BucketedBy(i64),
+    /// No information (custom closures, mixed histories).
+    Unknown,
+}
+
+/// Whether applying a modifier to an abstract value rewrites the column
+/// again. `apply.rs` skips rows whose new value equals the original, so
+/// `No` means the stage records no ops and writes no vault entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Change {
+    /// Provably a no-op for every concrete value this abstracts.
+    No,
+    /// Cannot prove either way.
+    Maybe,
+    /// Provably rewrites (some) rows every time.
+    Yes,
+}
+
+/// The abstract transfer of one [`Modifier`] application: the value the
+/// column holds afterwards, and whether the write actually happened.
+///
+/// This mirrors `Modifier::apply` in `spec/model.rs` plus the
+/// skip-if-unchanged rule in `apply.rs`: e.g. `HashText` over an
+/// already-hashed value produces a *different* digest (hash of the hex
+/// string), so a decay stage built on it rewrites forever — the
+/// divergence the convergence check exists to catch.
+pub fn modifier_transfer(m: &Modifier, v: &AbsVal) -> (AbsVal, Change) {
+    match m {
+        Modifier::SetNull => match v {
+            AbsVal::Null => (AbsVal::Null, Change::No),
+            AbsVal::Original | AbsVal::Unknown => (AbsVal::Null, Change::Maybe),
+            _ => (AbsVal::Null, Change::Yes),
+        },
+        Modifier::Fixed(val) => fixed_transfer(val.clone(), v),
+        Modifier::Redact => fixed_transfer(Value::Text("[deleted]".to_string()), v),
+        Modifier::HashText => {
+            // sha256 has no short fixed points we could ever prove; an
+            // already-hashed value re-hashes to a fresh digest.
+            let change = match v {
+                AbsVal::Original | AbsVal::Unknown => Change::Maybe,
+                _ => Change::Yes,
+            };
+            (AbsVal::Hashed, change)
+        }
+        Modifier::Truncate(n) => match v {
+            AbsVal::Null => (AbsVal::Null, Change::No),
+            AbsVal::TruncatedTo(m0) if m0 <= n => (AbsVal::TruncatedTo(*m0), Change::No),
+            AbsVal::Const(Value::Text(s)) => {
+                let out: String = s.chars().take(*n).collect();
+                let change = if out == *s { Change::No } else { Change::Yes };
+                (AbsVal::Const(Value::Text(out)), change)
+            }
+            AbsVal::Const(other) => (AbsVal::Const(other.clone()), Change::No),
+            _ => (AbsVal::TruncatedTo(*n), Change::Maybe),
+        },
+        Modifier::RandomInt { .. } | Modifier::RandomText(_) => (AbsVal::Random, Change::Yes),
+        Modifier::Bucket(w) => match v {
+            AbsVal::Null => (AbsVal::Null, Change::No),
+            AbsVal::BucketedBy(w0) if *w > 0 && w0 % w == 0 => {
+                (AbsVal::BucketedBy(*w0), Change::No)
+            }
+            AbsVal::Const(Value::Int(i)) if *w > 0 => {
+                let out = (i / w) * w;
+                let change = if out == *i { Change::No } else { Change::Yes };
+                (AbsVal::Const(Value::Int(out)), change)
+            }
+            AbsVal::Const(other) => (AbsVal::Const(other.clone()), Change::No),
+            _ => (AbsVal::BucketedBy(*w), Change::Maybe),
+        },
+        Modifier::Custom { .. } => (AbsVal::Unknown, Change::Maybe),
+    }
+}
+
+fn fixed_transfer(target: Value, v: &AbsVal) -> (AbsVal, Change) {
+    let change = match v {
+        AbsVal::Const(cur) if *cur == target => Change::No,
+        AbsVal::Null if target == Value::Null => Change::No,
+        AbsVal::Original | AbsVal::Unknown => Change::Maybe,
+        _ => Change::Yes,
+    };
+    let out = if target == Value::Null {
+        AbsVal::Null
+    } else {
+        AbsVal::Const(target)
+    };
+    (out, change)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATES: [CellState; 8] = [
+        CellState::Bottom,
+        CellState::Present,
+        CellState::Modified { invertible: true },
+        CellState::Modified { invertible: false },
+        CellState::Decorrelated { invertible: true },
+        CellState::Decorrelated { invertible: false },
+        CellState::Removed { vaulted: true },
+        CellState::Removed { vaulted: false },
+    ];
+
+    #[test]
+    fn join_is_a_semilattice() {
+        for a in STATES {
+            assert_eq!(a.join(a), a, "idempotent: {a:?}");
+            assert_eq!(CellState::Bottom.join(a), a, "bottom is identity");
+            for b in STATES {
+                assert_eq!(a.join(b), b.join(a), "commutative: {a:?} {b:?}");
+                for c in STATES {
+                    assert_eq!(
+                        a.join(b).join(c),
+                        a.join(b.join(c)),
+                        "associative: {a:?} {b:?} {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_loses_invertibility_when_either_side_did() {
+        let inv = CellState::Modified { invertible: true };
+        let lossy = CellState::Modified { invertible: false };
+        assert_eq!(inv.join(lossy), lossy);
+        let rm = CellState::Removed { vaulted: true };
+        assert_eq!(
+            inv.join(rm),
+            CellState::Removed { vaulted: true },
+            "mixed constructors keep the higher one"
+        );
+        assert_eq!(lossy.join(rm), CellState::Removed { vaulted: false });
+    }
+
+    #[test]
+    fn cell_ids_are_case_insensitive() {
+        assert_eq!(CellId::col("Users", "Name"), CellId::col("users", "name"));
+        assert_eq!(CellId::rows("T").table(), "t");
+        assert_eq!(CellId::col("T", "c").to_string(), "t.c");
+    }
+
+    #[test]
+    fn idempotent_modifiers_converge() {
+        for (m, v) in [
+            (Modifier::SetNull, AbsVal::Null),
+            (Modifier::Fixed(Value::Int(7)), AbsVal::Const(Value::Int(7))),
+            (
+                Modifier::Redact,
+                AbsVal::Const(Value::Text("[deleted]".into())),
+            ),
+            (Modifier::Truncate(3), AbsVal::TruncatedTo(3)),
+            (Modifier::Bucket(10), AbsVal::BucketedBy(10)),
+        ] {
+            let (out, change) = modifier_transfer(&m, &v);
+            assert_eq!(change, Change::No, "{m:?} over {v:?}");
+            assert_eq!(out, v);
+        }
+        // A coarser truncation of an already-shorter value is a no-op.
+        let (_, c) = modifier_transfer(&Modifier::Truncate(8), &AbsVal::TruncatedTo(3));
+        assert_eq!(c, Change::No);
+        // Bucketing by a divisor of the current width is a no-op.
+        let (_, c) = modifier_transfer(&Modifier::Bucket(5), &AbsVal::BucketedBy(10));
+        assert_eq!(c, Change::No);
+    }
+
+    #[test]
+    fn divergent_modifiers_keep_rewriting() {
+        let (out, change) = modifier_transfer(&Modifier::HashText, &AbsVal::Hashed);
+        assert_eq!(out, AbsVal::Hashed);
+        assert_eq!(change, Change::Yes, "hash of a hash is a new digest");
+        let (_, change) = modifier_transfer(&Modifier::RandomInt { lo: 0, hi: 9 }, &AbsVal::Random);
+        assert_eq!(change, Change::Yes);
+        // An oscillating Fixed pair: each write clobbers the other.
+        let (a, _) = modifier_transfer(&Modifier::Fixed(Value::Int(1)), &AbsVal::Original);
+        let (b, c1) = modifier_transfer(&Modifier::Fixed(Value::Int(2)), &a);
+        let (_, c2) = modifier_transfer(&Modifier::Fixed(Value::Int(1)), &b);
+        assert_eq!(c1, Change::Yes);
+        assert_eq!(c2, Change::Yes);
+    }
+}

@@ -19,14 +19,29 @@
 //! [`crate::Disguiser::register`] hard-fails on errors and records
 //! warnings; the `edna check` CLI subcommand runs the analyzer
 //! standalone (optionally with `--deny-warnings`).
+//!
+//! On top of the per-spec passes sits the **workspace audit** (`edna
+//! audit`): an abstract interpreter over the whole disguise graph —
+//! [`lattice`] (domains), [`transfer`] (per-spec effect compilation),
+//! [`interleave`] (all-orders exploration with reveal walk-back), and
+//! [`audit`] (diagnostics `E050`–`E053`, `W050`–`W053`, including
+//! scheduled-policy convergence).
 
+pub mod audit;
 pub mod composition;
 pub mod diagnostics;
+pub mod interleave;
+pub mod lattice;
 pub mod pii;
 pub mod refsafety;
+pub mod transfer;
 pub mod typeck;
 
-pub use diagnostics::{codes, has_errors, render_report, Diagnostic, Location, Severity};
+pub use audit::audit_workspace;
+pub use diagnostics::{
+    codes, has_errors, render_json_report, render_report, sort_diagnostics, Diagnostic, Location,
+    Severity,
+};
 
 use edna_relational::Database;
 
@@ -70,8 +85,10 @@ pub fn analyze_spec(
     refsafety::check(spec, db, &mut diags);
     composition::check(spec, priors, &mut diags);
     pii::check(spec, db, &mut diags);
-    // Errors first; within a severity keep pass order (stable sort).
-    diags.sort_by_key(|d| d.severity);
+    // Deterministic order: severity, then location, then code — stable
+    // regardless of pass order or hash-map iteration (see
+    // `sort_diagnostics`).
+    diagnostics::sort_diagnostics(&mut diags);
     diags
 }
 

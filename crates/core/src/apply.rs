@@ -475,6 +475,16 @@ impl Disguiser {
             .collect()
     }
 
+    /// Audits the whole registered disguise graph (all interleavings)
+    /// plus the given scheduled `policies`; see
+    /// [`analyze::audit_workspace`]. Specs are passed sorted by name so
+    /// the exploration and its diagnostics are deterministic.
+    pub fn audit(&self, policies: &[crate::policy::Policy]) -> Vec<Diagnostic> {
+        let mut specs: Vec<DisguiseSpec> = read_unpoisoned(&self.specs).values().cloned().collect();
+        specs.sort_by(|a, b| a.name.cmp(&b.name));
+        analyze::audit_workspace(&self.db, &specs, policies)
+    }
+
     /// The warnings the analyzer recorded when `name` registered (empty
     /// if none, or if the spec is unknown).
     pub fn registration_warnings(&self, name: &str) -> Vec<Diagnostic> {

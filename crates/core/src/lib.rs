@@ -18,7 +18,9 @@
 //!   the paper's §6 composition optimization;
 //! - [`analyze`] — schema-aware static analysis producing rustc-style
 //!   diagnostics (typed predicates, referential/reveal safety, PII
-//!   coverage), enforced at registration and exposed as `edna check`;
+//!   coverage), enforced at registration and exposed as `edna check`,
+//!   plus the whole-workspace abstract interpreter behind `edna audit`
+//!   (reveal-reachability, vault-orphaning, policy convergence);
 //! - assertions over the end state (§7), checked post-apply with rollback
 //!   and mechanism-retry on failure;
 //! - [`policy`] — expiration and data-decay policies over a logical clock
@@ -42,7 +44,10 @@ pub mod spec;
 pub mod workspace;
 
 pub use analysis::{plan_composition, CompositionPlan};
-pub use analyze::{analyze_spec, render_report, Diagnostic, Location, Severity};
+pub use analyze::{
+    analyze_spec, audit_workspace, render_json_report, render_report, sort_diagnostics, Diagnostic,
+    Location, Severity,
+};
 pub use apply::{
     ApplyManyReport, ApplyOptions, DisguiseReport, Disguiser, IntentResolution, VaultFailurePolicy,
 };
@@ -50,9 +55,12 @@ pub use edna_obs::{SpanRecord, Tracer};
 pub use error::{Error, Result};
 pub use guard::DisguisedRows;
 pub use history::{DisguiseEvent, HistoryLog, HISTORY_TABLE};
+pub use policy::{
+    is_policy_source, parse_policy, DecayPolicy, DecayStage, ExpirationPolicy, Policy, Scheduler,
+};
 pub use reveal::RevealReport;
 pub use spec::{
     parse_spec, spec_loc, Assertion, DisguiseSpec, DisguiseSpecBuilder, Generator, Modifier,
     PredicatedTransform, TableDisguise, Transformation,
 };
-pub use workspace::{parse_user, Workspace, SPEC_REGISTRY_TABLE};
+pub use workspace::{parse_user, Workspace, POLICY_REGISTRY_TABLE, SPEC_REGISTRY_TABLE};

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use edna_relational::Value;
 
 use crate::apply::{DisguiseReport, Disguiser};
-use crate::error::Result;
+use crate::error::{Error, Result};
 
 /// Applies a user-scoped disguise to users inactive for too long.
 #[derive(Debug, Clone)]
@@ -149,6 +149,12 @@ impl Scheduler {
         self.policies.push(policy);
     }
 
+    /// The scheduled policies, in registration order (the audit walks
+    /// these).
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
     /// Advances the clock to `now` and runs every policy whose cadence has
     /// elapsed. Also purges expired vault entries at `now`. Returns the
     /// reports of all disguises applied.
@@ -173,6 +179,196 @@ impl Scheduler {
         edna.purge_expired(now)?;
         Ok(reports)
     }
+}
+
+/// Parses the policy text DSL, the scheduling counterpart of the spec
+/// DSL (same `key: value` surface; `#` starts a line comment):
+///
+/// ```text
+/// policy_name: "aging"
+/// kind: decay
+/// cadence: 60
+/// stages: [ "CommentBlur", "CommentScrub" ]
+/// ```
+///
+/// ```text
+/// policy_name: "expire-idle"
+/// kind: expiration
+/// cadence: 120
+/// disguise: "Expire"
+/// inactive_after: 500
+/// user_query: "SELECT id FROM users WHERE last_login < $CUTOFF"
+/// ```
+///
+/// Syntax problems report [`Error::SpecParse`] with the line; semantic
+/// problems (missing keys, bad kind) report [`Error::SpecInvalid`].
+/// Whether the referenced disguises exist and have the right scope is
+/// *not* checked here — that is the audit's `E053`.
+pub fn parse_policy(src: &str) -> Result<Policy> {
+    let mut name = None;
+    let mut kind = None;
+    let mut cadence = None;
+    let mut stages: Option<Vec<DecayStage>> = None;
+    let mut disguise = None;
+    let mut inactive_after = None;
+    let mut user_query = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_policy_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(':').ok_or(Error::SpecParse {
+            line: line_no,
+            message: format!("expected `key: value`, got `{line}`"),
+        })?;
+        let key = key.trim();
+        let value = value.trim().trim_end_matches(',');
+        let parse_err = |message: String| Error::SpecParse {
+            line: line_no,
+            message,
+        };
+        match key {
+            "policy_name" => {
+                name = Some(unquote(value).ok_or_else(|| {
+                    parse_err(format!(
+                        "policy_name must be a quoted string, got `{value}`"
+                    ))
+                })?)
+            }
+            "kind" => kind = Some(value.to_string()),
+            "cadence" => {
+                cadence =
+                    Some(value.parse::<i64>().map_err(|_| {
+                        parse_err(format!("cadence must be an integer, got `{value}`"))
+                    })?)
+            }
+            "stages" => {
+                let inner = value
+                    .strip_prefix('[')
+                    .and_then(|v| v.strip_suffix(']'))
+                    .ok_or_else(|| {
+                        parse_err(format!("stages must be `[ \"A\", \"B\" ]`, got `{value}`"))
+                    })?;
+                let mut list = Vec::new();
+                for part in inner.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let disguise = unquote(part).ok_or_else(|| {
+                        parse_err(format!("stage names must be quoted, got `{part}`"))
+                    })?;
+                    list.push(DecayStage { disguise });
+                }
+                stages = Some(list);
+            }
+            "disguise" => {
+                disguise = Some(unquote(value).ok_or_else(|| {
+                    parse_err(format!("disguise must be a quoted string, got `{value}`"))
+                })?)
+            }
+            "inactive_after" => {
+                inactive_after = Some(value.parse::<i64>().map_err(|_| {
+                    parse_err(format!("inactive_after must be an integer, got `{value}`"))
+                })?)
+            }
+            "user_query" => {
+                user_query = Some(unquote(value).ok_or_else(|| {
+                    parse_err(format!("user_query must be a quoted string, got `{value}`"))
+                })?)
+            }
+            other => {
+                return Err(parse_err(format!("unknown policy key `{other}`")));
+            }
+        }
+    }
+    let name = name.ok_or_else(|| invalid("<policy>", "missing `policy_name:`"))?;
+    let invalid_here = |message: &str| invalid(&name, message);
+    let cadence = cadence.ok_or_else(|| invalid_here("missing `cadence:`"))?;
+    if cadence <= 0 {
+        return Err(invalid_here("cadence must be positive"));
+    }
+    match kind.as_deref() {
+        Some("decay") => {
+            let stages = stages.ok_or_else(|| invalid_here("decay policies need `stages:`"))?;
+            if stages.is_empty() {
+                return Err(invalid_here("decay policies need at least one stage"));
+            }
+            Ok(Policy::Decay(DecayPolicy {
+                name,
+                stages,
+                cadence,
+            }))
+        }
+        Some("expiration") => {
+            let disguise =
+                disguise.ok_or_else(|| invalid_here("expiration policies need `disguise:`"))?;
+            let inactive_after = inactive_after
+                .ok_or_else(|| invalid_here("expiration policies need `inactive_after:`"))?;
+            let user_query =
+                user_query.ok_or_else(|| invalid_here("expiration policies need `user_query:`"))?;
+            if !user_query.contains("$CUTOFF") {
+                return Err(invalid_here("user_query must reference $CUTOFF"));
+            }
+            Ok(Policy::Expiration(ExpirationPolicy {
+                name,
+                disguise,
+                inactive_after,
+                user_query,
+                cadence,
+            }))
+        }
+        Some(other) => Err(invalid_here(&format!(
+            "kind must be `decay` or `expiration`, got `{other}`"
+        ))),
+        None => Err(invalid_here("missing `kind:`")),
+    }
+}
+
+/// Whether `src` looks like the policy DSL rather than the spec DSL
+/// (used by `edna register` to route a file to the right parser).
+pub fn is_policy_source(src: &str) -> bool {
+    src.lines()
+        .map(strip_policy_comment)
+        .find(|l| !l.trim().is_empty())
+        .map(|l| l.trim_start().starts_with("policy_name"))
+        .unwrap_or(false)
+}
+
+fn invalid(name: &str, message: &str) -> Error {
+    Error::SpecInvalid {
+        disguise: name.to_string(),
+        message: message.to_string(),
+    }
+}
+
+/// Strips a `#` comment, respecting double- and single-quoted strings.
+fn strip_policy_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match (c, quote) {
+            ('#', None) => break,
+            ('"', None) | ('\'', None) => quote = Some(c),
+            (c, Some(q)) if c == q => quote = None,
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Removes matching surrounding quotes, if any.
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    for q in ['"', '\''] {
+        if let Some(inner) = s.strip_prefix(q).and_then(|v| v.strip_suffix(q)) {
+            return Some(inner.to_string());
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -205,6 +401,81 @@ mod tests {
         )
         .unwrap();
         (db, edna)
+    }
+
+    #[test]
+    fn policy_dsl_parses_decay() {
+        let p = parse_policy(
+            "# age out comment bodies\n\
+             policy_name: \"aging\"\n\
+             kind: decay\n\
+             cadence: 60\n\
+             stages: [ \"CommentBlur\", \"CommentScrub\" ]\n",
+        )
+        .unwrap();
+        match p {
+            Policy::Decay(d) => {
+                assert_eq!(d.name, "aging");
+                assert_eq!(d.cadence, 60);
+                let names: Vec<_> = d.stages.iter().map(|s| s.disguise.as_str()).collect();
+                assert_eq!(names, vec!["CommentBlur", "CommentScrub"]);
+            }
+            other => panic!("not decay: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_dsl_parses_expiration() {
+        let p = parse_policy(
+            "policy_name: \"expire-idle\"\n\
+             kind: expiration\n\
+             cadence: 120\n\
+             disguise: \"Expire\"\n\
+             inactive_after: 500\n\
+             user_query: \"SELECT id FROM users WHERE last_login < $CUTOFF\"\n",
+        )
+        .unwrap();
+        match p {
+            Policy::Expiration(e) => {
+                assert_eq!(e.disguise, "Expire");
+                assert_eq!(e.inactive_after, 500);
+                assert!(e.user_query.contains("$CUTOFF"));
+            }
+            other => panic!("not expiration: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_dsl_rejects_malformed_input() {
+        // Syntax: line numbers on parse errors.
+        let err = parse_policy("policy_name: aging\n").unwrap_err();
+        assert!(matches!(err, Error::SpecParse { line: 1, .. }), "{err:?}");
+        // Semantics: missing keys, bad kind, dead cadence.
+        for (src, needle) in [
+            ("kind: decay\ncadence: 1\nstages: [\"A\"]", "policy_name"),
+            ("policy_name: \"p\"\ncadence: 1", "kind"),
+            ("policy_name: \"p\"\nkind: decay\ncadence: 1", "stages"),
+            (
+                "policy_name: \"p\"\nkind: decay\ncadence: 0\nstages: [\"A\"]",
+                "positive",
+            ),
+            (
+                "policy_name: \"p\"\nkind: expiration\ncadence: 1\ndisguise: \"D\"\n\
+                 inactive_after: 5\nuser_query: \"SELECT id FROM users\"",
+                "$CUTOFF",
+            ),
+            ("policy_name: \"p\"\nkind: seesaw\ncadence: 1", "decay"),
+        ] {
+            let err = parse_policy(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn policy_sources_are_recognized() {
+        assert!(is_policy_source("# c\npolicy_name: \"p\"\n"));
+        assert!(!is_policy_source("disguise_name: \"d\"\n"));
+        assert!(!is_policy_source(""));
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! never reintroduces data another disguise transformed. ("For example,
 //! reversal of GDPR must avoid reintroducing identifiable reviews if
 //! ConfAnon has occurred since GDPR was applied.")
+//!
+//! The workspace audit ([`crate::analyze::interleave`]) models exactly
+//! this path: reveals are walked back newest-first with the same
+//! reinsert-retry fixpoint as [`Disguiser::reveal`]'s `ReinsertRow`
+//! loop, and a reveal is only considered reachable if every parent row
+//! its reinsertions reference can still exist. Changes to the reveal
+//! semantics here (skip rules, re-application, reinsert ordering) must
+//! be mirrored in the audit's transfer model or its proofs go stale.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

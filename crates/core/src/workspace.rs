@@ -48,6 +48,9 @@ use crate::Tracer;
 /// Reserved table persisting registered disguise DSL texts.
 pub const SPEC_REGISTRY_TABLE: &str = "_edna_spec_registry";
 
+/// Reserved table persisting registered policy DSL texts.
+pub const POLICY_REGISTRY_TABLE: &str = "_edna_policy_registry";
+
 /// An open workspace: database + disguiser wired to on-disk vaults,
 /// holding the state lock for its lifetime.
 pub struct Workspace {
@@ -315,14 +318,68 @@ impl Workspace {
             .map(|row| Ok(row[0].as_text()?.to_string()))
             .collect()
     }
+
+    /// Registers a policy from DSL text and persists it in the policy
+    /// registry. Policies are validated syntactically here; whether the
+    /// disguises they reference exist and have the right scope is the
+    /// audit's job (`E053`), so a policy can be registered before its
+    /// disguises.
+    pub fn register_policy(&self, dsl: &str) -> Result<String> {
+        let policy = crate::policy::parse_policy(dsl)?;
+        let name = policy.name().to_string();
+        let quoted = name.replace('\'', "''");
+        self.db.execute(&format!(
+            "DELETE FROM {POLICY_REGISTRY_TABLE} WHERE name = '{quoted}'"
+        ))?;
+        self.db.insert_row(
+            POLICY_REGISTRY_TABLE,
+            &[
+                ("name", Value::Text(name.clone())),
+                ("dsl", Value::Text(dsl.to_string())),
+            ],
+        )?;
+        self.save()?;
+        Ok(name)
+    }
+
+    /// Names of registered policies, sorted.
+    pub fn policy_names(&self) -> Result<Vec<String>> {
+        let r = self.db.execute(&format!(
+            "SELECT name FROM {POLICY_REGISTRY_TABLE} ORDER BY name"
+        ))?;
+        r.rows
+            .into_iter()
+            .map(|row| Ok(row[0].as_text()?.to_string()))
+            .collect()
+    }
+
+    /// The registered policies, parsed, in registration order.
+    pub fn policies(&self) -> Result<Vec<crate::policy::Policy>> {
+        let r = self.db.execute(&format!(
+            "SELECT dsl FROM {POLICY_REGISTRY_TABLE} ORDER BY id"
+        ))?;
+        r.rows
+            .into_iter()
+            .map(|row| crate::policy::parse_policy(row[0].as_text()?))
+            .collect()
+    }
+
+    /// Audits the whole workspace: every registered disguise under
+    /// arbitrary interleaving plus every registered policy. See
+    /// [`crate::analyze::audit_workspace`].
+    pub fn audit(&self) -> Result<Vec<crate::analyze::Diagnostic>> {
+        Ok(self.edna.audit(&self.policies()?))
+    }
 }
 
 fn ensure_registry(db: &Database) -> Result<()> {
-    if !db.has_table(SPEC_REGISTRY_TABLE) {
-        db.execute(&format!(
-            "CREATE TABLE {SPEC_REGISTRY_TABLE} (id INT PRIMARY KEY AUTO_INCREMENT, \
-             name TEXT NOT NULL UNIQUE, dsl TEXT NOT NULL)"
-        ))?;
+    for table in [SPEC_REGISTRY_TABLE, POLICY_REGISTRY_TABLE] {
+        if !db.has_table(table) {
+            db.execute(&format!(
+                "CREATE TABLE {table} (id INT PRIMARY KEY AUTO_INCREMENT, \
+                 name TEXT NOT NULL UNIQUE, dsl TEXT NOT NULL)"
+            ))?;
+        }
     }
     Ok(())
 }

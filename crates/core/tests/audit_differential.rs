@@ -1,0 +1,209 @@
+//! Differential tests: the audit's static verdicts must match what the
+//! runtime actually does. Each case runs `audit_workspace` over a spec
+//! set AND executes the same specs against real data, asserting that
+//! predicted-stuck reveals really fail, predicted-safe ones really
+//! succeed, and predicted-diverging decay ladders really keep rewriting.
+
+use edna_core::{
+    analyze::codes, audit_workspace, DecayPolicy, DecayStage, DisguiseSpec, DisguiseSpecBuilder,
+    Disguiser, Error, Modifier, Policy,
+};
+use edna_relational::{Database, Value};
+
+fn forum_db() -> Database {
+    let db = Database::new();
+    db.execute(
+        "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT, \
+         last_login INT NOT NULL DEFAULT 0)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE comments (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+         body TEXT, created_at INT NOT NULL DEFAULT 0, \
+         FOREIGN KEY (user_id) REFERENCES users(id))",
+    )
+    .unwrap();
+    db.execute("INSERT INTO users (name, last_login) VALUES ('bea', 100), ('mel', 9000)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO comments (user_id, body, created_at) VALUES \
+         (1, 'first', 120), (1, 'again', 150), (2, 'hello', 9100)",
+    )
+    .unwrap();
+    db
+}
+
+fn shelf() -> DisguiseSpec {
+    DisguiseSpecBuilder::new("Shelf")
+        .user_scoped()
+        .remove("comments", Some("user_id = $UID"))
+        .build()
+        .unwrap()
+}
+
+fn purge(reversible: bool) -> DisguiseSpec {
+    let b = DisguiseSpecBuilder::new("Purge")
+        .user_scoped()
+        .remove("comments", Some("user_id = $UID"))
+        .remove("users", Some("id = $UID"));
+    let b = if reversible { b } else { b.irreversible() };
+    b.build().unwrap()
+}
+
+#[test]
+fn predicted_orphaning_really_strands_the_reveal() {
+    let db = forum_db();
+    let specs = [shelf(), purge(false)];
+
+    // Static verdict: the pair can orphan Shelf's vault entry.
+    let diags = audit_workspace(&db, &specs, &[]);
+    let codes_found: Vec<_> = diags.iter().map(|d| d.code).collect();
+    assert!(
+        codes_found.contains(&codes::REVEAL_UNREACHABLE),
+        "{diags:?}"
+    );
+    assert!(codes_found.contains(&codes::VAULT_ORPHANED), "{diags:?}");
+
+    // Runtime confirmation: apply in the flagged order, then try the
+    // walk-back the audit says is impossible.
+    let edna = Disguiser::new(db.clone());
+    for s in specs {
+        edna.register(s).unwrap();
+    }
+    let kept = edna.apply("Shelf", Some(&Value::Int(1))).unwrap();
+    assert!(
+        kept.rows_removed > 0,
+        "Shelf really removed (and vaulted) rows"
+    );
+    edna.apply("Purge", Some(&Value::Int(1))).unwrap();
+    let err = edna.reveal(kept.disguise_id).unwrap_err();
+    match err {
+        Error::NotReversible { reason, .. } => {
+            assert!(reason.contains("missing parents"), "{reason}");
+        }
+        other => panic!("expected NotReversible, got {other:?}"),
+    }
+}
+
+#[test]
+fn predicted_safe_pair_really_walks_back_to_present() {
+    let db = forum_db();
+    let specs = [shelf(), purge(true)];
+
+    // Static verdict: with Purge reversible, every interleaving can be
+    // walked back (LIFO order).
+    assert!(audit_workspace(&db, &specs, &[]).is_empty());
+
+    // Runtime confirmation: same application order, reveal newest-first
+    // (the order the audit's walk-back models) restores everything.
+    let edna = Disguiser::new(db.clone());
+    for s in specs {
+        edna.register(s).unwrap();
+    }
+    let kept = edna.apply("Shelf", Some(&Value::Int(1))).unwrap();
+    let purged = edna.apply("Purge", Some(&Value::Int(1))).unwrap();
+    assert_eq!(db.row_count("users").unwrap(), 1);
+    edna.reveal(purged.disguise_id).unwrap();
+    edna.reveal(kept.disguise_id).unwrap();
+    assert_eq!(db.row_count("users").unwrap(), 2, "account restored");
+    assert_eq!(db.row_count("comments").unwrap(), 3, "comments restored");
+}
+
+#[test]
+fn predicted_diverging_decay_really_rewrites_every_run() {
+    let db = forum_db();
+    let blur = DisguiseSpecBuilder::new("Blur")
+        .irreversible()
+        .modify(
+            "comments",
+            Some("created_at < NOW() - 300"),
+            "body",
+            Modifier::HashText,
+        )
+        .build()
+        .unwrap();
+    let policy = DecayPolicy {
+        name: "aging".to_string(),
+        stages: vec![DecayStage {
+            disguise: "Blur".to_string(),
+        }],
+        cadence: 60,
+    };
+
+    // Static verdict: diverges.
+    let diags = audit_workspace(
+        &db,
+        std::slice::from_ref(&blur),
+        &[Policy::Decay(policy.clone())],
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, codes::POLICY_DIVERGES);
+
+    // Runtime confirmation: the second and third runs keep rewriting the
+    // same aged rows (hash of a hash is a fresh digest).
+    let edna = Disguiser::new(db.clone());
+    edna.register(blur).unwrap();
+    let first: usize = policy
+        .run(&edna, 1000)
+        .unwrap()
+        .iter()
+        .map(|r| r.rows_modified)
+        .sum();
+    let second: usize = policy
+        .run(&edna, 1060)
+        .unwrap()
+        .iter()
+        .map(|r| r.rows_modified)
+        .sum();
+    assert!(first > 0, "decay did something on run one");
+    assert_eq!(second, first, "every aged row rewritten again: divergence");
+}
+
+#[test]
+fn predicted_converging_decay_really_settles() {
+    let db = forum_db();
+    let calm = DisguiseSpecBuilder::new("Calm")
+        .irreversible()
+        .modify(
+            "comments",
+            Some("created_at < NOW() - 300"),
+            "body",
+            Modifier::Redact,
+        )
+        .build()
+        .unwrap();
+    let policy = DecayPolicy {
+        name: "calm-aging".to_string(),
+        stages: vec![DecayStage {
+            disguise: "Calm".to_string(),
+        }],
+        cadence: 60,
+    };
+
+    // Static verdict: converges (no diagnostics at all).
+    let diags = audit_workspace(
+        &db,
+        std::slice::from_ref(&calm),
+        &[Policy::Decay(policy.clone())],
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // Runtime confirmation: the second run over the same window is a
+    // no-op (apply skips rows whose new value equals the current one).
+    let edna = Disguiser::new(db.clone());
+    edna.register(calm).unwrap();
+    let first: usize = policy
+        .run(&edna, 1000)
+        .unwrap()
+        .iter()
+        .map(|r| r.rows_modified)
+        .sum();
+    let second: usize = policy
+        .run(&edna, 1060)
+        .unwrap()
+        .iter()
+        .map(|r| r.rows_modified)
+        .sum();
+    assert!(first > 0);
+    assert_eq!(second, 0, "idempotent decay settles");
+}

@@ -1,0 +1,199 @@
+//! Golden-file tests for diagnostic rendering: the exact rustc-style
+//! text and the exact JSON report for representative findings from every
+//! analyze pass. A rendering change must come with an intentional golden
+//! update (`UPDATE_GOLDENS=1 cargo test -p edna-core --test golden`),
+//! which makes accidental diagnostic drift show up in review.
+
+use std::path::PathBuf;
+
+use edna_core::{
+    analyze::{analyze_spec, codes},
+    audit_workspace, render_json_report, render_report, DisguiseSpec, DisguiseSpecBuilder,
+    ExpirationPolicy, Modifier, Policy, Severity,
+};
+use edna_relational::Database;
+
+fn golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "rendering drifted from tests/golden/{name}; if intentional, \
+         regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+fn forum_db() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT PII, \
+           age INT, last_login INT NOT NULL DEFAULT 0);
+         CREATE TABLE posts (id INT PRIMARY KEY AUTO_INCREMENT, user_id INT NOT NULL, \
+           body TEXT PII, created INT NOT NULL DEFAULT 0, \
+           FOREIGN KEY (user_id) REFERENCES users(id));",
+    )
+    .unwrap();
+    db
+}
+
+/// Asserts the report has at least one error and one warning — every
+/// golden exercises both renderer shapes.
+fn assert_mixed(diags: &[edna_core::Diagnostic]) {
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Error),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Warning),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn typeck_findings_render_stably() {
+    // E001 (INT column compared with TEXT) + W001 (constant-false guard).
+    let db = forum_db();
+    let spec = DisguiseSpecBuilder::new("Sloppy")
+        .modify("users", Some("age = 'old'"), "age", Modifier::SetNull)
+        .modify("users", Some("1 = 0"), "name", Modifier::Redact)
+        .build()
+        .unwrap();
+    let diags = analyze_spec(&spec, &db, &[]);
+    assert_mixed(&diags);
+    assert!(diags.iter().any(|d| d.code == codes::TYPE_MISMATCH));
+    assert!(diags.iter().any(|d| d.code == codes::ALWAYS_FALSE));
+    golden("typeck.txt", &render_report(&diags));
+}
+
+#[test]
+fn refsafety_and_pii_findings_render_stably() {
+    // E010 (removing users orphans posts) + W040 (posts.body PII left
+    // untouched by a spec that transforms posts).
+    let db = forum_db();
+    let spec = DisguiseSpecBuilder::new("Heavy")
+        .user_scoped()
+        .remove("users", Some("id = $UID"))
+        .modify(
+            "posts",
+            Some("user_id = $UID"),
+            "created",
+            Modifier::SetNull,
+        )
+        .build()
+        .unwrap();
+    let diags = analyze_spec(&spec, &db, &[]);
+    assert_mixed(&diags);
+    assert!(diags.iter().any(|d| d.code == codes::ORPHANING_REMOVE));
+    assert!(diags.iter().any(|d| d.code == codes::PII_GAP));
+    golden("refsafety_pii.txt", &render_report(&diags));
+}
+
+#[test]
+fn composition_findings_render_stably() {
+    // W020 (Remove after a prior Decorrelate is lossy) + E001 from the
+    // same spec, so the report mixes severities.
+    let db = forum_db();
+    let prior = DisguiseSpecBuilder::new("First")
+        .user_scoped()
+        .irreversible()
+        .decorrelate("posts", Some("user_id = $UID"), "user_id", "users")
+        .build()
+        .unwrap();
+    let spec = DisguiseSpecBuilder::new("Second")
+        .user_scoped()
+        .remove("posts", Some("user_id = $UID"))
+        .modify("users", Some("age = 'old'"), "age", Modifier::SetNull)
+        .build()
+        .unwrap();
+    let diags = analyze_spec(&spec, &db, &[&prior]);
+    assert_mixed(&diags);
+    assert!(diags
+        .iter()
+        .any(|d| d.code == codes::LOSSY_REMOVE_AFTER_DECORRELATE));
+    golden("composition.txt", &render_report(&diags));
+}
+
+fn audit_fixture() -> (Database, Vec<DisguiseSpec>, Vec<Policy>) {
+    let db = forum_db();
+    let keep = DisguiseSpecBuilder::new("Vault-Trap-Keep")
+        .user_scoped()
+        .remove("posts", Some("user_id = $UID"))
+        .build()
+        .unwrap();
+    let purge = DisguiseSpecBuilder::new("Vault-Trap-Purge")
+        .user_scoped()
+        .irreversible()
+        .remove("posts", Some("user_id = $UID"))
+        .remove("users", Some("id = $UID"))
+        .build()
+        .unwrap();
+    let policy = Policy::Expiration(ExpirationPolicy {
+        name: "reap-inactive".to_string(),
+        disguise: "Vault-Trap-Purge".to_string(),
+        inactive_after: 3600,
+        user_query: "SELECT id FROM users WHERE last_login < $CUTOFF".to_string(),
+        cadence: 600,
+    });
+    (db, vec![keep, purge], vec![policy])
+}
+
+#[test]
+fn audit_findings_render_stably() {
+    // E050/E051 (orphaned vault entry in one interleaving) + W053 (an
+    // expiration policy driving an irreversible disguise).
+    let (db, specs, policies) = audit_fixture();
+    let diags = audit_workspace(&db, &specs, &policies);
+    assert_mixed(&diags);
+    assert!(diags.iter().any(|d| d.code == codes::REVEAL_UNREACHABLE));
+    assert!(diags.iter().any(|d| d.code == codes::VAULT_ORPHANED));
+    assert!(diags
+        .iter()
+        .any(|d| d.code == codes::IRREVERSIBLE_EXPIRATION));
+    golden("audit.txt", &render_report(&diags));
+}
+
+#[test]
+fn audit_json_report_is_stable_and_round_trips() {
+    let (db, specs, policies) = audit_fixture();
+    let diags = audit_workspace(&db, &specs, &policies);
+    let reports = vec![("workspace".to_string(), diags.clone())];
+    let json = render_json_report("edna audit", &reports);
+    golden("audit.json", &json);
+
+    // Round trip: the rendered JSON parses, and every diagnostic object
+    // deserializes back to exactly the original Diagnostic.
+    let parsed = edna_obs::json::parse(&json).expect("report is valid JSON");
+    let obj = parsed.as_obj().unwrap();
+    assert_eq!(obj.get("tool").and_then(|v| v.as_str()), Some("edna audit"));
+    let rendered = obj.get("reports").unwrap().as_arr().unwrap();
+    assert_eq!(rendered.len(), 1);
+    let body = rendered[0].as_obj().unwrap();
+    assert_eq!(
+        body.get("subject").and_then(|v| v.as_str()),
+        Some("workspace")
+    );
+    let arr = body.get("diagnostics").unwrap().as_arr().unwrap();
+    assert_eq!(arr.len(), diags.len());
+    for (json_diag, original) in arr.iter().zip(&diags) {
+        let back =
+            edna_core::Diagnostic::from_json(json_diag).expect("diagnostic object deserializes");
+        assert_eq!(&back, original);
+    }
+    let summary = obj.get("summary").unwrap().as_obj().unwrap();
+    let errors = summary.get("errors").and_then(|v| v.as_num()).unwrap() as usize;
+    assert_eq!(
+        errors,
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    );
+}

@@ -54,6 +54,14 @@ impl Json {
         }
     }
 
+    /// Returns the array elements if this value is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Returns the number if this value is numeric.
     pub fn as_num(&self) -> Option<f64> {
         match self {

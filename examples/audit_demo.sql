@@ -1,0 +1,26 @@
+-- Minimal forum schema for the `edna audit` counterexample walkthrough
+-- (see README "edna audit"). Load with:
+--
+--   edna init <state> --schema examples/audit_demo.sql
+--
+-- then register the counterexample specs/policies and run
+-- `edna audit <state>`.
+CREATE TABLE users (
+  id INT PRIMARY KEY AUTO_INCREMENT,
+  name TEXT,
+  last_login INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE comments (
+  id INT PRIMARY KEY AUTO_INCREMENT,
+  user_id INT NOT NULL,
+  body TEXT,
+  created_at INT NOT NULL DEFAULT 0,
+  FOREIGN KEY (user_id) REFERENCES users(id)
+);
+
+INSERT INTO users (name, last_login) VALUES ('bea', 100), ('mel', 9000);
+INSERT INTO comments (user_id, body, created_at) VALUES
+  (1, 'first!', 120),
+  (1, 'me again', 150),
+  (2, 'hello', 9100);

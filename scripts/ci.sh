@@ -32,6 +32,55 @@ if target/release/edna check "$CHECK_DIR/hotcrp" examples/flawed_scrub.edna; the
 fi
 echo "edna check OK"
 
+echo "==> edna audit (interleaving proofs over the demo workspaces)"
+# The bundled demos must audit clean — reveal-reachability proven for
+# every disguise pair, warnings denied.
+target/release/edna audit "$CHECK_DIR/hotcrp" --deny-warnings
+target/release/edna audit "$CHECK_DIR/lobsters" --deny-warnings
+# Both counterexamples must be rejected with their documented codes.
+target/release/edna init "$CHECK_DIR/trap"
+target/release/edna load-sql "$CHECK_DIR/trap" examples/audit_demo.sql
+target/release/edna register "$CHECK_DIR/trap" examples/vault_trap_keep.edna
+target/release/edna register "$CHECK_DIR/trap" examples/vault_trap_purge.edna
+if target/release/edna audit "$CHECK_DIR/trap" > "$CHECK_DIR/trap.out"; then
+    echo "vault-trap counterexample unexpectedly passed edna audit" >&2
+    exit 1
+fi
+grep -q 'error\[E050\]' "$CHECK_DIR/trap.out"
+grep -q 'error\[E051\]' "$CHECK_DIR/trap.out"
+target/release/edna init "$CHECK_DIR/decay"
+target/release/edna load-sql "$CHECK_DIR/decay" examples/audit_demo.sql
+target/release/edna register "$CHECK_DIR/decay" examples/endless_decay.edna
+target/release/edna register "$CHECK_DIR/decay" examples/endless_decay_policy.edna
+if target/release/edna audit "$CHECK_DIR/decay" > "$CHECK_DIR/decay.out"; then
+    echo "endless-decay counterexample unexpectedly passed edna audit" >&2
+    exit 1
+fi
+grep -q 'error\[E052\]' "$CHECK_DIR/decay.out"
+# The JSON format is a valid document with the expected shape.
+target/release/edna audit "$CHECK_DIR/trap" --format json \
+    > "$CHECK_DIR/trap.json" || true
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$CHECK_DIR/trap.json" <<'EOF'
+import json
+import sys
+
+d = json.load(open(sys.argv[1]))
+assert d["tool"] == "edna audit", d
+assert d["summary"]["errors"] >= 2, d
+diags = d["reports"][0]["diagnostics"]
+codes = {x["code"] for x in diags}
+assert {"E050", "E051"} <= codes, codes
+for x in diags:
+    for key in ("severity", "code", "disguise", "table",
+                "column", "context", "message", "help"):
+        assert key in x, f"diagnostic missing {key!r}: {x}"
+EOF
+else
+    grep -q '"code":"E051"' "$CHECK_DIR/trap.json"
+fi
+echo "edna audit OK"
+
 echo "==> trace smoke (apply with --trace-out, stats sidecar, trace tree)"
 target/release/edna apply "$CHECK_DIR/hotcrp" HotCRP-GDPR --user 1 \
     --trace-out "$CHECK_DIR/trace.jsonl"
