@@ -23,7 +23,7 @@
 //! edna recover <state> [--verify] [--passphrase <p>] [--trace-out <f.jsonl>]
 //! edna serve <state> [--addr <ip:port>] [--max-conns <n>] [--conn-timeout-ms <n>]
 //!          [--max-frame-bytes <n>] [--checkpoint-secs <n>] [--passphrase <p>]
-//!          [--skip-audit]
+//!          [--skip-audit] [--policy-tick-ms <n>] [--decay-rows <n>] [--no-decay]
 //! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
@@ -36,7 +36,12 @@
 //! reveal-reachability, vault-orphaning, and policy convergence
 //! (diagnostics `E050`–`E053`, `W050`–`W053`). `edna serve` runs the
 //! same audit at startup and refuses to serve a workspace with audit
-//! errors unless `--skip-audit` is given.
+//! errors unless `--skip-audit` is given. While serving, a background
+//! decay daemon ticks registered policies every `--policy-tick-ms`
+//! (default 1000), transforming at most `--decay-rows` rows per tick
+//! (default 512) before yielding to foreground traffic; `--no-decay`
+//! disables it. The wire op `policy status` lists each policy's kind,
+//! cadence, and last completed run.
 //!
 //! `--trace-out` records structured spans (statements, disguise phases,
 //! vault/storage operations) and exports them as JSON Lines;
@@ -476,6 +481,15 @@ fn run(args: &[String]) -> CliResult<()> {
             for id in &ws.last_resolution.undone {
                 println!("disguise {id}: half-applied, rolled back");
             }
+            // A policy run interrupted mid-tick is benign: incomplete
+            // runs never advance the last-run stamp, so the next tick
+            // resumes exactly where the crash cut it off.
+            for run in &r.open_policy_runs {
+                println!(
+                    "policy run {:?} interrupted mid-tick; it resumes on the next tick",
+                    run.policy
+                );
+            }
             if r.acted() || !ws.last_resolution.is_empty() {
                 println!("recovered state checkpointed");
             } else {
@@ -520,6 +534,13 @@ fn run(args: &[String]) -> CliResult<()> {
             let conn_timeout_ms: u64 = num_flag(args, "--conn-timeout-ms", 10_000)?;
             let max_frame_bytes: usize = num_flag(args, "--max-frame-bytes", 1 << 20)?;
             let checkpoint_secs: u64 = num_flag(args, "--checkpoint-secs", 30)?;
+            let policy_tick_ms: u64 = num_flag(args, "--policy-tick-ms", 1_000)?;
+            let decay_rows: usize = num_flag(args, "--decay-rows", 512)?;
+            // `--no-decay` (or a zero tick) disables the decay daemon;
+            // registered policies then only run via an explicit
+            // foreground path, never in the background.
+            let policy_tick = (!has_flag(args, "--no-decay") && policy_tick_ms > 0)
+                .then(|| std::time::Duration::from_millis(policy_tick_ms));
             let config = edna_server::ServerConfig {
                 addr,
                 max_conns,
@@ -528,6 +549,8 @@ fn run(args: &[String]) -> CliResult<()> {
                 max_frame_bytes,
                 checkpoint_every: (checkpoint_secs > 0)
                     .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+                policy_tick,
+                decay_rows: decay_rows.max(1),
             };
             let ws = Workspace::open(&state, passphrase)?;
             // Refuse to serve a workspace whose disguise graph has audit

@@ -77,6 +77,16 @@ pub struct ApplyOptions {
     pub use_transaction: bool,
     /// What to do when the vault write fails after retries.
     pub vault_failure_policy: VaultFailurePolicy,
+    /// Upper bound on rows transformed by this application (`None` =
+    /// unbounded). The decay daemon uses this to run incrementally: when
+    /// the budget runs out mid-application the report comes back with
+    /// `budget_exhausted` set, end-state assertions are skipped (the
+    /// state is partial by design), and re-applying the same disguise
+    /// later picks up the untouched rows. `Remove` transforms are gated
+    /// at transform granularity — cascade deletes make exact row bounds
+    /// impractical — so a single Remove may overshoot the budget but the
+    /// next transform then stops.
+    pub row_budget: Option<usize>,
 }
 
 impl Default for ApplyOptions {
@@ -86,6 +96,7 @@ impl Default for ApplyOptions {
             optimize: true,
             use_transaction: true,
             vault_failure_policy: VaultFailurePolicy::Require,
+            row_budget: None,
         }
     }
 }
@@ -129,6 +140,13 @@ pub struct DisguiseReport {
     /// writes (set when the database has a WAL attached and the disguise
     /// recorded reveal functions).
     pub(crate) wal_intent: bool,
+    /// Whether [`ApplyOptions::row_budget`] ran out before every matching
+    /// row was transformed: the application is partial and should be
+    /// re-run (the scheduler does so on its next tick).
+    pub budget_exhausted: bool,
+    /// Rows of budget left while the application runs (`None` =
+    /// unbounded). Seeded from [`ApplyOptions::row_budget`].
+    pub(crate) remaining_budget: Option<usize>,
 }
 
 impl Default for DisguiseReport {
@@ -150,6 +168,8 @@ impl Default for DisguiseReport {
             vault_degraded: None,
             vault_buffered: false,
             wal_intent: false,
+            budget_exhausted: false,
+            remaining_budget: None,
         }
     }
 }
@@ -876,6 +896,7 @@ impl Disguiser {
         let mut report = DisguiseReport {
             name: spec.name.clone(),
             user_id: user_value.clone(),
+            remaining_budget: opts.row_budget,
             ..DisguiseReport::default()
         };
         let now = self.db.now();
@@ -937,21 +958,25 @@ impl Disguiser {
         }
         drop(redo_span);
 
-        // End-state assertions (§7): zero rows may match.
-        let assert_span = self.span("assertions");
-        for assertion in &spec.assertions {
-            let matching = self
-                .db
-                .select_rows(&assertion.table, Some(&assertion.pred), params)?;
-            if !matching.is_empty() {
-                return Err(Error::AssertionFailed {
-                    disguise: spec.name.clone(),
-                    assertion: assertion.description.clone(),
-                    matching_rows: matching.len(),
-                });
+        // End-state assertions (§7): zero rows may match. A budget-paused
+        // application skips them — rows the budget left untouched would
+        // fail them by design; the eventual complete run enforces them.
+        if !report.budget_exhausted {
+            let assert_span = self.span("assertions");
+            for assertion in &spec.assertions {
+                let matching =
+                    self.db
+                        .select_rows(&assertion.table, Some(&assertion.pred), params)?;
+                if !matching.is_empty() {
+                    return Err(Error::AssertionFailed {
+                        disguise: spec.name.clone(),
+                        assertion: assertion.description.clone(),
+                        matching_rows: matching.len(),
+                    });
+                }
             }
+            drop(assert_span);
         }
-        drop(assert_span);
 
         // Record history and reveal functions.
         let id = {
@@ -1032,6 +1057,12 @@ impl Disguiser {
         report: &mut DisguiseReport,
     ) -> Result<()> {
         let pred = combine_preds(pt.pred.as_ref(), extra_pred);
+        // Budget gate: a spent budget skips the transform entirely (and
+        // every later one) — the re-run picks them up.
+        if report.remaining_budget == Some(0) {
+            report.budget_exhausted = true;
+            return Ok(());
+        }
         let mut phase = self.span("transform");
         if let Some(g) = phase.as_mut() {
             g.attr("table", table);
@@ -1053,6 +1084,9 @@ impl Disguiser {
                     self.db.delete_where_returning(table, &pred, params)?
                 };
                 report.rows_removed += removed.len();
+                if let Some(b) = report.remaining_budget.as_mut() {
+                    *b = b.saturating_sub(removed.len());
+                }
                 // Column names are recorded so reveal can adapt rows if
                 // the schema evolves in between (paper §7).
                 let mut name_cache: HashMap<String, Vec<String>> = HashMap::new();
@@ -1090,8 +1124,15 @@ impl Disguiser {
                 // Batched apply: one placeholder insert batch, then all
                 // fk rewrites in one engine round trip (instead of two
                 // statements per row).
-                let targets: Vec<&edna_relational::Row> =
+                let mut targets: Vec<&edna_relational::Row> =
                     rows.iter().filter(|r| !r[fk_idx].is_null()).collect();
+                if let Some(b) = report.remaining_budget.as_mut() {
+                    if targets.len() > *b {
+                        targets.truncate(*b);
+                        report.budget_exhausted = true;
+                    }
+                    *b -= targets.len();
+                }
                 let originals: Vec<Value> = targets.iter().map(|r| r[fk_idx].clone()).collect();
                 let placeholder_pks = {
                     let _gen = self.span("placeholder_gen");
@@ -1141,8 +1182,15 @@ impl Disguiser {
                     for row in &rows {
                         let original = row[col_idx].clone();
                         let new_value = modifier.apply(&original, &mut *rng);
+                        // Already-settled rows (a converging modifier
+                        // re-run over its own output) consume no budget,
+                        // so a paused run resumes past them cleanly.
                         if new_value == original {
                             continue;
+                        }
+                        if report.remaining_budget == Some(updates.len()) {
+                            report.budget_exhausted = true;
+                            break;
                         }
                         updates.push((row[pk_idx].clone(), vec![(col_idx, new_value)]));
                         ops.push(RevealOp::RestoreColumns {
@@ -1152,6 +1200,9 @@ impl Disguiser {
                             columns: vec![(column.clone(), original)],
                         });
                     }
+                }
+                if let Some(b) = report.remaining_budget.as_mut() {
+                    *b -= updates.len();
                 }
                 report.rows_modified += {
                     let _w = self.span("transform_write");

@@ -56,7 +56,8 @@ pub use error::{Error, Result};
 pub use guard::DisguisedRows;
 pub use history::{DisguiseEvent, HistoryLog, HISTORY_TABLE};
 pub use policy::{
-    is_policy_source, parse_policy, DecayPolicy, DecayStage, ExpirationPolicy, Policy, Scheduler,
+    is_policy_source, parse_policy, DecayPolicy, DecayStage, ExpirationPolicy, Policy, PolicyRun,
+    Scheduler, TickOutcome,
 };
 pub use reveal::RevealReport;
 pub use spec::{

@@ -12,13 +12,34 @@
 //!   frontier as the (logical) clock moves.
 //!
 //! The [`Scheduler`] drives policies from the database's logical clock, so
-//! tests and benchmarks can fast-forward time deterministically.
+//! tests and benchmarks can fast-forward time deterministically — and,
+//! under `edna serve`, the decay daemon drives the same scheduler from the
+//! wall clock while foreground traffic flows. Three properties make that
+//! safe:
+//!
+//! - **Scoped clock**: a run evaluates its `NOW()` predicates under a
+//!   thread-local [`edna_relational::clock::scoped`] override instead of
+//!   mutating the engine's global clock, so concurrent statements on other
+//!   threads never observe the daemon's timestamp.
+//! - **Interior mutability**: `tick` takes `&self` (`last_run` sits behind
+//!   a mutex), so one `Scheduler` can be shared by a `Send + Sync`
+//!   service.
+//! - **Durable progress**: each run is bracketed in WAL
+//!   policy-start/policy-end markers, and a policy's last-run stamp is
+//!   persisted to `_edna_policy_registry` only when its run *completes* —
+//!   a crash (or an exhausted row budget) leaves the policy due, so it
+//!   re-fires and resumes on the next tick instead of being silently
+//!   skipped (or, before this existed, re-fired from scratch on every
+//!   restart).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use edna_relational::Value;
+use edna_util::sync::lock_unpoisoned;
 
-use crate::apply::{DisguiseReport, Disguiser};
+use crate::apply::{ApplyOptions, DisguiseReport, Disguiser};
 use crate::error::{Error, Result};
 
 /// Applies a user-scoped disguise to users inactive for too long.
@@ -42,13 +63,36 @@ impl ExpirationPolicy {
     /// without an active application of the disguise. Returns one report
     /// per newly disguised user.
     pub fn run(&self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
+        self.run_budgeted(edna, now, None)
+            .map(|(reports, _)| reports)
+    }
+
+    /// Like [`ExpirationPolicy::run`], but stops once roughly `budget`
+    /// rows have been transformed. Each user is disguised atomically (a
+    /// user is never left half-expired), so the bound is on *users whose
+    /// rows fit the remaining budget*, charging at least one row per
+    /// user. Returns the reports and whether the run completed; skipped
+    /// users stay eligible (the history idempotence check is what makes
+    /// the resume correct) and are picked up by the next run.
+    pub fn run_budgeted(
+        &self,
+        edna: &Disguiser,
+        now: i64,
+        budget: Option<usize>,
+    ) -> Result<(Vec<DisguiseReport>, bool)> {
+        // Evaluate this run's statements at the tick's timestamp without
+        // touching the engine's global clock (other threads keep their
+        // own view of NOW()).
+        let _clock = edna_relational::clock::scoped(now);
         let mut params = HashMap::new();
         params.insert("CUTOFF".to_string(), Value::Int(now - self.inactive_after));
         let result = edna
             .database()
             .execute_with_params(&self.user_query, &params)
-            .map_err(crate::error::Error::Relational)?;
+            .map_err(Error::Relational)?;
         let mut reports = Vec::new();
+        let mut remaining = budget;
+        let mut complete = true;
         for row in result.rows {
             let user = row.first().cloned().unwrap_or(Value::Null);
             if user.is_null() {
@@ -58,9 +102,17 @@ impl ExpirationPolicy {
             if edna.history().latest(&self.disguise, &user)?.is_some() {
                 continue;
             }
-            reports.push(edna.apply(&self.disguise, Some(&user))?);
+            if remaining == Some(0) {
+                complete = false;
+                break;
+            }
+            let report = edna.apply(&self.disguise, Some(&user))?;
+            if let Some(b) = remaining.as_mut() {
+                *b = b.saturating_sub(rows_touched(&report).max(1));
+            }
+            reports.push(report);
         }
-        Ok(reports)
+        Ok((reports, complete))
     }
 }
 
@@ -84,16 +136,53 @@ pub struct DecayPolicy {
 }
 
 impl DecayPolicy {
-    /// Runs every stage at logical time `now` (the database clock is set to
-    /// `now` first so `NOW()` predicates see it).
+    /// Runs every stage at logical time `now`. `NOW()` predicates see
+    /// `now` through a thread-scoped clock override — the engine's global
+    /// clock (and every other thread's view of it) is untouched.
     pub fn run(&self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
-        edna.database().set_now(now);
-        let mut reports = Vec::new();
-        for stage in &self.stages {
-            reports.push(edna.apply(&stage.disguise, None)?);
-        }
-        Ok(reports)
+        self.run_budgeted(edna, now, None)
+            .map(|(reports, _)| reports)
     }
+
+    /// Like [`DecayPolicy::run`], but transforms at most roughly `budget`
+    /// rows, pausing mid-ladder when it runs out (later stages — and the
+    /// paused stage's untouched rows — are picked up when the policy
+    /// re-fires). Returns the reports and whether the run completed.
+    pub fn run_budgeted(
+        &self,
+        edna: &Disguiser,
+        now: i64,
+        budget: Option<usize>,
+    ) -> Result<(Vec<DisguiseReport>, bool)> {
+        let _clock = edna_relational::clock::scoped(now);
+        let mut reports = Vec::new();
+        let mut remaining = budget;
+        for stage in &self.stages {
+            if remaining == Some(0) {
+                return Ok((reports, false));
+            }
+            let opts = ApplyOptions {
+                row_budget: remaining,
+                ..ApplyOptions::default()
+            };
+            let report = edna.apply_with_options(&stage.disguise, None, opts)?;
+            let exhausted = report.budget_exhausted;
+            if let Some(b) = remaining.as_mut() {
+                *b = b.saturating_sub(rows_touched(&report));
+            }
+            reports.push(report);
+            if exhausted {
+                return Ok((reports, false));
+            }
+        }
+        Ok((reports, true))
+    }
+}
+
+/// Database rows a report says the application transformed (the unit the
+/// scheduler's row budget is charged in).
+fn rows_touched(report: &DisguiseReport) -> usize {
+    report.rows_removed + report.rows_decorrelated + report.rows_modified
 }
 
 /// A scheduled privacy policy.
@@ -123,10 +212,44 @@ impl Policy {
     }
 }
 
-/// Drives policies from the logical clock.
+/// What one policy run inside a tick did.
+#[derive(Debug)]
+pub struct PolicyRun {
+    /// The policy's name.
+    pub policy: String,
+    /// Reports of the disguises the run applied.
+    pub reports: Vec<DisguiseReport>,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Whether the run completed. An incomplete (budget-paused) run does
+    /// *not* advance the policy's last-run stamp: the policy stays due
+    /// and resumes on the next tick.
+    pub complete: bool,
+}
+
+/// What one [`Scheduler::tick_budgeted`] call did.
+#[derive(Debug, Default)]
+pub struct TickOutcome {
+    /// One entry per policy that fired, in registration order.
+    pub runs: Vec<PolicyRun>,
+    /// Expired vault entries purged at the tick's timestamp.
+    pub purged: usize,
+}
+
+impl TickOutcome {
+    /// Flattens the tick into the disguise reports it produced.
+    pub fn into_reports(self) -> Vec<DisguiseReport> {
+        self.runs.into_iter().flat_map(|r| r.reports).collect()
+    }
+}
+
+/// Drives policies from the logical clock. Shareable across threads
+/// (`tick` takes `&self`); the decay daemon and a foreground caller can
+/// hold the same scheduler, with external serialization (the server's
+/// door lock) deciding who ticks.
 pub struct Scheduler {
     policies: Vec<Policy>,
-    last_run: HashMap<String, i64>,
+    last_run: Mutex<HashMap<String, i64>>,
 }
 
 impl Default for Scheduler {
@@ -140,7 +263,7 @@ impl Scheduler {
     pub fn new() -> Scheduler {
         Scheduler {
             policies: Vec::new(),
-            last_run: HashMap::new(),
+            last_run: Mutex::new(HashMap::new()),
         }
     }
 
@@ -155,29 +278,112 @@ impl Scheduler {
         &self.policies
     }
 
-    /// Advances the clock to `now` and runs every policy whose cadence has
-    /// elapsed. Also purges expired vault entries at `now`. Returns the
-    /// reports of all disguises applied.
-    pub fn tick(&mut self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
-        edna.database().set_now(now);
-        let mut reports = Vec::new();
+    /// Seeds a policy's last-run stamp (from the persisted registry
+    /// column) without running anything — how a restarted server avoids
+    /// re-firing every policy immediately.
+    pub fn seed_last_run(&self, policy: &str, last: i64) {
+        lock_unpoisoned(&self.last_run).insert(policy.to_string(), last);
+    }
+
+    /// A snapshot of the per-policy last-run stamps (policies that never
+    /// completed a run are absent).
+    pub fn last_runs(&self) -> HashMap<String, i64> {
+        lock_unpoisoned(&self.last_run).clone()
+    }
+
+    /// Runs every policy whose cadence has elapsed at logical time `now`
+    /// and purges expired vault entries. Returns the reports of all
+    /// disguises applied. Equivalent to [`Scheduler::tick_budgeted`] with
+    /// no row budget.
+    pub fn tick(&self, edna: &Disguiser, now: i64) -> Result<Vec<DisguiseReport>> {
+        self.tick_budgeted(edna, now, None)
+            .map(TickOutcome::into_reports)
+    }
+
+    /// Runs every due policy at logical time `now`, transforming at most
+    /// roughly `budget` rows across the whole tick, then purges expired
+    /// vault entries.
+    ///
+    /// Each policy run is bracketed in WAL policy-start/policy-end
+    /// markers, so a crash mid-run is visible to `recover --verify` (and
+    /// benign: the disguises inside the run carry their own intent/commit
+    /// brackets). A policy's last-run stamp — in memory and, when the
+    /// workspace registry table exists, persisted in
+    /// `_edna_policy_registry` — advances only when its run completes, so
+    /// both budget-paused and crash-interrupted runs re-fire and resume
+    /// on the next tick.
+    pub fn tick_budgeted(
+        &self,
+        edna: &Disguiser,
+        now: i64,
+        budget: Option<usize>,
+    ) -> Result<TickOutcome> {
+        let mut outcome = TickOutcome::default();
+        let mut remaining = budget;
+        let db = edna.database();
         for policy in &self.policies {
-            let due = match self.last_run.get(policy.name()) {
+            let due = match lock_unpoisoned(&self.last_run).get(policy.name()) {
                 Some(last) => now - last >= policy.cadence(),
                 None => true,
             };
             if !due {
                 continue;
             }
-            let mut out = match policy {
-                Policy::Expiration(p) => p.run(edna, now)?,
-                Policy::Decay(p) => p.run(edna, now)?,
+            if remaining == Some(0) {
+                // Tick budget spent: later due policies wait for the next
+                // tick (their last-run stamps are untouched, so they stay
+                // due).
+                break;
+            }
+            db.wal_policy_start(policy.name(), now)
+                .map_err(Error::Relational)?;
+            let started = Instant::now();
+            let (reports, complete) = match policy {
+                Policy::Expiration(p) => p.run_budgeted(edna, now, remaining)?,
+                Policy::Decay(p) => p.run_budgeted(edna, now, remaining)?,
             };
-            reports.append(&mut out);
-            self.last_run.insert(policy.name().to_string(), now);
+            db.wal_policy_end(policy.name())
+                .map_err(Error::Relational)?;
+            if let Some(b) = remaining.as_mut() {
+                let used: usize = reports.iter().map(rows_touched).sum();
+                *b = b.saturating_sub(used);
+            }
+            if complete {
+                lock_unpoisoned(&self.last_run).insert(policy.name().to_string(), now);
+                self.persist_last_run(edna, policy.name(), now)?;
+            }
+            outcome.runs.push(PolicyRun {
+                policy: policy.name().to_string(),
+                reports,
+                duration: started.elapsed(),
+                complete,
+            });
         }
-        edna.purge_expired(now)?;
-        Ok(reports)
+        outcome.purged = edna.purge_expired(now)?;
+        Ok(outcome)
+    }
+
+    /// Writes a completed run's stamp to the workspace's policy registry
+    /// (no-op outside a workspace: ad-hoc schedulers in tests and library
+    /// use have no registry table, and a registered name that does not
+    /// match any row updates nothing).
+    fn persist_last_run(&self, edna: &Disguiser, policy: &str, now: i64) -> Result<()> {
+        let db = edna.database();
+        if !db.has_table(crate::workspace::POLICY_REGISTRY_TABLE) {
+            return Ok(());
+        }
+        let mut params = HashMap::new();
+        params.insert("LAST".to_string(), Value::Int(now));
+        params.insert("NAME".to_string(), Value::Text(policy.to_string()));
+        db.execute_with_params(
+            &format!(
+                "UPDATE {} SET last_run = $LAST WHERE name = $NAME",
+                crate::workspace::POLICY_REGISTRY_TABLE
+            ),
+            &params,
+        )
+        .map_err(Error::Relational)?;
+        Ok(())
     }
 }
 
@@ -522,6 +728,73 @@ mod tests {
             .unwrap()
             .rows;
         assert_eq!(rows[1][0].to_string(), "n");
+    }
+
+    #[test]
+    fn budgeted_tick_pauses_and_resumes_without_advancing_the_stamp() {
+        let (db, edna) = setup();
+        // Four decayable notes; a budget of 2 rows per tick needs two
+        // ticks to drain them.
+        db.execute(
+            "INSERT INTO notes (body, created_at) VALUES ('oldc', 0), ('oldd', 0), ('olde', 0)",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new();
+        sched.add(Policy::Decay(DecayPolicy {
+            name: "d".to_string(),
+            stages: vec![DecayStage {
+                disguise: "TruncOld".to_string(),
+            }],
+            cadence: 100,
+        }));
+        let out = sched.tick_budgeted(&edna, 1000, Some(2)).unwrap();
+        assert_eq!(out.runs.len(), 1);
+        assert!(!out.runs[0].complete, "budget of 2 cannot finish 4 rows");
+        // An incomplete run does not advance the stamp: the policy is
+        // still due at the very next tick, which finishes the backlog.
+        assert!(sched.last_runs().is_empty());
+        let out = sched.tick_budgeted(&edna, 1001, Some(10)).unwrap();
+        assert_eq!(out.runs.len(), 1);
+        assert!(out.runs[0].complete);
+        assert_eq!(sched.last_runs().get("d"), Some(&1001));
+        let decayed = db
+            .execute("SELECT COUNT(*) FROM notes WHERE body = 'o'")
+            .unwrap()
+            .rows[0][0]
+            .to_string();
+        assert_eq!(decayed, "4", "both ticks together drain the backlog");
+        // Within the cadence window nothing fires, budget or not.
+        assert!(sched
+            .tick_budgeted(&edna, 1050, Some(10))
+            .unwrap()
+            .runs
+            .is_empty());
+    }
+
+    #[test]
+    fn policy_run_does_not_disturb_the_global_clock() {
+        let (db, edna) = setup();
+        db.set_now(42);
+        let policy = DecayPolicy {
+            name: "d".to_string(),
+            stages: vec![DecayStage {
+                disguise: "TruncOld".to_string(),
+            }],
+            cadence: 1,
+        };
+        // The run evaluates NOW() = 600 under its scoped clock...
+        policy.run(&edna, 600).unwrap();
+        let rows = db
+            .execute("SELECT body FROM notes ORDER BY id")
+            .unwrap()
+            .rows;
+        assert_eq!(rows[0][0].to_string(), "o", "cutoff saw the scoped now");
+        // ...but a foreground session still sees the global clock.
+        assert_eq!(db.global_now(), 42);
+        assert_eq!(
+            db.execute("SELECT NOW() FROM notes").unwrap().rows[0][0],
+            Value::Int(42)
+        );
     }
 
     #[test]

@@ -328,6 +328,16 @@ impl Workspace {
         let policy = crate::policy::parse_policy(dsl)?;
         let name = policy.name().to_string();
         let quoted = name.replace('\'', "''");
+        // Re-registering keeps the persisted last-run stamp: updating a
+        // policy's text must not make it re-fire out of cadence.
+        let prev = self.db.execute(&format!(
+            "SELECT last_run FROM {POLICY_REGISTRY_TABLE} WHERE name = '{quoted}'"
+        ))?;
+        let last_run = prev
+            .rows
+            .first()
+            .map(|row| row[0].clone())
+            .unwrap_or(Value::Null);
         self.db.execute(&format!(
             "DELETE FROM {POLICY_REGISTRY_TABLE} WHERE name = '{quoted}'"
         ))?;
@@ -336,6 +346,7 @@ impl Workspace {
             &[
                 ("name", Value::Text(name.clone())),
                 ("dsl", Value::Text(dsl.to_string())),
+                ("last_run", last_run),
             ],
         )?;
         self.save()?;
@@ -364,6 +375,25 @@ impl Workspace {
             .collect()
     }
 
+    /// A [`crate::policy::Scheduler`] over the registered policies, with
+    /// each policy's last-run stamp seeded from the persisted registry
+    /// column — a restarted server resumes the cadence where the previous
+    /// process left it instead of re-firing every policy immediately.
+    pub fn scheduler(&self) -> Result<crate::policy::Scheduler> {
+        let r = self.db.execute(&format!(
+            "SELECT dsl, last_run FROM {POLICY_REGISTRY_TABLE} ORDER BY id"
+        ))?;
+        let mut sched = crate::policy::Scheduler::new();
+        for row in r.rows {
+            let policy = crate::policy::parse_policy(row[0].as_text()?)?;
+            if let Value::Int(last) = row[1] {
+                sched.seed_last_run(policy.name(), last);
+            }
+            sched.add(policy);
+        }
+        Ok(sched)
+    }
+
     /// Audits the whole workspace: every registered disguise under
     /// arbitrary interleaving plus every registered policy. See
     /// [`crate::analyze::audit_workspace`].
@@ -380,6 +410,15 @@ fn ensure_registry(db: &Database) -> Result<()> {
                  name TEXT NOT NULL UNIQUE, dsl TEXT NOT NULL)"
             ))?;
         }
+    }
+    // Migration: the policy registry grew a nullable `last_run` column
+    // (the persisted per-policy last-run stamp; NULL = never completed a
+    // run). Workspaces created before it exist get it added on open.
+    let schema = db.schema(POLICY_REGISTRY_TABLE)?;
+    if !schema.columns.iter().any(|c| c.name == "last_run") {
+        db.execute(&format!(
+            "ALTER TABLE {POLICY_REGISTRY_TABLE} ADD COLUMN last_run INT"
+        ))?;
     }
     Ok(())
 }

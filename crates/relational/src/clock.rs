@@ -1,0 +1,81 @@
+//! Thread-scoped overrides of the logical clock.
+//!
+//! The engine's `NOW()` normally reads the global clock stored in the
+//! engine state (`Inner.now`). A policy run, however, must evaluate its
+//! `NOW()` predicates at the tick's own timestamp *without* mutating the
+//! shared engine — under `edna serve`, foreground statements on other
+//! worker threads would otherwise observe the daemon's clock mid-flight.
+//!
+//! [`scoped`] installs a thread-local override that wins over the global
+//! clock for every statement executed on the installing thread while the
+//! returned guard is alive. Other threads are unaffected. The override is
+//! purely an evaluation-time concern: WAL redo frames carry physical row
+//! images, so replay never re-evaluates `NOW()` and cannot observe (or
+//! miss) an override; snapshots persist only the global clock.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<i64>> = const { Cell::new(None) };
+}
+
+/// Installs a thread-local clock override; `NOW()` on this thread reads
+/// `now` until the guard drops. Nests: an inner scope shadows an outer
+/// one and dropping the inner guard restores the outer value.
+pub fn scoped(now: i64) -> ClockGuard {
+    let prev = OVERRIDE.with(|c| c.replace(Some(now)));
+    ClockGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// The active override on this thread, if any.
+pub(crate) fn current() -> Option<i64> {
+    OVERRIDE.with(|c| c.get())
+}
+
+/// RAII handle for a [`scoped`] clock override; restores the previous
+/// override (or none) on drop.
+pub struct ClockGuard {
+    prev: Option<i64>,
+    // The override lives in this thread's slot; moving the guard to
+    // another thread would restore the wrong one, so the guard is !Send.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ClockGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_is_scoped_and_nests() {
+        assert_eq!(current(), None);
+        {
+            let _a = scoped(100);
+            assert_eq!(current(), Some(100));
+            {
+                let _b = scoped(200);
+                assert_eq!(current(), Some(200));
+            }
+            assert_eq!(current(), Some(100));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn override_is_per_thread() {
+        let _g = scoped(500);
+        std::thread::spawn(|| assert_eq!(current(), None))
+            .join()
+            .unwrap();
+        assert_eq!(current(), Some(500));
+    }
+}

@@ -681,6 +681,29 @@ impl Database {
         Ok(())
     }
 
+    /// Appends a policy-run *start* marker: the scheduler is about to run
+    /// `policy` at logical time `now`. No-op without a WAL.
+    pub fn wal_policy_start(&self, policy: &str, now: i64) -> Result<()> {
+        if let Some(w) = self.wal() {
+            w.append(&WalRecord::PolicyRunStart {
+                policy: policy.to_string(),
+                now,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Appends a policy-run *end* marker matching the start marker for
+    /// `policy`. No-op without a WAL.
+    pub fn wal_policy_end(&self, policy: &str) -> Result<()> {
+        if let Some(w) = self.wal() {
+            w.append(&WalRecord::PolicyRunEnd {
+                policy: policy.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
     /// Replays scanned WAL records over this database. Txn frames with
     /// `lsn > watermark` are applied physically (no transaction, no
     /// constraint re-checks — they describe committed state); frames at or
@@ -701,6 +724,7 @@ impl Database {
         }
         let mut frames_replayed = 0;
         let mut intents: Vec<OpenIntent> = Vec::new();
+        let mut policy_runs: Vec<wal::OpenPolicyRun> = Vec::new();
         for (lsn, record) in records {
             match record {
                 WalRecord::Txn { ops } => {
@@ -721,6 +745,16 @@ impl Database {
                 WalRecord::DisguiseCommit { disguise_id } => {
                     intents.retain(|i| i.disguise_id != *disguise_id);
                 }
+                WalRecord::PolicyRunStart { policy, now } => {
+                    policy_runs.push(wal::OpenPolicyRun {
+                        lsn: *lsn,
+                        policy: policy.clone(),
+                        now: *now,
+                    });
+                }
+                WalRecord::PolicyRunEnd { policy } => {
+                    policy_runs.retain(|r| r.policy != *policy);
+                }
             }
         }
         inner.invalidate_plans();
@@ -729,6 +763,7 @@ impl Database {
         Ok(ReplayOutcome {
             frames_replayed,
             open_intents: intents,
+            open_policy_runs: policy_runs,
         })
     }
 
@@ -766,6 +801,7 @@ impl Database {
             snapshot_watermark: watermark,
             last_lsn,
             open_intents: outcome.open_intents,
+            open_policy_runs: outcome.open_policy_runs,
             snapshot_promoted: false,
             duration: started.elapsed(),
         };
@@ -1101,8 +1137,16 @@ impl Database {
 
     // ---- clock, stats, latency ----------------------------------------------
 
-    /// The logical clock value returned by `NOW()`.
+    /// The logical clock value `NOW()` evaluates against on the calling
+    /// thread: a [`crate::clock::scoped`] override if one is active,
+    /// otherwise the global clock.
     pub fn now(&self) -> i64 {
+        crate::clock::current().unwrap_or_else(|| self.inner_read().now)
+    }
+
+    /// The global logical clock, ignoring any thread-local override —
+    /// what snapshots persist and what other threads' statements see.
+    pub fn global_now(&self) -> i64 {
         self.inner_read().now
     }
 

@@ -104,6 +104,13 @@ impl Inner {
         }
     }
 
+    /// The clock `NOW()` evaluates against: a thread-local override (a
+    /// policy run evaluating at its tick's timestamp) if one is active on
+    /// the executing thread, otherwise the global clock.
+    pub(crate) fn clock(&self) -> i64 {
+        crate::clock::current().unwrap_or(self.now)
+    }
+
     /// Drops every cached access path. Called on any schema change: a new
     /// index can flip a scan to a probe, a drop can do the reverse.
     pub(crate) fn invalidate_plans(&self) {
@@ -411,7 +418,7 @@ impl Inner {
                 columns: &empty_cols,
                 row: &empty_row,
                 params,
-                now: self.now,
+                now: self.clock(),
             };
             let mut row: Row = schema
                 .columns
@@ -671,7 +678,7 @@ impl Inner {
                         columns: &col_names,
                         row,
                         params,
-                        now: self.now,
+                        now: self.clock(),
                     };
                     eval_predicate(pred, &ctx)?
                 }
@@ -711,7 +718,7 @@ impl Inner {
                     columns: &col_names,
                     row: &old_row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 new_row[*pos] = eval(expr, &ctx)?;
             }
@@ -1138,7 +1145,7 @@ impl Inner {
                     columns: &col_names,
                     row: &row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 if eval_predicate(pred, &ctx)? {
                     filtered.push(row);
@@ -1273,7 +1280,7 @@ impl Inner {
                                     columns: &cols,
                                     row: &row,
                                     params,
-                                    now: self.now,
+                                    now: self.clock(),
                                 };
                                 if eval_predicate(&join.on, &ctx)? {
                                     out.push(row);
@@ -1300,7 +1307,7 @@ impl Inner {
                             columns: &cols,
                             row: &row,
                             params,
-                            now: self.now,
+                            now: self.clock(),
                         };
                         if eval_predicate(&join.on, &ctx)? {
                             out.push(row);
@@ -1333,7 +1340,7 @@ impl Inner {
                     columns: col_names,
                     row: &row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 let keys = sel
                     .order_by
@@ -1371,7 +1378,7 @@ impl Inner {
                 columns: col_names,
                 row: &row,
                 params,
-                now: self.now,
+                now: self.clock(),
             };
             let mut out = Vec::with_capacity(out_cols.len());
             for p in &sel.projections {
@@ -1405,7 +1412,7 @@ impl Inner {
                 columns: col_names,
                 row: &row,
                 params,
-                now: self.now,
+                now: self.clock(),
             };
             let key: Vec<Value> = sel
                 .group_by
@@ -1473,7 +1480,7 @@ impl Inner {
                                     columns: col_names,
                                     row: first,
                                     params,
-                                    now: self.now,
+                                    now: self.clock(),
                                 };
                                 out.push(eval(expr, &ctx)?);
                             }
@@ -1505,7 +1512,7 @@ impl Inner {
                     columns: &out_cols,
                     row: &row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 if eval_predicate(having, &ctx)? {
                     kept.push(row);
@@ -1521,7 +1528,7 @@ impl Inner {
                     columns: &out_cols,
                     row: &row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 let keys = sel
                     .order_by
@@ -1567,7 +1574,7 @@ impl Inner {
                     columns: col_names,
                     row,
                     params,
-                    now: self.now,
+                    now: self.clock(),
                 };
                 let v = eval(expr, &ctx)?;
                 if v.is_null() {

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod clock;
 pub mod database;
 pub mod error;
 pub mod exec;
@@ -57,6 +58,6 @@ pub use stats::{LatencyModel, StatsSnapshot};
 pub use storage::RowId;
 pub use value::{DataType, Row, Value};
 pub use wal::{
-    OpenIntent, RecoveryReport, RedoOp, ReplayOutcome, Wal, WalCrash, WalCrashHook, WalRecord,
-    WalScan,
+    OpenIntent, OpenPolicyRun, RecoveryReport, RedoOp, ReplayOutcome, Wal, WalCrash, WalCrashHook,
+    WalRecord, WalScan,
 };

@@ -371,7 +371,7 @@ pub(crate) fn decode_table(r: &mut Reader<'_>, version: u8) -> Result<TableSnaps
 pub fn encode(db: &Database) -> Result<Vec<u8>> {
     let watermark = db.wal_last_lsn();
     let snapshots = db.snapshot_tables()?;
-    Ok(encode_parts(db.now(), watermark, &snapshots))
+    Ok(encode_parts(db.global_now(), watermark, &snapshots))
 }
 
 /// Serializes pre-extracted parts of a database. Split out of [`encode`]

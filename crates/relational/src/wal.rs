@@ -141,6 +141,20 @@ pub enum WalRecord {
         /// The matching intent's history row id.
         disguise_id: u64,
     },
+    /// A scheduled policy run is starting (the decay daemon's bracket).
+    PolicyRunStart {
+        /// The policy's registered name.
+        policy: String,
+        /// The logical tick timestamp the run evaluates at.
+        now: i64,
+    },
+    /// The matching policy run finished (complete or budget-paused); its
+    /// disguise applications are individually intent/commit-bracketed, so
+    /// an unmatched start marker is benign — the run resumes next tick.
+    PolicyRunEnd {
+        /// The matching start marker's policy name.
+        policy: String,
+    },
 }
 
 /// A disguise intent recovered from the log with no matching commit
@@ -154,6 +168,22 @@ pub struct OpenIntent {
     pub disguise_id: u64,
     /// The disguise's subject user id.
     pub user: Value,
+}
+
+/// A policy-run start marker recovered from the log with no matching end
+/// marker: the process died mid-tick. Unlike an open disguise intent this
+/// needs no repair — each disguise the run applied has its own
+/// intent/commit bracket, and the scheduler's persisted last-run stamp is
+/// only advanced when a run completes, so the policy simply re-fires (and
+/// resumes) on the next tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenPolicyRun {
+    /// LSN of the start frame.
+    pub lsn: u64,
+    /// The policy's registered name.
+    pub policy: String,
+    /// The logical tick timestamp the interrupted run evaluated at.
+    pub now: i64,
 }
 
 /// How a [`WalCrashHook`] kills an append — the three states a real crash
@@ -248,6 +278,8 @@ pub struct WalTicket {
 enum MarkerNote {
     Intent(u64, Value),
     Commit(u64),
+    PolicyStart(String, i64),
+    PolicyEnd(String),
 }
 
 /// One frame queued for the next batch flush.
@@ -342,6 +374,10 @@ pub struct Wal {
     /// re-appends these to the fresh log: the vault-side state they guard
     /// lives outside the snapshot, so recovery must still see them.
     open_intents: Mutex<Vec<(u64, Value)>>,
+    /// Policy-run start markers with no matching end marker yet, as
+    /// `(policy, now)`. Carried across checkpoint truncation like
+    /// `open_intents` so an interrupted tick stays visible to recovery.
+    open_policy_runs: Mutex<Vec<(String, i64)>>,
 }
 
 fn io_err(what: &str, e: std::io::Error) -> Error {
@@ -374,6 +410,7 @@ impl Wal {
         let mut records = Vec::with_capacity(scan.records.len());
         let mut next_lsn = 1;
         let mut open_intents: Vec<(u64, Value)> = Vec::new();
+        let mut open_policy_runs: Vec<(String, i64)> = Vec::new();
         for body in &scan.records {
             let (lsn, record) = decode_body(body)?;
             next_lsn = next_lsn.max(lsn + 1);
@@ -383,6 +420,12 @@ impl Wal {
                 }
                 WalRecord::DisguiseCommit { disguise_id } => {
                     open_intents.retain(|(id, _)| id != disguise_id);
+                }
+                WalRecord::PolicyRunStart { policy, now } => {
+                    open_policy_runs.push((policy.clone(), *now));
+                }
+                WalRecord::PolicyRunEnd { policy } => {
+                    open_policy_runs.retain(|(name, _)| name != policy);
                 }
                 WalRecord::Txn { .. } => {}
             }
@@ -413,6 +456,7 @@ impl Wal {
             poisoned: AtomicBool::new(false),
             metrics: RwLock::new(None),
             open_intents: Mutex::new(open_intents),
+            open_policy_runs: Mutex::new(open_policy_runs),
         };
         Ok((
             wal,
@@ -542,6 +586,10 @@ impl Wal {
                 Some(MarkerNote::Intent(*disguise_id, user.clone()))
             }
             WalRecord::DisguiseCommit { disguise_id } => Some(MarkerNote::Commit(*disguise_id)),
+            WalRecord::PolicyRunStart { policy, now } => {
+                Some(MarkerNote::PolicyStart(policy.clone(), *now))
+            }
+            WalRecord::PolicyRunEnd { policy } => Some(MarkerNote::PolicyEnd(policy.clone())),
             WalRecord::Txn { .. } => None,
         };
         group.pending.push_back(StagedFrame {
@@ -856,6 +904,12 @@ impl Wal {
             MarkerNote::Commit(disguise_id) => {
                 lock_unpoisoned(&self.open_intents).retain(|(id, _)| id != disguise_id);
             }
+            MarkerNote::PolicyStart(policy, now) => {
+                lock_unpoisoned(&self.open_policy_runs).push((policy.clone(), *now));
+            }
+            MarkerNote::PolicyEnd(policy) => {
+                lock_unpoisoned(&self.open_policy_runs).retain(|(name, _)| name != policy);
+            }
         }
     }
 
@@ -958,9 +1012,21 @@ impl Wal {
         drop(f);
         state.good_len = 0;
         let open = lock_unpoisoned(&self.open_intents).clone();
-        for (disguise_id, user) in open {
+        let mut carry: Vec<WalRecord> = open
+            .into_iter()
+            .map(|(disguise_id, user)| WalRecord::DisguiseIntent { disguise_id, user })
+            .collect();
+        carry.extend(
+            lock_unpoisoned(&self.open_policy_runs)
+                .iter()
+                .map(|(policy, now)| WalRecord::PolicyRunStart {
+                    policy: policy.clone(),
+                    now: *now,
+                }),
+        );
+        for record in carry {
             let lsn = group.next_lsn;
-            let body = encode_body(lsn, &WalRecord::DisguiseIntent { disguise_id, user });
+            let body = encode_body(lsn, &record);
             let framed = frame::encode_record(&body);
             self.write_raw(&mut state, &framed)?;
             self.sync_file(&mut state)?;
@@ -987,6 +1053,8 @@ impl Wal {
 const KIND_TXN: u8 = 0;
 const KIND_INTENT: u8 = 1;
 const KIND_COMMIT: u8 = 2;
+const KIND_POLICY_START: u8 = 3;
+const KIND_POLICY_END: u8 = 4;
 
 fn encode_body(lsn: u64, record: &WalRecord) -> Vec<u8> {
     let mut w = Writer::new();
@@ -1007,6 +1075,15 @@ fn encode_body(lsn: u64, record: &WalRecord) -> Vec<u8> {
         WalRecord::DisguiseCommit { disguise_id } => {
             w.u8(KIND_COMMIT);
             w.u64(*disguise_id);
+        }
+        WalRecord::PolicyRunStart { policy, now } => {
+            w.u8(KIND_POLICY_START);
+            w.string(policy);
+            w.i64(*now);
+        }
+        WalRecord::PolicyRunEnd { policy } => {
+            w.u8(KIND_POLICY_END);
+            w.string(policy);
         }
     }
     w.buf
@@ -1094,6 +1171,13 @@ fn decode_body(body: &[u8]) -> Result<(u64, WalRecord)> {
         },
         KIND_COMMIT => WalRecord::DisguiseCommit {
             disguise_id: r.u64().map_err(|e| bad(&e.to_string()))?,
+        },
+        KIND_POLICY_START => WalRecord::PolicyRunStart {
+            policy: r.string().map_err(|e| bad(&e.to_string()))?,
+            now: r.i64().map_err(|e| bad(&e.to_string()))?,
+        },
+        KIND_POLICY_END => WalRecord::PolicyRunEnd {
+            policy: r.string().map_err(|e| bad(&e.to_string()))?,
         },
         k => return Err(bad(&format!("unknown record kind {k}"))),
     };
@@ -1408,6 +1492,9 @@ pub struct ReplayOutcome {
     pub frames_replayed: usize,
     /// Intent markers with no matching commit marker, in log order.
     pub open_intents: Vec<OpenIntent>,
+    /// Policy-run start markers with no matching end marker, in log
+    /// order.
+    pub open_policy_runs: Vec<OpenPolicyRun>,
 }
 
 /// A report of one recovery pass (what `Workspace::open` and the
@@ -1429,6 +1516,10 @@ pub struct RecoveryReport {
     /// Disguise intents with no matching commit marker; `edna-core`
     /// resolves each to "completed" or "undone".
     pub open_intents: Vec<OpenIntent>,
+    /// Policy runs interrupted mid-tick. Benign by construction (the
+    /// scheduler re-fires and resumes them), surfaced so operators can
+    /// see what the crash cut short.
+    pub open_policy_runs: Vec<OpenPolicyRun>,
     /// Whether a complete snapshot temp file was promoted to
     /// authoritative (crash between temp fsync and rename). Set by the
     /// caller that owns snapshot file management, not by `open_durable`.
@@ -1759,6 +1850,81 @@ mod tests {
         let (_, scan) = Wal::open(&path).unwrap();
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.torn_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn policy_run_markers_round_trip_and_carry_across_truncation() {
+        // Encode/decode of the new marker kinds.
+        let body = encode_body(
+            5,
+            &WalRecord::PolicyRunStart {
+                policy: "aging".into(),
+                now: 1_234,
+            },
+        );
+        let (lsn, rec) = decode_body(&body).unwrap();
+        assert_eq!(lsn, 5);
+        assert!(
+            matches!(rec, WalRecord::PolicyRunStart { ref policy, now: 1_234 }
+            if policy == "aging")
+        );
+        let body = encode_body(
+            6,
+            &WalRecord::PolicyRunEnd {
+                policy: "aging".into(),
+            },
+        );
+        let (_, rec) = decode_body(&body).unwrap();
+        assert!(matches!(rec, WalRecord::PolicyRunEnd { ref policy } if policy == "aging"));
+
+        let path = tmp("policy_markers");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            // A completed run: start matched by end — not open.
+            wal.append(&WalRecord::PolicyRunStart {
+                policy: "done".into(),
+                now: 10,
+            })
+            .unwrap();
+            wal.append(&WalRecord::PolicyRunEnd {
+                policy: "done".into(),
+            })
+            .unwrap();
+            // An interrupted run: start with no end — open.
+            wal.append(&WalRecord::PolicyRunStart {
+                policy: "cut".into(),
+                now: 20,
+            })
+            .unwrap();
+        }
+        // A fresh scan rebuilds the open set: only the unmatched start.
+        let (wal, _) = Wal::open(&path).unwrap();
+        assert_eq!(
+            *lock_unpoisoned(&wal.open_policy_runs),
+            vec![("cut".to_string(), 20)]
+        );
+        // Checkpoint truncation must carry the open marker, exactly like
+        // an open disguise intent: a crash after the checkpoint still
+        // knows the run was in flight.
+        wal.truncate().unwrap();
+        let (wal, scan) = Wal::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 1, "carried start marker survives");
+        assert_eq!(
+            *lock_unpoisoned(&wal.open_policy_runs),
+            vec![("cut".to_string(), 20)]
+        );
+        // The resumed run's end marker closes it; the next checkpoint
+        // drops the bracket entirely.
+        wal.append(&WalRecord::PolicyRunEnd {
+            policy: "cut".into(),
+        })
+        .unwrap();
+        assert!(lock_unpoisoned(&wal.open_policy_runs).is_empty());
+        wal.truncate().unwrap();
+        let (_, scan) = Wal::open(&path).unwrap();
+        assert!(scan.records.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -92,6 +92,12 @@ impl Client {
         self.request(&Request::new("stats"))
     }
 
+    /// Fetches the policy table: one row per registered policy with its
+    /// kind, cadence, and last completed run.
+    pub fn policy_status(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::new("policy").arg("status"))
+    }
+
     /// Liveness probe (lock-free on the server).
     pub fn health(&mut self) -> std::io::Result<Response> {
         self.request(&Request::new("health"))

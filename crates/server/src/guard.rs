@@ -1,9 +1,11 @@
 //! Reserved-table enforcement for wire SQL.
 //!
 //! The engine's reserved `_edna_*` tables hold the server's own trust
-//! anchors: capability hashes (`_edna_caps`), the spec registry, and the
-//! disguise history. A wire client that can read or write them can forge
-//! or destroy another tenant's reveal capability, so the `sql` op must
+//! anchors: capability hashes (`_edna_caps`), the spec registry, the
+//! policy registry that drives the decay daemon, and the disguise
+//! history. A wire client that can read or write them can forge or
+//! destroy another tenant's reveal capability — or schedule arbitrary
+//! disguises against everyone's data — so the `sql` op must
 //! refuse any statement that references them — structurally, not by
 //! substring, so `SELECT '_edna_caps' FROM t` stays legal while
 //! `... WHERE id IN (SELECT disguise_id FROM _edna_caps)` does not.
@@ -149,6 +151,16 @@ mod tests {
             "INSERT INTO _edna_spec_registry (name) VALUES ('x')",
             "DROP TABLE _edna_disguise_history",
             "DROP TABLE IF EXISTS _edna_caps",
+            // The policy registry drives the decay daemon: a tenant who
+            // can write it schedules arbitrary disguises against other
+            // tenants' data; one who can read it learns the retention
+            // schedule. Both directions must be refused.
+            "SELECT dsl, last_run FROM _edna_policy_registry",
+            "UPDATE _edna_policy_registry SET last_run = 0",
+            "UPDATE _edna_policy_registry SET dsl = 'decay evil ...'",
+            "DELETE FROM _edna_policy_registry",
+            "INSERT INTO _edna_policy_registry (name, dsl) VALUES ('x', 'y')",
+            "DROP TABLE _edna_policy_registry",
             "ALTER TABLE _edna_caps DROP COLUMN cap_hash",
             "CREATE INDEX i ON _edna_caps (cap_hash)",
             "CREATE TABLE _edna_caps (id INT PRIMARY KEY)",
@@ -210,6 +222,13 @@ mod tests {
             "SELECT COUNT(id IN (SELECT disguise_id FROM _edna_caps)) FROM users",
             "SELECT * FROM users WHERE name LIKE \
              (SELECT cap_hash FROM _edna_caps LIMIT 1)",
+            // Same games against the policy registry: quoting, case,
+            // aliases, and a smuggled subquery. Resetting `last_run`
+            // would re-fire every policy on the next tick.
+            "SELECT dsl FROM `_EDNA_Policy_Registry`",
+            "UPDATE \"_edna_policy_registry\" SET last_run = 0",
+            "SELECT p.dsl FROM _edna_policy_registry AS p",
+            "SELECT * FROM users WHERE id IN (SELECT id FROM _edna_policy_registry)",
         ] {
             match reserved_table_in(sql) {
                 Some(_) => caught += 1,
@@ -225,7 +244,7 @@ mod tests {
         // The unparsable fallback must stay the exception: if grammar
         // changes make most of these stop parsing, the audit below loses
         // its teeth and needs new phrasings.
-        assert!(caught >= 14, "only {caught} attempts reached the guard");
+        assert!(caught >= 18, "only {caught} attempts reached the guard");
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   fsynced to the WAL (see `edna recover`).
 //! - A **background checkpointer** (optional) periodically snapshots to
 //!   bound WAL growth during long serving runs.
+//! - A **decay daemon** (optional) ticks registered expiration/decay
+//!   policies on a wall clock, serialized through the same door lock as
+//!   apply/reveal so policy runs never interleave with foreground work.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,6 +64,13 @@ pub struct ServerConfig {
     /// Checkpoint the workspace this often while serving (bounds WAL
     /// growth); `None` disables background checkpointing.
     pub checkpoint_every: Option<Duration>,
+    /// Drive registered expiration/decay policies this often via the
+    /// decay daemon; `None` disables background policy runs.
+    pub policy_tick: Option<Duration>,
+    /// Row budget per policy tick: a tick transforms at most roughly
+    /// this many rows, then yields the door back to foreground traffic
+    /// and resumes where it left off on the next tick.
+    pub decay_rows: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +82,8 @@ impl Default for ServerConfig {
             conn_timeout: Duration::from_secs(10),
             max_frame_bytes: 1 << 20,
             checkpoint_every: Some(Duration::from_secs(30)),
+            policy_tick: Some(Duration::from_secs(1)),
+            decay_rows: 512,
         }
     }
 }
@@ -243,6 +255,48 @@ fn run(listener: TcpListener, svc: Arc<Service>, config: ServerConfig, ctl: Arc<
             .expect("spawn checkpointer")
     });
 
+    // The decay daemon: drives registered policies on a wall clock while
+    // the server runs. Each wakeup computes a logical `now` anchored at
+    // the durable clock observed at startup plus real elapsed seconds —
+    // monotonic across ticks, and never behind what a restarted server
+    // already persisted. The tick itself serializes through the door's
+    // write side (inside `Service::policy_tick_at`), so it never
+    // interleaves with an apply/reveal/checkpoint or a foreground
+    // statement.
+    let decayer = config
+        .policy_tick
+        .filter(|_| svc.has_policies())
+        .map(|every| {
+            let svc = svc.clone();
+            let ctl = ctl.clone();
+            let budget = config.decay_rows.max(1);
+            std::thread::Builder::new()
+                .name("edna-decay".to_string())
+                .spawn(move || {
+                    let base = svc.workspace().db.global_now();
+                    let started = std::time::Instant::now();
+                    let tick = Duration::from_millis(50).min(every);
+                    'outer: loop {
+                        let mut waited = Duration::ZERO;
+                        while waited < every {
+                            if ctl.flag.load(Ordering::SeqCst) {
+                                break 'outer;
+                            }
+                            std::thread::sleep(tick);
+                            waited += tick;
+                        }
+                        if ctl.flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let now = base + started.elapsed().as_secs() as i64;
+                        if let Err(e) = svc.policy_tick_at(now, Some(budget)) {
+                            eprintln!("edna serve: policy tick failed: {e}");
+                        }
+                    }
+                })
+                .expect("spawn decay daemon")
+        });
+
     loop {
         match listener.accept() {
             Ok((mut stream, _)) => {
@@ -288,6 +342,9 @@ fn run(listener: TcpListener, svc: Arc<Service>, config: ServerConfig, ctl: Arc<
     }
     if let Some(c) = checkpointer {
         let _ = c.join();
+    }
+    if let Some(d) = decayer {
+        let _ = d.join();
     }
     // Final checkpoint: fold the WAL into the snapshot so a clean
     // shutdown leaves a clean state.

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-use edna_core::{render_report, ApplyOptions, Workspace};
+use edna_core::{render_report, ApplyOptions, Policy, Scheduler, TickOutcome, Workspace};
 use edna_obs::{Counter, Histogram};
 use edna_util::sync::{read_unpoisoned, write_unpoisoned};
 
@@ -53,12 +53,32 @@ pub struct Service {
     /// The operation door: read = interleavable ops, write = ops that
     /// own the engine's transaction slot.
     door: RwLock<()>,
+    /// The registered policies with their persisted last-run stamps;
+    /// ticked by the decay daemon through [`Service::policy_tick_at`].
+    scheduler: Scheduler,
     draining: AtomicBool,
     requests_total: Arc<Counter>,
     denied_total: Arc<Counter>,
     caps_minted_total: Arc<Counter>,
     checkpoints_total: Arc<Counter>,
+    policy_runs_total: Arc<Counter>,
+    policy_run_errors_total: Arc<Counter>,
+    decay_rows_total: Arc<Counter>,
     request_us: Arc<Histogram>,
+}
+
+/// The per-policy tick-duration histogram's metric name: the policy name
+/// folded into the Prometheus grammar (lowercased, everything else `_`).
+fn policy_tick_metric(policy: &str) -> String {
+    let mut slug = String::with_capacity(policy.len());
+    for c in policy.chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else {
+            slug.push('_');
+        }
+    }
+    format!("edna_policy_tick_us_{slug}")
 }
 
 impl Service {
@@ -67,8 +87,10 @@ impl Service {
     /// them alongside the engine counters).
     pub fn new(ws: Workspace) -> edna_core::Result<Service> {
         caps::ensure_caps_table(&ws.db)?;
+        let scheduler = ws.scheduler()?;
         let m = ws.db.metrics();
         Ok(Service {
+            scheduler,
             requests_total: m.counter(
                 "edna_server_requests_total",
                 "Requests handled by the disguise server",
@@ -84,6 +106,18 @@ impl Service {
             checkpoints_total: m.counter(
                 "edna_server_checkpoints_total",
                 "Background and shutdown checkpoints taken",
+            ),
+            policy_runs_total: m.counter(
+                "edna_policy_runs_total",
+                "Scheduled policy runs fired by the decay daemon (complete or paused)",
+            ),
+            policy_run_errors_total: m.counter(
+                "edna_policy_run_errors_total",
+                "Scheduler ticks that failed with an error",
+            ),
+            decay_rows_total: m.counter(
+                "edna_decay_rows_total",
+                "Rows transformed (removed, decorrelated, or modified) by policy runs",
             ),
             request_us: m.histogram(
                 "edna_server_request_us",
@@ -127,6 +161,56 @@ impl Service {
         Ok(())
     }
 
+    /// Whether any policies are registered (the server skips spawning the
+    /// decay daemon otherwise).
+    pub fn has_policies(&self) -> bool {
+        !self.scheduler.policies().is_empty()
+    }
+
+    /// Runs one scheduler tick at logical time `now`, transforming at
+    /// most roughly `budget` rows, serialized against apply/reveal/
+    /// checkpoint (and foreground statements) through the door's write
+    /// side. The policies evaluate `NOW()` under a thread-scoped clock;
+    /// afterwards — still under the door, so no foreground statement can
+    /// observe time moving mid-statement — the *global* clock is advanced
+    /// to `now` when the tick is ahead of it. The advance is WAL-logged
+    /// and snapshot-persisted, so a restarted server resumes from an
+    /// already-advanced clock instead of rewinding the decay frontier.
+    pub fn policy_tick_at(
+        &self,
+        now: i64,
+        budget: Option<usize>,
+    ) -> edna_core::Result<TickOutcome> {
+        let _door = write_unpoisoned(&self.door);
+        let outcome = match self.scheduler.tick_budgeted(&self.ws.edna, now, budget) {
+            Ok(o) => o,
+            Err(e) => {
+                self.policy_run_errors_total.inc();
+                return Err(e);
+            }
+        };
+        if now > self.ws.db.global_now() {
+            self.ws.db.set_now(now);
+        }
+        let m = self.ws.db.metrics();
+        for run in &outcome.runs {
+            self.policy_runs_total.inc();
+            let rows: usize = run
+                .reports
+                .iter()
+                .map(|r| r.rows_removed + r.rows_decorrelated + r.rows_modified)
+                .sum();
+            self.decay_rows_total.add(rows as u64);
+            m.histogram(
+                &policy_tick_metric(&run.policy),
+                "Wall-clock duration of this policy's runs",
+                &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+            )
+            .observe(run.duration);
+        }
+        Ok(outcome)
+    }
+
     /// Handles one parsed request. Never panics on hostile input; every
     /// failure maps to a structured error response.
     pub fn handle(&self, req: &Request) -> Response {
@@ -157,6 +241,7 @@ impl Service {
                 Response::ok(self.ws.db.metrics().render_prometheus())
             }
             "recover" => self.op_recover(req),
+            "policy" => self.op_policy(req),
             // `shutdown` is intercepted by the connection loop (it has
             // to stop the accept loop, not just answer); seeing it here
             // means a non-server caller routed it manually.
@@ -413,7 +498,37 @@ impl Service {
             }
             body.push_str("integrity: ok\n");
         }
+        for run in &r.open_policy_runs {
+            body.push_str(&format!(
+                "policy run {:?} interrupted mid-tick; it resumes on the next tick\n",
+                run.policy
+            ));
+        }
         Response::ok(body)
+    }
+
+    fn op_policy(&self, req: &Request) -> Response {
+        if req.arg.as_deref() != Some("status") {
+            return Response::err(code::USAGE, "usage: `policy status`");
+        }
+        let _door = read_unpoisoned(&self.door);
+        let last = self.scheduler.last_runs();
+        let mut body = String::from("name\tkind\tcadence\tlast_run\n");
+        for p in self.scheduler.policies() {
+            let kind = match p {
+                Policy::Expiration(_) => "expiration",
+                Policy::Decay(_) => "decay",
+            };
+            let stamp = match last.get(p.name()) {
+                Some(t) => t.to_string(),
+                None => "never".to_string(),
+            };
+            body.push_str(&format!("{}\t{kind}\t{}\t{stamp}\n", p.name(), p.cadence()));
+        }
+        Response::ok(body)
+            .header("policies", self.scheduler.policies().len().to_string())
+            .header("runs-total", self.policy_runs_total.get().to_string())
+            .header("decay-rows-total", self.decay_rows_total.get().to_string())
     }
 }
 
@@ -554,6 +669,12 @@ tables: {
             "DELETE FROM _edna_caps",
             "DROP TABLE _edna_spec_registry",
             "SELECT * FROM users WHERE id IN (SELECT disguise_id FROM _edna_caps)",
+            // The policy registry schedules the decay daemon's work:
+            // writable → arbitrary disguises against any tenant;
+            // readable → the retention schedule leaks.
+            "SELECT dsl, last_run FROM _edna_policy_registry",
+            "UPDATE _edna_policy_registry SET last_run = 0",
+            "INSERT INTO _edna_policy_registry (name, dsl) VALUES ('x', 'y')",
         ] {
             let r = svc.handle(&Request::new("sql").body(stmt));
             assert!(!r.ok, "{stmt} must be refused");
@@ -561,7 +682,101 @@ tables: {
         }
         // The denial is counted alongside capability denials.
         let r = svc.handle(&Request::new("stats"));
-        assert!(r.body.contains("edna_server_denied_total 5"), "{}", r.body);
+        assert!(r.body.contains("edna_server_denied_total 8"), "{}", r.body);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    const DECAY_SPEC: &str = r#"
+disguise_name: "AgeNotes"
+reversible: false
+tables: {
+  notes: { transformations: [ Modify(pred: "created_at < NOW() - 500", column: body, modifier: Truncate(1)) ] },
+}
+"#;
+
+    const DECAY_POLICY: &str = "policy_name: \"aging\"\n\
+                                kind: decay\n\
+                                cadence: 60\n\
+                                stages: [ \"AgeNotes\" ]\n";
+
+    #[test]
+    fn policy_tick_decays_rows_and_survives_restart() {
+        let state = temp_state("policy_tick");
+        {
+            let ws = Workspace::init(&state, None).unwrap();
+            ws.db
+                .execute(
+                    "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT, \
+                     created_at INT NOT NULL DEFAULT 0)",
+                )
+                .unwrap();
+            ws.db
+                .execute(
+                    "INSERT INTO notes (body, created_at) VALUES ('old body', 0), \
+                     ('new body', 900)",
+                )
+                .unwrap();
+            ws.register_spec(DECAY_SPEC).unwrap();
+            ws.register_policy(DECAY_POLICY).unwrap();
+            let svc = Service::new(ws).unwrap();
+            assert!(svc.has_policies());
+
+            let r = svc.handle(&Request::new("policy").arg("status"));
+            assert!(r.ok, "{}", r.body);
+            assert!(r.body.contains("aging\tdecay\t60\tnever"), "{}", r.body);
+
+            let out = svc.policy_tick_at(1_000, Some(512)).unwrap();
+            assert_eq!(out.runs.len(), 1, "one policy due");
+            assert!(out.runs[0].complete);
+
+            // The run decayed the old note and left the new one alone.
+            let r = svc.handle(&Request::new("sql").body("SELECT body FROM notes ORDER BY id"));
+            assert!(r.body.starts_with("body\no\nnew body"), "{}", r.body);
+
+            // Status reflects the completed run; the metrics appear in
+            // the Prometheus exposition, including the per-policy
+            // duration histogram.
+            let r = svc.handle(&Request::new("policy").arg("status"));
+            assert!(r.body.contains("aging\tdecay\t60\t1000"), "{}", r.body);
+            assert_eq!(r.header_value("runs-total"), Some("1"));
+            let r = svc.handle(&Request::new("stats"));
+            assert!(r.body.contains("edna_policy_runs_total 1"), "{}", r.body);
+            assert!(r.body.contains("edna_decay_rows_total 1"), "{}", r.body);
+            assert!(r.body.contains("edna_policy_tick_us_aging"), "{}", r.body);
+
+            // The tick advanced the durable clock: foreground NOW() moves.
+            assert_eq!(svc.workspace().db.global_now(), 1_000);
+            svc.checkpoint().unwrap();
+            drop(svc);
+        }
+        // Restart. The scheduler reloads the persisted last-run stamp, so
+        // the policy is NOT due again at the same logical time — the bug
+        // this guards against is every policy re-firing on restart.
+        {
+            let ws = Workspace::open(&state, None).unwrap();
+            let svc = Service::new(ws).unwrap();
+            let r = svc.handle(&Request::new("policy").arg("status"));
+            assert!(r.body.contains("aging\tdecay\t60\t1000"), "{}", r.body);
+            let now = svc.workspace().db.global_now();
+            assert_eq!(now, 1_000, "restart must not rewind the clock");
+            let out = svc.policy_tick_at(now, Some(512)).unwrap();
+            assert!(
+                out.runs.is_empty(),
+                "policy re-fired within its cadence after restart"
+            );
+            drop(svc);
+        }
+        cleanup(&state);
+    }
+
+    #[test]
+    fn policy_op_requires_status_arg() {
+        let (svc, state) = service("policy_usage");
+        let r = svc.handle(&Request::new("policy"));
+        assert_eq!(r.code.as_deref(), Some(code::USAGE));
+        let r = svc.handle(&Request::new("policy").arg("nonsense"));
+        assert_eq!(r.code.as_deref(), Some(code::USAGE));
         drop(svc);
         cleanup(&state);
     }

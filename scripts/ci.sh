@@ -120,6 +120,65 @@ echo "==> serve soak (SIGKILL sweep over the network layer, 20 iterations)"
 EDNA_SOAK_ITERS=20 cargo test --release -p edna-cli --test serve_soak --quiet
 echo "serve soak OK"
 
+echo "==> decay soak (SIGKILL sweep with ticking policies, 10 iterations)"
+# Serve with the decay daemon ticking a registered policy every 50ms
+# under mixed traffic, SIGKILL at a random instant, require
+# `recover --verify` to pass, and — restart regression — require a
+# re-serve NOT to re-fire policies whose last run is inside the cadence.
+EDNA_SOAK_ITERS=10 cargo test --release -p edna-cli --test decay_soak --quiet
+# The daemon's observability surface: the policy metrics must appear in
+# the Prometheus exposition a served-then-drained workspace leaves in
+# its stats sidecar.
+DECAY_DIR="$CHECK_DIR/decay_metrics"
+target/release/edna init "$DECAY_DIR"
+target/release/edna sql "$DECAY_DIR" \
+    "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT, created_at INT NOT NULL DEFAULT 0)"
+target/release/edna sql "$DECAY_DIR" \
+    "INSERT INTO notes (body, created_at) VALUES ('old-a', 0), ('old-b', 0)"
+cat > "$CHECK_DIR/age_notes.edna" <<'EOF'
+disguise_name: "AgeNotes"
+reversible: false
+tables: {
+  notes: { transformations: [ Modify(pred: "created_at < 100", column: body, modifier: Truncate(1)) ] },
+}
+EOF
+cat > "$CHECK_DIR/aging.edna" <<'EOF'
+policy_name: "aging"
+kind: decay
+cadence: 1
+stages: [ "AgeNotes" ]
+EOF
+target/release/edna register "$DECAY_DIR" "$CHECK_DIR/age_notes.edna"
+target/release/edna register "$DECAY_DIR" "$CHECK_DIR/aging.edna"
+target/release/edna serve "$DECAY_DIR" --policy-tick-ms 50 --checkpoint-secs 1 \
+    > "$CHECK_DIR/decay_serve.out" &
+SERVE_PID=$!
+# The background checkpointer rewrites the Prometheus sidecar from the
+# serving process's registry every second; once the daemon has ticked,
+# the policy metrics (including the per-policy duration histogram) must
+# appear in that exposition. Grep the sidecar while the server is alive:
+# a later `edna` open rewrites it from a registry without them.
+DECAY_SIDECAR="$DECAY_DIR.metrics"
+METRICS_OK=0
+for _ in $(seq 1 100); do
+    if grep -q "edna_policy_runs_total" "$DECAY_SIDECAR" 2>/dev/null \
+        && grep -q "edna_decay_rows_total" "$DECAY_SIDECAR" \
+        && grep -q "edna_policy_tick_us_aging" "$DECAY_SIDECAR"; then
+        METRICS_OK=1
+        break
+    fi
+    sleep 0.1
+done
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+if [ "$METRICS_OK" != 1 ]; then
+    echo "policy metrics never appeared in $DECAY_SIDECAR" >&2
+    cat "$DECAY_SIDECAR" 2>/dev/null >&2 || true
+    exit 1
+fi
+target/release/edna recover "$DECAY_DIR" --verify | grep -q "integrity: ok"
+echo "decay soak OK"
+
 echo "==> bench smoke (ABL-BATCH at tiny scale)"
 BATCHING_SCALE=0.02 BATCHING_USERS=2 BATCHING_SAMPLES=10 \
     cargo bench -p edna-bench --bench batching
