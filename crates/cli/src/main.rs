@@ -24,6 +24,8 @@
 //! edna serve <state> [--addr <ip:port>] [--max-conns <n>] [--conn-timeout-ms <n>]
 //!          [--max-frame-bytes <n>] [--checkpoint-secs <n>] [--passphrase <p>]
 //!          [--skip-audit] [--policy-tick-ms <n>] [--decay-rows <n>] [--no-decay]
+//!          [--sync-replicas <n>] [--repl-gate-ms <n>] [--replica-of <ip:port>]
+//! edna promote <state>
 //! edna trace <trace.jsonl>
 //! edna demo <state> (hotcrp | lobsters) [--scale <f>]
 //! ```
@@ -42,6 +44,15 @@
 //! (default 512) before yielding to foreground traffic; `--no-decay`
 //! disables it. The wire op `policy status` lists each policy's kind,
 //! cadence, and last completed run.
+//!
+//! High availability: `edna serve <standby> --replica-of <primary>`
+//! bootstraps a fresh copy of the primary's state over the wire and
+//! then serves it read-only while continuously applying the primary's
+//! WAL and vault stream. With `--sync-replicas N` on the primary, a
+//! commit is not acknowledged until `N` followers have durably applied
+//! it. `edna promote <standby>` (run on a stopped standby) bumps the
+//! replication epoch so the node can serve as the new primary — and so
+//! the deposed primary is fenced off (`stale-epoch`) if it comes back.
 //!
 //! `--trace-out` records structured spans (statements, disguise phases,
 //! vault/storage operations) and exports them as JSON Lines;
@@ -86,7 +97,8 @@ fn has_flag(args: &[String], name: &str) -> bool {
 fn usage() -> CliError {
     CliError::usage(
         "usage: edna <init|sql|explain|load-sql|register|check|audit|specs|apply|reveal|\
-         history|disguised|stats|recover|serve|trace|demo> <state> [args...] (see crate docs)"
+         history|disguised|stats|recover|serve|promote|trace|demo> <state> [args...] \
+         (see crate docs)"
             .to_string(),
     )
 }
@@ -514,6 +526,16 @@ fn run(args: &[String]) -> CliResult<()> {
                 }
             }
         }
+        "promote" => {
+            // Failover step 2 (after draining the standby): durably bump
+            // the replication epoch so this node serves as the new
+            // primary and the deposed one is fenced (`stale-epoch`) if
+            // it tries to feed or rejoin with stale history.
+            let ws = Workspace::open(&state, passphrase)?;
+            let epoch = ws.bump_epoch()?;
+            ws.save()?;
+            println!("promoted {state} to epoch {epoch}");
+        }
         "serve" => {
             fn num_flag<T: std::str::FromStr>(
                 args: &[String],
@@ -541,24 +563,71 @@ fn run(args: &[String]) -> CliResult<()> {
             // foreground path, never in the background.
             let policy_tick = (!has_flag(args, "--no-decay") && policy_tick_ms > 0)
                 .then(|| std::time::Duration::from_millis(policy_tick_ms));
+            let sync_replicas: usize = num_flag(args, "--sync-replicas", 0)?;
+            let repl_gate_ms: u64 = num_flag(args, "--repl-gate-ms", 2_000)?;
+            let replica_of = flag_value(args, "--replica-of").map(str::to_string);
+
+            // A standby bootstraps a fresh copy of the primary's state
+            // over the wire *before* opening the workspace, then applies
+            // the live tail while serving read-only.
+            let bootstrapped = match &replica_of {
+                Some(primary) => {
+                    let addr: std::net::SocketAddr = primary.parse().map_err(|_| {
+                        CliError::usage(format!("bad --replica-of address {primary}"))
+                    })?;
+                    let boot = edna_server::replica::bootstrap(
+                        addr,
+                        std::path::Path::new(&state),
+                        std::time::Duration::from_secs(30),
+                    )
+                    .map_err(|e| CliError::runtime(format!("replica bootstrap failed: {e}")))?;
+                    Some(boot)
+                }
+                None => None,
+            };
+            let is_replica = bootstrapped.is_some();
             let config = edna_server::ServerConfig {
                 addr,
                 max_conns,
                 queue_depth: max_conns,
                 conn_timeout: std::time::Duration::from_millis(conn_timeout_ms.max(1)),
                 max_frame_bytes,
-                checkpoint_every: (checkpoint_secs > 0)
+                // A replica must never checkpoint while streaming: a
+                // local WAL truncation would burn LSNs the primary is
+                // about to ship. The final drain checkpoint still runs
+                // (the stream is torn down first; re-serving as a
+                // replica re-bootstraps from scratch).
+                checkpoint_every: (checkpoint_secs > 0 && !is_replica)
                     .then(|| std::time::Duration::from_secs(checkpoint_secs)),
-                policy_tick,
+                // Policy runs are the primary's job; their effects
+                // arrive through the WAL stream.
+                policy_tick: policy_tick.filter(|_| !is_replica),
                 decay_rows: decay_rows.max(1),
+                sync_replicas,
+                repl_gate_timeout: std::time::Duration::from_millis(repl_gate_ms.max(1)),
             };
             let ws = Workspace::open(&state, passphrase)?;
+            if let Some(boot) = &bootstrapped {
+                // The freshly opened workspace must land exactly where
+                // the primary said the shipped state ends.
+                if ws.db.wal_last_lsn() != boot.last_lsn || ws.epoch() != boot.epoch {
+                    return Err(CliError::runtime(format!(
+                        "bootstrap mismatch: local lsn {} epoch {} vs shipped lsn {} epoch {}",
+                        ws.db.wal_last_lsn(),
+                        ws.epoch(),
+                        boot.last_lsn,
+                        boot.epoch
+                    )));
+                }
+            }
             // Refuse to serve a workspace whose disguise graph has audit
             // errors (orphanable vaults, unreachable reveals, diverging
             // policies): clients would be offered disguises whose
             // reversibility promise can be broken by another tenant's
-            // apply. `--skip-audit` is the operator escape hatch.
-            if !has_flag(args, "--skip-audit") {
+            // apply. `--skip-audit` is the operator escape hatch. A
+            // replica serves the primary's state verbatim and read-only,
+            // so the primary's own audit gate already covered it.
+            if !has_flag(args, "--skip-audit") && !is_replica {
                 let diags = ws.audit()?;
                 let errors = diags
                     .iter()
@@ -573,8 +642,31 @@ fn run(args: &[String]) -> CliResult<()> {
                 }
             }
             let svc = std::sync::Arc::new(edna_server::Service::new(ws)?);
-            let handle = edna_server::start(svc, config)
+            let replica_shared = bootstrapped.as_ref().map(|boot| {
+                let shared = edna_server::ReplicaShared::new(
+                    replica_of.clone().unwrap_or_default(),
+                    boot.epoch,
+                    boot.last_lsn,
+                );
+                svc.attach_replica(shared.clone());
+                shared
+            });
+            let handle = edna_server::start(svc.clone(), config)
                 .map_err(|e| CliError::runtime(format!("cannot bind server: {e}")))?;
+            // The apply loop: reads the primary's live tail, applies it
+            // under the service door, and acks. Exits on stream death or
+            // drain; the node keeps serving reads either way.
+            let applier = bootstrapped.map(|boot| {
+                let svc = svc.clone();
+                let shared = replica_shared.clone().expect("replica has shared state");
+                std::thread::Builder::new()
+                    .name("edna-replica-apply".to_string())
+                    .spawn(move || {
+                        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                        edna_server::replica::run(boot.stream, &svc, &shared, &stop);
+                    })
+                    .expect("spawn replica applier")
+            });
             // The soak harness and supervisors parse this line to learn
             // the picked port; stdout is line-buffered, so it flushes.
             // A supervisor may close stdout after parsing it — status
@@ -586,9 +678,20 @@ fn run(args: &[String]) -> CliResult<()> {
             // operator reading this stdout (or the supervisor capturing
             // it) can drain the server remotely.
             println!("shutdown token {}", handle.shutdown_token());
+            match &replica_shared {
+                Some(shared) => println!(
+                    "role: replica of {} (epoch {})",
+                    shared.source,
+                    shared.epoch()
+                ),
+                None => println!("role: primary (epoch {})", svc.workspace().epoch()),
+            }
             handle
                 .wait()
                 .map_err(|_| CliError::runtime("server thread panicked".to_string()))?;
+            if let Some(t) = applier {
+                let _ = t.join();
+            }
             let _ = writeln!(std::io::stdout(), "drained and checkpointed");
         }
         "trace" => {

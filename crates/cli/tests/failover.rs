@@ -1,0 +1,407 @@
+//! Failover chaos sweep for the replication layer: a primary with one
+//! synchronous standby takes mixed traffic (inserts, idempotent
+//! applies), is SIGKILLed at a random instant, and the standby is
+//! drained, promoted, and re-served. The headline invariant: **no
+//! acknowledged commit, vault entry, or capability token is lost** —
+//! every acked apply's capability still opens its vault entry on the
+//! new primary, every acked row is back after reveal, and replaying an
+//! acked idempotency key returns the original capability verbatim.
+//! `edna recover --verify` must be green on both sides of the split,
+//! and the deposed primary must be fenced (`stale-epoch`) when the
+//! promoted node is asked to follow it.
+//!
+//! Iterations default low to keep `cargo test` fast; ci.sh raises them
+//! via `EDNA_CHAOS_ITERS`.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use edna_server::{code, Client};
+use edna_util::rng::{Rng as _, SplitMix64};
+
+fn temp_state(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("edna_failover_{tag}_{}", std::process::id()));
+    cleanup(&p);
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    for suffix in [".tmp", ".metrics", ".metrics.tmp", ".wal", ".lock"] {
+        let mut os = p.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(os));
+    }
+    let mut os = p.as_os_str().to_os_string();
+    os.push(".vault");
+    let _ = std::fs::remove_dir_all(PathBuf::from(os));
+}
+
+fn edna_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_edna"))
+}
+
+/// Spawns `edna serve` with extra flags and parses the three banner
+/// lines: bound address, shutdown token, and replication role.
+fn spawn_serve(state: &str, extra: &[&str]) -> (Child, SocketAddr, String, String) {
+    let mut args = vec!["serve", state, "--addr", "127.0.0.1:0"];
+    args.extend_from_slice(extra);
+    let mut child = edna_bin()
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut read = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner line");
+        line.trim().to_string()
+    };
+    let addr = read()
+        .strip_prefix("listening on ")
+        .expect("address banner")
+        .parse()
+        .expect("parsable address");
+    let token = read()
+        .strip_prefix("shutdown token ")
+        .expect("token banner")
+        .to_string();
+    let role = read()
+        .strip_prefix("role: ")
+        .expect("role banner")
+        .to_string();
+    (child, addr, token, role)
+}
+
+const SPEC: &str = r#"
+disguise_name: "Gdpr"
+user_to_disguise: $UID
+tables: {
+  users: { transformations: [ Remove(pred: "id = $UID") ] },
+}
+"#;
+
+/// One acknowledged reversible apply: enough to re-reveal it and to
+/// replay its idempotency key after failover.
+struct AckedApply {
+    uid: String,
+    id: u64,
+    cap: String,
+    idem: String,
+}
+
+#[derive(Default)]
+struct Acked {
+    /// Names of inserted rows whose fate is fully known (acked insert,
+    /// and any later apply on them either acked or cleanly refused).
+    rows: Vec<String>,
+    applies: Vec<AckedApply>,
+}
+
+/// One traffic thread: insert a row, disguise it under an idempotency
+/// key, record what the server *acknowledged*. Anything cut off by the
+/// kill mid-request is indeterminate and claims nothing.
+fn traffic(addr: SocketAddr, iteration: usize, thread_id: u64, rounds: usize) -> Acked {
+    let mut acked = Acked::default();
+    let Ok(mut c) = Client::connect_with_timeout(addr, Duration::from_secs(5)) else {
+        return acked;
+    };
+    for round in 0..rounds {
+        let name = format!("i{iteration}t{thread_id}r{round}");
+        let uid = match c.sql(&format!("INSERT INTO users (name) VALUES ('{name}')")) {
+            Ok(r) if r.ok => match r.header_value("last-insert-id") {
+                Some(uid) => uid.to_string(),
+                None => return acked,
+            },
+            _ => return acked, // killed mid-insert: no claim
+        };
+        let idem = format!("fo-{iteration}-{thread_id}-{round}");
+        match c.apply_idem("Gdpr", Some(&uid), &idem) {
+            Ok(r) if r.ok => {
+                let (Some(id), Some(cap)) = (
+                    r.header_value("id").and_then(|v| v.parse::<u64>().ok()),
+                    r.header_value("cap"),
+                ) else {
+                    return acked;
+                };
+                acked.applies.push(AckedApply {
+                    uid,
+                    id,
+                    cap: cap.to_string(),
+                    idem,
+                });
+                acked.rows.push(name);
+            }
+            // A clean refusal means the apply did not run: the row is
+            // still in the table, undisguised.
+            Ok(_) => acked.rows.push(name),
+            // The kill cut the apply off: the insert above may or may
+            // not have been disguised by a commit we never heard about,
+            // so this row claims nothing at all.
+            Err(_) => return acked,
+        }
+    }
+    acked
+}
+
+fn recover_verify(state: &str, side: &str) {
+    let out = edna_bin()
+        .args(["recover", state, "--verify"])
+        .output()
+        .expect("recover runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("integrity: ok"),
+        "{side}: recover --verify failed (exit {:?}):\n{stdout}{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn failover_sweep_loses_no_acknowledged_commit() {
+    let iterations: usize = std::env::var("EDNA_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let mut rng = SplitMix64::new(0xFA11_0EE5);
+
+    for iteration in 0..iterations {
+        let primary = temp_state(&format!("p{iteration}"));
+        let standby = temp_state(&format!("s{iteration}"));
+        let p = primary.to_str().unwrap().to_string();
+        let s = standby.to_str().unwrap().to_string();
+
+        // Seed the primary through the binary, like an operator would.
+        assert!(edna_bin().args(["init", &p]).status().unwrap().success());
+        assert!(edna_bin()
+            .args([
+                "sql",
+                &p,
+                "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name TEXT)",
+            ])
+            .status()
+            .unwrap()
+            .success());
+        let spec_file = primary.with_extension("edna_spec");
+        std::fs::write(&spec_file, SPEC).unwrap();
+        assert!(edna_bin()
+            .args(["register", &p, spec_file.to_str().unwrap()])
+            .status()
+            .unwrap()
+            .success());
+
+        // A ticking decay policy rides along: its background commits go
+        // through the same group-commit gate and replication stream as
+        // foreground traffic, so the kill also lands amid policy runs.
+        assert!(edna_bin()
+            .args([
+                "sql",
+                &p,
+                "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, body TEXT, \
+                 created_at INT NOT NULL DEFAULT 0)",
+            ])
+            .status()
+            .unwrap()
+            .success());
+        let values: Vec<String> = (0..50).map(|i| format!("('note-{i}', 0)")).collect();
+        assert!(edna_bin()
+            .args([
+                "sql",
+                &p,
+                &format!(
+                    "INSERT INTO notes (body, created_at) VALUES {}",
+                    values.join(", ")
+                ),
+            ])
+            .status()
+            .unwrap()
+            .success());
+        let decay_spec = primary.with_extension("decay_spec");
+        std::fs::write(
+            &decay_spec,
+            r#"
+disguise_name: "AgeNotes"
+reversible: false
+tables: {
+  notes: { transformations: [ Modify(pred: "created_at < 100", column: body, modifier: Truncate(1)) ] },
+}
+"#,
+        )
+        .unwrap();
+        let policy_spec = primary.with_extension("decay_policy");
+        std::fs::write(
+            &policy_spec,
+            "policy_name: \"aging\"\nkind: decay\ncadence: 1\nstages: [ \"AgeNotes\" ]\n",
+        )
+        .unwrap();
+        for f in [&decay_spec, &policy_spec] {
+            assert!(edna_bin()
+                .args(["register", &p, f.to_str().unwrap()])
+                .status()
+                .unwrap()
+                .success());
+        }
+
+        // Primary in sync mode: a commit is acknowledged only once the
+        // standby durably applied it. The generous gate keeps a healthy
+        // loopback follower from ever being demoted mid-sweep.
+        let (mut primary_child, primary_addr, _ptoken, prole) = spawn_serve(
+            &p,
+            &[
+                "--sync-replicas",
+                "1",
+                "--repl-gate-ms",
+                "10000",
+                "--policy-tick-ms",
+                "100",
+            ],
+        );
+        assert_eq!(prole, "primary (epoch 0)");
+        let (mut standby_child, standby_addr, stoken, srole) =
+            spawn_serve(&s, &["--replica-of", &primary_addr.to_string()]);
+        assert!(
+            srole.starts_with("replica of "),
+            "standby role banner: {srole}"
+        );
+
+        // The standby is attached (sync quorum exists) and read-only.
+        let mut pc = Client::connect(primary_addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = pc.repl_status().unwrap();
+            if r.header_value("followers") == Some("1") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "standby never attached:\n{}",
+                r.body
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let mut sc = Client::connect(standby_addr).unwrap();
+        let denied = sc.sql("INSERT INTO users (name) VALUES ('nope')").unwrap();
+        assert_eq!(denied.code.as_deref(), Some(code::READ_ONLY));
+        let r = sc.repl_status().unwrap();
+        assert_eq!(r.header_value("role"), Some("replica"));
+        assert_eq!(r.header_value("connected"), Some("true"));
+        drop(sc);
+
+        // Mixed traffic, then SIGKILL the primary at a random instant.
+        let threads: Vec<_> = (0..3)
+            .map(|t| std::thread::spawn(move || traffic(primary_addr, iteration, t, 200)))
+            .collect();
+        let delay = 300 + (rng.next_u64() % 500);
+        std::thread::sleep(Duration::from_millis(delay));
+        primary_child.kill().expect("SIGKILL primary");
+        let _ = primary_child.wait();
+        let mut acked = Acked::default();
+        for t in threads {
+            let part = t.join().expect("traffic thread");
+            acked.rows.extend(part.rows);
+            acked.applies.extend(part.applies);
+        }
+
+        // Failover: drain the standby, promote it, verify both sides.
+        let mut sc = Client::connect(standby_addr).unwrap();
+        assert!(sc.shutdown(&stoken).unwrap().ok);
+        assert!(
+            standby_child.wait().unwrap().success(),
+            "standby drains cleanly"
+        );
+        let out = edna_bin().args(["promote", &s]).output().unwrap();
+        assert!(out.status.success(), "promote failed");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("to epoch 1"),
+            "promote banner: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        recover_verify(&p, "deposed primary");
+        recover_verify(&s, "promoted standby");
+
+        // The promoted standby serves as the new primary.
+        let (mut new_child, new_addr, ntoken, nrole) = spawn_serve(&s, &[]);
+        assert_eq!(nrole, "primary (epoch 1)", "promotion bumped the epoch");
+        let mut c = Client::connect(new_addr).unwrap();
+
+        // The ticking decay policy replicated with everything else: the
+        // promoted standby knows "aging" without re-registration.
+        let r = c.policy_status().unwrap();
+        assert!(r.ok, "{}", r.body);
+        assert!(
+            r.body.contains("aging"),
+            "replicated policy registry lists the decay policy: {}",
+            r.body
+        );
+
+        // Exactly-once survives failover: replaying an acked idempotency
+        // key returns the *original* reply — same id, same capability.
+        for a in acked.applies.iter().take(3) {
+            let r = c.apply_idem("Gdpr", Some(&a.uid), &a.idem).unwrap();
+            assert!(r.ok, "{}", r.body);
+            assert_eq!(r.header_value("idem"), Some("replayed"));
+            assert_eq!(r.header_value("id"), Some(a.id.to_string().as_str()));
+            assert_eq!(r.header_value("cap"), Some(a.cap.as_str()));
+        }
+        // Every acknowledged capability token still opens its vault
+        // entry on the new primary...
+        for a in &acked.applies {
+            let r = c.reveal(a.id, &a.cap).unwrap();
+            assert!(
+                r.ok,
+                "iteration {iteration}: acked disguise {} (user {}) lost: {}",
+                a.id, a.uid, r.body
+            );
+        }
+        // ...and after the reveals, every acknowledged row is present.
+        for name in &acked.rows {
+            let r = c
+                .sql(&format!("SELECT id FROM users WHERE name = '{name}'"))
+                .unwrap();
+            assert!(r.ok, "{}", r.body);
+            assert_eq!(
+                r.header_value("rows"),
+                Some("1"),
+                "iteration {iteration}: acked row {name} lost"
+            );
+        }
+        println!(
+            "iteration {iteration}: {} acked rows, {} acked applies — none lost",
+            acked.rows.len(),
+            acked.applies.len()
+        );
+        assert!(c.shutdown(&ntoken).unwrap().ok);
+        assert!(new_child.wait().unwrap().success());
+
+        // Fencing: the deposed primary (epoch 0) must refuse to feed the
+        // promoted node (epoch 1), and the refusal must not touch the
+        // promoted state.
+        let (mut deposed_child, deposed_addr, dtoken, drole) = spawn_serve(&p, &[]);
+        assert_eq!(drole, "primary (epoch 0)");
+        let out = edna_bin()
+            .args(["serve", &s, "--replica-of", &deposed_addr.to_string()])
+            .output()
+            .unwrap();
+        assert!(
+            !out.status.success(),
+            "a promoted node must not follow a deposed primary"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("stale-epoch"), "fencing error: {err}");
+        let mut dc = Client::connect(deposed_addr).unwrap();
+        assert!(dc.shutdown(&dtoken).unwrap().ok);
+        assert!(deposed_child.wait().unwrap().success());
+        // The fenced state still opens cleanly as its own primary.
+        recover_verify(&s, "promoted standby after fencing");
+
+        let _ = std::fs::remove_file(&spec_file);
+        cleanup(&primary);
+        cleanup(&standby);
+    }
+}

@@ -35,11 +35,12 @@
 //! --verify` reports what such a pass did and self-checks integrity.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use edna_relational::{snapshot, Database, RecoveryReport, Value};
 use edna_util::lockfile::LockFile;
-use edna_vault::{FileStore, TieredVault, Vault, VaultJournal};
+use edna_vault::{FileStore, ShipFn, ShipSlot, TieredVault, Vault, VaultJournal};
 
 use crate::apply::{Disguiser, IntentResolution};
 use crate::error::{Error, Result};
@@ -64,6 +65,9 @@ pub struct Workspace {
     pub last_recovery: RecoveryReport,
     /// How open disguise intents found in the WAL were resolved.
     pub last_resolution: IntentResolution,
+    /// Replication taps of the vault-side files, keyed by the relative
+    /// directory prefix a follower should mirror them under.
+    ship_slots: Vec<(&'static str, ShipSlot)>,
     /// The `<state>.lock` advisory lock, released on drop.
     _lock: LockFile,
 }
@@ -186,16 +190,24 @@ impl Workspace {
         let (db, mut report) = Database::open_durable(Some(&path), &sidecar(&path, ".wal"))?;
         report.snapshot_promoted = promoted;
         ensure_registry(&db)?;
-        let global = Vault::plain(FileStore::open(vault_dir(&path, "global"))?);
+        let global_store = FileStore::open(vault_dir(&path, "global"))?;
         let user_store = FileStore::open(vault_dir(&path, "user"))?;
+        // The stores move behind trait objects next; keep their
+        // replication tap slots so `set_vault_ship_hook` can still reach
+        // the live stores later.
+        let mut ship_slots = vec![
+            ("global", global_store.ship_slot()),
+            ("user", user_store.ship_slot()),
+        ];
+        let global = Vault::plain(global_store);
         let per_user = match passphrase {
             Some(p) => Vault::encrypted_derived(user_store, p, 0xC11),
             None => Vault::plain(user_store),
         };
         let edna = Disguiser::with_vaults(db.clone(), TieredVault::new(global, per_user));
-        edna.set_vault_journal(VaultJournal::open(
-            sidecar(&path, ".vault").join("pending.journal"),
-        )?);
+        let journal = VaultJournal::open(sidecar(&path, ".vault").join("pending.journal"))?;
+        ship_slots.push(("journal", journal.ship_slot()));
+        edna.set_vault_journal(journal);
         // Re-register persisted specs.
         let specs = db.execute(&format!(
             "SELECT dsl FROM {SPEC_REGISTRY_TABLE} ORDER BY id"
@@ -211,6 +223,7 @@ impl Workspace {
             edna,
             last_recovery: report,
             last_resolution: resolution,
+            ship_slots,
             _lock: lock,
         };
         // Checkpoint what recovery rebuilt: fold the replayed tail into
@@ -252,6 +265,46 @@ impl Workspace {
     /// Where the write-ahead log of this workspace lives.
     pub fn wal_path(&self) -> PathBuf {
         sidecar(&self.path, ".wal")
+    }
+
+    /// Installs (or with `None` removes) a replication tap over the
+    /// vault-side files. The hook sees every durable mutation of the
+    /// vault tiers and the pending-write journal as raw bytes (sealed
+    /// payloads ship sealed), with the file name prefixed by where it
+    /// lives relative to `<state>.vault/`: `global/<file>`,
+    /// `user/<file>`, or `journal/pending.journal`. Hooks run inside the
+    /// emitting store's lock — enqueue only, never block.
+    pub fn set_vault_ship_hook(&self, hook: Option<Arc<ShipFn>>) {
+        for (prefix, slot) in &self.ship_slots {
+            match &hook {
+                Some(h) => {
+                    let h = Arc::clone(h);
+                    let prefix = *prefix;
+                    slot.install(Some(Arc::new(move |kind, name, bytes: &[u8]| {
+                        h(kind, &format!("{prefix}/{name}"), bytes);
+                    })));
+                }
+                None => slot.install(None),
+            }
+        }
+    }
+
+    /// The replication epoch recorded in the WAL (0 until the first
+    /// promotion).
+    pub fn epoch(&self) -> u64 {
+        self.db.wal().map(|w| w.epoch()).unwrap_or(0)
+    }
+
+    /// Durably advances the replication epoch by one and returns the new
+    /// value. Used by `edna promote` to fence a deposed primary: stream
+    /// frames carry the epoch, and a follower refuses any peer whose
+    /// epoch is behind its own.
+    pub fn bump_epoch(&self) -> Result<u64> {
+        let wal = self
+            .db
+            .wal()
+            .ok_or_else(|| ws_err("workspace has no write-ahead log attached".to_string()))?;
+        Ok(wal.bump_epoch()?)
     }
 
     /// Emits a retroactive `recovery` span (plus a child per resolved

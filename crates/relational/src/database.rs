@@ -755,6 +755,9 @@ impl Database {
                 WalRecord::PolicyRunEnd { policy } => {
                     policy_runs.retain(|r| r.policy != *policy);
                 }
+                // The epoch lives in the `Wal` (re-derived by its own
+                // open-time scan); replay has nothing to apply.
+                WalRecord::Epoch { .. } => {}
             }
         }
         inner.invalidate_plans();
@@ -765,6 +768,40 @@ impl Database {
             open_intents: intents,
             open_policy_runs: policy_runs,
         })
+    }
+
+    /// Applies one shipped WAL record to the live state (a replica's
+    /// continuous replay). `Txn` frames are applied physically, exactly
+    /// like [`Database::replay_wal`] — they describe a transaction the
+    /// primary already committed; marker and epoch frames are no-ops here
+    /// (the replica's `Wal` tracks them via `append_shipped`).
+    pub fn apply_shipped(&self, record: &WalRecord) -> Result<()> {
+        let WalRecord::Txn { ops } = record else {
+            return Ok(());
+        };
+        let mut inner = self.inner_write();
+        if inner.txn.is_some() {
+            return Err(Error::Wal(
+                "cannot apply shipped frame with an open transaction".to_string(),
+            ));
+        }
+        for op in ops {
+            wal::apply_op(&mut inner, op)?;
+        }
+        if ops.iter().any(|op| {
+            matches!(
+                op,
+                wal::RedoOp::CreateTable { .. }
+                    | wal::RedoOp::DropTable { .. }
+                    | wal::RedoOp::AlterTable { .. }
+                    | wal::RedoOp::CreateIndex { .. }
+            )
+        }) {
+            inner.invalidate_plans();
+            drop(inner);
+            lock_unpoisoned(&self.stmt_cache).map.clear();
+        }
+        Ok(())
     }
 
     /// Opens a durable database: loads the snapshot (an empty database if

@@ -58,6 +58,6 @@ pub use stats::{LatencyModel, StatsSnapshot};
 pub use storage::RowId;
 pub use value::{DataType, Row, Value};
 pub use wal::{
-    OpenIntent, OpenPolicyRun, RecoveryReport, RedoOp, ReplayOutcome, Wal, WalCrash, WalCrashHook,
-    WalRecord, WalScan,
+    OpenIntent, OpenPolicyRun, RecoveryReport, RedoOp, ReplayOutcome, Wal, WalCommitGate, WalCrash,
+    WalCrashHook, WalFrameSink, WalRecord, WalScan,
 };

@@ -155,6 +155,15 @@ pub enum WalRecord {
         /// The matching start marker's policy name.
         policy: String,
     },
+    /// The replication epoch changed (`edna promote`). Persisted in the
+    /// log so a restarted node remembers which generation of primaries it
+    /// belongs to; replication streams carry the sender's epoch on every
+    /// frame and a receiver rejects anything older than its own — the
+    /// fencing that keeps a deposed primary from feeding a promoted node.
+    Epoch {
+        /// The new epoch (monotonically increasing, starts at 0).
+        epoch: u64,
+    },
 }
 
 /// A disguise intent recovered from the log with no matching commit
@@ -353,6 +362,20 @@ struct GroupState {
 /// roll back the victims' still-visible transaction effects.
 pub type WalAbortHandler = Arc<dyn Fn(&[u64]) + Send + Sync>;
 
+/// Replication tap: called once per frame — `(lsn, epoch, framed bytes)` —
+/// immediately after the batch flush that made the frame durable (frames
+/// arrive in LSN order). Must not block: it runs on the group-commit
+/// leader thread; a replication hub enqueues into bounded per-follower
+/// buffers and drops stalled followers rather than stalling here.
+pub type WalFrameSink = Arc<dyn Fn(u64, u64, &[u8]) + Send + Sync>;
+
+/// Durability-quorum gate: called with the highest LSN of a freshly
+/// durable batch *before* any of the batch's waiters are released. A
+/// synchronous-replication hub blocks here until enough followers have
+/// acked the LSN (with a bounded timeout + degradation path — it must
+/// never wedge the commit pipeline indefinitely).
+pub type WalCommitGate = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// An append-only redo log with group commit.
 ///
 /// Obtained from [`Wal::open`] and attached to a database with
@@ -366,6 +389,10 @@ pub struct Wal {
     config: RwLock<WalGroupConfig>,
     abort_handler: RwLock<Option<WalAbortHandler>>,
     crash_hook: RwLock<Option<WalCrashHook>>,
+    frame_sink: RwLock<Option<WalFrameSink>>,
+    commit_gate: RwLock<Option<WalCommitGate>>,
+    /// Replication epoch (highest `Epoch` record seen or appended).
+    epoch: AtomicU64,
     frame_seq: AtomicU64,
     poisoned: AtomicBool,
     metrics: RwLock<Option<WalMetrics>>,
@@ -409,6 +436,7 @@ impl Wal {
         let torn_bytes = scan.torn_bytes(data.len());
         let mut records = Vec::with_capacity(scan.records.len());
         let mut next_lsn = 1;
+        let mut epoch = 0u64;
         let mut open_intents: Vec<(u64, Value)> = Vec::new();
         let mut open_policy_runs: Vec<(String, i64)> = Vec::new();
         for body in &scan.records {
@@ -427,6 +455,7 @@ impl Wal {
                 WalRecord::PolicyRunEnd { policy } => {
                     open_policy_runs.retain(|(name, _)| name != policy);
                 }
+                WalRecord::Epoch { epoch: e } => epoch = epoch.max(*e),
                 WalRecord::Txn { .. } => {}
             }
             records.push((lsn, record));
@@ -452,6 +481,9 @@ impl Wal {
             config: RwLock::new(WalGroupConfig::default()),
             abort_handler: RwLock::new(None),
             crash_hook: RwLock::new(None),
+            frame_sink: RwLock::new(None),
+            commit_gate: RwLock::new(None),
+            epoch: AtomicU64::new(epoch),
             frame_seq: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             metrics: RwLock::new(None),
@@ -524,6 +556,98 @@ impl Wal {
         self.frame_seq.load(Ordering::SeqCst)
     }
 
+    /// Installs (or with `None` removes) the replication frame sink,
+    /// called with `(lsn, epoch, framed bytes)` for every frame as it
+    /// becomes durable — including the markers a checkpoint truncation
+    /// carries into the fresh log, so a follower's LSN sequence never has
+    /// holes. See [`WalFrameSink`] for the non-blocking contract.
+    pub fn set_frame_sink(&self, sink: Option<WalFrameSink>) {
+        *write_unpoisoned(&self.frame_sink) = sink;
+    }
+
+    /// Installs (or with `None` removes) the synchronous-replication
+    /// commit gate, called with the highest LSN of each durable batch
+    /// before that batch's waiters are released. See [`WalCommitGate`].
+    pub fn set_commit_gate(&self, gate: Option<WalCommitGate>) {
+        *write_unpoisoned(&self.commit_gate) = gate;
+    }
+
+    /// The current replication epoch (0 until a promotion ever happened).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bumps the replication epoch and durably appends the `Epoch` record
+    /// (`edna promote`). Returns the new epoch. The atomic is raised
+    /// before the append so the record itself — and everything after it —
+    /// ships to followers stamped with the new epoch.
+    pub fn bump_epoch(&self) -> Result<u64> {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.append(&WalRecord::Epoch { epoch })?;
+        Ok(epoch)
+    }
+
+    /// Follower-side append: writes an already-framed record shipped from
+    /// the primary, preserving its original LSN, and fsyncs it before
+    /// returning (the follower acks only durable frames). Bypasses the
+    /// group-commit pipeline — a replica has exactly one applier thread —
+    /// and refuses out-of-sequence LSNs, local staged frames, or an
+    /// in-flight flush (a replica must not mix local commits with
+    /// shipped ones).
+    pub fn append_shipped(&self, lsn: u64, framed: &[u8], record: &WalRecord) -> Result<()> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(Error::Wal(
+                "log poisoned by a crash or unrestorable append failure; reopen to recover"
+                    .to_string(),
+            ));
+        }
+        let mut group = lock_unpoisoned(&self.group);
+        if !group.pending.is_empty() || group.flushing || group.aborting {
+            return Err(Error::Wal(
+                "cannot apply shipped frame: local commit pipeline is active".to_string(),
+            ));
+        }
+        if lsn != group.next_lsn {
+            return Err(Error::Wal(format!(
+                "shipped frame out of sequence: lsn {lsn}, expected {}",
+                group.next_lsn
+            )));
+        }
+        {
+            let mut state = lock_unpoisoned(&self.state);
+            self.write_raw(&mut state, framed)?;
+            self.sync_file(&mut state)?;
+            state.good_len += framed.len() as u64;
+        }
+        group.next_lsn = lsn + 1;
+        group.durable_lsn = lsn;
+        drop(group);
+        match record {
+            WalRecord::DisguiseIntent { disguise_id, user } => {
+                self.note_marker(&MarkerNote::Intent(*disguise_id, user.clone()));
+            }
+            WalRecord::DisguiseCommit { disguise_id } => {
+                self.note_marker(&MarkerNote::Commit(*disguise_id));
+            }
+            WalRecord::PolicyRunStart { policy, now } => {
+                self.note_marker(&MarkerNote::PolicyStart(policy.clone(), *now));
+            }
+            WalRecord::PolicyRunEnd { policy } => {
+                self.note_marker(&MarkerNote::PolicyEnd(policy.clone()));
+            }
+            WalRecord::Epoch { epoch } => {
+                self.epoch.fetch_max(*epoch, Ordering::SeqCst);
+            }
+            WalRecord::Txn { .. } => {}
+        }
+        if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
+            m.frames.inc();
+            m.bytes.add(framed.len() as u64);
+            m.fsyncs.inc();
+        }
+        Ok(())
+    }
+
     /// The last LSN assigned to a staged frame (0 if none ever was).
     /// Monotonic across checkpoints: truncation keeps the counter.
     pub fn last_lsn(&self) -> u64 {
@@ -590,7 +714,7 @@ impl Wal {
                 Some(MarkerNote::PolicyStart(policy.clone(), *now))
             }
             WalRecord::PolicyRunEnd { policy } => Some(MarkerNote::PolicyEnd(policy.clone())),
-            WalRecord::Txn { .. } => None,
+            WalRecord::Txn { .. } | WalRecord::Epoch { .. } => None,
         };
         group.pending.push_back(StagedFrame {
             seq,
@@ -721,6 +845,23 @@ impl Wal {
             let elapsed = started.elapsed();
             if elapsed < cfg.fsync_floor {
                 std::thread::sleep(cfg.fsync_floor - elapsed);
+            }
+        }
+        if result.is_ok() {
+            // Replication: ship the freshly durable frames, then hold the
+            // batch at the quorum gate. Both run here — off the group
+            // lock, before any waiter can observe `durable_seq` — so in
+            // sync mode no commit is acknowledged before enough followers
+            // acked it. The gate is bounded (it degrades to async rather
+            // than wedging the pipeline).
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            if let Some(sink) = read_unpoisoned(&self.frame_sink).clone() {
+                for f in &batch {
+                    sink(f.lsn, epoch, &f.bytes);
+                }
+            }
+            if let Some(gate) = read_unpoisoned(&self.commit_gate).clone() {
+                gate(batch.last().expect("batch is non-empty").lsn);
             }
         }
 
@@ -1011,11 +1152,19 @@ impl Wal {
         f.sync_all().map_err(|e| io_err("fsync WAL", e))?;
         drop(f);
         state.good_len = 0;
-        let open = lock_unpoisoned(&self.open_intents).clone();
-        let mut carry: Vec<WalRecord> = open
-            .into_iter()
-            .map(|(disguise_id, user)| WalRecord::DisguiseIntent { disguise_id, user })
-            .collect();
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mut carry: Vec<WalRecord> = Vec::new();
+        // A non-zero epoch must survive the truncation: the snapshot does
+        // not record it, so the fresh log re-asserts it first.
+        if epoch > 0 {
+            carry.push(WalRecord::Epoch { epoch });
+        }
+        carry.extend(
+            lock_unpoisoned(&self.open_intents)
+                .clone()
+                .into_iter()
+                .map(|(disguise_id, user)| WalRecord::DisguiseIntent { disguise_id, user }),
+        );
         carry.extend(
             lock_unpoisoned(&self.open_policy_runs)
                 .iter()
@@ -1024,6 +1173,7 @@ impl Wal {
                     now: *now,
                 }),
         );
+        let sink = read_unpoisoned(&self.frame_sink).clone();
         for record in carry {
             let lsn = group.next_lsn;
             let body = encode_body(lsn, &record);
@@ -1032,6 +1182,12 @@ impl Wal {
             self.sync_file(&mut state)?;
             state.good_len += framed.len() as u64;
             group.next_lsn = lsn + 1;
+            // Ship carried markers too: a follower replays them as no-ops
+            // but must see every LSN, or its sequence check would reject
+            // the first post-checkpoint frame.
+            if let Some(sink) = &sink {
+                sink(lsn, epoch, &framed);
+            }
             if let Some(m) = read_unpoisoned(&self.metrics).as_ref() {
                 m.frames.inc();
                 m.bytes.add(framed.len() as u64);
@@ -1055,6 +1211,7 @@ const KIND_INTENT: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 const KIND_POLICY_START: u8 = 3;
 const KIND_POLICY_END: u8 = 4;
+const KIND_EPOCH: u8 = 5;
 
 fn encode_body(lsn: u64, record: &WalRecord) -> Vec<u8> {
     let mut w = Writer::new();
@@ -1084,6 +1241,10 @@ fn encode_body(lsn: u64, record: &WalRecord) -> Vec<u8> {
         WalRecord::PolicyRunEnd { policy } => {
             w.u8(KIND_POLICY_END);
             w.string(policy);
+        }
+        WalRecord::Epoch { epoch } => {
+            w.u8(KIND_EPOCH);
+            w.u64(*epoch);
         }
     }
     w.buf
@@ -1151,6 +1312,13 @@ fn encode_op(w: &mut Writer, op: &RedoOp) {
     }
 }
 
+/// Decodes one frame *body* (the checksummed frame's payload: LSN +
+/// record) as shipped over a replication stream. The inverse of what
+/// [`Wal::stage`] frames.
+pub fn decode_frame_body(body: &[u8]) -> Result<(u64, WalRecord)> {
+    decode_body(body)
+}
+
 fn decode_body(body: &[u8]) -> Result<(u64, WalRecord)> {
     let mut r = Reader::new(body);
     let bad = |m: &str| Error::Wal(format!("corrupt WAL record: {m}"));
@@ -1178,6 +1346,9 @@ fn decode_body(body: &[u8]) -> Result<(u64, WalRecord)> {
         },
         KIND_POLICY_END => WalRecord::PolicyRunEnd {
             policy: r.string().map_err(|e| bad(&e.to_string()))?,
+        },
+        KIND_EPOCH => WalRecord::Epoch {
+            epoch: r.u64().map_err(|e| bad(&e.to_string()))?,
         },
         k => return Err(bad(&format!("unknown record kind {k}"))),
     };

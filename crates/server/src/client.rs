@@ -3,18 +3,57 @@
 //! Used by the server's own tests, the CLI soak harness, and anyone
 //! scripting against `edna serve` from Rust. One [`Client`] is one
 //! persistent connection; requests are answered in order.
+//!
+//! Requests retry transparently on transient refusals — `busy`
+//! (admission queue full) and `shutting-down` answered before any work
+//! ran — with bounded exponential backoff plus jitter, and reconnect
+//! once per attempt when the connection itself resets (the server
+//! closes after both refusals). Retries re-send the same bytes, so for
+//! mutating ops whose first attempt may have executed before the
+//! connection died, pair them with an idempotency key (`idem` header on
+//! `apply`/`apply_many`, see [`Client::apply_idem`]) and the server
+//! replays the original reply instead of applying twice.
 
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
-use crate::proto::{Request, Response};
+use crate::proto::{code, Request, Response};
 use crate::wire::{self, ReadOutcome};
+
+/// Attempts per request: the first plus up to four retries.
+const MAX_ATTEMPTS: u32 = 5;
+/// First backoff step; doubles per retry up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Ceiling on a single backoff sleep (before jitter).
+const BACKOFF_CAP: Duration = Duration::from_millis(200);
 
 /// One connection to an `edna serve` instance.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
     timeout: Duration,
     max_frame_bytes: usize,
+    retries: u64,
+    reconnects: u64,
+}
+
+fn open_stream(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+/// Whether an I/O failure looks like the peer dropped the connection —
+/// the cases a single transparent reconnect can heal.
+fn is_connection_reset(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 impl Client {
@@ -25,22 +64,43 @@ impl Client {
 
     /// Connects with an explicit connect/read timeout.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_write_timeout(Some(timeout))?;
         Ok(Client {
-            stream,
+            stream: open_stream(addr, timeout)?,
+            addr,
             timeout,
             max_frame_bytes: 1 << 24,
+            retries: 0,
+            reconnects: 0,
         })
+    }
+
+    /// How many attempts were retried (backoff taken) over this
+    /// client's lifetime.
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// How many transparent reconnects this client has performed.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects
     }
 
     fn io_err(msg: String) -> std::io::Error {
         std::io::Error::other(msg)
     }
 
-    /// Sends one request and reads one response.
-    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+    /// Deterministic-enough jitter without a PRNG dependency: the clock's
+    /// sub-millisecond nanoseconds, scaled to at most half the step.
+    fn jitter(step: Duration) -> Duration {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        Duration::from_nanos(nanos % (step.as_nanos() as u64 / 2).max(1))
+    }
+
+    /// One write + read on the current stream, no retry logic.
+    fn request_once(&mut self, req: &Request) -> std::io::Result<Response> {
         wire::write_frame(&mut self.stream, &req.encode())?;
         match wire::read_frame(
             &mut self.stream,
@@ -53,14 +113,69 @@ impl Client {
                     .map_err(|_| Self::io_err("response is not UTF-8".to_string()))?;
                 Response::parse(text).map_err(Self::io_err)
             }
-            Ok(ReadOutcome::Eof) => Err(Self::io_err(
-                "server closed the connection before responding".to_string(),
+            // The server closes after `busy`/`shutting-down` refusals and
+            // on drain; map EOF to the reset kind so the retry loop can
+            // reconnect instead of failing the whole request.
+            Ok(ReadOutcome::Eof) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
             )),
             Ok(ReadOutcome::IdleTimeout) => {
                 Err(Self::io_err("timed out waiting for response".to_string()))
             }
+            Err(wire::WireError::Io(e)) => Err(e),
             Err(e) => Err(Self::io_err(e.to_string())),
         }
+    }
+
+    /// Sends one request and reads one response, retrying transient
+    /// refusals (`busy`, `shutting-down`) with bounded exponential
+    /// backoff + jitter and reconnecting at most once per attempt when
+    /// the connection resets underneath the request.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let mut backoff = BACKOFF_BASE;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(backoff + Self::jitter(backoff));
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            let outcome = match self.request_once(req) {
+                Err(e) if is_connection_reset(&e) => {
+                    // One transparent reconnect per attempt; if the new
+                    // connection dies too, that consumes the attempt.
+                    self.stream = open_stream(self.addr, self.timeout)?;
+                    self.reconnects += 1;
+                    self.request_once(req)
+                }
+                other => other,
+            };
+            match outcome {
+                Ok(resp) => {
+                    let transient = !resp.ok
+                        && matches!(
+                            resp.code.as_deref(),
+                            Some(code::BUSY) | Some(code::SHUTTING_DOWN)
+                        );
+                    if !transient {
+                        return Ok(resp);
+                    }
+                    last = Some(Self::io_err(format!(
+                        "server refused with {}: {}",
+                        resp.code.as_deref().unwrap_or("?"),
+                        resp.body.trim_end()
+                    )));
+                }
+                Err(e) => {
+                    if !is_connection_reset(&e) {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| Self::io_err("request failed".to_string())))
     }
 
     /// Runs one SQL statement.
@@ -72,6 +187,23 @@ impl Client {
     /// disguises) `cap` headers.
     pub fn apply(&mut self, disguise: &str, user: Option<&str>) -> std::io::Result<Response> {
         let mut req = Request::new("apply").arg(disguise);
+        if let Some(u) = user {
+            req = req.header("user", u);
+        }
+        self.request(&req)
+    }
+
+    /// Applies a disguise under a client-chosen idempotency key: if any
+    /// earlier attempt with the same key succeeded, the server replays
+    /// that attempt's reply (original capability included) instead of
+    /// applying again — exactly-once across wire retries.
+    pub fn apply_idem(
+        &mut self,
+        disguise: &str,
+        user: Option<&str>,
+        idem: &str,
+    ) -> std::io::Result<Response> {
+        let mut req = Request::new("apply").arg(disguise).header("idem", idem);
         if let Some(u) = user {
             req = req.header("user", u);
         }
@@ -92,6 +224,12 @@ impl Client {
         self.request(&Request::new("stats"))
     }
 
+    /// Fetches the replication status: role, epoch, and per-follower lag
+    /// on a primary; source and applied LSN on a replica.
+    pub fn repl_status(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::new("repl").arg("status"))
+    }
+
     /// Fetches the policy table: one row per registered policy with its
     /// kind, cadence, and last completed run.
     pub fn policy_status(&mut self) -> std::io::Result<Response> {
@@ -105,8 +243,9 @@ impl Client {
 
     /// Asks the server to drain and checkpoint, presenting the operator
     /// token minted at server start (`ServerHandle::shutdown_token`, or
-    /// the `shutdown token` line `edna serve` prints).
+    /// the `shutdown token` line `edna serve` prints). Not retried: a
+    /// `shutting-down` answer means the drain is already under way.
     pub fn shutdown(&mut self, token: &str) -> std::io::Result<Response> {
-        self.request(&Request::new("shutdown").header("token", token))
+        self.request_once(&Request::new("shutdown").header("token", token))
     }
 }

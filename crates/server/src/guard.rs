@@ -41,6 +41,19 @@ pub fn reserved_table_in(sql: &str) -> Option<String> {
     tables.into_iter().find(|t| is_reserved(t))
 }
 
+/// Whether `sql` is safe on a read-only replica: a `SELECT` (optionally
+/// under `EXPLAIN ANALYZE`). Unparsable statements pass — they execute
+/// nothing, and the engine's own parse error beats a misleading
+/// read-only refusal.
+pub fn is_read_only(sql: &str) -> bool {
+    let stmt_text = strip_explain_analyze(sql).unwrap_or(sql);
+    match parse_statement(stmt_text) {
+        Ok(Statement::Select(_)) => true,
+        Ok(_) => false,
+        Err(_) => true,
+    }
+}
+
 fn strip_explain_analyze(sql: &str) -> Option<&str> {
     let rest = strip_keyword(sql.trim_start(), "EXPLAIN")?;
     strip_keyword(rest.trim_start(), "ANALYZE")
@@ -229,6 +242,15 @@ mod tests {
             "UPDATE \"_edna_policy_registry\" SET last_run = 0",
             "SELECT p.dsl FROM _edna_policy_registry AS p",
             "SELECT * FROM users WHERE id IN (SELECT id FROM _edna_policy_registry)",
+            // The idempotency ledger stores rendered replies verbatim —
+            // including minted reveal capabilities. Reading it steals
+            // caps; writing it forges a cached reply for someone else's
+            // retry key.
+            "SELECT reply FROM _edna_requests",
+            "SELECT r.reply FROM `_EDNA_Requests` AS r",
+            "UPDATE _edna_requests SET reply = 'forged'",
+            "DELETE FROM \"_edna_requests\"",
+            "SELECT * FROM users WHERE id IN (SELECT id FROM _edna_requests)",
         ] {
             match reserved_table_in(sql) {
                 Some(_) => caught += 1,
@@ -244,7 +266,7 @@ mod tests {
         // The unparsable fallback must stay the exception: if grammar
         // changes make most of these stop parsing, the audit below loses
         // its teeth and needs new phrasings.
-        assert!(caught >= 18, "only {caught} attempts reached the guard");
+        assert!(caught >= 23, "only {caught} attempts reached the guard");
     }
 
     #[test]
@@ -259,6 +281,29 @@ mod tests {
             "INSERT..SELECT now parses: teach the guard to vet its source SELECT"
         );
         assert!(reserved_table_in(sql).is_none());
+    }
+
+    #[test]
+    fn read_only_classification_for_replicas() {
+        for sql in [
+            "SELECT 1 FROM users",
+            "select * from users where id = 1",
+            "EXPLAIN ANALYZE SELECT * FROM users",
+            "this does not parse at all",
+        ] {
+            assert!(is_read_only(sql), "should pass on a replica: {sql}");
+        }
+        for sql in [
+            "INSERT INTO t (a) VALUES (1)",
+            "UPDATE t SET a = 1",
+            "DELETE FROM t",
+            "DROP TABLE t",
+            "ALTER TABLE t ADD COLUMN b INT",
+            "CREATE TABLE t (id INT PRIMARY KEY)",
+            "CREATE INDEX i ON t (a)",
+        ] {
+            assert!(!is_read_only(sql), "should refuse on a replica: {sql}");
+        }
     }
 
     #[test]

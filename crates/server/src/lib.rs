@@ -34,11 +34,15 @@ pub mod caps;
 pub mod client;
 pub mod guard;
 pub mod proto;
+pub mod repl;
+pub mod replica;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use client::Client;
 pub use proto::{code, Request, Response};
+pub use repl::ReplHub;
+pub use replica::ReplicaShared;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use service::Service;

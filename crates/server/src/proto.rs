@@ -37,6 +37,11 @@ pub mod code {
     pub const RUNTIME: &str = "runtime";
     /// The server is draining and accepts no new work.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// This node is a read-only replica; writes go to the primary.
+    pub const READ_ONLY: &str = "read-only";
+    /// Replication handshake refused: the would-be follower's epoch is
+    /// ahead of this primary's, so this primary is the deposed one.
+    pub const STALE_EPOCH: &str = "stale-epoch";
 }
 
 /// A parsed request.

@@ -71,6 +71,12 @@ pub struct ServerConfig {
     /// this many rows, then yields the door back to foreground traffic
     /// and resumes where it left off on the next tick.
     pub decay_rows: usize,
+    /// `--sync-replicas N`: hold each group-commit batch's waiters until
+    /// `N` followers acknowledged the batch. 0 = fully asynchronous.
+    pub sync_replicas: usize,
+    /// How long the commit gate waits for the sync quorum before
+    /// demoting stragglers to async and releasing the batch.
+    pub repl_gate_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,8 @@ impl Default for ServerConfig {
             checkpoint_every: Some(Duration::from_secs(30)),
             policy_tick: Some(Duration::from_secs(1)),
             decay_rows: 512,
+            sync_replicas: 0,
+            repl_gate_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -160,6 +168,18 @@ fn trigger_shutdown(svc: &Service, ctl: &ShutdownCtl) {
 pub fn start(svc: Arc<Service>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    // Every non-replica server is follower-capable: attach the hub and
+    // tap the WAL and vault so `repl stream` handshakes have a live
+    // feed. A replica (attached before `start`) accepts no followers.
+    if !svc.is_replica() && svc.hub().is_none() {
+        let hub = crate::repl::ReplHub::new(
+            svc.workspace(),
+            config.sync_replicas,
+            config.repl_gate_timeout,
+        );
+        crate::repl::install(&hub, svc.workspace());
+        svc.attach_primary(hub);
+    }
     let token = hex::to_hex(&caps::mint().map_err(std::io::Error::other)?);
     let ctl = Arc::new(ShutdownCtl {
         flag: AtomicBool::new(false),
@@ -265,7 +285,7 @@ fn run(listener: TcpListener, svc: Arc<Service>, config: ServerConfig, ctl: Arc<
     // statement.
     let decayer = config
         .policy_tick
-        .filter(|_| svc.has_policies())
+        .filter(|_| svc.has_policies() && !svc.is_replica())
         .map(|every| {
             let svc = svc.clone();
             let ctl = ctl.clone();
@@ -377,6 +397,158 @@ fn send(stream: &mut TcpStream, resp: &Response) -> bool {
     wire::write_frame(stream, &resp.encode()).is_ok()
 }
 
+/// Every vault-side file of `state`, as `(relative name, bytes)` pairs
+/// in the stream's naming scheme (`global/…`, `user/…`, `journal/…`).
+fn vault_bootstrap_files(state: &std::path::Path) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let root = edna_core::workspace::sidecar(state, ".vault");
+    let mut out = Vec::new();
+    for tier in ["global", "user"] {
+        let Ok(entries) = std::fs::read_dir(root.join(tier)) else {
+            continue;
+        };
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.push((format!("{tier}/{name}"), std::fs::read(entry.path())?));
+        }
+    }
+    let journal = root.join("pending.journal");
+    if journal.exists() {
+        out.push((
+            "journal/pending.journal".to_string(),
+            std::fs::read(journal)?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Handles a `repl stream` handshake: fences by epoch, ships a bootstrap
+/// (checkpoint + state files, copied and registered under the door's
+/// write side so no commit slips between snapshot and live tail), then
+/// runs the sender loop on this worker thread until the stream dies.
+fn repl_stream_connection(mut stream: TcpStream, svc: &Arc<Service>, req: &Request) {
+    use crate::repl::{self, StreamRecord};
+
+    let Some(hub) = svc.hub() else {
+        send(
+            &mut stream,
+            &Response::err(code::USAGE, "this node does not accept followers"),
+        );
+        return;
+    };
+    let follower_epoch: u64 = match req.header_value("epoch").unwrap_or("0").trim().parse() {
+        Ok(e) => e,
+        Err(_) => {
+            send(
+                &mut stream,
+                &Response::err(code::USAGE, "bad `epoch` header on repl stream"),
+            );
+            return;
+        }
+    };
+    if follower_epoch > hub.epoch() {
+        // The would-be follower has lived through a promotion this node
+        // never saw: this node is the deposed primary. Feeding the
+        // promoted one would rewind acknowledged history.
+        send(
+            &mut stream,
+            &Response::err(
+                code::STALE_EPOCH,
+                format!(
+                    "follower is at epoch {follower_epoch}, this node at {}; a deposed \
+                     primary cannot feed a promoted node",
+                    hub.epoch()
+                ),
+            ),
+        );
+        return;
+    }
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    type Staged = (
+        Vec<u8>,
+        Vec<u8>,
+        Vec<(String, Vec<u8>)>,
+        u64,
+        Arc<repl::Follower>,
+    );
+    let staged = svc.with_write_door(|| -> Result<Staged, String> {
+        let ws = svc.workspace();
+        ws.save()
+            .map_err(|e| format!("bootstrap checkpoint failed: {e}"))?;
+        let snapshot = std::fs::read(&ws.path).map_err(|e| format!("cannot read snapshot: {e}"))?;
+        let wal =
+            std::fs::read(edna_core::workspace::sidecar(&ws.path, ".wal")).unwrap_or_default();
+        let vault =
+            vault_bootstrap_files(&ws.path).map_err(|e| format!("cannot read vault files: {e}"))?;
+        let last_lsn = ws.db.wal_last_lsn();
+        let follower = hub.register(peer.clone());
+        Ok((snapshot, wal, vault, last_lsn, follower))
+    });
+    let (snapshot, wal, vault, last_lsn, follower) = match staged {
+        Ok(t) => t,
+        Err(e) => {
+            send(&mut stream, &Response::err(code::RUNTIME, e));
+            return;
+        }
+    };
+    // Bootstrap ships whole files; give it a generous write budget.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let epoch = hub.epoch();
+    let shipped = (|| -> std::io::Result<()> {
+        wire::write_frame(
+            &mut stream,
+            &Response::ok("streaming\n")
+                .header("epoch", epoch.to_string())
+                .encode(),
+        )?;
+        wire::write_frame(&mut stream, &StreamRecord::Snapshot(snapshot).to_frame())?;
+        wire::write_frame(&mut stream, &StreamRecord::WalFile(wal).to_frame())?;
+        for (name, bytes) in vault {
+            wire::write_frame(
+                &mut stream,
+                &StreamRecord::VaultFile(name, bytes).to_frame(),
+            )?;
+        }
+        wire::write_frame(
+            &mut stream,
+            &StreamRecord::SnapEnd { last_lsn, epoch }.to_frame(),
+        )
+    })();
+    if shipped.is_err() {
+        hub.drop_follower(&follower);
+        return;
+    }
+    eprintln!("edna serve: follower {peer} attached (epoch {epoch}, bootstrap lsn {last_lsn})");
+    // Acks come back on a clone of the socket; the worker thread itself
+    // becomes the sender until drain or stream death.
+    match stream.try_clone() {
+        Ok(ack_stream) => {
+            let hub_for_acks = hub.clone();
+            let follower_for_acks = follower.clone();
+            let spawned = std::thread::Builder::new()
+                .name("edna-repl-acks".to_string())
+                .spawn(move || repl::ack_reader_loop(hub_for_acks, follower_for_acks, ack_stream));
+            if spawned.is_err() {
+                hub.drop_follower(&follower);
+                return;
+            }
+        }
+        Err(_) => {
+            hub.drop_follower(&follower);
+            return;
+        }
+    }
+    let svc_drain = svc.clone();
+    repl::sender_loop(&hub, &follower, &mut stream, move || svc_drain.draining());
+    eprintln!("edna serve: follower {peer} detached");
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     svc: &Arc<Service>,
@@ -446,6 +618,13 @@ fn serve_connection(
             }
             Ok(text) => match Request::parse(text) {
                 Err(e) => Response::err(code::USAGE, e),
+                // A follower attaching: the connection stops speaking
+                // request/response and becomes a replication stream; this
+                // worker thread is the sender until the stream dies.
+                Ok(req) if req.op == "repl" && req.arg.as_deref() == Some("stream") => {
+                    repl_stream_connection(stream, svc, &req);
+                    return;
+                }
                 Ok(req) if req.op == "shutdown" => {
                     // Draining stops the whole server, so it is operator
                     // business: the request must carry the token minted

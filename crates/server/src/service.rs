@@ -22,16 +22,47 @@
 //! apply holds the door, because that is precisely when an operator
 //! probes liveness.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use edna_core::{render_report, ApplyOptions, Policy, Scheduler, TickOutcome, Workspace};
 use edna_obs::{Counter, Histogram};
-use edna_util::sync::{read_unpoisoned, write_unpoisoned};
+use edna_relational::{Database, Value};
+use edna_util::{frame, sync::read_unpoisoned, sync::write_unpoisoned};
+use edna_vault::ShipKind;
 
 use crate::caps;
 use crate::proto::{code, Request, Response};
+use crate::repl::ReplHub;
+use crate::replica::{self, ReplicaShared};
+
+/// Reserved table deduplicating retried `apply`/`apply_many` requests:
+/// one row per client idempotency key, holding the rendered reply that
+/// was sent the first time (capability header included).
+pub const REQUESTS_TABLE: &str = "_edna_requests";
+
+/// Creates the idempotency ledger if this state has never served.
+fn ensure_requests_table(db: &Database) -> edna_core::Result<()> {
+    if !db.has_table(REQUESTS_TABLE) {
+        db.execute(&format!(
+            "CREATE TABLE {REQUESTS_TABLE} (id INT PRIMARY KEY AUTO_INCREMENT, \
+             idem_key TEXT NOT NULL, reply TEXT NOT NULL)"
+        ))?;
+    }
+    Ok(())
+}
+
+/// This node's place in a replication topology.
+pub enum ReplRole {
+    /// No replication attached (tests, or a server before `start`).
+    Standalone,
+    /// Accepts followers and ships its WAL through the hub.
+    Primary(Arc<ReplHub>),
+    /// Read-only; applies a primary's shipped stream.
+    Replica(Arc<ReplicaShared>),
+}
 
 /// Statements that would claim the engine's single explicit-transaction
 /// slot from the wire.
@@ -47,6 +78,28 @@ fn is_transaction_control(sql: &str) -> bool {
     )
 }
 
+/// Validates the optional `idem` header: an idempotency key is at most
+/// 128 characters of `[A-Za-z0-9._:-]`, chosen by the client per
+/// logical request (not per attempt).
+fn idem_key(req: &Request) -> Result<Option<String>, Response> {
+    let Some(raw) = req.header_value("idem") else {
+        return Ok(None);
+    };
+    let key = raw.trim();
+    let valid = !key.is_empty()
+        && key.len() <= 128
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '-'));
+    if !valid {
+        return Err(Response::err(
+            code::USAGE,
+            "idem key must be 1..=128 characters of [A-Za-z0-9._:-]",
+        ));
+    }
+    Ok(Some(key.to_string()))
+}
+
 /// The request-handling core, shared across workers behind an `Arc`.
 pub struct Service {
     ws: Workspace,
@@ -57,7 +110,11 @@ pub struct Service {
     /// ticked by the decay daemon through [`Service::policy_tick_at`].
     scheduler: Scheduler,
     draining: AtomicBool,
+    /// Replication role; swapped once by `server::start` (primary) or
+    /// the CLI's replica path before serving begins.
+    repl: RwLock<ReplRole>,
     requests_total: Arc<Counter>,
+    idem_replays_total: Arc<Counter>,
     denied_total: Arc<Counter>,
     caps_minted_total: Arc<Counter>,
     checkpoints_total: Arc<Counter>,
@@ -87,6 +144,7 @@ impl Service {
     /// them alongside the engine counters).
     pub fn new(ws: Workspace) -> edna_core::Result<Service> {
         caps::ensure_caps_table(&ws.db)?;
+        ensure_requests_table(&ws.db)?;
         let scheduler = ws.scheduler()?;
         let m = ws.db.metrics();
         Ok(Service {
@@ -94,6 +152,10 @@ impl Service {
             requests_total: m.counter(
                 "edna_server_requests_total",
                 "Requests handled by the disguise server",
+            ),
+            idem_replays_total: m.counter(
+                "edna_server_idem_replays_total",
+                "Retried applies answered from the idempotency ledger",
             ),
             denied_total: m.counter(
                 "edna_server_denied_total",
@@ -127,7 +189,84 @@ impl Service {
             ws,
             door: RwLock::new(()),
             draining: AtomicBool::new(false),
+            repl: RwLock::new(ReplRole::Standalone),
         })
+    }
+
+    /// Makes this node a primary: followers may attach through `hub`.
+    pub fn attach_primary(&self, hub: Arc<ReplHub>) {
+        *write_unpoisoned(&self.repl) = ReplRole::Primary(hub);
+    }
+
+    /// Makes this node a read-only replica applying a shipped stream.
+    pub fn attach_replica(&self, shared: Arc<ReplicaShared>) {
+        *write_unpoisoned(&self.repl) = ReplRole::Replica(shared);
+    }
+
+    /// The replication hub, when this node is a primary.
+    pub fn hub(&self) -> Option<Arc<ReplHub>> {
+        match &*read_unpoisoned(&self.repl) {
+            ReplRole::Primary(hub) => Some(Arc::clone(hub)),
+            _ => None,
+        }
+    }
+
+    /// The replica state, when this node is a replica.
+    pub fn replica_shared(&self) -> Option<Arc<ReplicaShared>> {
+        match &*read_unpoisoned(&self.repl) {
+            ReplRole::Replica(shared) => Some(Arc::clone(shared)),
+            _ => None,
+        }
+    }
+
+    /// Whether this node serves as a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        matches!(&*read_unpoisoned(&self.repl), ReplRole::Replica(_))
+    }
+
+    /// Runs `f` holding the operation door's write side — used by the
+    /// replication handshake, which must freeze all commits while it
+    /// checkpoints and copies the state files.
+    pub(crate) fn with_write_door<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _door = write_unpoisoned(&self.door);
+        f()
+    }
+
+    /// Replica-side apply of one shipped WAL frame: verifies the frame
+    /// is exactly one clean record, appends it to the local WAL at its
+    /// original LSN (fsynced), then applies it to the live state — all
+    /// under the door's write side so reads never see a torn step.
+    /// Returns the applied LSN.
+    pub fn apply_shipped_wal(&self, framed: &[u8]) -> edna_core::Result<u64> {
+        let scan = frame::scan_records(framed);
+        if scan.records.len() != 1 || scan.valid_len != framed.len() {
+            return Err(edna_core::Error::Workspace(
+                "shipped WAL frame is not exactly one clean record".to_string(),
+            ));
+        }
+        let (lsn, record) = edna_relational::wal::decode_frame_body(&scan.records[0])
+            .map_err(edna_core::Error::from)?;
+        let _door = write_unpoisoned(&self.door);
+        let wal = self
+            .ws
+            .db
+            .wal()
+            .ok_or_else(|| edna_core::Error::Workspace("replica has no WAL attached".into()))?;
+        wal.append_shipped(lsn, framed, &record)?;
+        self.ws.db.apply_shipped(&record)?;
+        Ok(lsn)
+    }
+
+    /// Replica-side mirror of one shipped vault-side file mutation.
+    pub fn apply_shipped_vault(
+        &self,
+        kind: ShipKind,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<(), String> {
+        let path = replica::resolve_vault_name(&self.ws.path, name)?;
+        let _door = write_unpoisoned(&self.door);
+        replica::apply_vault_file(&path, kind, bytes).map_err(|e| e.to_string())
     }
 
     /// The wrapped workspace (used by the server for the final save).
@@ -181,6 +320,12 @@ impl Service {
         now: i64,
         budget: Option<usize>,
     ) -> edna_core::Result<TickOutcome> {
+        if self.is_replica() {
+            return Err(edna_core::Error::Workspace(
+                "a replica does not tick policies; the primary's runs arrive via the WAL"
+                    .to_string(),
+            ));
+        }
         let _door = write_unpoisoned(&self.door);
         let outcome = match self.scheduler.tick_budgeted(&self.ws.edna, now, budget) {
             Ok(o) => o,
@@ -222,6 +367,24 @@ impl Service {
     }
 
     fn dispatch(&self, req: &Request) -> Response {
+        if self.is_replica() {
+            match req.op.as_str() {
+                "apply" | "apply_many" | "reveal" => {
+                    return Response::err(
+                        code::READ_ONLY,
+                        "this node is a read-only replica; write to the primary, or promote \
+                         this node with `edna promote`",
+                    )
+                }
+                "sql" if !crate::guard::is_read_only(req.body.trim()) => {
+                    return Response::err(
+                        code::READ_ONLY,
+                        "a replica answers SELECT only; write to the primary",
+                    )
+                }
+                _ => {}
+            }
+        }
         match req.op.as_str() {
             "health" => Response::ok("ok\n"),
             "ready" => {
@@ -242,6 +405,7 @@ impl Service {
             }
             "recover" => self.op_recover(req),
             "policy" => self.op_policy(req),
+            "repl" => self.op_repl(req),
             // `shutdown` is intercepted by the connection loop (it has
             // to stop the accept loop, not just answer); seeing it here
             // means a non-server caller routed it manually.
@@ -308,12 +472,36 @@ impl Service {
             use_transaction: true,
             ..ApplyOptions::default()
         };
+        let idem = match idem_key(req) {
+            Ok(k) => k,
+            Err(resp) => return resp,
+        };
         let _door = write_unpoisoned(&self.door);
+        if let Some(key) = &idem {
+            match self.idem_lookup(key) {
+                Ok(Some(replay)) => {
+                    self.idem_replays_total.inc();
+                    return replay;
+                }
+                Ok(None) => {}
+                Err(e) => return Response::err(code::RUNTIME, e),
+            }
+        }
+        let resp = self.do_apply(name, user.as_ref(), opts);
+        self.idem_record(idem.as_deref(), resp)
+    }
+
+    fn do_apply(
+        &self,
+        name: &str,
+        user: Option<&edna_relational::Value>,
+        opts: ApplyOptions,
+    ) -> Response {
         let reversible = match self.ws.edna.spec(name) {
             Ok(spec) => spec.reversible,
             Err(e) => return Response::err(code::RUNTIME, e.to_string()),
         };
-        match self.ws.edna.apply_with_options(name, user.as_ref(), opts) {
+        match self.ws.edna.apply_with_options(name, user, opts) {
             Ok(report) => {
                 let mut resp = Response::ok(format!(
                     "applied {} (id {}): removed {}, decorrelated {}, modified {}, \
@@ -382,8 +570,22 @@ impl Service {
             },
             None => 0, // 0 = one shard per available core
         };
+        let idem = match idem_key(req) {
+            Ok(k) => k,
+            Err(resp) => return resp,
+        };
         let _door = write_unpoisoned(&self.door);
-        match self.ws.edna.apply_many(name, &users, shards) {
+        if let Some(key) = &idem {
+            match self.idem_lookup(key) {
+                Ok(Some(replay)) => {
+                    self.idem_replays_total.inc();
+                    return replay;
+                }
+                Ok(None) => {}
+                Err(e) => return Response::err(code::RUNTIME, e),
+            }
+        }
+        let resp = match self.ws.edna.apply_many(name, &users, shards) {
             Ok(report) => {
                 let mut body = format!(
                     "applied {} to {} user(s) in {} shard(s): {} succeeded, {} failed\n",
@@ -403,6 +605,116 @@ impl Service {
                     .header("shards", report.shards.to_string())
             }
             Err(e) => Response::err(code::RUNTIME, e.to_string()),
+        };
+        self.idem_record(idem.as_deref(), resp)
+    }
+
+    /// Answers a deduplicated retry from the ledger, if `key` has been
+    /// seen. Caller holds the door's write side.
+    fn idem_lookup(&self, key: &str) -> Result<Option<Response>, String> {
+        let mut params = HashMap::new();
+        params.insert("K".to_string(), Value::Text(key.to_string()));
+        let r = self
+            .ws
+            .db
+            .execute_with_params(
+                &format!("SELECT reply FROM {REQUESTS_TABLE} WHERE idem_key = $K"),
+                &params,
+            )
+            .map_err(|e| e.to_string())?;
+        let Some(row) = r.rows.first() else {
+            return Ok(None);
+        };
+        let text = row[0].as_text().map_err(|e| e.to_string())?;
+        let replay = Response::parse(text)
+            .map_err(|e| format!("stored reply for idempotency key {key:?} is corrupt: {e}"))?;
+        Ok(Some(replay.header("idem", "replayed")))
+    }
+
+    /// Records a successful reply under its idempotency key so a wire
+    /// retry replays it instead of re-applying. Failed applies are not
+    /// recorded — they mutated nothing, so retrying them for real is
+    /// correct. Caller holds the door's write side, which is what makes
+    /// lookup-then-record atomic against concurrent retries.
+    fn idem_record(&self, key: Option<&str>, resp: Response) -> Response {
+        let Some(key) = key else { return resp };
+        if !resp.ok {
+            return resp;
+        }
+        let stored = self.ws.db.insert_row(
+            REQUESTS_TABLE,
+            &[
+                ("idem_key", Value::Text(key.to_string())),
+                ("reply", Value::Text(resp.render())),
+            ],
+        );
+        match stored {
+            Ok(_) => resp,
+            // The disguise is applied but the ledger write failed: fail
+            // loudly rather than invite a retry that would apply twice.
+            Err(e) => Response::err(
+                code::RUNTIME,
+                format!(
+                    "applied, but could not record idempotency key {key:?}: {e}; \
+                     do NOT retry blindly — inspect the disguise history first"
+                ),
+            ),
+        }
+    }
+
+    fn op_repl(&self, req: &Request) -> Response {
+        match req.arg.as_deref() {
+            Some("status") => {}
+            Some("stream") => {
+                return Response::err(
+                    code::USAGE,
+                    "repl stream is handled at the connection layer; seeing it here means a \
+                     non-server caller routed it manually",
+                )
+            }
+            _ => return Response::err(code::USAGE, "usage: `repl status`"),
+        }
+        match &*read_unpoisoned(&self.repl) {
+            ReplRole::Standalone => {
+                Response::ok(format!("role: standalone\nepoch: {}\n", self.ws.epoch()))
+                    .header("role", "standalone")
+                    .header("epoch", self.ws.epoch().to_string())
+            }
+            ReplRole::Primary(hub) => {
+                let mut body = format!(
+                    "role: primary\nepoch: {}\nlast_lsn: {}\nsync_target: {}\n",
+                    hub.epoch(),
+                    hub.last_lsn(),
+                    hub.sync_target(),
+                );
+                let followers = hub.follower_status();
+                for f in &followers {
+                    body.push_str(&format!(
+                        "follower {}\tacked {}\tlag {}\t{}\t{}\n",
+                        f.peer,
+                        f.acked_lsn,
+                        f.lag,
+                        if f.sync { "sync" } else { "async" },
+                        if f.alive { "alive" } else { "dropped" },
+                    ));
+                }
+                Response::ok(body)
+                    .header("role", "primary")
+                    .header("epoch", hub.epoch().to_string())
+                    .header("last-lsn", hub.last_lsn().to_string())
+                    .header("followers", followers.len().to_string())
+            }
+            ReplRole::Replica(shared) => Response::ok(format!(
+                "role: replica\nsource: {}\nepoch: {}\napplied_lsn: {}\nconnected: {}\n",
+                shared.source,
+                shared.epoch(),
+                shared.applied_lsn(),
+                shared.connected(),
+            ))
+            .header("role", "replica")
+            .header("epoch", shared.epoch().to_string())
+            .header("applied-lsn", shared.applied_lsn().to_string())
+            .header("connected", shared.connected().to_string()),
         }
     }
 
@@ -675,6 +987,10 @@ tables: {
             "SELECT dsl, last_run FROM _edna_policy_registry",
             "UPDATE _edna_policy_registry SET last_run = 0",
             "INSERT INTO _edna_policy_registry (name, dsl) VALUES ('x', 'y')",
+            // The idempotency ledger stores rendered replies — minted
+            // reveal capabilities included.
+            "SELECT reply FROM _edna_requests",
+            "UPDATE _edna_requests SET reply = 'forged'",
         ] {
             let r = svc.handle(&Request::new("sql").body(stmt));
             assert!(!r.ok, "{stmt} must be refused");
@@ -682,7 +998,7 @@ tables: {
         }
         // The denial is counted alongside capability denials.
         let r = svc.handle(&Request::new("stats"));
-        assert!(r.body.contains("edna_server_denied_total 8"), "{}", r.body);
+        assert!(r.body.contains("edna_server_denied_total 10"), "{}", r.body);
         drop(svc);
         cleanup(&state);
     }
@@ -799,6 +1115,114 @@ tables: {
         let r = svc.handle(&Request::new("recover").header("verify", "true"));
         assert!(r.ok, "{}", r.body);
         assert!(r.body.contains("integrity: ok"), "{}", r.body);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn idempotent_apply_replays_the_original_reply() {
+        let (svc, state) = service("idem");
+        let first = svc.handle(
+            &Request::new("apply")
+                .arg("Gdpr")
+                .header("user", "1")
+                .header("idem", "req-001"),
+        );
+        assert!(first.ok, "{}", first.body);
+        let cap = first.header_value("cap").unwrap().to_string();
+        let id = first.header_value("id").unwrap().to_string();
+
+        // The wire retry replays the stored reply — same id, same
+        // capability — and does not run the disguise again.
+        let retry = svc.handle(
+            &Request::new("apply")
+                .arg("Gdpr")
+                .header("user", "1")
+                .header("idem", "req-001"),
+        );
+        assert!(retry.ok, "{}", retry.body);
+        assert_eq!(retry.header_value("idem"), Some("replayed"));
+        assert_eq!(retry.header_value("cap"), Some(cap.as_str()));
+        assert_eq!(retry.header_value("id"), Some(id.as_str()));
+        assert_eq!(retry.body, first.body);
+
+        // Only one disguise ran: user 1's row is gone, user 2's remains,
+        // and a second application would have failed on the missing row
+        // anyway — the replay counter is the positive evidence.
+        let r = svc.handle(&Request::new("stats"));
+        assert!(
+            r.body.contains("edna_server_idem_replays_total 1"),
+            "{}",
+            r.body
+        );
+
+        // A different key is a different logical request.
+        let other = svc.handle(
+            &Request::new("apply")
+                .arg("Gdpr")
+                .header("user", "2")
+                .header("idem", "req-002"),
+        );
+        assert!(other.ok, "{}", other.body);
+        assert_eq!(other.header_value("idem"), None);
+
+        // Hostile keys are refused before touching anything.
+        for bad in ["", "  ", "a b", "key/with/slash", &"x".repeat(129)] {
+            let r = svc.handle(&Request::new("apply").arg("Gdpr").header("idem", bad));
+            assert_eq!(r.code.as_deref(), Some(code::USAGE), "key {bad:?}");
+        }
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn replica_role_rejects_writes_and_reports_status() {
+        let (svc, state) = service("replica_role");
+        svc.attach_replica(crate::replica::ReplicaShared::new(
+            "10.0.0.1:7777".to_string(),
+            3,
+            42,
+        ));
+        assert!(svc.is_replica());
+
+        for req in [
+            Request::new("apply").arg("Gdpr").header("user", "1"),
+            Request::new("apply_many").arg("Gdpr").body("1\n"),
+            Request::new("reveal").header("id", "1").header("cap", "00"),
+            Request::new("sql").body("INSERT INTO users (name) VALUES ('x')"),
+            Request::new("sql").body("DROP TABLE users"),
+        ] {
+            let r = svc.handle(&req);
+            assert_eq!(r.code.as_deref(), Some(code::READ_ONLY), "{}", req.op);
+        }
+        // Reads still flow.
+        let r = svc.handle(&Request::new("sql").body("SELECT name FROM users ORDER BY id"));
+        assert!(r.ok, "{}", r.body);
+        assert_eq!(r.header_value("rows"), Some("2"));
+        assert!(svc.handle(&Request::new("stats")).ok);
+        assert!(svc.handle(&Request::new("policy").arg("status")).ok);
+
+        // Policy ticks are the primary's job.
+        assert!(svc.policy_tick_at(1_000, None).is_err());
+
+        let r = svc.handle(&Request::new("repl").arg("status"));
+        assert!(r.ok, "{}", r.body);
+        assert_eq!(r.header_value("role"), Some("replica"));
+        assert_eq!(r.header_value("epoch"), Some("3"));
+        assert_eq!(r.header_value("applied-lsn"), Some("42"));
+        assert!(r.body.contains("source: 10.0.0.1:7777"), "{}", r.body);
+        drop(svc);
+        cleanup(&state);
+    }
+
+    #[test]
+    fn repl_status_on_a_standalone_node() {
+        let (svc, state) = service("repl_standalone");
+        let r = svc.handle(&Request::new("repl").arg("status"));
+        assert!(r.ok, "{}", r.body);
+        assert_eq!(r.header_value("role"), Some("standalone"));
+        let r = svc.handle(&Request::new("repl"));
+        assert_eq!(r.code.as_deref(), Some(code::USAGE));
         drop(svc);
         cleanup(&state);
     }

@@ -1,0 +1,345 @@
+//! Hostile-replica tests: the replication stream is a network surface,
+//! so a malicious or broken follower must never wedge the primary. A
+//! torn, oversized, checksum-corrupt, or garbage ack frame — and an ack
+//! from a stale epoch — each drop that follower; the group-commit path
+//! and other clients keep working throughout. A sync follower that
+//! simply stops acking is demoted to async at the gate timeout instead
+//! of blocking every commit forever.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use edna_core::Workspace;
+use edna_server::repl::{StreamRecord, REPL_MAX_FRAME};
+use edna_server::wire::{self, ReadOutcome};
+use edna_server::{code, server, Client, Request, Response, ServerConfig, ServerHandle, Service};
+use edna_util::frame::encode_record;
+
+fn temp_state(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("edna_replh_test_{tag}_{}", std::process::id()));
+    cleanup(&p);
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    for suffix in [".tmp", ".metrics", ".metrics.tmp", ".wal", ".lock"] {
+        let _ = std::fs::remove_file(edna_core::workspace::sidecar(p, suffix));
+    }
+    let _ = std::fs::remove_dir_all(edna_core::workspace::sidecar(p, ".vault"));
+}
+
+/// Starts a primary over a fresh workspace; `epoch_bumps` simulates
+/// prior promotions so stale-epoch paths can be exercised.
+fn start_server(tag: &str, epoch_bumps: u64, config: ServerConfig) -> (ServerHandle, PathBuf) {
+    let state = temp_state(tag);
+    let ws = Workspace::init(&state, None).unwrap();
+    ws.db
+        .execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, x INT)")
+        .unwrap();
+    for _ in 0..epoch_bumps {
+        ws.bump_epoch().unwrap();
+    }
+    let svc = Arc::new(Service::new(ws).unwrap());
+    let handle = server::start(svc, config).unwrap();
+    (handle, state)
+}
+
+/// Reads one replication frame body off a raw follower socket.
+fn read_record(stream: &mut TcpStream) -> Vec<u8> {
+    match wire::read_frame(
+        stream,
+        REPL_MAX_FRAME,
+        Duration::from_secs(5),
+        Duration::from_secs(30),
+    ) {
+        Ok(ReadOutcome::Frame(body)) => body,
+        other => panic!("expected a stream frame, got {other:?}"),
+    }
+}
+
+/// Performs the `repl stream` handshake as a follower would: sends the
+/// request with an epoch header, checks the ok response, and consumes
+/// the bootstrap (snapshot, WAL file, vault files) through `SnapEnd`.
+/// Returns the live stream and the bootstrap's last LSN.
+fn attach_follower(addr: SocketAddr, epoch: u64) -> (TcpStream, u64) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    let req = Request::new("repl")
+        .arg("stream")
+        .header("epoch", epoch.to_string());
+    wire::write_frame(&mut s, &req.encode()).unwrap();
+    let body = read_record(&mut s);
+    let resp = Response::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(resp.ok, "handshake refused: {}", resp.body);
+    let mut saw_snapshot = false;
+    loop {
+        match StreamRecord::decode(&read_record(&mut s)).unwrap() {
+            StreamRecord::Snapshot(_) => saw_snapshot = true,
+            StreamRecord::SnapEnd { last_lsn, .. } => {
+                assert!(saw_snapshot, "SnapEnd before the snapshot");
+                return (s, last_lsn);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Polls `repl status` until the primary reports `want` live followers.
+fn wait_for_followers(c: &mut Client, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = c.repl_status().unwrap();
+        assert!(r.ok, "{}", r.body);
+        let got: usize = r.header_value("followers").unwrap().parse().unwrap();
+        if got == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "still {got} followers, wanted {want}:\n{}",
+            r.body
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn handshake_from_a_promoted_follower_is_fenced() {
+    let (handle, state) = start_server("fence", 0, ServerConfig::default());
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    let req = Request::new("repl").arg("stream").header("epoch", "7");
+    wire::write_frame(&mut s, &req.encode()).unwrap();
+    let body = read_record(&mut s);
+    let resp = Response::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(!resp.ok, "a deposed primary must refuse a promoted node");
+    assert_eq!(resp.code.as_deref(), Some(code::STALE_EPOCH));
+
+    // A garbage epoch header is a usage error, not a panic.
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    let req = Request::new("repl").arg("stream").header("epoch", "yes");
+    wire::write_frame(&mut s, &req.encode()).unwrap();
+    let body = read_record(&mut s);
+    let resp = Response::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(resp.code.as_deref(), Some(code::USAGE));
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn hostile_ack_frames_drop_the_follower_without_wedging_the_primary() {
+    let (handle, state) = start_server("hostile", 0, ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    type Poison = fn(&mut TcpStream);
+    let poisons: [(&str, Poison); 4] = [
+        ("torn frame", |s| {
+            // Claims 100 bytes, delivers 10, hangs up mid-frame.
+            let _ = s.write_all(&100u32.to_le_bytes());
+            let _ = s.write_all(&[0u8; 10]);
+            let _ = s.shutdown(Shutdown::Write);
+        }),
+        ("oversized length", |s| {
+            // Acks are capped at 64 KiB; a 1 MiB claim is hostile.
+            let _ = s.write_all(&(1u32 << 20).to_le_bytes());
+        }),
+        ("bad checksum", |s| {
+            let mut framed = StreamRecord::Ack { epoch: 0, lsn: 1 }.to_frame();
+            let last = framed.len() - 1;
+            framed[last] ^= 0xFF;
+            let _ = s.write_all(&framed);
+        }),
+        ("garbage record", |s| {
+            // Checksums fine, decodes to an unknown tag.
+            let _ = s.write_all(&encode_record(&[0xEE, 1, 2, 3]));
+        }),
+    ];
+
+    for (name, poison) in poisons {
+        let (mut s, _) = attach_follower(addr, 0);
+        wait_for_followers(&mut c, 1);
+        poison(&mut s);
+        wait_for_followers(&mut c, 0);
+        // The commit path is alive after every drop.
+        let r = c.sql("INSERT INTO t (x) VALUES (1)").unwrap();
+        assert!(r.ok, "{name}: commit failed after drop: {}", r.body);
+    }
+
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.body.contains("edna_repl_followers_dropped_total 4"),
+        "each poison drops exactly one follower:\n{}",
+        stats.body
+    );
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn ack_from_a_stale_epoch_drops_the_follower() {
+    // The primary has lived through one promotion (epoch 1); a follower
+    // acking with epoch 0 is reporting history from before the fence.
+    let (handle, state) = start_server("stale_ack", 1, ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    let (mut s, _) = attach_follower(addr, 1);
+    wait_for_followers(&mut c, 1);
+    wire::write_frame(&mut s, &StreamRecord::Ack { epoch: 0, lsn: 1 }.to_frame()).unwrap();
+    wait_for_followers(&mut c, 0);
+
+    let r = c.sql("INSERT INTO t (x) VALUES (9)").unwrap();
+    assert!(r.ok, "{}", r.body);
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn stalled_sync_follower_is_demoted_instead_of_wedging_commits() {
+    let (handle, state) = start_server(
+        "stall",
+        0,
+        ServerConfig {
+            sync_replicas: 1,
+            repl_gate_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // A follower that bootstraps and then never acks anything.
+    let (_s, _) = attach_follower(addr, 0);
+    wait_for_followers(&mut c, 1);
+
+    // The commit waits out the gate timeout once, then the straggler is
+    // demoted and the write completes.
+    let start = Instant::now();
+    let r = c.sql("INSERT INTO t (x) VALUES (1)").unwrap();
+    assert!(r.ok, "{}", r.body);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "gate must be bounded, took {:?}",
+        start.elapsed()
+    );
+
+    // Subsequent commits no longer pay the timeout (demotion sticks)
+    // and the metrics record the degradation.
+    let r = c.sql("INSERT INTO t (x) VALUES (2)").unwrap();
+    assert!(r.ok, "{}", r.body);
+    let stats = c.stats().unwrap();
+    for needle in [
+        "edna_repl_sync_demotions_total 1",
+        "edna_repl_gate_degraded_total",
+        "edna_replica_lag_frames",
+    ] {
+        assert!(
+            stats.body.contains(needle),
+            "missing {needle}:\n{}",
+            stats.body
+        );
+    }
+    let r = c.repl_status().unwrap();
+    assert!(r.body.contains("async"), "demoted follower:\n{}", r.body);
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}
+
+#[test]
+fn acking_sync_follower_releases_the_gate_and_shows_in_status() {
+    let (handle, state) = start_server(
+        "acked",
+        0,
+        ServerConfig {
+            sync_replicas: 1,
+            repl_gate_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let (s, _) = attach_follower(addr, 0);
+    // A cooperative acker: reads the live tail and acknowledges every
+    // WAL frame's LSN (bytes 4..12 of the framed record) immediately.
+    let acker = std::thread::spawn(move || {
+        let mut s = s;
+        loop {
+            let body = match wire::read_frame(
+                &mut s,
+                REPL_MAX_FRAME,
+                Duration::from_millis(500),
+                Duration::from_secs(30),
+            ) {
+                Ok(ReadOutcome::Frame(body)) => body,
+                Ok(ReadOutcome::IdleTimeout) => continue,
+                Ok(ReadOutcome::Eof) | Err(_) => return,
+            };
+            if let Ok(StreamRecord::Wal { epoch, framed }) = StreamRecord::decode(&body) {
+                let lsn = u64::from_le_bytes(framed[4..12].try_into().unwrap());
+                if wire::write_frame(&mut s, &StreamRecord::Ack { epoch, lsn }.to_frame()).is_err()
+                {
+                    return;
+                }
+            }
+        }
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    wait_for_followers(&mut c, 1);
+    for i in 0..3 {
+        let start = Instant::now();
+        let r = c.sql(&format!("INSERT INTO t (x) VALUES ({i})")).unwrap();
+        assert!(r.ok, "{}", r.body);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "acked commit should not wait out the gate"
+        );
+    }
+    let r = c.repl_status().unwrap();
+    assert_eq!(r.header_value("role"), Some("primary"));
+    assert!(r.body.contains("sync"), "quorum member:\n{}", r.body);
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.body.contains("edna_repl_sync_demotions_total 0"),
+        "no demotion when acks flow:\n{}",
+        stats.body
+    );
+    assert!(stats.body.contains("edna_repl_ack_us"), "{}", stats.body);
+
+    handle.stop_and_wait().unwrap();
+    let _ = acker.join();
+    cleanup(&state);
+}
+
+#[test]
+fn client_reconnects_transparently_when_the_server_closes_idle_connections() {
+    let (handle, state) = start_server(
+        "reconnect",
+        0,
+        ServerConfig {
+            conn_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect_with_timeout(handle.addr(), Duration::from_secs(5)).unwrap();
+    assert!(c.health().unwrap().ok);
+    assert_eq!(c.reconnect_count(), 0);
+
+    // Outlive the server's idle timeout; the next request lands on a
+    // dead connection and must heal without surfacing an error.
+    std::thread::sleep(Duration::from_millis(900));
+    let r = c.sql("SELECT COUNT(*) FROM t").unwrap();
+    assert!(r.ok, "{}", r.body);
+    assert!(
+        c.reconnect_count() >= 1,
+        "the request went through a transparent reconnect"
+    );
+
+    handle.stop_and_wait().unwrap();
+    cleanup(&state);
+}

@@ -202,14 +202,20 @@ fn admission_control_answers_busy_instead_of_queueing_forever() {
     std::thread::sleep(Duration::from_millis(100));
 
     // The rejected connection gets the busy frame as the response to
-    // whatever it sends first.
+    // whatever it sends first. The client retries `busy` with bounded
+    // backoff (reconnecting each attempt, since the server closes after
+    // the refusal); with the worker still pinned, every retry is also
+    // refused and the exhaustion surfaces as an error naming the code.
     let t0 = Instant::now();
     let mut rejected = Client::connect(addr).unwrap();
-    let r = rejected.health().unwrap();
-    assert_eq!(r.code.as_deref(), Some(code::BUSY), "{}", r.body);
+    let err = rejected
+        .health()
+        .expect_err("busy past every retry must surface");
+    assert!(err.to_string().contains("busy"), "{err}");
+    assert_eq!(rejected.retry_count(), 4, "MAX_ATTEMPTS-1 bounded retries");
     assert!(
         t0.elapsed() < Duration::from_secs(2),
-        "busy must be immediate, not queued"
+        "busy must be immediate (and backoff bounded), not queued"
     );
 
     drop(pinned);

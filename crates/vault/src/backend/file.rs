@@ -26,6 +26,7 @@ use crate::entry::{EntryMeta, StoredEntry};
 use crate::error::Result;
 use crate::retry::RetryPolicy;
 use crate::serialize::{read_bytes, write_bytes};
+use crate::ship::{ShipKind, ShipSlot};
 use crate::wal;
 
 use super::{StoreStats, VaultStore};
@@ -40,6 +41,9 @@ pub struct FileStore {
     recovered_records: AtomicU64,
     truncated_bytes: AtomicU64,
     tracer: RwLock<Option<Tracer>>,
+    /// Replication tap: every durable append/rewrite of a user file is
+    /// emitted here (as raw file bytes — sealed payloads ship sealed).
+    ship: ShipSlot,
 }
 
 impl FileStore {
@@ -69,7 +73,16 @@ impl FileStore {
             recovered_records: AtomicU64::new(0),
             truncated_bytes: AtomicU64::new(0),
             tracer: RwLock::new(None),
+            ship: ShipSlot::new(),
         })
+    }
+
+    /// A clone of this store's replication tap slot: installing a hook
+    /// into it (even after the store has been boxed behind a
+    /// [`VaultStore`]) observes every durable file mutation. See
+    /// [`crate::ship`].
+    pub fn ship_slot(&self) -> ShipSlot {
+        self.ship.clone()
     }
 
     /// Scans every user file now, truncating torn tails; returns how many
@@ -139,11 +152,14 @@ impl FileStore {
     /// Caller must hold `self.lock`.
     fn write_all(&self, path: &Path, entries: &[StoredEntry]) -> Result<()> {
         if entries.is_empty() {
-            return self.with_retry("file_remove", || match fs::remove_file(path) {
+            self.with_retry("file_remove", || match fs::remove_file(path) {
                 Ok(()) => Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
                 Err(e) => Err(e.into()),
-            });
+            })?;
+            self.ship
+                .emit(ShipKind::Replace, &Self::file_name(path), &[]);
+            return Ok(());
         }
         let mut buf = BytesMut::new();
         for e in entries {
@@ -155,7 +171,16 @@ impl FileStore {
             fs::write(&tmp, &buf)?;
             fs::rename(&tmp, path)?;
             Ok(())
-        })
+        })?;
+        self.ship
+            .emit(ShipKind::Replace, &Self::file_name(path), buf.as_ref());
+        Ok(())
+    }
+
+    fn file_name(path: &Path) -> String {
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
     }
 
     fn record_body(entry: &StoredEntry) -> Vec<u8> {
@@ -190,7 +215,10 @@ impl FileStore {
                 .open(&path)?;
             f.write_all(bytes)?;
             Ok(())
-        })
+        })?;
+        self.ship
+            .emit(ShipKind::Append, &Self::file_name(&path), bytes);
+        Ok(())
     }
 }
 

@@ -36,6 +36,7 @@ use edna_util::sync::{read_unpoisoned, write_unpoisoned};
 use crate::entry::{EntryMeta, VaultEntry};
 use crate::error::{Error, Result};
 use crate::serialize::{read_bytes, write_bytes};
+use crate::ship::{ShipKind, ShipSlot};
 use crate::tiered::VaultTier;
 use crate::wal;
 
@@ -44,6 +45,9 @@ pub struct VaultJournal {
     path: PathBuf,
     lock: Mutex<()>,
     tracer: RwLock<Option<Tracer>>,
+    /// Replication tap: spool appends and compaction rewrites are emitted
+    /// here so a follower can mirror the journal file.
+    ship: ShipSlot,
 }
 
 impl VaultJournal {
@@ -64,6 +68,7 @@ impl VaultJournal {
             path,
             lock: Mutex::new(()),
             tracer: RwLock::new(None),
+            ship: ShipSlot::new(),
         };
         journal.recover()?;
         Ok(journal)
@@ -72,6 +77,19 @@ impl VaultJournal {
     /// Where the journal lives.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// A clone of this journal's replication tap slot (see
+    /// [`crate::ship`]).
+    pub fn ship_slot(&self) -> ShipSlot {
+        self.ship.clone()
+    }
+
+    fn file_name(&self) -> String {
+        self.path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
     }
 
     /// Installs (or with `None` removes) a tracer; each append emits a
@@ -94,8 +112,10 @@ impl VaultJournal {
                 .create(true)
                 .append(true)
                 .open(&self.path)?;
-            f.write_all(&wal::encode_record(&Self::record_body(tier, entry)))?;
+            let framed = wal::encode_record(&Self::record_body(tier, entry));
+            f.write_all(&framed)?;
             f.sync_all()?;
+            self.ship.emit(ShipKind::Append, &self.file_name(), &framed);
             Ok(())
         })();
         if let Some(g) = span.as_mut() {
@@ -130,11 +150,13 @@ impl VaultJournal {
     pub fn rewrite(&self, remaining: &[(VaultTier, VaultEntry)]) -> Result<()> {
         let _g = self.lock.lock().unwrap();
         if remaining.is_empty() {
-            return match fs::remove_file(&self.path) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-                Err(e) => Err(e.into()),
-            };
+            match fs::remove_file(&self.path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            self.ship.emit(ShipKind::Replace, &self.file_name(), &[]);
+            return Ok(());
         }
         let mut buf = BytesMut::new();
         for (tier, entry) in remaining {
@@ -148,6 +170,8 @@ impl VaultJournal {
             f.sync_all()?;
         }
         fs::rename(&tmp, &self.path)?;
+        self.ship
+            .emit(ShipKind::Replace, &self.file_name(), buf.as_ref());
         Ok(())
     }
 

@@ -53,6 +53,7 @@ pub mod journal;
 pub mod retry;
 pub mod serialize;
 pub mod shamir;
+pub mod ship;
 pub mod tiered;
 pub mod vault;
 pub mod wal;
@@ -67,5 +68,6 @@ pub use error::{Error, ErrorClass, Result};
 pub use journal::VaultJournal;
 pub use retry::RetryPolicy;
 pub use shamir::{recover, split, Share, ThresholdKey};
+pub use ship::{ShipFn, ShipKind, ShipSlot};
 pub use tiered::{TieredVault, VaultTier};
 pub use vault::Vault;

@@ -120,6 +120,20 @@ echo "==> serve soak (SIGKILL sweep over the network layer, 20 iterations)"
 EDNA_SOAK_ITERS=20 cargo test --release -p edna-cli --test serve_soak --quiet
 echo "serve soak OK"
 
+echo "==> failover chaos (replication kill sweep, 6 iterations)"
+# A primary with one synchronous standby takes mixed traffic and is
+# SIGKILLed at a random instant; the standby is drained, promoted, and
+# re-served. The gate asserts zero acknowledged loss in
+# --sync-replicas 1 mode — every acked commit, vault entry, capability
+# token, and idempotency-ledger row survives on the new primary —
+# plus green `recover --verify` on both sides and stale-epoch fencing
+# of the deposed primary. The hostile-replica suite rides along: torn,
+# oversized, corrupt, and stale-epoch stream input must drop that
+# follower without wedging group commit.
+EDNA_CHAOS_ITERS=6 cargo test --release -p edna-cli --test failover --quiet
+cargo test --release -p edna-server --test repl_hostile --quiet
+echo "failover chaos OK"
+
 echo "==> decay soak (SIGKILL sweep with ticking policies, 10 iterations)"
 # Serve with the decay daemon ticking a registered policy every 50ms
 # under mixed traffic, SIGKILL at a random instant, require
